@@ -1,0 +1,127 @@
+// Claim C3 — instrumentation cost of Algorithm A ("all these can add
+// significant delays to the normal execution of programs", paper §1).
+//
+// Measures the per-event cost of the MVC updates as a function of the
+// number of threads n (clock width), the number of shared variables, and
+// the fraction of relevant events (message-emission rate).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/instrumentor.hpp"
+#include "trace/channel.hpp"
+
+namespace {
+
+using namespace mpx;
+
+/// Synthetic event stream: uniform random read/write over vars & threads.
+std::vector<trace::Event> makeEvents(std::size_t count, std::size_t threads,
+                                     std::size_t vars, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<trace::Event> events;
+  events.reserve(count);
+  std::vector<LocalSeq> local(threads, 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace::Event e;
+    e.thread = static_cast<ThreadId>(rng() % threads);
+    e.var = static_cast<VarId>(rng() % vars);
+    e.kind = (rng() % 2 == 0) ? trace::EventKind::kRead
+                              : trace::EventKind::kWrite;
+    e.value = static_cast<Value>(rng() % 100);
+    e.localSeq = local[e.thread]++;
+    e.globalSeq = i + 1;
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Sink that only counts — isolates Algorithm A itself.
+class NullSink final : public trace::MessageSink {
+ public:
+  void onMessage(const trace::Message&) override { ++count; }
+  std::size_t count = 0;
+};
+
+void BM_AlgorithmA_Threads(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const auto events = makeEvents(10000, threads, 8, 42);
+  std::unordered_set<VarId> all;
+  for (VarId v = 0; v < 8; ++v) all.insert(v);
+  for (auto _ : state) {
+    NullSink sink;
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(all), sink);
+    instr.reserve(threads, 8);
+    for (const auto& e : events) instr.onEvent(e);
+    benchmark::DoNotOptimize(sink.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_AlgorithmA_Threads)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AlgorithmA_Vars(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  const auto events = makeEvents(10000, 4, vars, 43);
+  std::unordered_set<VarId> all;
+  for (VarId v = 0; v < vars; ++v) all.insert(v);
+  for (auto _ : state) {
+    NullSink sink;
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(all), sink);
+    instr.reserve(4, vars);
+    for (const auto& e : events) instr.onEvent(e);
+    benchmark::DoNotOptimize(sink.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+  state.counters["vars"] = static_cast<double>(vars);
+}
+BENCHMARK(BM_AlgorithmA_Vars)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AlgorithmA_RelevanceFraction(benchmark::State& state) {
+  // 0, 25, 50, 100 percent of the variables are relevant: emission rate.
+  const unsigned percent = static_cast<unsigned>(state.range(0));
+  const std::size_t vars = 16;
+  const auto events = makeEvents(10000, 4, vars, 44);
+  std::unordered_set<VarId> relevant;
+  for (VarId v = 0; v < vars * percent / 100; ++v) relevant.insert(v);
+  for (auto _ : state) {
+    NullSink sink;
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(relevant), sink);
+    instr.reserve(4, vars);
+    for (const auto& e : events) instr.onEvent(e);
+    benchmark::DoNotOptimize(sink.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+  state.counters["relevant%"] = static_cast<double>(percent);
+}
+BENCHMARK(BM_AlgorithmA_RelevanceFraction)->Arg(0)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_AlgorithmA_ReadVsWriteMix(benchmark::State& state) {
+  // Reads do two joins, writes three assignments: measure pure-read vs
+  // pure-write streams.
+  const bool writes = state.range(0) != 0;
+  std::vector<trace::Event> events = makeEvents(10000, 4, 8, 45);
+  for (auto& e : events) {
+    e.kind = writes ? trace::EventKind::kWrite : trace::EventKind::kRead;
+  }
+  std::unordered_set<VarId> all;
+  for (VarId v = 0; v < 8; ++v) all.insert(v);
+  for (auto _ : state) {
+    NullSink sink;
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(all), sink);
+    instr.reserve(4, 8);
+    for (const auto& e : events) instr.onEvent(e);
+    benchmark::DoNotOptimize(sink.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+  state.SetLabel(writes ? "writes" : "reads");
+}
+BENCHMARK(BM_AlgorithmA_ReadVsWriteMix)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Supporting infrastructure costs: wire codec throughput and the
+// observer's tolerance of reordered delivery (Claim C2's performance side —
+// reconstruction cost is the same whatever the channel does).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "observer/causality.hpp"
+#include "trace/channel.hpp"
+#include "trace/codec.hpp"
+
+namespace {
+
+using namespace mpx;
+
+std::vector<trace::Message> makeStream(std::size_t perThread,
+                                       std::size_t threads,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<trace::Message> out;
+  GlobalSeq g = 1;
+  std::vector<vc::VectorClock> clocks(threads);
+  // Interleave threads round-robin; clocks stay internally consistent
+  // (own component counts own messages).
+  for (std::size_t k = 0; k < perThread; ++k) {
+    for (ThreadId t = 0; t < threads; ++t) {
+      clocks[t].increment(t);
+      if (rng() % 3 == 0 && threads > 1) {
+        // Occasionally observe another thread's progress.
+        const ThreadId o = static_cast<ThreadId>(rng() % threads);
+        vc::VectorClock snap = clocks[o];
+        snap.set(o, snap[o]);  // no-op; just join below
+        clocks[t].joinWith(snap);
+        clocks[t].set(t, k + 1);
+      }
+      trace::Message m;
+      m.event.kind = trace::EventKind::kWrite;
+      m.event.thread = t;
+      m.event.var = static_cast<VarId>(rng() % 4);
+      m.event.value = static_cast<Value>(rng() % 100);
+      m.event.localSeq = k + 1;
+      m.event.globalSeq = g++;
+      m.clock = clocks[t];
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+void BM_BinaryCodec_Encode(benchmark::State& state) {
+  const auto stream = makeStream(256, 4, 1);
+  for (auto _ : state) {
+    const auto bytes = trace::BinaryCodec::encodeAll(stream);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_BinaryCodec_Encode);
+
+void BM_BinaryCodec_Decode(benchmark::State& state) {
+  const auto stream = makeStream(256, 4, 2);
+  const auto bytes = trace::BinaryCodec::encodeAll(stream);
+  for (auto _ : state) {
+    const auto back = trace::BinaryCodec::decodeAll(bytes);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_BinaryCodec_Decode);
+
+void BM_CausalityIngest(benchmark::State& state) {
+  // FIFO vs shuffled ingest+finalize: the observer's reordering tolerance.
+  const bool shuffled = state.range(0) != 0;
+  const auto stream = makeStream(256, 4, 3);
+  for (auto _ : state) {
+    observer::CausalityGraph graph;
+    if (shuffled) {
+      trace::ShuffleChannel ch(graph, 99);
+      for (const auto& m : stream) ch.onMessage(m);
+      ch.close();
+    } else {
+      for (const auto& m : stream) graph.ingest(m);
+    }
+    graph.finalize();
+    benchmark::DoNotOptimize(graph.eventCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+  state.SetLabel(shuffled ? "shuffled" : "fifo");
+}
+BENCHMARK(BM_CausalityIngest)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Claim C5 — checking all runs IN PARALLEL on the lattice (monitor-state
+// sets piggybacked on nodes) versus materializing each run and checking it
+// individually.  The run count is exponential in the workload size while
+// the lattice node count is polynomial-ish, so the gap widens fast; this
+// bench regenerates that crossover.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/instrumentor.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/lattice.hpp"
+#include "observer/run_enumerator.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace {
+
+using namespace mpx;
+
+struct Computation {
+  observer::CausalityGraph graph;
+  observer::StateSpace space;
+  logic::Formula formula;
+};
+
+Computation buildComputation(std::size_t threads, std::size_t writes) {
+  const program::Program prog =
+      program::corpus::independentWriters(threads, writes);
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+
+  Computation c;
+  std::unordered_set<VarId> vars;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < threads; ++i) {
+    names.push_back("v" + std::to_string(i));
+    vars.insert(prog.vars.id(names.back()));
+  }
+  core::Instrumentor instr(core::RelevancePolicy::writesOf(vars), c.graph);
+  for (const auto& e : rec.events) instr.onEvent(e);
+  c.graph.finalize();
+  c.space = observer::StateSpace::byNames(prog.vars, names);
+  // "v0 never gets two ahead of v1 after both started" — a property whose
+  // verdict genuinely differs across runs.
+  c.formula = logic::SpecParser(c.space).parse(
+      "once(v0 >= 1 && v1 >= 1) -> v0 <= v1 + 2");
+  return c;
+}
+
+void BM_CheckAllRuns_Lattice(benchmark::State& state) {
+  const Computation c = buildComputation(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)));
+  std::size_t violations = 0;
+  for (auto _ : state) {
+    observer::ComputationLattice lattice(c.graph, c.space);
+    logic::SynthesizedMonitor monitor(c.formula);
+    std::vector<observer::Violation> found;
+    lattice.check(monitor, found);
+    violations = found.size();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+}
+BENCHMARK(BM_CheckAllRuns_Lattice)
+    ->Args({2, 4})
+    ->Args({3, 3})
+    ->Args({3, 4})
+    ->Args({4, 3});
+
+void BM_CheckAllRuns_Enumeration(benchmark::State& state) {
+  const Computation c = buildComputation(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)));
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    observer::RunEnumerator enumerator(c.graph, c.space);
+    logic::SynthesizedMonitor monitor(c.formula);
+    std::size_t violating = 0;
+    runs = enumerator.forEachRun([&](const observer::Run& run) {
+      if (monitor.firstViolation(run.states) >= 0) ++violating;
+      return true;
+    });
+    benchmark::DoNotOptimize(violating);
+  }
+  state.counters["runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_CheckAllRuns_Enumeration)
+    ->Args({2, 4})
+    ->Args({3, 3})
+    ->Args({3, 4})
+    ->Args({4, 3});
+
+void printComparison() {
+  std::printf(
+      "=== Claim C5: lattice-parallel checking vs per-run enumeration ===\n");
+  std::printf("%8s %8s %12s %14s\n", "threads", "writes", "latticeNodes",
+              "runsEnumerated");
+  for (const auto& [threads, writes] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 4}, {3, 3}, {3, 4}, {4, 3}}) {
+    const Computation c = buildComputation(threads, writes);
+    observer::ComputationLattice lattice(c.graph, c.space);
+    const auto& stats = lattice.build();
+    std::printf("%8zu %8zu %12zu %14llu\n", threads, writes, stats.totalNodes,
+                static_cast<unsigned long long>(stats.pathCount));
+  }
+  std::printf("(same verdicts; the time gap is the benchmark below)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Claim C5 (monitor half) — synthesized ptLTL monitors cost O(|φ|) per
+// state with a one-word state, which is what lets the lattice carry SETS
+// of monitor states per node cheaply.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+
+namespace {
+
+using namespace mpx;
+using observer::GlobalState;
+
+observer::StateSpace space() {
+  static trace::VarTable table = [] {
+    trace::VarTable t;
+    t.intern("p", 0);
+    t.intern("q", 0);
+    t.intern("r", 0);
+    return t;
+  }();
+  return observer::StateSpace::byNames(table, {"p", "q", "r"});
+}
+
+/// Nested formula of the requested temporal depth.
+logic::Formula deepFormula(std::size_t depth) {
+  const observer::StateSpace sp = space();
+  logic::SpecParser parser(sp);
+  logic::Formula f = parser.parse("p = 1 -> [q = 1, r = 1)");
+  for (std::size_t i = 0; i < depth; ++i) {
+    switch (i % 3) {
+      case 0: f = logic::Formula::once(f); break;
+      case 1: f = logic::Formula::since(f, parser.parse("q != 2")); break;
+      default: f = logic::Formula::historically(f); break;
+    }
+  }
+  return f;
+}
+
+std::vector<GlobalState> randomTrace(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<GlobalState> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(GlobalState({static_cast<Value>(rng() % 3),
+                               static_cast<Value>(rng() % 3),
+                               static_cast<Value>(rng() % 3)}));
+  }
+  return out;
+}
+
+void BM_Monitor_StepThroughput(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  logic::SynthesizedMonitor mon(deepFormula(depth));
+  const auto trace = randomTrace(4096, 11);
+  for (auto _ : state) {
+    mon.reset();
+    bool ok = true;
+    for (const auto& s : trace) ok &= mon.stepLinear(s);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["subformulas"] = static_cast<double>(mon.subformulaCount());
+}
+BENCHMARK(BM_Monitor_StepThroughput)->Arg(0)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_Monitor_StatelessAdvance(benchmark::State& state) {
+  // The lattice-facing API: advance(state, input) with no hidden state.
+  logic::SynthesizedMonitor mon(deepFormula(6));
+  const auto trace = randomTrace(4096, 12);
+  const observer::MonitorState m0 = mon.initial(trace[0]);
+  for (auto _ : state) {
+    observer::MonitorState m = m0;
+    for (const auto& s : trace) m = mon.advance(m, s);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Monitor_StatelessAdvance);
+
+void BM_Monitor_ParseAndSynthesize(benchmark::State& state) {
+  const observer::StateSpace sp = space();
+  for (auto _ : state) {
+    logic::SynthesizedMonitor mon(logic::SpecParser(sp).parse(
+        "start(p = 1) -> [q = 1, r = 0) && once(q + r > 1)"));
+    benchmark::DoNotOptimize(mon.subformulaCount());
+  }
+}
+BENCHMARK(BM_Monitor_ParseAndSynthesize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

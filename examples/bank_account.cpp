@@ -1,0 +1,59 @@
+// Predictive data-race detection on the classic lost-update bug.
+//
+// Two threads deposit into a shared balance with an unsynchronized
+// read-modify-write.  Most schedules are benign (final balance 150); the
+// losing-update schedules are rare.  From ONE benign execution, the MVC
+// happens-before analysis reports the racing access pair; on the
+// lock-protected variant the lock writes (§3.1) order the critical
+// sections and no race is reported.
+#include <cstdio>
+
+#include "core/instrumentor.hpp"
+#include "detect/race_detector.hpp"
+#include "program/corpus.hpp"
+#include "program/explorer.hpp"
+
+using namespace mpx;
+
+namespace {
+
+void analyzeRaces(const program::Program& prog, const char* label) {
+  // One execution, greedy schedule (thread 1 fully, then thread 2): benign.
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+  std::printf("=== %s ===\n", label);
+  std::printf("observed final balance: %lld\n",
+              static_cast<long long>(rec.finalShared[prog.vars.id("balance")]));
+
+  // Instrument ALL accesses of `balance` with the race-detection causality
+  // projection (program order + synchronization edges only), then look for
+  // MVC-concurrent conflicting pairs; the lockset refinement also flags
+  // pairs this particular run happened to order.
+  detect::RaceOptions opts;
+  opts.lockset = true;
+  detect::RacePredictor predictor(opts);
+  const auto races = predictor.analyzeExecution(rec, prog, {"balance"});
+
+  std::printf("predicted races: %zu\n", races.size());
+  for (const auto& race : races) {
+    std::printf("  %s\n", race.describe(prog.vars).c_str());
+  }
+
+  // Ground truth: does any schedule actually lose an update?
+  program::ExhaustiveExplorer explorer;
+  const VarId balance = prog.vars.id("balance");
+  bool lostUpdate = explorer.existsExecution(
+      prog, [balance](const program::ExecutionRecord& r) {
+        return r.finalShared[balance] != 150;
+      });
+  std::printf("some schedule loses an update: %s\n\n",
+              lostUpdate ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  analyzeRaces(program::corpus::bankAccountRacy(), "unsynchronized deposits");
+  analyzeRaces(program::corpus::bankAccountLocked(), "lock-protected deposits");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Predictive deadlock detection: dining philosophers.
+//
+// A SUCCESSFUL run of the left-then-right philosophers completes without
+// deadlock, but its lock-order graph contains the cycle
+// fork0 -> fork1 -> ... -> fork0, so another schedule deadlocks.  The
+// predictor reports the cycle from the one successful run; the exhaustive
+// explorer confirms a real deadlocking schedule exists.  With globally
+// ordered fork acquisition the graph is acyclic and nothing is reported.
+#include <cstdio>
+
+#include "detect/deadlock_detector.hpp"
+#include "program/corpus.hpp"
+#include "program/explorer.hpp"
+
+using namespace mpx;
+
+namespace {
+
+void analyze(std::size_t n, bool ordered) {
+  const program::Program prog =
+      program::corpus::diningPhilosophers(n, ordered);
+  std::printf("=== %zu philosophers, %s fork order ===\n", n,
+              ordered ? "globally ordered" : "left-then-right");
+
+  // One successful execution: philosophers eat one after another.
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+  std::printf("observed run deadlocked: %s\n", rec.deadlocked ? "yes" : "no");
+
+  detect::DeadlockPredictor predictor;
+  const auto reports = predictor.analyze(rec, prog);
+  std::printf("predicted potential deadlocks: %zu\n", reports.size());
+  for (const auto& r : reports) {
+    std::printf("  %s\n", r.describe(prog.lockNames).c_str());
+  }
+
+  program::ExhaustiveExplorer explorer;
+  const bool canDeadlock = explorer.existsExecution(
+      prog, [](const program::ExecutionRecord& r) { return r.deadlocked; });
+  std::printf("ground truth — some schedule deadlocks: %s\n\n",
+              canDeadlock ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  analyze(3, /*ordered=*/false);
+  analyze(3, /*ordered=*/true);
+  return 0;
+}

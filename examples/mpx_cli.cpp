@@ -1,0 +1,240 @@
+// mpx_cli — command-line predictive analysis over the built-in corpus.
+//
+//   mpx_cli list
+//   mpx_cli analyze <program> [--spec "<ptLTL>"] [--seed N]
+//           [--schedule greedy|roundrobin|random|observed]
+//           [--delivery fifo|shuffle|delay|reverse] [--lattice] [--dot] [--json]
+//   mpx_cli explore <program> [--spec "<ptLTL>"]      # ground truth
+//
+// Examples:
+//   mpx_cli analyze landing --schedule observed --lattice
+//   mpx_cli analyze xyz --seed 7
+//   mpx_cli analyze naive-mutex --spec "!(c0 = 1 && c1 = 1)"
+//   mpx_cli explore landing
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "analysis/campaign.hpp"
+#include "analysis/report.hpp"
+#include "program/corpus.hpp"
+
+using namespace mpx;
+namespace corpus = program::corpus;
+
+namespace {
+
+struct Entry {
+  std::string description;
+  program::Program (*make)();
+  const char* (*defaultSpec)();
+  std::vector<ThreadId> (*observedSchedule)();
+};
+
+program::Program makeLanding() { return corpus::landingController(); }
+program::Program makeXyz() { return corpus::xyzProgram(); }
+program::Program makeBank() { return corpus::bankAccountRacy(); }
+program::Program makePeterson() { return corpus::peterson(); }
+program::Program makeNaiveMutex() { return corpus::mutualExclusionNaive(); }
+program::Program makeReadersWriter() { return corpus::readersWriter(); }
+program::Program makeCas() { return corpus::casCounter(); }
+const char* casSpec() { return "counter >= 0"; }
+const char* bankSpec() { return "balance >= 0"; }
+
+const std::map<std::string, Entry>& registry() {
+  static const std::map<std::string, Entry> r = {
+      {"landing",
+       {"paper Fig. 1 flight controller", &makeLanding,
+        &corpus::landingProperty, &corpus::landingObservedSchedule}},
+      {"xyz",
+       {"paper Fig. 6 x/y/z program", &makeXyz, &corpus::xyzProperty,
+        &corpus::xyzObservedSchedule}},
+      {"bank",
+       {"racy bank account (lost update)", &makeBank, &bankSpec, nullptr}},
+      {"peterson",
+       {"Peterson's mutual exclusion", &makePeterson,
+        &corpus::mutualExclusionProperty, nullptr}},
+      {"naive-mutex",
+       {"unsynchronized critical sections", &makeNaiveMutex,
+        &corpus::mutualExclusionProperty, nullptr}},
+      {"readers-writer",
+       {"readers/writer via mutex + condvar", &makeReadersWriter,
+        &corpus::readersWriterProperty, nullptr}},
+      {"cas-counter",
+       {"lock-free CAS counter", &makeCas, &casSpec, nullptr}},
+  };
+  return r;
+}
+
+int listPrograms() {
+  std::printf("available programs:\n");
+  for (const auto& [name, entry] : registry()) {
+    std::printf("  %-12s %s   (default spec: %s)\n", name.c_str(),
+                entry.description.c_str(), entry.defaultSpec());
+  }
+  return 0;
+}
+
+std::optional<std::string> argValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+bool hasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int analyze(const std::string& name, int argc, char** argv) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::fprintf(stderr, "unknown program '%s' (try: mpx_cli list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Entry& entry = it->second;
+  const program::Program prog = entry.make();
+
+  analysis::AnalyzerConfig config;
+  config.spec = argValue(argc, argv, "--spec").value_or(entry.defaultSpec());
+  const std::string delivery =
+      argValue(argc, argv, "--delivery").value_or("fifo");
+  if (delivery == "shuffle") config.delivery = trace::DeliveryPolicy::kShuffle;
+  else if (delivery == "delay")
+    config.delivery = trace::DeliveryPolicy::kBoundedDelay;
+  else if (delivery == "reverse")
+    config.delivery = trace::DeliveryPolicy::kReverse;
+  const bool wantLattice = hasFlag(argc, argv, "--lattice");
+  if (wantLattice) config.lattice.retention = observer::Retention::kFull;
+
+  const std::uint64_t seed =
+      std::stoull(argValue(argc, argv, "--seed").value_or("0"));
+  const std::string scheduleKind =
+      argValue(argc, argv, "--schedule").value_or("random");
+
+  std::unique_ptr<program::Scheduler> sched;
+  if (scheduleKind == "greedy") {
+    sched = std::make_unique<program::GreedyScheduler>();
+  } else if (scheduleKind == "roundrobin") {
+    sched = std::make_unique<program::RoundRobinScheduler>(1);
+  } else if (scheduleKind == "observed") {
+    if (entry.observedSchedule == nullptr) {
+      std::fprintf(stderr, "no canonical observed schedule for '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+    sched = std::make_unique<program::FixedScheduler>(entry.observedSchedule());
+  } else {
+    sched = std::make_unique<program::RandomScheduler>(seed);
+  }
+
+  analysis::PredictiveAnalyzer analyzer(prog, config);
+  std::printf("program:  %s — %s\n", name.c_str(), entry.description.c_str());
+  std::printf("property: %s\n", config.spec.c_str());
+  std::printf("relevant variables:");
+  for (const auto& v : analyzer.relevantVariables()) {
+    std::printf(" %s", v.c_str());
+  }
+  std::printf("\nschedule: %s (seed %llu), delivery: %s\n\n",
+              scheduleKind.c_str(), static_cast<unsigned long long>(seed),
+              delivery.c_str());
+
+  const analysis::AnalysisResult r = analyzer.analyze(*sched);
+  std::printf("events instrumented: %llu, messages to observer: %llu\n",
+              static_cast<unsigned long long>(r.eventsInstrumented),
+              static_cast<unsigned long long>(r.messagesEmitted));
+  std::printf("observed run violates:  %s\n",
+              r.observedRunViolates() ? "YES" : "no");
+  std::printf("lattice: %zu nodes across %zu levels, %llu consistent runs\n",
+              r.latticeStats.totalNodes, r.latticeStats.levels,
+              static_cast<unsigned long long>(r.latticeStats.pathCount));
+  std::printf("predicted violations:   %zu\n\n",
+              r.predictedViolations.size());
+  for (const auto& v : r.predictedViolations) {
+    std::printf("%s\n", r.describe(v).c_str());
+  }
+
+  if (wantLattice) {
+    observer::ComputationLattice lattice(r.causality, r.space,
+                                         config.lattice);
+    lattice.build();
+    std::printf("=== lattice ===\n%s", lattice.render().c_str());
+  }
+  if (hasFlag(argc, argv, "--dot")) {
+    std::printf("=== causality graph (graphviz) ===\n%s",
+                r.causality.renderDot(prog.vars).c_str());
+  }
+  if (hasFlag(argc, argv, "--json")) {
+    std::printf("%s\n", analysis::toJson(r).c_str());
+  }
+  return r.predictsViolation() ? 1 : 0;
+}
+
+int campaign(const std::string& name, int argc, char** argv) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+    return 2;
+  }
+  const program::Program prog = it->second.make();
+  const std::string spec =
+      argValue(argc, argv, "--spec").value_or(it->second.defaultSpec());
+  analysis::CampaignOptions opts;
+  opts.trials =
+      std::stoull(argValue(argc, argv, "--trials").value_or("100"));
+  opts.withGroundTruth = hasFlag(argc, argv, "--ground-truth");
+  const auto r = analysis::runCampaign(prog, spec, opts);
+  std::printf("program: %s, property: %s\n%s\n", name.c_str(), spec.c_str(),
+              r.summary().c_str());
+  return r.predictedDetections > 0 ? 1 : 0;
+}
+
+int explore(const std::string& name, int argc, char** argv) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+    return 2;
+  }
+  const program::Program prog = it->second.make();
+  const std::string spec =
+      argValue(argc, argv, "--spec").value_or(it->second.defaultSpec());
+  const auto truth = analysis::groundTruth(prog, spec);
+  std::printf("program: %s, property: %s\n", name.c_str(), spec.c_str());
+  std::printf("schedules explored: %zu%s\n", truth.totalExecutions,
+              truth.truncated ? " (truncated)" : "");
+  std::printf("violating: %zu, deadlocked: %zu\n", truth.violatingExecutions,
+              truth.deadlockedExecutions);
+  return truth.violatingExecutions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mpx_cli list\n"
+                 "       mpx_cli analyze <program> [--spec S] [--seed N]\n"
+                 "               [--schedule greedy|roundrobin|random|observed]\n"
+                 "               [--delivery fifo|shuffle|delay|reverse]"
+                 " [--lattice] [--dot] [--json]\n"
+                 "       mpx_cli explore <program> [--spec S]\n"
+                 "       mpx_cli campaign <program> [--spec S] [--trials N]"
+                 " [--ground-truth]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") return listPrograms();
+  if (cmd == "analyze" && argc >= 3) return analyze(argv[2], argc, argv);
+  if (cmd == "explore" && argc >= 3) return explore(argv[2], argc, argv);
+  if (cmd == "campaign" && argc >= 3) return campaign(argv[2], argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the whole MPX pipeline in ~60 lines.
+//
+// 1. Describe a multithreaded program (or instrument a real one — see
+//    examples/real_threads.cpp).
+// 2. State a safety property in past-time LTL.
+// 3. Execute the program ONCE, under any scheduler.
+// 4. MPX instruments every shared access with the multithreaded-vector-
+//    clock Algorithm A, reconstructs the causal partial order at the
+//    observer, builds the computation lattice, and checks the property
+//    against EVERY thread interleaving consistent with that causality —
+//    predicting violations the observed run never exhibited.
+#include <cstdio>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "program/corpus.hpp"
+
+int main() {
+  using namespace mpx;
+
+  // Two threads: t1 raises `ready`, then `go`; t2 independently cuts the
+  // `power`.  The property: "when `go` first rises, `ready` must have been
+  // raised, and the power must not have dropped since".
+  program::ProgramBuilder b;
+  const VarId ready = b.var("ready", 0);
+  const VarId go = b.var("go", 0);
+  const VarId power = b.var("power", 1);
+  auto t1 = b.thread("starter");
+  t1.write(ready, program::lit(1)).write(go, program::lit(1));
+  auto t2 = b.thread("breaker");
+  t2.write(power, program::lit(0));
+  const program::Program prog = b.build();
+
+  analysis::AnalyzerConfig config;
+  config.spec = "start(go = 1) -> [ready = 1, power = 0)";
+
+  analysis::PredictiveAnalyzer analyzer(prog, config);
+  std::printf("relevant variables extracted from the spec:");
+  for (const auto& v : analyzer.relevantVariables()) std::printf(" %s", v.c_str());
+  std::printf("\n\n");
+
+  // One SUCCESSFUL execution: t1 completes first, the power drops last —
+  // the property holds on this run, so a single-trace monitor is silent.
+  program::FixedScheduler sched({0, 0, 0, 1, 1});
+  const analysis::AnalysisResult result = analyzer.analyze(sched);
+
+  std::printf("observed run violates property:  %s\n",
+              result.observedRunViolates() ? "yes" : "no");
+  std::printf("lattice: %zu nodes, %llu runs consistent with the causality\n",
+              result.latticeStats.totalNodes,
+              static_cast<unsigned long long>(result.latticeStats.pathCount));
+  std::printf("predicted violations in other consistent runs: %zu\n\n",
+              result.predictedViolations.size());
+
+  for (const auto& v : result.predictedViolations) {
+    std::printf("%s\n", result.describe(v).c_str());
+  }
+
+  // Sanity: the prediction is real — exhaustive scheduling confirms some
+  // interleaving of the same program actually violates the property.
+  const auto truth = analysis::groundTruth(prog, config.spec);
+  std::printf("ground truth over all %zu schedules: %zu violating\n",
+              truth.totalExecutions, truth.violatingExecutions);
+  return 0;
+}

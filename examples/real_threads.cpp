@@ -1,0 +1,98 @@
+// Instrumenting REAL std::thread code with the library-function runtime.
+//
+// The paper lists "enforce shared variable updates via library functions,
+// which execute A as well" as an implementation of Algorithm A (§1).  Here
+// two genuine OS threads communicate through mpx::runtime::SharedVar and an
+// InstrumentedMutex; every access runs Algorithm A inline, messages stream
+// to the observer, and the same lattice machinery checks the property —
+// no VM, no simulated scheduler.
+#include <cstdio>
+#include <thread>
+
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/causality.hpp"
+#include "observer/lattice.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace mpx;
+
+int main() {
+  observer::CausalityGraph graph;
+  runtime::Runtime rt(graph);
+
+  runtime::SharedVar ready = rt.declare("ready", 0);
+  runtime::SharedVar result = rt.declare("result", 0);
+  auto mutex = rt.declareMutex("m");
+  rt.markRelevant("ready");
+  rt.markRelevant("result");
+
+  // Producer publishes under the lock; consumer spins until it sees the
+  // flag, then computes.  The lock writes give the happens-before edge.
+  std::thread producer([&] {
+    runtime::InstrumentedMutex::Guard g(*mutex);
+    result.store(42);
+    ready.store(1);
+  });
+  std::thread consumer([&] {
+    while (true) {
+      Value seen = 0;
+      {
+        runtime::InstrumentedMutex::Guard g(*mutex);
+        seen = ready.load();
+      }
+      if (seen == 1) break;
+      std::this_thread::yield();
+    }
+    runtime::InstrumentedMutex::Guard g(*mutex);
+    result.store(result.load() + 1);
+  });
+  producer.join();
+  consumer.join();
+
+  std::printf("threads registered dynamically: %zu\n", rt.threadsSeen());
+  std::printf("events instrumented: %llu, messages emitted: %llu\n",
+              static_cast<unsigned long long>(rt.eventsProcessed()),
+              static_cast<unsigned long long>(rt.messagesEmitted()));
+
+  graph.finalize();
+  const observer::StateSpace space =
+      observer::StateSpace::byNames(rt.vars(), {"ready", "result"});
+
+  // "If result has reached 43 then ready was raised at some point before."
+  const logic::Formula property =
+      logic::SpecParser(space).parse("result = 43 -> once ready = 1");
+  logic::SynthesizedMonitor monitor(property);
+
+  observer::ComputationLattice lattice(graph, space);
+  std::vector<observer::Violation> violations;
+  lattice.check(monitor, violations);
+
+  std::printf("lattice nodes: %zu, runs: %llu\n",
+              lattice.stats().totalNodes,
+              static_cast<unsigned long long>(lattice.stats().pathCount));
+  std::printf("predicted violations: %zu  (the lock ordering makes the "
+              "increment causally follow the publish)\n",
+              violations.size());
+
+  // Bonus: predictive race detection on REAL threads.  Two threads bump a
+  // counter without a lock; whatever interleaving the OS produced, the
+  // projected happens-before finds the accesses concurrent.
+  {
+    trace::CollectingSink sink2;
+    runtime::Runtime rt2(sink2);
+    runtime::SharedVar counter = rt2.declare("counter", 0);
+    rt2.enableRecording();
+    std::thread a([&] { counter.store(counter.load() + 1); });
+    std::thread b([&] { counter.store(counter.load() + 1); });
+    a.join();
+    b.join();
+    detect::RaceOptions opts;
+    opts.happensBefore = true;
+    const auto races =
+        rt2.analyzeRaces(rt2.takeRecording(), {"counter"}, opts);
+    std::printf("unsynchronized real-thread counter: %zu race(s) predicted\n",
+                races.size());
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "analysis/campaign.hpp"
+
+#include <sstream>
+
+namespace mpx::analysis {
+
+std::string CampaignResult::summary() const {
+  std::ostringstream os;
+  os << trials.size() << " trials: observed-run monitoring detected in "
+     << observedDetections << " (" << static_cast<int>(observedRate() * 100)
+     << "%), predictive analysis in " << predictedDetections << " ("
+     << static_cast<int>(predictedRate() * 100) << "%)";
+  if (deadlocks > 0) os << "; " << deadlocks << " trials deadlocked";
+  if (groundTruthComputed) {
+    os << "; ground truth: " << groundTruth.violatingExecutions << " of "
+       << groundTruth.totalExecutions << " schedules violate";
+  }
+  return os.str();
+}
+
+CampaignResult runCampaign(const program::Program& prog,
+                           const std::string& spec, CampaignOptions opts) {
+  PredictiveAnalyzer analyzer(prog, specConfig(spec));
+  ObservedRunChecker baseline(prog, spec);
+
+  CampaignResult result;
+  result.trials.reserve(opts.trials);
+  for (std::size_t i = 0; i < opts.trials; ++i) {
+    TrialOutcome trial;
+    trial.seed = opts.firstSeed + i;
+    program::RandomScheduler sched(trial.seed);
+    program::Executor ex(prog, sched);
+    const program::ExecutionRecord rec = ex.run();
+
+    trial.deadlocked = rec.deadlocked;
+    trial.observedDetected = baseline.detectsOnRecord(rec);
+    const AnalysisResult r = analyzer.analyzeRecord(rec);
+    trial.predicted = r.predictsViolation();
+    trial.runsInLattice = r.latticeStats.pathCount;
+
+    result.observedDetections += trial.observedDetected ? 1 : 0;
+    result.predictedDetections += trial.predicted ? 1 : 0;
+    result.deadlocks += trial.deadlocked ? 1 : 0;
+    result.trials.push_back(trial);
+  }
+
+  if (opts.withGroundTruth) {
+    result.groundTruth = groundTruth(prog, spec, opts.groundTruthOptions);
+    result.groundTruthComputed = true;
+  }
+  return result;
+}
+
+}  // namespace mpx::analysis

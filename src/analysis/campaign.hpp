@@ -1,0 +1,64 @@
+// Testing campaigns: many seeded runs, aggregated verdicts.
+//
+// The paper's pitch is statistical — "the chance of detecting this safety
+// violation by monitoring only the actual run is very low" — so the
+// natural workflow for a user is: run the program under N random
+// schedules and compare what plain trace monitoring catches against what
+// predictive analysis catches from the same traces.  Campaign packages
+// that workflow (bench_prediction_power uses it for the Claim C1 table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/predictive_analyzer.hpp"
+
+namespace mpx::analysis {
+
+struct CampaignOptions {
+  std::size_t trials = 100;
+  std::uint64_t firstSeed = 0;
+  /// Also run the exhaustive ground truth (exponential; small programs).
+  bool withGroundTruth = false;
+  program::ExploreOptions groundTruthOptions;
+};
+
+struct TrialOutcome {
+  std::uint64_t seed = 0;
+  bool observedDetected = false;
+  bool predicted = false;
+  bool deadlocked = false;
+  std::uint64_t runsInLattice = 0;
+};
+
+struct CampaignResult {
+  std::vector<TrialOutcome> trials;
+  std::size_t observedDetections = 0;
+  std::size_t predictedDetections = 0;
+  std::size_t deadlocks = 0;
+  GroundTruthResult groundTruth;  ///< valid when requested
+  bool groundTruthComputed = false;
+
+  [[nodiscard]] double observedRate() const {
+    return trials.empty() ? 0.0
+                          : static_cast<double>(observedDetections) /
+                                static_cast<double>(trials.size());
+  }
+  [[nodiscard]] double predictedRate() const {
+    return trials.empty() ? 0.0
+                          : static_cast<double>(predictedDetections) /
+                                static_cast<double>(trials.size());
+  }
+
+  /// One-paragraph human summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs `opts.trials` random schedules of `prog`, analyzing each trace
+/// with the observed-run baseline AND the predictive analyzer.
+[[nodiscard]] CampaignResult runCampaign(const program::Program& prog,
+                                         const std::string& spec,
+                                         CampaignOptions opts = {});
+
+}  // namespace mpx::analysis

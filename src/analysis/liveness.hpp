@@ -1,0 +1,60 @@
+// Liveness-violation prediction (paper §4, last paragraph):
+//
+//   "search for paths of the form u v in the computation lattice with the
+//    property that the shared variable global state of the multithreaded
+//    program reached by u is the same as the one reached by u v, and then
+//    check whether u v^ω satisfies the liveness property.  The intuition is
+//    that the system can potentially run into the infinite sequence of
+//    states u v^ω."
+//
+// We enumerate runs of the causality graph, locate repeated global states
+// along each run (the u / uv split), and evaluate the LTL property on the
+// ultimately-periodic word with the Markey-Schnoebelen-style lasso
+// evaluator from logic/lasso.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/lasso.hpp"
+#include "observer/causality.hpp"
+#include "observer/run_enumerator.hpp"
+
+namespace mpx::analysis {
+
+/// A predicted liveness violation: the program can run into stem·loop^ω.
+struct LassoViolation {
+  std::vector<observer::EventRef> stemEvents;  ///< events of u
+  std::vector<observer::EventRef> loopEvents;  ///< events of v
+  std::vector<observer::GlobalState> stemStates;  ///< states along u (incl. s0)
+  std::vector<observer::GlobalState> loopStates;  ///< states along v
+};
+
+struct LivenessOptions {
+  std::size_t maxRuns = 10'000;
+  std::size_t maxViolations = 16;
+};
+
+class LivenessPredictor {
+ public:
+  LivenessPredictor(const observer::CausalityGraph& graph,
+                    observer::StateSpace space)
+      : graph_(&graph), space_(std::move(space)) {}
+
+  /// Returns the lassos (if any) on which `property` FAILS.
+  [[nodiscard]] std::vector<LassoViolation> predict(
+      const logic::LtlFormula& property, LivenessOptions opts = {}) const;
+
+  /// Returns every lasso found, regardless of the property (diagnostics).
+  [[nodiscard]] std::vector<LassoViolation> allLassos(
+      LivenessOptions opts = {}) const;
+
+ private:
+  std::vector<LassoViolation> scan(const logic::LtlFormula* property,
+                                   LivenessOptions opts) const;
+
+  const observer::CausalityGraph* graph_;
+  observer::StateSpace space_;
+};
+
+}  // namespace mpx::analysis

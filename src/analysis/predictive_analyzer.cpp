@@ -1,0 +1,177 @@
+#include "analysis/predictive_analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mpx::analysis {
+
+namespace {
+
+/// Everything derived from (program, spec): the relevant variables, the
+/// state space over them, and the bound formula.
+struct Binding {
+  std::vector<std::string> relevantVars;
+  observer::StateSpace space;
+  logic::Formula formula;
+  std::unordered_set<VarId> trackedIds;
+};
+
+Binding bindSpec(const program::Program& prog, const std::string& spec,
+             const std::vector<std::string>& extra = {}) {
+  Binding b;
+  b.relevantVars = logic::SpecParser::referencedVariables(spec);
+  std::vector<std::string> tracked = b.relevantVars;
+  for (const std::string& name : extra) {
+    if (std::find(tracked.begin(), tracked.end(), name) == tracked.end()) {
+      tracked.push_back(name);
+    }
+  }
+  b.space = observer::StateSpace::byNames(prog.vars, tracked);
+  b.formula = logic::SpecParser(b.space).parse(spec);
+  for (const VarId v : b.space.varIds()) b.trackedIds.insert(v);
+  return b;
+}
+
+/// The observed run's relevant-state sequence, straight off the event
+/// stream (no observer machinery) — this is all a JPAX-style tool sees.
+std::vector<observer::GlobalState> relevantStateTrace(
+    const std::vector<trace::Event>& events, const observer::StateSpace& space,
+    const std::unordered_set<VarId>& trackedIds) {
+  std::vector<observer::GlobalState> states;
+  states.push_back(observer::GlobalState(space.initialValues()));
+  for (const trace::Event& e : events) {
+    if (!trace::isWriteLike(e.kind) || !trackedIds.contains(e.var)) continue;
+    observer::GlobalState next = states.back();
+    if (const auto slot = space.slotOf(e.var)) next.values[*slot] = e.value;
+    states.push_back(std::move(next));
+  }
+  return states;
+}
+
+}  // namespace
+
+PredictiveAnalyzer::PredictiveAnalyzer(const program::Program& prog,
+                                       AnalyzerConfig config)
+    : prog_(&prog), config_(std::move(config)) {
+  Binding b = bindSpec(prog, config_.spec, config_.extraTrackedVars);
+  relevantVars_ = std::move(b.relevantVars);
+  space_ = std::move(b.space);
+  formula_ = std::move(b.formula);
+}
+
+AnalysisResult PredictiveAnalyzer::analyze(program::Scheduler& sched) const {
+  program::Executor ex(*prog_, sched);
+  return analyzeRecord(ex.run(config_.maxSteps));
+}
+
+AnalysisResult PredictiveAnalyzer::analyzeWithSeed(std::uint64_t seed) const {
+  program::RandomScheduler sched(seed);
+  return analyze(sched);
+}
+
+AnalysisResult PredictiveAnalyzer::analyzeRecord(
+    const program::ExecutionRecord& record) const {
+  AnalysisResult result;
+  result.space = space_;
+  result.record = record;
+
+  std::unordered_set<VarId> trackedIds;
+  for (const VarId v : space_.varIds()) trackedIds.insert(v);
+
+  // Instrument: Algorithm A over the execution's events, emitting relevant
+  // messages through the configured channel into the observer.
+  auto channel = trace::makeChannel(config_.delivery, result.causality,
+                                    config_.deliverySeed,
+                                    config_.deliveryMaxDelay);
+  core::Instrumentor instr(core::RelevancePolicy::writesOf(trackedIds),
+                           *channel);
+  instr.reserve(prog_->threadCount(), prog_->vars.size());
+  for (const trace::Event& e : record.events) instr.onEvent(e);
+  channel->close();
+  result.causality.finalize();
+  result.messagesEmitted = instr.messagesEmitted();
+  result.eventsInstrumented = instr.eventsProcessed();
+
+  // Observed-run verdict (what a single-trace monitor would report).
+  result.observedRun = result.causality.observedOrder();
+  observer::RunEnumerator runs(result.causality, space_);
+  result.observedStates = runs.statesAlong(result.observedRun);
+  logic::SynthesizedMonitor linear(formula_);
+  result.observedViolationIndex = linear.firstViolation(result.observedStates);
+
+  // Predictive verdict: the lattice, all runs in parallel.
+  observer::ComputationLattice lattice(result.causality, space_,
+                                       config_.lattice);
+  logic::SynthesizedMonitor monitor(formula_);
+  lattice.check(monitor, result.predictedViolations);
+  result.latticeStats = lattice.stats();
+  return result;
+}
+
+std::string AnalysisResult::describe(const observer::Violation& v) const {
+  std::ostringstream os;
+  os << "violation at cut " << v.cut.toString() << ", state <"
+     << v.state.toString(space) << ">\n";
+  os << "counterexample run:\n";
+  observer::RunEnumerator runs(causality, space);
+  const std::vector<observer::GlobalState> states = runs.statesAlong(v.path);
+  os << "  (initial)  " << states.front().toString(space) << '\n';
+  for (std::size_t i = 0; i < v.path.size(); ++i) {
+    const trace::Message& m = causality.message(v.path[i]);
+    std::string name = "?";
+    if (const auto slot = space.slotOf(m.event.var)) name = space.name(*slot);
+    os << "  e" << (i + 1) << ": <" << name << '=' << m.event.value << ", T"
+       << (m.event.thread + 1) << ", " << m.clock << ">  ->  "
+       << states[i + 1].toString(space) << '\n';
+  }
+  return os.str();
+}
+
+ObservedRunChecker::ObservedRunChecker(const program::Program& prog,
+                                       std::string spec)
+    : prog_(&prog), spec_(std::move(spec)) {
+  Binding b = bindSpec(prog, spec_);
+  space_ = std::move(b.space);
+  formula_ = std::move(b.formula);
+}
+
+bool ObservedRunChecker::detects(program::Scheduler& sched) const {
+  program::Executor ex(*prog_, sched);
+  return detectsOnRecord(ex.run());
+}
+
+bool ObservedRunChecker::detectsWithSeed(std::uint64_t seed) const {
+  program::RandomScheduler sched(seed);
+  return detects(sched);
+}
+
+bool ObservedRunChecker::detectsOnRecord(
+    const program::ExecutionRecord& record) const {
+  std::unordered_set<VarId> trackedIds;
+  for (const VarId v : space_.varIds()) trackedIds.insert(v);
+  const auto states = relevantStateTrace(record.events, space_, trackedIds);
+  logic::SynthesizedMonitor monitor(formula_);
+  return monitor.firstViolation(states) >= 0;
+}
+
+GroundTruthResult groundTruth(const program::Program& prog,
+                              const std::string& spec,
+                              program::ExploreOptions opts) {
+  const Binding b = bindSpec(prog, spec);
+  GroundTruthResult out;
+  program::ExhaustiveExplorer explorer(opts);
+  explorer.explore(prog, [&](const program::ExecutionRecord& rec) {
+    ++out.totalExecutions;
+    if (rec.deadlocked) ++out.deadlockedExecutions;
+    const auto states = relevantStateTrace(rec.events, b.space, b.trackedIds);
+    logic::SynthesizedMonitor monitor(b.formula);
+    if (monitor.firstViolation(states) >= 0) ++out.violatingExecutions;
+    return true;
+  });
+  out.truncated = explorer.lastStats().truncated;
+  return out;
+}
+
+}  // namespace mpx::analysis

@@ -1,0 +1,158 @@
+// The end-to-end JMPaX pipeline (paper Fig. 4):
+//
+//   specification ──> relevant-variable extraction ──> instrumentation
+//   program ──(execute under a scheduler)──> events ──> Algorithm A
+//     ──> message stream <e,i,V> ──(channel, any delivery order)──>
+//   observer: causality reconstruction ──> computation lattice, level by
+//   level ──> synthesized ptLTL monitor over all runs in parallel ──>
+//   verdicts + counterexample runs.
+//
+// One call to analyze() does all of the above for one observed execution.
+// The result separates the *observed-run* verdict (what a JPAX/Java-MaC
+// style single-trace monitor would see — our baseline) from the *predicted*
+// violations found in other consistent runs, which is the paper's headline
+// capability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instrumentor.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/causality.hpp"
+#include "observer/lattice.hpp"
+#include "observer/run_enumerator.hpp"
+#include "program/explorer.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::analysis {
+
+struct AnalyzerConfig {
+  /// The ptLTL safety property, e.g.
+  /// "landing = 1 -> [approved = 1, radio = 0)".
+  std::string spec;
+  /// Variables to track beyond the ones the spec references (optional).
+  std::vector<std::string> extraTrackedVars;
+  /// Delivery policy between instrumented program and observer.
+  trace::DeliveryPolicy delivery = trace::DeliveryPolicy::kFifo;
+  std::uint64_t deliverySeed = 0;
+  std::size_t deliveryMaxDelay = 8;
+  observer::LatticeOptions lattice;
+  std::size_t maxSteps = 1'000'000;
+};
+
+/// Convenience: a default config with just the spec set.
+[[nodiscard]] inline AnalyzerConfig specConfig(std::string spec) {
+  AnalyzerConfig c;
+  c.spec = std::move(spec);
+  return c;
+}
+
+struct AnalysisResult {
+  // --- observed run (the JPAX baseline view) -------------------------
+  /// Index into observedStates of the first violating state, or -1.
+  std::int64_t observedViolationIndex = -1;
+  [[nodiscard]] bool observedRunViolates() const {
+    return observedViolationIndex >= 0;
+  }
+  /// Relevant-event linearization the program actually executed.
+  std::vector<observer::EventRef> observedRun;
+  /// Global states along the observed run (index 0 = initial state).
+  std::vector<observer::GlobalState> observedStates;
+
+  // --- prediction over all consistent runs ---------------------------
+  std::vector<observer::Violation> predictedViolations;
+  [[nodiscard]] bool predictsViolation() const {
+    return !predictedViolations.empty();
+  }
+  observer::LatticeStats latticeStats;
+
+  // --- supporting data for rendering and further analysis ------------
+  observer::StateSpace space;
+  observer::CausalityGraph causality;
+  program::ExecutionRecord record;
+  std::uint64_t messagesEmitted = 0;
+  std::uint64_t eventsInstrumented = 0;
+
+  /// Human-readable account of one predicted violation (counterexample
+  /// run with intermediate states, paper-style).
+  [[nodiscard]] std::string describe(const observer::Violation& v) const;
+};
+
+class PredictiveAnalyzer {
+ public:
+  /// The program's VarTable must contain every variable the spec mentions.
+  PredictiveAnalyzer(const program::Program& prog, AnalyzerConfig config);
+
+  /// Execute the program once under `sched` and analyze the execution.
+  [[nodiscard]] AnalysisResult analyze(program::Scheduler& sched) const;
+
+  /// Convenience: seeded random schedule.
+  [[nodiscard]] AnalysisResult analyzeWithSeed(std::uint64_t seed) const;
+
+  /// Analyze an already-recorded execution (offline re-analysis).
+  [[nodiscard]] AnalysisResult analyzeRecord(
+      const program::ExecutionRecord& record) const;
+
+  [[nodiscard]] const observer::StateSpace& space() const noexcept {
+    return space_;
+  }
+  [[nodiscard]] const logic::Formula& formula() const noexcept {
+    return formula_;
+  }
+  /// The relevant variables extracted from the spec (paper §4.1).
+  [[nodiscard]] const std::vector<std::string>& relevantVariables()
+      const noexcept {
+    return relevantVars_;
+  }
+
+ private:
+  const program::Program* prog_;
+  AnalyzerConfig config_;
+  std::vector<std::string> relevantVars_;
+  observer::StateSpace space_;
+  logic::Formula formula_;
+};
+
+/// The JPAX/Java-MaC-style baseline: monitor ONLY the observed execution
+/// trace, no causality, no prediction ("JPAX and Java-MaC are able to
+/// analyze only one path in the lattice").
+class ObservedRunChecker {
+ public:
+  ObservedRunChecker(const program::Program& prog, std::string spec);
+
+  /// Runs the program under `sched` and monitors the relevant-state
+  /// sequence of that single run.  Returns true iff a violation was
+  /// DETECTED in the observed run itself.
+  [[nodiscard]] bool detects(program::Scheduler& sched) const;
+  [[nodiscard]] bool detectsWithSeed(std::uint64_t seed) const;
+
+  /// Monitors an already-recorded execution.
+  [[nodiscard]] bool detectsOnRecord(
+      const program::ExecutionRecord& record) const;
+
+ private:
+  const program::Program* prog_;
+  std::string spec_;
+  observer::StateSpace space_;
+  logic::Formula formula_;
+};
+
+/// Ground truth via exhaustive schedule exploration: over ALL schedules,
+/// how many executions actually violate the property on their own trace?
+struct GroundTruthResult {
+  std::size_t totalExecutions = 0;
+  std::size_t violatingExecutions = 0;
+  std::size_t deadlockedExecutions = 0;
+  bool truncated = false;
+};
+
+[[nodiscard]] GroundTruthResult groundTruth(
+    const program::Program& prog, const std::string& spec,
+    program::ExploreOptions opts = {});
+
+}  // namespace mpx::analysis

@@ -1,0 +1,273 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "observer/run_enumerator.hpp"
+
+namespace mpx::analysis {
+
+std::string jsonEscape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Tiny structured JSON writer: tracks nesting and comma placement.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  void key(const std::string& k) {
+    comma();
+    newline();
+    os_ << '"' << jsonEscape(k) << "\":";
+    if (indent_ > 0) os_ << ' ';
+    pendingValue_ = true;
+  }
+
+  void value(const std::string& v) {
+    prefix();
+    os_ << '"' << jsonEscape(v) << '"';
+    post();
+  }
+  void value(std::int64_t v) {
+    prefix();
+    os_ << v;
+    post();
+  }
+  void value(std::uint64_t v) {
+    prefix();
+    os_ << v;
+    post();
+  }
+  void value(bool v) {
+    prefix();
+    os_ << (v ? "true" : "false");
+    post();
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void open(char c) {
+    prefix();
+    os_ << c;
+    first_.push_back(true);
+  }
+  void close(char c) {
+    first_.pop_back();
+    newline();
+    os_ << c;
+    post();
+  }
+  void prefix() {
+    if (!pendingValue_) {
+      comma();
+      newline();
+    }
+    pendingValue_ = false;
+  }
+  void post() {
+    if (!first_.empty()) first_.back() = false;
+  }
+  void comma() {
+    if (!first_.empty() && !first_.back()) os_ << ',';
+  }
+  void newline() {
+    if (indent_ <= 0 || first_.empty()) return;
+    os_ << '\n'
+        << std::string(indent_ * first_.size(), ' ');
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;
+  int indent_;
+  bool pendingValue_ = false;
+};
+
+void writeState(JsonWriter& w, const observer::GlobalState& s,
+                const observer::StateSpace& space) {
+  w.beginObject();
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    w.key(space.name(i));
+    w.value(static_cast<std::int64_t>(s.values[i]));
+  }
+  w.endObject();
+}
+
+void writeViolation(JsonWriter& w, const AnalysisResult& r,
+                    const observer::Violation& v, bool counterexamples) {
+  w.beginObject();
+  w.key("cut");
+  w.value(v.cut.toString());
+  w.key("state");
+  writeState(w, v.state, r.space);
+  if (counterexamples && !v.path.empty()) {
+    observer::RunEnumerator runs(r.causality, r.space);
+    const auto states = runs.statesAlong(v.path);
+    w.key("counterexample");
+    w.beginArray();
+    for (std::size_t i = 0; i < v.path.size(); ++i) {
+      const trace::Message& m = r.causality.message(v.path[i]);
+      w.beginObject();
+      w.key("thread");
+      w.value(static_cast<std::uint64_t>(m.event.thread));
+      std::string name = "?";
+      if (const auto slot = r.space.slotOf(m.event.var)) {
+        name = r.space.name(*slot);
+      }
+      w.key("var");
+      w.value(name);
+      w.key("value");
+      w.value(static_cast<std::int64_t>(m.event.value));
+      w.key("clock");
+      w.value(m.clock.toString());
+      w.key("stateAfter");
+      writeState(w, states[i + 1], r.space);
+      w.endObject();
+    }
+    w.endArray();
+  }
+  w.endObject();
+}
+
+}  // namespace
+
+std::string toJson(const AnalysisResult& r, ReportOptions opts) {
+  JsonWriter w(opts.indent);
+  w.beginObject();
+
+  w.key("observedRunViolates");
+  w.value(r.observedRunViolates());
+  w.key("predictsViolation");
+  w.value(r.predictsViolation());
+  w.key("messagesEmitted");
+  w.value(static_cast<std::uint64_t>(r.messagesEmitted));
+  w.key("eventsInstrumented");
+  w.value(static_cast<std::uint64_t>(r.eventsInstrumented));
+
+  w.key("lattice");
+  w.beginObject();
+  w.key("nodes");
+  w.value(static_cast<std::uint64_t>(r.latticeStats.totalNodes));
+  w.key("levels");
+  w.value(static_cast<std::uint64_t>(r.latticeStats.levels));
+  w.key("edges");
+  w.value(static_cast<std::uint64_t>(r.latticeStats.totalEdges));
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(r.latticeStats.pathCount));
+  w.key("peakLiveNodes");
+  w.value(static_cast<std::uint64_t>(r.latticeStats.peakLiveNodes));
+  w.key("truncated");
+  w.value(r.latticeStats.truncated);
+  w.endObject();
+
+  if (opts.includeObservedRun) {
+    w.key("observedStates");
+    w.beginArray();
+    for (const auto& s : r.observedStates) writeState(w, s, r.space);
+    w.endArray();
+  }
+
+  w.key("violations");
+  w.beginArray();
+  std::size_t count = 0;
+  for (const auto& v : r.predictedViolations) {
+    if (count++ >= opts.maxViolations) break;
+    writeViolation(w, r, v, opts.includeCounterexamples);
+  }
+  w.endArray();
+
+  w.endObject();
+  return w.str();
+}
+
+std::string toText(const AnalysisResult& r, ReportOptions opts) {
+  std::ostringstream os;
+  os << "observed run violates: " << (r.observedRunViolates() ? "YES" : "no")
+     << '\n';
+  os << "lattice: " << r.latticeStats.totalNodes << " nodes, "
+     << r.latticeStats.levels << " levels, " << r.latticeStats.pathCount
+     << " runs\n";
+  os << "predicted violations: " << r.predictedViolations.size() << '\n';
+  if (opts.includeObservedRun) {
+    os << "observed states:";
+    for (const auto& s : r.observedStates) os << ' ' << s.toString();
+    os << '\n';
+  }
+  if (opts.includeCounterexamples) {
+    std::size_t count = 0;
+    for (const auto& v : r.predictedViolations) {
+      if (count++ >= opts.maxViolations) break;
+      os << '\n' << r.describe(v);
+    }
+  }
+  return os.str();
+}
+
+std::string racesToJson(const std::vector<detect::RaceReport>& races,
+                        const trace::VarTable& vars) {
+  JsonWriter w(2);
+  w.beginArray();
+  for (const auto& race : races) {
+    w.beginObject();
+    w.key("var");
+    w.value(vars.name(race.var));
+    w.key("evidence");
+    w.value(std::string(race.evidence == detect::RaceEvidence::kHappensBefore
+                            ? "happens-before"
+                            : "lockset"));
+    w.key("firstThread");
+    w.value(static_cast<std::uint64_t>(race.first.event.thread));
+    w.key("secondThread");
+    w.value(static_cast<std::uint64_t>(race.second.event.thread));
+    w.key("description");
+    w.value(race.describe(vars));
+    w.endObject();
+  }
+  w.endArray();
+  return w.str();
+}
+
+std::string deadlocksToJson(const std::vector<detect::DeadlockReport>& reports,
+                            const std::vector<std::string>& lockNames) {
+  JsonWriter w(2);
+  w.beginArray();
+  for (const auto& report : reports) {
+    w.beginObject();
+    w.key("cycle");
+    w.beginArray();
+    for (const LockId l : report.cycle) w.value(lockNames.at(l));
+    w.endArray();
+    w.key("description");
+    w.value(report.describe(lockNames));
+    w.endObject();
+  }
+  w.endArray();
+  return w.str();
+}
+
+}  // namespace mpx::analysis

@@ -1,0 +1,47 @@
+// Machine- and human-readable reports of an analysis.
+//
+// JMPaX's value was "the user will be given enough information (the entire
+// counterexample execution) to understand the error and to correct it"
+// (paper §1).  This module renders AnalysisResults — verdicts, lattice
+// statistics, and counterexample runs with their intermediate states — as
+// JSON (for tooling) and structured text (for humans), with no external
+// dependencies.
+#pragma once
+
+#include <string>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "detect/deadlock_detector.hpp"
+#include "detect/race_detector.hpp"
+
+namespace mpx::analysis {
+
+struct ReportOptions {
+  bool includeCounterexamples = true;
+  bool includeObservedRun = true;
+  std::size_t maxViolations = 16;
+  int indent = 2;  ///< JSON pretty-print indentation; 0 = compact
+};
+
+/// The full analysis result as a JSON document.
+[[nodiscard]] std::string toJson(const AnalysisResult& result,
+                                 ReportOptions opts = {});
+
+/// The full analysis result as indented text.
+[[nodiscard]] std::string toText(const AnalysisResult& result,
+                                 ReportOptions opts = {});
+
+/// Race reports as JSON (array).
+[[nodiscard]] std::string racesToJson(
+    const std::vector<detect::RaceReport>& races,
+    const trace::VarTable& vars);
+
+/// Deadlock reports as JSON (array).
+[[nodiscard]] std::string deadlocksToJson(
+    const std::vector<detect::DeadlockReport>& reports,
+    const std::vector<std::string>& lockNames);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace mpx::analysis

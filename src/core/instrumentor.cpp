@@ -1,0 +1,71 @@
+#include "core/instrumentor.hpp"
+
+namespace mpx::core {
+
+const vc::VectorClock Instrumentor::kZero{};
+
+void Instrumentor::reserve(std::size_t threads, std::size_t vars) {
+  if (vi_.size() < threads) vi_.resize(threads);
+  if (va_.size() < vars) {
+    va_.resize(vars);
+    vw_.resize(vars);
+  }
+}
+
+void Instrumentor::ensureThread(ThreadId t) {
+  if (t >= vi_.size()) vi_.resize(static_cast<std::size_t>(t) + 1);
+}
+
+void Instrumentor::ensureVar(VarId x) {
+  if (x >= va_.size()) {
+    va_.resize(static_cast<std::size_t>(x) + 1);
+    vw_.resize(static_cast<std::size_t>(x) + 1);
+  }
+}
+
+void Instrumentor::onEvent(const trace::Event& e) {
+  ++eventsProcessed_;
+  const ThreadId i = e.thread;
+  ensureThread(i);
+  vc::VectorClock& vi = vi_[i];
+
+  // Step 1: if e is relevant then V_i[i] <- V_i[i] + 1.
+  const bool relevant = relevance_.isRelevant(e);
+  if (relevant) vi.increment(i);
+
+  if (e.accessesVariable() && !causalityExcluded_.contains(e.var)) {
+    const VarId x = e.var;
+    ensureVar(x);
+    if (e.kind == trace::EventKind::kRead) {
+      // Step 2: V_i <- max{V_i, V^w_x};  V^a_x <- max{V^a_x, V_i}.
+      vi.joinWith(vw_[x]);
+      va_[x].joinWith(vi);
+    } else {
+      // Step 3 (writes and write-like sync events, §3.1):
+      // V^w_x <- V^a_x <- V_i <- max{V^a_x, V_i}.
+      vi.joinWith(va_[x]);
+      va_[x] = vi;
+      vw_[x] = vi;
+    }
+  }
+
+  // Step 4: if e is relevant then send message <e, i, V_i> to observer.
+  if (relevant) {
+    ++messagesEmitted_;
+    sink_->onMessage(trace::Message{e, vi});
+  }
+}
+
+const vc::VectorClock& Instrumentor::threadClock(ThreadId t) const {
+  return t < vi_.size() ? vi_[t] : kZero;
+}
+
+const vc::VectorClock& Instrumentor::accessClock(VarId x) const {
+  return x < va_.size() ? va_[x] : kZero;
+}
+
+const vc::VectorClock& Instrumentor::writeClock(VarId x) const {
+  return x < vw_.size() ? vw_[x] : kZero;
+}
+
+}  // namespace mpx::core

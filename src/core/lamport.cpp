@@ -1,0 +1,34 @@
+#include "core/lamport.hpp"
+
+namespace mpx::core {
+
+void LamportInstrumentor::onEvent(const trace::Event& e) {
+  const ThreadId i = e.thread;
+  ensure(li_, i);
+
+  const bool relevant = relevance_.isRelevant(e);
+  const bool isRead = e.kind == trace::EventKind::kRead;
+
+  // Join first (classic Lamport receive), then tick, then publish — so a
+  // relevant event's stamp strictly exceeds every causal predecessor's.
+  if (e.accessesVariable()) {
+    const VarId x = e.var;
+    ensure(la_, x);
+    ensure(lw_, x);
+    li_[i] = std::max(li_[i], isRead ? lw_[x] : la_[x]);
+  }
+  if (relevant) ++li_[i];
+  if (e.accessesVariable()) {
+    const VarId x = e.var;
+    if (isRead) {
+      la_[x] = std::max(la_[x], li_[i]);
+    } else {
+      la_[x] = li_[i];
+      lw_[x] = li_[i];
+    }
+  }
+
+  if (relevant) emitted_.push_back(LamportStamped{e, li_[i]});
+}
+
+}  // namespace mpx::core

@@ -1,0 +1,72 @@
+// Negative control: scalar Lamport clocks instead of MVCs.
+//
+// The paper builds on VECTOR clocks "inspired by [Fidge, Mattern]" because
+// scalar Lamport clocks, while consistent with causality (e ≺ e' implies
+// L(e) < L(e')), cannot EXPRESS concurrency: from L(e) < L(e') the observer
+// cannot tell whether e causally precedes e' or merely happened earlier.
+// An observer fed Lamport timestamps must conservatively assume every
+// timestamp-ordered pair is causally ordered — collapsing the computation
+// lattice to the single observed run and losing all predictive power.
+//
+// This instrumentor exists so tests and benches can quantify exactly that
+// loss (DESIGN.md ablation: "why vector clocks").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/relevance.hpp"
+#include "trace/event.hpp"
+
+namespace mpx::core {
+
+/// A relevant event as the Lamport observer sees it.
+struct LamportStamped {
+  trace::Event event;
+  std::uint64_t stamp = 0;
+};
+
+/// Scalar-clock analogue of Algorithm A: per-thread clocks L_i and
+/// per-variable access/write clocks L^a_x, L^w_x, with max+1 maintenance.
+class LamportInstrumentor {
+ public:
+  explicit LamportInstrumentor(RelevancePolicy relevance)
+      : relevance_(std::move(relevance)) {}
+
+  void onEvent(const trace::Event& e);
+
+  [[nodiscard]] const std::vector<LamportStamped>& emitted() const noexcept {
+    return emitted_;
+  }
+
+  [[nodiscard]] std::uint64_t threadClock(ThreadId t) const {
+    return t < li_.size() ? li_[t] : 0;
+  }
+
+  /// The reconstruction available to a Lamport observer: the classic
+  /// (stamp, thread) lexicographic TOTAL order.  Causality implies this
+  /// order, but the converse is unknowable — concurrency is gone, so the
+  /// observer can justify exactly one run.
+  [[nodiscard]] static bool mayPrecede(const LamportStamped& a,
+                                       const LamportStamped& b) {
+    if (a.event.thread == b.event.thread) {
+      return a.event.localSeq < b.event.localSeq;
+    }
+    if (a.stamp != b.stamp) return a.stamp < b.stamp;
+    return a.event.thread < b.event.thread;
+  }
+
+ private:
+  void ensure(std::vector<std::uint64_t>& v, std::size_t i) {
+    if (i >= v.size()) v.resize(i + 1, 0);
+  }
+
+  RelevancePolicy relevance_;
+  std::vector<std::uint64_t> li_;
+  std::vector<std::uint64_t> la_;
+  std::vector<std::uint64_t> lw_;
+  std::vector<LamportStamped> emitted_;
+};
+
+}  // namespace mpx::core

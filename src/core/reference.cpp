@@ -1,0 +1,116 @@
+#include "core/reference.hpp"
+
+#include <stdexcept>
+
+namespace mpx::core {
+
+ReferenceCausality::ReferenceCausality(const std::vector<trace::Event>& events)
+    : events_(&events), n_(events.size()), words_((n_ + 63) / 64) {
+  // reach_[b] is the bitset of indices a with a ≺ b (strict predecessors).
+  reach_.assign(n_, std::vector<std::uint64_t>(words_, 0));
+
+  std::vector<std::size_t> lastOfThread;       // thread -> last event index
+  std::vector<std::size_t> lastWrite;          // var -> last write index
+  std::vector<std::vector<std::size_t>> readsSinceWrite;  // var -> reads
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  const auto addPred = [this](std::size_t b, std::size_t a) {
+    // a ≺ b, and by induction everything ≺ a is already in reach_[a].
+    for (std::size_t w = 0; w < words_; ++w) reach_[b][w] |= reach_[a][w];
+    reach_[b][a >> 6] |= 1ull << (a & 63);
+  };
+
+  for (std::size_t b = 0; b < n_; ++b) {
+    const trace::Event& e = (*events_)[b];
+
+    if (e.thread >= lastOfThread.size()) {
+      lastOfThread.resize(e.thread + 1, kNone);
+    }
+    if (lastOfThread[e.thread] != kNone) addPred(b, lastOfThread[e.thread]);
+    lastOfThread[e.thread] = b;
+
+    if (e.accessesVariable()) {
+      if (e.var >= lastWrite.size()) {
+        lastWrite.resize(e.var + 1, kNone);
+        readsSinceWrite.resize(e.var + 1);
+      }
+      if (e.kind == trace::EventKind::kRead) {
+        // Reads depend only on the last write (read-read is permutable).
+        if (lastWrite[e.var] != kNone) addPred(b, lastWrite[e.var]);
+        readsSinceWrite[e.var].push_back(b);
+      } else {
+        // Write-like: depends on the last write and every read since it
+        // (earlier accesses are covered transitively through them).
+        if (lastWrite[e.var] != kNone) addPred(b, lastWrite[e.var]);
+        for (const std::size_t r : readsSinceWrite[e.var]) addPred(b, r);
+        readsSinceWrite[e.var].clear();
+        lastWrite[e.var] = b;
+      }
+    }
+  }
+}
+
+std::uint64_t ReferenceCausality::relevantPredecessorsFromThread(
+    std::size_t k, ThreadId j, const RelevancePolicy& policy) const {
+  std::uint64_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    const trace::Event& e = (*events_)[a];
+    if (e.thread != j || !policy.isRelevant(e)) continue;
+    if (precedes(a, k) || (a == k)) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// Accumulates {m} ∪ preds(m) for each qualifying event m ≤ k, then counts
+/// relevant members of thread j.
+struct UnionCounter {
+  explicit UnionCounter(std::size_t words) : acc(words, 0) {}
+  std::vector<std::uint64_t> acc;
+  void add(std::size_t m, const std::vector<std::uint64_t>& predRow) {
+    for (std::size_t w = 0; w < acc.size(); ++w) acc[w] |= predRow[w];
+    acc[m >> 6] |= 1ull << (m & 63);
+  }
+  [[nodiscard]] bool contains(std::size_t a) const {
+    return acc[a >> 6] >> (a & 63) & 1u;
+  }
+};
+
+}  // namespace
+
+std::uint64_t ReferenceCausality::relevantUpToLastAccess(
+    std::size_t k, VarId x, ThreadId j, const RelevancePolicy& policy) const {
+  UnionCounter uc(words_);
+  for (std::size_t m = 0; m <= k && m < n_; ++m) {
+    const trace::Event& e = (*events_)[m];
+    if (e.accessesVariable() && e.var == x) uc.add(m, reach_[m]);
+  }
+  std::uint64_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    const trace::Event& e = (*events_)[a];
+    if (e.thread == j && policy.isRelevant(e) && uc.contains(a)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t ReferenceCausality::relevantUpToLastWrite(
+    std::size_t k, VarId x, ThreadId j, const RelevancePolicy& policy) const {
+  UnionCounter uc(words_);
+  for (std::size_t m = 0; m <= k && m < n_; ++m) {
+    const trace::Event& e = (*events_)[m];
+    if (e.accessesVariable() && e.var == x &&
+        e.kind != trace::EventKind::kRead) {
+      uc.add(m, reach_[m]);
+    }
+  }
+  std::uint64_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    const trace::Event& e = (*events_)[a];
+    if (e.thread == j && policy.isRelevant(e) && uc.contains(a)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mpx::core

@@ -1,0 +1,70 @@
+// Reference (specification-level) causality, computed directly from the
+// definition in paper §2.2 — used as the oracle against which Algorithm A
+// is verified (Theorem 3 and requirements (a)-(c)).
+//
+// Given the full event sequence of a multithreaded execution M, the
+// multithreaded computation ≺ is the smallest partial order with:
+//   * e^k_i ≺ e^l_i when k < l                        (program order)
+//   * e ≺ e' when e <_x e' and at least one of e, e' is a write of x
+//                                                     (variable causality)
+//   * transitive closure.
+//
+// This is O(n^2) with bitset rows — fine for the test-sized executions it
+// exists to check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relevance.hpp"
+#include "trace/event.hpp"
+
+namespace mpx::core {
+
+class ReferenceCausality {
+ public:
+  /// `events` must be the complete execution in its observed total order.
+  explicit ReferenceCausality(const std::vector<trace::Event>& events);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// e_a ≺ e_b (strict; indices into the event sequence).
+  [[nodiscard]] bool precedes(std::size_t a, std::size_t b) const {
+    // reach_[b] is the predecessor bitset of b.
+    return reach_[b][a >> 6] >> (a & 63) & 1u;
+  }
+
+  /// e_a ∥ e_b.
+  [[nodiscard]] bool concurrent(std::size_t a, std::size_t b) const {
+    return a != b && !precedes(a, b) && !precedes(b, a);
+  }
+
+  /// Number of events of thread j that are relevant (under `policy`) and
+  /// causally precede event `k` — including event k itself when k belongs
+  /// to thread j and is relevant.  This is exactly the value requirement
+  /// (a) says V_i[j] must hold after processing event k.
+  [[nodiscard]] std::uint64_t relevantPredecessorsFromThread(
+      std::size_t k, ThreadId j, const RelevancePolicy& policy) const;
+
+  /// Same count, but w.r.t. the most recent event at-or-before `k` that
+  /// accesses variable x (requirement (b)); 0 if x was never accessed.
+  [[nodiscard]] std::uint64_t relevantUpToLastAccess(
+      std::size_t k, VarId x, ThreadId j, const RelevancePolicy& policy) const;
+
+  /// Same, w.r.t. the most recent write of x (requirement (c)).
+  [[nodiscard]] std::uint64_t relevantUpToLastWrite(
+      std::size_t k, VarId x, ThreadId j, const RelevancePolicy& policy) const;
+
+  [[nodiscard]] const trace::Event& event(std::size_t k) const {
+    return (*events_)[k];
+  }
+
+ private:
+  const std::vector<trace::Event>* events_;
+  std::size_t n_;
+  std::size_t words_;
+  /// reach_[b] is a bitset over event indices a with a ≺ b (predecessors).
+  std::vector<std::vector<std::uint64_t>> reach_;
+};
+
+}  // namespace mpx::core

@@ -1,0 +1,33 @@
+#include "core/relevance.hpp"
+
+namespace mpx::core {
+
+RelevancePolicy RelevancePolicy::writesOf(std::unordered_set<VarId> vars) {
+  auto shared = std::make_shared<std::unordered_set<VarId>>(std::move(vars));
+  return RelevancePolicy([shared](const trace::Event& e) {
+    return trace::isWriteLike(e.kind) && shared->contains(e.var);
+  });
+}
+
+RelevancePolicy RelevancePolicy::accessesOf(std::unordered_set<VarId> vars) {
+  auto shared = std::make_shared<std::unordered_set<VarId>>(std::move(vars));
+  return RelevancePolicy([shared](const trace::Event& e) {
+    return e.accessesVariable() && shared->contains(e.var);
+  });
+}
+
+RelevancePolicy RelevancePolicy::allSharedAccesses() {
+  return RelevancePolicy(
+      [](const trace::Event& e) { return e.accessesVariable(); });
+}
+
+RelevancePolicy RelevancePolicy::nothing() {
+  return RelevancePolicy([](const trace::Event&) { return false; });
+}
+
+RelevancePolicy RelevancePolicy::custom(
+    std::function<bool(const trace::Event&)> pred) {
+  return RelevancePolicy(std::move(pred));
+}
+
+}  // namespace mpx::core

@@ -1,0 +1,54 @@
+// Relevance policies: which events are reported to the observer.
+//
+// Paper §2.3: to minimize messages, a subset R ⊆ E of *relevant* events is
+// chosen and the observer reconstructs the R-relevant causality
+// ⊳ = ≺ ∩ (R × R).  JMPaX's instrumentation module "parses the user
+// specification, extracts the set of shared variables it refers to, i.e.
+// the relevant variables ... if the shared variable is relevant and the
+// access is a write then the event is considered relevant" (§4.1).
+//
+// Other analyses want different R: the race predictor needs *every* access
+// (reads and writes) of the monitored variables, and requirement-property
+// tests want to sweep arbitrary R.  Hence a small policy object.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "trace/event.hpp"
+
+namespace mpx::core {
+
+class RelevancePolicy {
+ public:
+  /// JMPaX default: writes (incl. write-like sync events) of the given
+  /// variables are relevant.
+  [[nodiscard]] static RelevancePolicy writesOf(
+      std::unordered_set<VarId> vars);
+
+  /// Reads and writes of the given variables are relevant (race detection).
+  [[nodiscard]] static RelevancePolicy accessesOf(
+      std::unordered_set<VarId> vars);
+
+  /// Every shared access is relevant (worst case / stress tests).
+  [[nodiscard]] static RelevancePolicy allSharedAccesses();
+
+  /// Nothing is relevant (pure-overhead baseline: MVCs still update).
+  [[nodiscard]] static RelevancePolicy nothing();
+
+  /// Arbitrary predicate.
+  [[nodiscard]] static RelevancePolicy custom(
+      std::function<bool(const trace::Event&)> pred);
+
+  [[nodiscard]] bool isRelevant(const trace::Event& e) const {
+    return pred_(e);
+  }
+
+ private:
+  explicit RelevancePolicy(std::function<bool(const trace::Event&)> pred)
+      : pred_(std::move(pred)) {}
+  std::function<bool(const trace::Event&)> pred_;
+};
+
+}  // namespace mpx::core

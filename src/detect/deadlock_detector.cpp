@@ -1,0 +1,126 @@
+#include "detect/deadlock_detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mpx::detect {
+
+std::string DeadlockReport::describe(
+    const std::vector<std::string>& lockNames) const {
+  std::ostringstream os;
+  os << "potential deadlock: cycle ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    os << lockNames.at(cycle[i]) << " -> ";
+  }
+  os << lockNames.at(cycle.front()) << " [witnesses:";
+  for (const LockOrderEdge& e : edges) {
+    os << " T" << e.thread << ":" << lockNames.at(e.from) << "->"
+       << lockNames.at(e.to);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::vector<LockOrderEdge> DeadlockPredictor::lockOrderEdges(
+    const program::ExecutionRecord& record,
+    const program::Program& prog) const {
+  // Map lock VarIds back to LockIds.
+  std::map<VarId, LockId> lockOfVar;
+  for (LockId l = 0; l < prog.lockVars.size(); ++l) {
+    lockOfVar.emplace(prog.lockVars[l], l);
+  }
+
+  std::vector<LockOrderEdge> edges;
+  for (std::size_t i = 0; i < record.events.size(); ++i) {
+    const trace::Event& e = record.events[i];
+    if (e.kind != trace::EventKind::kLockAcquire) continue;
+    const auto it = lockOfVar.find(e.var);
+    if (it == lockOfVar.end()) continue;
+    const LockId acquired = it->second;
+    // locksHeld[i] includes the just-acquired lock (last element).
+    for (const LockId held : record.locksHeld[i]) {
+      if (held == acquired) continue;
+      LockOrderEdge edge{e.thread, held, acquired, e.globalSeq};
+      const bool dup = std::any_of(
+          edges.begin(), edges.end(), [&edge](const LockOrderEdge& x) {
+            return x.from == edge.from && x.to == edge.to;
+          });
+      if (!dup) edges.push_back(edge);
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+/// DFS cycle enumeration on the lock-order graph.  Reports each elementary
+/// cycle once (by smallest-lock rotation).
+class CycleFinder {
+ public:
+  explicit CycleFinder(const std::vector<LockOrderEdge>& edges) {
+    for (const LockOrderEdge& e : edges) {
+      adj_[e.from].push_back(&e);
+    }
+  }
+
+  std::vector<DeadlockReport> run() {
+    for (const auto& [from, outs] : adj_) {
+      path_.clear();
+      onPath_.clear();
+      dfs(from);
+    }
+    return std::move(reports_);
+  }
+
+ private:
+  void dfs(LockId at) {
+    onPath_.push_back(at);
+    for (const LockOrderEdge* e : adj_[at]) {
+      const auto cycleStart =
+          std::find(onPath_.begin(), onPath_.end(), e->to);
+      path_.push_back(e);
+      if (cycleStart != onPath_.end()) {
+        emit(static_cast<std::size_t>(cycleStart - onPath_.begin()));
+      } else {
+        dfs(e->to);
+      }
+      path_.pop_back();
+    }
+    onPath_.pop_back();
+  }
+
+  void emit(std::size_t startIdx) {
+    DeadlockReport r;
+    for (std::size_t i = startIdx; i < onPath_.size(); ++i) {
+      r.cycle.push_back(onPath_[i]);
+      r.edges.push_back(*path_[path_.size() - onPath_.size() + i]);
+    }
+    // Canonicalize: rotate so the smallest lock id is first, then dedupe.
+    const auto minIt = std::min_element(r.cycle.begin(), r.cycle.end());
+    const std::size_t rot = static_cast<std::size_t>(minIt - r.cycle.begin());
+    std::rotate(r.cycle.begin(), r.cycle.begin() + rot, r.cycle.end());
+    std::rotate(r.edges.begin(), r.edges.begin() + rot, r.edges.end());
+    for (const DeadlockReport& existing : reports_) {
+      if (existing.cycle == r.cycle) return;
+    }
+    reports_.push_back(std::move(r));
+  }
+
+  std::map<LockId, std::vector<const LockOrderEdge*>> adj_;
+  std::vector<LockId> onPath_;
+  std::vector<const LockOrderEdge*> path_;
+  std::vector<DeadlockReport> reports_;
+};
+
+}  // namespace
+
+std::vector<DeadlockReport> DeadlockPredictor::analyze(
+    const program::ExecutionRecord& record,
+    const program::Program& prog) const {
+  const std::vector<LockOrderEdge> edges = lockOrderEdges(record, prog);
+  CycleFinder finder(edges);
+  return finder.run();
+}
+
+}  // namespace mpx::detect

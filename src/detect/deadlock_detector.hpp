@@ -1,0 +1,59 @@
+// Predictive deadlock detection via lock-order graphs.
+//
+// A successful execution that acquires lock B while holding lock A, and
+// elsewhere acquires A while holding B, deadlocks under a different
+// schedule even though the observed run completed — the same
+// predict-from-one-run idea the paper applies to safety properties, applied
+// to the lock acquisition order.  We build the lock-order graph from the
+// execution's kLockAcquire events (with the locks held at each acquire) and
+// report every cycle as a potential deadlock, with the witnessing
+// (thread, held-lock, acquired-lock) edges.
+//
+// The interpreter also detects *actual* deadlocks (no runnable thread);
+// this module predicts the ones that did not happen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/scheduler.hpp"
+#include "trace/event.hpp"
+
+namespace mpx::detect {
+
+/// One edge of the lock-order graph: `thread` acquired `to` while holding
+/// `from`.
+struct LockOrderEdge {
+  ThreadId thread = kNoThread;
+  LockId from = 0;
+  LockId to = 0;
+  GlobalSeq witness = kNoSeq;  ///< globalSeq of the acquiring event
+
+  friend bool operator==(const LockOrderEdge&, const LockOrderEdge&) = default;
+};
+
+/// A potential deadlock: a cycle in the lock-order graph.
+struct DeadlockReport {
+  std::vector<LockId> cycle;           ///< locks in cycle order
+  std::vector<LockOrderEdge> edges;    ///< one witness edge per cycle arc
+
+  [[nodiscard]] std::string describe(
+      const std::vector<std::string>& lockNames) const;
+};
+
+class DeadlockPredictor {
+ public:
+  /// Analyzes a completed execution.  `record` must come from a program run
+  /// (its locksHeld array gives the held-set at each event).
+  [[nodiscard]] std::vector<DeadlockReport> analyze(
+      const program::ExecutionRecord& record,
+      const program::Program& prog) const;
+
+  /// The raw lock-order edges (deduplicated), for inspection/tests.
+  [[nodiscard]] std::vector<LockOrderEdge> lockOrderEdges(
+      const program::ExecutionRecord& record,
+      const program::Program& prog) const;
+};
+
+}  // namespace mpx::detect

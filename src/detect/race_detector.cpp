@@ -1,0 +1,137 @@
+#include "detect/race_detector.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <unordered_set>
+
+#include "core/instrumentor.hpp"
+
+namespace mpx::detect {
+
+std::string RaceReport::describe(const trace::VarTable& vars) const {
+  std::ostringstream os;
+  os << "data race on '" << vars.name(var) << "': "
+     << trace::toString(first.event.kind) << " by T" << first.event.thread
+     << " (value " << first.event.value << ") vs "
+     << trace::toString(second.event.kind) << " by T" << second.event.thread
+     << " (value " << second.event.value << ") — "
+     << (evidence == RaceEvidence::kHappensBefore
+             ? "causally concurrent (no happens-before edge)"
+             : "no common lock (lockset evidence)");
+  return os.str();
+}
+
+namespace {
+
+bool conflicting(const trace::Message& a, const trace::Message& b) {
+  if (a.event.thread == b.event.thread) return false;
+  if (a.event.var != b.event.var) return false;
+  // Two atomic updates never race with each other (C++ memory-model
+  // convention); an atomic against a plain access still does.
+  if (a.event.kind == trace::EventKind::kAtomicUpdate &&
+      b.event.kind == trace::EventKind::kAtomicUpdate) {
+    return false;
+  }
+  const bool aWrite = trace::isWriteLike(a.event.kind);
+  const bool bWrite = trace::isWriteLike(b.event.kind);
+  return aWrite || bWrite;
+}
+
+std::vector<LockId> sortedLocks(
+    const std::unordered_map<GlobalSeq, std::vector<LockId>>& locksets,
+    GlobalSeq seq) {
+  const auto it = locksets.find(seq);
+  if (it == locksets.end()) return {};
+  std::vector<LockId> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool disjoint(const std::vector<LockId>& a, const std::vector<LockId>& b) {
+  // Both sorted.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    if (a[i] < b[j]) ++i;
+    else ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<RaceReport> RacePredictor::analyze(
+    const std::vector<trace::Message>& accesses,
+    const std::unordered_map<GlobalSeq, std::vector<LockId>>& locksets) const {
+  std::vector<RaceReport> out;
+  std::set<std::tuple<VarId, ThreadId, ThreadId>> seen;
+
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+      if (out.size() >= opts_.maxReports) return out;
+      const trace::Message* a = &accesses[i];
+      const trace::Message* b = &accesses[j];
+      if (!conflicting(*a, *b)) continue;
+      if (a->event.globalSeq > b->event.globalSeq) std::swap(a, b);
+
+      const bool concurrent = a->concurrentWith(*b);
+      std::optional<RaceEvidence> evidence;
+      if (opts_.happensBefore && concurrent) {
+        evidence = RaceEvidence::kHappensBefore;
+      } else if (opts_.lockset && !concurrent) {
+        const auto la = sortedLocks(locksets, a->event.globalSeq);
+        const auto lb = sortedLocks(locksets, b->event.globalSeq);
+        if (disjoint(la, lb)) evidence = RaceEvidence::kLocksetOnly;
+      }
+      if (!evidence) continue;
+
+      if (opts_.dedupeByVarAndThreads) {
+        const ThreadId t1 = std::min(a->event.thread, b->event.thread);
+        const ThreadId t2 = std::max(a->event.thread, b->event.thread);
+        if (!seen.insert({a->event.var, t1, t2}).second) continue;
+      }
+
+      RaceReport r;
+      r.var = a->event.var;
+      r.first = *a;
+      r.second = *b;
+      r.evidence = *evidence;
+      r.firstLocks = sortedLocks(locksets, a->event.globalSeq);
+      r.secondLocks = sortedLocks(locksets, b->event.globalSeq);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<RaceReport> RacePredictor::analyzeExecution(
+    const program::ExecutionRecord& record, const program::Program& prog,
+    const std::vector<std::string>& varNames) const {
+  std::unordered_set<VarId> candidates;
+  for (const auto& name : varNames) candidates.insert(prog.vars.id(name));
+
+  trace::CollectingSink sink;
+  core::Instrumentor instr(core::RelevancePolicy::accessesOf(candidates),
+                           sink);
+  instr.excludeFromCausality(candidates);
+  for (const trace::Event& e : record.events) instr.onEvent(e);
+
+  return analyze(sink.messages(),
+                 locksetIndex(record.events, record.locksHeld));
+}
+
+std::unordered_map<GlobalSeq, std::vector<LockId>> locksetIndex(
+    const std::vector<trace::Event>& events,
+    const std::vector<std::vector<LockId>>& locksHeld) {
+  std::unordered_map<GlobalSeq, std::vector<LockId>> out;
+  out.reserve(events.size());
+  for (std::size_t i = 0; i < events.size() && i < locksHeld.size(); ++i) {
+    out.emplace(events[i].globalSeq, locksHeld[i]);
+  }
+  return out;
+}
+
+}  // namespace mpx::detect

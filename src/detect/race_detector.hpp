@@ -1,0 +1,92 @@
+// Predictive data-race detection on top of the MVC causality.
+//
+// The paper motivates predictive analysis with data-races ("like in the
+// case of data-races, the chance of detecting this safety violation by
+// monitoring only the actual run is very low", §1).  With Algorithm A
+// instrumenting *all* accesses of the monitored variables (relevance =
+// accessesOf), two accesses race exactly when:
+//   * they touch the same variable from different threads,
+//   * at least one is a write, and
+//   * their clocks are concurrent (Theorem 3: neither V[i] <= V'[i] nor
+//     V'[i'] <= V[i']) — no causal path, so some consistent run executes
+//     them adjacently in either order.
+//
+// Because §3.1 instruments lock acquire/release as writes of the lock's
+// shared variable, consistently lock-protected accesses are causally
+// ordered through the lock variable and never reported: the happens-before
+// verdict is sound for the observed causality.  An optional Eraser-style
+// lockset refinement additionally flags conflicting accesses whose lockset
+// intersection is empty even when this execution happened to order them
+// (more predictive, may false-positive).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "program/scheduler.hpp"
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+#include "vc/types.hpp"
+
+namespace mpx::detect {
+
+/// Why a pair of accesses was reported.
+enum class RaceEvidence : std::uint8_t {
+  kHappensBefore,  ///< MVC-concurrent conflicting accesses
+  kLocksetOnly,    ///< causally ordered, but no common lock protects them
+};
+
+struct RaceReport {
+  VarId var = kNoVar;
+  trace::Message first;   ///< lower global sequence number
+  trace::Message second;
+  RaceEvidence evidence = RaceEvidence::kHappensBefore;
+  std::vector<LockId> firstLocks;
+  std::vector<LockId> secondLocks;
+
+  [[nodiscard]] std::string describe(const trace::VarTable& vars) const;
+};
+
+struct RaceOptions {
+  bool happensBefore = true;  ///< report MVC-concurrent conflicting pairs
+  bool lockset = false;       ///< additionally report lockset-disjoint pairs
+  std::size_t maxReports = 1000;
+  bool dedupeByVarAndThreads = true;  ///< one report per (var, t1, t2) triple
+};
+
+class RacePredictor {
+ public:
+  explicit RacePredictor(RaceOptions opts = {}) : opts_(opts) {}
+
+  /// `accesses` are the messages of all read/write events of the candidate
+  /// variables (from an Instrumentor with RelevancePolicy::accessesOf).
+  /// `locksets`, keyed by event globalSeq, gives the locks held at each
+  /// access (from ExecutionRecord::locksHeld); required for lockset mode.
+  [[nodiscard]] std::vector<RaceReport> analyze(
+      const std::vector<trace::Message>& accesses,
+      const std::unordered_map<GlobalSeq, std::vector<LockId>>& locksets = {})
+      const;
+
+  /// One-call form: instruments `record` with the race-detection causality
+  /// projection (candidate variables excluded from MVC joins; program
+  /// order and synchronization edges kept — see
+  /// core::Instrumentor::excludeFromCausality) and analyzes all accesses
+  /// of the named variables.
+  [[nodiscard]] std::vector<RaceReport> analyzeExecution(
+      const program::ExecutionRecord& record, const program::Program& prog,
+      const std::vector<std::string>& varNames) const;
+
+ private:
+  RaceOptions opts_;
+};
+
+/// Helper: builds the globalSeq -> lockset map from parallel event/lockset
+/// arrays (the shape ExecutionRecord provides).
+[[nodiscard]] std::unordered_map<GlobalSeq, std::vector<LockId>> locksetIndex(
+    const std::vector<trace::Event>& events,
+    const std::vector<std::vector<LockId>>& locksHeld);
+
+}  // namespace mpx::detect

@@ -1,0 +1,88 @@
+#include "logic/fsm.hpp"
+
+#include <stdexcept>
+
+namespace mpx::logic {
+
+FsmMonitor::StateId FsmMonitor::addState(std::string name, bool violating) {
+  const StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(State{std::move(name), violating, {}});
+  return id;
+}
+
+void FsmMonitor::addTransition(StateId from, StateExpr guard, StateId to) {
+  if (from >= states_.size() || to >= states_.size()) {
+    throw std::out_of_range("FsmMonitor: unknown state in transition");
+  }
+  states_[from].out.push_back(Transition{std::move(guard), to});
+  reachabilityFresh_ = false;
+}
+
+void FsmMonitor::recomputeReachability() const {
+  // Backward reachability from violating states over the transition graph,
+  // assuming every guard is satisfiable (sound over-approximation).
+  canReachViolation_.assign(states_.size(), false);
+  std::vector<StateId> worklist;
+  for (StateId s = 0; s < states_.size(); ++s) {
+    if (states_[s].violating) {
+      canReachViolation_[s] = true;
+      worklist.push_back(s);
+    }
+  }
+  while (!worklist.empty()) {
+    const StateId target = worklist.back();
+    worklist.pop_back();
+    for (StateId s = 0; s < states_.size(); ++s) {
+      if (canReachViolation_[s]) continue;
+      for (const Transition& t : states_[s].out) {
+        if (t.to == target || canReachViolation_[t.to]) {
+          canReachViolation_[s] = true;
+          worklist.push_back(s);
+          break;
+        }
+      }
+    }
+  }
+  reachabilityFresh_ = true;
+}
+
+bool FsmMonitor::canEverViolate(observer::MonitorState m) const {
+  if (!reachabilityFresh_) recomputeReachability();
+  return canReachViolation_.at(static_cast<StateId>(m));
+}
+
+FsmMonitor::StateId FsmMonitor::step(StateId at,
+                                     const observer::GlobalState& s) const {
+  for (const Transition& t : states_[at].out) {
+    if (t.guard.evalBool(s)) return t.to;
+  }
+  return at;  // implicit self-loop
+}
+
+observer::MonitorState FsmMonitor::initial(const observer::GlobalState& s) {
+  if (states_.empty()) {
+    throw std::logic_error("FsmMonitor: no states defined");
+  }
+  return step(0, s);
+}
+
+observer::MonitorState FsmMonitor::advance(observer::MonitorState prev,
+                                           const observer::GlobalState& s) {
+  return step(static_cast<StateId>(prev), s);
+}
+
+bool FsmMonitor::isViolating(observer::MonitorState m) const {
+  return states_.at(static_cast<StateId>(m)).violating;
+}
+
+std::int64_t FsmMonitor::firstViolation(
+    const std::vector<observer::GlobalState>& trace) {
+  observer::MonitorState m = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    m = i == 0 ? initial(trace[0]) : advance(m, trace[i]);
+    if (isViolating(m)) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace mpx::logic

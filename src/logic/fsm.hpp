@@ -1,0 +1,86 @@
+// Explicit finite-state-machine monitors (paper §4):
+//
+//   "If the property to be checked can be translated into a finite state
+//    machine (FSM) ... then one can analyze all the multithreaded runs in
+//    parallel, as the computation lattice is built.  The idea is to store
+//    the state of the FSM ... together with each global state in the
+//    computation lattice."
+//
+// FsmMonitor is the hand-authored alternative to the synthesized ptLTL
+// monitors: states with names, guard-labelled transitions over the global
+// state, designated violating states.  It implements the same
+// observer::LatticeMonitor interface, so the lattice (batch or online)
+// carries its state exactly like a synthesized monitor's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/state_expr.hpp"
+#include "observer/lattice.hpp"
+
+namespace mpx::logic {
+
+class FsmMonitor final : public observer::LatticeMonitor {
+ public:
+  using StateId = std::uint32_t;
+
+  /// Adds a state; the first added state is the initial state.
+  StateId addState(std::string name, bool violating = false);
+
+  /// Adds a transition from `from` to `to`, taken when `guard` evaluates
+  /// non-zero.  Transitions are tried in insertion order; the first
+  /// matching guard fires; when none matches the machine stays in place
+  /// (implicit self-loop).
+  void addTransition(StateId from, StateExpr guard, StateId to);
+
+  [[nodiscard]] std::size_t stateCount() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const std::string& stateName(StateId s) const {
+    return states_.at(s).name;
+  }
+
+  /// The monitor consumes the initial global state too (like the
+  /// synthesized monitors): the machine starts in state 0 and immediately
+  /// takes one step on the initial state.
+  observer::MonitorState initial(const observer::GlobalState& s) override;
+  observer::MonitorState advance(observer::MonitorState prev,
+                                 const observer::GlobalState& s) override;
+  [[nodiscard]] bool isViolating(observer::MonitorState m) const override;
+
+  /// Graph-reachability pruning: a state from which no violating state is
+  /// reachable through the transition graph (treating every guard as
+  /// satisfiable — a sound over-approximation) can never violate, so the
+  /// lattice garbage-collects it.  "landed"-style absorbing-safe states
+  /// make the check's frontier shrink as runs resolve.
+  [[nodiscard]] bool canEverViolate(observer::MonitorState m) const override;
+
+  /// Linear monitoring convenience, mirroring SynthesizedMonitor.
+  [[nodiscard]] std::int64_t firstViolation(
+      const std::vector<observer::GlobalState>& trace);
+
+ private:
+  struct Transition {
+    StateExpr guard;
+    StateId to;
+  };
+  struct State {
+    std::string name;
+    bool violating = false;
+    std::vector<Transition> out;
+  };
+
+  [[nodiscard]] StateId step(StateId at,
+                             const observer::GlobalState& s) const;
+  void recomputeReachability() const;
+
+  std::vector<State> states_;
+  /// canReachViolation_[s]: some path of transitions from s hits a
+  /// violating state.  Lazily recomputed after structural changes.
+  mutable std::vector<bool> canReachViolation_;
+  mutable bool reachabilityFresh_ = false;
+};
+
+}  // namespace mpx::logic

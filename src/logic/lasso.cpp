@@ -1,0 +1,230 @@
+#include "logic/lasso.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mpx::logic {
+
+namespace {
+
+std::shared_ptr<const LtlFormula::Node> make(
+    LtlOp op, std::shared_ptr<const LtlFormula::Node> l,
+    std::shared_ptr<const LtlFormula::Node> r) {
+  auto n = std::make_shared<LtlFormula::Node>();
+  n->op = op;
+  n->lhs = std::move(l);
+  n->rhs = std::move(r);
+  return n;
+}
+
+}  // namespace
+
+LtlFormula LtlFormula::atom(StateExpr e) {
+  auto n = std::make_shared<Node>();
+  n->op = LtlOp::kAtom;
+  n->atom = std::move(e);
+  return LtlFormula(std::move(n));
+}
+LtlFormula LtlFormula::verum() {
+  return LtlFormula(make(LtlOp::kTrue, nullptr, nullptr));
+}
+LtlFormula LtlFormula::falsum() {
+  return LtlFormula(make(LtlOp::kFalse, nullptr, nullptr));
+}
+LtlFormula LtlFormula::negation(LtlFormula f) {
+  return LtlFormula(make(LtlOp::kNot, f.node_, nullptr));
+}
+LtlFormula LtlFormula::conjunction(LtlFormula a, LtlFormula b) {
+  return LtlFormula(make(LtlOp::kAnd, a.node_, b.node_));
+}
+LtlFormula LtlFormula::disjunction(LtlFormula a, LtlFormula b) {
+  return LtlFormula(make(LtlOp::kOr, a.node_, b.node_));
+}
+LtlFormula LtlFormula::implies(LtlFormula a, LtlFormula b) {
+  return LtlFormula(make(LtlOp::kImplies, a.node_, b.node_));
+}
+LtlFormula LtlFormula::next(LtlFormula f) {
+  return LtlFormula(make(LtlOp::kNext, f.node_, nullptr));
+}
+LtlFormula LtlFormula::until(LtlFormula a, LtlFormula b) {
+  return LtlFormula(make(LtlOp::kUntil, a.node_, b.node_));
+}
+LtlFormula LtlFormula::eventually(LtlFormula f) {
+  return LtlFormula(make(LtlOp::kEventually, f.node_, nullptr));
+}
+LtlFormula LtlFormula::always(LtlFormula f) {
+  return LtlFormula(make(LtlOp::kAlways, f.node_, nullptr));
+}
+
+namespace {
+
+const char* symbol(LtlOp op) {
+  switch (op) {
+    case LtlOp::kNot: return "!";
+    case LtlOp::kAnd: return "&&";
+    case LtlOp::kOr: return "||";
+    case LtlOp::kImplies: return "->";
+    case LtlOp::kNext: return "X";
+    case LtlOp::kUntil: return "U";
+    case LtlOp::kEventually: return "F";
+    case LtlOp::kAlways: return "G";
+    default: return "?";
+  }
+}
+
+void print(const LtlFormula::Node* n, std::ostringstream& os) {
+  switch (n->op) {
+    case LtlOp::kAtom: os << n->atom.toString(); return;
+    case LtlOp::kTrue: os << "true"; return;
+    case LtlOp::kFalse: os << "false"; return;
+    case LtlOp::kNot:
+    case LtlOp::kNext:
+    case LtlOp::kEventually:
+    case LtlOp::kAlways:
+      os << symbol(n->op) << '(';
+      print(n->lhs.get(), os);
+      os << ')';
+      return;
+    default:
+      os << '(';
+      print(n->lhs.get(), os);
+      os << ' ' << symbol(n->op) << ' ';
+      print(n->rhs.get(), os);
+      os << ')';
+      return;
+  }
+}
+
+/// Evaluator over positions 0..N-1 of u·v (N = |u|+|v|), where the
+/// successor of the last position wraps to |u| (the loop entry).
+class LassoEval {
+ public:
+  LassoEval(std::span<const observer::GlobalState> stem,
+            std::span<const observer::GlobalState> loop)
+      : stem_(stem), loop_(loop), n_(stem.size() + loop.size()) {
+    if (loop.empty()) {
+      throw std::invalid_argument("satisfiesLasso: empty loop");
+    }
+  }
+
+  /// Truth vector of `node` at every position.
+  std::vector<char> eval(const LtlFormula::Node* node) {
+    std::vector<char> out(n_, 0);
+    switch (node->op) {
+      case LtlOp::kAtom: {
+        for (std::size_t i = 0; i < n_; ++i) {
+          out[i] = node->atom.evalBool(state(i)) ? 1 : 0;
+        }
+        return out;
+      }
+      case LtlOp::kTrue:
+        out.assign(n_, 1);
+        return out;
+      case LtlOp::kFalse:
+        return out;
+      case LtlOp::kNot: {
+        const auto a = eval(node->lhs.get());
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] ? 0 : 1;
+        return out;
+      }
+      case LtlOp::kAnd: {
+        const auto a = eval(node->lhs.get());
+        const auto b = eval(node->rhs.get());
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] & b[i];
+        return out;
+      }
+      case LtlOp::kOr: {
+        const auto a = eval(node->lhs.get());
+        const auto b = eval(node->rhs.get());
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] | b[i];
+        return out;
+      }
+      case LtlOp::kImplies: {
+        const auto a = eval(node->lhs.get());
+        const auto b = eval(node->rhs.get());
+        for (std::size_t i = 0; i < n_; ++i) out[i] = (!a[i]) | b[i];
+        return out;
+      }
+      case LtlOp::kNext: {
+        const auto a = eval(node->lhs.get());
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[succ(i)];
+        return out;
+      }
+      case LtlOp::kUntil: {
+        const auto a = eval(node->lhs.get());
+        const auto b = eval(node->rhs.get());
+        // Least fixpoint of out[i] = b[i] || (a[i] && out[succ(i)]).
+        fixpoint(out, [&](std::size_t i) {
+          return b[i] | (a[i] & out[succ(i)]);
+        });
+        return out;
+      }
+      case LtlOp::kEventually: {
+        const auto a = eval(node->lhs.get());
+        fixpoint(out, [&](std::size_t i) {
+          return a[i] | out[succ(i)];
+        });
+        return out;
+      }
+      case LtlOp::kAlways: {
+        const auto a = eval(node->lhs.get());
+        out.assign(n_, 1);  // greatest fixpoint: start from true
+        fixpoint(out, [&](std::size_t i) {
+          return a[i] & out[succ(i)];
+        });
+        return out;
+      }
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t succ(std::size_t i) const {
+    return i + 1 < n_ ? i + 1 : stem_.size();
+  }
+
+  [[nodiscard]] const observer::GlobalState& state(std::size_t i) const {
+    return i < stem_.size() ? stem_[i] : loop_[i - stem_.size()];
+  }
+
+  /// Iterates backward sweeps until stable (≤ |loop|+1 sweeps for the
+  /// monotone operators we use).
+  template <typename F>
+  void fixpoint(std::vector<char>& out, F&& step) const {
+    for (std::size_t sweep = 0; sweep <= loop_.size() + 1; ++sweep) {
+      bool changed = false;
+      for (std::size_t r = 0; r < n_; ++r) {
+        const std::size_t i = n_ - 1 - r;
+        const char v = static_cast<char>(step(i));
+        if (v != out[i]) {
+          out[i] = v;
+          changed = true;
+        }
+      }
+      if (!changed) return;
+    }
+  }
+
+  std::span<const observer::GlobalState> stem_;
+  std::span<const observer::GlobalState> loop_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+std::string LtlFormula::toString() const {
+  std::ostringstream os;
+  print(node_.get(), os);
+  return os.str();
+}
+
+bool satisfiesLasso(const LtlFormula& formula,
+                    std::span<const observer::GlobalState> stem,
+                    std::span<const observer::GlobalState> loop) {
+  LassoEval ev(stem, loop);
+  const std::vector<char> vals = ev.eval(formula.root());
+  // Position 0 is the first state of the stem, or of the loop if no stem.
+  return vals.front() != 0;
+}
+
+}  // namespace mpx::logic

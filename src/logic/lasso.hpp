@@ -1,0 +1,77 @@
+// Future-time LTL on ultimately-periodic words u·v^ω — the paper's liveness
+// prediction sketch (§4):
+//
+//   "search for paths of the form uv in the computation lattice with the
+//    property that the shared variable global state ... reached by u is the
+//    same as the one reached by uv, and then check whether u v^ω satisfies
+//    the liveness property ... the test u v^ω |= φ can be done in polynomial
+//    time and space in the sizes of u, v and φ [Markey & Schnoebelen,
+//    CONCUR'03]".
+//
+// We implement the standard dynamic-programming evaluation: subformula
+// values are computed bottom-up per position; temporal operators on the
+// loop are solved by backward fixpoint sweeps (least fixpoint for U/F,
+// greatest for G), which converge within |v| sweeps.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logic/state_expr.hpp"
+
+namespace mpx::logic {
+
+enum class LtlOp : std::uint8_t {
+  kAtom,
+  kTrue,
+  kFalse,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kNext,        // X φ
+  kUntil,       // φ U ψ
+  kEventually,  // F φ
+  kAlways,      // G φ
+};
+
+/// Immutable future-time LTL formula.
+class LtlFormula {
+ public:
+  LtlFormula() : LtlFormula(verum()) {}
+
+  [[nodiscard]] static LtlFormula atom(StateExpr e);
+  [[nodiscard]] static LtlFormula verum();
+  [[nodiscard]] static LtlFormula falsum();
+  [[nodiscard]] static LtlFormula negation(LtlFormula f);
+  [[nodiscard]] static LtlFormula conjunction(LtlFormula a, LtlFormula b);
+  [[nodiscard]] static LtlFormula disjunction(LtlFormula a, LtlFormula b);
+  [[nodiscard]] static LtlFormula implies(LtlFormula a, LtlFormula b);
+  [[nodiscard]] static LtlFormula next(LtlFormula f);
+  [[nodiscard]] static LtlFormula until(LtlFormula a, LtlFormula b);
+  [[nodiscard]] static LtlFormula eventually(LtlFormula f);
+  [[nodiscard]] static LtlFormula always(LtlFormula f);
+
+  [[nodiscard]] std::string toString() const;
+
+  struct Node {
+    LtlOp op;
+    StateExpr atom;
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+  [[nodiscard]] const Node* root() const noexcept { return node_.get(); }
+
+ private:
+  explicit LtlFormula(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+/// Evaluates u·v^ω ⊨ φ at position 0.  `loop` must be non-empty.
+[[nodiscard]] bool satisfiesLasso(const LtlFormula& formula,
+                                  std::span<const observer::GlobalState> stem,
+                                  std::span<const observer::GlobalState> loop);
+
+}  // namespace mpx::logic

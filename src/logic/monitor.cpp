@@ -1,0 +1,130 @@
+#include "logic/monitor.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mpx::logic {
+
+namespace {
+
+/// Structural deduplication map (by node pointer — shared subtrees share
+/// bits; structurally equal but distinct trees get distinct bits, which is
+/// only a size cost, never a correctness one).
+using IndexMap = std::unordered_map<const Formula::Node*, int>;
+
+}  // namespace
+
+namespace {
+
+int flattenInto(const Formula::Node* n, IndexMap& seen,
+                std::vector<SynthesizedMonitor::Sub>& subs) {
+  if (const auto it = seen.find(n); it != seen.end()) return it->second;
+  // Children first so a subformula's bit is computable from lower bits.
+  const int lhs = n->lhs ? flattenInto(n->lhs.get(), seen, subs) : -1;
+  const int rhs = n->rhs ? flattenInto(n->rhs.get(), seen, subs) : -1;
+  SynthesizedMonitor::Sub s;
+  s.op = n->op;
+  s.lhs = lhs;
+  s.rhs = rhs;
+  if (n->op == PtOp::kAtom) s.atom = &n->atom;
+  const int idx = static_cast<int>(subs.size());
+  subs.push_back(s);
+  seen.emplace(n, idx);
+  return idx;
+}
+
+}  // namespace
+
+SynthesizedMonitor::SynthesizedMonitor(const Formula& f)
+    : formulaRoot_(f.share()) {
+  IndexMap seen;
+  const int root = flattenInto(formulaRoot_.get(), seen, subs_);
+  if (subs_.size() > 64) {
+    throw std::invalid_argument(
+        "SynthesizedMonitor: formula exceeds 64 subformulas (" +
+        std::to_string(subs_.size()) + ")");
+  }
+  rootBit_ = static_cast<unsigned>(root);
+}
+
+observer::MonitorState SynthesizedMonitor::initial(
+    const observer::GlobalState& s) {
+  std::uint64_t bits = 0;
+  const auto now = [&bits](int i) { return bits >> i & 1u; };
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const Sub& f = subs_[i];
+    std::uint64_t v = 0;
+    switch (f.op) {
+      case PtOp::kAtom: v = f.atom->evalBool(s) ? 1 : 0; break;
+      case PtOp::kTrue: v = 1; break;
+      case PtOp::kFalse: v = 0; break;
+      case PtOp::kNot: v = now(f.lhs) ^ 1u; break;
+      case PtOp::kAnd: v = now(f.lhs) & now(f.rhs); break;
+      case PtOp::kOr: v = now(f.lhs) | now(f.rhs); break;
+      case PtOp::kImplies: v = (now(f.lhs) ^ 1u) | now(f.rhs); break;
+      // At the first state: prev F = F; once/historically F = F;
+      // F1 S F2 = F2; start/end = false; [F1,F2) = F1 && !F2.
+      case PtOp::kPrev: v = now(f.lhs); break;
+      case PtOp::kOnce: v = now(f.lhs); break;
+      case PtOp::kHistorically: v = now(f.lhs); break;
+      case PtOp::kSince: v = now(f.rhs); break;
+      case PtOp::kStart: v = 0; break;
+      case PtOp::kEnd: v = 0; break;
+      case PtOp::kInterval: v = now(f.lhs) & (now(f.rhs) ^ 1u); break;
+    }
+    bits |= v << i;
+  }
+  return bits;
+}
+
+observer::MonitorState SynthesizedMonitor::advance(
+    observer::MonitorState prev, const observer::GlobalState& s) {
+  std::uint64_t bits = 0;
+  const auto now = [&bits](int i) { return bits >> i & 1u; };
+  const auto was = [prev](std::size_t i) { return prev >> i & 1u; };
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const Sub& f = subs_[i];
+    std::uint64_t v = 0;
+    switch (f.op) {
+      case PtOp::kAtom: v = f.atom->evalBool(s) ? 1 : 0; break;
+      case PtOp::kTrue: v = 1; break;
+      case PtOp::kFalse: v = 0; break;
+      case PtOp::kNot: v = now(f.lhs) ^ 1u; break;
+      case PtOp::kAnd: v = now(f.lhs) & now(f.rhs); break;
+      case PtOp::kOr: v = now(f.lhs) | now(f.rhs); break;
+      case PtOp::kImplies: v = (now(f.lhs) ^ 1u) | now(f.rhs); break;
+      case PtOp::kPrev: v = was(static_cast<std::size_t>(f.lhs)); break;
+      case PtOp::kOnce: v = now(f.lhs) | was(i); break;
+      case PtOp::kHistorically: v = now(f.lhs) & was(i); break;
+      case PtOp::kSince: v = now(f.rhs) | (now(f.lhs) & was(i)); break;
+      case PtOp::kStart:
+        v = now(f.lhs) & (was(static_cast<std::size_t>(f.lhs)) ^ 1u);
+        break;
+      case PtOp::kEnd:
+        v = (now(f.lhs) ^ 1u) & was(static_cast<std::size_t>(f.lhs));
+        break;
+      case PtOp::kInterval:
+        v = (now(f.rhs) ^ 1u) & (now(f.lhs) | was(i));
+        break;
+    }
+    bits |= v << i;
+  }
+  return bits;
+}
+
+bool SynthesizedMonitor::stepLinear(const observer::GlobalState& s) {
+  cur_ = started_ ? advance(cur_, s) : initial(s);
+  started_ = true;
+  return !isViolating(cur_);
+}
+
+std::int64_t SynthesizedMonitor::firstViolation(
+    const std::vector<observer::GlobalState>& trace) {
+  reset();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!stepLinear(trace[i])) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace mpx::logic

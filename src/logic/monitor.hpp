@@ -1,0 +1,68 @@
+// Synthesized online monitors for ptLTL safety properties.
+//
+// Following the Havelund-Roşu synthesis technique the paper builds on
+// (refs [17, 18]): the monitor's entire state is the truth value of every
+// subformula at the current trace position, packed into one machine word,
+// and each new global state updates all subformulas bottom-up in O(|φ|).
+//
+// Because the state is a single word, the lattice can store *sets* of
+// monitor states per node and thereby check the property against the
+// exponentially many multithreaded runs in parallel (paper §4: "only one
+// cut in the computation lattice is needed at any time").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/ptltl.hpp"
+#include "observer/lattice.hpp"
+
+namespace mpx::logic {
+
+class SynthesizedMonitor final : public observer::LatticeMonitor {
+ public:
+  /// Compiles `f`.  Throws std::invalid_argument if the formula has more
+  /// than 64 distinct subformulas (the packed-state limit).
+  explicit SynthesizedMonitor(const Formula& f);
+
+  /// Number of distinct subformulas (= bits of monitor state used).
+  [[nodiscard]] std::size_t subformulaCount() const noexcept {
+    return subs_.size();
+  }
+
+  // --- observer::LatticeMonitor -------------------------------------
+  observer::MonitorState initial(const observer::GlobalState& s) override;
+  observer::MonitorState advance(observer::MonitorState prev,
+                                 const observer::GlobalState& s) override;
+  [[nodiscard]] bool isViolating(observer::MonitorState m) const override {
+    return (m >> rootBit_ & 1u) == 0;
+  }
+
+  // --- linear (single-trace) monitoring ------------------------------
+  /// Reset for a fresh trace.
+  void reset() noexcept { started_ = false; }
+  /// Feed the next state of a linear trace; returns true iff the property
+  /// holds at this state.
+  bool stepLinear(const observer::GlobalState& s);
+  /// Checks a whole trace; returns the index of the first violating state,
+  /// or -1 if the property holds throughout.
+  [[nodiscard]] std::int64_t firstViolation(
+      const std::vector<observer::GlobalState>& trace);
+
+  /// One flattened subformula (public so the compiler helper can build it).
+  struct Sub {
+    PtOp op;
+    const StateExpr* atom = nullptr;  // owned via formulaRoot_
+    int lhs = -1;
+    int rhs = -1;
+  };
+
+ private:
+  std::shared_ptr<const Formula::Node> formulaRoot_;  // keeps atoms alive
+  std::vector<Sub> subs_;  ///< children-first order
+  unsigned rootBit_ = 0;
+  std::uint64_t cur_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mpx::logic

@@ -1,0 +1,367 @@
+#include "logic/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <unordered_set>
+
+namespace mpx::logic {
+namespace {
+
+enum class Tok : std::uint8_t {
+  kEnd, kIdent, kInt,
+  kLParen, kRParen, kLBracket, kComma,
+  kNot, kAnd, kOr, kImplies,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash,
+  kPrev, kOnce, kHistorically, kSince, kStart, kEnd2, kTrue, kFalse,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  Value value = 0;
+  std::size_t pos = 0;
+};
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "prev", "once", "historically", "S", "start", "end", "true", "false",
+      "and", "or", "not"};
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      const Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::kEnd) break;
+    }
+    return out;
+  }
+
+ private:
+  Token next() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+    Token t;
+    t.pos = i_;
+    if (i_ >= text_.size()) return t;
+
+    const char c = text_[i_];
+    const auto two = [this](char a, char b) {
+      return text_[i_] == a && i_ + 1 < text_.size() && text_[i_ + 1] == b;
+    };
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i_;
+      while (j < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[j]))) {
+        ++j;
+      }
+      t.kind = Tok::kInt;
+      t.value = std::stoll(text_.substr(i_, j - i_));
+      i_ = j;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+              text_[j] == '_')) {
+        ++j;
+      }
+      t.text = text_.substr(i_, j - i_);
+      i_ = j;
+      if (t.text == "prev") t.kind = Tok::kPrev;
+      else if (t.text == "once") t.kind = Tok::kOnce;
+      else if (t.text == "historically") t.kind = Tok::kHistorically;
+      else if (t.text == "S") t.kind = Tok::kSince;
+      else if (t.text == "start") t.kind = Tok::kStart;
+      else if (t.text == "end") t.kind = Tok::kEnd2;
+      else if (t.text == "true") t.kind = Tok::kTrue;
+      else if (t.text == "false") t.kind = Tok::kFalse;
+      else if (t.text == "and") t.kind = Tok::kAnd;
+      else if (t.text == "or") t.kind = Tok::kOr;
+      else if (t.text == "not") t.kind = Tok::kNot;
+      else t.kind = Tok::kIdent;
+      return t;
+    }
+
+    // "<*>" (once) and "[*]" (historically) glyph forms.
+    if (c == '<' && i_ + 2 < text_.size() && text_[i_ + 1] == '*' &&
+        text_[i_ + 2] == '>') {
+      t.kind = Tok::kOnce;
+      i_ += 3;
+      return t;
+    }
+    if (c == '[' && i_ + 2 < text_.size() && text_[i_ + 1] == '*' &&
+        text_[i_ + 2] == ']') {
+      t.kind = Tok::kHistorically;
+      i_ += 3;
+      return t;
+    }
+
+    if (two('-', '>')) { t.kind = Tok::kImplies; i_ += 2; return t; }
+    if (two('&', '&')) { t.kind = Tok::kAnd; i_ += 2; return t; }
+    if (two('|', '|')) { t.kind = Tok::kOr; i_ += 2; return t; }
+    if (two('=', '=')) { t.kind = Tok::kEq; i_ += 2; return t; }
+    if (two('!', '=')) { t.kind = Tok::kNe; i_ += 2; return t; }
+    if (two('<', '=')) { t.kind = Tok::kLe; i_ += 2; return t; }
+    if (two('>', '=')) { t.kind = Tok::kGe; i_ += 2; return t; }
+
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; break;
+      case ')': t.kind = Tok::kRParen; break;
+      case '[': t.kind = Tok::kLBracket; break;
+      case ',': t.kind = Tok::kComma; break;
+      case '!': t.kind = Tok::kNot; break;
+      case '@': t.kind = Tok::kPrev; break;
+      case '=': t.kind = Tok::kEq; break;
+      case '<': t.kind = Tok::kLt; break;
+      case '>': t.kind = Tok::kGt; break;
+      case '+': t.kind = Tok::kPlus; break;
+      case '-': t.kind = Tok::kMinus; break;
+      case '*': t.kind = Tok::kStar; break;
+      case '/': t.kind = Tok::kSlash; break;
+      default:
+        throw SpecError(std::string("unexpected character '") + c + "'", i_);
+    }
+    ++i_;
+    return t;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const observer::StateSpace& space)
+      : toks_(std::move(tokens)), space_(&space) {}
+
+  Formula parseAll() {
+    Formula f = formula();
+    expect(Tok::kEnd, "end of input");
+    return f;
+  }
+
+ private:
+  const Token& peek() const { return toks_[i_]; }
+  const Token& get() { return toks_[i_++]; }
+  bool accept(Tok k) {
+    if (peek().kind == k) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  void expect(Tok k, const char* what) {
+    if (!accept(k)) {
+      throw SpecError(std::string("expected ") + what, peek().pos);
+    }
+  }
+
+  Formula formula() {
+    Formula lhs = orExpr();
+    if (accept(Tok::kImplies)) {
+      return Formula::implies(std::move(lhs), formula());
+    }
+    return lhs;
+  }
+
+  Formula orExpr() {
+    Formula f = andExpr();
+    while (accept(Tok::kOr)) {
+      f = Formula::disjunction(std::move(f), andExpr());
+    }
+    return f;
+  }
+
+  Formula andExpr() {
+    Formula f = sinceExpr();
+    while (accept(Tok::kAnd)) {
+      f = Formula::conjunction(std::move(f), sinceExpr());
+    }
+    return f;
+  }
+
+  Formula sinceExpr() {
+    Formula f = unary();
+    while (accept(Tok::kSince)) {
+      f = Formula::since(std::move(f), unary());
+    }
+    return f;
+  }
+
+  Formula unary() {
+    switch (peek().kind) {
+      case Tok::kNot:
+        get();
+        return Formula::negation(unary());
+      case Tok::kPrev:
+        get();
+        return Formula::prev(unary());
+      case Tok::kOnce:
+        get();
+        return Formula::once(unary());
+      case Tok::kHistorically:
+        get();
+        return Formula::historically(unary());
+      case Tok::kStart: {
+        get();
+        expect(Tok::kLParen, "'(' after start");
+        Formula f = formula();
+        expect(Tok::kRParen, "')'");
+        return Formula::start(std::move(f));
+      }
+      case Tok::kEnd2: {
+        get();
+        expect(Tok::kLParen, "'(' after end");
+        Formula f = formula();
+        expect(Tok::kRParen, "')'");
+        return Formula::end(std::move(f));
+      }
+      case Tok::kLBracket: {
+        get();
+        Formula from = formula();
+        expect(Tok::kComma, "',' in interval");
+        Formula until = formula();
+        expect(Tok::kRParen, "')' closing interval");
+        return Formula::interval(std::move(from), std::move(until));
+      }
+      default:
+        return primary();
+    }
+  }
+
+  Formula primary() {
+    if (accept(Tok::kTrue)) return Formula::verum();
+    if (accept(Tok::kFalse)) return Formula::falsum();
+
+    // Try a comparison/arithmetic atom first; on failure, backtrack into a
+    // parenthesized sub-formula ONLY when one can start here — otherwise
+    // rethrow the (more specific) arithmetic error, preserving unknown-
+    // variable messages and positions.
+    const std::size_t save = i_;
+    try {
+      return comparison();
+    } catch (const SpecError&) {
+      i_ = save;
+      if (peek().kind != Tok::kLParen) throw;
+    }
+    expect(Tok::kLParen, "'('");
+    Formula f = formula();
+    expect(Tok::kRParen, "')'");
+    return f;
+  }
+
+  Formula comparison() {
+    StateExpr lhs = arith();
+    StateOp op;
+    switch (peek().kind) {
+      case Tok::kEq: op = StateOp::kEq; break;
+      case Tok::kNe: op = StateOp::kNe; break;
+      case Tok::kLt: op = StateOp::kLt; break;
+      case Tok::kLe: op = StateOp::kLe; break;
+      case Tok::kGt: op = StateOp::kGt; break;
+      case Tok::kGe: op = StateOp::kGe; break;
+      default:
+        // Bare arithmetic atom: value != 0.
+        return Formula::atom(std::move(lhs));
+    }
+    get();
+    StateExpr rhs = arith();
+    return Formula::atom(StateExpr::binary(op, std::move(lhs), std::move(rhs)));
+  }
+
+  StateExpr arith() {
+    StateExpr e = term();
+    while (true) {
+      if (accept(Tok::kPlus)) {
+        e = StateExpr::binary(StateOp::kAdd, std::move(e), term());
+      } else if (accept(Tok::kMinus)) {
+        e = StateExpr::binary(StateOp::kSub, std::move(e), term());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  StateExpr term() {
+    StateExpr e = factor();
+    while (true) {
+      if (accept(Tok::kStar)) {
+        e = StateExpr::binary(StateOp::kMul, std::move(e), factor());
+      } else if (accept(Tok::kSlash)) {
+        e = StateExpr::binary(StateOp::kDiv, std::move(e), factor());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  StateExpr factor() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::kInt:
+        get();
+        return StateExpr::constant(t.value);
+      case Tok::kIdent: {
+        get();
+        // Bind against the state space.
+        try {
+          const std::size_t slot = space_->slotOfName(t.text);
+          return StateExpr::var(slot, t.text);
+        } catch (const std::out_of_range&) {
+          throw SpecError("unknown variable '" + t.text + "'", t.pos);
+        }
+      }
+      case Tok::kMinus:
+        get();
+        return StateExpr::unary(StateOp::kNeg, factor());
+      case Tok::kLParen: {
+        get();
+        StateExpr e = arith();
+        expect(Tok::kRParen, "')' in arithmetic");
+        return e;
+      }
+      default:
+        throw SpecError("expected an arithmetic operand", t.pos);
+    }
+  }
+
+  std::vector<Token> toks_;
+  const observer::StateSpace* space_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Formula SpecParser::parse(const std::string& text) const {
+  Lexer lex(text);
+  Parser p(lex.run(), *space_);
+  return p.parseAll();
+}
+
+std::vector<std::string> SpecParser::referencedVariables(
+    const std::string& text) {
+  Lexer lex(text);
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Token& t : lex.run()) {
+    if (t.kind == Tok::kIdent && !keywords().contains(t.text) &&
+        seen.insert(t.text).second) {
+      out.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpx::logic

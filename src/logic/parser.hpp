@@ -1,0 +1,72 @@
+// Parser for ptLTL specification strings.
+//
+// JMPaX's instrumentation module "parses the user specification, extracts
+// the set of shared variables it refers to, i.e., the relevant variables"
+// (paper §4.1).  This parser does both jobs: referencedVariables() performs
+// the relevant-variable extraction that drives instrumentation, and
+// parse() produces a bound Formula for monitor synthesis.
+//
+// Grammar (lowest to highest precedence):
+//   formula  := or ('->' formula)?                      right-assoc
+//   or       := and ('||' and)*
+//   and      := since ('&&' since)*
+//   since    := unary ('S' unary)*                      left-assoc
+//   unary    := '!' unary
+//            | ('prev'|'@') unary
+//            | ('once'|'<*>') unary
+//            | ('historically'|'[*]') unary
+//            | 'start' '(' formula ')'
+//            | 'end' '(' formula ')'
+//            | '[' formula ',' formula ')'              interval
+//            | primary
+//   primary  := 'true' | 'false' | comparison | '(' formula ')'
+//   comparison := arith (('='|'=='|'!='|'<'|'<='|'>'|'>=') arith)?
+//   arith    := term (('+'|'-') term)*
+//   term     := factor (('*'|'/') factor)*
+//   factor   := integer | identifier | '-' factor | '(' arith ')'
+//
+// A bare arithmetic expression used as a formula means "!= 0".
+// The single '=' is accepted as equality, as in the paper's examples
+// ("y = 0").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "logic/ptltl.hpp"
+#include "observer/global_state.hpp"
+
+namespace mpx::logic {
+
+/// Parse error with position information.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+class SpecParser {
+ public:
+  /// Variable names resolve against `space` (unknown names throw).
+  explicit SpecParser(const observer::StateSpace& space) : space_(&space) {}
+
+  [[nodiscard]] Formula parse(const std::string& text) const;
+
+  /// The identifiers a specification references, in first-occurrence order
+  /// (keywords excluded) — the paper's relevant-variable extraction.
+  /// Works without a StateSpace, so it can run *before* instrumentation.
+  [[nodiscard]] static std::vector<std::string> referencedVariables(
+      const std::string& text);
+
+ private:
+  const observer::StateSpace* space_;
+};
+
+}  // namespace mpx::logic

@@ -1,0 +1,68 @@
+// Common safety-specification patterns as ptLTL formula builders.
+//
+// The specification-pattern vocabulary (Dwyer et al.) restricted to the
+// past-time fragment this library monitors.  Each builder documents its
+// meaning over a finite trace evaluated at the current state; all of them
+// compile to the same synthesized monitors as hand-written formulas, and
+// the tests pin the equivalences.
+#pragma once
+
+#include "logic/ptltl.hpp"
+
+namespace mpx::logic::patterns {
+
+/// "p has never held" (absence, global scope): historically !p.
+[[nodiscard]] inline Formula never(Formula p) {
+  return Formula::historically(Formula::negation(std::move(p)));
+}
+
+/// "p has always held" (universality): historically p.
+[[nodiscard]] inline Formula always(Formula p) {
+  return Formula::historically(std::move(p));
+}
+
+/// "q only after p" (precedence): q -> once p.  When q holds now, p must
+/// have held at some point (possibly now).
+[[nodiscard]] inline Formula precededBy(Formula q, Formula p) {
+  return Formula::implies(std::move(q), Formula::once(std::move(p)));
+}
+
+/// "q's rising edge only after p" — like precededBy but anchored at the
+/// edge, so q remaining true later cannot retro-violate:
+/// start(q) -> once p.
+[[nodiscard]] inline Formula riseAfter(Formula q, Formula p) {
+  return Formula::implies(Formula::start(std::move(q)),
+                          Formula::once(std::move(p)));
+}
+
+/// "a and b never hold together" (mutual exclusion): !(a && b).
+[[nodiscard]] inline Formula mutex(Formula a, Formula b) {
+  return Formula::negation(
+      Formula::conjunction(std::move(a), std::move(b)));
+}
+
+/// The paper's interval-guarded trigger (its Example 1 shape):
+/// "when `trigger` rises, `armed` must have held at some point, and
+/// `breaker` must not have held since": start(trigger) -> [armed, breaker).
+[[nodiscard]] inline Formula armedWindow(Formula trigger, Formula armed,
+                                         Formula breaker) {
+  return Formula::implies(
+      Formula::start(std::move(trigger)),
+      Formula::interval(std::move(armed), std::move(breaker)));
+}
+
+/// "p is stable once set" (latch): once p -> p.
+[[nodiscard]] inline Formula latched(Formula p) {
+  return Formula::implies(Formula::once(p), p);
+}
+
+/// "q between p and r": if q holds now and r has not yet closed the scope
+/// opened by p, then p must have opened it: q -> (!r S p).
+[[nodiscard]] inline Formula betweenOpenClose(Formula q, Formula p,
+                                              Formula r) {
+  return Formula::implies(
+      std::move(q),
+      Formula::since(Formula::negation(std::move(r)), std::move(p)));
+}
+
+}  // namespace mpx::logic::patterns

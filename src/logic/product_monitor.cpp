@@ -1,0 +1,61 @@
+#include "logic/product_monitor.hpp"
+
+#include <stdexcept>
+
+namespace mpx::logic {
+
+std::size_t ProductMonitor::add(const Formula& f, std::string name) {
+  auto monitor = std::make_unique<SynthesizedMonitor>(f);
+  const unsigned bits = static_cast<unsigned>(monitor->subformulaCount());
+  if (width_ + bits > 64) {
+    throw std::invalid_argument(
+        "ProductMonitor: combined monitor state exceeds 64 bits (" +
+        std::to_string(width_ + bits) + ")");
+  }
+  Part p;
+  p.monitor = std::move(monitor);
+  p.name = name.empty() ? "property" + std::to_string(parts_.size()) : name;
+  p.offset = width_;
+  p.width = bits;
+  width_ += bits;
+  parts_.push_back(std::move(p));
+  return parts_.size() - 1;
+}
+
+observer::MonitorState ProductMonitor::initial(
+    const observer::GlobalState& s) {
+  observer::MonitorState out = 0;
+  for (const Part& p : parts_) {
+    out |= p.monitor->initial(s) << p.offset;
+  }
+  return out;
+}
+
+observer::MonitorState ProductMonitor::advance(observer::MonitorState prev,
+                                               const observer::GlobalState& s) {
+  observer::MonitorState out = 0;
+  for (const Part& p : parts_) {
+    out |= p.monitor->advance(extract(prev, p), s) << p.offset;
+  }
+  return out;
+}
+
+bool ProductMonitor::isViolating(observer::MonitorState m) const {
+  for (const Part& p : parts_) {
+    if (p.monitor->isViolating(extract(m, p))) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ProductMonitor::violatingComponents(
+    observer::MonitorState m) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (parts_[i].monitor->isViolating(extract(m, parts_[i]))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpx::logic

@@ -1,0 +1,69 @@
+// Checking SEVERAL safety properties in one lattice pass.
+//
+// The lattice traversal cost is per-node structural work; a monitor's
+// per-edge cost is tiny.  When multiple specifications share the same
+// relevant variables (JMPaX sessions typically watch several properties of
+// one subsystem), packing their synthesized monitors into one combined
+// state checks them all in a single level-by-level pass instead of one
+// lattice traversal per property.
+//
+// Each component SynthesizedMonitor uses `subformulaCount()` bits; the
+// product packs them side by side into the one-word observer::MonitorState.
+// The combined width must stay within 64 bits.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/monitor.hpp"
+
+namespace mpx::logic {
+
+class ProductMonitor final : public observer::LatticeMonitor {
+ public:
+  ProductMonitor() = default;
+
+  /// Adds a property; returns its component index.  Throws when the
+  /// combined packed width would exceed 64 bits.
+  std::size_t add(const Formula& f, std::string name = {});
+
+  [[nodiscard]] std::size_t componentCount() const noexcept {
+    return parts_.size();
+  }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return parts_.at(i).name;
+  }
+  [[nodiscard]] std::size_t bitsUsed() const noexcept { return width_; }
+
+  // --- observer::LatticeMonitor -------------------------------------
+  observer::MonitorState initial(const observer::GlobalState& s) override;
+  observer::MonitorState advance(observer::MonitorState prev,
+                                 const observer::GlobalState& s) override;
+  /// Violating iff ANY component is violating.
+  [[nodiscard]] bool isViolating(observer::MonitorState m) const override;
+
+  /// Which components are violating in `m` (for attribution in reports).
+  [[nodiscard]] std::vector<std::size_t> violatingComponents(
+      observer::MonitorState m) const;
+
+ private:
+  struct Part {
+    std::unique_ptr<SynthesizedMonitor> monitor;
+    std::string name;
+    unsigned offset = 0;
+    unsigned width = 0;
+  };
+
+  [[nodiscard]] observer::MonitorState extract(observer::MonitorState m,
+                                               const Part& p) const {
+    const observer::MonitorState mask =
+        p.width == 64 ? ~0ull : ((1ull << p.width) - 1);
+    return (m >> p.offset) & mask;
+  }
+
+  std::vector<Part> parts_;
+  unsigned width_ = 0;
+};
+
+}  // namespace mpx::logic

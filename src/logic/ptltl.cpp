@@ -1,0 +1,137 @@
+#include "logic/ptltl.hpp"
+
+#include <sstream>
+
+namespace mpx::logic {
+
+const char* toString(PtOp op) noexcept {
+  switch (op) {
+    case PtOp::kAtom: return "atom";
+    case PtOp::kTrue: return "true";
+    case PtOp::kFalse: return "false";
+    case PtOp::kNot: return "!";
+    case PtOp::kAnd: return "&&";
+    case PtOp::kOr: return "||";
+    case PtOp::kImplies: return "->";
+    case PtOp::kPrev: return "prev";
+    case PtOp::kOnce: return "once";
+    case PtOp::kHistorically: return "historically";
+    case PtOp::kSince: return "S";
+    case PtOp::kStart: return "start";
+    case PtOp::kEnd: return "end";
+    case PtOp::kInterval: return "interval";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<const Formula::Node> make(PtOp op,
+                                          std::shared_ptr<const Formula::Node> l,
+                                          std::shared_ptr<const Formula::Node> r) {
+  auto n = std::make_shared<Formula::Node>();
+  n->op = op;
+  n->lhs = std::move(l);
+  n->rhs = std::move(r);
+  return n;
+}
+
+}  // namespace
+
+Formula Formula::atom(StateExpr e) {
+  auto n = std::make_shared<Node>();
+  n->op = PtOp::kAtom;
+  n->atom = std::move(e);
+  return Formula(std::move(n));
+}
+
+Formula Formula::verum() { return Formula(make(PtOp::kTrue, nullptr, nullptr)); }
+Formula Formula::falsum() {
+  return Formula(make(PtOp::kFalse, nullptr, nullptr));
+}
+Formula Formula::negation(Formula f) {
+  return Formula(make(PtOp::kNot, f.node_, nullptr));
+}
+Formula Formula::conjunction(Formula a, Formula b) {
+  return Formula(make(PtOp::kAnd, a.node_, b.node_));
+}
+Formula Formula::disjunction(Formula a, Formula b) {
+  return Formula(make(PtOp::kOr, a.node_, b.node_));
+}
+Formula Formula::implies(Formula a, Formula b) {
+  return Formula(make(PtOp::kImplies, a.node_, b.node_));
+}
+Formula Formula::prev(Formula f) {
+  return Formula(make(PtOp::kPrev, f.node_, nullptr));
+}
+Formula Formula::once(Formula f) {
+  return Formula(make(PtOp::kOnce, f.node_, nullptr));
+}
+Formula Formula::historically(Formula f) {
+  return Formula(make(PtOp::kHistorically, f.node_, nullptr));
+}
+Formula Formula::since(Formula a, Formula b) {
+  return Formula(make(PtOp::kSince, a.node_, b.node_));
+}
+Formula Formula::start(Formula f) {
+  return Formula(make(PtOp::kStart, f.node_, nullptr));
+}
+Formula Formula::end(Formula f) {
+  return Formula(make(PtOp::kEnd, f.node_, nullptr));
+}
+Formula Formula::interval(Formula from, Formula until) {
+  return Formula(make(PtOp::kInterval, from.node_, until.node_));
+}
+
+namespace {
+
+void print(const Formula::Node* n, std::ostringstream& os) {
+  switch (n->op) {
+    case PtOp::kAtom:
+      os << n->atom.toString();
+      return;
+    case PtOp::kTrue:
+      os << "true";
+      return;
+    case PtOp::kFalse:
+      os << "false";
+      return;
+    case PtOp::kNot:
+      os << '!';
+      print(n->lhs.get(), os);
+      return;
+    case PtOp::kPrev:
+    case PtOp::kOnce:
+    case PtOp::kHistorically:
+    case PtOp::kStart:
+    case PtOp::kEnd:
+      os << toString(n->op) << '(';
+      print(n->lhs.get(), os);
+      os << ')';
+      return;
+    case PtOp::kInterval:
+      os << '[';
+      print(n->lhs.get(), os);
+      os << ", ";
+      print(n->rhs.get(), os);
+      os << ')';
+      return;
+    default:
+      os << '(';
+      print(n->lhs.get(), os);
+      os << ' ' << toString(n->op) << ' ';
+      print(n->rhs.get(), os);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Formula::toString() const {
+  std::ostringstream os;
+  print(node_.get(), os);
+  return os.str();
+}
+
+}  // namespace mpx::logic

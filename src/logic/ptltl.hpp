@@ -1,0 +1,106 @@
+// Past-time LTL formulas with the interval notation — the specification
+// language of the paper's examples.
+//
+// The paper writes the landing property as
+//     landing = 1 -> [approved = 1, radio = 0)
+// "if the plane has started landing, then it is the case that landing has
+// been approved and since the approval the radio signal has never been
+// down", using "the interval temporal logic notation in [18]"
+// (Havelund & Roşu, Synthesizing monitors for safety properties, TACAS'02).
+//
+// Operators: boolean connectives; previously (prev/@), once (<*>, sometime
+// in the past), historically ([*], always in the past), strong since (S),
+// start/end edge detectors, and the interval [q, r).
+//
+// Semantics over a non-empty finite trace s_1 ... s_k, evaluated at the
+// last state (standard Havelund-Roşu conventions; at the first state,
+// "previously F" = F):
+//   prev F          : F held at s_{k-1}          (at k=1: F at s_1)
+//   once F          : F held at some s_j, j<=k
+//   historically F  : F held at all s_j, j<=k
+//   F1 S F2         : exists j<=k with F2 at s_j and F1 at all s_j+1..s_k
+//   start F         : F at s_k and not F at s_{k-1}   (false at k=1)
+//   end F           : not F at s_k and F at s_{k-1}   (false at k=1)
+//   [F1, F2)        : exists j<=k with F1 at s_j, and F2 at none of
+//                     s_j..s_k   (recursively: !F2 && (F1 || prev [F1,F2)))
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/state_expr.hpp"
+
+namespace mpx::logic {
+
+enum class PtOp : std::uint8_t {
+  kAtom,   // StateExpr != 0
+  kTrue,
+  kFalse,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kPrev,
+  kOnce,
+  kHistorically,
+  kSince,     // lhs S rhs
+  kStart,
+  kEnd,
+  kInterval,  // [lhs, rhs)
+};
+
+[[nodiscard]] const char* toString(PtOp op) noexcept;
+
+/// Immutable ptLTL formula (shared subtrees are deduplicated by the
+/// monitor compiler, so reusing a subformula object is free).
+class Formula {
+ public:
+  Formula() : Formula(verum()) {}
+
+  [[nodiscard]] static Formula atom(StateExpr e);
+  [[nodiscard]] static Formula verum();
+  [[nodiscard]] static Formula falsum();
+  [[nodiscard]] static Formula negation(Formula f);
+  [[nodiscard]] static Formula conjunction(Formula a, Formula b);
+  [[nodiscard]] static Formula disjunction(Formula a, Formula b);
+  [[nodiscard]] static Formula implies(Formula a, Formula b);
+  [[nodiscard]] static Formula prev(Formula f);
+  [[nodiscard]] static Formula once(Formula f);
+  [[nodiscard]] static Formula historically(Formula f);
+  [[nodiscard]] static Formula since(Formula a, Formula b);
+  [[nodiscard]] static Formula start(Formula f);
+  [[nodiscard]] static Formula end(Formula f);
+  [[nodiscard]] static Formula interval(Formula from, Formula until);
+
+  [[nodiscard]] std::string toString() const;
+
+  struct Node {
+    PtOp op;
+    StateExpr atom;
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+
+  [[nodiscard]] const Node* root() const noexcept { return node_.get(); }
+  [[nodiscard]] std::shared_ptr<const Node> share() const noexcept {
+    return node_;
+  }
+
+ private:
+  explicit Formula(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+// Operator sugar so tests/examples read naturally.
+[[nodiscard]] inline Formula operator!(Formula f) {
+  return Formula::negation(std::move(f));
+}
+[[nodiscard]] inline Formula operator&&(Formula a, Formula b) {
+  return Formula::conjunction(std::move(a), std::move(b));
+}
+[[nodiscard]] inline Formula operator||(Formula a, Formula b) {
+  return Formula::disjunction(std::move(a), std::move(b));
+}
+
+}  // namespace mpx::logic

@@ -1,0 +1,126 @@
+#include "logic/state_expr.hpp"
+
+#include <sstream>
+
+namespace mpx::logic {
+
+struct StateExpr::Node {
+  StateOp op;
+  Value constant = 0;
+  std::size_t slot = 0;
+  std::string name;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+StateExpr StateExpr::constant(Value v) {
+  auto n = std::make_shared<Node>();
+  n->op = StateOp::kConst;
+  n->constant = v;
+  return StateExpr(std::move(n));
+}
+
+StateExpr StateExpr::var(std::size_t slot, std::string name) {
+  auto n = std::make_shared<Node>();
+  n->op = StateOp::kVar;
+  n->slot = slot;
+  n->name = std::move(name);
+  return StateExpr(std::move(n));
+}
+
+StateExpr StateExpr::unary(StateOp op, StateExpr e) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(e.node_);
+  return StateExpr(std::move(n));
+}
+
+StateExpr StateExpr::binary(StateOp op, StateExpr a, StateExpr b) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(a.node_);
+  n->rhs = std::move(b.node_);
+  return StateExpr(std::move(n));
+}
+
+namespace {
+
+Value evalNode(const StateExpr::Node* n, const observer::GlobalState& s);
+
+Value ev(const std::shared_ptr<const StateExpr::Node>& n,
+         const observer::GlobalState& s) {
+  return evalNode(n.get(), s);
+}
+
+Value evalNode(const StateExpr::Node* n, const observer::GlobalState& s) {
+  switch (n->op) {
+    case StateOp::kConst: return n->constant;
+    case StateOp::kVar: return s.values.at(n->slot);
+    case StateOp::kAdd: return ev(n->lhs, s) + ev(n->rhs, s);
+    case StateOp::kSub: return ev(n->lhs, s) - ev(n->rhs, s);
+    case StateOp::kMul: return ev(n->lhs, s) * ev(n->rhs, s);
+    case StateOp::kDiv: {
+      const Value d = ev(n->rhs, s);
+      return d == 0 ? 0 : ev(n->lhs, s) / d;
+    }
+    case StateOp::kNeg: return -ev(n->lhs, s);
+    case StateOp::kEq: return ev(n->lhs, s) == ev(n->rhs, s) ? 1 : 0;
+    case StateOp::kNe: return ev(n->lhs, s) != ev(n->rhs, s) ? 1 : 0;
+    case StateOp::kLt: return ev(n->lhs, s) < ev(n->rhs, s) ? 1 : 0;
+    case StateOp::kLe: return ev(n->lhs, s) <= ev(n->rhs, s) ? 1 : 0;
+    case StateOp::kGt: return ev(n->lhs, s) > ev(n->rhs, s) ? 1 : 0;
+    case StateOp::kGe: return ev(n->lhs, s) >= ev(n->rhs, s) ? 1 : 0;
+  }
+  return 0;
+}
+
+const char* symbol(StateOp op) {
+  switch (op) {
+    case StateOp::kAdd: return "+";
+    case StateOp::kSub: return "-";
+    case StateOp::kMul: return "*";
+    case StateOp::kDiv: return "/";
+    case StateOp::kEq: return "==";
+    case StateOp::kNe: return "!=";
+    case StateOp::kLt: return "<";
+    case StateOp::kLe: return "<=";
+    case StateOp::kGt: return ">";
+    case StateOp::kGe: return ">=";
+    default: return "?";
+  }
+}
+
+void print(const StateExpr::Node* n, std::ostringstream& os) {
+  switch (n->op) {
+    case StateOp::kConst:
+      os << n->constant;
+      return;
+    case StateOp::kVar:
+      os << n->name;
+      return;
+    case StateOp::kNeg:
+      os << '-';
+      print(n->lhs.get(), os);
+      return;
+    default:
+      os << '(';
+      print(n->lhs.get(), os);
+      os << ' ' << symbol(n->op) << ' ';
+      print(n->rhs.get(), os);
+      os << ')';
+  }
+}
+
+}  // namespace
+
+Value StateExpr::eval(const observer::GlobalState& s) const {
+  return evalNode(node_.get(), s);
+}
+
+std::string StateExpr::toString() const {
+  std::ostringstream os;
+  print(node_.get(), os);
+  return os.str();
+}
+
+}  // namespace mpx::logic

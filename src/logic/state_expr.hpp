@@ -1,0 +1,59 @@
+// Arithmetic/boolean expressions over observer global states — the atoms
+// of the specification logic.
+//
+// Properties in the paper are built from state predicates like (x > 0) or
+// (y = 0) over the relevant variables (paper §2.3).  A StateExpr evaluates
+// to a Value against a GlobalState; boolean contexts read 0 as false and
+// anything else as true.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "observer/global_state.hpp"
+#include "vc/types.hpp"
+
+namespace mpx::logic {
+
+enum class StateOp : std::uint8_t {
+  kConst,
+  kVar,  // tracked-variable slot
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Immutable expression tree over state slots.
+class StateExpr {
+ public:
+  StateExpr() : StateExpr(constant(0)) {}
+
+  [[nodiscard]] static StateExpr constant(Value v);
+  /// Variable by tracked slot; `name` kept for rendering.
+  [[nodiscard]] static StateExpr var(std::size_t slot, std::string name);
+  [[nodiscard]] static StateExpr unary(StateOp op, StateExpr e);
+  [[nodiscard]] static StateExpr binary(StateOp op, StateExpr a, StateExpr b);
+
+  [[nodiscard]] Value eval(const observer::GlobalState& s) const;
+  [[nodiscard]] bool evalBool(const observer::GlobalState& s) const {
+    return eval(s) != 0;
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+  struct Node;  // public-opaque, defined in the .cpp
+
+ private:
+  explicit StateExpr(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace mpx::logic

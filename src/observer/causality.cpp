@@ -1,0 +1,120 @@
+#include "observer/causality.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpx::observer {
+
+void CausalityGraph::ingest(const trace::Message& m) {
+  if (finalized_) {
+    throw std::logic_error("CausalityGraph: ingest after finalize");
+  }
+  const ThreadId t = m.event.thread;
+  if (t >= perThread_.size()) perThread_.resize(t + 1);
+  perThread_[t].push_back(m);
+  ++count_;
+}
+
+void CausalityGraph::finalize() {
+  if (finalized_) return;
+  for (ThreadId j = 0; j < perThread_.size(); ++j) {
+    auto& stream = perThread_[j];
+    // The j-th component of a thread-j message counts that thread's
+    // relevant events so far — sort by it to undo channel reordering.
+    std::sort(stream.begin(), stream.end(),
+              [j](const trace::Message& a, const trace::Message& b) {
+                return a.clock[j] < b.clock[j];
+              });
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      if (stream[k].clock[j] != k + 1) {
+        throw std::runtime_error(
+            "CausalityGraph: thread " + std::to_string(j) +
+            " stream has a gap or duplicate at position " +
+            std::to_string(k + 1) + " (clock says " +
+            std::to_string(stream[k].clock[j]) + ")");
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+const trace::Message& CausalityGraph::message(ThreadId j, LocalSeq k) const {
+  if (j >= perThread_.size() || k == 0 || k > perThread_[j].size()) {
+    throw std::out_of_range("CausalityGraph: no event " + std::to_string(k) +
+                            " on thread " + std::to_string(j));
+  }
+  return perThread_[j][k - 1];
+}
+
+std::span<const trace::Message> CausalityGraph::threadStream(
+    ThreadId j) const {
+  if (j >= perThread_.size()) return {};
+  return perThread_[j];
+}
+
+bool CausalityGraph::precedes(const EventRef& a, const EventRef& b) const {
+  if (a == b) return false;
+  if (a.thread == b.thread) return a.index < b.index;
+  // Theorem 3: e ⊳ e' iff V[i] <= V'[i], i the emitting thread of e.
+  const trace::Message& ma = message(a);
+  const trace::Message& mb = message(b);
+  return ma.clock[a.thread] <= mb.clock[a.thread];
+}
+
+std::vector<EventRef> CausalityGraph::allEvents() const {
+  std::vector<EventRef> out;
+  out.reserve(count_);
+  for (ThreadId j = 0; j < perThread_.size(); ++j) {
+    for (LocalSeq k = 1; k <= perThread_[j].size(); ++k) {
+      out.push_back(EventRef{j, k});
+    }
+  }
+  return out;
+}
+
+std::vector<EventRef> CausalityGraph::observedOrder() const {
+  std::vector<EventRef> out = allEvents();
+  std::sort(out.begin(), out.end(), [this](const EventRef& a,
+                                           const EventRef& b) {
+    return message(a).event.globalSeq < message(b).event.globalSeq;
+  });
+  return out;
+}
+
+std::string CausalityGraph::renderDot(const trace::VarTable& vars) const {
+  const auto all = allEvents();
+  const auto nodeId = [](const EventRef& r) {
+    return "e" + std::to_string(r.thread) + "_" + std::to_string(r.index);
+  };
+
+  std::ostringstream os;
+  os << "digraph causality {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const EventRef& r : all) {
+    const trace::Message& m = message(r);
+    os << "  " << nodeId(r) << " [label=\"T" << (r.thread + 1) << ": ";
+    if (m.event.accessesVariable()) {
+      os << vars.name(m.event.var) << '=' << m.event.value;
+    } else {
+      os << trace::toString(m.event.kind);
+    }
+    os << "\\n" << m.clock.toString() << "\"];\n";
+  }
+  // Covering relation: a -> b with no c strictly between.
+  for (const EventRef& a : all) {
+    for (const EventRef& b : all) {
+      if (!precedes(a, b)) continue;
+      bool covered = false;
+      for (const EventRef& c : all) {
+        if (precedes(a, c) && precedes(c, b)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) os << "  " << nodeId(a) << " -> " << nodeId(b) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpx::observer

@@ -1,0 +1,98 @@
+// The observer's reconstruction of the relevant-causality partial order ⊳
+// from the message stream <e, i, V> — in any delivery order.
+//
+// Theorem 3 (paper §3): for two emitted messages <e,i,V> and <e',i',V'>,
+//     e ⊳ e'  iff  V[i] <= V'[i]  iff  V < V'.
+// In particular the i-th component of a thread-i message equals the number
+// of relevant events thread i has generated up to and including e, so the
+// messages of one thread can be totally ordered (and gaps detected) purely
+// from their clocks — no arrival-order assumptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/channel.hpp"
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::observer {
+
+/// Identifies a relevant event as the observer knows it: the `index`-th
+/// relevant event (1-based) of thread `thread`.
+struct EventRef {
+  ThreadId thread = kNoThread;
+  LocalSeq index = 0;  // 1-based: clock[thread] of the message
+
+  friend bool operator==(const EventRef&, const EventRef&) = default;
+};
+
+/// Accumulates messages and reconstructs ⊳.  Also a MessageSink, so a
+/// Channel can deliver straight into it.
+class CausalityGraph final : public trace::MessageSink {
+ public:
+  CausalityGraph() = default;
+
+  void onMessage(const trace::Message& m) override { ingest(m); }
+  void ingest(const trace::Message& m);
+
+  /// Sorts per-thread streams and validates completeness (each thread's own
+  /// clock components must be exactly 1..k with no gaps or duplicates).
+  /// Must be called after all messages arrived, before queries.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Number of thread slots (max thread id seen + 1).
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return perThread_.size();
+  }
+
+  /// Total number of relevant events.
+  [[nodiscard]] std::size_t eventCount() const noexcept { return count_; }
+
+  /// Number of relevant events of thread j.
+  [[nodiscard]] std::size_t eventsOfThread(ThreadId j) const {
+    return j < perThread_.size() ? perThread_[j].size() : 0;
+  }
+
+  /// The k-th (1-based) relevant event of thread j.
+  [[nodiscard]] const trace::Message& message(ThreadId j, LocalSeq k) const;
+
+  [[nodiscard]] const trace::Message& message(const EventRef& ref) const {
+    return message(ref.thread, ref.index);
+  }
+
+  /// All messages of one thread in causal (= emission) order.
+  [[nodiscard]] std::span<const trace::Message> threadStream(ThreadId j) const;
+
+  /// e ⊳ e' via Theorem 3.
+  [[nodiscard]] bool precedes(const EventRef& a, const EventRef& b) const;
+  [[nodiscard]] bool concurrent(const EventRef& a, const EventRef& b) const {
+    return !(a == b) && !precedes(a, b) && !precedes(b, a);
+  }
+
+  /// All events, in an arbitrary but fixed order (thread-major).
+  [[nodiscard]] std::vector<EventRef> allEvents() const;
+
+  /// The observed execution's own linearization of the relevant events,
+  /// recovered from the events' globalSeq stamps (the observer uses this
+  /// only to report which lattice path was the actually-executed one).
+  [[nodiscard]] std::vector<EventRef> observedOrder() const;
+
+  /// Graphviz rendering of ⊳'s covering relation (transitive reduction),
+  /// one node per relevant event labelled "T<i+1>: var=value" with its
+  /// clock.  Variable names resolve through `vars`.
+  [[nodiscard]] std::string renderDot(const trace::VarTable& vars) const;
+
+ private:
+  std::vector<std::vector<trace::Message>> perThread_;
+  std::size_t count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mpx::observer

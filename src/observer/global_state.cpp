@@ -1,0 +1,60 @@
+#include "observer/global_state.hpp"
+
+#include <sstream>
+
+namespace mpx::observer {
+
+StateSpace::StateSpace(const trace::VarTable& vars,
+                       const std::vector<VarId>& tracked) {
+  varIds_ = tracked;
+  for (std::size_t slot = 0; slot < tracked.size(); ++slot) {
+    const VarId v = tracked[slot];
+    names_.push_back(vars.name(v));
+    init_.push_back(vars.initial(v));
+    if (!slots_.emplace(v, slot).second) {
+      throw std::invalid_argument("StateSpace: duplicate variable " +
+                                  vars.name(v));
+    }
+  }
+}
+
+StateSpace StateSpace::byNames(const trace::VarTable& vars,
+                               const std::vector<std::string>& names) {
+  std::vector<VarId> ids;
+  ids.reserve(names.size());
+  for (const std::string& n : names) ids.push_back(vars.id(n));
+  return StateSpace(vars, ids);
+}
+
+StateSpace StateSpace::allData(const trace::VarTable& vars) {
+  return StateSpace(vars, vars.idsWithRole(trace::VarRole::kData));
+}
+
+std::size_t StateSpace::slotOfName(const std::string& name) const {
+  for (std::size_t slot = 0; slot < names_.size(); ++slot) {
+    if (names_[slot] == name) return slot;
+  }
+  throw std::out_of_range("StateSpace: variable '" + name + "' not tracked");
+}
+
+std::string GlobalState::toString() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+std::string GlobalState::toString(const StateSpace& space) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << space.name(i) << " = " << values[i];
+  }
+  return os.str();
+}
+
+}  // namespace mpx::observer

@@ -1,0 +1,110 @@
+// Global states as the observer sees them.
+//
+// Paper §1: "A state is a map assigning values to variables"; the observer
+// only tracks the *relevant* variables the specification mentions (plus any
+// the user asks for).  StateSpace fixes that set of variables — their ids,
+// names and initial values — and GlobalState is a valuation over it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/var_table.hpp"
+#include "vc/types.hpp"
+
+namespace mpx::observer {
+
+/// The (ordered) set of variables whose values constitute a global state.
+class StateSpace {
+ public:
+  StateSpace() = default;
+
+  /// Track the given variables (in the given order), with names and initial
+  /// values taken from `vars`.
+  StateSpace(const trace::VarTable& vars, const std::vector<VarId>& tracked);
+
+  /// Track variables by name.
+  static StateSpace byNames(const trace::VarTable& vars,
+                            const std::vector<std::string>& names);
+
+  /// Track every data variable in the table.
+  static StateSpace allData(const trace::VarTable& vars);
+
+  [[nodiscard]] std::size_t size() const noexcept { return varIds_.size(); }
+  [[nodiscard]] const std::vector<VarId>& varIds() const noexcept {
+    return varIds_;
+  }
+  [[nodiscard]] const std::string& name(std::size_t slot) const {
+    return names_.at(slot);
+  }
+
+  /// Slot of a variable id, if tracked.
+  [[nodiscard]] std::optional<std::size_t> slotOf(VarId v) const {
+    const auto it = slots_.find(v);
+    if (it == slots_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Slot of a variable by name; throws if unknown.
+  [[nodiscard]] std::size_t slotOfName(const std::string& name) const;
+
+  /// The initial valuation.
+  [[nodiscard]] const std::vector<Value>& initialValues() const noexcept {
+    return init_;
+  }
+
+ private:
+  std::vector<VarId> varIds_;
+  std::vector<std::string> names_;
+  std::vector<Value> init_;
+  std::unordered_map<VarId, std::size_t> slots_;
+};
+
+/// A valuation of the tracked variables.  Value semantics, hashable.
+struct GlobalState {
+  std::vector<Value> values;
+
+  GlobalState() = default;
+  explicit GlobalState(std::vector<Value> v) : values(std::move(v)) {}
+
+  [[nodiscard]] Value operator[](std::size_t slot) const {
+    return values[slot];
+  }
+
+  /// Returns a copy with `slot` set to `v` (lattice edge application).
+  [[nodiscard]] GlobalState with(std::size_t slot, Value v) const {
+    GlobalState s = *this;
+    s.values[slot] = v;
+    return s;
+  }
+
+  friend bool operator==(const GlobalState&, const GlobalState&) = default;
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const Value v : values) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// "<1,1,0>" rendering, matching the paper's Fig. 5 state triples.
+  [[nodiscard]] std::string toString() const;
+
+  /// "x = 1, y = 0, z = 1" rendering with names from the state space.
+  [[nodiscard]] std::string toString(const StateSpace& space) const;
+};
+
+struct GlobalStateHash {
+  std::size_t operator()(const GlobalState& s) const noexcept {
+    return s.hash();
+  }
+};
+
+}  // namespace mpx::observer

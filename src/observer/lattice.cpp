@@ -1,0 +1,270 @@
+#include "observer/lattice.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpx::observer {
+
+std::string Cut::toString() const {
+  std::ostringstream os;
+  os << 'S';
+  for (const auto v : k) os << v;
+  return os.str();
+}
+
+std::vector<EventRef> unwindPath(const PathPtr& path) {
+  std::vector<EventRef> out;
+  for (const PathNode* p = path.get(); p != nullptr; p = p->parent.get()) {
+    out.push_back(p->event);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+ComputationLattice::ComputationLattice(const CausalityGraph& graph,
+                                       StateSpace space, LatticeOptions opts)
+    : graph_(&graph), space_(std::move(space)), opts_(opts) {
+  if (!graph.finalized()) {
+    throw std::logic_error("ComputationLattice: CausalityGraph not finalized");
+  }
+}
+
+bool ComputationLattice::enabled(const Cut& cut, ThreadId j) const {
+  if (cut.k[j] >= graph_->eventsOfThread(j)) return false;
+  const trace::Message& m = graph_->message(j, cut.k[j] + 1);
+  // The event is enabled iff all its causal predecessors are in the cut:
+  // V[j'] <= k_j' for every other thread j' (V[j] == k_j + 1 by Theorem 3).
+  for (ThreadId o = 0; o < cut.k.size(); ++o) {
+    if (o == j) continue;
+    if (m.clock[o] > cut.k[o]) return false;
+  }
+  return true;
+}
+
+const LatticeStats& ComputationLattice::build() { return run(nullptr, nullptr); }
+
+const LatticeStats& ComputationLattice::check(
+    LatticeMonitor& mon, std::vector<Violation>& violations) {
+  return run(&mon, &violations);
+}
+
+namespace {
+
+std::uint64_t saturatingAdd(std::uint64_t a, std::uint64_t b, bool& sat) {
+  const std::uint64_t s = a + b;
+  if (s < a) {
+    sat = true;
+    return ~0ull;
+  }
+  return s;
+}
+
+}  // namespace
+
+const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
+                                            std::vector<Violation>* violations) {
+  stats_ = LatticeStats{};
+  retained_.clear();
+
+  const std::size_t n = graph_->threadCount();
+  std::uint64_t maxLevel = 0;
+  for (ThreadId j = 0; j < n; ++j) maxLevel += graph_->eventsOfThread(j);
+
+  // Level 0: the initial cut and the initial global state.
+  Frontier frontier;
+  Node init;
+  init.state = GlobalState(space_.initialValues());
+  init.pathCount = 1;
+  if (mon != nullptr) {
+    const MonitorState m0 = mon->initial(init.state);
+    init.mstates.emplace(m0, nullptr);
+    if (mon->isViolating(m0) && violations != nullptr) {
+      violations->push_back(
+          Violation{Cut(n), init.state, m0, {}});
+    }
+  }
+  frontier.emplace(Cut(n), std::move(init));
+
+  stats_.levels = 1;
+  stats_.totalNodes = 1;
+  stats_.peakLevelWidth = 1;
+  stats_.peakLiveNodes = 1;
+  stats_.monitorStatesPeak = mon != nullptr ? 1 : 0;
+  retainLevel(0, frontier);
+
+  for (std::uint64_t level = 0; level < maxLevel; ++level) {
+    Frontier next;
+    std::size_t edges = 0;
+    for (const auto& [cut, node] : frontier) {
+      for (ThreadId j = 0; j < n; ++j) {
+        if (!enabled(cut, j)) continue;
+        ++edges;
+        const trace::Message& m = graph_->message(j, cut.k[j] + 1);
+        const EventRef ref{j, cut.k[j] + 1};
+        Cut ncut = cut.advanced(j);
+
+        // Apply the event's state update.
+        GlobalState nstate = node.state;
+        if (const auto slot = space_.slotOf(m.event.var)) {
+          nstate.values[*slot] = m.event.value;
+        }
+
+        auto [it, inserted] = next.try_emplace(std::move(ncut));
+        Node& child = it->second;
+        if (inserted) {
+          child.state = std::move(nstate);
+        }
+        // All paths into a cut yield the same state (writes to each
+        // variable are totally ordered by ≺, so a consistent cut has a
+        // unique maximal write per variable).
+        child.pathCount = saturatingAdd(child.pathCount, node.pathCount,
+                                        stats_.pathCountSaturated);
+
+        if (mon != nullptr) {
+          for (const auto& [ms, witness] : node.mstates) {
+            const MonitorState nm = mon->advance(ms, child.state);
+            if (!mon->isViolating(nm) && !mon->canEverViolate(nm)) {
+              ++stats_.prunedMonitorStates;  // permanently safe: GC
+              continue;
+            }
+            const auto found = child.mstates.find(nm);
+            if (found == child.mstates.end()) {
+              PathPtr npath;
+              if (opts_.recordPaths) {
+                npath = std::make_shared<const PathNode>(PathNode{ref, witness});
+              }
+              child.mstates.emplace(nm, npath);
+              if (mon->isViolating(nm) && violations != nullptr &&
+                  violations->size() < opts_.maxViolations) {
+                violations->push_back(Violation{it->first, child.state, nm,
+                                                unwindPath(npath)});
+              }
+            }
+          }
+          stats_.monitorStatesPeak =
+              std::max(stats_.monitorStatesPeak, child.mstates.size());
+        } else if (opts_.recordPaths && inserted) {
+          child.anyPath =
+              std::make_shared<const PathNode>(PathNode{ref, node.anyPath});
+        }
+      }
+    }
+
+    if (next.empty()) {
+      // Should not happen for a consistent finalized graph, but guard.
+      stats_.truncated = true;
+      break;
+    }
+    if (opts_.beamWidth > 0 && next.size() > opts_.beamWidth) {
+      // Beam approximation: keep the cuts covering the most runs.
+      std::vector<const Cut*> order;
+      order.reserve(next.size());
+      for (const auto& [cut, node] : next) order.push_back(&cut);
+      std::sort(order.begin(), order.end(),
+                [&next](const Cut* a, const Cut* b) {
+                  const auto pa = next.at(*a).pathCount;
+                  const auto pb = next.at(*b).pathCount;
+                  if (pa != pb) return pa > pb;
+                  return a->k < b->k;  // deterministic tie-break
+                });
+      Frontier kept;
+      for (std::size_t i = 0; i < opts_.beamWidth; ++i) {
+        kept.emplace(*order[i], std::move(next.at(*order[i])));
+      }
+      stats_.beamPrunedNodes += next.size() - kept.size();
+      stats_.approximated = true;
+      next = std::move(kept);
+    }
+    if (next.size() > opts_.maxNodesPerLevel) {
+      stats_.truncated = true;
+      break;
+    }
+
+    stats_.totalEdges += edges;
+    stats_.totalNodes += next.size();
+    stats_.peakLevelWidth = std::max(stats_.peakLevelWidth, next.size());
+    stats_.peakLiveNodes =
+        std::max(stats_.peakLiveNodes, frontier.size() + next.size());
+    ++stats_.levels;
+    retainLevel(level + 1, next);
+    frontier = std::move(next);  // sliding window: old level dies here
+  }
+
+  // The final frontier is the single complete cut; its pathCount is the
+  // number of multithreaded runs.
+  if (frontier.size() == 1) {
+    stats_.pathCount = frontier.begin()->second.pathCount;
+  }
+  return stats_;
+}
+
+void ComputationLattice::retainLevel(std::uint64_t level,
+                                     const Frontier& frontier) {
+  if (opts_.retention != Retention::kFull) return;
+  std::vector<LevelNode> nodes;
+  nodes.reserve(frontier.size());
+  for (const auto& [cut, node] : frontier) {
+    LevelNode ln;
+    ln.cut = cut;
+    ln.state = node.state;
+    ln.pathCount = node.pathCount;
+    for (const auto& [ms, witness] : node.mstates) {
+      ln.monitorStates.push_back(ms);
+    }
+    nodes.push_back(std::move(ln));
+  }
+  std::sort(nodes.begin(), nodes.end(), [](const LevelNode& a,
+                                           const LevelNode& b) {
+    return a.cut.k < b.cut.k;
+  });
+  if (retained_.size() <= level) retained_.resize(level + 1);
+  retained_[level] = std::move(nodes);
+}
+
+const std::vector<std::vector<LevelNode>>& ComputationLattice::levels() const {
+  if (opts_.retention != Retention::kFull) {
+    throw std::logic_error(
+        "ComputationLattice: levels() requires Retention::kFull");
+  }
+  return retained_;
+}
+
+std::string ComputationLattice::render() const {
+  const auto& lv = levels();
+  std::ostringstream os;
+  for (std::size_t L = 0; L < lv.size(); ++L) {
+    os << "Level " << L << ":";
+    for (const LevelNode& node : lv[L]) {
+      os << "  " << node.cut.toString() << node.state.toString();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ComputationLattice::renderDot() const {
+  const auto& lv = levels();
+  std::ostringstream os;
+  os << "digraph lattice {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const auto& level : lv) {
+    for (const LevelNode& node : level) {
+      os << "  \"" << node.cut.toString() << "\" [label=\""
+         << node.cut.toString() << "\\n" << node.state.toString() << "\"];\n";
+    }
+  }
+  // Edges: recompute enabledness between consecutive levels.
+  for (std::size_t L = 0; L + 1 < lv.size(); ++L) {
+    for (const LevelNode& node : lv[L]) {
+      for (ThreadId j = 0; j < node.cut.k.size(); ++j) {
+        if (!enabled(node.cut, j)) continue;
+        const Cut ncut = node.cut.advanced(j);
+        os << "  \"" << node.cut.toString() << "\" -> \"" << ncut.toString()
+           << "\";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpx::observer

@@ -1,0 +1,204 @@
+#include "observer/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpx::observer {
+
+OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
+                               LatticeMonitor* monitor, LatticeOptions opts)
+    : space_(std::move(space)), monitor_(monitor), opts_(opts) {
+  buffered_.resize(threads);
+  // Level 0.
+  Node init;
+  init.state = GlobalState(space_.initialValues());
+  init.pathCount = 1;
+  if (monitor_ != nullptr) {
+    const MonitorState m0 = monitor_->initial(init.state);
+    init.mstates.emplace(m0, nullptr);
+    if (monitor_->isViolating(m0)) {
+      violations_.push_back(Violation{Cut(threads), init.state, m0, {}});
+    }
+  }
+  frontier_.emplace(Cut(threads), std::move(init));
+  stats_.levels = 1;
+  stats_.totalNodes = 1;
+  stats_.peakLevelWidth = 1;
+  stats_.peakLiveNodes = 1;
+  stats_.monitorStatesPeak = monitor_ != nullptr ? 1 : 0;
+}
+
+const trace::Message* OnlineAnalyzer::find(ThreadId j, LocalSeq k) const {
+  if (j >= buffered_.size()) return nullptr;
+  const auto it = buffered_[j].find(k);
+  return it == buffered_[j].end() ? nullptr : &it->second;
+}
+
+void OnlineAnalyzer::onMessage(const trace::Message& m) {
+  if (ended_) {
+    throw std::logic_error("OnlineAnalyzer: message after endOfTrace");
+  }
+  const ThreadId j = m.event.thread;
+  const LocalSeq k = m.clock[j];
+  if (k == 0) {
+    throw std::runtime_error(
+        "OnlineAnalyzer: message clock has zero own-component");
+  }
+  if (j >= buffered_.size()) {
+    throw std::runtime_error(
+        "OnlineAnalyzer: message from thread " + std::to_string(j) +
+        " beyond the declared thread count " +
+        std::to_string(buffered_.size()));
+  }
+  if (!buffered_[j].emplace(k, m).second) {
+    throw std::runtime_error("OnlineAnalyzer: duplicate message for thread " +
+                             std::to_string(j) + " index " +
+                             std::to_string(k));
+  }
+  ++pending_;
+  tryAdvance();
+}
+
+void OnlineAnalyzer::endOfTrace() {
+  if (ended_) return;
+  ended_ = true;
+  tryAdvance();
+  if (!finished_) {
+    throw std::runtime_error(
+        "OnlineAnalyzer: trace ended with gaps — " +
+        std::to_string(pending_) + " messages unusable");
+  }
+}
+
+bool OnlineAnalyzer::enabled(const Cut& cut, ThreadId j,
+                             const trace::Message& m) const {
+  for (ThreadId o = 0; o < cut.k.size(); ++o) {
+    if (o == j) continue;
+    if (m.clock[o] > cut.k[o]) return false;
+  }
+  return true;
+}
+
+bool OnlineAnalyzer::canExpand() const {
+  // The next level is computable when, for every frontier cut and thread,
+  // the candidate next event (j, k_j + 1) is either buffered or known not
+  // to exist (trace ended and the thread's stream stops earlier).
+  bool anySuccessor = false;
+  for (const auto& [cut, node] : frontier_) {
+    for (ThreadId j = 0; j < cut.k.size(); ++j) {
+      const trace::Message* next = find(j, cut.k[j] + 1);
+      if (next != nullptr) {
+        anySuccessor = true;
+        continue;
+      }
+      if (!ended_) return false;  // might still arrive
+    }
+  }
+  if (buffered_.empty() && !ended_) return false;
+  return anySuccessor;
+}
+
+void OnlineAnalyzer::expandOneLevel() {
+  Frontier next;
+  std::size_t edges = 0;
+  for (const auto& [cut, node] : frontier_) {
+    for (ThreadId j = 0; j < cut.k.size(); ++j) {
+      const trace::Message* m = find(j, cut.k[j] + 1);
+      if (m == nullptr || !enabled(cut, j, *m)) continue;
+      ++edges;
+      const EventRef ref{j, cut.k[j] + 1};
+      Cut ncut = cut.advanced(j);
+
+      GlobalState nstate = node.state;
+      if (const auto slot = space_.slotOf(m->event.var)) {
+        nstate.values[*slot] = m->event.value;
+      }
+
+      auto [it, inserted] = next.try_emplace(std::move(ncut));
+      Node& child = it->second;
+      if (inserted) child.state = std::move(nstate);
+      child.pathCount += node.pathCount;
+
+      if (monitor_ != nullptr) {
+        for (const auto& [ms, witness] : node.mstates) {
+          const MonitorState nm = monitor_->advance(ms, child.state);
+          if (!monitor_->isViolating(nm) && !monitor_->canEverViolate(nm)) {
+            ++stats_.prunedMonitorStates;  // permanently safe: GC
+            continue;
+          }
+          if (child.mstates.contains(nm)) continue;
+          PathPtr npath;
+          if (opts_.recordPaths) {
+            npath = std::make_shared<const PathNode>(PathNode{ref, witness});
+          }
+          child.mstates.emplace(nm, npath);
+          if (monitor_->isViolating(nm) &&
+              violations_.size() < opts_.maxViolations) {
+            violations_.push_back(
+                Violation{it->first, child.state, nm, unwindPath(npath)});
+          }
+        }
+        stats_.monitorStatesPeak =
+            std::max(stats_.monitorStatesPeak, child.mstates.size());
+      }
+    }
+  }
+
+  // Consume: every event at the frontier's level is now folded in.  Each
+  // expansion uses one message per thread-successor; the per-level message
+  // consumption equals the number of distinct (j, k) pairs at this level,
+  // which is exactly the set of events whose EventRef appears.  We simply
+  // recompute pending_ from the high-water marks below.
+  stats_.totalEdges += edges;
+  stats_.totalNodes += next.size();
+  stats_.peakLevelWidth = std::max(stats_.peakLevelWidth, next.size());
+  stats_.peakLiveNodes =
+      std::max(stats_.peakLiveNodes, frontier_.size() + next.size());
+  ++stats_.levels;
+  frontier_ = std::move(next);
+
+  // Recompute pending: messages with index > max frontier k for their
+  // thread are still pending; consumed ones could be dropped here (true
+  // GC) — we keep them for path reconstruction but count precisely.
+  std::vector<LocalSeq> maxK(buffered_.size(), 0);
+  for (const auto& [cut, node] : frontier_) {
+    for (ThreadId j = 0; j < cut.k.size(); ++j) {
+      maxK[j] = std::max<LocalSeq>(maxK[j], cut.k[j]);
+    }
+  }
+  pending_ = 0;
+  for (ThreadId j = 0; j < buffered_.size(); ++j) {
+    for (const auto& [k, m] : buffered_[j]) {
+      if (k > maxK[j]) ++pending_;
+    }
+  }
+}
+
+void OnlineAnalyzer::tryAdvance() {
+  while (!finished_ && canExpand()) {
+    expandOneLevel();
+    if (frontier_.size() > opts_.maxNodesPerLevel) {
+      stats_.truncated = true;
+      finished_ = true;
+      return;
+    }
+  }
+  if (ended_ && !finished_) {
+    // Finished when the frontier is the single complete cut: no thread has
+    // a buffered successor.
+    bool complete = frontier_.size() == 1;
+    if (complete) {
+      const Cut& cut = frontier_.begin()->first;
+      for (ThreadId j = 0; j < cut.k.size(); ++j) {
+        if (find(j, cut.k[j] + 1) != nullptr) complete = false;
+      }
+      // Also require no stray unconsumed messages (gap detection).
+      if (complete && pending_ == 0) {
+        finished_ = true;
+        stats_.pathCount = frontier_.begin()->second.pathCount;
+      }
+    }
+  }
+}
+
+}  // namespace mpx::observer

@@ -1,0 +1,109 @@
+// Online, incremental lattice analysis (paper §4):
+//
+//   "Since events are received incrementally from the instrumented program,
+//    one can buffer them at the observer's side and then build the lattice
+//    on a level-by-level basis in a top-down manner, as the events become
+//    available.  The observer's analysis process can also be performed
+//    incrementally, so that parts of the lattice which become non-relevant
+//    for the property to check can be garbage-collected while the analysis
+//    process continues."
+//
+// OnlineAnalyzer is a MessageSink: messages arrive one at a time, in ANY
+// order (Theorem 3 makes per-thread positions recoverable from the clocks).
+// After each arrival it advances the lattice as many whole levels as the
+// buffered messages allow, runs the monitor over the new level, reports
+// violations immediately, and garbage-collects the previous level.  The
+// offline ComputationLattice is the batch special case of this; the tests
+// assert they produce identical verdicts and statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "observer/global_state.hpp"
+#include "observer/lattice.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::observer {
+
+class OnlineAnalyzer final : public trace::MessageSink {
+ public:
+  /// `monitor` may be null (structure-only mode).  Violations are appended
+  /// to an internal list as soon as they are discovered.
+  ///
+  /// `threads` is the number of threads of the instrumented program.  The
+  /// paper's setting ("we only consider a fixed number of threads", §2):
+  /// without it the analyzer could not know whether a level is complete —
+  /// an as-yet-silent thread might still contribute a concurrent event to
+  /// it.  (Dynamically created threads are announced by their spawner
+  /// before their first event, so a dynamic system can conservatively pass
+  /// the maximum and let absent threads be closed by endOfTrace().)
+  OnlineAnalyzer(StateSpace space, std::size_t threads,
+                 LatticeMonitor* monitor, LatticeOptions opts = {});
+
+  /// Feed one message (any arrival order).  Advances the lattice as far as
+  /// the buffered messages permit.
+  void onMessage(const trace::Message& m) override;
+
+  /// Declare the stream complete: threads send nothing further.  Required
+  /// to finish — a frontier cut at the end of a thread's stream is only
+  /// known to be maximal once the stream is known to be over.  Throws if
+  /// buffered messages have gaps.
+  void endOfTrace();
+
+  /// Violations discovered so far (earliest level first).
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// Number of completed lattice levels (level 0 counts once the analyzer
+  /// is constructed).
+  [[nodiscard]] std::uint64_t levelsCompleted() const noexcept {
+    return stats_.levels;
+  }
+
+  /// True once every buffered event has been consumed after endOfTrace().
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  [[nodiscard]] const LatticeStats& stats() const noexcept { return stats_; }
+
+  /// Messages buffered but not yet consumed into the lattice.
+  [[nodiscard]] std::size_t pendingMessages() const noexcept {
+    return pending_;
+  }
+
+ private:
+  struct Node {
+    GlobalState state;
+    std::uint64_t pathCount = 0;
+    std::map<MonitorState, PathPtr> mstates;
+  };
+  using Frontier = std::unordered_map<Cut, Node, CutHash>;
+
+  /// The k-th (1-based) message of thread j, if present.
+  [[nodiscard]] const trace::Message* find(ThreadId j, LocalSeq k) const;
+
+  /// Advance whole levels while every needed next-event is available (or
+  /// known absent because the trace ended).
+  void tryAdvance();
+  [[nodiscard]] bool canExpand() const;
+  void expandOneLevel();
+  [[nodiscard]] bool enabled(const Cut& cut, ThreadId j,
+                             const trace::Message& m) const;
+
+  StateSpace space_;
+  LatticeMonitor* monitor_;
+  LatticeOptions opts_;
+  /// buffered_[j][k] = thread j's k-th message (sparse until gaps fill).
+  std::vector<std::unordered_map<LocalSeq, trace::Message>> buffered_;
+  std::size_t pending_ = 0;
+  bool ended_ = false;
+  bool finished_ = false;
+  Frontier frontier_;
+  LatticeStats stats_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace mpx::observer

@@ -1,0 +1,107 @@
+#include "observer/run_enumerator.hpp"
+
+#include <stdexcept>
+
+namespace mpx::observer {
+
+RunEnumerator::RunEnumerator(const CausalityGraph& graph, StateSpace space)
+    : graph_(&graph), space_(std::move(space)) {
+  if (!graph.finalized()) {
+    throw std::logic_error("RunEnumerator: CausalityGraph not finalized");
+  }
+}
+
+bool RunEnumerator::enabled(const std::vector<std::uint32_t>& cut,
+                            ThreadId j) const {
+  if (cut[j] >= graph_->eventsOfThread(j)) return false;
+  const trace::Message& m = graph_->message(j, cut[j] + 1);
+  for (ThreadId o = 0; o < cut.size(); ++o) {
+    if (o == j) continue;
+    if (m.clock[o] > cut[o]) return false;
+  }
+  return true;
+}
+
+std::size_t RunEnumerator::forEachRun(
+    const std::function<bool(const Run&)>& fn, std::size_t maxRuns) {
+  const std::size_t n = graph_->threadCount();
+  std::vector<std::uint32_t> cut(n, 0);
+  Run run;
+  run.states.push_back(GlobalState(space_.initialValues()));
+  std::size_t visited = 0;
+  dfs(cut, run, visited, maxRuns, fn);
+  return visited;
+}
+
+bool RunEnumerator::dfs(std::vector<std::uint32_t>& cut, Run& run,
+                        std::size_t& visited, std::size_t maxRuns,
+                        const std::function<bool(const Run&)>& fn) {
+  bool extended = false;
+  for (ThreadId j = 0; j < cut.size(); ++j) {
+    if (!enabled(cut, j)) continue;
+    extended = true;
+
+    const trace::Message& m = graph_->message(j, cut[j] + 1);
+    run.events.push_back(EventRef{j, cut[j] + 1});
+    GlobalState next = run.states.back();
+    if (const auto slot = space_.slotOf(m.event.var)) {
+      next.values[*slot] = m.event.value;
+    }
+    run.states.push_back(std::move(next));
+    ++cut[j];
+
+    const bool keepGoing = dfs(cut, run, visited, maxRuns, fn);
+
+    --cut[j];
+    run.states.pop_back();
+    run.events.pop_back();
+    if (!keepGoing) return false;
+  }
+
+  if (!extended) {
+    // Maximal: a complete run.
+    ++visited;
+    if (!fn(run)) return false;
+    if (visited >= maxRuns) return false;
+  }
+  return true;
+}
+
+std::vector<Run> RunEnumerator::enumerateAll(std::size_t maxRuns) {
+  std::vector<Run> out;
+  forEachRun(
+      [&out](const Run& r) {
+        out.push_back(r);
+        return true;
+      },
+      maxRuns);
+  return out;
+}
+
+bool RunEnumerator::isConsistentRun(
+    const std::vector<EventRef>& events) const {
+  std::vector<std::uint32_t> cut(graph_->threadCount(), 0);
+  for (const EventRef& ref : events) {
+    if (ref.index != cut[ref.thread] + 1) return false;
+    if (!enabled(cut, ref.thread)) return false;
+    ++cut[ref.thread];
+  }
+  return true;
+}
+
+std::vector<GlobalState> RunEnumerator::statesAlong(
+    const std::vector<EventRef>& events) const {
+  std::vector<GlobalState> states;
+  states.push_back(GlobalState(space_.initialValues()));
+  for (const EventRef& ref : events) {
+    const trace::Message& m = graph_->message(ref);
+    GlobalState next = states.back();
+    if (const auto slot = space_.slotOf(m.event.var)) {
+      next.values[*slot] = m.event.value;
+    }
+    states.push_back(std::move(next));
+  }
+  return states;
+}
+
+}  // namespace mpx::observer

@@ -1,0 +1,390 @@
+#include "program/corpus.hpp"
+
+#include <random>
+#include <string>
+
+namespace mpx::program::corpus {
+
+Program landingController(std::size_t padding) {
+  ProgramBuilder b;
+  const VarId landing = b.var("landing", 0);
+  const VarId approved = b.var("approved", 0);
+  const VarId radio = b.var("radio", 1);
+
+  // thread1: askLandingApproval(); if (approved == 1) landing = 1;
+  auto t1 = b.thread("controller");
+  t1.note("askLandingApproval: test the radio")
+      .read(radio, 0)
+      .ifThenElse(
+          reg(0) == lit(0),
+          [&](ThreadBuilder& t) { t.write(approved, lit(0)); },
+          [&](ThreadBuilder& t) { t.write(approved, lit(1)); })
+      .read(approved, 1)
+      .ifThen(reg(1) == lit(1),
+              [&](ThreadBuilder& t) {
+                t.note("landing started").write(landing, lit(1));
+              });
+
+  // thread2: checkRadio eventually turns the radio off.
+  auto t2 = b.thread("radio-watcher");
+  t2.repeat(padding, [](ThreadBuilder& t) { t.internalOp(); });
+  t2.read(radio, 0).note("radio goes down").write(radio, lit(0));
+
+  return b.build();
+}
+
+const char* landingProperty() {
+  // "If the plane has STARTED landing, then it is the case that landing has
+  // been approved and since then the radio signal has never been down."
+  // The trigger is the start of landing (the paper's observed run, where
+  // the radio drops only after landing began, is explicitly successful),
+  // so the antecedent is the start edge of landing = 1.
+  return "start(landing = 1) -> [approved = 1, radio = 0)";
+}
+
+std::vector<ThreadId> landingObservedSchedule() {
+  // T1 to completion (7 steps: read radio, brz, write approved=1,
+  // read approved, brz, write landing=1, halt), then T2 (3 steps:
+  // read radio, write radio=0, halt).  The radio goes off AFTER landing —
+  // the paper's successful execution.
+  return {0, 0, 0, 0, 0, 0, 0, 1, 1, 1};
+}
+
+Program xyzProgram(std::size_t dots) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", -1);
+  const VarId y = b.var("y", 0);
+  const VarId z = b.var("z", 0);
+
+  // thread1: x++; ...; y = x + 1;
+  auto t1 = b.thread("t1");
+  t1.read(x, 0)
+      .write(x, reg(0) + lit(1))
+      .read(x, 1);
+  t1.repeat(dots, [](ThreadBuilder& t) { t.internalOp(); });
+  t1.write(y, reg(1) + lit(1));
+
+  // thread2: z = x + 1; ...; x++;
+  auto t2 = b.thread("t2");
+  t2.read(x, 0).write(z, reg(0) + lit(1));
+  t2.repeat(dots, [](ThreadBuilder& t) { t.internalOp(); });
+  t2.read(x, 1).write(x, reg(1) + lit(1));
+
+  return b.build();
+}
+
+const char* xyzProperty() {
+  // (x > 0) -> [y = 0, y > z)
+  return "x > 0 -> [y = 0, y > z)";
+}
+
+std::vector<ThreadId> xyzObservedSchedule() {
+  // Reproduces the paper's observed state sequence
+  // (-1,0,0) (0,0,0) (0,0,1) (1,0,1) (1,1,1)   (requires dots == 1):
+  //   T1: read x, write x=0 | T2: read x, write z=1 | T1: read x (0)
+  //   T2: dot, read x, write x=1 | T1: dot, write y=1 | halts.
+  return {0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1};
+}
+
+Program bankAccountRacy(std::size_t depositsPerThread, Value amount1,
+                        Value amount2) {
+  ProgramBuilder b;
+  const VarId balance = b.var("balance", 0);
+  auto t1 = b.thread("alice");
+  t1.repeat(depositsPerThread, [&](ThreadBuilder& t) {
+    t.read(balance, 0).internalOp().write(balance, reg(0) + lit(amount1));
+  });
+  auto t2 = b.thread("bob");
+  t2.repeat(depositsPerThread, [&](ThreadBuilder& t) {
+    t.read(balance, 0).internalOp().write(balance, reg(0) + lit(amount2));
+  });
+  return b.build();
+}
+
+Program bankAccountLocked(std::size_t depositsPerThread, Value amount1,
+                          Value amount2) {
+  ProgramBuilder b;
+  const VarId balance = b.var("balance", 0);
+  const LockId m = b.lock("account");
+  auto t1 = b.thread("alice");
+  t1.repeat(depositsPerThread, [&](ThreadBuilder& t) {
+    t.synchronized(m, [&](ThreadBuilder& s) {
+      s.read(balance, 0).internalOp().write(balance, reg(0) + lit(amount1));
+    });
+  });
+  auto t2 = b.thread("bob");
+  t2.repeat(depositsPerThread, [&](ThreadBuilder& t) {
+    t.synchronized(m, [&](ThreadBuilder& s) {
+      s.read(balance, 0).internalOp().write(balance, reg(0) + lit(amount2));
+    });
+  });
+  return b.build();
+}
+
+Program diningPhilosophers(std::size_t n, bool orderedForks) {
+  ProgramBuilder b;
+  std::vector<LockId> forks;
+  forks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    forks.push_back(b.lock("fork" + std::to_string(i)));
+  }
+  std::vector<VarId> meals;
+  meals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    meals.push_back(b.var("meals" + std::to_string(i), 0));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    LockId first = forks[i];
+    LockId second = forks[(i + 1) % n];
+    if (orderedForks && second < first) std::swap(first, second);
+    auto t = b.thread("philosopher" + std::to_string(i));
+    t.lockAcquire(first)
+        .lockAcquire(second)
+        .write(meals[i], lit(1))
+        .lockRelease(second)
+        .lockRelease(first);
+  }
+  return b.build();
+}
+
+Program independentWriters(std::size_t threads, std::size_t writesEach) {
+  ProgramBuilder b;
+  std::vector<VarId> vars;
+  vars.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    vars.push_back(b.var("v" + std::to_string(i), 0));
+  }
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto t = b.thread("writer" + std::to_string(i));
+    for (std::size_t k = 0; k < writesEach; ++k) {
+      t.write(vars[i], lit(static_cast<Value>(k + 1)));
+    }
+  }
+  return b.build();
+}
+
+Program serializedWriters(std::size_t threads, std::size_t writesEach) {
+  ProgramBuilder b;
+  const VarId total = b.var("total", 0);
+  const LockId m = b.lock("m");
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto t = b.thread("incr" + std::to_string(i));
+    t.repeat(writesEach, [&](ThreadBuilder& tb) {
+      tb.synchronized(m, [&](ThreadBuilder& s) {
+        s.read(total, 0).write(total, reg(0) + lit(1));
+      });
+    });
+  }
+  return b.build();
+}
+
+Program producerConsumer(std::size_t items) {
+  ProgramBuilder b;
+  const VarId full = b.var("full", 0);
+  const VarId data = b.var("data", 0);
+  const VarId consumed = b.var("consumed", 0);
+  const LockId m = b.lock("buffer");
+  const CondId notEmpty = b.cond("notEmpty");
+  const CondId notFull = b.cond("notFull");
+
+  auto producer = b.thread("producer");
+  for (std::size_t k = 1; k <= items; ++k) {
+    producer.lockAcquire(m)
+        .read(full, 0)
+        .whileLoop(reg(0) != lit(0),
+                   [&](ThreadBuilder& t) {
+                     t.wait(notFull, m).read(full, 0);
+                   })
+        .write(data, lit(static_cast<Value>(k)))
+        .write(full, lit(1))
+        .notifyAll(notEmpty)
+        .lockRelease(m);
+  }
+
+  auto consumer = b.thread("consumer");
+  for (std::size_t k = 1; k <= items; ++k) {
+    consumer.lockAcquire(m)
+        .read(full, 0)
+        .whileLoop(reg(0) == lit(0),
+                   [&](ThreadBuilder& t) {
+                     t.wait(notEmpty, m).read(full, 0);
+                   })
+        .read(data, 1)
+        .write(consumed, reg(1))
+        .write(full, lit(0))
+        .notifyAll(notFull)
+        .lockRelease(m);
+  }
+  return b.build();
+}
+
+Program readersWriter(std::size_t readerCount) {
+  ProgramBuilder b;
+  const VarId readers = b.var("readers", 0);
+  const VarId writing = b.var("writing", 0);
+  const VarId data = b.var("data", 0);
+  const LockId m = b.lock("state");
+  const CondId c = b.cond("turn");
+
+  auto writer = b.thread("writer");
+  writer.lockAcquire(m)
+      .read(readers, 0)
+      .whileLoop(reg(0) != lit(0),
+                 [&](ThreadBuilder& t) { t.wait(c, m).read(readers, 0); })
+      .write(writing, lit(1))
+      .lockRelease(m)
+      .write(data, lit(42))
+      .lockAcquire(m)
+      .write(writing, lit(0))
+      .notifyAll(c)
+      .lockRelease(m);
+
+  for (std::size_t i = 0; i < readerCount; ++i) {
+    auto reader = b.thread("reader" + std::to_string(i));
+    reader.lockAcquire(m)
+        .read(writing, 0)
+        .whileLoop(reg(0) != lit(0),
+                   [&](ThreadBuilder& t) { t.wait(c, m).read(writing, 0); })
+        .read(readers, 1)
+        .write(readers, reg(1) + lit(1))
+        .lockRelease(m)
+        .read(data, 2)  // the protected read
+        .lockAcquire(m)
+        .read(readers, 1)
+        .write(readers, reg(1) - lit(1))
+        .notifyAll(c)
+        .lockRelease(m);
+  }
+  return b.build();
+}
+
+const char* readersWriterProperty() {
+  return "!(writing = 1 && readers >= 1)";
+}
+
+Program spawnJoin() {
+  ProgramBuilder b;
+  const VarId a = b.var("a", 0);
+  const VarId c = b.var("c", 0);
+  const VarId sum = b.var("sum", 0);
+
+  auto main = b.thread("main");
+  auto w1 = b.thread("worker1", /*startsRunning=*/false);
+  auto w2 = b.thread("worker2", /*startsRunning=*/false);
+
+  w1.write(a, lit(21));
+  w2.write(c, lit(21));
+
+  main.spawn(w1.id())
+      .spawn(w2.id())
+      .join(w1.id())
+      .join(w2.id())
+      .read(a, 0)
+      .read(c, 1)
+      .write(sum, reg(0) + reg(1));
+  return b.build();
+}
+
+Program casCounter(std::size_t threads, std::size_t incrementsEach) {
+  ProgramBuilder b;
+  const VarId counter = b.var("counter", 0);
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto t = b.thread("cas" + std::to_string(i));
+    t.repeat(incrementsEach, [&](ThreadBuilder& tb) {
+      // r0 = counter; retry CAS(counter, r0, r0+1) until it succeeds
+      // (success: r1 — the observed old value — equals the expected r0).
+      tb.read(counter, 0)
+          .compareExchange(counter, 1, reg(0), reg(0) + lit(1))
+          .whileLoop(reg(1) != reg(0), [&](ThreadBuilder& retry) {
+            retry.read(counter, 0)
+                .compareExchange(counter, 1, reg(0), reg(0) + lit(1));
+          });
+    });
+  }
+  return b.build();
+}
+
+Program peterson(std::size_t rounds) {
+  ProgramBuilder b;
+  const VarId flag0 = b.var("flag0", 0);
+  const VarId flag1 = b.var("flag1", 0);
+  const VarId turn = b.var("turn", 0);
+  const VarId c0 = b.var("c0", 0);
+  const VarId c1 = b.var("c1", 0);
+
+  const auto makeThread = [&](std::string name, VarId myFlag, VarId otherFlag,
+                              VarId myCrit, Value giveTurnTo) {
+    auto t = b.thread(name);
+    t.repeat(rounds, [&](ThreadBuilder& tb) {
+      tb.write(myFlag, lit(1))
+          .write(turn, lit(giveTurnTo))
+          .read(otherFlag, 0)
+          .read(turn, 1)
+          // spin while (other interested && turn is theirs)
+          .whileLoop(reg(0) == lit(1) && reg(1) == lit(giveTurnTo),
+                     [&](ThreadBuilder& spin) {
+                       spin.read(otherFlag, 0).read(turn, 1);
+                     })
+          .write(myCrit, lit(1))
+          .internalOp()  // the critical work
+          .write(myCrit, lit(0))
+          .write(myFlag, lit(0));
+    });
+    return t;
+  };
+  makeThread("p0", flag0, flag1, c0, /*giveTurnTo=*/1);
+  makeThread("p1", flag1, flag0, c1, /*giveTurnTo=*/0);
+  return b.build();
+}
+
+Program mutualExclusionNaive() {
+  ProgramBuilder b;
+  const VarId c0 = b.var("c0", 0);
+  const VarId c1 = b.var("c1", 0);
+  auto t0 = b.thread("n0");
+  t0.write(c0, lit(1)).internalOp().write(c0, lit(0));
+  auto t1 = b.thread("n1");
+  t1.write(c1, lit(1)).internalOp().write(c1, lit(0));
+  return b.build();
+}
+
+const char* mutualExclusionProperty() { return "!(c0 = 1 && c1 = 1)"; }
+
+Program randomProgram(std::uint64_t seed, const RandomProgramOptions& opts) {
+  std::mt19937_64 rng(seed);
+  ProgramBuilder b;
+  std::vector<VarId> vars;
+  vars.reserve(opts.vars);
+  for (std::size_t v = 0; v < opts.vars; ++v) {
+    vars.push_back(b.var("g" + std::to_string(v),
+                         static_cast<Value>(rng() % 5)));
+  }
+  std::vector<LockId> locks;
+  for (std::size_t l = 0; l < opts.locks; ++l) {
+    locks.push_back(b.lock("L" + std::to_string(l)));
+  }
+
+  std::uniform_int_distribution<unsigned> percent(0, 99);
+  for (std::size_t i = 0; i < opts.threads; ++i) {
+    auto t = b.thread("r" + std::to_string(i));
+    for (std::size_t op = 0; op < opts.opsPerThread; ++op) {
+      const VarId v = vars[rng() % vars.size()];
+      const unsigned roll = percent(rng);
+      const bool locked = !locks.empty() && percent(rng) < 30;
+      const LockId l = locks.empty() ? 0 : locks[rng() % locks.size()];
+      if (locked) t.lockAcquire(l);
+      if (roll < opts.readPercent) {
+        t.read(v, static_cast<RegId>(rng() % 4));
+      } else if (roll < opts.readPercent + opts.writePercent) {
+        t.write(v, reg(static_cast<RegId>(rng() % 4)) +
+                       lit(static_cast<Value>(rng() % 7)));
+      } else {
+        t.internalOp();
+      }
+      if (locked) t.lockRelease(l);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace mpx::program::corpus

@@ -1,0 +1,133 @@
+// Canonical programs: the paper's two running examples plus the workload
+// generators used by tests and benchmarks.
+//
+// The examples, tests and benches all need the same programs; defining them
+// once keeps the Fig. 5 / Fig. 6 reproductions honest (everything checks
+// the same artifact).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hpp"
+
+namespace mpx::program::corpus {
+
+/// Paper Fig. 1 — the flight controller.
+///
+///   int landing = 0, approved = 0, radio = 1;
+///   thread1: askLandingApproval();
+///            if (approved == 1) { landing = 1; }
+///   askLandingApproval: if (radio == 0) approved = 0 else approved = 1;
+///   thread2: radio goes off (checkRadio eventually writes radio = 0).
+///
+/// `padding` inserts that many internal events before thread2 turns the
+/// radio off (more scheduling room; used by the detection-rate experiment).
+[[nodiscard]] Program landingController(std::size_t padding = 0);
+
+/// The safety property of Example 1, in this library's spec syntax:
+/// "If the plane has started landing, then it is the case that landing has
+/// been approved and since then the radio signal has never been down."
+[[nodiscard]] const char* landingProperty();
+
+/// Scheduler script reproducing the paper's *successful* observed
+/// execution: approval, landing, THEN radio off (needs padding == 0).
+[[nodiscard]] std::vector<ThreadId> landingObservedSchedule();
+
+/// Paper Fig. 6 — the x/y/z program.
+///
+///   initially x = -1, y = 0, z = 0
+///   thread1: x++; <dots>; y = x + 1;
+///   thread2: z = x + 1; <dots>; x++;
+///
+/// `dots` = that many internal (irrelevant) events, as in the paper.
+[[nodiscard]] Program xyzProgram(std::size_t dots = 1);
+
+/// The safety property of Example 2: "if (x > 0) then (y = 0) has been
+/// true in the past, and since then (y > z) was always false".
+[[nodiscard]] const char* xyzProperty();
+
+/// Scheduler script reproducing the paper's observed execution, whose
+/// state sequence is (-1,0,0) (0,0,0) (0,0,1) (1,0,1) (1,1,1)
+/// (needs dots == 1).
+[[nodiscard]] std::vector<ThreadId> xyzObservedSchedule();
+
+/// Two threads each do `depositsPerThread` unsynchronized read-add-write
+/// deposits to a shared balance — the classic lost-update data race.
+[[nodiscard]] Program bankAccountRacy(std::size_t depositsPerThread = 1,
+                                      Value amount1 = 100, Value amount2 = 50);
+
+/// Same, but each deposit holds a lock: race-free, and the lock writes
+/// give the happens-before edges of §3.1.
+[[nodiscard]] Program bankAccountLocked(std::size_t depositsPerThread = 1,
+                                        Value amount1 = 100,
+                                        Value amount2 = 50);
+
+/// `n` dining philosophers; `orderedForks` picks forks in global id order
+/// (deadlock-free) instead of left-then-right (deadlock-prone cycle).
+[[nodiscard]] Program diningPhilosophers(std::size_t n,
+                                         bool orderedForks = false);
+
+/// `threads` threads, each writing its own variable `writesEach` times —
+/// fully concurrent relevant events; the lattice level width is maximal
+/// (multinomial), stressing Claim C4.
+[[nodiscard]] Program independentWriters(std::size_t threads,
+                                         std::size_t writesEach);
+
+/// `threads` threads each incrementing one fully shared variable under a
+/// lock `writesEach` times — fully ordered relevant events; the lattice
+/// degenerates to a path (the other extreme).
+[[nodiscard]] Program serializedWriters(std::size_t threads,
+                                        std::size_t writesEach);
+
+/// Producer/consumer over a one-slot buffer using wait/notify.
+[[nodiscard]] Program producerConsumer(std::size_t items = 3);
+
+/// A single writer and `readerCount` readers coordinating through a mutex
+/// and condition variable: readers bump `readers` while `writing == 0`;
+/// the writer sets `writing` only when `readers == 0`.  The invariant
+/// readersWriterProperty() should hold in every reachable state.
+[[nodiscard]] Program readersWriter(std::size_t readerCount = 2);
+
+/// "A writer never overlaps a reader": !(writing = 1 && readers >= 1).
+[[nodiscard]] const char* readersWriterProperty();
+
+/// A main thread that spawns two workers dynamically, then joins them
+/// (exercises kSpawn/kJoin and the dynamic-thread support of §2).
+[[nodiscard]] Program spawnJoin();
+
+/// Lock-free counter: each of `threads` threads performs `incrementsEach`
+/// increments via a CAS retry loop.  Unlike bankAccountRacy, no schedule
+/// loses an update — and the race detector treats the atomic updates as
+/// non-racing.
+[[nodiscard]] Program casCounter(std::size_t threads = 2,
+                                 std::size_t incrementsEach = 2);
+
+/// Peterson's mutual-exclusion algorithm for two threads (flags + turn,
+/// busy-waiting).  Correct under the paper's sequential-consistency model.
+/// Critical-section occupancy is exposed through `c0`/`c1` so the property
+/// mutualExclusionProperty() can monitor it.
+[[nodiscard]] Program peterson(std::size_t rounds = 1);
+
+/// The broken contrast: both threads enter their critical sections with no
+/// synchronization whatsoever.
+[[nodiscard]] Program mutualExclusionNaive();
+
+/// "Never both threads in their critical section": !(c0 = 1 && c1 = 1).
+[[nodiscard]] const char* mutualExclusionProperty();
+
+struct RandomProgramOptions {
+  std::size_t threads = 3;
+  std::size_t vars = 3;
+  std::size_t opsPerThread = 6;
+  std::size_t locks = 0;        ///< when > 0, some accesses are lock-wrapped
+  unsigned readPercent = 40;    ///< remaining ops split write/internal
+  unsigned writePercent = 40;
+};
+
+/// Seeded random program over `vars` shared variables — the workload for
+/// the Theorem-3 and requirement-property sweeps (Claim C2).
+[[nodiscard]] Program randomProgram(std::uint64_t seed,
+                                    const RandomProgramOptions& opts = {});
+
+}  // namespace mpx::program::corpus

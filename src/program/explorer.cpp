@@ -1,0 +1,136 @@
+#include "program/explorer.hpp"
+
+namespace mpx::program {
+
+ExploreStats ExhaustiveExplorer::explore(const Program& prog,
+                                         const ExecutionCallback& cb) {
+  stats_ = ExploreStats{};
+  seen_.clear();
+  stop_ = false;
+
+  Interpreter root(prog);
+  std::vector<trace::Event> events;
+  std::vector<std::vector<LockId>> locksHeld;
+  dfs(root, events, locksHeld, cb);
+  return stats_;
+}
+
+bool ExhaustiveExplorer::dfs(const Interpreter& interp,
+                             std::vector<trace::Event>& events,
+                             std::vector<std::vector<LockId>>& locksHeld,
+                             const ExecutionCallback& cb) {
+  if (stop_) return false;
+  ++stats_.statesExpanded;
+
+  if (events.size() > opts_.maxDepth) {
+    stats_.truncated = true;
+    return true;  // abandon this branch, keep exploring others
+  }
+
+  const std::vector<ThreadId> runnable = interp.runnableThreads();
+  if (runnable.empty()) {
+    ExecutionRecord rec;
+    rec.events = events;
+    rec.locksHeld = locksHeld;
+    rec.deadlocked = interp.isDeadlocked();
+    if (rec.deadlocked) rec.deadlockedThreads = interp.unfinishedThreads();
+    rec.finalShared = interp.sharedValuation();
+    rec.steps = events.size();
+    ++stats_.executions;
+    if (rec.deadlocked) ++stats_.deadlocks;
+    if (!cb(rec)) {
+      stop_ = true;
+      stats_.truncated = true;
+      return false;
+    }
+    if (opts_.maxExecutions != 0 && stats_.executions >= opts_.maxExecutions) {
+      stop_ = true;
+      stats_.truncated = true;
+      return false;
+    }
+    return true;
+  }
+
+  for (const ThreadId t : runnable) {
+    Interpreter child = interp;  // snapshot
+    const StepResult step = child.step(t);
+    if (!step.progressed && step.events.empty()) {
+      // A step that neither progressed nor produced events cannot happen
+      // for threads reported runnable; guard against infinite recursion.
+      continue;
+    }
+    if (opts_.dedupeStates) {
+      const std::size_t h = child.stateHash();
+      if (!seen_.insert(h).second) continue;
+    }
+    const std::size_t mark = events.size();
+    for (const trace::Event& e : step.events) {
+      events.push_back(e);
+      locksHeld.push_back(child.locksHeld(e.thread));
+    }
+    const bool keepGoing = dfs(child, events, locksHeld, cb);
+    events.resize(mark);
+    locksHeld.resize(mark);
+    if (!keepGoing) return false;
+  }
+  return true;
+}
+
+std::vector<ExecutionRecord> ExhaustiveExplorer::collectAll(
+    const Program& prog) {
+  std::vector<ExecutionRecord> out;
+  explore(prog, [&out](const ExecutionRecord& rec) {
+    out.push_back(rec);
+    return true;
+  });
+  return out;
+}
+
+bool ExhaustiveExplorer::existsExecution(
+    const Program& prog,
+    const std::function<bool(const ExecutionRecord&)>& pred) {
+  bool found = false;
+  explore(prog, [&](const ExecutionRecord& rec) {
+    if (pred(rec)) {
+      found = true;
+      return false;  // stop early
+    }
+    return true;
+  });
+  return found;
+}
+
+bool ExhaustiveExplorer::existsReachableState(
+    const Program& prog, const std::function<bool(const Interpreter&)>& pred) {
+  // Plain BFS over deduplicated dynamic states — independent of the
+  // execution-oriented DFS so busy-wait loops cannot blow up the search.
+  std::unordered_set<std::size_t> seen;
+  std::vector<Interpreter> queue;
+  queue.emplace_back(prog);
+  seen.insert(queue.back().stateHash());
+  if (pred(queue.back())) return true;
+
+  while (!queue.empty()) {
+    const Interpreter current = std::move(queue.back());
+    queue.pop_back();
+    for (const ThreadId t : current.runnableThreads()) {
+      Interpreter child = current;
+      child.step(t);
+      if (!seen.insert(child.stateHash()).second) continue;
+      if (pred(child)) return true;
+      queue.push_back(std::move(child));
+    }
+  }
+  return false;
+}
+
+std::size_t ExhaustiveExplorer::countExecutions(const Program& prog) {
+  std::size_t n = 0;
+  explore(prog, [&n](const ExecutionRecord&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace mpx::program

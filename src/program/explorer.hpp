@@ -1,0 +1,87 @@
+// Exhaustive schedule exploration — the ground-truth oracle.
+//
+// Predictive runtime analysis (the paper's contribution) infers, from ONE
+// observed execution, properties of OTHER consistent runs.  To test that
+// those predictions are meaningful we need the actual set of executions the
+// scheduler could produce; this explorer enumerates every maximal
+// interleaving of a Program by depth-first search over scheduling choices
+// (the Interpreter is a value type, so a snapshot is just a copy).
+//
+// This plays the role a model checker would play for the paper's systems:
+// it is intentionally exponential and only used on the small programs in
+// tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "program/scheduler.hpp"
+
+namespace mpx::program {
+
+struct ExploreOptions {
+  /// Stop after this many complete executions (0 = unlimited).
+  std::size_t maxExecutions = 1'000'000;
+  /// Abort an execution branch after this many steps (guards livelock).
+  std::size_t maxDepth = 100'000;
+  /// When true, prune scheduling branches that re-enter an
+  /// already-visited dynamic state.  This turns the search from
+  /// "all executions" into "all reachable states": complete executions
+  /// delivered to the callback no longer cover every interleaving, but
+  /// every reachable state is visited at least once.
+  bool dedupeStates = false;
+};
+
+struct ExploreStats {
+  std::size_t executions = 0;      ///< complete executions delivered
+  std::size_t deadlocks = 0;       ///< of which ended in deadlock
+  std::size_t statesExpanded = 0;  ///< search-tree nodes expanded
+  bool truncated = false;          ///< hit maxExecutions/maxDepth/early stop
+};
+
+/// Called for every complete (quiescent) execution.  Return false to stop
+/// the whole exploration early.
+using ExecutionCallback = std::function<bool(const ExecutionRecord&)>;
+
+class ExhaustiveExplorer {
+ public:
+  explicit ExhaustiveExplorer(ExploreOptions opts = {}) : opts_(opts) {}
+
+  ExploreStats explore(const Program& prog, const ExecutionCallback& cb);
+
+  /// Convenience: collect every complete execution record.
+  [[nodiscard]] std::vector<ExecutionRecord> collectAll(const Program& prog);
+
+  /// Convenience: true iff some execution satisfies `pred`.
+  [[nodiscard]] bool existsExecution(
+      const Program& prog,
+      const std::function<bool(const ExecutionRecord&)>& pred);
+
+  /// Reachability oracle: true iff some reachable dynamic state satisfies
+  /// `pred`.  Explores with state deduplication, so it terminates even on
+  /// programs with busy-wait loops (whose execution tree is infinite) as
+  /// long as the state space is finite.
+  [[nodiscard]] bool existsReachableState(
+      const Program& prog, const std::function<bool(const Interpreter&)>& pred);
+
+  /// Convenience: number of distinct complete executions (no dedupe).
+  [[nodiscard]] std::size_t countExecutions(const Program& prog);
+
+  [[nodiscard]] const ExploreStats& lastStats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  bool dfs(const Interpreter& interp, std::vector<trace::Event>& events,
+           std::vector<std::vector<LockId>>& locksHeld,
+           const ExecutionCallback& cb);
+
+  ExploreOptions opts_;
+  ExploreStats stats_;
+  std::unordered_set<std::size_t> seen_;
+  bool stop_ = false;
+};
+
+}  // namespace mpx::program

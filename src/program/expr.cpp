@@ -1,0 +1,219 @@
+#include "program/expr.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpx::program {
+
+struct Expr::Node {
+  ExprOp op;
+  Value constant = 0;
+  RegId reg = 0;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+Expr Expr::constant(Value v) {
+  auto n = std::make_shared<Node>();
+  n->op = ExprOp::kConst;
+  n->constant = v;
+  return Expr(std::move(n));
+}
+
+Expr Expr::reg(RegId r) {
+  auto n = std::make_shared<Node>();
+  n->op = ExprOp::kReg;
+  n->reg = r;
+  return Expr(std::move(n));
+}
+
+Expr Expr::unary(ExprOp op, Expr operand) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(operand.node_);
+  return Expr(std::move(n));
+}
+
+Expr Expr::binary(ExprOp op, Expr lhs, Expr rhs) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(lhs.node_);
+  n->rhs = std::move(rhs.node_);
+  return Expr(std::move(n));
+}
+
+namespace {
+
+Value evalNode(const Expr::Node* n, std::span<const Value> regs);
+
+Value evalChild(const std::shared_ptr<const Expr::Node>& n,
+                std::span<const Value> regs) {
+  return evalNode(n.get(), regs);
+}
+
+Value evalNode(const Expr::Node* n, std::span<const Value> regs) {
+  switch (n->op) {
+    case ExprOp::kConst:
+      return n->constant;
+    case ExprOp::kReg:
+      if (n->reg >= regs.size()) {
+        throw std::out_of_range("Expr: register index out of range");
+      }
+      return regs[n->reg];
+    case ExprOp::kAdd:
+      return evalChild(n->lhs, regs) + evalChild(n->rhs, regs);
+    case ExprOp::kSub:
+      return evalChild(n->lhs, regs) - evalChild(n->rhs, regs);
+    case ExprOp::kMul:
+      return evalChild(n->lhs, regs) * evalChild(n->rhs, regs);
+    case ExprOp::kDiv: {
+      const Value d = evalChild(n->rhs, regs);
+      return d == 0 ? 0 : evalChild(n->lhs, regs) / d;
+    }
+    case ExprOp::kMod: {
+      const Value d = evalChild(n->rhs, regs);
+      return d == 0 ? 0 : evalChild(n->lhs, regs) % d;
+    }
+    case ExprOp::kEq:
+      return evalChild(n->lhs, regs) == evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kNe:
+      return evalChild(n->lhs, regs) != evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kLt:
+      return evalChild(n->lhs, regs) < evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kLe:
+      return evalChild(n->lhs, regs) <= evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kGt:
+      return evalChild(n->lhs, regs) > evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kGe:
+      return evalChild(n->lhs, regs) >= evalChild(n->rhs, regs) ? 1 : 0;
+    case ExprOp::kAnd:
+      return (evalChild(n->lhs, regs) != 0 && evalChild(n->rhs, regs) != 0)
+                 ? 1
+                 : 0;
+    case ExprOp::kOr:
+      return (evalChild(n->lhs, regs) != 0 || evalChild(n->rhs, regs) != 0)
+                 ? 1
+                 : 0;
+    case ExprOp::kNot:
+      return evalChild(n->lhs, regs) == 0 ? 1 : 0;
+    case ExprOp::kNeg:
+      return -evalChild(n->lhs, regs);
+  }
+  return 0;
+}
+
+std::int64_t maxRegNode(const Expr::Node* n) {
+  if (n == nullptr) return -1;
+  switch (n->op) {
+    case ExprOp::kConst:
+      return -1;
+    case ExprOp::kReg:
+      return static_cast<std::int64_t>(n->reg);
+    default:
+      return std::max(maxRegNode(n->lhs.get()), maxRegNode(n->rhs.get()));
+  }
+}
+
+const char* opSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    default: return "?";
+  }
+}
+
+void printNode(const Expr::Node* n, std::ostringstream& os) {
+  switch (n->op) {
+    case ExprOp::kConst:
+      os << n->constant;
+      return;
+    case ExprOp::kReg:
+      os << 'r' << n->reg;
+      return;
+    case ExprOp::kNot:
+      os << '!';
+      printNode(n->lhs.get(), os);
+      return;
+    case ExprOp::kNeg:
+      os << '-';
+      printNode(n->lhs.get(), os);
+      return;
+    default:
+      os << '(';
+      printNode(n->lhs.get(), os);
+      os << ' ' << opSymbol(n->op) << ' ';
+      printNode(n->rhs.get(), os);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+Value Expr::eval(std::span<const Value> regs) const {
+  return evalNode(node_.get(), regs);
+}
+
+std::int64_t Expr::maxRegister() const { return maxRegNode(node_.get()); }
+
+std::string Expr::toString() const {
+  std::ostringstream os;
+  printNode(node_.get(), os);
+  return os.str();
+}
+
+Expr operator+(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kDiv, std::move(a), std::move(b));
+}
+Expr operator%(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kMod, std::move(a), std::move(b));
+}
+Expr operator==(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kEq, std::move(a), std::move(b));
+}
+Expr operator!=(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kNe, std::move(a), std::move(b));
+}
+Expr operator<(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kLt, std::move(a), std::move(b));
+}
+Expr operator<=(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kLe, std::move(a), std::move(b));
+}
+Expr operator>(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kGt, std::move(a), std::move(b));
+}
+Expr operator>=(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kGe, std::move(a), std::move(b));
+}
+Expr operator&&(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kAnd, std::move(a), std::move(b));
+}
+Expr operator||(Expr a, Expr b) {
+  return Expr::binary(ExprOp::kOr, std::move(a), std::move(b));
+}
+Expr operator!(Expr a) { return Expr::unary(ExprOp::kNot, std::move(a)); }
+Expr operator-(Expr a) { return Expr::unary(ExprOp::kNeg, std::move(a)); }
+
+}  // namespace mpx::program

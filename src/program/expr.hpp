@@ -1,0 +1,87 @@
+// Side-effect-free expressions over thread-local registers.
+//
+// The VM keeps shared-variable accesses *explicit* (Read/Write instructions)
+// so that every access generates exactly one event for Algorithm A;
+// expressions only ever touch thread-local registers, mirroring the paper's
+// model where thread-local computation is an "internal" event.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "vc/types.hpp"
+
+namespace mpx::program {
+
+/// Register index within a thread's local register file.
+using RegId = std::uint32_t;
+
+enum class ExprOp : std::uint8_t {
+  kConst,
+  kReg,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // division by zero evaluates to 0 (keeps the VM total)
+  kMod,  // likewise
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,  // logical, short-circuit semantics not observable (no effects)
+  kOr,
+  kNot,
+  kNeg,
+};
+
+/// Immutable expression tree.  Cheap to copy (shared structure).
+class Expr {
+ public:
+  /// Default-constructed expression evaluates to 0.
+  Expr() : Expr(constant(0)) {}
+
+  [[nodiscard]] static Expr constant(Value v);
+  [[nodiscard]] static Expr reg(RegId r);
+  [[nodiscard]] static Expr unary(ExprOp op, Expr operand);
+  [[nodiscard]] static Expr binary(ExprOp op, Expr lhs, Expr rhs);
+
+  [[nodiscard]] Value eval(std::span<const Value> regs) const;
+
+  /// Highest register index referenced, or -1 if none (as signed).
+  [[nodiscard]] std::int64_t maxRegister() const;
+
+  [[nodiscard]] std::string toString() const;
+
+  /// Implementation node; public so the evaluator in the .cpp can walk it,
+  /// but opaque to users (defined only in expr.cpp).
+  struct Node;
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+// Terse construction helpers: lit(3) + reg(0), etc.
+[[nodiscard]] inline Expr lit(Value v) { return Expr::constant(v); }
+[[nodiscard]] inline Expr reg(RegId r) { return Expr::reg(r); }
+
+[[nodiscard]] Expr operator+(Expr a, Expr b);
+[[nodiscard]] Expr operator-(Expr a, Expr b);
+[[nodiscard]] Expr operator*(Expr a, Expr b);
+[[nodiscard]] Expr operator/(Expr a, Expr b);
+[[nodiscard]] Expr operator%(Expr a, Expr b);
+[[nodiscard]] Expr operator==(Expr a, Expr b);
+[[nodiscard]] Expr operator!=(Expr a, Expr b);
+[[nodiscard]] Expr operator<(Expr a, Expr b);
+[[nodiscard]] Expr operator<=(Expr a, Expr b);
+[[nodiscard]] Expr operator>(Expr a, Expr b);
+[[nodiscard]] Expr operator>=(Expr a, Expr b);
+[[nodiscard]] Expr operator&&(Expr a, Expr b);
+[[nodiscard]] Expr operator||(Expr a, Expr b);
+[[nodiscard]] Expr operator!(Expr a);
+[[nodiscard]] Expr operator-(Expr a);
+
+}  // namespace mpx::program

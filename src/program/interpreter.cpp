@@ -1,0 +1,325 @@
+#include "program/interpreter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mpx::program {
+
+const char* toString(ThreadStatus s) noexcept {
+  switch (s) {
+    case ThreadStatus::kNotStarted: return "not-started";
+    case ThreadStatus::kRunnable: return "runnable";
+    case ThreadStatus::kBlockedOnLock: return "blocked-on-lock";
+    case ThreadStatus::kWaiting: return "waiting";
+    case ThreadStatus::kBlockedOnJoin: return "blocked-on-join";
+    case ThreadStatus::kFinished: return "finished";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const Program& prog)
+    : prog_(&prog),
+      shared_(prog.vars.initialValuation()),
+      lockOwner_(prog.lockNames.size(), kNoThread),
+      nextLocal_(prog.threads.size(), 1) {
+  threads_.resize(prog.threads.size());
+  for (ThreadId t = 0; t < prog.threads.size(); ++t) {
+    threads_[t].regs.assign(prog.numRegisters, 0);
+    threads_[t].status = prog.threads[t].startsRunning
+                             ? ThreadStatus::kRunnable
+                             : ThreadStatus::kNotStarted;
+  }
+}
+
+std::vector<ThreadId> Interpreter::runnableThreads() const {
+  std::vector<ThreadId> out;
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    const ThreadExec& te = threads_[t];
+    switch (te.status) {
+      case ThreadStatus::kRunnable: {
+        // A thread about to execute kLock (or kJoin) cannot progress while
+        // the lock is held (or the target unfinished); excluding it here
+        // means every reported thread is guaranteed to take a real step,
+        // and an all-blocked state is recognized as a deadlock immediately.
+        const Instr& in = prog_->threads[t].code[te.pc];
+        if (in.op == OpCode::kLock && !te.mustEmitStart &&
+            lockOwner_[in.lock] != kNoThread) {
+          break;
+        }
+        if (in.op == OpCode::kJoin && !te.mustEmitStart &&
+            threads_[in.spawnee].status != ThreadStatus::kFinished) {
+          break;
+        }
+        out.push_back(t);
+        break;
+      }
+      case ThreadStatus::kBlockedOnLock:
+        // Can progress only when the contested lock is free.
+        if (lockOwner_[te.blockedOnLock] == kNoThread) out.push_back(t);
+        break;
+      case ThreadStatus::kBlockedOnJoin: {
+        const ThreadId target = prog_->threads[t].code[te.pc].spawnee;
+        if (threads_[target].status == ThreadStatus::kFinished) {
+          out.push_back(t);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+bool Interpreter::isQuiescent() const { return runnableThreads().empty(); }
+
+bool Interpreter::allFinished() const {
+  return std::all_of(threads_.begin(), threads_.end(), [](const ThreadExec& te) {
+    return te.status == ThreadStatus::kFinished;
+  });
+}
+
+std::vector<ThreadId> Interpreter::unfinishedThreads() const {
+  std::vector<ThreadId> out;
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    if (threads_[t].status != ThreadStatus::kFinished) out.push_back(t);
+  }
+  return out;
+}
+
+trace::Event Interpreter::makeEvent(trace::EventKind kind, ThreadId t,
+                                    VarId var, Value value) {
+  trace::Event e;
+  e.kind = kind;
+  e.thread = t;
+  e.var = var;
+  e.value = value;
+  e.localSeq = nextLocal_[t]++;
+  e.globalSeq = nextSeq_++;
+  return e;
+}
+
+bool Interpreter::tryAcquire(ThreadId t, LockId l) {
+  if (lockOwner_[l] != kNoThread) return false;
+  lockOwner_[l] = t;
+  threads_[t].held.push_back(l);
+  return true;
+}
+
+void Interpreter::wakeLockWaiters(LockId l) {
+  // Blocked threads simply become eligible again via runnableThreads();
+  // nothing to update eagerly — eligibility is recomputed from lockOwner_.
+  (void)l;
+}
+
+StepResult Interpreter::step(ThreadId t) {
+  StepResult result;
+  ThreadExec& te = threads_[t];
+
+  if (te.status == ThreadStatus::kFinished ||
+      te.status == ThreadStatus::kNotStarted) {
+    throw std::logic_error("Interpreter: stepping a non-live thread");
+  }
+
+  // Spawn prologue: the spawned thread's very first step emits its
+  // kThreadStart write (spawn happens-before edge), consuming the step.
+  if (te.mustEmitStart) {
+    te.mustEmitStart = false;
+    const VarId dummy = prog_->threadVars[t];
+    result.events.push_back(
+        makeEvent(trace::EventKind::kThreadStart, t, dummy, ++shared_[dummy]));
+    return result;
+  }
+
+  const std::vector<Instr>& code = prog_->threads[t].code;
+  assert(te.pc < code.size());
+  const Instr& in = code[te.pc];
+
+  switch (in.op) {
+    case OpCode::kRead: {
+      const Value v = shared_[in.var];
+      te.regs[in.dst] = v;
+      result.events.push_back(makeEvent(trace::EventKind::kRead, t, in.var, v));
+      ++te.pc;
+      break;
+    }
+    case OpCode::kWrite: {
+      const Value v = in.expr.eval(te.regs);
+      shared_[in.var] = v;
+      result.events.push_back(
+          makeEvent(trace::EventKind::kWrite, t, in.var, v));
+      ++te.pc;
+      break;
+    }
+    case OpCode::kCompute: {
+      te.regs[in.dst] = in.expr.eval(te.regs);
+      result.events.push_back(
+          makeEvent(trace::EventKind::kInternal, t, kNoVar, 0));
+      ++te.pc;
+      break;
+    }
+    case OpCode::kJump:
+      te.pc = in.target;
+      break;
+    case OpCode::kBranchIfZero:
+      te.pc = in.expr.eval(te.regs) == 0 ? in.target : te.pc + 1;
+      break;
+    case OpCode::kLock: {
+      if (tryAcquire(t, in.lock)) {
+        te.status = ThreadStatus::kRunnable;
+        const VarId lv = prog_->lockVars[in.lock];
+        result.events.push_back(
+            makeEvent(trace::EventKind::kLockAcquire, t, lv, ++shared_[lv]));
+        ++te.pc;
+      } else {
+        te.status = ThreadStatus::kBlockedOnLock;
+        te.blockedOnLock = in.lock;
+        result.progressed = false;
+      }
+      break;
+    }
+    case OpCode::kUnlock: {
+      if (lockOwner_[in.lock] != t) {
+        throw std::logic_error("Interpreter: unlock of a lock not held (" +
+                               prog_->lockNames[in.lock] + " by thread " +
+                               std::to_string(t) + ")");
+      }
+      lockOwner_[in.lock] = kNoThread;
+      te.held.erase(std::find(te.held.begin(), te.held.end(), in.lock));
+      const VarId lv = prog_->lockVars[in.lock];
+      result.events.push_back(
+          makeEvent(trace::EventKind::kLockRelease, t, lv, ++shared_[lv]));
+      wakeLockWaiters(in.lock);
+      ++te.pc;
+      break;
+    }
+    case OpCode::kWait: {
+      if (te.resumingFromWait) {
+        // Re-contending for the lock after a notify.
+        if (tryAcquire(t, in.lock)) {
+          te.resumingFromWait = false;
+          te.status = ThreadStatus::kRunnable;
+          const VarId lv = prog_->lockVars[in.lock];
+          result.events.push_back(
+              makeEvent(trace::EventKind::kLockAcquire, t, lv, ++shared_[lv]));
+          const VarId cv = prog_->condVars[in.cond];
+          result.events.push_back(makeEvent(trace::EventKind::kWaitResume, t,
+                                            cv, ++shared_[cv]));
+          ++te.pc;
+        } else {
+          te.status = ThreadStatus::kBlockedOnLock;
+          te.blockedOnLock = in.lock;
+          result.progressed = false;
+        }
+        break;
+      }
+      // First execution of the wait: release the lock and park.
+      if (lockOwner_[in.lock] != t) {
+        throw std::logic_error(
+            "Interpreter: wait without holding the lock (" +
+            prog_->lockNames[in.lock] + ")");
+      }
+      lockOwner_[in.lock] = kNoThread;
+      te.held.erase(std::find(te.held.begin(), te.held.end(), in.lock));
+      const VarId lv = prog_->lockVars[in.lock];
+      result.events.push_back(
+          makeEvent(trace::EventKind::kLockRelease, t, lv, ++shared_[lv]));
+      te.status = ThreadStatus::kWaiting;
+      te.waitingOnCond = in.cond;
+      wakeLockWaiters(in.lock);
+      result.progressed = false;  // pc stays at the kWait
+      break;
+    }
+    case OpCode::kNotifyAll: {
+      const VarId cv = prog_->condVars[in.cond];
+      result.events.push_back(
+          makeEvent(trace::EventKind::kNotify, t, cv, ++shared_[cv]));
+      for (ThreadId u = 0; u < threads_.size(); ++u) {
+        ThreadExec& w = threads_[u];
+        if (w.status == ThreadStatus::kWaiting && w.waitingOnCond == in.cond) {
+          w.status = ThreadStatus::kBlockedOnLock;
+          w.blockedOnLock = prog_->threads[u].code[w.pc].lock;
+          w.resumingFromWait = true;
+        }
+      }
+      ++te.pc;
+      break;
+    }
+    case OpCode::kSpawn: {
+      ThreadExec& child = threads_[in.spawnee];
+      if (child.status != ThreadStatus::kNotStarted) {
+        throw std::logic_error("Interpreter: spawning an already-started thread");
+      }
+      const VarId dummy = prog_->threadVars[in.spawnee];
+      result.events.push_back(
+          makeEvent(trace::EventKind::kNotify, t, dummy, ++shared_[dummy]));
+      child.status = ThreadStatus::kRunnable;
+      child.mustEmitStart = true;
+      ++te.pc;
+      break;
+    }
+    case OpCode::kJoin: {
+      const ThreadExec& target = threads_[in.spawnee];
+      if (target.status == ThreadStatus::kFinished) {
+        const VarId dummy = prog_->threadVars[in.spawnee];
+        result.events.push_back(makeEvent(trace::EventKind::kWaitResume, t,
+                                          dummy, ++shared_[dummy]));
+        te.status = ThreadStatus::kRunnable;
+        ++te.pc;
+      } else {
+        te.status = ThreadStatus::kBlockedOnJoin;
+        result.progressed = false;
+      }
+      break;
+    }
+    case OpCode::kCas: {
+      const Value old = shared_[in.var];
+      te.regs[in.dst] = old;
+      if (old == in.expr.eval(te.regs)) {
+        const Value desired = in.expr2.eval(te.regs);
+        shared_[in.var] = desired;
+        result.events.push_back(
+            makeEvent(trace::EventKind::kAtomicUpdate, t, in.var, desired));
+      } else {
+        result.events.push_back(
+            makeEvent(trace::EventKind::kRead, t, in.var, old));
+      }
+      ++te.pc;
+      break;
+    }
+    case OpCode::kHalt: {
+      const VarId dummy = prog_->threadVars[t];
+      result.events.push_back(
+          makeEvent(trace::EventKind::kThreadExit, t, dummy, ++shared_[dummy]));
+      te.status = ThreadStatus::kFinished;
+      if (!te.held.empty()) {
+        throw std::logic_error("Interpreter: thread finished holding a lock (" +
+                               prog_->lockNames[te.held.front()] + ")");
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::size_t Interpreter::stateHash() const {
+  std::size_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 1099511628211ull;
+  };
+  for (const Value v : shared_) mix(static_cast<std::uint64_t>(v));
+  for (const ThreadExec& te : threads_) {
+    mix(te.pc);
+    mix(static_cast<std::uint64_t>(te.status));
+    mix(te.resumingFromWait ? 1 : 0);
+    mix(te.mustEmitStart ? 1 : 0);
+    for (const Value r : te.regs) mix(static_cast<std::uint64_t>(r));
+    for (const LockId l : te.held) mix(l);
+  }
+  for (const ThreadId o : lockOwner_) mix(o);
+  return h;
+}
+
+}  // namespace mpx::program

@@ -1,0 +1,393 @@
+#include "program/program.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mpx::program {
+
+const char* toString(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kRead: return "read";
+    case OpCode::kWrite: return "write";
+    case OpCode::kCompute: return "compute";
+    case OpCode::kJump: return "jump";
+    case OpCode::kBranchIfZero: return "brz";
+    case OpCode::kLock: return "lock";
+    case OpCode::kUnlock: return "unlock";
+    case OpCode::kWait: return "wait";
+    case OpCode::kNotifyAll: return "notify-all";
+    case OpCode::kSpawn: return "spawn";
+    case OpCode::kJoin: return "join";
+    case OpCode::kHalt: return "halt";
+    case OpCode::kCas: return "cas";
+  }
+  return "?";
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  for (ThreadId t = 0; t < threads.size(); ++t) {
+    const ThreadCode& tc = threads[t];
+    os << "thread " << t << " (" << tc.name << ")"
+       << (tc.startsRunning ? "" : " [spawned]") << ":\n";
+    for (std::size_t pc = 0; pc < tc.code.size(); ++pc) {
+      const Instr& in = tc.code[pc];
+      os << "  " << pc << ": " << toString(in.op);
+      switch (in.op) {
+        case OpCode::kRead:
+          os << " r" << in.dst << " <- " << vars.name(in.var);
+          break;
+        case OpCode::kWrite:
+          os << ' ' << vars.name(in.var) << " <- " << in.expr.toString();
+          break;
+        case OpCode::kCompute:
+          os << " r" << in.dst << " <- " << in.expr.toString();
+          break;
+        case OpCode::kJump:
+          os << " -> " << in.target;
+          break;
+        case OpCode::kBranchIfZero:
+          os << ' ' << in.expr.toString() << " ==0 -> " << in.target;
+          break;
+        case OpCode::kLock:
+        case OpCode::kUnlock:
+          os << ' ' << lockNames.at(in.lock);
+          break;
+        case OpCode::kWait:
+          os << ' ' << condNames.at(in.cond) << " releasing "
+             << lockNames.at(in.lock);
+          break;
+        case OpCode::kNotifyAll:
+          os << ' ' << condNames.at(in.cond);
+          break;
+        case OpCode::kSpawn:
+        case OpCode::kJoin:
+          os << " thread " << in.spawnee;
+          break;
+        case OpCode::kCas:
+          os << " r" << in.dst << " <- " << vars.name(in.var) << " =="
+             << in.expr.toString() << " ? " << in.expr2.toString();
+          break;
+        case OpCode::kHalt:
+          break;
+      }
+      if (!in.note.empty()) os << "   ; " << in.note;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- builder
+
+VarId ProgramBuilder::var(std::string_view name, Value initial) {
+  return prog_.vars.intern(name, initial, trace::VarRole::kData);
+}
+
+LockId ProgramBuilder::lock(std::string_view name) {
+  const LockId id = static_cast<LockId>(prog_.lockNames.size());
+  prog_.lockNames.emplace_back(name);
+  prog_.lockVars.push_back(prog_.vars.intern("__lock_" + std::string(name), 0,
+                                             trace::VarRole::kLock));
+  return id;
+}
+
+CondId ProgramBuilder::cond(std::string_view name) {
+  const CondId id = static_cast<CondId>(prog_.condNames.size());
+  prog_.condNames.emplace_back(name);
+  prog_.condVars.push_back(prog_.vars.intern("__cond_" + std::string(name), 0,
+                                             trace::VarRole::kCondition));
+  return id;
+}
+
+ThreadBuilder ProgramBuilder::thread(std::string_view name,
+                                     bool startsRunning) {
+  const ThreadId id = static_cast<ThreadId>(prog_.threads.size());
+  ThreadCode tc;
+  tc.name = name.empty() ? "t" + std::to_string(id + 1) : std::string(name);
+  tc.startsRunning = startsRunning;
+  prog_.threads.push_back(std::move(tc));
+  prog_.threadVars.push_back(
+      prog_.vars.intern("__thread_" + prog_.threads.back().name, 0,
+                        trace::VarRole::kCondition));
+  return ThreadBuilder(*this, id);
+}
+
+ProgramBuilder& ProgramBuilder::registers(RegId n) {
+  prog_.numRegisters = n;
+  return *this;
+}
+
+VarId ProgramBuilder::lockVar(LockId lock) const {
+  return prog_.lockVars.at(lock);
+}
+VarId ProgramBuilder::condVar(CondId cond) const {
+  return prog_.condVars.at(cond);
+}
+VarId ProgramBuilder::threadVar(ThreadId t) const {
+  return prog_.threadVars.at(t);
+}
+
+Program ProgramBuilder::build() {
+  if (built_) throw std::logic_error("ProgramBuilder: build() called twice");
+  built_ = true;
+
+  // Ensure every thread's code ends in a halt so pc never runs off the end.
+  for (ThreadCode& tc : prog_.threads) {
+    if (tc.code.empty() || tc.code.back().op != OpCode::kHalt) {
+      Instr h;
+      h.op = OpCode::kHalt;
+      tc.code.push_back(std::move(h));
+    }
+  }
+
+  // Validate.
+  for (ThreadId t = 0; t < prog_.threads.size(); ++t) {
+    const auto& code = prog_.threads[t].code;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      const Instr& in = code[pc];
+      const auto checkReg = [&](std::int64_t r) {
+        if (r >= static_cast<std::int64_t>(prog_.numRegisters)) {
+          throw std::out_of_range("Program: register out of range in thread " +
+                                  std::to_string(t) + " pc " +
+                                  std::to_string(pc));
+        }
+      };
+      switch (in.op) {
+        case OpCode::kRead:
+        case OpCode::kCompute:
+          checkReg(static_cast<std::int64_t>(in.dst));
+          checkReg(in.expr.maxRegister());
+          break;
+        case OpCode::kCas:
+          checkReg(static_cast<std::int64_t>(in.dst));
+          checkReg(in.expr.maxRegister());
+          checkReg(in.expr2.maxRegister());
+          break;
+        case OpCode::kWrite:
+        case OpCode::kBranchIfZero:
+          checkReg(in.expr.maxRegister());
+          break;
+        default:
+          break;
+      }
+      if (in.op == OpCode::kJump || in.op == OpCode::kBranchIfZero) {
+        if (in.target > code.size()) {
+          throw std::out_of_range("Program: jump target out of range");
+        }
+      }
+      if (in.op == OpCode::kLock || in.op == OpCode::kUnlock ||
+          in.op == OpCode::kWait) {
+        if (in.lock >= prog_.lockNames.size()) {
+          throw std::out_of_range("Program: unknown lock id");
+        }
+      }
+      if (in.op == OpCode::kWait || in.op == OpCode::kNotifyAll) {
+        if (in.cond >= prog_.condNames.size()) {
+          throw std::out_of_range("Program: unknown condition id");
+        }
+      }
+      if (in.op == OpCode::kSpawn || in.op == OpCode::kJoin) {
+        if (in.spawnee >= prog_.threads.size()) {
+          throw std::out_of_range("Program: unknown spawnee thread");
+        }
+        if (in.op == OpCode::kSpawn && prog_.threads[in.spawnee].startsRunning) {
+          throw std::logic_error(
+              "Program: spawning a thread that startsRunning");
+        }
+      }
+      if ((in.op == OpCode::kRead || in.op == OpCode::kWrite ||
+           in.op == OpCode::kCas) &&
+          !prog_.vars.isData(in.var)) {
+        throw std::logic_error(
+            "Program: read/write of a non-data variable (use lock/cond ops)");
+      }
+    }
+  }
+  return std::move(prog_);
+}
+
+// ----------------------------------------------------------- thread builder
+
+std::vector<Instr>& ThreadBuilder::code() {
+  return owner_->prog_.threads[id_].code;
+}
+
+std::size_t ThreadBuilder::emit(Instr instr) {
+  if (!pendingNote_.empty()) {
+    instr.note = std::move(pendingNote_);
+    pendingNote_.clear();
+  }
+  code().push_back(std::move(instr));
+  return code().size() - 1;
+}
+
+ThreadBuilder& ThreadBuilder::note(std::string text) {
+  pendingNote_ = std::move(text);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::read(VarId var, RegId dst) {
+  Instr in;
+  in.op = OpCode::kRead;
+  in.var = var;
+  in.dst = dst;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::compareExchange(VarId var, RegId dst,
+                                              Expr expected, Expr desired) {
+  Instr in;
+  in.op = OpCode::kCas;
+  in.var = var;
+  in.dst = dst;
+  in.expr = std::move(expected);
+  in.expr2 = std::move(desired);
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::write(VarId var, Expr value) {
+  Instr in;
+  in.op = OpCode::kWrite;
+  in.var = var;
+  in.expr = std::move(value);
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::compute(RegId dst, Expr value) {
+  Instr in;
+  in.op = OpCode::kCompute;
+  in.dst = dst;
+  in.expr = std::move(value);
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::internalOp() {
+  Instr in;
+  in.op = OpCode::kCompute;
+  in.dst = 0;
+  in.expr = reg(0);  // r0 <- r0: a pure internal no-op event
+  in.note = "internal";
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::lockAcquire(LockId lock) {
+  Instr in;
+  in.op = OpCode::kLock;
+  in.lock = lock;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::lockRelease(LockId lock) {
+  Instr in;
+  in.op = OpCode::kUnlock;
+  in.lock = lock;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::synchronized(
+    LockId lock, const std::function<void(ThreadBuilder&)>& body) {
+  lockAcquire(lock);
+  body(*this);
+  lockRelease(lock);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::wait(CondId cond, LockId lock) {
+  Instr in;
+  in.op = OpCode::kWait;
+  in.cond = cond;
+  in.lock = lock;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::notifyAll(CondId cond) {
+  Instr in;
+  in.op = OpCode::kNotifyAll;
+  in.cond = cond;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::spawn(ThreadId thread) {
+  Instr in;
+  in.op = OpCode::kSpawn;
+  in.spawnee = thread;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::join(ThreadId thread) {
+  Instr in;
+  in.op = OpCode::kJoin;
+  in.spawnee = thread;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::ifThen(
+    Expr cond, const std::function<void(ThreadBuilder&)>& thenBody) {
+  Instr br;
+  br.op = OpCode::kBranchIfZero;
+  br.expr = std::move(cond);
+  const std::size_t brAt = emit(std::move(br));
+  thenBody(*this);
+  code()[brAt].target = code().size();
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::ifThenElse(
+    Expr cond, const std::function<void(ThreadBuilder&)>& thenBody,
+    const std::function<void(ThreadBuilder&)>& elseBody) {
+  Instr br;
+  br.op = OpCode::kBranchIfZero;
+  br.expr = std::move(cond);
+  const std::size_t brAt = emit(std::move(br));
+  thenBody(*this);
+  Instr jmp;
+  jmp.op = OpCode::kJump;
+  const std::size_t jmpAt = emit(std::move(jmp));
+  code()[brAt].target = code().size();
+  elseBody(*this);
+  code()[jmpAt].target = code().size();
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::whileLoop(
+    Expr cond, const std::function<void(ThreadBuilder&)>& body) {
+  const std::size_t top = code().size();
+  Instr br;
+  br.op = OpCode::kBranchIfZero;
+  br.expr = std::move(cond);
+  const std::size_t brAt = emit(std::move(br));
+  body(*this);
+  Instr jmp;
+  jmp.op = OpCode::kJump;
+  jmp.target = top;
+  emit(std::move(jmp));
+  code()[brAt].target = code().size();
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::repeat(
+    std::size_t times, const std::function<void(ThreadBuilder&)>& body) {
+  for (std::size_t i = 0; i < times; ++i) body(*this);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::halt() {
+  Instr in;
+  in.op = OpCode::kHalt;
+  emit(std::move(in));
+  return *this;
+}
+
+}  // namespace mpx::program

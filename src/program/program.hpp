@@ -1,0 +1,195 @@
+// The multithreaded-program representation executed by the VM.
+//
+// A Program is a fixed set of threads (plus optionally dynamically spawned
+// ones), each a straight-line/branching sequence of instructions over
+// thread-local registers, shared variables, locks and condition variables.
+// Shared accesses are explicit single instructions, so one instruction
+// executes atomically and instantaneously — exactly the sequential memory
+// model the paper assumes (§2.1).
+//
+// ProgramBuilder provides a small structured-programming veneer (if/while)
+// over the flat instruction list so examples read like the paper's
+// pseudo-code (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "program/expr.hpp"
+#include "trace/var_table.hpp"
+#include "vc/types.hpp"
+
+namespace mpx::program {
+
+enum class OpCode : std::uint8_t {
+  kRead,      ///< regs[dst] = shared[var]           (read event)
+  kWrite,     ///< shared[var] = eval(expr)          (write event)
+  kCompute,   ///< regs[dst] = eval(expr)            (internal event)
+  kJump,      ///< pc = target
+  kBranchIfZero,  ///< if eval(expr)==0 pc=target else pc+1 (internal event)
+  kLock,      ///< acquire lock `lock` (blocks)      (lock-acquire event)
+  kUnlock,    ///< release lock `lock`               (lock-release event)
+  kWait,      ///< wait on cond `cond`, releasing `lock`; reacquires on wake
+  kNotifyAll, ///< wake all waiters of cond `cond`   (notify event)
+  kSpawn,     ///< start thread `spawnee` (must not have started)
+  kJoin,      ///< block until thread `spawnee` finishes
+  kHalt,      ///< finish this thread
+  kCas,       ///< atomic compare-and-swap: regs[dst] = shared[var];
+              ///< if regs[dst] == eval(expr) then shared[var] = eval(expr2).
+              ///< One atomic event: kAtomicUpdate on success, kRead on
+              ///< failure.
+};
+
+[[nodiscard]] const char* toString(OpCode op) noexcept;
+
+/// One VM instruction.  Only the fields meaningful for `op` are read.
+struct Instr {
+  OpCode op = OpCode::kHalt;
+  VarId var = kNoVar;        ///< kRead / kWrite
+  LockId lock = 0;           ///< kLock / kUnlock / kWait
+  CondId cond = 0;           ///< kWait / kNotifyAll
+  RegId dst = 0;             ///< kRead / kCompute / kCas
+  Expr expr;                 ///< kWrite / kCompute / kBranchIfZero / kCas
+                             ///< (expected value)
+  Expr expr2;                ///< kCas only: the desired new value
+  std::size_t target = 0;    ///< kJump / kBranchIfZero
+  ThreadId spawnee = kNoThread;  ///< kSpawn / kJoin
+  std::string note;          ///< optional debug annotation
+};
+
+/// Code of one thread.
+struct ThreadCode {
+  std::string name;
+  std::vector<Instr> code;
+  bool startsRunning = true;  ///< false: started only via kSpawn
+};
+
+/// A complete multithreaded program.
+struct Program {
+  trace::VarTable vars;  ///< data variables AND lock/cond dummy variables
+  std::vector<std::string> lockNames;
+  std::vector<std::string> condNames;
+  std::vector<ThreadCode> threads;
+  RegId numRegisters = 16;  ///< register-file size per thread
+
+  // Paper §3.1 mappings: synchronization objects are shared variables.
+  std::vector<VarId> lockVars;    ///< LockId  -> lock-role VarId
+  std::vector<VarId> condVars;    ///< CondId  -> condition-role VarId
+  std::vector<VarId> threadVars;  ///< ThreadId-> spawn/join dummy VarId
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return threads.size();
+  }
+
+  /// Pretty-print a disassembly for docs and debugging.
+  [[nodiscard]] std::string disassemble() const;
+};
+
+class ProgramBuilder;
+
+/// Fluent builder for one thread's code.  Obtained from ProgramBuilder.
+class ThreadBuilder {
+ public:
+  ThreadBuilder(const ThreadBuilder&) = delete;
+  ThreadBuilder& operator=(const ThreadBuilder&) = delete;
+  ThreadBuilder(ThreadBuilder&&) = default;
+  ThreadBuilder& operator=(ThreadBuilder&&) = delete;
+
+  /// regs[dst] = shared[var]
+  ThreadBuilder& read(VarId var, RegId dst);
+  /// Atomic CAS: regs[dst] = shared[var]; if it equals `expected`, store
+  /// `desired`.  Success is visible as regs[dst] == expected afterwards.
+  ThreadBuilder& compareExchange(VarId var, RegId dst, Expr expected,
+                                 Expr desired);
+  /// shared[var] = value
+  ThreadBuilder& write(VarId var, Expr value);
+  /// regs[dst] = value (internal computation)
+  ThreadBuilder& compute(RegId dst, Expr value);
+  /// A no-op internal event (the paper's "dots ... irrelevant code").
+  ThreadBuilder& internalOp();
+
+  ThreadBuilder& lockAcquire(LockId lock);
+  ThreadBuilder& lockRelease(LockId lock);
+  /// Synchronized region helper: lock; body; unlock.
+  ThreadBuilder& synchronized(LockId lock,
+                              const std::function<void(ThreadBuilder&)>& body);
+
+  ThreadBuilder& wait(CondId cond, LockId lock);
+  ThreadBuilder& notifyAll(CondId cond);
+
+  ThreadBuilder& spawn(ThreadId thread);
+  ThreadBuilder& join(ThreadId thread);
+
+  /// if (cond != 0) { then } — structured branch.
+  ThreadBuilder& ifThen(Expr cond,
+                        const std::function<void(ThreadBuilder&)>& thenBody);
+  /// if (cond != 0) { then } else { else }.
+  ThreadBuilder& ifThenElse(Expr cond,
+                            const std::function<void(ThreadBuilder&)>& thenBody,
+                            const std::function<void(ThreadBuilder&)>& elseBody);
+  /// while (cond != 0) { body }.
+  ThreadBuilder& whileLoop(Expr cond,
+                           const std::function<void(ThreadBuilder&)>& body);
+  /// Repeat body exactly `times` times (unrolled; no loop counter register).
+  ThreadBuilder& repeat(std::size_t times,
+                        const std::function<void(ThreadBuilder&)>& body);
+
+  ThreadBuilder& halt();
+
+  /// Attach a debug note to the *next* emitted instruction.
+  ThreadBuilder& note(std::string text);
+
+  [[nodiscard]] ThreadId id() const noexcept { return id_; }
+
+ private:
+  friend class ProgramBuilder;
+  ThreadBuilder(ProgramBuilder& owner, ThreadId id) : owner_(&owner), id_(id) {}
+
+  std::size_t emit(Instr instr);
+  [[nodiscard]] std::vector<Instr>& code();
+
+  ProgramBuilder* owner_;
+  ThreadId id_;
+  std::string pendingNote_;
+};
+
+/// Builder for whole programs.
+class ProgramBuilder {
+ public:
+  ProgramBuilder() = default;
+
+  /// Declare a shared data variable with an initial value.
+  VarId var(std::string_view name, Value initial = 0);
+  /// Declare a lock.  Internally also interns a lock-role shared variable
+  /// (paper §3.1: locks are shared variables written on acquire/release).
+  LockId lock(std::string_view name);
+  /// Declare a condition variable (with its dummy shared variable).
+  CondId cond(std::string_view name);
+
+  /// Add a thread; returns its builder.  Builders reference this
+  /// ProgramBuilder and must not outlive it.
+  ThreadBuilder thread(std::string_view name = {}, bool startsRunning = true);
+
+  /// Number of registers per thread (default 16).
+  ProgramBuilder& registers(RegId n);
+
+  /// Finalize.  Validates jump targets, register indices, and ids.
+  [[nodiscard]] Program build();
+
+  /// VarId of the lock-role shared variable backing `lock`.
+  [[nodiscard]] VarId lockVar(LockId lock) const;
+  /// VarId of the condition-role dummy variable backing `cond`.
+  [[nodiscard]] VarId condVar(CondId cond) const;
+  /// VarId of the spawn/join dummy variable for thread `t`.
+  [[nodiscard]] VarId threadVar(ThreadId t) const;
+
+ private:
+  friend class ThreadBuilder;
+  Program prog_;
+  bool built_ = false;
+};
+
+}  // namespace mpx::program

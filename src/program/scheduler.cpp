@@ -1,0 +1,74 @@
+#include "program/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpx::program {
+
+ThreadId RoundRobinScheduler::pick(const std::vector<ThreadId>& runnable,
+                                   const Interpreter&) {
+  if (current_ != kNoThread && used_ < quantum_ &&
+      std::find(runnable.begin(), runnable.end(), current_) != runnable.end()) {
+    ++used_;
+    return current_;
+  }
+  // Advance to the next runnable thread after current_ (wrapping).
+  ThreadId next = runnable.front();
+  if (current_ != kNoThread) {
+    const auto it =
+        std::find_if(runnable.begin(), runnable.end(),
+                     [this](ThreadId t) { return t > current_; });
+    if (it != runnable.end()) next = *it;
+  }
+  current_ = next;
+  used_ = 1;
+  return next;
+}
+
+ThreadId FixedScheduler::pick(const std::vector<ThreadId>& runnable,
+                              const Interpreter&) {
+  if (next_ < script_.size()) {
+    const ThreadId t = script_[next_++];
+    if (std::find(runnable.begin(), runnable.end(), t) == runnable.end()) {
+      throw std::logic_error("FixedScheduler: scripted thread " +
+                             std::to_string(t) + " is not runnable at step " +
+                             std::to_string(next_ - 1));
+    }
+    return t;
+  }
+  return runnable.front();
+}
+
+ExecutionRecord Executor::run(std::size_t maxSteps) {
+  ExecutionRecord rec;
+  while (maxSteps == 0 || rec.steps < maxSteps) {
+    const std::vector<ThreadId> runnable = interp_.runnableThreads();
+    if (runnable.empty()) break;
+    const ThreadId t = sched_->pick(runnable, interp_);
+    const StepResult step = interp_.step(t);
+    ++rec.steps;
+    for (const trace::Event& e : step.events) {
+      rec.events.push_back(e);
+      rec.locksHeld.push_back(interp_.locksHeld(e.thread));
+      if (listener_) listener_(e, interp_);
+    }
+  }
+  rec.deadlocked = interp_.isDeadlocked();
+  if (rec.deadlocked) rec.deadlockedThreads = interp_.unfinishedThreads();
+  rec.finalShared = interp_.sharedValuation();
+  return rec;
+}
+
+ExecutionRecord runProgram(const Program& prog, Scheduler& sched,
+                           std::size_t maxSteps) {
+  Executor ex(prog, sched);
+  return ex.run(maxSteps);
+}
+
+ExecutionRecord runProgramRandom(const Program& prog, std::uint64_t seed,
+                                 std::size_t maxSteps) {
+  RandomScheduler sched(seed);
+  return runProgram(prog, sched, maxSteps);
+}
+
+}  // namespace mpx::program

@@ -1,0 +1,135 @@
+// Scheduling policies driving the VM, and the Executor run loop.
+//
+// A multithreaded run is determined by which runnable thread takes the next
+// step ("a possible execution of the same system under a different execution
+// speed of each individual thread", paper §2.2).  The scheduler is that
+// choice function; making it explicit gives us deterministic replay (Fixed),
+// fair interleaving (RoundRobin), randomized testing (Random), and — in
+// explorer.hpp — exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "program/interpreter.hpp"
+
+namespace mpx::program {
+
+/// Picks which runnable thread steps next.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// `runnable` is non-empty and lists threads that will make progress.
+  virtual ThreadId pick(const std::vector<ThreadId>& runnable,
+                        const Interpreter& interp) = 0;
+};
+
+/// Always the lowest-id runnable thread (runs threads to completion in
+/// order when they never block on each other).
+class GreedyScheduler final : public Scheduler {
+ public:
+  ThreadId pick(const std::vector<ThreadId>& runnable,
+                const Interpreter&) override {
+    return runnable.front();
+  }
+};
+
+/// Cycles through threads, `quantum` steps each.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::size_t quantum = 1) : quantum_(quantum) {}
+  ThreadId pick(const std::vector<ThreadId>& runnable,
+                const Interpreter& interp) override;
+
+ private:
+  std::size_t quantum_;
+  std::size_t used_ = 0;
+  ThreadId current_ = kNoThread;
+};
+
+/// Uniform random choice with a fixed seed — the "testing" baseline the
+/// paper argues has low probability of hitting scheduling-sensitive bugs.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  ThreadId pick(const std::vector<ThreadId>& runnable,
+                const Interpreter&) override {
+    std::uniform_int_distribution<std::size_t> d(0, runnable.size() - 1);
+    return runnable[d(rng_)];
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Replays an explicit thread-choice sequence; after the sequence is
+/// exhausted, falls back to the lowest-id runnable thread.  Throws if a
+/// scripted choice is not runnable — tests want to know their script broke.
+class FixedScheduler final : public Scheduler {
+ public:
+  explicit FixedScheduler(std::vector<ThreadId> script)
+      : script_(std::move(script)) {}
+  ThreadId pick(const std::vector<ThreadId>& runnable,
+                const Interpreter& interp) override;
+
+ private:
+  std::vector<ThreadId> script_;
+  std::size_t next_ = 0;
+};
+
+/// Receives every event the execution produced, with access to the
+/// interpreter for context (locks held, shared state) at the instant the
+/// event was generated.
+using EventListener =
+    std::function<void(const trace::Event&, const Interpreter&)>;
+
+/// Everything a finished execution tells us.
+struct ExecutionRecord {
+  std::vector<trace::Event> events;
+  /// locksHeld[k] = locks held by events[k].thread at the time of events[k]
+  /// (used by the lockset race-detector refinement).
+  std::vector<std::vector<LockId>> locksHeld;
+  bool deadlocked = false;
+  std::vector<ThreadId> deadlockedThreads;
+  std::vector<Value> finalShared;  ///< final valuation, by VarId
+  std::size_t steps = 0;
+};
+
+/// Runs a program to quiescence under a scheduler.
+class Executor {
+ public:
+  Executor(const Program& prog, Scheduler& sched)
+      : interp_(prog), sched_(&sched) {}
+
+  /// Optional tap invoked for every event as it is generated.
+  void setListener(EventListener listener) { listener_ = std::move(listener); }
+
+  /// Step until no thread is runnable (all finished or deadlock), or until
+  /// `maxSteps` is hit (guards accidental non-termination; 0 = unlimited).
+  ExecutionRecord run(std::size_t maxSteps = 1'000'000);
+
+  [[nodiscard]] const Interpreter& interpreter() const noexcept {
+    return interp_;
+  }
+
+ private:
+  Interpreter interp_;
+  Scheduler* sched_;
+  EventListener listener_;
+};
+
+/// Convenience: run `prog` under `sched` and return the record.
+ExecutionRecord runProgram(const Program& prog, Scheduler& sched,
+                           std::size_t maxSteps = 1'000'000);
+
+/// Convenience: run under a seeded random scheduler.
+ExecutionRecord runProgramRandom(const Program& prog, std::uint64_t seed,
+                                 std::size_t maxSteps = 1'000'000);
+
+}  // namespace mpx::program

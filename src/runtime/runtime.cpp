@@ -1,0 +1,169 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+namespace mpx::runtime {
+
+ThreadId ThreadRegistry::currentLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  const auto it = ids_.find(self);
+  if (it != ids_.end()) return it->second;
+  const ThreadId id = next_++;
+  ids_.emplace(self, id);
+  return id;
+}
+
+namespace {
+
+core::RelevancePolicy relevantWritesOf(
+    std::shared_ptr<std::unordered_set<VarId>> set) {
+  return core::RelevancePolicy::custom(
+      [set = std::move(set)](const trace::Event& e) {
+        return trace::isWriteLike(e.kind) && set->contains(e.var);
+      });
+}
+
+}  // namespace
+
+Runtime::Runtime(trace::MessageSink& sink)
+    : relevant_(std::make_shared<std::unordered_set<VarId>>()),
+      instr_(relevantWritesOf(relevant_), sink) {}
+
+SharedVar Runtime::declare(const std::string& name, Value initial) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const VarId id = vars_.intern(name, initial, trace::VarRole::kData);
+  if (id >= values_.size()) values_.resize(id + 1, 0);
+  values_[id] = initial;
+  return SharedVar(*this, id);
+}
+
+std::unique_ptr<InstrumentedMutex> Runtime::declareMutex(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const VarId id =
+      vars_.intern("__lock_" + name, 0, trace::VarRole::kLock);
+  if (id >= values_.size()) values_.resize(id + 1, 0);
+  return std::unique_ptr<InstrumentedMutex>(new InstrumentedMutex(*this, id));
+}
+
+std::unique_ptr<InstrumentedCondition> Runtime::declareCondition(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const VarId id =
+      vars_.intern("__cond_" + name, 0, trace::VarRole::kCondition);
+  if (id >= values_.size()) values_.resize(id + 1, 0);
+  return std::unique_ptr<InstrumentedCondition>(
+      new InstrumentedCondition(*this, id));
+}
+
+void Runtime::markRelevant(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  relevant_->insert(vars_.id(name));
+}
+
+trace::Event Runtime::makeEventLocked(trace::EventKind kind, ThreadId t,
+                                      VarId v, Value value) {
+  if (t >= nextLocal_.size()) nextLocal_.resize(t + 1, 1);
+  if (t >= heldLocks_.size()) heldLocks_.resize(t + 1);
+  trace::Event e;
+  e.kind = kind;
+  e.thread = t;
+  e.var = v;
+  e.value = value;
+  e.localSeq = nextLocal_[t]++;
+  e.globalSeq = nextSeq_++;
+
+  // Maintain per-thread locksets (acquire counts itself; release drops
+  // before recording — mirroring program::ExecutionRecord's convention).
+  if (kind == trace::EventKind::kLockAcquire) {
+    heldLocks_[t].push_back(v);
+  } else if (kind == trace::EventKind::kLockRelease) {
+    auto& held = heldLocks_[t];
+    const auto it = std::find(held.begin(), held.end(), v);
+    if (it != held.end()) held.erase(it);
+  }
+  if (recording_) recorded_.push_back(RecordedEvent{e, heldLocks_[t]});
+  return e;
+}
+
+void Runtime::enableRecording() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  recording_ = true;
+}
+
+std::vector<Runtime::RecordedEvent> Runtime::takeRecording() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::move(recorded_);
+}
+
+std::vector<detect::RaceReport> Runtime::analyzeRaces(
+    const std::vector<RecordedEvent>& recording,
+    const std::vector<std::string>& varNames, detect::RaceOptions opts) const {
+  std::unordered_set<VarId> candidates;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& name : varNames) candidates.insert(vars_.id(name));
+  }
+
+  trace::CollectingSink sink;
+  core::Instrumentor instr(core::RelevancePolicy::accessesOf(candidates),
+                           sink);
+  instr.excludeFromCausality(candidates);
+  std::unordered_map<GlobalSeq, std::vector<LockId>> locksets;
+  for (const RecordedEvent& r : recording) {
+    instr.onEvent(r.event);
+    locksets.emplace(r.event.globalSeq,
+                     std::vector<LockId>(r.locksHeld.begin(),
+                                         r.locksHeld.end()));
+  }
+  return detect::RacePredictor{opts}.analyze(sink.messages(), locksets);
+}
+
+Value Runtime::read(VarId v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const ThreadId t = registry_.currentLocked();
+  const Value value = values_.at(v);
+  instr_.onEvent(makeEventLocked(trace::EventKind::kRead, t, v, value));
+  return value;
+}
+
+void Runtime::write(VarId v, Value value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const ThreadId t = registry_.currentLocked();
+  values_.at(v) = value;
+  instr_.onEvent(makeEventLocked(trace::EventKind::kWrite, t, v, value));
+}
+
+void Runtime::syncEvent(trace::EventKind kind, VarId v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const ThreadId t = registry_.currentLocked();
+  const Value value = ++values_.at(v);
+  instr_.onEvent(makeEventLocked(kind, t, v, value));
+}
+
+std::uint64_t Runtime::eventsProcessed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instr_.eventsProcessed();
+}
+
+std::uint64_t Runtime::messagesEmitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instr_.messagesEmitted();
+}
+
+std::size_t Runtime::threadsSeen() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return registry_.threadCount();
+}
+
+void InstrumentedMutex::lock() {
+  m_.lock();
+  rt_->syncEvent(trace::EventKind::kLockAcquire, lockVar_);
+}
+
+void InstrumentedMutex::unlock() {
+  rt_->syncEvent(trace::EventKind::kLockRelease, lockVar_);
+  m_.unlock();
+}
+
+}  // namespace mpx::runtime

@@ -1,0 +1,68 @@
+#include "trace/channel.hpp"
+
+#include <algorithm>
+
+namespace mpx::trace {
+
+void ShuffleChannel::close() {
+  if (closed_) return;
+  closed_ = true;
+  std::shuffle(buffer_.begin(), buffer_.end(), rng_);
+  for (const Message& m : buffer_) deliver(m);
+  buffer_.clear();
+}
+
+void DelayChannel::onMessage(const Message& m) {
+  held_.push_back(m);
+  maybeRelease();
+}
+
+void DelayChannel::maybeRelease() {
+  // Keep at most maxDelay_ messages in flight; when over budget, release a
+  // uniformly random held message (so any message can be overtaken by up to
+  // maxDelay_ successors, but no more).
+  while (held_.size() > maxDelay_) {
+    std::uniform_int_distribution<std::size_t> pick(0, held_.size() - 1);
+    const std::size_t idx = pick(rng_);
+    deliver(held_[idx]);
+    held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+void DelayChannel::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Flush the residue in random order as well.
+  while (!held_.empty()) {
+    std::uniform_int_distribution<std::size_t> pick(0, held_.size() - 1);
+    const std::size_t idx = pick(rng_);
+    deliver(held_[idx]);
+    held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+void ReverseChannel::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) deliver(*it);
+  buffer_.clear();
+}
+
+std::unique_ptr<Channel> makeChannel(DeliveryPolicy policy,
+                                     MessageSink& downstream,
+                                     std::uint64_t seed,
+                                     std::size_t maxDelay) {
+  switch (policy) {
+    case DeliveryPolicy::kFifo:
+      return std::make_unique<FifoChannel>(downstream);
+    case DeliveryPolicy::kShuffle:
+      return std::make_unique<ShuffleChannel>(downstream, seed);
+    case DeliveryPolicy::kBoundedDelay:
+      return std::make_unique<DelayChannel>(downstream, seed, maxDelay);
+    case DeliveryPolicy::kReverse:
+      return std::make_unique<ReverseChannel>(downstream);
+  }
+  return std::make_unique<FifoChannel>(downstream);
+}
+
+}  // namespace mpx::trace

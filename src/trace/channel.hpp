@@ -1,0 +1,143 @@
+// The channel between the instrumented program and the external observer.
+//
+// The paper's JMPaX sends messages over a socket; Theorem 3 guarantees the
+// observer reconstructs the relevant causality *regardless of delivery
+// order* ("one gets the benefit of properly dealing with potential
+// reordering of delivered messages, e.g. due to using multiple channels to
+// reduce the monitoring overhead").  To exercise that property we provide
+// channels with adversarial delivery policies alongside the plain FIFO one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace mpx::trace {
+
+/// Consumer of observer-bound messages.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void onMessage(const Message& m) = 0;
+};
+
+/// Sink that simply records everything (tests, replays, race detection).
+class CollectingSink final : public MessageSink {
+ public:
+  void onMessage(const Message& m) override { messages_.push_back(m); }
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] std::vector<Message> take() { return std::move(messages_); }
+  void clear() { messages_.clear(); }
+
+ private:
+  std::vector<Message> messages_;
+};
+
+/// Sink that forwards to a plain function (adapters, lambdas in tests).
+class FunctionSink final : public MessageSink {
+ public:
+  using Fn = std::function<void(const Message&)>;
+  explicit FunctionSink(Fn fn) : fn_(std::move(fn)) {}
+  void onMessage(const Message& m) override { fn_(m); }
+
+ private:
+  Fn fn_;
+};
+
+/// A channel buffers messages pushed by the instrumentor and delivers them
+/// to a downstream sink according to its policy.  `close()` flushes any
+/// messages the policy was still holding back.
+class Channel : public MessageSink {
+ public:
+  explicit Channel(MessageSink& downstream) : downstream_(&downstream) {}
+
+  /// Deliver everything still buffered.  Idempotent.
+  virtual void close() = 0;
+
+ protected:
+  void deliver(const Message& m) { downstream_->onMessage(m); }
+
+ private:
+  MessageSink* downstream_;
+};
+
+/// In-order delivery: each message is forwarded immediately.
+class FifoChannel final : public Channel {
+ public:
+  using Channel::Channel;
+  void onMessage(const Message& m) override { deliver(m); }
+  void close() override {}
+};
+
+/// Buffers the whole stream and delivers it in a seeded random permutation
+/// on close().  The most adversarial reordering Theorem 3 must survive.
+class ShuffleChannel final : public Channel {
+ public:
+  ShuffleChannel(MessageSink& downstream, std::uint64_t seed)
+      : Channel(downstream), rng_(seed) {}
+
+  void onMessage(const Message& m) override { buffer_.push_back(m); }
+  void close() override;
+
+ private:
+  std::vector<Message> buffer_;
+  std::mt19937_64 rng_;
+  bool closed_ = false;
+};
+
+/// Bounded-early-delivery: at most `maxDelay` messages are in flight, so a
+/// message can overtake at most `maxDelay` of its predecessors (models
+/// multiple parallel socket channels; an unlucky message may still be
+/// delivered arbitrarily late).
+class DelayChannel final : public Channel {
+ public:
+  DelayChannel(MessageSink& downstream, std::uint64_t seed,
+               std::size_t maxDelay)
+      : Channel(downstream), rng_(seed), maxDelay_(maxDelay) {}
+
+  void onMessage(const Message& m) override;
+  void close() override;
+
+ private:
+  void maybeRelease();
+
+  std::deque<Message> held_;
+  std::mt19937_64 rng_;
+  std::size_t maxDelay_;
+  bool closed_ = false;
+};
+
+/// Reverses the entire stream on close() — a deterministic worst case used
+/// in tests (every cross-thread message arrives "too early").
+class ReverseChannel final : public Channel {
+ public:
+  using Channel::Channel;
+  void onMessage(const Message& m) override { buffer_.push_back(m); }
+  void close() override;
+
+ private:
+  std::vector<Message> buffer_;
+  bool closed_ = false;
+};
+
+/// Named factory for the delivery policies, used by the analyzer config.
+enum class DeliveryPolicy : std::uint8_t {
+  kFifo,
+  kShuffle,
+  kBoundedDelay,
+  kReverse,
+};
+
+std::unique_ptr<Channel> makeChannel(DeliveryPolicy policy,
+                                     MessageSink& downstream,
+                                     std::uint64_t seed = 0,
+                                     std::size_t maxDelay = 8);
+
+}  // namespace mpx::trace

@@ -1,0 +1,160 @@
+#include "trace/codec.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpx::trace {
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  if (offset + sizeof(T) > in.size()) {
+    throw std::runtime_error("BinaryCodec: truncated message");
+  }
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::size_t BinaryCodec::encode(const Message& m,
+                                std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.event.kind));
+  put<std::uint32_t>(out, m.event.thread);
+  put<std::uint32_t>(out, m.event.var);
+  put<std::int64_t>(out, m.event.value);
+  put<std::uint64_t>(out, m.event.localSeq);
+  put<std::uint64_t>(out, m.event.globalSeq);
+  const auto& comps = m.clock.components();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(comps.size()));
+  for (const std::uint64_t c : comps) put<std::uint64_t>(out, c);
+  return out.size() - start;
+}
+
+Message BinaryCodec::decode(const std::vector<std::uint8_t>& in,
+                            std::size_t& offset) {
+  Message m;
+  const auto kind = take<std::uint8_t>(in, offset);
+  if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
+    throw std::runtime_error("BinaryCodec: corrupt event kind");
+  }
+  m.event.kind = static_cast<EventKind>(kind);
+  m.event.thread = take<std::uint32_t>(in, offset);
+  m.event.var = take<std::uint32_t>(in, offset);
+  m.event.value = take<std::int64_t>(in, offset);
+  m.event.localSeq = take<std::uint64_t>(in, offset);
+  m.event.globalSeq = take<std::uint64_t>(in, offset);
+  const auto n = take<std::uint32_t>(in, offset);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    m.clock.set(static_cast<ThreadId>(j), take<std::uint64_t>(in, offset));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> BinaryCodec::encodeAll(
+    const std::vector<Message>& messages) {
+  std::vector<std::uint8_t> out;
+  for (const Message& m : messages) encode(m, out);
+  return out;
+}
+
+std::vector<Message> BinaryCodec::decodeAll(
+    const std::vector<std::uint8_t>& in) {
+  std::vector<Message> out;
+  std::size_t offset = 0;
+  while (offset < in.size()) out.push_back(decode(in, offset));
+  return out;
+}
+
+std::string TextCodec::format(const Message& m) const {
+  std::ostringstream os;
+  os << '<';
+  switch (m.event.kind) {
+    case EventKind::kWrite:
+      os << vars_->name(m.event.var) << '=' << m.event.value;
+      break;
+    case EventKind::kRead:
+      os << "read " << vars_->name(m.event.var) << '=' << m.event.value;
+      break;
+    default:
+      os << toString(m.event.kind);
+      if (m.event.accessesVariable()) os << ' ' << vars_->name(m.event.var);
+      break;
+  }
+  os << ", T" << (m.event.thread + 1) << ", " << m.clock << '>';
+  return os.str();
+}
+
+Message TextCodec::parse(const std::string& line) const {
+  // Accepts the format() output for write events: "<name=value, Tn, (a,b)>"
+  Message m;
+  m.event.kind = EventKind::kWrite;
+  std::size_t pos = line.find('<');
+  const std::size_t eq = line.find('=', pos);
+  const std::size_t comma1 = line.find(',', eq);
+  if (pos == std::string::npos || eq == std::string::npos ||
+      comma1 == std::string::npos) {
+    throw std::runtime_error("TextCodec: malformed message: " + line);
+  }
+  const std::string name = line.substr(pos + 1, eq - pos - 1);
+  m.event.var = vars_->id(name);
+  m.event.value = std::stoll(line.substr(eq + 1, comma1 - eq - 1));
+
+  const std::size_t tpos = line.find('T', comma1);
+  const std::size_t comma2 = line.find(',', tpos);
+  if (tpos == std::string::npos || comma2 == std::string::npos) {
+    throw std::runtime_error("TextCodec: malformed thread field: " + line);
+  }
+  m.event.thread =
+      static_cast<ThreadId>(std::stoul(line.substr(tpos + 1, comma2 - tpos - 1)) - 1);
+
+  const std::size_t open = line.find('(', comma2);
+  const std::size_t close = line.find(')', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    throw std::runtime_error("TextCodec: malformed clock field: " + line);
+  }
+  std::string clock = line.substr(open + 1, close - open - 1);
+  std::istringstream cs(clock);
+  std::string comp;
+  ThreadId j = 0;
+  while (std::getline(cs, comp, ',')) {
+    m.clock.set(j++, std::stoull(comp));
+  }
+  m.event.localSeq = m.clock[m.event.thread];
+  return m;
+}
+
+void TraceLog::saveBinary(std::ostream& os) const {
+  const std::vector<std::uint8_t> bytes = BinaryCodec::encodeAll(messages_);
+  const std::uint64_t n = bytes.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+TraceLog TraceLog::loadBinary(std::istream& is) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) throw std::runtime_error("TraceLog: truncated header");
+  std::vector<std::uint8_t> bytes(n);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("TraceLog: truncated body");
+  return TraceLog(BinaryCodec::decodeAll(bytes));
+}
+
+}  // namespace mpx::trace

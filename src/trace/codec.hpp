@@ -1,0 +1,74 @@
+// Wire (de)serialization for observer-bound messages.
+//
+// JMPaX ships messages over a socket between the instrumented JVM and the
+// observer process (paper Fig. 4).  We provide the equivalent codec layer:
+// a compact length-prefixed binary format for streams, and the paper's
+// human-readable "<x=1, T2, (1,2)>" text form for logs and golden files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::trace {
+
+/// Binary codec.  Varint-free fixed-width little-endian layout:
+///   u8 kind | u32 thread | u32 var | i64 value | u64 localSeq |
+///   u64 globalSeq | u32 clockSize | u64 * clockSize
+class BinaryCodec {
+ public:
+  /// Appends the encoding of `m` to `out`.  Returns bytes written.
+  static std::size_t encode(const Message& m, std::vector<std::uint8_t>& out);
+
+  /// Decodes one message starting at `offset`; advances `offset` past it.
+  /// Throws std::runtime_error on truncated or corrupt input.
+  static Message decode(const std::vector<std::uint8_t>& in,
+                        std::size_t& offset);
+
+  /// Round-trips a whole stream.
+  static std::vector<std::uint8_t> encodeAll(
+      const std::vector<Message>& messages);
+  static std::vector<Message> decodeAll(const std::vector<std::uint8_t>& in);
+};
+
+/// Text codec emitting the paper's notation, e.g. "<x=1, T2, (1,2)>" for a
+/// relevant write, with variable names resolved through a VarTable.
+class TextCodec {
+ public:
+  explicit TextCodec(const VarTable& vars) : vars_(&vars) {}
+
+  [[nodiscard]] std::string format(const Message& m) const;
+
+  /// Parses one "<...>" message; inverse of format() for write events.
+  [[nodiscard]] Message parse(const std::string& line) const;
+
+ private:
+  const VarTable* vars_;
+};
+
+/// A recorded stream of messages that can be saved/loaded, enabling
+/// offline re-analysis of a captured execution.
+class TraceLog {
+ public:
+  TraceLog() = default;
+  explicit TraceLog(std::vector<Message> messages)
+      : messages_(std::move(messages)) {}
+
+  void append(const Message& m) { messages_.push_back(m); }
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return messages_.size(); }
+
+  void saveBinary(std::ostream& os) const;
+  static TraceLog loadBinary(std::istream& is);
+
+ private:
+  std::vector<Message> messages_;
+};
+
+}  // namespace mpx::trace

@@ -1,0 +1,50 @@
+#include "trace/event.hpp"
+
+#include <ostream>
+
+namespace mpx::trace {
+
+const char* toString(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kInternal:
+      return "internal";
+    case EventKind::kRead:
+      return "read";
+    case EventKind::kWrite:
+      return "write";
+    case EventKind::kLockAcquire:
+      return "lock";
+    case EventKind::kLockRelease:
+      return "unlock";
+    case EventKind::kNotify:
+      return "notify";
+    case EventKind::kWaitResume:
+      return "wait-resume";
+    case EventKind::kThreadStart:
+      return "thread-start";
+    case EventKind::kThreadExit:
+      return "thread-exit";
+    case EventKind::kAtomicUpdate:
+      return "atomic-update";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  os << toString(e.kind) << "[T" << e.thread;
+  if (e.accessesVariable()) os << ", v" << e.var << "=" << e.value;
+  os << ", k=" << e.localSeq << "]";
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  // Paper Fig. 6 notation: <x=1, T2, (1,2)>
+  os << '<' << toString(m.event.kind);
+  if (m.event.accessesVariable()) {
+    os << " v" << m.event.var << '=' << m.event.value;
+  }
+  os << ", T" << m.event.thread << ", " << m.clock << '>';
+  return os;
+}
+
+}  // namespace mpx::trace

@@ -1,0 +1,112 @@
+// Events of a multithreaded execution, and the messages <e, i, V> that
+// Algorithm A emits to the observer.
+//
+// Paper §2.1: a multithreaded execution is a sequence of events e1 e2 ... er,
+// each belonging to one of n threads and having type internal, read or write
+// of a shared variable.  §3.1 extends this with synchronization events that
+// the instrumentor maps onto shared-variable writes: lock acquire/release,
+// and wait/notify (a write of a dummy shared variable on both sides of the
+// notification).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "vc/types.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace mpx::trace {
+
+/// The kind of a runtime event.
+enum class EventKind : std::uint8_t {
+  kInternal,     ///< thread-local computation; no shared access
+  kRead,         ///< read of shared variable `var`, observing `value`
+  kWrite,        ///< write of shared variable `var`, storing `value`
+  kLockAcquire,  ///< acquisition of lock `var` (paper §3.1: a write)
+  kLockRelease,  ///< release of lock `var` (paper §3.1: a write)
+  kNotify,       ///< notify on condition `var` (write of a dummy variable)
+  kWaitResume,   ///< waiting thread resumed (write of the same dummy var)
+  kThreadStart,  ///< first event of a dynamically spawned thread; writes the
+                 ///< thread's dummy variable (spawn happens-before edge)
+  kThreadExit,   ///< last event of a thread; writes the thread's dummy
+                 ///< variable (join happens-before edge)
+  kAtomicUpdate, ///< successful atomic read-modify-write (e.g. CAS): a
+                 ///< write for causality purposes, but two atomic updates
+                 ///< of the same variable do not constitute a data race
+};
+
+/// True for kinds the instrumentor treats as a *write* of a shared variable
+/// when updating MVCs (paper §3.1: lock operations and wait/notify generate
+/// write events so synchronized regions cannot be permuted).
+[[nodiscard]] constexpr bool isWriteLike(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kWrite:
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+    case EventKind::kNotify:
+    case EventKind::kWaitResume:
+    case EventKind::kThreadStart:
+    case EventKind::kThreadExit:
+    case EventKind::kAtomicUpdate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for kinds that access a shared variable at all.
+[[nodiscard]] constexpr bool isSharedAccess(EventKind k) noexcept {
+  return k == EventKind::kRead || isWriteLike(k);
+}
+
+[[nodiscard]] const char* toString(EventKind k) noexcept;
+
+/// One event e^k_i of the observed execution.
+struct Event {
+  EventKind kind = EventKind::kInternal;
+  ThreadId thread = kNoThread;  ///< the i in e^k_i
+  VarId var = kNoVar;           ///< accessed variable (shared-access kinds)
+  Value value = 0;              ///< value written (write-like) or read
+  LocalSeq localSeq = 0;        ///< the k in e^k_i (1-based)
+  GlobalSeq globalSeq = kNoSeq; ///< position in the observed total order M
+
+  [[nodiscard]] bool accessesVariable() const noexcept {
+    return isSharedAccess(kind);
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+/// The message <e, i, V_i> sent to the observer for each relevant event
+/// (step 4 of Algorithm A).  The thread i is carried inside `event`.
+struct Message {
+  Event event;
+  vc::VectorClock clock;
+
+  [[nodiscard]] ThreadId thread() const noexcept { return event.thread; }
+
+  /// Theorem 3: for two emitted messages m=<e,i,V> and m'=<e',i',V'>,
+  /// e relevant-causally-precedes e'  iff  V[i] <= V'[i] and m != m'.
+  /// (For i == i', V[i] <= V'[i] distinguishes order on the same thread.)
+  [[nodiscard]] bool causallyPrecedes(const Message& other) const noexcept {
+    if (&other == this) return false;
+    if (event.thread == other.event.thread) {
+      return clock[event.thread] < other.clock[other.event.thread];
+    }
+    return clock[event.thread] <= other.clock[event.thread];
+  }
+
+  /// Concurrency on emitted messages: neither precedes the other.
+  [[nodiscard]] bool concurrentWith(const Message& other) const noexcept {
+    return !causallyPrecedes(other) && !other.causallyPrecedes(*this);
+  }
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Message& m);
+
+}  // namespace mpx::trace

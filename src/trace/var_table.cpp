@@ -1,0 +1,51 @@
+#include "trace/var_table.hpp"
+
+namespace mpx::trace {
+
+VarId VarTable::intern(std::string_view name, Value initial, VarRole role) {
+  const auto it = byName_.find(std::string(name));
+  if (it != byName_.end()) {
+    const Entry& existing = entries_[it->second];
+    if (existing.initial != initial || existing.role != role) {
+      throw std::invalid_argument(
+          "VarTable: re-registering '" + std::string(name) +
+          "' with a different initial value or role");
+    }
+    return it->second;
+  }
+  const VarId id = static_cast<VarId>(entries_.size());
+  entries_.push_back(Entry{std::string(name), initial, role});
+  byName_.emplace(std::string(name), id);
+  return id;
+}
+
+VarId VarTable::id(std::string_view name) const {
+  const auto it = byName_.find(std::string(name));
+  if (it == byName_.end()) {
+    throw std::out_of_range("VarTable: unknown variable '" +
+                            std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::optional<VarId> VarTable::tryId(std::string_view name) const noexcept {
+  const auto it = byName_.find(std::string(name));
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<VarId> VarTable::idsWithRole(VarRole role) const {
+  std::vector<VarId> out;
+  for (VarId v = 0; v < entries_.size(); ++v) {
+    if (entries_[v].role == role) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Value> VarTable::initialValuation() const {
+  std::vector<Value> out(entries_.size(), 0);
+  for (VarId v = 0; v < entries_.size(); ++v) out[v] = entries_[v].initial;
+  return out;
+}
+
+}  // namespace mpx::trace

@@ -1,0 +1,84 @@
+// Shared-variable name/id interning, with initial values.
+//
+// Threads, the observer, the logic layer and the renderers all refer to
+// shared variables; ids keep the hot paths allocation-free while names make
+// specifications ("landing == 1 -> [approved == 1, radio == 0)") and
+// counterexample rendering readable.
+//
+// Locks and condition variables also live in this table (paper §3.1 treats
+// them as shared variables); they are registered with a reserved prefix so
+// they never collide with user variables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "vc/types.hpp"
+
+namespace mpx::trace {
+
+/// What a variable id stands for.
+enum class VarRole : std::uint8_t {
+  kData,       ///< ordinary shared program variable
+  kLock,       ///< lock object (written on acquire/release)
+  kCondition,  ///< dummy variable for wait/notify causality
+};
+
+/// Interning table for shared variables.
+class VarTable {
+ public:
+  /// Registers (or finds) a data variable with the given initial value.
+  /// Re-registering an existing name with a different initial value throws.
+  VarId intern(std::string_view name, Value initial = 0,
+               VarRole role = VarRole::kData);
+
+  /// Id lookup; throws std::out_of_range when the name is unknown.
+  [[nodiscard]] VarId id(std::string_view name) const;
+
+  /// Id lookup that reports absence instead of throwing.
+  [[nodiscard]] std::optional<VarId> tryId(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::string& name(VarId v) const { return entry(v).name; }
+  [[nodiscard]] Value initial(VarId v) const { return entry(v).initial; }
+  [[nodiscard]] VarRole role(VarId v) const { return entry(v).role; }
+
+  /// True for ordinary data variables (the ones whose values form the
+  /// global program state the observer reconstructs).
+  [[nodiscard]] bool isData(VarId v) const {
+    return entry(v).role == VarRole::kData;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// All ids of a given role, in id order.
+  [[nodiscard]] std::vector<VarId> idsWithRole(VarRole role) const;
+
+  /// The initial valuation of all data variables, indexed by VarId (entries
+  /// for lock/condition ids are present but meaningless).
+  [[nodiscard]] std::vector<Value> initialValuation() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Value initial = 0;
+    VarRole role = VarRole::kData;
+  };
+
+  [[nodiscard]] const Entry& entry(VarId v) const {
+    if (v >= entries_.size()) {
+      throw std::out_of_range("VarTable: unknown variable id " +
+                              std::to_string(v));
+    }
+    return entries_[v];
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, VarId> byName_;
+};
+
+}  // namespace mpx::trace

@@ -1,0 +1,50 @@
+// Fundamental identifier and value types shared across all mpx modules.
+//
+// The paper (Rosu & Sen, IPDPS'04) works with a fixed set of threads
+// t_1..t_n, a set S of shared variables, and integer-valued program states.
+// We use dense small integer ids for threads and variables so that vector
+// clocks and per-variable MVC tables can be flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mpx {
+
+/// Dense thread index, 0-based (the paper's t_i uses 1-based i; we use 0).
+using ThreadId = std::uint32_t;
+
+/// Dense shared-variable index.  Locks and condition variables are mapped
+/// into this same id space by the instrumentor (paper §3.1 treats locks as
+/// shared variables that are written on acquire/release).
+using VarId = std::uint32_t;
+
+/// Dense lock (mutex) index within a program, before mapping to a VarId.
+using LockId = std::uint32_t;
+
+/// Dense condition-variable index within a program.
+using CondId = std::uint32_t;
+
+/// Per-thread event sequence number: the k in e^k_i.  Starts at 1 for the
+/// first event of a thread, matching the paper's indexing.
+using LocalSeq = std::uint64_t;
+
+/// Global sequence number stamping the total order of the observed
+/// multithreaded execution M (the paper assumes sequentially consistent,
+/// atomic shared accesses; this stamp realises the "happens before in M"
+/// order <_x used to define variable access precedence).
+using GlobalSeq = std::uint64_t;
+
+/// Program values.  The paper's examples are integer-valued.
+using Value = std::int64_t;
+
+/// Sentinel for "no thread".
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+/// Sentinel for "no variable".
+inline constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+
+/// Sentinel for "no global sequence number assigned yet".
+inline constexpr GlobalSeq kNoSeq = std::numeric_limits<GlobalSeq>::max();
+
+}  // namespace mpx

@@ -1,0 +1,84 @@
+// Testing campaigns: aggregation over seeded runs.
+#include "analysis/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/corpus.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+namespace corpus = program::corpus;
+
+TEST(Campaign, PredictionDominatesObservationOnLanding) {
+  CampaignOptions opts;
+  opts.trials = 40;
+  const CampaignResult r = runCampaign(
+      corpus::landingController(4), corpus::landingProperty(), opts);
+  ASSERT_EQ(r.trials.size(), 40u);
+  EXPECT_GE(r.predictedDetections, r.observedDetections);
+  EXPECT_GT(r.predictedDetections, 0u);
+  // Per-trial implication: observed detection entails prediction.
+  for (const auto& t : r.trials) {
+    if (t.observedDetected) {
+      EXPECT_TRUE(t.predicted) << "seed " << t.seed;
+    }
+  }
+  EXPECT_EQ(r.deadlocks, 0u);
+}
+
+TEST(Campaign, RatesAndSummary) {
+  CampaignOptions opts;
+  opts.trials = 20;
+  const CampaignResult r = runCampaign(
+      corpus::landingController(), corpus::landingProperty(), opts);
+  EXPECT_GE(r.predictedRate(), r.observedRate());
+  EXPECT_LE(r.predictedRate(), 1.0);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("20 trials"), std::string::npos);
+  EXPECT_NE(s.find("predictive analysis"), std::string::npos);
+}
+
+TEST(Campaign, GroundTruthOnRequest) {
+  CampaignOptions opts;
+  opts.trials = 5;
+  opts.withGroundTruth = true;
+  const CampaignResult r = runCampaign(
+      corpus::landingController(), corpus::landingProperty(), opts);
+  ASSERT_TRUE(r.groundTruthComputed);
+  EXPECT_GT(r.groundTruth.totalExecutions, 0u);
+  EXPECT_GT(r.groundTruth.violatingExecutions, 0u);
+  EXPECT_NE(r.summary().find("ground truth"), std::string::npos);
+}
+
+TEST(Campaign, SafePropertyNeverDetects) {
+  CampaignOptions opts;
+  opts.trials = 15;
+  const CampaignResult r =
+      runCampaign(corpus::peterson(), corpus::mutualExclusionProperty(), opts);
+  EXPECT_EQ(r.observedDetections, 0u);
+  EXPECT_EQ(r.predictedDetections, 0u);
+}
+
+TEST(Campaign, SeedsAreSequentialFromFirstSeed) {
+  CampaignOptions opts;
+  opts.trials = 3;
+  opts.firstSeed = 100;
+  const CampaignResult r = runCampaign(
+      corpus::landingController(), corpus::landingProperty(), opts);
+  ASSERT_EQ(r.trials.size(), 3u);
+  EXPECT_EQ(r.trials[0].seed, 100u);
+  EXPECT_EQ(r.trials[2].seed, 102u);
+}
+
+TEST(Campaign, EmptyCampaign) {
+  CampaignOptions opts;
+  opts.trials = 0;
+  const CampaignResult r = runCampaign(
+      corpus::landingController(), corpus::landingProperty(), opts);
+  EXPECT_TRUE(r.trials.empty());
+  EXPECT_EQ(r.observedRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpx::analysis

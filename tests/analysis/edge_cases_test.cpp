@@ -1,0 +1,190 @@
+// Edge cases and robustness across the whole pipeline.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "logic/parser.hpp"
+#include "program/corpus.hpp"
+#include "trace/codec.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+TEST(EdgeCases, NoRelevantEventsAtAll) {
+  // The spec's variable is never written: the lattice is the single
+  // initial state and the verdict comes from it alone.
+  program::ProgramBuilder b;
+  b.var("watched", 5);
+  const VarId other = b.var("other", 0);
+  auto t = b.thread();
+  t.write(other, program::lit(1));
+  const program::Program prog = b.build();
+
+  PredictiveAnalyzer holds(prog, specConfig("watched = 5"));
+  program::GreedyScheduler s1;
+  const AnalysisResult r1 = holds.analyze(s1);
+  EXPECT_EQ(r1.messagesEmitted, 0u);
+  EXPECT_EQ(r1.latticeStats.totalNodes, 1u);
+  EXPECT_EQ(r1.latticeStats.pathCount, 1u);
+  EXPECT_FALSE(r1.predictsViolation());
+
+  PredictiveAnalyzer fails(prog, specConfig("watched = 6"));
+  program::GreedyScheduler s2;
+  const AnalysisResult r2 = fails.analyze(s2);
+  EXPECT_TRUE(r2.observedRunViolates());
+  EXPECT_TRUE(r2.predictsViolation());
+  EXPECT_TRUE(r2.predictedViolations.front().path.empty());
+}
+
+TEST(EdgeCases, EmptyThreadsOnlyExitEvents) {
+  program::ProgramBuilder b;
+  b.var("x", 0);
+  b.thread();
+  b.thread();
+  const program::Program prog = b.build();
+  PredictiveAnalyzer analyzer(prog, specConfig("x = 0"));
+  program::GreedyScheduler sched;
+  const AnalysisResult r = analyzer.analyze(sched);
+  EXPECT_EQ(r.messagesEmitted, 0u);
+  EXPECT_FALSE(r.predictsViolation());
+}
+
+TEST(EdgeCases, SingleWriteSingleThread) {
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.write(x, program::lit(1));
+  const program::Program prog = b.build();
+  PredictiveAnalyzer analyzer(prog, specConfig("x <= 1"));
+  program::GreedyScheduler sched;
+  const AnalysisResult r = analyzer.analyze(sched);
+  EXPECT_EQ(r.latticeStats.totalNodes, 2u);
+  EXPECT_EQ(r.latticeStats.pathCount, 1u);
+  EXPECT_FALSE(r.predictsViolation());
+}
+
+TEST(EdgeCases, MaxViolationsOne) {
+  const program::Program prog = program::corpus::mutualExclusionNaive();
+  AnalyzerConfig config;
+  config.spec = program::corpus::mutualExclusionProperty();
+  config.lattice.maxViolations = 1;
+  PredictiveAnalyzer analyzer(prog, config);
+  program::GreedyScheduler sched;
+  const AnalysisResult r = analyzer.analyze(sched);
+  EXPECT_EQ(r.predictedViolations.size(), 1u);
+}
+
+TEST(EdgeCases, CodecSurvivesTruncationAtEveryOffset) {
+  // Every truncation point either decodes a prefix or throws — never UB.
+  const program::Program prog = program::corpus::xyzProgram();
+  program::FixedScheduler sched(program::corpus::xyzObservedSchedule());
+  PredictiveAnalyzer analyzer(
+      prog, specConfig(program::corpus::xyzProperty()));
+  const AnalysisResult r = analyzer.analyze(sched);
+  std::vector<trace::Message> msgs;
+  for (const auto& ref : r.observedRun) {
+    msgs.push_back(r.causality.message(ref));
+  }
+  const auto bytes = trace::BinaryCodec::encodeAll(msgs);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(cut));
+    try {
+      const auto decoded = trace::BinaryCodec::decodeAll(prefix);
+      EXPECT_LE(decoded.size(), msgs.size());
+    } catch (const std::runtime_error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(EdgeCases, ParserNeverCrashesOnGarbage) {
+  trace::VarTable table;
+  table.intern("x", 0);
+  const auto space = observer::StateSpace::byNames(table, {"x"});
+  const logic::SpecParser parser(space);
+  std::mt19937_64 rng(99);
+  const std::string alphabet = "x01 ()[]<>=!&|+-*/,@S历";
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    const std::size_t len = rng() % 20;
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng() % alphabet.size()];
+    }
+    try {
+      (void)parser.parse(text);
+    } catch (const logic::SpecError&) {
+      // expected for most inputs
+    }
+  }
+  SUCCEED();
+}
+
+TEST(EdgeCases, MonitorOnSingleStateTrace) {
+  trace::VarTable table;
+  table.intern("x", 0);
+  const auto space = observer::StateSpace::byNames(table, {"x"});
+  logic::SynthesizedMonitor mon(
+      logic::SpecParser(space).parse("once x = 1 -> prev x = 1"));
+  EXPECT_EQ(mon.firstViolation({observer::GlobalState({0})}), -1);
+}
+
+TEST(EdgeCases, AnalyzeRecordOfDeadlockedExecution) {
+  // A deadlocked execution still yields a (partial) trace the analyzer can
+  // process: the emitted prefix is a valid computation.
+  program::ProgramBuilder b;
+  const LockId l1 = b.lock("a");
+  const LockId l2 = b.lock("b");
+  const VarId x = b.var("x", 0);
+  auto t1 = b.thread();
+  t1.lockAcquire(l1).write(x, program::lit(1)).lockAcquire(l2)
+      .lockRelease(l2).lockRelease(l1);
+  auto t2 = b.thread();
+  t2.lockAcquire(l2).write(x, program::lit(2)).lockAcquire(l1)
+      .lockRelease(l1).lockRelease(l2);
+  const program::Program prog = b.build();
+  program::FixedScheduler sched({0, 0, 1, 1});  // both grab first lock
+  program::Executor ex(prog, sched);
+  const auto rec = ex.run();
+  ASSERT_TRUE(rec.deadlocked);
+
+  PredictiveAnalyzer analyzer(prog, specConfig("x >= 0"));
+  const AnalysisResult r = analyzer.analyzeRecord(rec);
+  EXPECT_FALSE(r.predictsViolation());
+  EXPECT_GT(r.messagesEmitted, 0u);
+}
+
+TEST(EdgeCases, HugeValuesRoundTrip) {
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", std::numeric_limits<Value>::min());
+  auto t = b.thread();
+  t.write(x, program::lit(std::numeric_limits<Value>::max()));
+  const program::Program prog = b.build();
+  PredictiveAnalyzer analyzer(prog, specConfig("x != 0"));
+  program::GreedyScheduler sched;
+  const AnalysisResult r = analyzer.analyze(sched);
+  EXPECT_FALSE(r.predictsViolation());
+  EXPECT_EQ(r.observedStates.back().values[0],
+            std::numeric_limits<Value>::max());
+}
+
+TEST(EdgeCases, ManyThreadsOneEventEach) {
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  for (int i = 0; i < 8; ++i) {
+    auto t = b.thread();
+    t.write(x, program::lit(i + 1));
+  }
+  const program::Program prog = b.build();
+  PredictiveAnalyzer analyzer(prog, specConfig("x >= 0"));
+  program::GreedyScheduler sched;
+  const AnalysisResult r = analyzer.analyze(sched);
+  // Writes of the same variable are totally ordered: a path lattice.
+  EXPECT_EQ(r.latticeStats.pathCount, 1u);
+  EXPECT_EQ(r.latticeStats.totalNodes, 9u);
+}
+
+}  // namespace
+}  // namespace mpx::analysis

@@ -1,0 +1,141 @@
+// Paper Example 1, end to end (Figs. 1 and 5): from ONE successful
+// execution of the landing controller, MPX predicts the two violating
+// runs, with counterexamples; the observed-run baseline sees nothing.
+#include <gtest/gtest.h>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "observer/run_enumerator.hpp"
+#include "program/corpus.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+namespace corpus = program::corpus;
+
+AnalysisResult analyzeObserved(trace::DeliveryPolicy delivery =
+                                   trace::DeliveryPolicy::kFifo) {
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  config.delivery = delivery;
+  config.deliverySeed = 1234;
+  PredictiveAnalyzer analyzer(prog, config);
+  program::FixedScheduler sched(corpus::landingObservedSchedule());
+  return analyzer.analyze(sched);
+}
+
+TEST(Landing, RelevantVariablesExtractedFromSpec) {
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  EXPECT_EQ(analyzer.relevantVariables(),
+            (std::vector<std::string>{"landing", "approved", "radio"}));
+}
+
+TEST(Landing, ObservedRunIsSuccessful) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_FALSE(r.observedRunViolates());
+  // The observed state sequence is the paper's leftmost path.
+  ASSERT_EQ(r.observedStates.size(), 4u);
+  EXPECT_EQ(r.observedStates[0].values, (std::vector<Value>{0, 0, 1}));
+  EXPECT_EQ(r.observedStates[1].values, (std::vector<Value>{0, 1, 1}));
+  EXPECT_EQ(r.observedStates[2].values, (std::vector<Value>{1, 1, 1}));
+  EXPECT_EQ(r.observedStates[3].values, (std::vector<Value>{1, 1, 0}));
+}
+
+TEST(Landing, ThreeMessagesEmitted) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_EQ(r.messagesEmitted, 3u);
+  EXPECT_GT(r.eventsInstrumented, r.messagesEmitted);
+}
+
+TEST(Landing, LatticeIsFigure5) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_EQ(r.latticeStats.totalNodes, 6u);
+  EXPECT_EQ(r.latticeStats.pathCount, 3u);
+}
+
+TEST(Landing, ViolationPredictedFromSuccessfulRun) {
+  const AnalysisResult r = analyzeObserved();
+  ASSERT_TRUE(r.predictsViolation());
+  // The counterexample ends in the all-events cut at state <1,1,0>.
+  const observer::Violation& v = r.predictedViolations.front();
+  EXPECT_EQ(v.state.values, (std::vector<Value>{1, 1, 0}));
+}
+
+TEST(Landing, ExactlyTwoOfThreeRunsViolate) {
+  const AnalysisResult r = analyzeObserved();
+  observer::RunEnumerator runs(r.causality, r.space);
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  logic::SynthesizedMonitor monitor(analyzer.formula());
+  std::size_t violating = 0;
+  std::size_t total = 0;
+  runs.forEachRun([&](const observer::Run& run) {
+    ++total;
+    if (monitor.firstViolation(run.states) >= 0) ++violating;
+    return true;
+  });
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(violating, 2u);
+}
+
+TEST(Landing, CounterexamplesAreRealizableSchedules) {
+  const AnalysisResult r = analyzeObserved();
+  observer::RunEnumerator runs(r.causality, r.space);
+  for (const auto& v : r.predictedViolations) {
+    EXPECT_TRUE(runs.isConsistentRun(v.path));
+    const auto states = runs.statesAlong(v.path);
+    EXPECT_EQ(states.back(), v.state);
+  }
+}
+
+TEST(Landing, PredictionSurvivesChannelReordering) {
+  for (const auto policy :
+       {trace::DeliveryPolicy::kShuffle, trace::DeliveryPolicy::kReverse,
+        trace::DeliveryPolicy::kBoundedDelay}) {
+    const AnalysisResult r = analyzeObserved(policy);
+    EXPECT_FALSE(r.observedRunViolates());
+    EXPECT_TRUE(r.predictsViolation());
+    EXPECT_EQ(r.latticeStats.totalNodes, 6u);
+    EXPECT_EQ(r.latticeStats.pathCount, 3u);
+  }
+}
+
+TEST(Landing, GroundTruthConfirmsThePrediction) {
+  const program::Program prog = corpus::landingController();
+  const GroundTruthResult truth =
+      groundTruth(prog, corpus::landingProperty());
+  EXPECT_GT(truth.violatingExecutions, 0u);
+  EXPECT_LT(truth.violatingExecutions, truth.totalExecutions);
+  EXPECT_EQ(truth.deadlockedExecutions, 0u);
+  EXPECT_FALSE(truth.truncated);
+}
+
+TEST(Landing, RadioFirstRunPredictsNothing) {
+  // If the radio dies before the controller reads it, approval is denied,
+  // landing never starts: the computation has ONE run and no violation.
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  program::FixedScheduler sched({1, 1, 1});  // radio thread first
+  const AnalysisResult r = analyzer.analyze(sched);
+  EXPECT_FALSE(r.observedRunViolates());
+  EXPECT_FALSE(r.predictsViolation());
+}
+
+TEST(Landing, DescribeRendersCounterexample) {
+  const AnalysisResult r = analyzeObserved();
+  ASSERT_TRUE(r.predictsViolation());
+  const std::string text = r.describe(r.predictedViolations.front());
+  EXPECT_NE(text.find("counterexample run"), std::string::npos);
+  EXPECT_NE(text.find("radio=0"), std::string::npos);
+  EXPECT_NE(text.find("landing=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpx::analysis

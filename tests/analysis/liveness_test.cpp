@@ -1,0 +1,111 @@
+// Liveness-violation prediction via lattice lassos (paper §4).
+#include "analysis/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+using mpx::testing::observe;
+
+logic::StateExpr slotEq(const observer::StateSpace& sp, const std::string& n,
+                        Value v) {
+  return logic::StateExpr::binary(
+      logic::StateOp::kEq, logic::StateExpr::var(sp.slotOfName(n), n),
+      logic::StateExpr::constant(v));
+}
+
+mpx::testing::ObservedComputation toggler() {
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.write(x, program::lit(1)).write(x, program::lit(0))
+      .write(x, program::lit(1)).write(x, program::lit(0));
+  program::GreedyScheduler sched;
+  return observe(b.build(), sched, {"x"});
+}
+
+TEST(Liveness, TogglerHasLassos) {
+  const auto c = toggler();
+  LivenessPredictor predictor(c.graph, c.space);
+  const auto lassos = predictor.allLassos();
+  ASSERT_FALSE(lassos.empty());
+  for (const auto& l : lassos) {
+    ASSERT_FALSE(l.loopStates.empty());
+    // Loop closes: state before the loop equals the loop's last state.
+    EXPECT_EQ(l.stemStates.back(), l.loopStates.back());
+  }
+}
+
+TEST(Liveness, StabilizationPropertyViolatedOnToggler) {
+  const auto c = toggler();
+  LivenessPredictor predictor(c.graph, c.space);
+  const auto fgx0 = logic::LtlFormula::eventually(
+      logic::LtlFormula::always(logic::LtlFormula::atom(slotEq(c.space, "x", 0))));
+  EXPECT_FALSE(predictor.predict(fgx0).empty());
+}
+
+TEST(Liveness, InfinitelyOftenPropertyHoldsOnToggleLoops) {
+  // GF(x = 0) holds on every toggler lasso whose loop contains x = 0...
+  // but lassos looping only through x = 1 states violate it.  At minimum,
+  // the loop 1->0 satisfies it, so violations are strictly fewer than
+  // lassos.
+  const auto c = toggler();
+  LivenessPredictor predictor(c.graph, c.space);
+  const auto gfx0 = logic::LtlFormula::always(
+      logic::LtlFormula::eventually(logic::LtlFormula::atom(slotEq(c.space, "x", 0))));
+  const auto all = predictor.allLassos();
+  const auto bad = predictor.predict(gfx0);
+  EXPECT_LT(bad.size(), all.size());
+}
+
+TEST(Liveness, NoRepeatedStateNoLasso) {
+  // Strictly increasing variable: no state repeats, no lassos.
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  for (int i = 1; i <= 4; ++i) t.write(x, program::lit(i));
+  program::GreedyScheduler sched;
+  const auto c = observe(b.build(), sched, {"x"});
+  LivenessPredictor predictor(c.graph, c.space);
+  EXPECT_TRUE(predictor.allLassos().empty());
+}
+
+TEST(Liveness, CrossThreadLassosFound) {
+  // Two threads toggling different variables: lassos exist whose loops mix
+  // both threads' events (the run revisits a joint state).
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const VarId y = b.var("y", 0);
+  auto t1 = b.thread();
+  t1.write(x, program::lit(1)).write(x, program::lit(0));
+  auto t2 = b.thread();
+  t2.write(y, program::lit(1)).write(y, program::lit(0));
+  program::GreedyScheduler sched;
+  const auto c = observe(b.build(), sched, {"x", "y"});
+  LivenessPredictor predictor(c.graph, c.space);
+  const auto lassos = predictor.allLassos();
+  ASSERT_FALSE(lassos.empty());
+  bool crossThread = false;
+  for (const auto& l : lassos) {
+    std::set<ThreadId> threads;
+    for (const auto& e : l.loopEvents) threads.insert(e.thread);
+    if (threads.size() > 1) crossThread = true;
+  }
+  EXPECT_TRUE(crossThread);
+}
+
+TEST(Liveness, MaxViolationsCap) {
+  const auto c = toggler();
+  LivenessPredictor predictor(c.graph, c.space);
+  LivenessOptions opts;
+  opts.maxViolations = 2;
+  const auto fgx0 = logic::LtlFormula::eventually(
+      logic::LtlFormula::always(logic::LtlFormula::atom(slotEq(c.space, "x", 0))));
+  EXPECT_LE(predictor.predict(fgx0, opts).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mpx::analysis

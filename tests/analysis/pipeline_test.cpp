@@ -1,0 +1,174 @@
+// The analyzer pipeline: configuration knobs, the JPAX-style baseline, and
+// the relationship between observed-run and predictive verdicts.
+#include <gtest/gtest.h>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "program/corpus.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+namespace corpus = program::corpus;
+
+TEST(Pipeline, UnknownSpecVariableThrows) {
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = "altitude > 0";  // not a program variable
+  EXPECT_THROW(PredictiveAnalyzer(prog, config), std::out_of_range);
+}
+
+TEST(Pipeline, ExtraTrackedVarsAppearInTheStateSpace) {
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = "landing = 1 -> approved = 1";
+  config.extraTrackedVars = {"radio"};
+  PredictiveAnalyzer analyzer(prog, config);
+  EXPECT_EQ(analyzer.space().size(), 3u);
+  EXPECT_NO_THROW((void)analyzer.space().slotOfName("radio"));
+}
+
+TEST(Pipeline, ObservedChecker_MatchesAnalyzerObservedVerdict) {
+  const program::Program prog = corpus::landingController();
+  const std::string spec = corpus::landingProperty();
+  AnalyzerConfig config;
+  config.spec = spec;
+  PredictiveAnalyzer analyzer(prog, config);
+  ObservedRunChecker baseline(prog, spec);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    program::RandomScheduler s1(seed);
+    program::Executor ex(prog, s1);
+    const program::ExecutionRecord rec = ex.run();
+    const AnalysisResult r = analyzer.analyzeRecord(rec);
+    EXPECT_EQ(baseline.detectsOnRecord(rec), r.observedRunViolates())
+        << "seed " << seed;
+  }
+}
+
+TEST(Pipeline, PredictionIsAtLeastAsStrongAsObservation) {
+  // Whatever the observed run detects, the lattice detects too (the
+  // observed linearization is one of its paths).
+  const program::Program prog = corpus::landingController();
+  PredictiveAnalyzer analyzer(
+      prog, specConfig(corpus::landingProperty()));
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const AnalysisResult r = analyzer.analyzeWithSeed(seed);
+    if (r.observedRunViolates()) {
+      EXPECT_TRUE(r.predictsViolation()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Pipeline, PredictionStrictlyStrongerSomewhere) {
+  // And on some successful runs it predicts what observation missed.
+  const program::Program prog = corpus::landingController();
+  PredictiveAnalyzer analyzer(
+      prog, specConfig(corpus::landingProperty()));
+  bool strictly = false;
+  for (std::uint64_t seed = 0; seed < 40 && !strictly; ++seed) {
+    const AnalysisResult r = analyzer.analyzeWithSeed(seed);
+    strictly = !r.observedRunViolates() && r.predictsViolation();
+  }
+  EXPECT_TRUE(strictly);
+}
+
+TEST(Pipeline, EveryPredictionIsSoundWithRespectToTheLattice) {
+  // Each predicted violation's counterexample is a consistent run whose
+  // state trace actually violates the property.
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const AnalysisResult r = analyzer.analyzeWithSeed(seed);
+    observer::RunEnumerator runs(r.causality, r.space);
+    logic::SynthesizedMonitor monitor(analyzer.formula());
+    for (const auto& v : r.predictedViolations) {
+      ASSERT_TRUE(runs.isConsistentRun(v.path)) << "seed " << seed;
+      const auto states = runs.statesAlong(v.path);
+      EXPECT_GE(monitor.firstViolation(states), 0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Pipeline, LatticeDetectsIffSomeRunViolates) {
+  // Completeness w.r.t. the computation: the lattice predicts a violation
+  // exactly when some enumerated run violates.
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  logic::SynthesizedMonitor monitor(analyzer.formula());
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const AnalysisResult r = analyzer.analyzeWithSeed(seed);
+    observer::RunEnumerator runs(r.causality, r.space);
+    bool someRunViolates = false;
+    runs.forEachRun([&](const observer::Run& run) {
+      someRunViolates = monitor.firstViolation(run.states) >= 0;
+      return !someRunViolates;
+    });
+    EXPECT_EQ(r.predictsViolation(), someRunViolates) << "seed " << seed;
+  }
+}
+
+TEST(Pipeline, SlidingWindowAndFullRetentionAgreeOnVerdicts) {
+  const program::Program prog = corpus::xyzProgram();
+  AnalyzerConfig slide;
+  slide.spec = corpus::xyzProperty();
+  AnalyzerConfig full = slide;
+  full.lattice.retention = observer::Retention::kFull;
+  PredictiveAnalyzer a1(prog, slide);
+  PredictiveAnalyzer a2(prog, full);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    program::RandomScheduler s(seed);
+    program::Executor ex(prog, s);
+    const auto rec = ex.run();
+    const AnalysisResult r1 = a1.analyzeRecord(rec);
+    const AnalysisResult r2 = a2.analyzeRecord(rec);
+    EXPECT_EQ(r1.predictsViolation(), r2.predictsViolation());
+    EXPECT_EQ(r1.latticeStats.totalNodes, r2.latticeStats.totalNodes);
+  }
+}
+
+TEST(Pipeline, PathRecordingCanBeDisabled) {
+  const program::Program prog = corpus::landingController();
+  AnalyzerConfig config;
+  config.spec = corpus::landingProperty();
+  config.lattice.recordPaths = false;
+  PredictiveAnalyzer analyzer(prog, config);
+  program::FixedScheduler sched(corpus::landingObservedSchedule());
+  const AnalysisResult r = analyzer.analyze(sched);
+  ASSERT_TRUE(r.predictsViolation());
+  EXPECT_TRUE(r.predictedViolations.front().path.empty());
+}
+
+TEST(Pipeline, DeliverySeedVariationsDoNotChangeVerdicts) {
+  const program::Program prog = corpus::xyzProgram();
+  AnalyzerConfig config;
+  config.spec = corpus::xyzProperty();
+  config.delivery = trace::DeliveryPolicy::kShuffle;
+  program::FixedScheduler makeSched(corpus::xyzObservedSchedule());
+  program::Executor ex(prog, makeSched);
+  const auto rec = ex.run();
+  std::optional<std::size_t> nodes;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config.deliverySeed = seed;
+    PredictiveAnalyzer analyzer(prog, config);
+    const AnalysisResult r = analyzer.analyzeRecord(rec);
+    EXPECT_TRUE(r.predictsViolation()) << "seed " << seed;
+    if (!nodes) nodes = r.latticeStats.totalNodes;
+    EXPECT_EQ(r.latticeStats.totalNodes, *nodes);
+  }
+}
+
+TEST(Pipeline, GroundTruthCountsDeadlocks) {
+  const program::Program prog = corpus::diningPhilosophers(2);
+  // Any property over the meals variables; the interesting part is the
+  // deadlock counting.
+  const GroundTruthResult truth = groundTruth(prog, "meals0 >= 0");
+  EXPECT_GT(truth.totalExecutions, 0u);
+  EXPECT_GT(truth.deadlockedExecutions, 0u);
+  EXPECT_EQ(truth.violatingExecutions, 0u);
+}
+
+}  // namespace
+}  // namespace mpx::analysis

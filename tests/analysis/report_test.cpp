@@ -1,0 +1,132 @@
+// JSON/text report rendering.
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/corpus.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+namespace corpus = program::corpus;
+
+AnalysisResult landingResult() {
+  const program::Program prog = corpus::landingController();
+  PredictiveAnalyzer analyzer(
+      prog, specConfig(corpus::landingProperty()));
+  program::FixedScheduler sched(corpus::landingObservedSchedule());
+  return analyzer.analyze(sched);
+}
+
+/// Structural well-formedness: balanced braces/brackets outside strings.
+void expectBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool inString = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      inString = !inString;
+      continue;
+    }
+    if (inString) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(inString);
+}
+
+TEST(Report, JsonIsBalancedAndContainsVerdicts) {
+  const AnalysisResult r = landingResult();
+  const std::string json = toJson(r);
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"observedRunViolates\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"predictsViolation\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": 6"), std::string::npos);
+}
+
+TEST(Report, JsonCounterexampleCarriesStates) {
+  const AnalysisResult r = landingResult();
+  const std::string json = toJson(r);
+  EXPECT_NE(json.find("\"counterexample\""), std::string::npos);
+  EXPECT_NE(json.find("\"radio\""), std::string::npos);
+  EXPECT_NE(json.find("\"stateAfter\""), std::string::npos);
+}
+
+TEST(Report, CounterexamplesCanBeSuppressed) {
+  const AnalysisResult r = landingResult();
+  ReportOptions opts;
+  opts.includeCounterexamples = false;
+  const std::string json = toJson(r, opts);
+  EXPECT_EQ(json.find("\"counterexample\""), std::string::npos);
+  expectBalancedJson(json);
+}
+
+TEST(Report, CompactModeHasNoNewlines) {
+  const AnalysisResult r = landingResult();
+  ReportOptions opts;
+  opts.indent = 0;
+  const std::string json = toJson(r, opts);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  expectBalancedJson(json);
+}
+
+TEST(Report, TextReportMentionsEverything) {
+  const AnalysisResult r = landingResult();
+  const std::string text = toText(r);
+  EXPECT_NE(text.find("observed run violates: no"), std::string::npos);
+  EXPECT_NE(text.find("predicted violations: 1"), std::string::npos);
+  EXPECT_NE(text.find("counterexample run"), std::string::npos);
+}
+
+TEST(Report, JsonEscaping) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, RacesToJson) {
+  const program::Program p = corpus::bankAccountRacy();
+  program::GreedyScheduler sched;
+  const auto rec = program::runProgram(p, sched);
+  detect::RaceOptions opts;
+  opts.happensBefore = true;
+  const auto races =
+      detect::RacePredictor{opts}.analyzeExecution(rec, p, {"balance"});
+  const std::string json = racesToJson(races, p.vars);
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"balance\""), std::string::npos);
+  EXPECT_NE(json.find("happens-before"), std::string::npos);
+}
+
+TEST(Report, DeadlocksToJson) {
+  const program::Program p = corpus::diningPhilosophers(3);
+  program::GreedyScheduler sched;
+  const auto rec = program::runProgram(p, sched);
+  const auto reports = detect::DeadlockPredictor{}.analyze(rec, p);
+  const std::string json = deadlocksToJson(reports, p.lockNames);
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("fork0"), std::string::npos);
+}
+
+TEST(Report, EmptyCollections) {
+  expectBalancedJson(racesToJson({}, trace::VarTable{}));
+  expectBalancedJson(deadlocksToJson({}, {}));
+}
+
+}  // namespace
+}  // namespace mpx::analysis

@@ -1,0 +1,125 @@
+// Paper Example 2 end to end (Fig. 6): the x/y/z program.
+#include <gtest/gtest.h>
+
+#include "analysis/predictive_analyzer.hpp"
+#include "observer/run_enumerator.hpp"
+#include "program/corpus.hpp"
+
+namespace mpx::analysis {
+namespace {
+
+namespace corpus = program::corpus;
+
+AnalysisResult analyzeObserved() {
+  const program::Program prog = corpus::xyzProgram();
+  AnalyzerConfig config;
+  config.spec = corpus::xyzProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  program::FixedScheduler sched(corpus::xyzObservedSchedule());
+  return analyzer.analyze(sched);
+}
+
+TEST(Xyz, ObservedStateSequenceMatchesPaper) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_FALSE(r.observedRunViolates());
+  ASSERT_EQ(r.observedStates.size(), 5u);
+  EXPECT_EQ(r.observedStates[0].values, (std::vector<Value>{-1, 0, 0}));
+  EXPECT_EQ(r.observedStates[1].values, (std::vector<Value>{0, 0, 0}));
+  EXPECT_EQ(r.observedStates[2].values, (std::vector<Value>{0, 0, 1}));
+  EXPECT_EQ(r.observedStates[3].values, (std::vector<Value>{1, 0, 1}));
+  EXPECT_EQ(r.observedStates[4].values, (std::vector<Value>{1, 1, 1}));
+}
+
+TEST(Xyz, FourMessagesWithPaperClocks) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_EQ(r.messagesEmitted, 4u);
+  // Thread streams carry the Fig. 6 clocks.
+  EXPECT_EQ(r.causality.message(0, 1).clock, (vc::VectorClock{1}));     // x=0
+  EXPECT_EQ(r.causality.message(0, 2).clock, (vc::VectorClock{2}));     // y=1
+  EXPECT_EQ(r.causality.message(1, 1).clock, (vc::VectorClock{1, 1}));  // z=1
+  EXPECT_EQ(r.causality.message(1, 2).clock, (vc::VectorClock{1, 2}));  // x=1
+}
+
+TEST(Xyz, LatticeIsFigure6) {
+  const AnalysisResult r = analyzeObserved();
+  EXPECT_EQ(r.latticeStats.totalNodes, 7u);
+  EXPECT_EQ(r.latticeStats.pathCount, 3u);
+  EXPECT_EQ(r.latticeStats.levels, 5u);
+}
+
+TEST(Xyz, RightmostRunViolatesOthersDoNot) {
+  const AnalysisResult r = analyzeObserved();
+  const program::Program prog = corpus::xyzProgram();
+  AnalyzerConfig config;
+  config.spec = corpus::xyzProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  logic::SynthesizedMonitor monitor(analyzer.formula());
+  observer::RunEnumerator runs(r.causality, r.space);
+  std::size_t violating = 0;
+  std::size_t total = 0;
+  std::vector<observer::GlobalState> violatingStates;
+  runs.forEachRun([&](const observer::Run& run) {
+    ++total;
+    if (monitor.firstViolation(run.states) >= 0) {
+      ++violating;
+      violatingStates = run.states;
+    }
+    return true;
+  });
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(violating, 1u);
+  // The violating run goes through (0,1,0): y set before z — the paper's
+  // rightmost path S00 S10 S20 S21 S22.
+  ASSERT_EQ(violatingStates.size(), 5u);
+  EXPECT_EQ(violatingStates[2].values, (std::vector<Value>{0, 1, 0}));
+}
+
+TEST(Xyz, PredictsTheViolation) {
+  const AnalysisResult r = analyzeObserved();
+  ASSERT_TRUE(r.predictsViolation());
+  // Counterexample: y=1 happens before z=1 and x=1.
+  observer::RunEnumerator runs(r.causality, r.space);
+  const auto& v = r.predictedViolations.front();
+  EXPECT_TRUE(runs.isConsistentRun(v.path));
+}
+
+TEST(Xyz, GroundTruthAgrees) {
+  const program::Program prog = corpus::xyzProgram();
+  const GroundTruthResult truth = groundTruth(prog, corpus::xyzProperty());
+  EXPECT_GT(truth.violatingExecutions, 0u);
+  EXPECT_LT(truth.violatingExecutions, truth.totalExecutions);
+}
+
+TEST(Xyz, OfflineReanalysisMatchesOnline) {
+  const program::Program prog = corpus::xyzProgram();
+  AnalyzerConfig config;
+  config.spec = corpus::xyzProperty();
+  PredictiveAnalyzer analyzer(prog, config);
+  program::FixedScheduler sched(corpus::xyzObservedSchedule());
+  program::Executor ex(prog, sched);
+  const program::ExecutionRecord rec = ex.run();
+
+  const AnalysisResult offline = analyzer.analyzeRecord(rec);
+  const AnalysisResult online = analyzeObserved();
+  EXPECT_EQ(offline.latticeStats.totalNodes, online.latticeStats.totalNodes);
+  EXPECT_EQ(offline.predictedViolations.size(),
+            online.predictedViolations.size());
+  EXPECT_EQ(offline.observedViolationIndex, online.observedViolationIndex);
+}
+
+TEST(Xyz, MoreDotsDoNotChangeTheLattice) {
+  // Internal events are irrelevant: padding with more dots leaves the
+  // computation lattice identical (paper: the dots "do not access x,y,z").
+  for (const std::size_t dots : {0u, 1u, 3u, 6u}) {
+    const program::Program prog = corpus::xyzProgram(dots);
+    AnalyzerConfig config;
+    config.spec = corpus::xyzProperty();
+    PredictiveAnalyzer analyzer(prog, config);
+    program::GreedyScheduler sched;
+    const AnalysisResult r = analyzer.analyze(sched);
+    EXPECT_EQ(r.messagesEmitted, 4u) << dots;
+  }
+}
+
+}  // namespace
+}  // namespace mpx::analysis

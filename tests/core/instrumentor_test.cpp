@@ -1,0 +1,200 @@
+// Algorithm A against hand-computed MVCs, including the paper's Fig. 6
+// message clocks.
+#include "core/instrumentor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::core {
+namespace {
+
+using trace::EventKind;
+
+trace::Event ev(EventKind k, ThreadId t, VarId v, Value val = 0) {
+  trace::Event e;
+  e.kind = k;
+  e.thread = t;
+  e.var = v;
+  e.value = val;
+  return e;
+}
+
+TEST(Instrumentor, InternalEventsOnlyTickWhenRelevant) {
+  trace::CollectingSink sink;
+  Instrumentor all(RelevancePolicy::custom([](const trace::Event&) {
+                     return true;
+                   }),
+                   sink);
+  all.onEvent(ev(EventKind::kInternal, 0, kNoVar));
+  EXPECT_EQ(all.threadClock(0)[0], 1u);
+
+  trace::CollectingSink sink2;
+  Instrumentor none(RelevancePolicy::nothing(), sink2);
+  none.onEvent(ev(EventKind::kInternal, 0, kNoVar));
+  EXPECT_EQ(none.threadClock(0)[0], 0u);
+  EXPECT_TRUE(sink2.messages().empty());
+}
+
+TEST(Instrumentor, WriteUpdatesAllThreeClocks) {
+  trace::CollectingSink sink;
+  Instrumentor in(RelevancePolicy::writesOf({0}), sink);
+  in.onEvent(ev(EventKind::kWrite, 0, 0, 5));
+  // Step 1: V_0[0] = 1; step 3: V^w = V^a = V_0.
+  EXPECT_EQ(in.threadClock(0), (vc::VectorClock{1}));
+  EXPECT_EQ(in.writeClock(0), (vc::VectorClock{1}));
+  EXPECT_EQ(in.accessClock(0), (vc::VectorClock{1}));
+  ASSERT_EQ(sink.messages().size(), 1u);
+  EXPECT_EQ(sink.messages()[0].clock, (vc::VectorClock{1}));
+}
+
+TEST(Instrumentor, ReadPullsWriteClockAndFeedsAccessClock) {
+  trace::CollectingSink sink;
+  Instrumentor in(RelevancePolicy::writesOf({0}), sink);
+  in.onEvent(ev(EventKind::kWrite, 0, 0, 1));       // T0 writes x: V0=(1)
+  in.onEvent(ev(EventKind::kRead, 1, 0, 1));        // T1 reads x
+  // Read: V1 <- max{V1, V^w_x} = (1,0); V^a_x <- max{V^a_x, V1} = (1,0).
+  EXPECT_EQ(in.threadClock(1), (vc::VectorClock{1, 0}));
+  EXPECT_EQ(in.accessClock(0), (vc::VectorClock{1, 0}));
+  // V^w_x unchanged by the read (that is what makes reads permutable).
+  EXPECT_EQ(in.writeClock(0), (vc::VectorClock{1}));
+}
+
+TEST(Instrumentor, WriteClockNeverExceedsAccessClock) {
+  // Invariant noted in §3.2: V^w_x <= V^a_x at any time.
+  trace::CollectingSink sink;
+  Instrumentor in(RelevancePolicy::allSharedAccesses(), sink);
+  const auto events = {
+      ev(EventKind::kWrite, 0, 0, 1), ev(EventKind::kRead, 1, 0, 1),
+      ev(EventKind::kWrite, 1, 1, 2), ev(EventKind::kRead, 0, 1, 2),
+      ev(EventKind::kWrite, 0, 0, 3), ev(EventKind::kRead, 2, 0, 3),
+      ev(EventKind::kWrite, 2, 1, 4),
+  };
+  for (const auto& e : events) {
+    in.onEvent(e);
+    for (VarId x = 0; x < 2; ++x) {
+      EXPECT_TRUE(in.writeClock(x).lessEq(in.accessClock(x)));
+    }
+  }
+}
+
+TEST(Instrumentor, LockEventsBehaveAsWrites) {
+  // §3.1: acquire/release are writes of the lock variable, so two critical
+  // sections are causally ordered through it.
+  trace::CollectingSink sink;
+  const VarId lockVar = 9;
+  Instrumentor in(RelevancePolicy::writesOf({0}), sink);
+  in.onEvent(ev(EventKind::kLockAcquire, 0, lockVar, 1));
+  in.onEvent(ev(EventKind::kWrite, 0, 0, 1));  // relevant, V0=(1)
+  in.onEvent(ev(EventKind::kLockRelease, 0, lockVar, 2));
+  in.onEvent(ev(EventKind::kLockAcquire, 1, lockVar, 3));
+  // T1's clock now includes T0's relevant event via the lock variable.
+  EXPECT_EQ(in.threadClock(1)[0], 1u);
+  in.onEvent(ev(EventKind::kWrite, 1, 0, 2));
+  ASSERT_EQ(sink.messages().size(), 2u);
+  EXPECT_TRUE(sink.messages()[0].causallyPrecedes(sink.messages()[1]));
+}
+
+TEST(Instrumentor, Figure6MessageClocks) {
+  // Drive the xyz program along the paper's observed schedule and check
+  // the exact four messages of Fig. 6.
+  const program::Program p = program::corpus::xyzProgram();
+  program::FixedScheduler sched(program::corpus::xyzObservedSchedule());
+  const program::ExecutionRecord rec = program::runProgram(p, sched);
+
+  trace::CollectingSink sink;
+  const VarId x = p.vars.id("x");
+  const VarId y = p.vars.id("y");
+  const VarId z = p.vars.id("z");
+  Instrumentor in(RelevancePolicy::writesOf({x, y, z}), sink);
+  for (const auto& e : rec.events) in.onEvent(e);
+
+  const auto& ms = sink.messages();
+  ASSERT_EQ(ms.size(), 4u);
+  // e1: <x=0, T1, (1,0)>
+  EXPECT_EQ(ms[0].event.var, x);
+  EXPECT_EQ(ms[0].event.value, 0);
+  EXPECT_EQ(ms[0].event.thread, 0u);
+  EXPECT_EQ(ms[0].clock, (vc::VectorClock{1}));
+  // e2: <z=1, T2, (1,1)>
+  EXPECT_EQ(ms[1].event.var, z);
+  EXPECT_EQ(ms[1].event.value, 1);
+  EXPECT_EQ(ms[1].clock, (vc::VectorClock{1, 1}));
+  // e4: <x=1, T2, (1,2)>  (emitted before e3 in this schedule)
+  EXPECT_EQ(ms[2].event.var, x);
+  EXPECT_EQ(ms[2].event.value, 1);
+  EXPECT_EQ(ms[2].clock, (vc::VectorClock{1, 2}));
+  // e3: <y=1, T1, (2,0)>
+  EXPECT_EQ(ms[3].event.var, y);
+  EXPECT_EQ(ms[3].event.value, 1);
+  EXPECT_EQ(ms[3].clock, (vc::VectorClock{2, 0}));
+
+  // Causality exactly as the paper's lattice: e1 ⊳ e2 ⊳ e4, e1 ⊳ e3,
+  // e3 ∥ e2, e3 ∥ e4.
+  EXPECT_TRUE(ms[0].causallyPrecedes(ms[1]));
+  EXPECT_TRUE(ms[1].causallyPrecedes(ms[2]));
+  EXPECT_TRUE(ms[0].causallyPrecedes(ms[3]));
+  EXPECT_TRUE(ms[3].concurrentWith(ms[1]));
+  EXPECT_TRUE(ms[3].concurrentWith(ms[2]));
+}
+
+TEST(Instrumentor, Figure5MessageClocks) {
+  const program::Program p = program::corpus::landingController();
+  program::FixedScheduler sched(program::corpus::landingObservedSchedule());
+  const program::ExecutionRecord rec = program::runProgram(p, sched);
+
+  trace::CollectingSink sink;
+  Instrumentor in(
+      RelevancePolicy::writesOf({p.vars.id("landing"), p.vars.id("approved"),
+                                 p.vars.id("radio")}),
+      sink);
+  for (const auto& e : rec.events) in.onEvent(e);
+
+  const auto& ms = sink.messages();
+  ASSERT_EQ(ms.size(), 3u);
+  // approved=1 by T1 (1,0); landing=1 by T1 (2,0); radio=0 by T2 (0,1).
+  EXPECT_EQ(ms[0].clock, (vc::VectorClock{1}));
+  EXPECT_EQ(ms[1].clock, (vc::VectorClock{2}));
+  EXPECT_EQ(ms[2].clock, (vc::VectorClock{0, 1}));
+  EXPECT_TRUE(ms[2].concurrentWith(ms[0]));
+  EXPECT_TRUE(ms[2].concurrentWith(ms[1]));
+}
+
+TEST(Instrumentor, DynamicThreadsAndVariablesGrow) {
+  trace::CollectingSink sink;
+  Instrumentor in(RelevancePolicy::allSharedAccesses(), sink);
+  in.onEvent(ev(EventKind::kWrite, 7, 13, 1));
+  EXPECT_EQ(in.threadClock(7)[7], 1u);
+  EXPECT_EQ(in.writeClock(13)[7], 1u);
+  // Unseen ids read as zero clocks.
+  EXPECT_TRUE(in.threadClock(3).isZero());
+  EXPECT_TRUE(in.accessClock(2).isZero());
+}
+
+TEST(Instrumentor, CountsEventsAndMessages) {
+  trace::CollectingSink sink;
+  Instrumentor in(RelevancePolicy::writesOf({0}), sink);
+  in.onEvent(ev(EventKind::kWrite, 0, 0, 1));
+  in.onEvent(ev(EventKind::kRead, 0, 0, 1));
+  in.onEvent(ev(EventKind::kWrite, 0, 1, 1));  // irrelevant var
+  EXPECT_EQ(in.eventsProcessed(), 3u);
+  EXPECT_EQ(in.messagesEmitted(), 1u);
+}
+
+TEST(Instrumentor, RelevancePolicies) {
+  trace::Event w = ev(EventKind::kWrite, 0, 0, 1);
+  trace::Event r = ev(EventKind::kRead, 0, 0, 1);
+  trace::Event i = ev(EventKind::kInternal, 0, kNoVar);
+  EXPECT_TRUE(RelevancePolicy::writesOf({0}).isRelevant(w));
+  EXPECT_FALSE(RelevancePolicy::writesOf({0}).isRelevant(r));
+  EXPECT_FALSE(RelevancePolicy::writesOf({1}).isRelevant(w));
+  EXPECT_TRUE(RelevancePolicy::accessesOf({0}).isRelevant(r));
+  EXPECT_TRUE(RelevancePolicy::allSharedAccesses().isRelevant(w));
+  EXPECT_FALSE(RelevancePolicy::allSharedAccesses().isRelevant(i));
+  EXPECT_FALSE(RelevancePolicy::nothing().isRelevant(w));
+}
+
+}  // namespace
+}  // namespace mpx::core

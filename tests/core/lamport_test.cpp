@@ -1,0 +1,133 @@
+// Why VECTOR clocks: the Lamport-clock ablation.
+//
+// Scalar clocks are consistent with causality but cannot express
+// concurrency; this test quantifies the predictive power lost — with
+// Lamport stamps the landing-controller computation collapses to the one
+// observed run (no prediction possible), while MVCs expose all three runs.
+#include "core/lamport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/instrumentor.hpp"
+#include "core/reference.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::core {
+namespace {
+
+TEST(Lamport, ConsistentWithCausality) {
+  // Soundness direction survives: e ≺ e' implies stamp(e) < stamp(e')
+  // for relevant pairs (monotone along every causal edge).
+  program::corpus::RandomProgramOptions opts;
+  opts.threads = 3;
+  opts.vars = 3;
+  opts.opsPerThread = 7;
+  for (std::uint64_t seed = 501; seed < 506; ++seed) {
+    const program::Program prog = program::corpus::randomProgram(seed, opts);
+    const auto rec = program::runProgramRandom(prog, seed + 1);
+
+    std::unordered_set<VarId> dataVars;
+    for (const VarId v : prog.vars.idsWithRole(trace::VarRole::kData)) {
+      dataVars.insert(v);
+    }
+    LamportInstrumentor lamport(RelevancePolicy::writesOf(dataVars));
+    std::vector<std::size_t> eventIndex;
+    for (std::size_t k = 0; k < rec.events.size(); ++k) {
+      const std::size_t before = lamport.emitted().size();
+      lamport.onEvent(rec.events[k]);
+      if (lamport.emitted().size() > before) eventIndex.push_back(k);
+    }
+    const ReferenceCausality ref(rec.events);
+    const auto& ms = lamport.emitted();
+    for (std::size_t a = 0; a < ms.size(); ++a) {
+      for (std::size_t b = 0; b < ms.size(); ++b) {
+        if (a == b) continue;
+        if (ref.precedes(eventIndex[a], eventIndex[b])) {
+          EXPECT_LT(ms[a].stamp, ms[b].stamp) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(Lamport, CannotExpressConcurrency) {
+  // The landing computation: MVCs show radio=0 concurrent with both T1
+  // writes; Lamport stamps impose a false order on every pair.
+  const program::Program prog = program::corpus::landingController();
+  program::FixedScheduler sched(program::corpus::landingObservedSchedule());
+  const auto rec = program::runProgram(prog, sched);
+
+  std::unordered_set<VarId> vars = {prog.vars.id("landing"),
+                                    prog.vars.id("approved"),
+                                    prog.vars.id("radio")};
+  LamportInstrumentor lamport(RelevancePolicy::writesOf(vars));
+  trace::CollectingSink sink;
+  Instrumentor mvc(RelevancePolicy::writesOf(vars), sink);
+  for (const auto& e : rec.events) {
+    lamport.onEvent(e);
+    mvc.onEvent(e);
+  }
+
+  const auto& scalar = lamport.emitted();
+  const auto& vector = sink.messages();
+  ASSERT_EQ(scalar.size(), 3u);
+  ASSERT_EQ(vector.size(), 3u);
+
+  // MVC observer: radio=0 (last message) concurrent with both others.
+  EXPECT_TRUE(vector[2].concurrentWith(vector[0]));
+  EXPECT_TRUE(vector[2].concurrentWith(vector[1]));
+
+  // Lamport observer: every cross-thread pair looks ordered one way or the
+  // other — concurrency is gone, so only the observed run survives.
+  std::size_t unorderedPairs = 0;
+  for (std::size_t a = 0; a < scalar.size(); ++a) {
+    for (std::size_t b = a + 1; b < scalar.size(); ++b) {
+      if (!LamportInstrumentor::mayPrecede(scalar[a], scalar[b]) &&
+          !LamportInstrumentor::mayPrecede(scalar[b], scalar[a])) {
+        ++unorderedPairs;
+      }
+    }
+  }
+  EXPECT_EQ(unorderedPairs, 0u)
+      << "a scalar clock should totally order these stamps";
+}
+
+TEST(Lamport, PredictivePowerLostQuantified) {
+  // Count the runs each observer can justify: MVC -> 3 (Fig. 5);
+  // Lamport -> 1 (only the observed order is consistent with "mayPrecede
+  // must hold along the run").
+  const program::Program prog = program::corpus::landingController();
+  program::FixedScheduler sched(program::corpus::landingObservedSchedule());
+  const auto rec = program::runProgram(prog, sched);
+  std::unordered_set<VarId> vars = {prog.vars.id("landing"),
+                                    prog.vars.id("approved"),
+                                    prog.vars.id("radio")};
+  LamportInstrumentor lamport(RelevancePolicy::writesOf(vars));
+  for (const auto& e : rec.events) lamport.onEvent(e);
+  const auto& ms = lamport.emitted();
+
+  // Enumerate permutations of the 3 stamped events consistent with the
+  // Lamport "may precede" order (a DAG that is in fact total here).
+  std::vector<std::size_t> idx = {0, 1, 2};
+  std::size_t consistent = 0;
+  std::sort(idx.begin(), idx.end());
+  do {
+    bool ok = true;
+    for (std::size_t i = 0; i < idx.size() && ok; ++i) {
+      for (std::size_t j = i + 1; j < idx.size() && ok; ++j) {
+        // idx[i] placed before idx[j]: contradiction if the Lamport order
+        // REQUIRES idx[j] before idx[i].
+        if (LamportInstrumentor::mayPrecede(ms[idx[j]], ms[idx[i]])) {
+          ok = false;
+        }
+      }
+    }
+    if (ok) ++consistent;
+  } while (std::next_permutation(idx.begin(), idx.end()));
+  EXPECT_EQ(consistent, 1u) << "Lamport observer sees exactly 1 run";
+}
+
+}  // namespace
+}  // namespace mpx::core

@@ -1,0 +1,144 @@
+// The specification-level causality oracle itself, on hand-built traces.
+#include "core/reference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpx::core {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+Event ev(EventKind k, ThreadId t, VarId v = kNoVar, Value val = 0) {
+  Event e;
+  e.kind = k;
+  e.thread = t;
+  e.var = v;
+  e.value = val;
+  return e;
+}
+
+TEST(ReferenceCausality, ProgramOrderWithinThread) {
+  const std::vector<Event> events = {
+      ev(EventKind::kInternal, 0),
+      ev(EventKind::kInternal, 0),
+      ev(EventKind::kInternal, 1),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 1));
+  EXPECT_FALSE(ref.precedes(1, 0));
+  EXPECT_TRUE(ref.concurrent(0, 2));
+  EXPECT_TRUE(ref.concurrent(1, 2));
+}
+
+TEST(ReferenceCausality, WriteReadDependency) {
+  const std::vector<Event> events = {
+      ev(EventKind::kWrite, 0, 0),  // T0 writes x
+      ev(EventKind::kRead, 1, 0),   // T1 reads x: depends on the write
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 1));
+}
+
+TEST(ReferenceCausality, ReadWriteDependency) {
+  const std::vector<Event> events = {
+      ev(EventKind::kRead, 0, 0),
+      ev(EventKind::kWrite, 1, 0),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 1));
+}
+
+TEST(ReferenceCausality, WriteWriteDependency) {
+  const std::vector<Event> events = {
+      ev(EventKind::kWrite, 0, 0),
+      ev(EventKind::kWrite, 1, 0),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 1));
+}
+
+TEST(ReferenceCausality, ReadReadIsPermutable) {
+  // "No causal constraint is imposed on read-read events" (paper §2.2).
+  const std::vector<Event> events = {
+      ev(EventKind::kRead, 0, 0),
+      ev(EventKind::kRead, 1, 0),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.concurrent(0, 1));
+}
+
+TEST(ReferenceCausality, DifferentVariablesAreIndependent) {
+  const std::vector<Event> events = {
+      ev(EventKind::kWrite, 0, 0),
+      ev(EventKind::kWrite, 1, 1),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.concurrent(0, 1));
+}
+
+TEST(ReferenceCausality, TransitivityThroughAnotherThread) {
+  const std::vector<Event> events = {
+      ev(EventKind::kWrite, 0, 0),   // 0: T0 writes x
+      ev(EventKind::kRead, 1, 0),    // 1: T1 reads x   (0 ≺ 1)
+      ev(EventKind::kWrite, 1, 1),   // 2: T1 writes y  (1 ≺ 2)
+      ev(EventKind::kRead, 2, 1),    // 3: T2 reads y   (2 ≺ 3)
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 3));  // closed under transitivity
+}
+
+TEST(ReferenceCausality, EarlierReadsReachWriteTransitively) {
+  // r0(x) by T0, r1(x) by T1, then w(x) by T2: both reads precede the
+  // write; the reads stay concurrent.
+  const std::vector<Event> events = {
+      ev(EventKind::kRead, 0, 0),
+      ev(EventKind::kRead, 1, 0),
+      ev(EventKind::kWrite, 2, 0),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 2));
+  EXPECT_TRUE(ref.precedes(1, 2));
+  EXPECT_TRUE(ref.concurrent(0, 1));
+}
+
+TEST(ReferenceCausality, LockEventsAreWriteLike) {
+  const std::vector<Event> events = {
+      ev(EventKind::kLockRelease, 0, 5),
+      ev(EventKind::kLockAcquire, 1, 5),
+  };
+  const ReferenceCausality ref(events);
+  EXPECT_TRUE(ref.precedes(0, 1));
+}
+
+TEST(ReferenceCausality, RelevantCountingOnSmallTrace) {
+  // T0: w(x); T1: r(x), w(y).  Relevance: writes of x and y.
+  const std::vector<Event> events = {
+      ev(EventKind::kWrite, 0, 0),
+      ev(EventKind::kRead, 1, 0),
+      ev(EventKind::kWrite, 1, 1),
+  };
+  const ReferenceCausality ref(events);
+  const RelevancePolicy policy = RelevancePolicy::writesOf({0, 1});
+
+  // After event 2 (T1's write of y): relevant events of T0 preceding it: 1.
+  EXPECT_EQ(ref.relevantPredecessorsFromThread(2, 0, policy), 1u);
+  // Including itself for its own thread: 1.
+  EXPECT_EQ(ref.relevantPredecessorsFromThread(2, 1, policy), 1u);
+  // The read (event 1) is not relevant: counts for T1 at event 1 are 0.
+  EXPECT_EQ(ref.relevantPredecessorsFromThread(1, 1, policy), 0u);
+  // Last write of x at event 2 is event 0.
+  EXPECT_EQ(ref.relevantUpToLastWrite(2, 0, 0, policy), 1u);
+  EXPECT_EQ(ref.relevantUpToLastWrite(2, 0, 1, policy), 0u);
+  // Accesses of x up to event 2: the write and the read.
+  EXPECT_EQ(ref.relevantUpToLastAccess(2, 0, 0, policy), 1u);
+}
+
+TEST(ReferenceCausality, EmptyTrace) {
+  const std::vector<Event> events;
+  const ReferenceCausality ref(events);
+  EXPECT_EQ(ref.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mpx::core

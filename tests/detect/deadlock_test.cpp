@@ -1,0 +1,144 @@
+// Predictive deadlock detection via lock-order graph cycles.
+#include "detect/deadlock_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/corpus.hpp"
+#include "program/explorer.hpp"
+
+namespace mpx::detect {
+namespace {
+
+program::ExecutionRecord greedy(const program::Program& p) {
+  program::GreedyScheduler sched;
+  return program::runProgram(p, sched);
+}
+
+program::Program abbaProgram() {
+  program::ProgramBuilder b;
+  const LockId a = b.lock("A");
+  const LockId c = b.lock("B");
+  const VarId x = b.var("x", 0);
+  auto t1 = b.thread();
+  t1.lockAcquire(a).lockAcquire(c).write(x, program::lit(1))
+      .lockRelease(c).lockRelease(a);
+  auto t2 = b.thread();
+  t2.lockAcquire(c).lockAcquire(a).write(x, program::lit(2))
+      .lockRelease(a).lockRelease(c);
+  return b.build();
+}
+
+TEST(DeadlockPredictor, AbbaCycleFromSuccessfulRun) {
+  const program::Program p = abbaProgram();
+  const auto rec = greedy(p);
+  ASSERT_FALSE(rec.deadlocked);  // the observed run completed
+
+  DeadlockPredictor predictor;
+  const auto reports = predictor.analyze(rec, p);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].cycle.size(), 2u);
+  ASSERT_EQ(reports[0].edges.size(), 2u);
+  EXPECT_NE(reports[0].edges[0].thread, reports[0].edges[1].thread);
+
+  // The prediction is real: some schedule deadlocks.
+  program::ExhaustiveExplorer ex;
+  EXPECT_TRUE(ex.existsExecution(
+      p, [](const program::ExecutionRecord& r) { return r.deadlocked; }));
+}
+
+TEST(DeadlockPredictor, ConsistentOrderNoCycle) {
+  program::ProgramBuilder b;
+  const LockId a = b.lock("A");
+  const LockId c = b.lock("B");
+  const VarId x = b.var("x", 0);
+  for (int i = 0; i < 2; ++i) {
+    auto t = b.thread();
+    t.lockAcquire(a).lockAcquire(c).write(x, program::lit(i))
+        .lockRelease(c).lockRelease(a);
+  }
+  const program::Program p = b.build();
+  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+}
+
+TEST(DeadlockPredictor, PhilosopherRingCycleLengthN) {
+  for (std::size_t n = 2; n <= 4; ++n) {
+    const program::Program p = program::corpus::diningPhilosophers(n);
+    const auto reports = DeadlockPredictor{}.analyze(greedy(p), p);
+    ASSERT_EQ(reports.size(), 1u) << n << " philosophers";
+    EXPECT_EQ(reports[0].cycle.size(), n);
+  }
+}
+
+TEST(DeadlockPredictor, OrderedPhilosophersClean) {
+  const program::Program p = program::corpus::diningPhilosophers(4, true);
+  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+}
+
+TEST(DeadlockPredictor, LockOrderEdgesDeduplicated) {
+  // The same A->B edge acquired twice produces one edge.
+  program::ProgramBuilder b;
+  const LockId a = b.lock("A");
+  const LockId c = b.lock("B");
+  const VarId x = b.var("x", 0);
+  auto t1 = b.thread();
+  for (int i = 0; i < 2; ++i) {
+    t1.lockAcquire(a).lockAcquire(c).write(x, program::lit(i))
+        .lockRelease(c).lockRelease(a);
+  }
+  const program::Program p = b.build();
+  const auto edges = DeadlockPredictor{}.lockOrderEdges(greedy(p), p);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, a);
+  EXPECT_EQ(edges[0].to, c);
+}
+
+TEST(DeadlockPredictor, NoLocksNoEdges) {
+  const program::Program p = program::corpus::bankAccountRacy();
+  EXPECT_TRUE(DeadlockPredictor{}.lockOrderEdges(greedy(p), p).empty());
+}
+
+TEST(DeadlockPredictor, ThreeLockCycleAcrossThreeThreads) {
+  program::ProgramBuilder b;
+  std::vector<LockId> locks = {b.lock("L0"), b.lock("L1"),
+                                        b.lock("L2")};
+  const VarId x = b.var("x", 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto t = b.thread();
+    t.lockAcquire(locks[i])
+        .lockAcquire(locks[(i + 1) % 3])
+        .write(x, program::lit(static_cast<Value>(i)))
+        .lockRelease(locks[(i + 1) % 3])
+        .lockRelease(locks[i]);
+  }
+  const program::Program p = b.build();
+  const auto reports = DeadlockPredictor{}.analyze(greedy(p), p);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].cycle.size(), 3u);
+  const std::string desc = reports[0].describe(p.lockNames);
+  EXPECT_NE(desc.find("L0"), std::string::npos);
+  EXPECT_NE(desc.find("L2"), std::string::npos);
+}
+
+TEST(DeadlockPredictor, NestedButAcyclicHierarchy) {
+  // L0 -> L1, L0 -> L2, L1 -> L2: a DAG, no report.
+  program::ProgramBuilder b;
+  std::vector<LockId> locks = {b.lock("L0"), b.lock("L1"),
+                                        b.lock("L2")};
+  const VarId x = b.var("x", 0);
+  auto t1 = b.thread();
+  t1.lockAcquire(locks[0])
+      .lockAcquire(locks[1])
+      .lockAcquire(locks[2])
+      .write(x, program::lit(1))
+      .lockRelease(locks[2])
+      .lockRelease(locks[1])
+      .lockRelease(locks[0]);
+  auto t2 = b.thread();
+  t2.lockAcquire(locks[0]).lockAcquire(locks[2]).write(x, program::lit(2))
+      .lockRelease(locks[2]).lockRelease(locks[0]);
+  const program::Program p = b.build();
+  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+}
+
+}  // namespace
+}  // namespace mpx::detect

@@ -1,0 +1,213 @@
+// Explicit FSM monitors and their equivalence to the synthesized ptLTL
+// monitor on the paper's landing property.
+#include "logic/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "observer/online.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/run_enumerator.hpp"
+
+namespace mpx::logic {
+namespace {
+
+using observer::GlobalState;
+
+StateExpr var(const observer::StateSpace& sp, const std::string& n) {
+  return StateExpr::var(sp.slotOfName(n), n);
+}
+
+StateExpr eq(StateExpr a, Value b) {
+  return StateExpr::binary(StateOp::kEq, std::move(a),
+                           StateExpr::constant(b));
+}
+
+StateExpr conj(StateExpr a, StateExpr b) {
+  // 0/1-valued multiplication works as conjunction for comparisons.
+  return StateExpr::binary(StateOp::kMul, std::move(a), std::move(b));
+}
+
+/// The landing property as a hand-authored FSM over
+/// <landing, approved, radio>:
+///   idle       -- approved=1 & radio=1 --> armed
+///   armed      -- radio=0 (before landing starts) --> disarmed
+///   armed      -- landing=1 --> landed (safe forever)
+///   idle/disarmed -- landing=1 --> VIOLATION
+class LandingFsm {
+ public:
+  explicit LandingFsm(const observer::StateSpace& sp) {
+    const auto landing1 = eq(var(sp, "landing"), 1);
+    const auto approved1 = eq(var(sp, "approved"), 1);
+    const auto radio0 = eq(var(sp, "radio"), 0);
+    const auto radio1 = eq(var(sp, "radio"), 1);
+
+    idle_ = fsm.addState("idle");
+    armed_ = fsm.addState("armed");
+    landed_ = fsm.addState("landed");
+    bad_ = fsm.addState("violation", /*violating=*/true);
+
+    // Order matters: landing while not armed is the violation.
+    fsm.addTransition(idle_, landing1, bad_);
+    fsm.addTransition(idle_, conj(approved1, radio1), armed_);
+    fsm.addTransition(armed_, landing1, landed_);
+    fsm.addTransition(armed_, radio0, idle_);  // disarm
+  }
+  FsmMonitor fsm;
+  FsmMonitor::StateId idle_ = 0, armed_ = 0, landed_ = 0, bad_ = 0;
+};
+
+TEST(FsmMonitor, StatesAndNames) {
+  FsmMonitor m;
+  const auto a = m.addState("a");
+  const auto b = m.addState("b", true);
+  EXPECT_EQ(m.stateCount(), 2u);
+  EXPECT_EQ(m.stateName(a), "a");
+  EXPECT_TRUE(m.isViolating(b));
+  EXPECT_FALSE(m.isViolating(a));
+}
+
+TEST(FsmMonitor, TransitionValidation) {
+  FsmMonitor m;
+  m.addState("a");
+  EXPECT_THROW(m.addTransition(0, StateExpr::constant(1), 5),
+               std::out_of_range);
+  EXPECT_THROW(m.addTransition(7, StateExpr::constant(1), 0),
+               std::out_of_range);
+}
+
+TEST(FsmMonitor, EmptyMachineRejected) {
+  FsmMonitor m;
+  EXPECT_THROW(m.initial(GlobalState{}), std::logic_error);
+}
+
+TEST(FsmMonitor, ImplicitSelfLoopWhenNoGuardMatches) {
+  FsmMonitor m;
+  m.addState("a");
+  m.addState("b");
+  m.addTransition(0, StateExpr::var(0, "x"), 1);
+  EXPECT_EQ(m.initial(GlobalState({0})), 0u);   // stays
+  EXPECT_EQ(m.initial(GlobalState({1})), 1u);   // moves
+}
+
+TEST(FsmMonitor, FirstMatchingGuardWins) {
+  FsmMonitor m;
+  m.addState("a");
+  m.addState("b");
+  m.addState("c");
+  m.addTransition(0, StateExpr::constant(1), 1);
+  m.addTransition(0, StateExpr::constant(1), 2);
+  EXPECT_EQ(m.initial(GlobalState{}), 1u);
+}
+
+TEST(FsmMonitor, LandingFsmOnTheThreePaperRuns) {
+  trace::VarTable table;
+  table.intern("landing", 0);
+  table.intern("approved", 0);
+  table.intern("radio", 1);
+  const auto sp =
+      observer::StateSpace::byNames(table, {"landing", "approved", "radio"});
+  LandingFsm fsm(sp);
+
+  const auto run = [&](std::vector<std::vector<Value>> states) {
+    std::vector<GlobalState> trace;
+    for (auto& s : states) trace.emplace_back(std::move(s));
+    return fsm.fsm.firstViolation(trace);
+  };
+  // Observed: approve, land, radio-off afterwards — safe.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}}), -1);
+  // Radio off between approval and landing — violation at the landing.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 1, 1}, {0, 1, 0}, {1, 1, 0}}), 3);
+  // Radio off before approval: approval with dead radio never arms...
+  // (approved=1 & radio=1 fails), landing -> violation.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 0, 0}, {0, 1, 0}, {1, 1, 0}}), 3);
+}
+
+TEST(FsmMonitor, AgreesWithSynthesizedMonitorOnTheLattice) {
+  // Run both monitors over every run of the Fig. 5 computation: identical
+  // verdicts run by run, and identical lattice violation counts.
+  const auto c = mpx::testing::landingComputation();
+  LandingFsm fsm(c.space);
+  SynthesizedMonitor synth(SpecParser(c.space).parse(
+      program::corpus::landingProperty()));
+
+  observer::RunEnumerator runs(c.graph, c.space);
+  runs.forEachRun([&](const observer::Run& run) {
+    const bool fsmBad = fsm.fsm.firstViolation(run.states) >= 0;
+    const bool synthBad = synth.firstViolation(run.states) >= 0;
+    EXPECT_EQ(fsmBad, synthBad);
+    return true;
+  });
+
+  observer::ComputationLattice l1(c.graph, c.space);
+  std::vector<observer::Violation> v1;
+  l1.check(fsm.fsm, v1);
+  observer::ComputationLattice l2(c.graph, c.space);
+  std::vector<observer::Violation> v2;
+  l2.check(synth, v2);
+  EXPECT_EQ(v1.empty(), v2.empty());
+}
+
+TEST(FsmMonitor, WorksOnTheLatticeDirectly) {
+  const auto c = mpx::testing::landingComputation();
+  LandingFsm fsm(c.space);
+  observer::ComputationLattice lattice(c.graph, c.space);
+  std::vector<observer::Violation> violations;
+  lattice.check(fsm.fsm, violations);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().state.values,
+            (std::vector<Value>{1, 1, 0}));
+}
+
+TEST(FsmMonitor, CanEverViolateReachability) {
+  FsmMonitor m;
+  const auto safeTrap = m.addState("safe-trap");
+  const auto start = m.addState("start");
+  const auto mid = m.addState("mid");
+  const auto bad = m.addState("bad", true);
+  m.addTransition(start, StateExpr::var(0, "x"), mid);
+  m.addTransition(mid, StateExpr::var(1, "y"), bad);
+  m.addTransition(start, StateExpr::var(1, "y"), safeTrap);
+
+  EXPECT_TRUE(m.canEverViolate(start));
+  EXPECT_TRUE(m.canEverViolate(mid));
+  EXPECT_TRUE(m.canEverViolate(bad));
+  EXPECT_FALSE(m.canEverViolate(safeTrap));
+
+  // Adding an escape from the trap invalidates the cached reachability.
+  m.addTransition(safeTrap, StateExpr::var(0, "x"), mid);
+  EXPECT_TRUE(m.canEverViolate(safeTrap));
+}
+
+TEST(FsmMonitor, LatticePrunesPermanentlySafeStates) {
+  // The landing FSM's "landed" state is absorbing-safe: once a run lands
+  // with the window intact, its monitor state is GC'd from the lattice.
+  const auto c = mpx::testing::landingComputation();
+  LandingFsm fsm(c.space);
+  EXPECT_FALSE(fsm.fsm.canEverViolate(fsm.landed_));
+  EXPECT_TRUE(fsm.fsm.canEverViolate(fsm.idle_));
+
+  observer::ComputationLattice lattice(c.graph, c.space);
+  std::vector<observer::Violation> violations;
+  lattice.check(fsm.fsm, violations);
+  // Verdict unchanged by pruning...
+  ASSERT_FALSE(violations.empty());
+  // ...and something was actually pruned (the observed safe run lands).
+  EXPECT_GT(lattice.stats().prunedMonitorStates, 0u);
+}
+
+TEST(FsmMonitor, PruningPreservesVerdictsOnline) {
+  const auto c = mpx::testing::landingComputation();
+  LandingFsm fsm(c.space);
+  observer::OnlineAnalyzer online(c.space, c.prog.threadCount(), &fsm.fsm);
+  for (const auto& ref : c.graph.observedOrder()) {
+    online.onMessage(c.graph.message(ref));
+  }
+  online.endOfTrace();
+  EXPECT_FALSE(online.violations().empty());
+  EXPECT_GT(online.stats().prunedMonitorStates, 0u);
+}
+
+}  // namespace
+}  // namespace mpx::logic

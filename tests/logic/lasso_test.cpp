@@ -1,0 +1,148 @@
+// LTL on ultimately-periodic words u·v^ω — the liveness-prediction
+// evaluator (Markey-Schnoebelen style, paper §4).
+#include "logic/lasso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mpx::logic {
+namespace {
+
+using observer::GlobalState;
+
+GlobalState st(Value p, Value q = 0) { return GlobalState({p, q}); }
+
+StateExpr varP() { return StateExpr::var(0, "p"); }
+StateExpr varQ() { return StateExpr::var(1, "q"); }
+
+LtlFormula P() { return LtlFormula::atom(varP()); }
+LtlFormula Q() { return LtlFormula::atom(varQ()); }
+
+bool sat(const LtlFormula& f, std::vector<GlobalState> stem,
+         std::vector<GlobalState> loop) {
+  return satisfiesLasso(f, stem, loop);
+}
+
+TEST(Lasso, AtomAtPositionZero) {
+  EXPECT_TRUE(sat(P(), {st(1)}, {st(0)}));
+  EXPECT_FALSE(sat(P(), {st(0)}, {st(1)}));
+  // Empty stem: position 0 is the loop start.
+  EXPECT_TRUE(sat(P(), {}, {st(1), st(0)}));
+}
+
+TEST(Lasso, EmptyLoopRejected) {
+  EXPECT_THROW(sat(P(), {st(1)}, {}), std::invalid_argument);
+}
+
+TEST(Lasso, NextStepsIntoLoopAndWraps) {
+  // stem = [p], loop = [!p]: X p is false at 0.
+  EXPECT_FALSE(sat(LtlFormula::next(P()), {st(1)}, {st(0)}));
+  // One-state loop wraps to itself: X p == p there.
+  EXPECT_TRUE(sat(LtlFormula::next(P()), {}, {st(1)}));
+  // loop = [p=1, p=0]: positions 0,1 with succ(1) wrapping to 0.
+  // X X p @0 = p@succ(succ(0)) = p@0 = 1.
+  EXPECT_TRUE(
+      sat(LtlFormula::next(LtlFormula::next(P())), {}, {st(1), st(0)}));
+  // X X X p @0 = p@1 = 0.
+  EXPECT_FALSE(sat(LtlFormula::next(LtlFormula::next(LtlFormula::next(P()))),
+                   {}, {st(1), st(0)}));
+}
+
+TEST(Lasso, EventuallySeesTheLoop) {
+  EXPECT_TRUE(sat(LtlFormula::eventually(P()), {st(0)}, {st(0), st(1)}));
+  EXPECT_FALSE(sat(LtlFormula::eventually(P()), {st(0)}, {st(0)}));
+}
+
+TEST(Lasso, AlwaysRequiresLoopInvariance) {
+  EXPECT_TRUE(sat(LtlFormula::always(P()), {st(1)}, {st(1), st(1)}));
+  EXPECT_FALSE(sat(LtlFormula::always(P()), {st(1)}, {st(1), st(0)}));
+  // A falsifying stem position also kills G.
+  EXPECT_FALSE(sat(LtlFormula::always(P()), {st(0)}, {st(1)}));
+}
+
+TEST(Lasso, FGandGFOnToggleLoop) {
+  const auto toggle = std::vector<GlobalState>{st(1), st(0)};
+  // FG p: p eventually forever — false on a toggle loop.
+  EXPECT_FALSE(
+      sat(LtlFormula::eventually(LtlFormula::always(P())), {st(0)}, toggle));
+  // GF p: p infinitely often — true on a toggle loop.
+  EXPECT_TRUE(
+      sat(LtlFormula::always(LtlFormula::eventually(P())), {st(0)}, toggle));
+  // GF p false when the loop never has p.
+  EXPECT_FALSE(sat(LtlFormula::always(LtlFormula::eventually(P())),
+                   {st(1), st(1)}, {st(0)}));
+}
+
+TEST(Lasso, UntilAcrossStemIntoLoop) {
+  // p U q with p on the stem and q in the loop.
+  EXPECT_TRUE(sat(LtlFormula::until(P(), Q()), {st(1, 0), st(1, 0)},
+                  {st(0, 1)}));
+  // Fails if p breaks before q arrives.
+  EXPECT_FALSE(sat(LtlFormula::until(P(), Q()), {st(1, 0), st(0, 0)},
+                   {st(0, 1)}));
+  // q already now: trivially true.
+  EXPECT_TRUE(sat(LtlFormula::until(P(), Q()), {st(0, 1)}, {st(0, 0)}));
+  // q never: false even with p forever (strong until).
+  EXPECT_FALSE(sat(LtlFormula::until(P(), Q()), {st(1, 0)}, {st(1, 0)}));
+}
+
+TEST(Lasso, BooleanConnectives) {
+  EXPECT_TRUE(sat(LtlFormula::conjunction(P(), LtlFormula::negation(Q())),
+                  {st(1, 0)}, {st(0, 0)}));
+  EXPECT_TRUE(sat(LtlFormula::implies(Q(), P()), {st(0, 0)}, {st(1, 1)}));
+  EXPECT_TRUE(sat(LtlFormula::verum(), {}, {st(0)}));
+  EXPECT_FALSE(sat(LtlFormula::falsum(), {}, {st(0)}));
+}
+
+TEST(Lasso, ToStringRendering) {
+  EXPECT_EQ(LtlFormula::eventually(LtlFormula::always(P())).toString(),
+            "F(G(p))");
+  EXPECT_EQ(LtlFormula::until(P(), Q()).toString(), "(p U q)");
+}
+
+// Random equivalence properties: duality laws hold pointwise.
+class LassoDuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LassoDuality, DualityLawsOnRandomLassos) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::vector<GlobalState> stem;
+    std::vector<GlobalState> loop;
+    const std::size_t sn = rng() % 4;
+    const std::size_t ln = 1 + rng() % 4;
+    for (std::size_t i = 0; i < sn; ++i) {
+      stem.push_back(st(static_cast<Value>(rng() % 2),
+                        static_cast<Value>(rng() % 2)));
+    }
+    for (std::size_t i = 0; i < ln; ++i) {
+      loop.push_back(st(static_cast<Value>(rng() % 2),
+                        static_cast<Value>(rng() % 2)));
+    }
+    // G p == !F !p
+    EXPECT_EQ(sat(LtlFormula::always(P()), stem, loop),
+              !sat(LtlFormula::eventually(LtlFormula::negation(P())), stem,
+                   loop));
+    // F q == true U q
+    EXPECT_EQ(sat(LtlFormula::eventually(Q()), stem, loop),
+              sat(LtlFormula::until(LtlFormula::verum(), Q()), stem, loop));
+    // X distributes over &&
+    EXPECT_EQ(
+        sat(LtlFormula::next(LtlFormula::conjunction(P(), Q())), stem, loop),
+        sat(LtlFormula::conjunction(LtlFormula::next(P()),
+                                    LtlFormula::next(Q())),
+            stem, loop));
+    // p U q == q || (p && X(p U q))  (expansion law at position 0)
+    const LtlFormula u = LtlFormula::until(P(), Q());
+    EXPECT_EQ(sat(u, stem, loop),
+              sat(LtlFormula::disjunction(
+                      Q(), LtlFormula::conjunction(P(), LtlFormula::next(u))),
+                  stem, loop));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LassoDuality,
+                         ::testing::Values(71, 72, 73, 74));
+
+}  // namespace
+}  // namespace mpx::logic

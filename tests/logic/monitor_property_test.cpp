@@ -1,0 +1,155 @@
+// Property test: the synthesized O(|φ|)-per-event monitor agrees with a
+// naive reference evaluator that recomputes ptLTL semantics from the whole
+// trace prefix at every position, for random formulas over random traces.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/monitor.hpp"
+#include "observer/global_state.hpp"
+
+namespace mpx::logic {
+namespace {
+
+using observer::GlobalState;
+
+// ---------------------------------------------------------------- naive
+
+/// Reference semantics: evaluate formula at position i of trace[0..n).
+bool naive(const Formula::Node* f, const std::vector<GlobalState>& tr,
+           std::size_t i) {
+  switch (f->op) {
+    case PtOp::kAtom:
+      return f->atom.evalBool(tr[i]);
+    case PtOp::kTrue:
+      return true;
+    case PtOp::kFalse:
+      return false;
+    case PtOp::kNot:
+      return !naive(f->lhs.get(), tr, i);
+    case PtOp::kAnd:
+      return naive(f->lhs.get(), tr, i) && naive(f->rhs.get(), tr, i);
+    case PtOp::kOr:
+      return naive(f->lhs.get(), tr, i) || naive(f->rhs.get(), tr, i);
+    case PtOp::kImplies:
+      return !naive(f->lhs.get(), tr, i) || naive(f->rhs.get(), tr, i);
+    case PtOp::kPrev:
+      return naive(f->lhs.get(), tr, i == 0 ? 0 : i - 1);
+    case PtOp::kOnce:
+      for (std::size_t j = 0; j <= i; ++j) {
+        if (naive(f->lhs.get(), tr, j)) return true;
+      }
+      return false;
+    case PtOp::kHistorically:
+      for (std::size_t j = 0; j <= i; ++j) {
+        if (!naive(f->lhs.get(), tr, j)) return false;
+      }
+      return true;
+    case PtOp::kSince: {
+      // ∃ j <= i: rhs@j and ∀ k in (j, i]: lhs@k.
+      for (std::size_t j = i + 1; j-- > 0;) {
+        if (naive(f->rhs.get(), tr, j)) {
+          bool all = true;
+          for (std::size_t k = j + 1; k <= i; ++k) {
+            if (!naive(f->lhs.get(), tr, k)) {
+              all = false;
+              break;
+            }
+          }
+          if (all) return true;
+        }
+      }
+      return false;
+    }
+    case PtOp::kStart:
+      return i > 0 && naive(f->lhs.get(), tr, i) &&
+             !naive(f->lhs.get(), tr, i - 1);
+    case PtOp::kEnd:
+      return i > 0 && !naive(f->lhs.get(), tr, i) &&
+             naive(f->lhs.get(), tr, i - 1);
+    case PtOp::kInterval: {
+      // ∃ j <= i: lhs@j and ∀ k in [j, i]: !rhs@k.
+      for (std::size_t j = i + 1; j-- > 0;) {
+        if (naive(f->rhs.get(), tr, j)) return false;  // rhs kills everything
+        if (naive(f->lhs.get(), tr, j)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- generators
+
+Formula randomFormula(std::mt19937_64& rng, int depth) {
+  const auto atom = [&rng]() {
+    const std::size_t slot = rng() % 2;
+    const Value c = static_cast<Value>(rng() % 3);
+    return Formula::atom(StateExpr::binary(
+        static_cast<StateOp>(static_cast<int>(StateOp::kEq) + rng() % 6),
+        StateExpr::var(slot, slot == 0 ? "p" : "q"), StateExpr::constant(c)));
+  };
+  if (depth == 0) {
+    switch (rng() % 4) {
+      case 0: return Formula::verum();
+      case 1: return Formula::falsum();
+      default: return atom();
+    }
+  }
+  switch (rng() % 11) {
+    case 0: return Formula::negation(randomFormula(rng, depth - 1));
+    case 1:
+      return Formula::conjunction(randomFormula(rng, depth - 1),
+                                  randomFormula(rng, depth - 1));
+    case 2:
+      return Formula::disjunction(randomFormula(rng, depth - 1),
+                                  randomFormula(rng, depth - 1));
+    case 3:
+      return Formula::implies(randomFormula(rng, depth - 1),
+                              randomFormula(rng, depth - 1));
+    case 4: return Formula::prev(randomFormula(rng, depth - 1));
+    case 5: return Formula::once(randomFormula(rng, depth - 1));
+    case 6: return Formula::historically(randomFormula(rng, depth - 1));
+    case 7:
+      return Formula::since(randomFormula(rng, depth - 1),
+                            randomFormula(rng, depth - 1));
+    case 8: return Formula::start(randomFormula(rng, depth - 1));
+    case 9: return Formula::end(randomFormula(rng, depth - 1));
+    default:
+      return Formula::interval(randomFormula(rng, depth - 1),
+                               randomFormula(rng, depth - 1));
+  }
+}
+
+class MonitorVsNaive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonitorVsNaive, AgreeOnRandomFormulasAndTraces) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    const Formula f = randomFormula(rng, 3);
+    SynthesizedMonitor mon(f);
+
+    std::vector<GlobalState> trace;
+    const std::size_t len = 1 + rng() % 8;
+    for (std::size_t i = 0; i < len; ++i) {
+      trace.push_back(GlobalState({static_cast<Value>(rng() % 3),
+                                   static_cast<Value>(rng() % 3)}));
+    }
+
+    mon.reset();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const bool fast = mon.stepLinear(trace[i]);
+      const bool slow = naive(f.root(), trace, i);
+      ASSERT_EQ(fast, slow)
+          << "formula " << f.toString() << " diverged at position " << i
+          << " (round " << round << ", seed " << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorVsNaive,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
+                                           1006, 1007, 1008));
+
+}  // namespace
+}  // namespace mpx::logic

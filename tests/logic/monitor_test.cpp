@@ -1,0 +1,191 @@
+// Synthesized ptLTL monitor semantics, operator by operator, against hand
+// traces and the documented first-state conventions.
+#include "logic/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+#include "observer/global_state.hpp"
+
+namespace mpx::logic {
+namespace {
+
+using observer::GlobalState;
+
+/// One tracked variable "p" interpreted as a boolean.
+observer::StateSpace space1() {
+  static trace::VarTable table = [] {
+    trace::VarTable t;
+    t.intern("p", 0);
+    t.intern("q", 0);
+    return t;
+  }();
+  return observer::StateSpace::byNames(table, {"p", "q"});
+}
+
+GlobalState st(Value p, Value q = 0) { return GlobalState({p, q}); }
+
+/// Evaluates the formula at every position of the trace.
+std::vector<bool> evaluate(const std::string& spec,
+                           const std::vector<GlobalState>& trace) {
+  const observer::StateSpace sp = space1();
+  SynthesizedMonitor mon(SpecParser(sp).parse(spec));
+  std::vector<bool> out;
+  for (const auto& s : trace) out.push_back(mon.stepLinear(s));
+  return out;
+}
+
+TEST(Monitor, AtomAndBooleans) {
+  EXPECT_EQ(evaluate("p", {st(0), st(1)}), (std::vector<bool>{false, true}));
+  EXPECT_EQ(evaluate("!p", {st(0), st(1)}), (std::vector<bool>{true, false}));
+  EXPECT_EQ(evaluate("p && q", {st(1, 1), st(1, 0)}),
+            (std::vector<bool>{true, false}));
+  EXPECT_EQ(evaluate("p || q", {st(0, 1), st(0, 0)}),
+            (std::vector<bool>{true, false}));
+  EXPECT_EQ(evaluate("p -> q", {st(1, 0), st(0, 0), st(1, 1)}),
+            (std::vector<bool>{false, true, true}));
+  EXPECT_EQ(evaluate("true", {st(0)}), (std::vector<bool>{true}));
+  EXPECT_EQ(evaluate("false", {st(0)}), (std::vector<bool>{false}));
+}
+
+TEST(Monitor, ComparisonAtoms) {
+  EXPECT_EQ(evaluate("p = 2", {st(2), st(3)}),
+            (std::vector<bool>{true, false}));
+  EXPECT_EQ(evaluate("p != 2", {st(2), st(3)}),
+            (std::vector<bool>{false, true}));
+  EXPECT_EQ(evaluate("p > q", {st(1, 0), st(1, 2)}),
+            (std::vector<bool>{true, false}));
+  EXPECT_EQ(evaluate("p + q = 3", {st(1, 2), st(2, 2)}),
+            (std::vector<bool>{true, false}));
+}
+
+TEST(Monitor, PrevFirstStateConvention) {
+  // At the first state, prev F = F (Havelund-Rosu convention).
+  EXPECT_EQ(evaluate("prev p", {st(1)}), (std::vector<bool>{true}));
+  EXPECT_EQ(evaluate("prev p", {st(0)}), (std::vector<bool>{false}));
+  EXPECT_EQ(evaluate("prev p", {st(1), st(0), st(0)}),
+            (std::vector<bool>{true, true, false}));
+}
+
+TEST(Monitor, OnceRemembersForever) {
+  EXPECT_EQ(evaluate("once p", {st(0), st(1), st(0), st(0)}),
+            (std::vector<bool>{false, true, true, true}));
+}
+
+TEST(Monitor, HistoricallyDropsOnFirstFailure) {
+  EXPECT_EQ(evaluate("historically p", {st(1), st(1), st(0), st(1)}),
+            (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(Monitor, SinceStrongSemantics) {
+  // p S q: q held at some point, p ever since (strictly after that point).
+  EXPECT_EQ(evaluate("p S q", {st(0, 1), st(1, 0), st(1, 0)}),
+            (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(evaluate("p S q", {st(0, 1), st(0, 0)}),
+            (std::vector<bool>{true, false}));
+  // At the first state p S q = q.
+  EXPECT_EQ(evaluate("p S q", {st(1, 0)}), (std::vector<bool>{false}));
+  // q re-establishes.
+  EXPECT_EQ(evaluate("p S q", {st(0, 1), st(0, 0), st(0, 1)}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Monitor, StartDetectsRisingEdge) {
+  EXPECT_EQ(evaluate("start(p)", {st(0), st(1), st(1), st(0), st(1)}),
+            (std::vector<bool>{false, true, false, false, true}));
+  // Never true at the first state.
+  EXPECT_EQ(evaluate("start(p)", {st(1)}), (std::vector<bool>{false}));
+}
+
+TEST(Monitor, EndDetectsFallingEdge) {
+  EXPECT_EQ(evaluate("end(p)", {st(1), st(0), st(0), st(1), st(0)}),
+            (std::vector<bool>{false, true, false, false, true}));
+  EXPECT_EQ(evaluate("end(p)", {st(0)}), (std::vector<bool>{false}));
+}
+
+TEST(Monitor, IntervalBasics) {
+  // [p, q): p happened and q has not happened since (inclusive of now).
+  EXPECT_EQ(evaluate("[p, q)", {st(1, 0), st(0, 0), st(0, 1), st(0, 0)}),
+            (std::vector<bool>{true, true, false, false}));
+  // q at the same instant as p kills the interval.
+  EXPECT_EQ(evaluate("[p, q)", {st(1, 1)}), (std::vector<bool>{false}));
+  // p re-arms after q.
+  EXPECT_EQ(evaluate("[p, q)", {st(1, 0), st(0, 1), st(1, 0)}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Monitor, LandingPropertyOnPaperRuns) {
+  // The three Fig. 5 runs over <landing, approved, radio>.
+  trace::VarTable table;
+  table.intern("landing", 0);
+  table.intern("approved", 0);
+  table.intern("radio", 1);
+  const auto sp =
+      observer::StateSpace::byNames(table, {"landing", "approved", "radio"});
+  SynthesizedMonitor mon(
+      SpecParser(sp).parse("start(landing = 1) -> [approved = 1, radio = 0)"));
+
+  const auto run = [&](std::vector<std::vector<Value>> states) {
+    std::vector<GlobalState> trace;
+    for (auto& s : states) trace.emplace_back(std::move(s));
+    return mon.firstViolation(trace);
+  };
+  // Observed (successful): radio drops after landing started.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}}), -1);
+  // Radio drops between approval and landing: violated when landing starts.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 1, 1}, {0, 1, 0}, {1, 1, 0}}), 3);
+  // Radio drops before approval: violated too.
+  EXPECT_EQ(run({{0, 0, 1}, {0, 0, 0}, {0, 1, 0}, {1, 1, 0}}), 3);
+}
+
+TEST(Monitor, AdvanceIsAPureFunctionOfStateAndInput) {
+  const observer::StateSpace sp = space1();
+  SynthesizedMonitor mon(SpecParser(sp).parse("p S q"));
+  const auto m0 = mon.initial(st(0, 1));
+  const auto m1 = mon.advance(m0, st(1, 0));
+  EXPECT_EQ(mon.advance(m0, st(1, 0)), m1);  // deterministic
+  // Distinct histories with the same subformula values coincide — that is
+  // exactly what makes lattice-node state sets small.
+  const auto m0b = mon.initial(st(0, 1));
+  EXPECT_EQ(m0, m0b);
+}
+
+TEST(Monitor, LatticeMonitorInterfaceMatchesLinear) {
+  const observer::StateSpace sp = space1();
+  SynthesizedMonitor linear(SpecParser(sp).parse("once p && !q"));
+  SynthesizedMonitor stateless(SpecParser(sp).parse("once p && !q"));
+  const std::vector<GlobalState> trace = {st(0, 0), st(1, 0), st(0, 1),
+                                          st(0, 0)};
+  observer::MonitorState m = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool ok = linear.stepLinear(trace[i]);
+    m = i == 0 ? stateless.initial(trace[0]) : stateless.advance(m, trace[i]);
+    EXPECT_EQ(!stateless.isViolating(m), ok) << "position " << i;
+  }
+}
+
+TEST(Monitor, SharedSubformulasGetOneBit) {
+  const observer::StateSpace sp = space1();
+  const Formula p = SpecParser(sp).parse("p");
+  const Formula f = Formula::conjunction(Formula::once(p), Formula::prev(p));
+  SynthesizedMonitor mon(f);
+  // p, once p, prev p, && : 4 subformulas (p shared).
+  EXPECT_EQ(mon.subformulaCount(), 4u);
+}
+
+TEST(Monitor, TooManySubformulasRejected) {
+  const observer::StateSpace sp = space1();
+  Formula f = SpecParser(sp).parse("p");
+  for (int i = 0; i < 70; ++i) f = Formula::prev(f);
+  EXPECT_THROW(SynthesizedMonitor{f}, std::invalid_argument);
+}
+
+TEST(Monitor, FirstViolationIndexAndReset) {
+  const observer::StateSpace sp = space1();
+  SynthesizedMonitor mon(SpecParser(sp).parse("historically p"));
+  EXPECT_EQ(mon.firstViolation({st(1), st(0), st(1)}), 1);
+  EXPECT_EQ(mon.firstViolation({st(1), st(1)}), -1);  // reset() works
+}
+
+}  // namespace
+}  // namespace mpx::logic

@@ -1,0 +1,148 @@
+// Spec parser: grammar, precedence, paper syntax, relevant-variable
+// extraction, and error reporting.
+#include "logic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/monitor.hpp"
+
+namespace mpx::logic {
+namespace {
+
+observer::StateSpace space() {
+  static trace::VarTable table = [] {
+    trace::VarTable t;
+    t.intern("x", 0);
+    t.intern("y", 0);
+    t.intern("z", 0);
+    t.intern("landing", 0);
+    t.intern("approved", 0);
+    t.intern("radio", 1);
+    return t;
+  }();
+  return observer::StateSpace::byNames(
+      table, {"x", "y", "z", "landing", "approved", "radio"});
+}
+
+std::string parsed(const std::string& text) {
+  return SpecParser(space()).parse(text).toString();
+}
+
+TEST(Parser, PaperLandingProperty) {
+  EXPECT_EQ(parsed("start(landing = 1) -> [approved = 1, radio = 0)"),
+            "(start((landing == 1)) -> [(approved == 1), (radio == 0)))");
+}
+
+TEST(Parser, PaperXyzProperty) {
+  EXPECT_EQ(parsed("x > 0 -> [y = 0, y > z)"),
+            "((x > 0) -> [(y == 0), (y > z)))");
+}
+
+TEST(Parser, SingleEqualsIsEquality) {
+  EXPECT_EQ(parsed("x = 1"), "(x == 1)");
+  EXPECT_EQ(parsed("x == 1"), "(x == 1)");
+}
+
+TEST(Parser, PrecedenceImpliesIsLowestAndRightAssoc) {
+  EXPECT_EQ(parsed("x -> y -> z"), "(x -> (y -> z))");
+  EXPECT_EQ(parsed("x && y -> z || x"), "((x && y) -> (z || x))");
+}
+
+TEST(Parser, PrecedenceAndBindsTighterThanOr) {
+  EXPECT_EQ(parsed("x || y && z"), "(x || (y && z))");
+}
+
+TEST(Parser, SinceBindsTighterThanAnd) {
+  EXPECT_EQ(parsed("x && y S z"), "(x && (y S z))");
+  EXPECT_EQ(parsed("x S y S z"), "((x S y) S z)");  // left assoc
+}
+
+TEST(Parser, UnaryTemporalOperators) {
+  EXPECT_EQ(parsed("prev x"), "prev(x)");
+  EXPECT_EQ(parsed("@ x"), "prev(x)");
+  EXPECT_EQ(parsed("once x"), "once(x)");
+  EXPECT_EQ(parsed("<*> x"), "once(x)");
+  EXPECT_EQ(parsed("historically x"), "historically(x)");
+  EXPECT_EQ(parsed("[*] x"), "historically(x)");
+  EXPECT_EQ(parsed("!prev x"), "!prev(x)");
+  EXPECT_EQ(parsed("prev prev x"), "prev(prev(x))");
+}
+
+TEST(Parser, StartEndRequireParens) {
+  EXPECT_EQ(parsed("start(x)"), "start(x)");
+  EXPECT_EQ(parsed("end(x = 1)"), "end((x == 1))");
+  EXPECT_THROW(parsed("start x"), SpecError);
+}
+
+TEST(Parser, IntervalVsHistoricallyGlyph) {
+  EXPECT_EQ(parsed("[x, y)"), "[x, y)");
+  EXPECT_EQ(parsed("[*] x"), "historically(x)");
+  EXPECT_EQ(parsed("[x = 1, y = 2)"), "[(x == 1), (y == 2))");
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  EXPECT_EQ(parsed("x + y * z = 7"), "((x + (y * z)) == 7)");
+  EXPECT_EQ(parsed("(x + y) * z = 7"), "(((x + y) * z) == 7)");
+  EXPECT_EQ(parsed("-x < 2"), "(-x < 2)");
+}
+
+TEST(Parser, ParenthesizedFormulaVsArithmetic) {
+  // '(' can open either a sub-formula or an arithmetic group; the
+  // backtracking resolves both.
+  EXPECT_EQ(parsed("(x > 0) -> (y = 0)"), "((x > 0) -> (y == 0))");
+  EXPECT_EQ(parsed("(x + 1) > 0"), "((x + 1) > 0)");
+  EXPECT_EQ(parsed("(prev x) && y"), "(prev(x) && y)");
+}
+
+TEST(Parser, WordConnectives) {
+  EXPECT_EQ(parsed("x and y or not z"), "((x && y) || !z)");
+}
+
+TEST(Parser, BareExpressionMeansNonzero) {
+  EXPECT_EQ(parsed("x + y"), "(x + y)");
+}
+
+TEST(Parser, UnknownVariableError) {
+  try {
+    parsed("nosuchvar > 0");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("nosuchvar"), std::string::npos);
+  }
+}
+
+TEST(Parser, SyntaxErrorsCarryPosition) {
+  try {
+    parsed("x > ");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_GE(e.position(), 3u);
+  }
+  EXPECT_THROW(parsed("(x > 0"), SpecError);
+  EXPECT_THROW(parsed("x > 0)"), SpecError);
+  EXPECT_THROW(parsed("[x, y"), SpecError);
+  EXPECT_THROW(parsed("x $ y"), SpecError);
+  EXPECT_THROW(parsed(""), SpecError);
+}
+
+TEST(Parser, ReferencedVariablesExtraction) {
+  // The paper's §4.1 relevant-variable extraction — runs pre-binding.
+  EXPECT_EQ(SpecParser::referencedVariables(
+                "start(landing = 1) -> [approved = 1, radio = 0)"),
+            (std::vector<std::string>{"landing", "approved", "radio"}));
+  // Keywords and duplicates excluded; first-occurrence order kept.
+  EXPECT_EQ(SpecParser::referencedVariables("once x && x S y and prev z"),
+            (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_TRUE(SpecParser::referencedVariables("true -> false").empty());
+}
+
+TEST(Parser, ParsedFormulaEvaluates) {
+  // End-to-end sanity: parse then run one monitor step.
+  const observer::StateSpace sp = space();
+  SynthesizedMonitor mon(SpecParser(sp).parse("x + y >= 2 * z"));
+  observer::GlobalState s({3, 1, 2, 0, 0, 0});
+  EXPECT_TRUE(mon.stepLinear(s));
+}
+
+}  // namespace
+}  // namespace mpx::logic

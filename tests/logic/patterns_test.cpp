@@ -1,0 +1,139 @@
+// The specification-pattern builders: meaning pinned on hand traces and
+// equivalence with parsed formulas.
+#include "logic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+
+namespace mpx::logic::patterns {
+namespace {
+
+using observer::GlobalState;
+
+observer::StateSpace space() {
+  static trace::VarTable table = [] {
+    trace::VarTable t;
+    t.intern("p", 0);
+    t.intern("q", 0);
+    t.intern("r", 0);
+    return t;
+  }();
+  return observer::StateSpace::byNames(table, {"p", "q", "r"});
+}
+
+Formula atomOf(const char* name) {
+  return SpecParser(space()).parse(name);
+}
+
+GlobalState st(Value p, Value q = 0, Value r = 0) {
+  return GlobalState({p, q, r});
+}
+
+std::vector<bool> run(const Formula& f, const std::vector<GlobalState>& tr) {
+  SynthesizedMonitor mon(f);
+  std::vector<bool> out;
+  for (const auto& s : tr) out.push_back(mon.stepLinear(s));
+  return out;
+}
+
+/// Two formulas agree on a set of traces.
+void expectEquivalent(const Formula& a, const Formula& b,
+                      const std::vector<std::vector<GlobalState>>& traces) {
+  for (const auto& tr : traces) {
+    EXPECT_EQ(run(a, tr), run(b, tr)) << a.toString() << " vs "
+                                      << b.toString();
+  }
+}
+
+std::vector<std::vector<GlobalState>> sampleTraces() {
+  return {
+      {st(0), st(1), st(0)},
+      {st(1, 1), st(0, 1), st(1, 0)},
+      {st(0, 0, 1), st(1, 1, 0), st(0, 1, 1), st(1, 0, 0)},
+      {st(1), st(1), st(1)},
+      {st(0)},
+  };
+}
+
+TEST(Patterns, NeverMatchesParsedForm) {
+  expectEquivalent(never(atomOf("p")),
+                   SpecParser(space()).parse("historically !p"),
+                   sampleTraces());
+}
+
+TEST(Patterns, NeverSemantics) {
+  EXPECT_EQ(run(never(atomOf("p")), {st(0), st(1), st(0)}),
+            (std::vector<bool>{true, false, false}));
+}
+
+TEST(Patterns, AlwaysSemantics) {
+  EXPECT_EQ(run(always(atomOf("p")), {st(1), st(0), st(1)}),
+            (std::vector<bool>{true, false, false}));
+}
+
+TEST(Patterns, PrecededBySemantics) {
+  // q must not hold before the first p.
+  EXPECT_EQ(run(precededBy(atomOf("q"), atomOf("p")),
+                {st(0, 1), st(1, 0), st(0, 1)}),
+            (std::vector<bool>{false, true, true}));
+}
+
+TEST(Patterns, RiseAfterIgnoresContinuation) {
+  // q's FIRST rise violates (no p yet); q staying up later with p is fine.
+  EXPECT_EQ(run(riseAfter(atomOf("q"), atomOf("p")),
+                {st(0, 0), st(0, 1), st(1, 1)}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Patterns, MutexSemantics) {
+  EXPECT_EQ(run(mutex(atomOf("p"), atomOf("q")),
+                {st(1, 0), st(0, 1), st(1, 1)}),
+            (std::vector<bool>{true, true, false}));
+}
+
+TEST(Patterns, ArmedWindowIsThePaperShape) {
+  // start(p) -> [q, r): p = landing, q = approved, r = radio-down.
+  const Formula f = armedWindow(atomOf("p"), atomOf("q"), atomOf("r"));
+  expectEquivalent(f, SpecParser(space()).parse("start(p) -> [q, r)"),
+                   sampleTraces());
+  // Rise of p with the window armed and un-broken: fine.
+  EXPECT_EQ(run(f, {st(0, 1, 0), st(1, 1, 0)}),
+            (std::vector<bool>{true, true}));
+  // Rise of p after the window was broken by r (and q did not re-arm it):
+  // violation.  Note q still holding when r clears RE-ARMS the window —
+  // that is the interval's defined semantics.
+  EXPECT_EQ(run(f, {st(0, 1, 0), st(0, 0, 1), st(1, 0, 0)}),
+            (std::vector<bool>{true, true, false}));
+  EXPECT_EQ(run(f, {st(0, 1, 0), st(0, 1, 1), st(1, 1, 0)}),
+            (std::vector<bool>{true, true, true}))
+      << "q re-arms the window after r clears";
+}
+
+TEST(Patterns, LatchedSemantics) {
+  EXPECT_EQ(run(latched(atomOf("p")), {st(0), st(1), st(0)}),
+            (std::vector<bool>{true, true, false}));
+}
+
+TEST(Patterns, BetweenOpenCloseSemantics) {
+  const Formula f = betweenOpenClose(atomOf("q"), atomOf("p"), atomOf("r"));
+  // q inside an open p..r scope: ok; q with the scope closed: violation.
+  EXPECT_EQ(run(f, {st(1, 0, 0),    // p opens
+                    st(0, 1, 0),    // q inside: ok
+                    st(0, 0, 1),    // r closes
+                    st(0, 1, 0)}),  // q outside: violation
+            (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(Patterns, ComposeWithEachOther) {
+  // Patterns are ordinary formulas: conjunction composes.
+  const Formula f = Formula::conjunction(
+      mutex(atomOf("p"), atomOf("q")), precededBy(atomOf("r"), atomOf("p")));
+  EXPECT_EQ(run(f, {st(1, 0, 0), st(0, 0, 1)}),
+            (std::vector<bool>{true, true}));
+  EXPECT_EQ(run(f, {st(0, 0, 1)}), (std::vector<bool>{false}));
+}
+
+}  // namespace
+}  // namespace mpx::logic::patterns

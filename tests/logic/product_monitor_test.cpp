@@ -1,0 +1,124 @@
+// ProductMonitor: several properties checked in one lattice pass, with
+// verdicts identical to checking each property in its own pass.
+#include "logic/product_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "logic/parser.hpp"
+#include "observer/lattice.hpp"
+
+namespace mpx::logic {
+namespace {
+
+using mpx::testing::landingComputation;
+
+TEST(ProductMonitor, PacksComponentsSideBySide) {
+  const auto c = landingComputation();
+  SpecParser parser(c.space);
+  ProductMonitor pm;
+  const std::size_t a = pm.add(parser.parse("radio = 1"), "radio-live");
+  const std::size_t b = pm.add(parser.parse("once approved = 1"), "approved");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pm.componentCount(), 2u);
+  EXPECT_EQ(pm.name(0), "radio-live");
+  EXPECT_GT(pm.bitsUsed(), 0u);
+  EXPECT_LE(pm.bitsUsed(), 64u);
+}
+
+TEST(ProductMonitor, OverflowRejected) {
+  const auto c = landingComputation();
+  SpecParser parser(c.space);
+  ProductMonitor pm;
+  Formula big = parser.parse("landing = 1");
+  for (int i = 0; i < 20; ++i) big = Formula::prev(big);
+  pm.add(big);      // ~21 bits
+  pm.add(big);      // ~42
+  pm.add(big);      // ~63
+  EXPECT_THROW(pm.add(big), std::invalid_argument);
+}
+
+TEST(ProductMonitor, VerdictsMatchIndividualPasses) {
+  const auto c = landingComputation();
+  SpecParser parser(c.space);
+  const std::vector<std::string> specs = {
+      program::corpus::landingProperty(),   // violated in 2 of 3 runs
+      "once radio = 0 -> landing = 1",      // also has structure
+      "historically approved >= 0",         // never violated
+  };
+
+  // Individual passes.
+  std::vector<bool> individual;
+  for (const auto& spec : specs) {
+    SynthesizedMonitor mon(parser.parse(spec));
+    observer::ComputationLattice lattice(c.graph, c.space);
+    std::vector<observer::Violation> violations;
+    lattice.check(mon, violations);
+    individual.push_back(!violations.empty());
+  }
+
+  // One combined pass.
+  ProductMonitor pm;
+  for (const auto& spec : specs) pm.add(parser.parse(spec), spec);
+  observer::ComputationLattice lattice(c.graph, c.space);
+  std::vector<observer::Violation> violations;
+  lattice.check(pm, violations);
+
+  // Attribution: collect which components ever violated.
+  std::vector<bool> combined(specs.size(), false);
+  for (const auto& v : violations) {
+    for (const std::size_t i : pm.violatingComponents(v.monitorState)) {
+      combined[i] = true;
+    }
+  }
+  // NOTE: the lattice dedupes violations per (cut, combined-state) and caps
+  // them, so "component i violated somewhere" needs enough budget; with the
+  // defaults all three fit.
+  EXPECT_EQ(combined, individual);
+}
+
+TEST(ProductMonitor, LinearSemanticsMatchComponents) {
+  const auto c = landingComputation();
+  SpecParser parser(c.space);
+  const Formula f1 = parser.parse("radio = 1");
+  const Formula f2 = parser.parse("once landing = 1");
+
+  ProductMonitor pm;
+  pm.add(f1);
+  pm.add(f2);
+  SynthesizedMonitor m1(f1);
+  SynthesizedMonitor m2(f2);
+
+  const std::vector<observer::GlobalState> trace = {
+      observer::GlobalState({0, 0, 1}),
+      observer::GlobalState({1, 1, 1}),
+      observer::GlobalState({1, 1, 0}),
+  };
+  observer::MonitorState s = 0;
+  observer::MonitorState s1 = 0;
+  observer::MonitorState s2 = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    s = i == 0 ? pm.initial(trace[0]) : pm.advance(s, trace[i]);
+    s1 = i == 0 ? m1.initial(trace[0]) : m1.advance(s1, trace[i]);
+    s2 = i == 0 ? m2.initial(trace[0]) : m2.advance(s2, trace[i]);
+    const auto bad = pm.violatingComponents(s);
+    const bool pmSays1 =
+        std::find(bad.begin(), bad.end(), 0u) != bad.end();
+    const bool pmSays2 =
+        std::find(bad.begin(), bad.end(), 1u) != bad.end();
+    EXPECT_EQ(pmSays1, m1.isViolating(s1)) << "position " << i;
+    EXPECT_EQ(pmSays2, m2.isViolating(s2)) << "position " << i;
+  }
+}
+
+TEST(ProductMonitor, EmptyProductNeverViolates) {
+  ProductMonitor pm;
+  const observer::GlobalState s({1});
+  EXPECT_EQ(pm.initial(s), 0u);
+  EXPECT_FALSE(pm.isViolating(0));
+  EXPECT_TRUE(pm.violatingComponents(0).empty());
+}
+
+}  // namespace
+}  // namespace mpx::logic

@@ -1,0 +1,74 @@
+#include "logic/state_expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpx::logic {
+namespace {
+
+using observer::GlobalState;
+
+TEST(StateExpr, ConstantsAndVars) {
+  const GlobalState s({5, -3});
+  EXPECT_EQ(StateExpr::constant(7).eval(s), 7);
+  EXPECT_EQ(StateExpr::var(0, "a").eval(s), 5);
+  EXPECT_EQ(StateExpr::var(1, "b").eval(s), -3);
+}
+
+TEST(StateExpr, Arithmetic) {
+  const GlobalState s({6, 4});
+  const auto a = StateExpr::var(0, "a");
+  const auto b = StateExpr::var(1, "b");
+  EXPECT_EQ(StateExpr::binary(StateOp::kAdd, a, b).eval(s), 10);
+  EXPECT_EQ(StateExpr::binary(StateOp::kSub, a, b).eval(s), 2);
+  EXPECT_EQ(StateExpr::binary(StateOp::kMul, a, b).eval(s), 24);
+  EXPECT_EQ(StateExpr::binary(StateOp::kDiv, a, b).eval(s), 1);
+  EXPECT_EQ(StateExpr::unary(StateOp::kNeg, a).eval(s), -6);
+}
+
+TEST(StateExpr, DivisionByZeroIsZero) {
+  const GlobalState s({1, 0});
+  EXPECT_EQ(StateExpr::binary(StateOp::kDiv, StateExpr::var(0, "a"),
+                              StateExpr::var(1, "b"))
+                .eval(s),
+            0);
+}
+
+TEST(StateExpr, Comparisons) {
+  const GlobalState s({2, 3});
+  const auto a = StateExpr::var(0, "a");
+  const auto b = StateExpr::var(1, "b");
+  EXPECT_EQ(StateExpr::binary(StateOp::kEq, a, b).eval(s), 0);
+  EXPECT_EQ(StateExpr::binary(StateOp::kNe, a, b).eval(s), 1);
+  EXPECT_EQ(StateExpr::binary(StateOp::kLt, a, b).eval(s), 1);
+  EXPECT_EQ(StateExpr::binary(StateOp::kLe, a, b).eval(s), 1);
+  EXPECT_EQ(StateExpr::binary(StateOp::kGt, a, b).eval(s), 0);
+  EXPECT_EQ(StateExpr::binary(StateOp::kGe, a, b).eval(s), 0);
+}
+
+TEST(StateExpr, EvalBool) {
+  const GlobalState s({0, -1});
+  EXPECT_FALSE(StateExpr::var(0, "a").evalBool(s));
+  EXPECT_TRUE(StateExpr::var(1, "b").evalBool(s));
+}
+
+TEST(StateExpr, OutOfRangeSlotThrows) {
+  const GlobalState s({1});
+  EXPECT_THROW((void)StateExpr::var(4, "ghost").eval(s), std::out_of_range);
+}
+
+TEST(StateExpr, ToString) {
+  const auto e = StateExpr::binary(StateOp::kGt,
+                                   StateExpr::binary(StateOp::kAdd,
+                                                     StateExpr::var(0, "x"),
+                                                     StateExpr::constant(1)),
+                                   StateExpr::constant(0));
+  EXPECT_EQ(e.toString(), "((x + 1) > 0)");
+}
+
+TEST(StateExpr, DefaultIsZero) {
+  const GlobalState s{};
+  EXPECT_EQ(StateExpr().eval(s), 0);
+}
+
+}  // namespace
+}  // namespace mpx::logic

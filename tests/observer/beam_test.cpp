@@ -1,0 +1,112 @@
+// Beam-width lattice approximation: graceful degradation when the lattice
+// would grow too wide.  Soundness: everything reported is a real violating
+// run; completeness is explicitly surrendered (stats.approximated).
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "observer/lattice.hpp"
+#include "observer/run_enumerator.hpp"
+
+namespace mpx::observer {
+namespace {
+
+using mpx::testing::observe;
+
+/// Monitor violating when slot 0 is negative.
+class NegativeMonitor final : public LatticeMonitor {
+ public:
+  MonitorState initial(const GlobalState& s) override {
+    return s.values[0] < 0 ? 1 : 0;
+  }
+  MonitorState advance(MonitorState prev, const GlobalState& s) override {
+    return prev == 1 || s.values[0] < 0 ? 1 : 0;
+  }
+  [[nodiscard]] bool isViolating(MonitorState m) const override {
+    return m == 1;
+  }
+};
+
+mpx::testing::ObservedComputation wideComputation() {
+  program::GreedyScheduler sched;
+  return observe(program::corpus::independentWriters(4, 3), sched,
+                 {"v0", "v1", "v2", "v3"});
+}
+
+TEST(Beam, DisabledByDefault) {
+  const auto c = wideComputation();
+  ComputationLattice lattice(c.graph, c.space);
+  const auto& stats = lattice.build();
+  EXPECT_FALSE(stats.approximated);
+  EXPECT_EQ(stats.beamPrunedNodes, 0u);
+  EXPECT_EQ(stats.totalNodes, 256u);  // 4^4
+}
+
+TEST(Beam, PrunesWideLevelsAndFlagsApproximation) {
+  const auto c = wideComputation();
+  LatticeOptions opts;
+  opts.beamWidth = 8;
+  ComputationLattice lattice(c.graph, c.space, opts);
+  const auto& stats = lattice.build();
+  EXPECT_TRUE(stats.approximated);
+  EXPECT_GT(stats.beamPrunedNodes, 0u);
+  EXPECT_LT(stats.totalNodes, 256u);
+  EXPECT_LE(stats.peakLevelWidth, 8u);
+  EXPECT_FALSE(stats.truncated);  // beam is degradation, not abort
+}
+
+TEST(Beam, StillReachesTheFinalCut) {
+  const auto c = wideComputation();
+  LatticeOptions opts;
+  opts.beamWidth = 4;
+  ComputationLattice lattice(c.graph, c.space, opts);
+  const auto& stats = lattice.build();
+  // All levels get built even under heavy pruning.
+  EXPECT_EQ(stats.levels, 13u);  // 12 events + level 0
+}
+
+TEST(Beam, ReportedViolationsRemainRealRuns) {
+  // A violating state exists on every path (x goes negative): even a
+  // narrow beam must find it, and the counterexample must be a real run.
+  program::ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const VarId y = b.var("y", 0);
+  const VarId z = b.var("z", 0);
+  auto t1 = b.thread();
+  t1.write(x, program::lit(-1));
+  auto t2 = b.thread();
+  t2.write(y, program::lit(1)).write(y, program::lit(2));
+  auto t3 = b.thread();
+  t3.write(z, program::lit(1)).write(z, program::lit(2));
+  program::GreedyScheduler sched;
+  const auto c = observe(b.build(), sched, {"x", "y", "z"});
+
+  LatticeOptions opts;
+  opts.beamWidth = 2;
+  ComputationLattice lattice(c.graph, c.space, opts);
+  NegativeMonitor mon;
+  std::vector<Violation> violations;
+  lattice.check(mon, violations);
+  ASSERT_FALSE(violations.empty());
+  RunEnumerator runs(c.graph, c.space);
+  for (const auto& v : violations) {
+    EXPECT_TRUE(runs.isConsistentRun(v.path));
+  }
+}
+
+TEST(Beam, WiderBeamSubsumesNarrower) {
+  const auto c = wideComputation();
+  std::size_t prevNodes = 0;
+  for (const std::size_t width : {2u, 8u, 32u, 1024u}) {
+    LatticeOptions opts;
+    opts.beamWidth = width;
+    ComputationLattice lattice(c.graph, c.space, opts);
+    const auto& stats = lattice.build();
+    EXPECT_GE(stats.totalNodes, prevNodes);
+    prevNodes = stats.totalNodes;
+  }
+  // The widest beam covers everything.
+  EXPECT_EQ(prevNodes, 256u);
+}
+
+}  // namespace
+}  // namespace mpx::observer

@@ -1,0 +1,79 @@
+#include "observer/global_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpx::observer {
+namespace {
+
+trace::VarTable table() {
+  trace::VarTable t;
+  t.intern("x", -1);
+  t.intern("y", 0);
+  t.intern("__lock_m", 0, trace::VarRole::kLock);
+  t.intern("z", 7);
+  return t;
+}
+
+TEST(StateSpace, ByNamesTracksInOrder) {
+  const trace::VarTable t = table();
+  const StateSpace s = StateSpace::byNames(t, {"z", "x"});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.name(0), "z");
+  EXPECT_EQ(s.name(1), "x");
+  EXPECT_EQ(s.initialValues(), (std::vector<Value>{7, -1}));
+}
+
+TEST(StateSpace, SlotLookups) {
+  const trace::VarTable t = table();
+  const StateSpace s = StateSpace::byNames(t, {"x", "y"});
+  EXPECT_EQ(s.slotOf(t.id("x")), 0u);
+  EXPECT_EQ(s.slotOf(t.id("y")), 1u);
+  EXPECT_FALSE(s.slotOf(t.id("z")).has_value());
+  EXPECT_EQ(s.slotOfName("y"), 1u);
+  EXPECT_THROW((void)s.slotOfName("z"), std::out_of_range);
+}
+
+TEST(StateSpace, UnknownNameThrows) {
+  const trace::VarTable t = table();
+  EXPECT_THROW(StateSpace::byNames(t, {"nope"}), std::out_of_range);
+}
+
+TEST(StateSpace, DuplicateTrackedVariableThrows) {
+  const trace::VarTable t = table();
+  EXPECT_THROW(StateSpace::byNames(t, {"x", "x"}), std::invalid_argument);
+}
+
+TEST(StateSpace, AllDataSkipsLockVariables) {
+  const trace::VarTable t = table();
+  const StateSpace s = StateSpace::allData(t);
+  EXPECT_EQ(s.size(), 3u);  // x, y, z — not __lock_m
+  EXPECT_FALSE(s.slotOf(t.id("__lock_m")).has_value());
+}
+
+TEST(GlobalState, WithProducesUpdatedCopy) {
+  const GlobalState s({1, 2, 3});
+  const GlobalState u = s.with(1, 9);
+  EXPECT_EQ(u.values, (std::vector<Value>{1, 9, 3}));
+  EXPECT_EQ(s.values, (std::vector<Value>{1, 2, 3}));
+}
+
+TEST(GlobalState, EqualityAndHash) {
+  const GlobalState a({1, 2});
+  const GlobalState b({1, 2});
+  const GlobalState c({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(GlobalState, ToStringForms) {
+  const trace::VarTable t = table();
+  const StateSpace space = StateSpace::byNames(t, {"x", "y"});
+  const GlobalState s({5, -2});
+  EXPECT_EQ(s.toString(), "<5,-2>");
+  EXPECT_EQ(s.toString(space), "x = 5, y = -2");
+}
+
+}  // namespace
+}  // namespace mpx::observer

@@ -1,0 +1,123 @@
+// Run enumeration: agrees with the lattice's run counting and the
+// exhaustive explorer's relevant-event linearizations.
+#include "observer/run_enumerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/fixtures.hpp"
+#include "observer/lattice.hpp"
+
+namespace mpx::observer {
+namespace {
+
+using mpx::testing::landingComputation;
+using mpx::testing::observe;
+using mpx::testing::xyzComputation;
+
+TEST(RunEnumerator, LandingHasExactlyThreeRuns) {
+  const auto c = landingComputation();
+  RunEnumerator runs(c.graph, c.space);
+  const auto all = runs.enumerateAll();
+  EXPECT_EQ(all.size(), 3u);
+  // Every run has 3 events and 4 states and ends at <1,1,0>.
+  for (const auto& r : all) {
+    EXPECT_EQ(r.events.size(), 3u);
+    ASSERT_EQ(r.states.size(), 4u);
+    EXPECT_EQ(r.states.back().values, (std::vector<Value>{1, 1, 0}));
+  }
+  // Runs are distinct.
+  std::set<std::vector<std::pair<ThreadId, LocalSeq>>> distinct;
+  for (const auto& r : all) {
+    std::vector<std::pair<ThreadId, LocalSeq>> key;
+    for (const auto& e : r.events) key.emplace_back(e.thread, e.index);
+    distinct.insert(key);
+  }
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(RunEnumerator, XyzHasExactlyThreeRuns) {
+  const auto c = xyzComputation();
+  RunEnumerator runs(c.graph, c.space);
+  EXPECT_EQ(runs.enumerateAll().size(), 3u);
+}
+
+TEST(RunEnumerator, CountMatchesLatticePathCount) {
+  for (std::size_t threads = 2; threads <= 3; ++threads) {
+    program::GreedyScheduler sched;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < threads; ++i) {
+      names.push_back("v" + std::to_string(i));
+    }
+    const auto c = observe(
+        program::corpus::independentWriters(threads, 2), sched, names);
+    RunEnumerator runs(c.graph, c.space);
+    std::size_t n = 0;
+    runs.forEachRun([&n](const observer::Run&) {
+      ++n;
+      return true;
+    });
+    ComputationLattice lattice(c.graph, c.space);
+    lattice.build();
+    EXPECT_EQ(n, lattice.stats().pathCount) << threads << " threads";
+  }
+}
+
+TEST(RunEnumerator, MaxRunsStopsEnumeration) {
+  program::GreedyScheduler sched;
+  const auto c = observe(program::corpus::independentWriters(3, 2), sched,
+                         {"v0", "v1", "v2"});
+  RunEnumerator runs(c.graph, c.space);
+  const std::size_t n = runs.forEachRun([](const observer::Run&) { return true; },
+                                        /*maxRuns=*/5);
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(RunEnumerator, CallbackFalseStopsEarly) {
+  const auto c = landingComputation();
+  RunEnumerator runs(c.graph, c.space);
+  std::size_t n = 0;
+  runs.forEachRun([&n](const observer::Run&) {
+    ++n;
+    return false;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(RunEnumerator, IsConsistentRunValidation) {
+  const auto c = landingComputation();
+  RunEnumerator runs(c.graph, c.space);
+  const auto all = runs.enumerateAll();
+  for (const auto& r : all) EXPECT_TRUE(runs.isConsistentRun(r.events));
+
+  // Swapping the two thread-0 events violates program order.
+  auto bad = all[0].events;
+  std::swap(bad[0], bad[1]);
+  EXPECT_FALSE(runs.isConsistentRun(bad));
+
+  // Dropping an event leaves a consistent *prefix*, but a truncated index
+  // sequence referencing event 2 without event 1 is rejected.
+  std::vector<EventRef> gap = {all[0].events[1]};
+  if (gap[0].index == 2) {
+    EXPECT_FALSE(runs.isConsistentRun(gap));
+  }
+}
+
+TEST(RunEnumerator, StatesAlongMatchesEnumeratedStates) {
+  const auto c = xyzComputation();
+  RunEnumerator runs(c.graph, c.space);
+  for (const auto& r : runs.enumerateAll()) {
+    EXPECT_EQ(runs.statesAlong(r.events), r.states);
+  }
+}
+
+TEST(RunEnumerator, ObservedOrderIsOneOfTheRuns) {
+  const auto c = xyzComputation();
+  RunEnumerator runs(c.graph, c.space);
+  const auto observed = c.graph.observedOrder();
+  EXPECT_TRUE(runs.isConsistentRun(observed));
+}
+
+}  // namespace
+}  // namespace mpx::observer

@@ -1,0 +1,174 @@
+// ProgramBuilder: structured control flow lowering and validation.
+#include <gtest/gtest.h>
+
+#include "program/program.hpp"
+
+namespace mpx::program {
+namespace {
+
+TEST(ProgramBuilder, EmptyThreadGetsImplicitHalt) {
+  ProgramBuilder b;
+  b.thread("t");
+  const Program p = b.build();
+  ASSERT_EQ(p.threads.size(), 1u);
+  ASSERT_EQ(p.threads[0].code.size(), 1u);
+  EXPECT_EQ(p.threads[0].code[0].op, OpCode::kHalt);
+}
+
+TEST(ProgramBuilder, ThreadNamesDefaultAndExplicit) {
+  ProgramBuilder b;
+  b.thread();
+  b.thread("worker");
+  const Program p = b.build();
+  EXPECT_EQ(p.threads[0].name, "t1");
+  EXPECT_EQ(p.threads[1].name, "worker");
+}
+
+TEST(ProgramBuilder, IfThenLowering) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.compute(0, lit(1)).ifThen(reg(0), [&](ThreadBuilder& tb) {
+    tb.write(x, lit(5));
+  });
+  const Program p = b.build();
+  const auto& code = p.threads[0].code;
+  // compute, brz, write, halt
+  ASSERT_EQ(code.size(), 4u);
+  EXPECT_EQ(code[1].op, OpCode::kBranchIfZero);
+  EXPECT_EQ(code[1].target, 3u);  // skips the write
+}
+
+TEST(ProgramBuilder, IfThenElseLowering) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.ifThenElse(
+      reg(0), [&](ThreadBuilder& tb) { tb.write(x, lit(1)); },
+      [&](ThreadBuilder& tb) { tb.write(x, lit(2)); });
+  const Program p = b.build();
+  const auto& code = p.threads[0].code;
+  // brz(else), write1, jump(end), write2, halt
+  ASSERT_EQ(code.size(), 5u);
+  EXPECT_EQ(code[0].op, OpCode::kBranchIfZero);
+  EXPECT_EQ(code[0].target, 3u);
+  EXPECT_EQ(code[2].op, OpCode::kJump);
+  EXPECT_EQ(code[2].target, 4u);
+}
+
+TEST(ProgramBuilder, WhileLoopLowering) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.whileLoop(reg(0), [&](ThreadBuilder& tb) { tb.read(x, 0); });
+  const Program p = b.build();
+  const auto& code = p.threads[0].code;
+  // brz(exit), read, jump(top), halt
+  ASSERT_EQ(code.size(), 4u);
+  EXPECT_EQ(code[0].op, OpCode::kBranchIfZero);
+  EXPECT_EQ(code[0].target, 3u);
+  EXPECT_EQ(code[2].op, OpCode::kJump);
+  EXPECT_EQ(code[2].target, 0u);
+}
+
+TEST(ProgramBuilder, RepeatUnrolls) {
+  ProgramBuilder b;
+  auto t = b.thread();
+  t.repeat(3, [](ThreadBuilder& tb) { tb.internalOp(); });
+  const Program p = b.build();
+  EXPECT_EQ(p.threads[0].code.size(), 4u);  // 3 ops + halt
+}
+
+TEST(ProgramBuilder, SynchronizedWrapsBody) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const LockId m = b.lock("m");
+  auto t = b.thread();
+  t.synchronized(m, [&](ThreadBuilder& tb) { tb.write(x, lit(1)); });
+  const Program p = b.build();
+  const auto& code = p.threads[0].code;
+  EXPECT_EQ(code[0].op, OpCode::kLock);
+  EXPECT_EQ(code[1].op, OpCode::kWrite);
+  EXPECT_EQ(code[2].op, OpCode::kUnlock);
+}
+
+TEST(ProgramBuilder, LockAndCondGetBackingVariables) {
+  ProgramBuilder b;
+  const LockId m = b.lock("m");
+  const CondId c = b.cond("c");
+  const ThreadId t = b.thread("w", /*startsRunning=*/false).id();
+  const Program p = b.build();
+  EXPECT_EQ(p.vars.role(p.lockVars[m]), trace::VarRole::kLock);
+  EXPECT_EQ(p.vars.role(p.condVars[c]), trace::VarRole::kCondition);
+  EXPECT_EQ(p.vars.role(p.threadVars[t]), trace::VarRole::kCondition);
+  EXPECT_EQ(p.vars.name(p.lockVars[m]), "__lock_m");
+}
+
+TEST(ProgramBuilder, NoteAttachesToNextInstruction) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.note("the write").write(x, lit(1));
+  const Program p = b.build();
+  EXPECT_EQ(p.threads[0].code[0].note, "the write");
+}
+
+TEST(ProgramBuilder, RegisterOutOfRangeRejected) {
+  ProgramBuilder b;
+  b.registers(2);
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.read(x, 5);
+  EXPECT_THROW(b.build(), std::out_of_range);
+}
+
+TEST(ProgramBuilder, ExpressionRegisterOutOfRangeRejected) {
+  ProgramBuilder b;
+  b.registers(2);
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.write(x, reg(7));
+  EXPECT_THROW(b.build(), std::out_of_range);
+}
+
+TEST(ProgramBuilder, SpawnOfInitiallyRunningThreadRejected) {
+  ProgramBuilder b;
+  auto t1 = b.thread();
+  auto t2 = b.thread();
+  t1.spawn(t2.id());
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, ReadWriteOfLockVariableRejected) {
+  // The lock's backing variable must not be accessed as plain data.
+  ProgramBuilder b;
+  const LockId m = b.lock("m");
+  const VarId lockVar = b.lockVar(m);
+  auto t = b.thread();
+  t.write(lockVar, lit(1));
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, BuildTwiceThrows) {
+  ProgramBuilder b;
+  b.thread();
+  (void)b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Program, DisassembleMentionsAllPieces) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const LockId m = b.lock("m");
+  auto t = b.thread("main");
+  t.lockAcquire(m).read(x, 0).write(x, reg(0) + lit(1)).lockRelease(m);
+  const Program p = b.build();
+  const std::string dis = p.disassemble();
+  EXPECT_NE(dis.find("main"), std::string::npos);
+  EXPECT_NE(dis.find("lock m"), std::string::npos);
+  EXPECT_NE(dis.find("x <- (r0 + 1)"), std::string::npos);
+  EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpx::program

@@ -1,0 +1,199 @@
+// The canonical programs behave as the paper describes.
+#include "program/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/explorer.hpp"
+#include "program/scheduler.hpp"
+
+namespace mpx::program::corpus {
+namespace {
+
+std::vector<Value> dataStates(const ExecutionRecord& rec, const Program& p,
+                              const std::vector<std::string>& names,
+                              std::vector<std::vector<Value>>* trace) {
+  std::vector<VarId> ids;
+  for (const auto& n : names) ids.push_back(p.vars.id(n));
+  std::vector<Value> cur;
+  for (const VarId v : ids) cur.push_back(p.vars.initial(v));
+  if (trace) trace->push_back(cur);
+  for (const auto& e : rec.events) {
+    if (e.kind != trace::EventKind::kWrite) continue;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == e.var) {
+        cur[i] = e.value;
+        if (trace) trace->push_back(cur);
+      }
+    }
+  }
+  return cur;
+}
+
+TEST(LandingController, ObservedScheduleReproducesPaperRun) {
+  const Program p = landingController();
+  FixedScheduler sched(landingObservedSchedule());
+  const ExecutionRecord rec = runProgram(p, sched);
+  ASSERT_FALSE(rec.deadlocked);
+
+  std::vector<std::vector<Value>> states;
+  dataStates(rec, p, {"landing", "approved", "radio"}, &states);
+  // Paper: <0,0,1> -> approved -> <0,1,1> -> landing -> <1,1,1>
+  //        -> radio off -> <1,1,0>.
+  const std::vector<std::vector<Value>> expected = {
+      {0, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}};
+  EXPECT_EQ(states, expected);
+}
+
+TEST(LandingController, RadioFirstMeansNoLanding) {
+  const Program p = landingController();
+  // Thread 2 (radio) runs to completion first.
+  FixedScheduler sched({1, 1, 1});
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_EQ(rec.finalShared[p.vars.id("approved")], 0);
+  EXPECT_EQ(rec.finalShared[p.vars.id("landing")], 0);
+}
+
+TEST(LandingController, PaddingDelaysTheRadio) {
+  const Program p = landingController(/*padding=*/5);
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  // Still terminates with the radio off.
+  EXPECT_EQ(rec.finalShared[p.vars.id("radio")], 0);
+}
+
+TEST(Xyz, ObservedScheduleReproducesPaperStateSequence) {
+  const Program p = xyzProgram();
+  FixedScheduler sched(xyzObservedSchedule());
+  const ExecutionRecord rec = runProgram(p, sched);
+  ASSERT_FALSE(rec.deadlocked);
+
+  std::vector<std::vector<Value>> states;
+  dataStates(rec, p, {"x", "y", "z"}, &states);
+  // Paper: (-1,0,0), (0,0,0), (0,0,1), (1,0,1), (1,1,1).
+  const std::vector<std::vector<Value>> expected = {
+      {-1, 0, 0}, {0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {1, 1, 1}};
+  EXPECT_EQ(states, expected);
+}
+
+TEST(Xyz, GreedyScheduleEndsAtSameFinalState) {
+  // Final state is schedule-dependent for y (reads x at different times),
+  // but x always ends at 1 here? No: if T2 runs first, z = x+1 = 0, x = 0;
+  // then T1: x = 1, y = 2.  Just verify termination and sane values.
+  const Program p = xyzProgram();
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_FALSE(rec.deadlocked);
+  EXPECT_EQ(rec.finalShared[p.vars.id("x")], 1);
+}
+
+TEST(BankAccount, GreedyDepositsSumCorrectly) {
+  const Program p = bankAccountRacy();
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_EQ(rec.finalShared[p.vars.id("balance")], 150);
+}
+
+TEST(BankAccount, InterleavedRacyDepositsLoseAnUpdate) {
+  const Program p = bankAccountRacy();
+  // Both threads read 0 before either writes.
+  FixedScheduler sched({0, 1, 0, 1, 0, 1});
+  const ExecutionRecord rec = runProgram(p, sched);
+  const Value final = rec.finalShared[p.vars.id("balance")];
+  EXPECT_NE(final, 150);  // one update lost
+}
+
+TEST(BankAccount, LockedDepositsNeverLoseUpdates) {
+  const Program p = bankAccountLocked(2);
+  RandomScheduler sched(7);
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_EQ(rec.finalShared[p.vars.id("balance")], 2 * 100 + 2 * 50);
+}
+
+TEST(DiningPhilosophers, GreedyRunEveryoneEats) {
+  const Program p = diningPhilosophers(4);
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_FALSE(rec.deadlocked);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rec.finalShared[p.vars.id("meals" + std::to_string(i))], 1);
+  }
+}
+
+TEST(IndependentWriters, EveryVariableEndsAtWriteCount) {
+  const Program p = independentWriters(3, 4);
+  RandomScheduler sched(3);
+  const ExecutionRecord rec = runProgram(p, sched);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rec.finalShared[p.vars.id("v" + std::to_string(i))], 4);
+  }
+}
+
+TEST(SerializedWriters, TotalIsExactUnderAnySchedule) {
+  const Program p = serializedWriters(3, 3);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ExecutionRecord rec = runProgramRandom(p, seed);
+    EXPECT_EQ(rec.finalShared[p.vars.id("total")], 9) << "seed " << seed;
+  }
+}
+
+TEST(ProducerConsumer, AllItemsConsumedUnderRandomSchedules) {
+  const Program p = producerConsumer(3);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const ExecutionRecord rec = runProgramRandom(p, seed);
+    EXPECT_FALSE(rec.deadlocked) << "seed " << seed;
+    EXPECT_EQ(rec.finalShared[p.vars.id("consumed")], 3) << "seed " << seed;
+  }
+}
+
+TEST(SpawnJoin, SumIsComputedAfterBothWorkers) {
+  const Program p = spawnJoin();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const ExecutionRecord rec = runProgramRandom(p, seed);
+    EXPECT_FALSE(rec.deadlocked);
+    EXPECT_EQ(rec.finalShared[p.vars.id("sum")], 42) << "seed " << seed;
+  }
+}
+
+TEST(CasCounter, NeverLosesUpdatesUnderRandomSchedules) {
+  const Program p = casCounter(2, 3);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const ExecutionRecord rec = runProgramRandom(p, seed);
+    EXPECT_FALSE(rec.deadlocked) << "seed " << seed;
+    EXPECT_EQ(rec.finalShared[p.vars.id("counter")], 6) << "seed " << seed;
+  }
+}
+
+TEST(CasCounter, ExhaustivelyCorrect) {
+  // Every schedule ends with counter == threads * increments — the CAS
+  // retry loop is the fix for bankAccountRacy's lost update.
+  const Program p = casCounter(2, 1);
+  ExhaustiveExplorer ex;
+  const VarId counter = p.vars.id("counter");
+  bool allExact = true;
+  ex.explore(p, [&](const ExecutionRecord& rec) {
+    if (rec.finalShared[counter] != 2) allExact = false;
+    return true;
+  });
+  EXPECT_TRUE(allExact);
+  EXPECT_GT(ex.lastStats().executions, 1u);
+}
+
+TEST(RandomProgram, SameSeedSameProgram) {
+  const Program a = randomProgram(5);
+  const Program b = randomProgram(5);
+  EXPECT_EQ(a.disassemble(), b.disassemble());
+}
+
+TEST(RandomProgram, TerminatesUnderRandomSchedules) {
+  RandomProgramOptions opts;
+  opts.locks = 2;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Program p = randomProgram(seed, opts);
+    const ExecutionRecord rec = runProgramRandom(p, seed * 31 + 1);
+    EXPECT_FALSE(rec.deadlocked) << "seed " << seed;
+    EXPECT_GT(rec.events.size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mpx::program::corpus

@@ -1,0 +1,154 @@
+// Exhaustive schedule exploration — the ground-truth oracle.
+#include "program/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/corpus.hpp"
+#include "program/program.hpp"
+
+namespace mpx::program {
+namespace {
+
+/// n-choose-k for small numbers.
+std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+TEST(Explorer, SingleThreadHasOneExecution) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  auto t = b.thread();
+  t.write(x, lit(1)).write(x, lit(2));
+  const Program p = b.build();
+  ExhaustiveExplorer ex;
+  EXPECT_EQ(ex.countExecutions(p), 1u);
+}
+
+class ExplorerInterleavings
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ExplorerInterleavings, TwoIndependentThreadsCountIsBinomial) {
+  const auto [a, c] = GetParam();
+  // Thread 1 takes a+1 steps (a writes + halt), thread 2 c+1.
+  const Program p = [&] {
+    ProgramBuilder b;
+    const VarId x = b.var("x", 0);
+    const VarId y = b.var("y", 0);
+    auto t1 = b.thread();
+    for (std::size_t i = 0; i < a; ++i) t1.write(x, lit(1));
+    auto t2 = b.thread();
+    for (std::size_t i = 0; i < c; ++i) t2.write(y, lit(1));
+    return b.build();
+  }();
+  ExhaustiveExplorer ex;
+  EXPECT_EQ(ex.countExecutions(p), choose(a + c + 2, a + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ExplorerInterleavings,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 2}));
+
+TEST(Explorer, FindsTheDiningPhilosophersDeadlock) {
+  const Program p = corpus::diningPhilosophers(3);
+  ExhaustiveExplorer ex;
+  EXPECT_TRUE(ex.existsExecution(
+      p, [](const ExecutionRecord& r) { return r.deadlocked; }));
+  EXPECT_GT(ex.lastStats().statesExpanded, 0u);
+}
+
+TEST(Explorer, OrderedForksNeverDeadlock) {
+  const Program p = corpus::diningPhilosophers(3, /*orderedForks=*/true);
+  ExhaustiveExplorer ex;
+  EXPECT_FALSE(ex.existsExecution(
+      p, [](const ExecutionRecord& r) { return r.deadlocked; }));
+}
+
+TEST(Explorer, CollectAllProducesCompleteRecords) {
+  const Program p = corpus::bankAccountRacy();
+  ExhaustiveExplorer ex;
+  const auto all = ex.collectAll(p);
+  ASSERT_FALSE(all.empty());
+  const VarId balance = p.vars.id("balance");
+  for (const auto& rec : all) {
+    EXPECT_FALSE(rec.deadlocked);
+    // Lost update or not, the balance ends in one of three values.
+    const Value v = rec.finalShared[balance];
+    EXPECT_TRUE(v == 150 || v == 100 || v == 50) << v;
+  }
+  // Some schedule must exhibit the lost update.
+  const bool lost = std::any_of(all.begin(), all.end(),
+                                [balance](const ExecutionRecord& r) {
+                                  return r.finalShared[balance] != 150;
+                                });
+  EXPECT_TRUE(lost);
+}
+
+TEST(Explorer, EarlyStopTruncates) {
+  const Program p = corpus::independentWriters(2, 2);
+  ExhaustiveExplorer ex;
+  std::size_t seen = 0;
+  const auto stats = ex.explore(p, [&seen](const ExecutionRecord&) {
+    return ++seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(Explorer, MaxExecutionsCap) {
+  ExploreOptions opts;
+  opts.maxExecutions = 5;
+  ExhaustiveExplorer ex(opts);
+  const Program p = corpus::independentWriters(3, 2);
+  const auto stats = ex.explore(p, [](const ExecutionRecord&) { return true; });
+  EXPECT_EQ(stats.executions, 5u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(Explorer, DedupeStatesVisitsEachStateOnce) {
+  // Two independent single-write threads (2 steps each incl. halt):
+  // C(4,2) = 6 executions, but many interleavings converge to the same
+  // dynamic state; with dedupe, converging branches are pruned.
+  const Program p = corpus::independentWriters(2, 1);
+  ExhaustiveExplorer full;
+  const std::size_t allExecs = full.countExecutions(p);
+  EXPECT_EQ(allExecs, 6u);
+
+  ExploreOptions opts;
+  opts.dedupeStates = true;
+  ExhaustiveExplorer deduped(opts);
+  EXPECT_LT(deduped.countExecutions(p), allExecs);
+}
+
+TEST(Explorer, DeadlockCountsReported) {
+  const Program p = corpus::diningPhilosophers(2);
+  ExhaustiveExplorer ex;
+  std::size_t deadlocks = 0;
+  const auto stats = ex.explore(p, [&](const ExecutionRecord& r) {
+    if (r.deadlocked) ++deadlocks;
+    return true;
+  });
+  EXPECT_EQ(stats.deadlocks, deadlocks);
+  EXPECT_GT(stats.deadlocks, 0u);
+  EXPECT_GT(stats.executions, stats.deadlocks);
+}
+
+TEST(Explorer, ProducerConsumerAlwaysCompletes) {
+  const Program p = corpus::producerConsumer(2);
+  ExhaustiveExplorer ex;
+  const VarId consumed = p.vars.id("consumed");
+  bool allComplete = true;
+  ex.explore(p, [&](const ExecutionRecord& r) {
+    if (r.deadlocked || r.finalShared[consumed] != 2) allComplete = false;
+    return true;
+  });
+  EXPECT_TRUE(allComplete);
+  EXPECT_GT(ex.lastStats().executions, 1u);
+}
+
+}  // namespace
+}  // namespace mpx::program

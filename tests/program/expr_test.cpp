@@ -1,0 +1,83 @@
+#include "program/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpx::program {
+namespace {
+
+Value ev(const Expr& e, std::vector<Value> regs = {0, 0, 0, 0}) {
+  return e.eval(regs);
+}
+
+TEST(Expr, DefaultIsZero) { EXPECT_EQ(ev(Expr{}), 0); }
+
+TEST(Expr, ConstantsAndRegisters) {
+  EXPECT_EQ(ev(lit(42)), 42);
+  EXPECT_EQ(ev(lit(-7)), -7);
+  EXPECT_EQ(ev(reg(2), {1, 2, 3}), 3);
+}
+
+TEST(Expr, Arithmetic) {
+  EXPECT_EQ(ev(lit(2) + lit(3)), 5);
+  EXPECT_EQ(ev(lit(2) - lit(3)), -1);
+  EXPECT_EQ(ev(lit(4) * lit(5)), 20);
+  EXPECT_EQ(ev(lit(17) / lit(5)), 3);
+  EXPECT_EQ(ev(lit(17) % lit(5)), 2);
+  EXPECT_EQ(ev(-lit(9)), -9);
+}
+
+TEST(Expr, DivisionAndModByZeroAreTotal) {
+  EXPECT_EQ(ev(lit(5) / lit(0)), 0);
+  EXPECT_EQ(ev(lit(5) % lit(0)), 0);
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_EQ(ev(lit(1) == lit(1)), 1);
+  EXPECT_EQ(ev(lit(1) == lit(2)), 0);
+  EXPECT_EQ(ev(lit(1) != lit(2)), 1);
+  EXPECT_EQ(ev(lit(1) < lit(2)), 1);
+  EXPECT_EQ(ev(lit(2) <= lit(2)), 1);
+  EXPECT_EQ(ev(lit(3) > lit(2)), 1);
+  EXPECT_EQ(ev(lit(2) >= lit(3)), 0);
+}
+
+TEST(Expr, BooleanOps) {
+  EXPECT_EQ(ev(lit(1) && lit(2)), 1);
+  EXPECT_EQ(ev(lit(1) && lit(0)), 0);
+  EXPECT_EQ(ev(lit(0) || lit(3)), 1);
+  EXPECT_EQ(ev(lit(0) || lit(0)), 0);
+  EXPECT_EQ(ev(!lit(0)), 1);
+  EXPECT_EQ(ev(!lit(5)), 0);
+}
+
+TEST(Expr, NestedExpression) {
+  // (r0 + 1) * (r1 - 2)
+  const Expr e = (reg(0) + lit(1)) * (reg(1) - lit(2));
+  EXPECT_EQ(ev(e, {4, 10}), 40);
+}
+
+TEST(Expr, MaxRegister) {
+  EXPECT_EQ(lit(1).maxRegister(), -1);
+  EXPECT_EQ(reg(3).maxRegister(), 3);
+  EXPECT_EQ((reg(1) + reg(5) * lit(2)).maxRegister(), 5);
+}
+
+TEST(Expr, OutOfRangeRegisterThrows) {
+  std::vector<Value> regs{1};
+  EXPECT_THROW((void)reg(3).eval(regs), std::out_of_range);
+}
+
+TEST(Expr, ToString) {
+  EXPECT_EQ((reg(0) + lit(1)).toString(), "(r0 + 1)");
+  EXPECT_EQ((!reg(1)).toString(), "!r1");
+}
+
+TEST(Expr, SharedStructureIsCheapToCopy) {
+  const Expr a = reg(0) + lit(1);
+  const Expr b = a;  // shares nodes
+  EXPECT_EQ(ev(b, {4}), 5);
+  EXPECT_EQ(ev(a, {4}), 5);
+}
+
+}  // namespace
+}  // namespace mpx::program

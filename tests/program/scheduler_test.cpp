@@ -1,0 +1,170 @@
+// Schedulers and the Executor run loop.
+#include "program/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "program/program.hpp"
+
+namespace mpx::program {
+namespace {
+
+Program twoWriters() {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const VarId y = b.var("y", 0);
+  auto t1 = b.thread();
+  t1.write(x, lit(1)).write(x, lit(2));
+  auto t2 = b.thread();
+  t2.write(y, lit(1)).write(y, lit(2));
+  return b.build();
+}
+
+std::vector<ThreadId> threadOrder(const ExecutionRecord& rec) {
+  std::vector<ThreadId> out;
+  for (const auto& e : rec.events) out.push_back(e.thread);
+  return out;
+}
+
+TEST(GreedyScheduler, RunsLowestIdToCompletion) {
+  const Program p = twoWriters();
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  // t1's 2 writes + exit, then t2's.
+  EXPECT_EQ(threadOrder(rec), (std::vector<ThreadId>{0, 0, 0, 1, 1, 1}));
+  EXPECT_FALSE(rec.deadlocked);
+}
+
+TEST(FixedScheduler, FollowsScriptThenFallsBack) {
+  const Program p = twoWriters();
+  FixedScheduler sched({1, 0, 1});
+  const ExecutionRecord rec = runProgram(p, sched);
+  const auto order = threadOrder(rec);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 0u);  // fallback: lowest-id runnable
+}
+
+TEST(FixedScheduler, NonRunnableScriptEntryThrows) {
+  const Program p = twoWriters();
+  FixedScheduler sched({5});
+  Executor ex(p, sched);
+  EXPECT_THROW(ex.run(), std::logic_error);
+}
+
+TEST(RoundRobinScheduler, AlternatesWithQuantumOne) {
+  const Program p = twoWriters();
+  RoundRobinScheduler sched(1);
+  const ExecutionRecord rec = runProgram(p, sched);
+  const auto order = threadOrder(rec);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(RoundRobinScheduler, HonorsQuantum) {
+  const Program p = twoWriters();
+  RoundRobinScheduler sched(2);
+  const ExecutionRecord rec = runProgram(p, sched);
+  const auto order = threadOrder(rec);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(RandomScheduler, SameSeedSameExecution) {
+  const Program p = twoWriters();
+  const auto a = runProgramRandom(p, 99);
+  const auto b = runProgramRandom(p, 99);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]);
+  }
+}
+
+TEST(RandomScheduler, DifferentSeedsExploreDifferentOrders) {
+  const Program p = twoWriters();
+  bool sawDifference = false;
+  const auto base = threadOrder(runProgramRandom(p, 0));
+  for (std::uint64_t seed = 1; seed < 20 && !sawDifference; ++seed) {
+    sawDifference = threadOrder(runProgramRandom(p, seed)) != base;
+  }
+  EXPECT_TRUE(sawDifference);
+}
+
+TEST(Executor, RecordsFinalSharedState) {
+  const Program p = twoWriters();
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_EQ(rec.finalShared[p.vars.id("x")], 2);
+  EXPECT_EQ(rec.finalShared[p.vars.id("y")], 2);
+}
+
+TEST(Executor, RecordsLocksHeldPerEvent) {
+  ProgramBuilder b;
+  const VarId x = b.var("x", 0);
+  const LockId m = b.lock("m");
+  auto t = b.thread();
+  t.write(x, lit(1))
+      .lockAcquire(m)
+      .write(x, lit(2))
+      .lockRelease(m)
+      .write(x, lit(3));
+  const Program p = b.build();
+  GreedyScheduler sched;
+  const ExecutionRecord rec = runProgram(p, sched);
+  ASSERT_EQ(rec.events.size(), rec.locksHeld.size());
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    if (rec.events[i].kind == trace::EventKind::kWrite &&
+        rec.events[i].value == 2) {
+      EXPECT_EQ(rec.locksHeld[i], std::vector<LockId>{m});
+    }
+    if (rec.events[i].kind == trace::EventKind::kWrite &&
+        rec.events[i].value != 2) {
+      EXPECT_TRUE(rec.locksHeld[i].empty());
+    }
+  }
+}
+
+TEST(Executor, ListenerSeesEveryEventWithContext) {
+  const Program p = twoWriters();
+  GreedyScheduler sched;
+  Executor ex(p, sched);
+  std::size_t count = 0;
+  ex.setListener([&count](const trace::Event&, const Interpreter& in) {
+    ++count;
+    EXPECT_GE(in.eventCount(), count);
+  });
+  const ExecutionRecord rec = ex.run();
+  EXPECT_EQ(count, rec.events.size());
+}
+
+TEST(Executor, MaxStepsTruncates) {
+  const Program p = twoWriters();
+  GreedyScheduler sched;
+  Executor ex(p, sched);
+  const ExecutionRecord rec = ex.run(/*maxSteps=*/2);
+  EXPECT_EQ(rec.steps, 2u);
+  EXPECT_FALSE(ex.interpreter().allFinished());
+}
+
+TEST(Executor, DeadlockIsReported) {
+  // Two threads acquire two locks in opposite order; force the deadlock.
+  ProgramBuilder b;
+  const LockId a = b.lock("a");
+  const LockId c = b.lock("c");
+  auto t1 = b.thread();
+  t1.lockAcquire(a).lockAcquire(c).lockRelease(c).lockRelease(a);
+  auto t2 = b.thread();
+  t2.lockAcquire(c).lockAcquire(a).lockRelease(a).lockRelease(c);
+  const Program p = b.build();
+  FixedScheduler sched({0, 1});  // t1 takes a, t2 takes c -> deadlock
+  const ExecutionRecord rec = runProgram(p, sched);
+  EXPECT_TRUE(rec.deadlocked);
+  EXPECT_EQ(rec.deadlockedThreads, (std::vector<ThreadId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace mpx::program

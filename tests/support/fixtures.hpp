@@ -1,0 +1,56 @@
+// Shared test fixtures: canonical causality graphs for the paper's two
+// examples and generic program-to-observer plumbing.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/instrumentor.hpp"
+#include "observer/causality.hpp"
+#include "observer/global_state.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::testing {
+
+struct ObservedComputation {
+  program::Program prog;
+  program::ExecutionRecord rec;
+  observer::CausalityGraph graph;
+  observer::StateSpace space;
+};
+
+/// Runs `prog` under `sched`, instruments writes of `tracked`, and returns
+/// the finalized causality graph plus state space.
+inline ObservedComputation observe(program::Program prog,
+                                   program::Scheduler& sched,
+                                   const std::vector<std::string>& tracked) {
+  ObservedComputation out;
+  out.prog = std::move(prog);
+  program::Executor ex(out.prog, sched);
+  out.rec = ex.run();
+
+  std::unordered_set<VarId> ids;
+  for (const auto& name : tracked) ids.insert(out.prog.vars.id(name));
+  core::Instrumentor instr(core::RelevancePolicy::writesOf(ids), out.graph);
+  for (const auto& e : out.rec.events) instr.onEvent(e);
+  out.graph.finalize();
+  out.space = observer::StateSpace::byNames(out.prog.vars, tracked);
+  return out;
+}
+
+/// The paper's Example 1 (Fig. 5) computation, from the observed schedule.
+inline ObservedComputation landingComputation() {
+  program::FixedScheduler sched(program::corpus::landingObservedSchedule());
+  return observe(program::corpus::landingController(), sched,
+                 {"landing", "approved", "radio"});
+}
+
+/// The paper's Example 2 (Fig. 6) computation.
+inline ObservedComputation xyzComputation() {
+  program::FixedScheduler sched(program::corpus::xyzObservedSchedule());
+  return observe(program::corpus::xyzProgram(), sched, {"x", "y", "z"});
+}
+
+}  // namespace mpx::testing

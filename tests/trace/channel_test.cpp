@@ -1,0 +1,156 @@
+// Channels: delivery policies between the instrumented program and the
+// observer.  The key contract: every policy delivers exactly the pushed
+// multiset of messages (reordering only — Theorem 3 handles the rest).
+#include "trace/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mpx::trace {
+namespace {
+
+Message mk(ThreadId t, std::uint64_t k) {
+  Message m;
+  m.event.kind = EventKind::kWrite;
+  m.event.thread = t;
+  m.event.globalSeq = k;
+  m.clock.set(t, k);
+  return m;
+}
+
+std::vector<Message> pushAll(Channel& ch, std::size_t n) {
+  std::vector<Message> sent;
+  for (std::size_t i = 1; i <= n; ++i) {
+    sent.push_back(mk(0, i));
+    ch.onMessage(sent.back());
+  }
+  ch.close();
+  return sent;
+}
+
+std::vector<GlobalSeq> seqs(const std::vector<Message>& ms) {
+  std::vector<GlobalSeq> out;
+  for (const auto& m : ms) out.push_back(m.event.globalSeq);
+  return out;
+}
+
+TEST(FifoChannel, DeliversInOrderImmediately) {
+  CollectingSink sink;
+  FifoChannel ch(sink);
+  ch.onMessage(mk(0, 1));
+  EXPECT_EQ(sink.messages().size(), 1u);  // no buffering
+  ch.onMessage(mk(0, 2));
+  ch.close();
+  EXPECT_EQ(seqs(sink.messages()), (std::vector<GlobalSeq>{1, 2}));
+}
+
+TEST(ReverseChannel, DeliversReversedOnClose) {
+  CollectingSink sink;
+  ReverseChannel ch(sink);
+  pushAll(ch, 3);
+  EXPECT_EQ(seqs(sink.messages()), (std::vector<GlobalSeq>{3, 2, 1}));
+}
+
+TEST(ReverseChannel, NothingDeliveredBeforeClose) {
+  CollectingSink sink;
+  ReverseChannel ch(sink);
+  ch.onMessage(mk(0, 1));
+  EXPECT_TRUE(sink.messages().empty());
+}
+
+TEST(ShuffleChannel, DeliversPermutationOfInput) {
+  CollectingSink sink;
+  ShuffleChannel ch(sink, /*seed=*/7);
+  const std::vector<Message> sent = pushAll(ch, 20);
+  auto got = seqs(sink.messages());
+  auto want = seqs(sent);
+  ASSERT_EQ(got.size(), want.size());
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(ShuffleChannel, SameSeedSamePermutation) {
+  CollectingSink s1, s2;
+  ShuffleChannel c1(s1, 42), c2(s2, 42);
+  pushAll(c1, 10);
+  pushAll(c2, 10);
+  EXPECT_EQ(seqs(s1.messages()), seqs(s2.messages()));
+}
+
+TEST(ShuffleChannel, DifferentSeedsUsuallyDiffer) {
+  CollectingSink s1, s2;
+  ShuffleChannel c1(s1, 1), c2(s2, 2);
+  pushAll(c1, 20);
+  pushAll(c2, 20);
+  EXPECT_NE(seqs(s1.messages()), seqs(s2.messages()));
+}
+
+TEST(ShuffleChannel, CloseIsIdempotent) {
+  CollectingSink sink;
+  ShuffleChannel ch(sink, 3);
+  pushAll(ch, 5);
+  ch.close();
+  EXPECT_EQ(sink.messages().size(), 5u);
+}
+
+TEST(DelayChannel, DeliversEverything) {
+  CollectingSink sink;
+  DelayChannel ch(sink, 9, /*maxDelay=*/3);
+  const std::vector<Message> sent = pushAll(ch, 50);
+  auto got = seqs(sink.messages());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, seqs(sent));
+}
+
+TEST(DelayChannel, EarlyDeliveryIsBounded) {
+  // With maxDelay = d the channel holds at most d messages, so a message
+  // can overtake at most d predecessors: delivered position >= original - d.
+  const std::size_t d = 4;
+  CollectingSink sink;
+  DelayChannel ch(sink, 123, d);
+  pushAll(ch, 100);
+  const auto got = seqs(sink.messages());
+  bool anyReordering = false;
+  for (std::size_t pos = 0; pos < got.size(); ++pos) {
+    const std::size_t original = static_cast<std::size_t>(got[pos]) - 1;
+    EXPECT_GE(pos + d, original)
+        << "message " << got[pos] << " delivered too early";
+    if (pos != original) anyReordering = true;
+  }
+  EXPECT_TRUE(anyReordering) << "delay channel never reordered anything";
+}
+
+TEST(FunctionSink, ForwardsToLambda) {
+  std::size_t count = 0;
+  FunctionSink sink([&count](const Message&) { ++count; });
+  sink.onMessage(mk(0, 1));
+  sink.onMessage(mk(0, 2));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(CollectingSink, TakeMovesOut) {
+  CollectingSink sink;
+  sink.onMessage(mk(0, 1));
+  const auto taken = sink.take();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(sink.messages().empty());
+}
+
+TEST(MakeChannel, FactoryProducesEachPolicy) {
+  CollectingSink sink;
+  for (const DeliveryPolicy p :
+       {DeliveryPolicy::kFifo, DeliveryPolicy::kShuffle,
+        DeliveryPolicy::kBoundedDelay, DeliveryPolicy::kReverse}) {
+    sink.clear();
+    auto ch = makeChannel(p, sink, /*seed=*/5, /*maxDelay=*/2);
+    ch->onMessage(mk(0, 1));
+    ch->onMessage(mk(0, 2));
+    ch->close();
+    EXPECT_EQ(sink.messages().size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace mpx::trace

@@ -1,0 +1,132 @@
+// Wire codec round-trips and corruption handling.
+#include "trace/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace mpx::trace {
+namespace {
+
+Message randomMessage(std::mt19937_64& rng) {
+  Message m;
+  m.event.kind = static_cast<EventKind>(rng() % 9);
+  m.event.thread = static_cast<ThreadId>(rng() % 8);
+  m.event.var = static_cast<VarId>(rng() % 16);
+  m.event.value = static_cast<Value>(rng()) - static_cast<Value>(rng());
+  m.event.localSeq = rng() % 1000;
+  m.event.globalSeq = rng() % 100000;
+  const std::size_t n = rng() % 6;
+  for (std::size_t j = 0; j < n; ++j) {
+    m.clock.set(static_cast<ThreadId>(j), rng() % 50);
+  }
+  return m;
+}
+
+class BinaryCodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryCodecRoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<Message> sent;
+  for (int i = 0; i < 50; ++i) sent.push_back(randomMessage(rng));
+  const auto bytes = BinaryCodec::encodeAll(sent);
+  const auto got = BinaryCodec::decodeAll(bytes);
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].event, sent[i].event);
+    EXPECT_EQ(got[i].clock, sent[i].clock);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryCodecRoundTrip,
+                         ::testing::Values(11, 22, 33));
+
+TEST(BinaryCodec, TruncatedInputThrows) {
+  std::mt19937_64 rng(5);
+  std::vector<std::uint8_t> bytes;
+  BinaryCodec::encode(randomMessage(rng), bytes);
+  bytes.pop_back();
+  EXPECT_THROW(BinaryCodec::decodeAll(bytes), std::runtime_error);
+}
+
+TEST(BinaryCodec, CorruptKindThrows) {
+  std::mt19937_64 rng(6);
+  std::vector<std::uint8_t> bytes;
+  BinaryCodec::encode(randomMessage(rng), bytes);
+  bytes[0] = 0xff;
+  std::size_t offset = 0;
+  EXPECT_THROW(BinaryCodec::decode(bytes, offset), std::runtime_error);
+}
+
+TEST(BinaryCodec, EmptyInputDecodesToNothing) {
+  EXPECT_TRUE(BinaryCodec::decodeAll({}).empty());
+}
+
+class TextCodecTest : public ::testing::Test {
+ protected:
+  TextCodecTest() {
+    x_ = vars_.intern("x", -1);
+    landing_ = vars_.intern("landing", 0);
+  }
+  VarTable vars_;
+  VarId x_ = 0;
+  VarId landing_ = 0;
+};
+
+TEST_F(TextCodecTest, FormatsPaperNotation) {
+  Message m;
+  m.event.kind = EventKind::kWrite;
+  m.event.thread = 1;  // T2 in 1-based paper notation
+  m.event.var = x_;
+  m.event.value = 1;
+  m.clock = vc::VectorClock{1, 2};
+  const TextCodec codec(vars_);
+  EXPECT_EQ(codec.format(m), "<x=1, T2, (1,2)>");
+}
+
+TEST_F(TextCodecTest, ParsesItsOwnOutput) {
+  Message m;
+  m.event.kind = EventKind::kWrite;
+  m.event.thread = 0;
+  m.event.var = landing_;
+  m.event.value = 1;
+  m.event.localSeq = 2;
+  m.clock = vc::VectorClock{2, 0};
+  const TextCodec codec(vars_);
+  const Message back = codec.parse(codec.format(m));
+  EXPECT_EQ(back.event.kind, EventKind::kWrite);
+  EXPECT_EQ(back.event.thread, m.event.thread);
+  EXPECT_EQ(back.event.var, m.event.var);
+  EXPECT_EQ(back.event.value, m.event.value);
+  EXPECT_EQ(back.clock, m.clock);
+}
+
+TEST_F(TextCodecTest, ParseRejectsGarbage) {
+  const TextCodec codec(vars_);
+  EXPECT_THROW(codec.parse("not a message"), std::runtime_error);
+  EXPECT_THROW(codec.parse("<x=1>"), std::runtime_error);
+}
+
+TEST(TraceLog, SaveLoadRoundTrip) {
+  std::mt19937_64 rng(77);
+  TraceLog log;
+  for (int i = 0; i < 20; ++i) log.append(randomMessage(rng));
+  std::stringstream ss;
+  log.saveBinary(ss);
+  const TraceLog back = TraceLog::loadBinary(ss);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(back.messages()[i].event, log.messages()[i].event);
+    EXPECT_EQ(back.messages()[i].clock, log.messages()[i].clock);
+  }
+}
+
+TEST(TraceLog, LoadTruncatedThrows) {
+  std::stringstream ss;
+  ss << "abc";
+  EXPECT_THROW(TraceLog::loadBinary(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpx::trace

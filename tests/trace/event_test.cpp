@@ -1,0 +1,111 @@
+// Event kinds, write-likeness (§3.1 mapping), and Theorem-3 message
+// comparisons.
+#include "trace/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mpx::trace {
+namespace {
+
+TEST(EventKind, WriteLikeCoversSynchronizationEvents) {
+  // Paper §3.1: lock operations, notify/wait-resume and thread start/exit
+  // are writes of shared (dummy) variables.
+  EXPECT_TRUE(isWriteLike(EventKind::kWrite));
+  EXPECT_TRUE(isWriteLike(EventKind::kLockAcquire));
+  EXPECT_TRUE(isWriteLike(EventKind::kLockRelease));
+  EXPECT_TRUE(isWriteLike(EventKind::kNotify));
+  EXPECT_TRUE(isWriteLike(EventKind::kWaitResume));
+  EXPECT_TRUE(isWriteLike(EventKind::kThreadStart));
+  EXPECT_TRUE(isWriteLike(EventKind::kThreadExit));
+  EXPECT_FALSE(isWriteLike(EventKind::kRead));
+  EXPECT_FALSE(isWriteLike(EventKind::kInternal));
+}
+
+TEST(EventKind, SharedAccessIsReadOrWriteLike) {
+  EXPECT_TRUE(isSharedAccess(EventKind::kRead));
+  EXPECT_TRUE(isSharedAccess(EventKind::kWrite));
+  EXPECT_FALSE(isSharedAccess(EventKind::kInternal));
+}
+
+TEST(EventKind, ToStringIsTotal) {
+  EXPECT_STREQ(toString(EventKind::kInternal), "internal");
+  EXPECT_STREQ(toString(EventKind::kRead), "read");
+  EXPECT_STREQ(toString(EventKind::kWrite), "write");
+  EXPECT_STREQ(toString(EventKind::kLockAcquire), "lock");
+  EXPECT_STREQ(toString(EventKind::kWaitResume), "wait-resume");
+}
+
+Message msg(ThreadId t, std::initializer_list<std::uint64_t> clock) {
+  Message m;
+  m.event.kind = EventKind::kWrite;
+  m.event.thread = t;
+  m.clock = vc::VectorClock(clock);
+  return m;
+}
+
+TEST(Message, CausallyPrecedesAcrossThreads) {
+  // Theorem 3: e ⊳ e' iff V[i] <= V'[i], i the thread of e.
+  const Message a = msg(0, {1, 0});
+  const Message b = msg(1, {1, 1});  // saw a
+  EXPECT_TRUE(a.causallyPrecedes(b));
+  EXPECT_FALSE(b.causallyPrecedes(a));
+  EXPECT_FALSE(a.concurrentWith(b));
+}
+
+TEST(Message, ConcurrentMessages) {
+  const Message a = msg(0, {1, 0});
+  const Message b = msg(1, {0, 1});
+  EXPECT_FALSE(a.causallyPrecedes(b));
+  EXPECT_FALSE(b.causallyPrecedes(a));
+  EXPECT_TRUE(a.concurrentWith(b));
+}
+
+TEST(Message, SameThreadOrderedByOwnComponent) {
+  const Message a = msg(0, {1, 0});
+  const Message b = msg(0, {2, 3});
+  EXPECT_TRUE(a.causallyPrecedes(b));
+  EXPECT_FALSE(b.causallyPrecedes(a));
+}
+
+TEST(Message, NotSelfPreceding) {
+  const Message a = msg(0, {1, 0});
+  EXPECT_FALSE(a.causallyPrecedes(a));
+}
+
+TEST(Message, TheoremThreeSecondForm) {
+  // e ⊳ e' also iff V < V' for emitted messages.
+  const Message a = msg(0, {1, 0});
+  const Message b = msg(1, {1, 1});
+  EXPECT_TRUE(a.clock.less(b.clock));
+  const Message c = msg(1, {0, 1});
+  EXPECT_FALSE(a.clock.less(c.clock));
+  EXPECT_FALSE(c.clock.less(a.clock));
+}
+
+TEST(Event, StreamRendering) {
+  Event e;
+  e.kind = EventKind::kWrite;
+  e.thread = 1;
+  e.var = 2;
+  e.value = 7;
+  e.localSeq = 3;
+  std::ostringstream os;
+  os << e;
+  EXPECT_EQ(os.str(), "write[T1, v2=7, k=3]");
+}
+
+TEST(Event, EqualityIsStructural) {
+  Event a;
+  a.kind = EventKind::kRead;
+  a.thread = 0;
+  a.var = 1;
+  Event b = a;
+  EXPECT_EQ(a, b);
+  b.value = 9;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mpx::trace

@@ -1,0 +1,73 @@
+#include "trace/var_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpx::trace {
+namespace {
+
+TEST(VarTable, InternAssignsDenseIds) {
+  VarTable t;
+  EXPECT_EQ(t.intern("x", 1), 0u);
+  EXPECT_EQ(t.intern("y", 2), 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(VarTable, InternIsIdempotent) {
+  VarTable t;
+  const VarId x = t.intern("x", 5);
+  EXPECT_EQ(t.intern("x", 5), x);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(VarTable, ReinternWithDifferentInitialThrows) {
+  VarTable t;
+  t.intern("x", 5);
+  EXPECT_THROW(t.intern("x", 6), std::invalid_argument);
+}
+
+TEST(VarTable, ReinternWithDifferentRoleThrows) {
+  VarTable t;
+  t.intern("x", 0, VarRole::kData);
+  EXPECT_THROW(t.intern("x", 0, VarRole::kLock), std::invalid_argument);
+}
+
+TEST(VarTable, LookupByName) {
+  VarTable t;
+  const VarId x = t.intern("x", -1);
+  EXPECT_EQ(t.id("x"), x);
+  EXPECT_EQ(t.name(x), "x");
+  EXPECT_EQ(t.initial(x), -1);
+  EXPECT_THROW((void)t.id("zzz"), std::out_of_range);
+  EXPECT_FALSE(t.tryId("zzz").has_value());
+  EXPECT_EQ(t.tryId("x"), x);
+}
+
+TEST(VarTable, UnknownIdThrows) {
+  const VarTable t;
+  EXPECT_THROW((void)t.name(0), std::out_of_range);
+}
+
+TEST(VarTable, RolesAndFiltering) {
+  VarTable t;
+  const VarId x = t.intern("x", 0, VarRole::kData);
+  const VarId l = t.intern("__lock_m", 0, VarRole::kLock);
+  const VarId c = t.intern("__cond_c", 0, VarRole::kCondition);
+  EXPECT_TRUE(t.isData(x));
+  EXPECT_FALSE(t.isData(l));
+  EXPECT_FALSE(t.isData(c));
+  EXPECT_EQ(t.idsWithRole(VarRole::kData), std::vector<VarId>{x});
+  EXPECT_EQ(t.idsWithRole(VarRole::kLock), std::vector<VarId>{l});
+}
+
+TEST(VarTable, InitialValuationByVarId) {
+  VarTable t;
+  t.intern("a", 10);
+  t.intern("b", -3);
+  const std::vector<Value> init = t.initialValuation();
+  ASSERT_EQ(init.size(), 2u);
+  EXPECT_EQ(init[0], 10);
+  EXPECT_EQ(init[1], -3);
+}
+
+}  // namespace
+}  // namespace mpx::trace

@@ -1,0 +1,208 @@
+// Unit and property tests for the MVC data structure.
+#include "vc/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mpx::vc {
+namespace {
+
+TEST(VectorClock, DefaultIsZeroAndEmpty) {
+  const VectorClock v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(v.sum(), 0u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[100], 0u);
+}
+
+TEST(VectorClock, SizedConstructorZeroInitializes) {
+  const VectorClock v(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.isZero());
+}
+
+TEST(VectorClock, InitializerListAndIndexing) {
+  const VectorClock v{3, 0, 7};
+  EXPECT_EQ(v[0], 3u);
+  EXPECT_EQ(v[1], 0u);
+  EXPECT_EQ(v[2], 7u);
+  EXPECT_EQ(v[3], 0u);  // beyond stored size reads 0
+  EXPECT_EQ(v.sum(), 10u);
+}
+
+TEST(VectorClock, SetGrowsOnDemand) {
+  VectorClock v;
+  v.set(2, 5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 5u);
+  EXPECT_EQ(v[0], 0u);
+}
+
+TEST(VectorClock, SettingZeroBeyondSizeIsNoop) {
+  VectorClock v;
+  v.set(10, 0);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(VectorClock, IncrementReturnsNewValueAndGrows) {
+  VectorClock v;
+  EXPECT_EQ(v.increment(1), 1u);
+  EXPECT_EQ(v.increment(1), 2u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VectorClock, JoinTakesComponentwiseMax) {
+  const VectorClock a{3, 1, 0};
+  const VectorClock b{1, 4};
+  const VectorClock j = VectorClock::join(a, b);
+  EXPECT_EQ(j[0], 3u);
+  EXPECT_EQ(j[1], 4u);
+  EXPECT_EQ(j[2], 0u);
+}
+
+TEST(VectorClock, JoinWithGrowsReceiver) {
+  VectorClock a{1};
+  const VectorClock b{0, 0, 9};
+  a.joinWith(b);
+  EXPECT_EQ(a[2], 9u);
+  EXPECT_EQ(a[0], 1u);
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock a{1, 2};
+  VectorClock b{1, 2, 0, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(VectorClock, LessEqAndLess) {
+  const VectorClock a{1, 2};
+  const VectorClock b{1, 3};
+  EXPECT_TRUE(a.lessEq(b));
+  EXPECT_TRUE(a.less(b));
+  EXPECT_FALSE(b.lessEq(a));
+  EXPECT_TRUE(a.lessEq(a));
+  EXPECT_FALSE(a.less(a));
+}
+
+TEST(VectorClock, CompareAllOutcomes) {
+  const VectorClock a{1, 2};
+  EXPECT_EQ(a.compare(VectorClock{1, 2}), Ordering::kEqual);
+  EXPECT_EQ(a.compare(VectorClock{2, 2}), Ordering::kLess);
+  EXPECT_EQ(a.compare(VectorClock{0, 2}), Ordering::kGreater);
+  EXPECT_EQ(a.compare(VectorClock{2, 1}), Ordering::kConcurrent);
+}
+
+TEST(VectorClock, ConcurrentWith) {
+  const VectorClock a{1, 0};
+  const VectorClock b{0, 1};
+  EXPECT_TRUE(a.concurrentWith(b));
+  EXPECT_TRUE(b.concurrentWith(a));
+  EXPECT_FALSE(a.concurrentWith(a));
+}
+
+TEST(VectorClock, CompareWithDifferentSizes) {
+  const VectorClock a{1};
+  const VectorClock b{1, 1};
+  EXPECT_EQ(a.compare(b), Ordering::kLess);
+  EXPECT_EQ(b.compare(a), Ordering::kGreater);
+}
+
+TEST(VectorClock, ClearKeepsSizeZerosValues) {
+  VectorClock v{4, 5};
+  v.clear();
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VectorClock, NormalizeDropsTrailingZeros) {
+  VectorClock v{1, 0, 0};
+  v.normalize();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v, (VectorClock{1}));
+}
+
+TEST(VectorClock, ToStringFormat) {
+  EXPECT_EQ((VectorClock{1, 2}).toString(), "(1,2)");
+  EXPECT_EQ(VectorClock().toString(), "()");
+}
+
+TEST(VectorClock, HashDiffersForDifferentClocks) {
+  // Not guaranteed in theory, but catastrophic if these trivially collide.
+  EXPECT_NE((VectorClock{1, 0}).hash(), (VectorClock{0, 1}).hash());
+  EXPECT_NE((VectorClock{1}).hash(), (VectorClock{2}).hash());
+}
+
+// ------------------------------------------------------------------
+// Property sweeps: the partial order laws on random clocks.
+// ------------------------------------------------------------------
+
+class VectorClockProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  VectorClock randomClock(std::mt19937_64& rng, std::size_t n) {
+    VectorClock v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.set(static_cast<ThreadId>(i), rng() % 4);
+    }
+    return v;
+  }
+};
+
+TEST_P(VectorClockProperty, CompareIsConsistentWithLessEq) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = randomClock(rng, 1 + rng() % 5);
+    const VectorClock b = randomClock(rng, 1 + rng() % 5);
+    const Ordering ord = a.compare(b);
+    EXPECT_EQ(ord == Ordering::kEqual, a == b);
+    EXPECT_EQ(ord == Ordering::kLess, a.less(b));
+    EXPECT_EQ(ord == Ordering::kGreater, b.less(a));
+    EXPECT_EQ(ord == Ordering::kConcurrent,
+              !a.lessEq(b) && !b.lessEq(a));
+  }
+}
+
+TEST_P(VectorClockProperty, JoinIsLeastUpperBound) {
+  std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = randomClock(rng, 1 + rng() % 5);
+    const VectorClock b = randomClock(rng, 1 + rng() % 5);
+    const VectorClock j = VectorClock::join(a, b);
+    EXPECT_TRUE(a.lessEq(j));
+    EXPECT_TRUE(b.lessEq(j));
+    // Least: any upper bound dominates the join.
+    VectorClock ub = j;
+    ub.set(0, ub[0] + 1);
+    EXPECT_TRUE(j.lessEq(ub));
+    // Join is idempotent, commutative, associative.
+    EXPECT_EQ(VectorClock::join(a, a), a);
+    EXPECT_EQ(VectorClock::join(a, b), VectorClock::join(b, a));
+    const VectorClock c = randomClock(rng, 1 + rng() % 5);
+    EXPECT_EQ(VectorClock::join(VectorClock::join(a, b), c),
+              VectorClock::join(a, VectorClock::join(b, c)));
+  }
+}
+
+TEST_P(VectorClockProperty, OrderIsTransitiveAndAntisymmetric) {
+  std::mt19937_64 rng(GetParam() ^ 0x1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = randomClock(rng, 3);
+    const VectorClock b = randomClock(rng, 3);
+    const VectorClock c = randomClock(rng, 3);
+    if (a.lessEq(b) && b.lessEq(c)) {
+      EXPECT_TRUE(a.lessEq(c));
+    }
+    if (a.lessEq(b) && b.lessEq(a)) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace mpx::vc
