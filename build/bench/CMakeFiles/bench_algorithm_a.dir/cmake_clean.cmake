@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm_a.dir/bench_algorithm_a.cpp.o"
+  "CMakeFiles/bench_algorithm_a.dir/bench_algorithm_a.cpp.o.d"
+  "bench_algorithm_a"
+  "bench_algorithm_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_codec.dir/bench_channel_codec.cpp.o"
+  "CMakeFiles/bench_channel_codec.dir/bench_channel_codec.cpp.o.d"
+  "bench_channel_codec"
+  "bench_channel_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

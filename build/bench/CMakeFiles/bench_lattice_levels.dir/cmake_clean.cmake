@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lattice_levels.dir/bench_lattice_levels.cpp.o"
+  "CMakeFiles/bench_lattice_levels.dir/bench_lattice_levels.cpp.o.d"
+  "bench_lattice_levels"
+  "bench_lattice_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lattice_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lattice_vs_enumeration.dir/bench_lattice_vs_enumeration.cpp.o"
+  "CMakeFiles/bench_lattice_vs_enumeration.dir/bench_lattice_vs_enumeration.cpp.o.d"
+  "bench_lattice_vs_enumeration"
+  "bench_lattice_vs_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lattice_vs_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction_power.dir/bench_prediction_power.cpp.o"
+  "CMakeFiles/bench_prediction_power.dir/bench_prediction_power.cpp.o.d"
+  "bench_prediction_power"
+  "bench_prediction_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landing_controller.dir/landing_controller.cpp.o"
+  "CMakeFiles/landing_controller.dir/landing_controller.cpp.o.d"
+  "landing_controller"
+  "landing_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landing_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_lasso.dir/liveness_lasso.cpp.o"
+  "CMakeFiles/liveness_lasso.dir/liveness_lasso.cpp.o.d"
+  "liveness_lasso"
+  "liveness_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

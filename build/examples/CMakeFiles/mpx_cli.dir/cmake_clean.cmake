@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_cli.dir/mpx_cli.cpp.o"
+  "CMakeFiles/mpx_cli.dir/mpx_cli.cpp.o.d"
+  "mpx_cli"
+  "mpx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xyz_safety.dir/xyz_safety.cpp.o"
+  "CMakeFiles/xyz_safety.dir/xyz_safety.cpp.o.d"
+  "xyz_safety"
+  "xyz_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xyz_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

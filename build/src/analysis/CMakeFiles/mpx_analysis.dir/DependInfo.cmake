@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/campaign.cpp" "src/analysis/CMakeFiles/mpx_analysis.dir/campaign.cpp.o" "gcc" "src/analysis/CMakeFiles/mpx_analysis.dir/campaign.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/mpx_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/mpx_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/predictive_analyzer.cpp" "src/analysis/CMakeFiles/mpx_analysis.dir/predictive_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/mpx_analysis.dir/predictive_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/mpx_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/mpx_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mpx_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mpx_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/mpx_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_analysis.dir/campaign.cpp.o"
+  "CMakeFiles/mpx_analysis.dir/campaign.cpp.o.d"
+  "CMakeFiles/mpx_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/mpx_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/mpx_analysis.dir/predictive_analyzer.cpp.o"
+  "CMakeFiles/mpx_analysis.dir/predictive_analyzer.cpp.o.d"
+  "CMakeFiles/mpx_analysis.dir/report.cpp.o"
+  "CMakeFiles/mpx_analysis.dir/report.cpp.o.d"
+  "libmpx_analysis.a"
+  "libmpx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

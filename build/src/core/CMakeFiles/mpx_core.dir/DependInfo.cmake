@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instrumentor.cpp" "src/core/CMakeFiles/mpx_core.dir/instrumentor.cpp.o" "gcc" "src/core/CMakeFiles/mpx_core.dir/instrumentor.cpp.o.d"
+  "/root/repo/src/core/lamport.cpp" "src/core/CMakeFiles/mpx_core.dir/lamport.cpp.o" "gcc" "src/core/CMakeFiles/mpx_core.dir/lamport.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/mpx_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/mpx_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/relevance.cpp" "src/core/CMakeFiles/mpx_core.dir/relevance.cpp.o" "gcc" "src/core/CMakeFiles/mpx_core.dir/relevance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_core.dir/instrumentor.cpp.o"
+  "CMakeFiles/mpx_core.dir/instrumentor.cpp.o.d"
+  "CMakeFiles/mpx_core.dir/lamport.cpp.o"
+  "CMakeFiles/mpx_core.dir/lamport.cpp.o.d"
+  "CMakeFiles/mpx_core.dir/reference.cpp.o"
+  "CMakeFiles/mpx_core.dir/reference.cpp.o.d"
+  "CMakeFiles/mpx_core.dir/relevance.cpp.o"
+  "CMakeFiles/mpx_core.dir/relevance.cpp.o.d"
+  "libmpx_core.a"
+  "libmpx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_detect.dir/deadlock_detector.cpp.o"
+  "CMakeFiles/mpx_detect.dir/deadlock_detector.cpp.o.d"
+  "CMakeFiles/mpx_detect.dir/race_detector.cpp.o"
+  "CMakeFiles/mpx_detect.dir/race_detector.cpp.o.d"
+  "libmpx_detect.a"
+  "libmpx_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

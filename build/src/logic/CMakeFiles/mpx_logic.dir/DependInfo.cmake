@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/fsm.cpp" "src/logic/CMakeFiles/mpx_logic.dir/fsm.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/fsm.cpp.o.d"
+  "/root/repo/src/logic/lasso.cpp" "src/logic/CMakeFiles/mpx_logic.dir/lasso.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/lasso.cpp.o.d"
+  "/root/repo/src/logic/monitor.cpp" "src/logic/CMakeFiles/mpx_logic.dir/monitor.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/monitor.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/logic/CMakeFiles/mpx_logic.dir/parser.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/parser.cpp.o.d"
+  "/root/repo/src/logic/product_monitor.cpp" "src/logic/CMakeFiles/mpx_logic.dir/product_monitor.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/product_monitor.cpp.o.d"
+  "/root/repo/src/logic/ptltl.cpp" "src/logic/CMakeFiles/mpx_logic.dir/ptltl.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/ptltl.cpp.o.d"
+  "/root/repo/src/logic/state_expr.cpp" "src/logic/CMakeFiles/mpx_logic.dir/state_expr.cpp.o" "gcc" "src/logic/CMakeFiles/mpx_logic.dir/state_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

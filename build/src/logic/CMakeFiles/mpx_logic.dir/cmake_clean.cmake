@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_logic.dir/fsm.cpp.o"
+  "CMakeFiles/mpx_logic.dir/fsm.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/lasso.cpp.o"
+  "CMakeFiles/mpx_logic.dir/lasso.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/monitor.cpp.o"
+  "CMakeFiles/mpx_logic.dir/monitor.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/parser.cpp.o"
+  "CMakeFiles/mpx_logic.dir/parser.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/product_monitor.cpp.o"
+  "CMakeFiles/mpx_logic.dir/product_monitor.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/ptltl.cpp.o"
+  "CMakeFiles/mpx_logic.dir/ptltl.cpp.o.d"
+  "CMakeFiles/mpx_logic.dir/state_expr.cpp.o"
+  "CMakeFiles/mpx_logic.dir/state_expr.cpp.o.d"
+  "libmpx_logic.a"
+  "libmpx_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

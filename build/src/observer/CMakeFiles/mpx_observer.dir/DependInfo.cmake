@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/observer/causality.cpp" "src/observer/CMakeFiles/mpx_observer.dir/causality.cpp.o" "gcc" "src/observer/CMakeFiles/mpx_observer.dir/causality.cpp.o.d"
+  "/root/repo/src/observer/global_state.cpp" "src/observer/CMakeFiles/mpx_observer.dir/global_state.cpp.o" "gcc" "src/observer/CMakeFiles/mpx_observer.dir/global_state.cpp.o.d"
+  "/root/repo/src/observer/lattice.cpp" "src/observer/CMakeFiles/mpx_observer.dir/lattice.cpp.o" "gcc" "src/observer/CMakeFiles/mpx_observer.dir/lattice.cpp.o.d"
+  "/root/repo/src/observer/online.cpp" "src/observer/CMakeFiles/mpx_observer.dir/online.cpp.o" "gcc" "src/observer/CMakeFiles/mpx_observer.dir/online.cpp.o.d"
+  "/root/repo/src/observer/run_enumerator.cpp" "src/observer/CMakeFiles/mpx_observer.dir/run_enumerator.cpp.o" "gcc" "src/observer/CMakeFiles/mpx_observer.dir/run_enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_observer.dir/causality.cpp.o"
+  "CMakeFiles/mpx_observer.dir/causality.cpp.o.d"
+  "CMakeFiles/mpx_observer.dir/global_state.cpp.o"
+  "CMakeFiles/mpx_observer.dir/global_state.cpp.o.d"
+  "CMakeFiles/mpx_observer.dir/lattice.cpp.o"
+  "CMakeFiles/mpx_observer.dir/lattice.cpp.o.d"
+  "CMakeFiles/mpx_observer.dir/online.cpp.o"
+  "CMakeFiles/mpx_observer.dir/online.cpp.o.d"
+  "CMakeFiles/mpx_observer.dir/run_enumerator.cpp.o"
+  "CMakeFiles/mpx_observer.dir/run_enumerator.cpp.o.d"
+  "libmpx_observer.a"
+  "libmpx_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/corpus.cpp" "src/program/CMakeFiles/mpx_program.dir/corpus.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/corpus.cpp.o.d"
+  "/root/repo/src/program/explorer.cpp" "src/program/CMakeFiles/mpx_program.dir/explorer.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/explorer.cpp.o.d"
+  "/root/repo/src/program/expr.cpp" "src/program/CMakeFiles/mpx_program.dir/expr.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/expr.cpp.o.d"
+  "/root/repo/src/program/interpreter.cpp" "src/program/CMakeFiles/mpx_program.dir/interpreter.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/interpreter.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/program/CMakeFiles/mpx_program.dir/program.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/program.cpp.o.d"
+  "/root/repo/src/program/scheduler.cpp" "src/program/CMakeFiles/mpx_program.dir/scheduler.cpp.o" "gcc" "src/program/CMakeFiles/mpx_program.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

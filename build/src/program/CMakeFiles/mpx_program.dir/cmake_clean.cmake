@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_program.dir/corpus.cpp.o"
+  "CMakeFiles/mpx_program.dir/corpus.cpp.o.d"
+  "CMakeFiles/mpx_program.dir/explorer.cpp.o"
+  "CMakeFiles/mpx_program.dir/explorer.cpp.o.d"
+  "CMakeFiles/mpx_program.dir/expr.cpp.o"
+  "CMakeFiles/mpx_program.dir/expr.cpp.o.d"
+  "CMakeFiles/mpx_program.dir/interpreter.cpp.o"
+  "CMakeFiles/mpx_program.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mpx_program.dir/program.cpp.o"
+  "CMakeFiles/mpx_program.dir/program.cpp.o.d"
+  "CMakeFiles/mpx_program.dir/scheduler.cpp.o"
+  "CMakeFiles/mpx_program.dir/scheduler.cpp.o.d"
+  "libmpx_program.a"
+  "libmpx_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

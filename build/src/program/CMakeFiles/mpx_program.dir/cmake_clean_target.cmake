@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpx_program.a"
+)

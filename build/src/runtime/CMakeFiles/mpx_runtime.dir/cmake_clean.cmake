@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/mpx_runtime.dir/runtime.cpp.o.d"
+  "libmpx_runtime.a"
+  "libmpx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/channel.cpp" "src/trace/CMakeFiles/mpx_trace.dir/channel.cpp.o" "gcc" "src/trace/CMakeFiles/mpx_trace.dir/channel.cpp.o.d"
+  "/root/repo/src/trace/codec.cpp" "src/trace/CMakeFiles/mpx_trace.dir/codec.cpp.o" "gcc" "src/trace/CMakeFiles/mpx_trace.dir/codec.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/mpx_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/mpx_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/var_table.cpp" "src/trace/CMakeFiles/mpx_trace.dir/var_table.cpp.o" "gcc" "src/trace/CMakeFiles/mpx_trace.dir/var_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

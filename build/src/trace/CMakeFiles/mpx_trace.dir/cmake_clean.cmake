@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_trace.dir/channel.cpp.o"
+  "CMakeFiles/mpx_trace.dir/channel.cpp.o.d"
+  "CMakeFiles/mpx_trace.dir/codec.cpp.o"
+  "CMakeFiles/mpx_trace.dir/codec.cpp.o.d"
+  "CMakeFiles/mpx_trace.dir/event.cpp.o"
+  "CMakeFiles/mpx_trace.dir/event.cpp.o.d"
+  "CMakeFiles/mpx_trace.dir/var_table.cpp.o"
+  "CMakeFiles/mpx_trace.dir/var_table.cpp.o.d"
+  "libmpx_trace.a"
+  "libmpx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_vc.dir/vector_clock.cpp.o"
+  "CMakeFiles/mpx_vc.dir/vector_clock.cpp.o.d"
+  "libmpx_vc.a"
+  "libmpx_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/campaign_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/campaign_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/analysis/differential_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/differential_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/analysis/edge_cases_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/analysis/landing_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/landing_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/landing_test.cpp.o.d"
+  "/root/repo/tests/analysis/liveness_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/liveness_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/liveness_test.cpp.o.d"
+  "/root/repo/tests/analysis/peterson_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/peterson_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/peterson_test.cpp.o.d"
+  "/root/repo/tests/analysis/pipeline_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/pipeline_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/analysis/prediction_soundness_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/prediction_soundness_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/prediction_soundness_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/report_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/xyz_test.cpp" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/xyz_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/mpx_analysis_tests.dir/xyz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mpx_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mpx_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/mpx_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_analysis_tests.dir/campaign_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/campaign_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/differential_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/differential_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/edge_cases_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/edge_cases_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/landing_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/landing_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/liveness_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/liveness_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/peterson_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/peterson_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/prediction_soundness_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/prediction_soundness_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/report_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/report_test.cpp.o.d"
+  "CMakeFiles/mpx_analysis_tests.dir/xyz_test.cpp.o"
+  "CMakeFiles/mpx_analysis_tests.dir/xyz_test.cpp.o.d"
+  "mpx_analysis_tests"
+  "mpx_analysis_tests.pdb"
+  "mpx_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

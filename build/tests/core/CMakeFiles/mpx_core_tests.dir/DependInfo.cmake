@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/distributed_interpretation_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/distributed_interpretation_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/distributed_interpretation_test.cpp.o.d"
+  "/root/repo/tests/core/instrumentor_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/instrumentor_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/instrumentor_test.cpp.o.d"
+  "/root/repo/tests/core/lamport_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/lamport_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/lamport_test.cpp.o.d"
+  "/root/repo/tests/core/reference_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/reference_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/reference_test.cpp.o.d"
+  "/root/repo/tests/core/requirements_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/requirements_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/requirements_test.cpp.o.d"
+  "/root/repo/tests/core/theorem3_test.cpp" "tests/core/CMakeFiles/mpx_core_tests.dir/theorem3_test.cpp.o" "gcc" "tests/core/CMakeFiles/mpx_core_tests.dir/theorem3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mpx_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mpx_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/mpx_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_core_tests.dir/distributed_interpretation_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/distributed_interpretation_test.cpp.o.d"
+  "CMakeFiles/mpx_core_tests.dir/instrumentor_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/instrumentor_test.cpp.o.d"
+  "CMakeFiles/mpx_core_tests.dir/lamport_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/lamport_test.cpp.o.d"
+  "CMakeFiles/mpx_core_tests.dir/reference_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/reference_test.cpp.o.d"
+  "CMakeFiles/mpx_core_tests.dir/requirements_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/requirements_test.cpp.o.d"
+  "CMakeFiles/mpx_core_tests.dir/theorem3_test.cpp.o"
+  "CMakeFiles/mpx_core_tests.dir/theorem3_test.cpp.o.d"
+  "mpx_core_tests"
+  "mpx_core_tests.pdb"
+  "mpx_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detect/deadlock_test.cpp" "tests/detect/CMakeFiles/mpx_detect_tests.dir/deadlock_test.cpp.o" "gcc" "tests/detect/CMakeFiles/mpx_detect_tests.dir/deadlock_test.cpp.o.d"
+  "/root/repo/tests/detect/race_test.cpp" "tests/detect/CMakeFiles/mpx_detect_tests.dir/race_test.cpp.o" "gcc" "tests/detect/CMakeFiles/mpx_detect_tests.dir/race_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mpx_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mpx_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/mpx_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

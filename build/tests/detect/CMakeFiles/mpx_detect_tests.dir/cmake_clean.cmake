@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_detect_tests.dir/deadlock_test.cpp.o"
+  "CMakeFiles/mpx_detect_tests.dir/deadlock_test.cpp.o.d"
+  "CMakeFiles/mpx_detect_tests.dir/race_test.cpp.o"
+  "CMakeFiles/mpx_detect_tests.dir/race_test.cpp.o.d"
+  "mpx_detect_tests"
+  "mpx_detect_tests.pdb"
+  "mpx_detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

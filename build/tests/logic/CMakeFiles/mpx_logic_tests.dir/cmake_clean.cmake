@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_logic_tests.dir/fsm_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/fsm_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/lasso_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/lasso_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/monitor_property_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/monitor_property_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/monitor_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/monitor_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/parser_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/parser_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/patterns_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/patterns_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/product_monitor_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/product_monitor_test.cpp.o.d"
+  "CMakeFiles/mpx_logic_tests.dir/state_expr_test.cpp.o"
+  "CMakeFiles/mpx_logic_tests.dir/state_expr_test.cpp.o.d"
+  "mpx_logic_tests"
+  "mpx_logic_tests.pdb"
+  "mpx_logic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_logic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

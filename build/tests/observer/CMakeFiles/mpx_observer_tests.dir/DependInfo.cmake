@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/observer/beam_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/beam_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/beam_test.cpp.o.d"
+  "/root/repo/tests/observer/causality_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/causality_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/causality_test.cpp.o.d"
+  "/root/repo/tests/observer/global_state_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/global_state_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/global_state_test.cpp.o.d"
+  "/root/repo/tests/observer/lattice_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/lattice_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/lattice_test.cpp.o.d"
+  "/root/repo/tests/observer/online_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/online_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/online_test.cpp.o.d"
+  "/root/repo/tests/observer/run_enumerator_test.cpp" "tests/observer/CMakeFiles/mpx_observer_tests.dir/run_enumerator_test.cpp.o" "gcc" "tests/observer/CMakeFiles/mpx_observer_tests.dir/run_enumerator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mpx_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mpx_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/mpx_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/mpx_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mpx_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

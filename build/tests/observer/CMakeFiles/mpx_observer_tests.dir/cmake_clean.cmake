@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_observer_tests.dir/beam_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/beam_test.cpp.o.d"
+  "CMakeFiles/mpx_observer_tests.dir/causality_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/causality_test.cpp.o.d"
+  "CMakeFiles/mpx_observer_tests.dir/global_state_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/global_state_test.cpp.o.d"
+  "CMakeFiles/mpx_observer_tests.dir/lattice_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/lattice_test.cpp.o.d"
+  "CMakeFiles/mpx_observer_tests.dir/online_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/online_test.cpp.o.d"
+  "CMakeFiles/mpx_observer_tests.dir/run_enumerator_test.cpp.o"
+  "CMakeFiles/mpx_observer_tests.dir/run_enumerator_test.cpp.o.d"
+  "mpx_observer_tests"
+  "mpx_observer_tests.pdb"
+  "mpx_observer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_observer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_program_tests.dir/builder_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/builder_test.cpp.o.d"
+  "CMakeFiles/mpx_program_tests.dir/corpus_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/corpus_test.cpp.o.d"
+  "CMakeFiles/mpx_program_tests.dir/explorer_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/explorer_test.cpp.o.d"
+  "CMakeFiles/mpx_program_tests.dir/expr_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/expr_test.cpp.o.d"
+  "CMakeFiles/mpx_program_tests.dir/interpreter_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/interpreter_test.cpp.o.d"
+  "CMakeFiles/mpx_program_tests.dir/scheduler_test.cpp.o"
+  "CMakeFiles/mpx_program_tests.dir/scheduler_test.cpp.o.d"
+  "mpx_program_tests"
+  "mpx_program_tests.pdb"
+  "mpx_program_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_program_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_runtime_tests.dir/runtime_test.cpp.o"
+  "CMakeFiles/mpx_runtime_tests.dir/runtime_test.cpp.o.d"
+  "mpx_runtime_tests"
+  "mpx_runtime_tests.pdb"
+  "mpx_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

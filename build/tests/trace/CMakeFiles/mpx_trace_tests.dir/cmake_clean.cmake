@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_trace_tests.dir/channel_test.cpp.o"
+  "CMakeFiles/mpx_trace_tests.dir/channel_test.cpp.o.d"
+  "CMakeFiles/mpx_trace_tests.dir/codec_test.cpp.o"
+  "CMakeFiles/mpx_trace_tests.dir/codec_test.cpp.o.d"
+  "CMakeFiles/mpx_trace_tests.dir/event_test.cpp.o"
+  "CMakeFiles/mpx_trace_tests.dir/event_test.cpp.o.d"
+  "CMakeFiles/mpx_trace_tests.dir/var_table_test.cpp.o"
+  "CMakeFiles/mpx_trace_tests.dir/var_table_test.cpp.o.d"
+  "mpx_trace_tests"
+  "mpx_trace_tests.pdb"
+  "mpx_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

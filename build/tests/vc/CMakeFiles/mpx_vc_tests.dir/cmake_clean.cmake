@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_vc_tests.dir/vector_clock_test.cpp.o"
+  "CMakeFiles/mpx_vc_tests.dir/vector_clock_test.cpp.o.d"
+  "mpx_vc_tests"
+  "mpx_vc_tests.pdb"
+  "mpx_vc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_vc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
