@@ -6,6 +6,8 @@
 //   * online (incremental) vs batch lattice construction.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "core/instrumentor.hpp"
 #include "logic/monitor.hpp"
 #include "logic/parser.hpp"
@@ -192,4 +194,4 @@ BENCHMARK(BM_Ablation_MultiPropertyPasses)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("ablation");

@@ -6,6 +6,8 @@
 // the fraction of relevant events (message-emission rate).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <random>
 
 #include "core/instrumentor.hpp"
@@ -124,4 +126,4 @@ BENCHMARK(BM_AlgorithmA_ReadVsWriteMix)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("algorithm_a");

@@ -3,6 +3,8 @@
 // reconstruction cost is the same whatever the channel does).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <random>
 
 #include "observer/causality.hpp"
@@ -94,4 +96,4 @@ BENCHMARK(BM_CausalityIngest)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("channel_codec");

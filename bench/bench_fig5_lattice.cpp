@@ -5,6 +5,8 @@
 // execution — then times the pieces of the pipeline that produce it.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <cstdio>
 
 #include "analysis/predictive_analyzer.hpp"
@@ -95,8 +97,5 @@ BENCHMARK(BM_Fig5_ProgramExecutionOnly);
 
 int main(int argc, char** argv) {
   printArtifact();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return mpx::bench::runAndExport("fig5_lattice", argc, argv);
 }

@@ -2,6 +2,8 @@
 // exact MVCs, the 7-node lattice, the 3 runs and the rightmost violation.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <cstdio>
 
 #include "analysis/predictive_analyzer.hpp"
@@ -91,8 +93,5 @@ BENCHMARK(BM_Fig6_RunEnumerationOracle);
 
 int main(int argc, char** argv) {
   printArtifact();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return mpx::bench::runAndExport("fig6_lattice", argc, argv);
 }

@@ -8,6 +8,8 @@
 // gap (totalNodes vs peakLiveNodes) next to construction time.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <cstdio>
 
 #include "core/instrumentor.hpp"
@@ -122,8 +124,5 @@ void printLevelTable() {
 
 int main(int argc, char** argv) {
   printLevelTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return mpx::bench::runAndExport("lattice_levels", argc, argv);
 }

@@ -5,6 +5,8 @@
 // bench regenerates that crossover.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <cstdio>
 
 #include "core/instrumentor.hpp"
@@ -115,8 +117,5 @@ void printComparison() {
 
 int main(int argc, char** argv) {
   printComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return mpx::bench::runAndExport("lattice_vs_enumeration", argc, argv);
 }

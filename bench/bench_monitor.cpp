@@ -3,6 +3,8 @@
 // of monitor states per node cheaply.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <random>
 
 #include "logic/monitor.hpp"
@@ -94,4 +96,4 @@ BENCHMARK(BM_Monitor_ParseAndSynthesize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("monitor");

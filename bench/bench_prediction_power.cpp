@@ -13,6 +13,8 @@
 // while prediction stays strong.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <cstdio>
 
 #include "analysis/campaign.hpp"
@@ -93,8 +95,5 @@ BENCHMARK(BM_PredictiveAnalysis)->Arg(0)->Arg(8);
 
 int main(int argc, char** argv) {
   printDetectionTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return mpx::bench::runAndExport("prediction_power", argc, argv);
 }

@@ -2,6 +2,8 @@
 // lock-instrumented executions.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "detect/deadlock_detector.hpp"
 #include "detect/race_detector.hpp"
 #include "program/corpus.hpp"
@@ -67,4 +69,4 @@ BENCHMARK(BM_DeadlockPredictor_Philosophers)->Arg(3)->Arg(6)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("race_detection");

@@ -4,6 +4,8 @@
 // program.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <mutex>
 
 #include "runtime/runtime.hpp"
@@ -89,4 +91,4 @@ BENCHMARK(BM_InstrumentedContended)->Threads(1)->Threads(2)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MPX_BENCH_MAIN("runtime_overhead");

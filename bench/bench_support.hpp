@@ -1,0 +1,118 @@
+// Shared benchmark harness: every bench binary emits BENCH_<suite>.json next
+// to its console output — machine-readable results (name with embedded
+// params, iterations, ns/op, user counters) plus a telemetry snapshot, so CI
+// and scripts can diff runs without scraping stdout.
+//
+// Simple binaries end with MPX_BENCH_MAIN("suite"); binaries with a custom
+// main call mpx::bench::runAndExport("suite", argc, argv) instead of the
+// Initialize/RunSpecifiedBenchmarks/Shutdown triple.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mpx::bench {
+
+inline std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Console reporter that additionally collects per-iteration runs and, at
+/// Finalize(), writes BENCH_<suite>.json in the working directory.
+class JsonExportReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(std::string suite) : suite_(std::move(suite)) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      if (r.run_type == Run::RT_Iteration && !r.error_occurred) {
+        runs_.push_back(r);
+      }
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  void Finalize() override {
+    writeJson();
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  void writeJson() const {
+    const std::string path = "BENCH_" + suite_ + ".json";
+    std::ofstream out(path);
+    if (!out) return;
+    out << "{\n  \"suite\": \"" << jsonEscape(suite_) << "\",\n";
+    out << "  \"benchmarks\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const Run& r = runs_[i];
+      const double iters = r.iterations > 0
+                               ? static_cast<double>(r.iterations)
+                               : 1.0;
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"name\": \"" << jsonEscape(r.benchmark_name())
+          << "\", \"iterations\": " << r.iterations
+          << ", \"real_ns_per_op\": " << r.real_accumulated_time / iters * 1e9
+          << ", \"cpu_ns_per_op\": " << r.cpu_accumulated_time / iters * 1e9;
+      if (!r.counters.empty()) {
+        out << ", \"counters\": {";
+        bool first = true;
+        for (const auto& [name, counter] : r.counters) {
+          out << (first ? "" : ", ") << '"' << jsonEscape(name)
+              << "\": " << counter.value;
+          first = false;
+        }
+        out << '}';
+      }
+      out << '}';
+    }
+    out << "\n  ],\n";
+    out << "  \"metrics\": "
+        << telemetry::toJson(telemetry::registry().snapshot());
+    out << "\n}\n";
+  }
+
+  std::string suite_;
+  std::vector<Run> runs_;
+};
+
+/// Initialize + run + export.  Returns the process exit code.
+inline int runAndExport(const std::string& suite, int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter(suite);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mpx::bench
+
+#define MPX_BENCH_MAIN(suite)                             \
+  int main(int argc, char** argv) {                       \
+    return mpx::bench::runAndExport(suite, argc, argv);   \
+  }

@@ -10,9 +10,15 @@
 //   mpx_cli analyze landing --schedule observed --lattice
 //   mpx_cli analyze xyz --seed 7
 //   mpx_cli analyze naive-mutex --spec "!(c0 = 1 && c1 = 1)"
+//   mpx_cli analyze peterson --stats --trace-out peterson.trace.json
 //   mpx_cli explore landing
+//
+// Global flags (any command):
+//   --stats               dump the telemetry registry (Prometheus text) at exit
+//   --trace-out <file>    write a Chrome trace-event JSON (load in Perfetto)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +28,9 @@
 #include "analysis/campaign.hpp"
 #include "analysis/report.hpp"
 #include "program/corpus.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
 
 using namespace mpx;
 namespace corpus = program::corpus;
@@ -173,7 +182,9 @@ int analyze(const std::string& name, int argc, char** argv) {
                 r.causality.renderDot(prog.vars).c_str());
   }
   if (hasFlag(argc, argv, "--json")) {
-    std::printf("%s\n", analysis::toJson(r).c_str());
+    analysis::ReportOptions ropts;
+    ropts.includeMetrics = hasFlag(argc, argv, "--stats");
+    std::printf("%s\n", analysis::toJson(r, ropts).c_str());
   }
   return r.predictsViolation() ? 1 : 0;
 }
@@ -215,6 +226,33 @@ int explore(const std::string& name, int argc, char** argv) {
   return truth.violatingExecutions > 0 ? 1 : 0;
 }
 
+/// Post-run observability output: --stats dumps the registry as Prometheus
+/// text on stdout; --trace-out writes the recorded spans as Chrome
+/// trace-event JSON.  Returns the command's exit code unchanged unless the
+/// trace file cannot be written.
+int finish(int rc, int argc, char** argv) {
+  const auto traceOut = argValue(argc, argv, "--trace-out");
+  if (traceOut) {
+    std::ofstream out(*traceOut);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n",
+                   traceOut->c_str());
+      return 2;
+    }
+    out << telemetry::TraceRecorder::global().toChromeTraceJson();
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 telemetry::TraceRecorder::global().spanCount(),
+                 traceOut->c_str());
+  }
+  if (hasFlag(argc, argv, "--stats")) {
+    std::printf("=== telemetry ===\n%s",
+                telemetry::toPrometheusText(
+                    telemetry::registry().snapshot())
+                    .c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,14 +265,24 @@ int main(int argc, char** argv) {
                  " [--lattice] [--dot] [--json]\n"
                  "       mpx_cli explore <program> [--spec S]\n"
                  "       mpx_cli campaign <program> [--spec S] [--trials N]"
-                 " [--ground-truth]\n");
+                 " [--ground-truth]\n"
+                 "global flags: [--stats] [--trace-out <file>.json]\n");
     return 2;
+  }
+  if (argValue(argc, argv, "--trace-out")) {
+    telemetry::TraceRecorder::global().setEnabled(true);
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return listPrograms();
-  if (cmd == "analyze" && argc >= 3) return analyze(argv[2], argc, argv);
-  if (cmd == "explore" && argc >= 3) return explore(argv[2], argc, argv);
-  if (cmd == "campaign" && argc >= 3) return campaign(argv[2], argc, argv);
+  if (cmd == "analyze" && argc >= 3) {
+    return finish(analyze(argv[2], argc, argv), argc, argv);
+  }
+  if (cmd == "explore" && argc >= 3) {
+    return finish(explore(argv[2], argc, argv), argc, argv);
+  }
+  if (cmd == "campaign" && argc >= 3) {
+    return finish(campaign(argv[2], argc, argv), argc, argv);
+  }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "telemetry/trace_span.hpp"
+
 namespace mpx::analysis {
 
 namespace {
@@ -82,31 +84,45 @@ AnalysisResult PredictiveAnalyzer::analyzeRecord(
 
   // Instrument: Algorithm A over the execution's events, emitting relevant
   // messages through the configured channel into the observer.
-  auto channel = trace::makeChannel(config_.delivery, result.causality,
-                                    config_.deliverySeed,
-                                    config_.deliveryMaxDelay);
-  core::Instrumentor instr(core::RelevancePolicy::writesOf(trackedIds),
-                           *channel);
-  instr.reserve(prog_->threadCount(), prog_->vars.size());
-  for (const trace::Event& e : record.events) instr.onEvent(e);
-  channel->close();
-  result.causality.finalize();
-  result.messagesEmitted = instr.messagesEmitted();
-  result.eventsInstrumented = instr.eventsProcessed();
+  {
+    telemetry::TraceSpan span("analysis.instrument", "analysis");
+    auto channel = trace::makeChannel(config_.delivery, result.causality,
+                                      config_.deliverySeed,
+                                      config_.deliveryMaxDelay);
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(trackedIds),
+                             *channel);
+    instr.reserve(prog_->threadCount(), prog_->vars.size());
+    for (const trace::Event& e : record.events) instr.onEvent(e);
+    channel->close();
+    result.causality.finalize();
+    result.messagesEmitted = instr.messagesEmitted();
+    result.eventsInstrumented = instr.eventsProcessed();
+    span.arg("events", static_cast<std::int64_t>(result.eventsInstrumented));
+    span.arg("messages", static_cast<std::int64_t>(result.messagesEmitted));
+  }
 
   // Observed-run verdict (what a single-trace monitor would report).
-  result.observedRun = result.causality.observedOrder();
-  observer::RunEnumerator runs(result.causality, space_);
-  result.observedStates = runs.statesAlong(result.observedRun);
-  logic::SynthesizedMonitor linear(formula_);
-  result.observedViolationIndex = linear.firstViolation(result.observedStates);
+  {
+    telemetry::TraceSpan span("analysis.observed_run", "analysis");
+    result.observedRun = result.causality.observedOrder();
+    observer::RunEnumerator runs(result.causality, space_);
+    result.observedStates = runs.statesAlong(result.observedRun);
+    logic::SynthesizedMonitor linear(formula_);
+    result.observedViolationIndex =
+        linear.firstViolation(result.observedStates);
+  }
 
   // Predictive verdict: the lattice, all runs in parallel.
-  observer::ComputationLattice lattice(result.causality, space_,
-                                       config_.lattice);
-  logic::SynthesizedMonitor monitor(formula_);
-  lattice.check(monitor, result.predictedViolations);
-  result.latticeStats = lattice.stats();
+  {
+    telemetry::TraceSpan span("analysis.lattice_check", "analysis");
+    observer::ComputationLattice lattice(result.causality, space_,
+                                         config_.lattice);
+    logic::SynthesizedMonitor monitor(formula_);
+    lattice.check(monitor, result.predictedViolations);
+    result.latticeStats = lattice.stats();
+    span.arg("nodes", static_cast<std::int64_t>(result.latticeStats.totalNodes));
+    span.arg("levels", static_cast<std::int64_t>(result.latticeStats.levels));
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "observer/run_enumerator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mpx::analysis {
 
@@ -154,6 +155,38 @@ void writeViolation(JsonWriter& w, const AnalysisResult& r,
   w.endObject();
 }
 
+void writeMetrics(JsonWriter& w) {
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  w.beginObject();
+  w.key("counters");
+  w.beginObject();
+  for (const auto& c : snap.counters) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.endObject();
+  w.key("gauges");
+  w.beginObject();
+  for (const auto& g : snap.gauges) {
+    w.key(g.name);
+    w.value(g.value);
+  }
+  w.endObject();
+  w.key("histograms");
+  w.beginObject();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name);
+    w.beginObject();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
 }  // namespace
 
 std::string toJson(const AnalysisResult& r, ReportOptions opts) {
@@ -200,6 +233,11 @@ std::string toJson(const AnalysisResult& r, ReportOptions opts) {
     writeViolation(w, r, v, opts.includeCounterexamples);
   }
   w.endArray();
+
+  if (opts.includeMetrics) {
+    w.key("metrics");
+    writeMetrics(w);
+  }
 
   w.endObject();
   return w.str();

@@ -19,6 +19,10 @@ namespace mpx::analysis {
 struct ReportOptions {
   bool includeCounterexamples = true;
   bool includeObservedRun = true;
+  /// Append a "metrics" block with the process-wide telemetry snapshot
+  /// (counters, gauges, histogram count/sum).  Off by default: the snapshot
+  /// is global state, so reports from the same process would differ.
+  bool includeMetrics = false;
   std::size_t maxViolations = 16;
   int indent = 2;  ///< JSON pretty-print indentation; 0 = compact
 };

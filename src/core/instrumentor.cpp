@@ -1,6 +1,46 @@
 #include "core/instrumentor.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/timer.hpp"
+
 namespace mpx::core {
+
+namespace {
+
+/// Algorithm A telemetry (the "runtime" layer of the metric catalog: these
+/// count what the in-program instrumentation does, whichever host drives
+/// it — the real-thread runtime or the interpreter pipeline).
+struct InstrumentorMetrics {
+  telemetry::Counter& relevant;
+  telemetry::Counter& irrelevant;
+  telemetry::Counter& messages;
+  telemetry::Histogram& eventNs;
+
+  static InstrumentorMetrics& get() {
+    static InstrumentorMetrics m{
+        telemetry::registry().counter(
+            "mpx_runtime_events_relevant_total",
+            "Events that ticked the thread clock and emitted a message "
+            "(Algorithm A steps 1 and 4)"),
+        telemetry::registry().counter(
+            "mpx_runtime_events_irrelevant_total",
+            "Events processed by Algorithm A without emitting a message"),
+        telemetry::registry().counter(
+            "mpx_runtime_messages_emitted_total",
+            "Messages <e, i, V_i> sent toward the observer"),
+        telemetry::registry().histogram(
+            "mpx_runtime_algorithm_a_ns",
+            "Per-event latency of Algorithm A (sampled every 64th event)"),
+    };
+    return m;
+  }
+};
+
+/// Timing every event would double its cost (two clock reads against a
+/// handful of vector-clock joins), so the latency histogram samples 1/64.
+constexpr std::uint64_t kLatencySampleMask = 63;
+
+}  // namespace
 
 const vc::VectorClock Instrumentor::kZero{};
 
@@ -24,6 +64,12 @@ void Instrumentor::ensureVar(VarId x) {
 }
 
 void Instrumentor::onEvent(const trace::Event& e) {
+  std::uint64_t t0 = 0;
+  bool sampled = false;
+  if constexpr (telemetry::kEnabled) {
+    sampled = (eventsProcessed_ & kLatencySampleMask) == 0;
+    if (sampled) t0 = telemetry::nowNs();
+  }
   ++eventsProcessed_;
   const ThreadId i = e.thread;
   ensureThread(i);
@@ -53,6 +99,13 @@ void Instrumentor::onEvent(const trace::Event& e) {
   if (relevant) {
     ++messagesEmitted_;
     sink_->onMessage(trace::Message{e, vi});
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    InstrumentorMetrics& tm = InstrumentorMetrics::get();
+    (relevant ? tm.relevant : tm.irrelevant).add(1);
+    if (relevant) tm.messages.add(1);
+    if (sampled) tm.eventNs.record(telemetry::nowNs() - t0);
   }
 }
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "observer/observer_metrics.hpp"
+#include "telemetry/timer.hpp"
+#include "telemetry/trace_span.hpp"
+
 namespace mpx::observer {
 
 std::string Cut::toString() const {
@@ -81,6 +85,9 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
     if (mon->isViolating(m0) && violations != nullptr) {
       violations->push_back(
           Violation{Cut(n), init.state, m0, {}});
+      if constexpr (telemetry::kEnabled) {
+        ObserverMetrics::get().violations.add(1);
+      }
     }
   }
   frontier.emplace(Cut(n), std::move(init));
@@ -93,6 +100,8 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   retainLevel(0, frontier);
 
   for (std::uint64_t level = 0; level < maxLevel; ++level) {
+    telemetry::TraceSpan span("lattice.level", "observer");
+    telemetry::ScopedTimer levelTimer(ObserverMetrics::get().levelNs);
     Frontier next;
     std::size_t edges = 0;
     for (const auto& [cut, node] : frontier) {
@@ -138,6 +147,9 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
                   violations->size() < opts_.maxViolations) {
                 violations->push_back(Violation{it->first, child.state, nm,
                                                 unwindPath(npath)});
+                if constexpr (telemetry::kEnabled) {
+                  ObserverMetrics::get().violations.add(1);
+                }
               }
             }
           }
@@ -186,6 +198,19 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
     stats_.peakLiveNodes =
         std::max(stats_.peakLiveNodes, frontier.size() + next.size());
     ++stats_.levels;
+    stats_.gcNodes += frontier.size();
+    if constexpr (telemetry::kEnabled) {
+      ObserverMetrics& tm = ObserverMetrics::get();
+      tm.levels.add(1);
+      tm.nodesCreated.add(next.size());
+      tm.nodesGc.add(frontier.size());
+      tm.frontierWidth.record(next.size());
+      tm.monitorStatesPeak.recordMax(
+          static_cast<std::int64_t>(stats_.monitorStatesPeak));
+      span.arg("level", static_cast<std::int64_t>(level + 1));
+      span.arg("width", static_cast<std::int64_t>(next.size()));
+      span.arg("edges", static_cast<std::int64_t>(edges));
+    }
     retainLevel(level + 1, next);
     frontier = std::move(next);  // sliding window: old level dies here
   }

@@ -151,6 +151,8 @@ struct LatticeStats {
   std::size_t peakLevelWidth = 0;  ///< widest level
   std::size_t peakLiveNodes = 0;   ///< max nodes resident at once (≤ 2 levels
                                    ///< under sliding-window retention)
+  std::size_t gcNodes = 0;         ///< nodes released when the sliding window
+                                   ///< advanced past their level
   std::uint64_t pathCount = 0;     ///< number of multithreaded runs
   bool pathCountSaturated = false;
   bool truncated = false;

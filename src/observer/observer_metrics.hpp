@@ -1,0 +1,52 @@
+// Observer-layer telemetry, shared by the batch ComputationLattice and the
+// OnlineAnalyzer (they build the same structure, so they report into the
+// same instruments; reset the registry between runs to attribute deltas).
+// Internal to src/observer — not part of the public observer API.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::observer {
+
+struct ObserverMetrics {
+  telemetry::Counter& levels;
+  telemetry::Counter& nodesCreated;
+  telemetry::Counter& nodesGc;
+  telemetry::Counter& violations;
+  telemetry::Histogram& frontierWidth;
+  telemetry::Histogram& levelNs;
+  telemetry::Gauge& monitorStatesPeak;
+  telemetry::Gauge& backlogHwm;
+
+  static ObserverMetrics& get() {
+    static ObserverMetrics m{
+        telemetry::registry().counter(
+            "mpx_observer_levels_advanced_total",
+            "Lattice levels constructed beyond level 0"),
+        telemetry::registry().counter(
+            "mpx_observer_nodes_created_total",
+            "Lattice nodes (consistent cuts) created by level expansion"),
+        telemetry::registry().counter(
+            "mpx_observer_nodes_gc_total",
+            "Lattice nodes released as the sliding window advanced"),
+        telemetry::registry().counter(
+            "mpx_observer_violations_total",
+            "Property violations reported across all analyzed runs"),
+        telemetry::registry().histogram(
+            "mpx_observer_frontier_width", "Nodes per completed level",
+            telemetry::sizeBuckets()),
+        telemetry::registry().histogram(
+            "mpx_observer_level_ns", "Wall time to expand one lattice level"),
+        telemetry::registry().gauge(
+            "mpx_observer_monitor_states_peak",
+            "High-water mark of distinct monitor states on one node"),
+        telemetry::registry().gauge(
+            "mpx_observer_backlog_hwm",
+            "High-water mark of buffered messages awaiting lattice "
+            "consumption (online analyzer only)"),
+    };
+    return m;
+  }
+};
+
+}  // namespace mpx::observer

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "observer/observer_metrics.hpp"
+#include "telemetry/timer.hpp"
+#include "telemetry/trace_span.hpp"
+
 namespace mpx::observer {
 
 OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
@@ -18,6 +22,9 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
     init.mstates.emplace(m0, nullptr);
     if (monitor_->isViolating(m0)) {
       violations_.push_back(Violation{Cut(threads), init.state, m0, {}});
+      if constexpr (telemetry::kEnabled) {
+        ObserverMetrics::get().violations.add(1);
+      }
     }
   }
   frontier_.emplace(Cut(threads), std::move(init));
@@ -56,6 +63,10 @@ void OnlineAnalyzer::onMessage(const trace::Message& m) {
                              std::to_string(k));
   }
   ++pending_;
+  if constexpr (telemetry::kEnabled) {
+    ObserverMetrics::get().backlogHwm.recordMax(
+        static_cast<std::int64_t>(pending_));
+  }
   tryAdvance();
 }
 
@@ -99,6 +110,8 @@ bool OnlineAnalyzer::canExpand() const {
 }
 
 void OnlineAnalyzer::expandOneLevel() {
+  telemetry::TraceSpan span("online.level", "observer");
+  telemetry::ScopedTimer levelTimer(ObserverMetrics::get().levelNs);
   Frontier next;
   std::size_t edges = 0;
   for (const auto& [cut, node] : frontier_) {
@@ -136,6 +149,9 @@ void OnlineAnalyzer::expandOneLevel() {
               violations_.size() < opts_.maxViolations) {
             violations_.push_back(
                 Violation{it->first, child.state, nm, unwindPath(npath)});
+            if constexpr (telemetry::kEnabled) {
+              ObserverMetrics::get().violations.add(1);
+            }
           }
         }
         stats_.monitorStatesPeak =
@@ -155,6 +171,19 @@ void OnlineAnalyzer::expandOneLevel() {
   stats_.peakLiveNodes =
       std::max(stats_.peakLiveNodes, frontier_.size() + next.size());
   ++stats_.levels;
+  stats_.gcNodes += frontier_.size();
+  if constexpr (telemetry::kEnabled) {
+    ObserverMetrics& tm = ObserverMetrics::get();
+    tm.levels.add(1);
+    tm.nodesCreated.add(next.size());
+    tm.nodesGc.add(frontier_.size());
+    tm.frontierWidth.record(next.size());
+    tm.monitorStatesPeak.recordMax(
+        static_cast<std::int64_t>(stats_.monitorStatesPeak));
+    span.arg("level", static_cast<std::int64_t>(stats_.levels - 1));
+    span.arg("width", static_cast<std::int64_t>(next.size()));
+    span.arg("edges", static_cast<std::int64_t>(edges));
+  }
   frontier_ = std::move(next);
 
   // Recompute pending: messages with index > max frontier k for their

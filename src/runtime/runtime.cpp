@@ -2,7 +2,41 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/timer.hpp"
+
 namespace mpx::runtime {
+
+namespace {
+
+/// Real-thread runtime telemetry: contention on the global mutex (the
+/// paper's sequential-consistency point) and thread registration.
+struct RuntimeMetrics {
+  telemetry::Counter& lockAcquisitions;
+  telemetry::Counter& lockContended;
+  telemetry::Histogram& lockWaitNs;
+  telemetry::Gauge& threads;
+
+  static RuntimeMetrics& get() {
+    static RuntimeMetrics m{
+        telemetry::registry().counter(
+            "mpx_runtime_lock_acquisitions_total",
+            "Acquisitions of the runtime's global serialization mutex"),
+        telemetry::registry().counter(
+            "mpx_runtime_lock_contended_total",
+            "Global-mutex acquisitions that had to wait"),
+        telemetry::registry().histogram(
+            "mpx_runtime_lock_wait_ns",
+            "Wait time for contended global-mutex acquisitions"),
+        telemetry::registry().gauge(
+            "mpx_runtime_threads_registered",
+            "High-water mark of threads seen by the runtime"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadId ThreadRegistry::currentLocked() {
   const std::thread::id self = std::this_thread::get_id();
@@ -10,6 +44,9 @@ ThreadId ThreadRegistry::currentLocked() {
   if (it != ids_.end()) return it->second;
   const ThreadId id = next_++;
   ids_.emplace(self, id);
+  if constexpr (telemetry::kEnabled) {
+    RuntimeMetrics::get().threads.recordMax(static_cast<std::int64_t>(next_));
+  }
   return id;
 }
 
@@ -27,10 +64,31 @@ core::RelevancePolicy relevantWritesOf(
 
 Runtime::Runtime(trace::MessageSink& sink)
     : relevant_(std::make_shared<std::unordered_set<VarId>>()),
-      instr_(relevantWritesOf(relevant_), sink) {}
+      instr_(relevantWritesOf(relevant_), sink) {
+  if constexpr (telemetry::kEnabled) {
+    RuntimeMetrics::get();  // register the runtime metric names up front
+  }
+}
+
+std::unique_lock<std::mutex> Runtime::lockGlobal() const {
+  if constexpr (telemetry::kEnabled) {
+    RuntimeMetrics& tm = RuntimeMetrics::get();
+    std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      tm.lockContended.add(1);
+      const std::uint64_t t0 = telemetry::nowNs();
+      lk.lock();
+      tm.lockWaitNs.record(telemetry::nowNs() - t0);
+    }
+    tm.lockAcquisitions.add(1);
+    return lk;
+  } else {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+}
 
 SharedVar Runtime::declare(const std::string& name, Value initial) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const VarId id = vars_.intern(name, initial, trace::VarRole::kData);
   if (id >= values_.size()) values_.resize(id + 1, 0);
   values_[id] = initial;
@@ -39,7 +97,7 @@ SharedVar Runtime::declare(const std::string& name, Value initial) {
 
 std::unique_ptr<InstrumentedMutex> Runtime::declareMutex(
     const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const VarId id =
       vars_.intern("__lock_" + name, 0, trace::VarRole::kLock);
   if (id >= values_.size()) values_.resize(id + 1, 0);
@@ -48,7 +106,7 @@ std::unique_ptr<InstrumentedMutex> Runtime::declareMutex(
 
 std::unique_ptr<InstrumentedCondition> Runtime::declareCondition(
     const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const VarId id =
       vars_.intern("__cond_" + name, 0, trace::VarRole::kCondition);
   if (id >= values_.size()) values_.resize(id + 1, 0);
@@ -57,7 +115,7 @@ std::unique_ptr<InstrumentedCondition> Runtime::declareCondition(
 }
 
 void Runtime::markRelevant(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   relevant_->insert(vars_.id(name));
 }
 
@@ -87,12 +145,12 @@ trace::Event Runtime::makeEventLocked(trace::EventKind kind, ThreadId t,
 }
 
 void Runtime::enableRecording() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   recording_ = true;
 }
 
 std::vector<Runtime::RecordedEvent> Runtime::takeRecording() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   return std::move(recorded_);
 }
 
@@ -101,7 +159,7 @@ std::vector<detect::RaceReport> Runtime::analyzeRaces(
     const std::vector<std::string>& varNames, detect::RaceOptions opts) const {
   std::unordered_set<VarId> candidates;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = lockGlobal();
     for (const auto& name : varNames) candidates.insert(vars_.id(name));
   }
 
@@ -120,7 +178,7 @@ std::vector<detect::RaceReport> Runtime::analyzeRaces(
 }
 
 Value Runtime::read(VarId v) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const ThreadId t = registry_.currentLocked();
   const Value value = values_.at(v);
   instr_.onEvent(makeEventLocked(trace::EventKind::kRead, t, v, value));
@@ -128,31 +186,31 @@ Value Runtime::read(VarId v) {
 }
 
 void Runtime::write(VarId v, Value value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const ThreadId t = registry_.currentLocked();
   values_.at(v) = value;
   instr_.onEvent(makeEventLocked(trace::EventKind::kWrite, t, v, value));
 }
 
 void Runtime::syncEvent(trace::EventKind kind, VarId v) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   const ThreadId t = registry_.currentLocked();
   const Value value = ++values_.at(v);
   instr_.onEvent(makeEventLocked(kind, t, v, value));
 }
 
 std::uint64_t Runtime::eventsProcessed() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   return instr_.eventsProcessed();
 }
 
 std::uint64_t Runtime::messagesEmitted() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   return instr_.messagesEmitted();
 }
 
 std::size_t Runtime::threadsSeen() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lockGlobal();
   return registry_.threadCount();
 }
 

@@ -113,6 +113,10 @@ class Runtime {
   trace::Event makeEventLocked(trace::EventKind kind, ThreadId t, VarId v,
                                Value value);
 
+  /// Acquires the global mutex, recording contention telemetry (waiters on
+  /// the sequential-consistency point are the runtime's scaling limit).
+  [[nodiscard]] std::unique_lock<std::mutex> lockGlobal() const;
+
   mutable std::mutex mu_;  ///< the sequential-consistency point
   trace::VarTable vars_;
   std::vector<Value> values_;  ///< current valuation, by VarId

@@ -1,0 +1,123 @@
+#include "telemetry/export.hpp"
+
+#include <sstream>
+
+namespace mpx::telemetry {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we emit our own names so
+/// this is belt-and-braces for exotic registrations.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void writeHelpAndType(std::ostringstream& os, const std::string& name,
+                      const std::string& help, const char* type) {
+  if (!help.empty()) os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string toPrometheusText(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const CounterSample& c : snap.counters) {
+    const std::string name = sanitize(c.name);
+    writeHelpAndType(os, name, c.help, "counter");
+    os << name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    const std::string name = sanitize(g.name);
+    writeHelpAndType(os, name, g.help, "gauge");
+    os << name << ' ' << g.value << '\n';
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    const std::string name = sanitize(h.name);
+    writeHelpAndType(os, name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string toJson(const MetricsSnapshot& snap, int indent) {
+  std::ostringstream os;
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string pad1 = indent > 0 ? std::string(indent, ' ') : "";
+  const std::string pad2 = indent > 0 ? std::string(2 * indent, ' ') : "";
+  const std::string sp = indent > 0 ? " " : "";
+
+  os << '{' << nl;
+  os << pad1 << "\"counters\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << pad2 << '"' << jsonEscape(snap.counters[i].name)
+       << "\":" << sp << snap.counters[i].value
+       << (i + 1 < snap.counters.size() ? "," : "") << nl;
+  }
+  os << pad1 << "}," << nl;
+
+  os << pad1 << "\"gauges\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << pad2 << '"' << jsonEscape(snap.gauges[i].name) << "\":" << sp
+       << snap.gauges[i].value << (i + 1 < snap.gauges.size() ? "," : "")
+       << nl;
+  }
+  os << pad1 << "}," << nl;
+
+  os << pad1 << "\"histograms\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSample& h = snap.histograms[i];
+    os << pad2 << '"' << jsonEscape(h.name) << "\":" << sp
+       << "{\"count\":" << sp << h.count << "," << sp << "\"sum\":" << sp
+       << h.sum << "," << sp << "\"buckets\":" << sp << '[';
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) os << ',' << sp;
+      os << "{\"le\":" << sp << h.bounds[b] << "," << sp << "\"count\":" << sp
+         << h.counts[b] << '}';
+    }
+    if (!h.bounds.empty()) os << ',' << sp;
+    os << "{\"le\":" << sp << "\"+Inf\"," << sp << "\"count\":" << sp
+       << (h.counts.empty() ? std::uint64_t{0} : h.counts.back());
+    os << "}]}" << (i + 1 < snap.histograms.size() ? "," : "") << nl;
+  }
+  os << pad1 << '}' << nl;
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mpx::telemetry

@@ -1,0 +1,29 @@
+// Renderers for metrics snapshots: Prometheus text exposition format (for
+// scraping / quick terminal dumps) and JSON (for tooling and the bench
+// emitters).  Both operate on the plain MetricsSnapshot value type, so they
+// compile and link identically whether telemetry is enabled or stubbed.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::telemetry {
+
+/// Prometheus text exposition format, version 0.0.4:
+///
+///   # HELP mpx_runtime_events_relevant_total ...
+///   # TYPE mpx_runtime_events_relevant_total counter
+///   mpx_runtime_events_relevant_total 42
+///
+/// Histograms render cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`, as Prometheus expects.
+[[nodiscard]] std::string toPrometheusText(const MetricsSnapshot& snap);
+
+/// The snapshot as a JSON document:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {"count", "sum", "buckets": [{"le", "count"}]}}}
+/// `indent` > 0 pretty-prints; 0 emits one line.
+[[nodiscard]] std::string toJson(const MetricsSnapshot& snap, int indent = 2);
+
+}  // namespace mpx::telemetry

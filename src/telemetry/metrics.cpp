@@ -1,0 +1,99 @@
+#include "telemetry/metrics.hpp"
+
+namespace mpx::telemetry {
+
+std::vector<std::uint64_t> latencyBucketsNs() {
+  // Powers of four, 64ns .. ~1.07s.
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v = 64; v <= (1ull << 30); v <<= 2) b.push_back(v);
+  return b;
+}
+
+std::vector<std::uint64_t> sizeBuckets() {
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v = 1; v <= (1ull << 16); v <<= 1) b.push_back(v);
+  return b;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+#if MPX_TELEMETRY_ENABLED
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = counters_[name];
+  if (!entry.instrument) {
+    entry.instrument = std::make_unique<Counter>();
+    entry.help = help;
+  }
+  return *entry.instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = gauges_[name];
+  if (!entry.instrument) {
+    entry.instrument = std::make_unique<Gauge>();
+    entry.help = help;
+  }
+  return *entry.instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = histograms_[name];
+  if (!entry.instrument) {
+    entry.instrument = std::make_unique<Histogram>(std::move(bounds));
+    entry.help = help;
+  }
+  return *entry.instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    snap.counters.push_back(
+        CounterSample{name, entry.help, entry.instrument->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, entry] : gauges_) {
+    snap.gauges.push_back(
+        GaugeSample{name, entry.help, entry.instrument->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.instrument;
+    HistogramSample s;
+    s.name = name;
+    s.help = entry.help;
+    s.bounds = h.bounds();
+    s.counts.resize(s.bounds.size() + 1);
+    for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.counts[i] = h.bucketCount(i);
+    }
+    s.count = h.count();
+    s.sum = h.sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) entry.instrument->reset();
+  for (auto& [name, entry] : gauges_) entry.instrument->reset();
+  for (auto& [name, entry] : histograms_) entry.instrument->reset();
+}
+
+#endif  // MPX_TELEMETRY_ENABLED
+
+}  // namespace mpx::telemetry

@@ -1,0 +1,276 @@
+// Process-wide metrics registry: atomic counters, gauges, and fixed-bucket
+// histograms.
+//
+// The paper's pipeline is *online* — Algorithm A runs inside the observed
+// program and the observer advances the computation lattice while the
+// program executes — so the instrumentation itself must be observable
+// without perturbing the run.  Every instrument here is a single relaxed
+// atomic word (or a short array of them for histograms), cheap enough for
+// the per-access hot path; registration (a mutex-protected name lookup)
+// happens once per call site, never per event.
+//
+// When the build disables telemetry (CMake option MPX_TELEMETRY=OFF, which
+// defines MPX_TELEMETRY_ENABLED=0), this header swaps in no-op stubs with
+// the identical API, so every hook in runtime/, trace/, and observer/
+// compiles away to (near) nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef MPX_TELEMETRY_ENABLED
+#define MPX_TELEMETRY_ENABLED 1
+#endif
+
+#if MPX_TELEMETRY_ENABLED
+#include <atomic>
+#endif
+
+namespace mpx::telemetry {
+
+/// Compile-time switch, usable with `if constexpr` to skip clock reads and
+/// other hook-side work in disabled builds.
+inline constexpr bool kEnabled = MPX_TELEMETRY_ENABLED != 0;
+
+// ---------------------------------------------------------------------------
+// Snapshot types (always available; exporters operate on these, so report
+// rendering and the CLI compile identically in both modes).
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  /// Upper bucket bounds (inclusive); an implicit +Inf bucket follows.
+  std::vector<std::uint64_t> bounds;
+  /// counts.size() == bounds.size() + 1; counts[i] = observations with
+  /// value <= bounds[i] (non-cumulative; exporters cumulate for Prometheus).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+};
+
+/// Default bucket bounds for nanosecond latency histograms: powers of four
+/// from 64ns to ~1s (13 buckets + implicit +Inf).
+[[nodiscard]] std::vector<std::uint64_t> latencyBucketsNs();
+
+/// Default bucket bounds for size-ish histograms (frontier widths, queue
+/// depths): powers of two from 1 to 65536.
+[[nodiscard]] std::vector<std::uint64_t> sizeBuckets();
+
+#if MPX_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Real instruments.
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A value that can go up and down; recordMax() turns it into a
+/// high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if `v` is greater (atomic high-water mark).
+  void recordMax(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram.  record() is a linear scan over ~a dozen bounds
+/// plus three relaxed adds — no allocation, no locking.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)),
+        counts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            bounds_.size() + 1)) {}
+
+  void record(std::uint64_t v) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Name -> instrument registry.  Instruments are created on first lookup
+/// and live for the process lifetime, so call sites can cache references.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry all mpx layers report into.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = {});
+  Gauge& gauge(const std::string& name, const std::string& help = {});
+  /// `bounds` is honored only on the creating call; later lookups of the
+  /// same name return the existing histogram.
+  Histogram& histogram(const std::string& name, const std::string& help = {},
+                       std::vector<std::uint64_t> bounds = latencyBucketsNs());
+
+  /// Consistent point-in-time copy of every registered instrument.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (tests; per-run CLI
+  /// deltas).
+  void reset();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> instrument;
+    std::string help;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+#else  // !MPX_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// No-op stubs: identical API, empty bodies.  Hook sites compile unchanged
+// and the optimizer removes the calls entirely.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void recordMax(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  Counter& counter(const char*, const char* = "") { return counter_; }
+  Gauge& gauge(const char*, const char* = "") { return gauge_; }
+  Histogram& histogram(const char*, const char* = "",
+                       std::vector<std::uint64_t> = {}) {
+    return histogram_;
+  }
+  // std::string overloads so call sites may pass either.
+  Counter& counter(const std::string&, const std::string& = {}) {
+    return counter_;
+  }
+  Gauge& gauge(const std::string&, const std::string& = {}) { return gauge_; }
+  Histogram& histogram(const std::string&, const std::string& = {},
+                       std::vector<std::uint64_t> = {}) {
+    return histogram_;
+  }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // MPX_TELEMETRY_ENABLED
+
+/// Shorthand for MetricsRegistry::global().
+inline MetricsRegistry& registry() { return MetricsRegistry::global(); }
+
+}  // namespace mpx::telemetry

@@ -1,0 +1,58 @@
+// Monotonic clock helpers and the ScopedTimer RAII latency probe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::telemetry {
+
+/// Nanoseconds since an arbitrary process-local epoch (first call).
+/// Monotonic; shared by ScopedTimer and the trace-span recorder so span
+/// timestamps and latency histograms line up.
+inline std::uint64_t nowNs() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+#if MPX_TELEMETRY_ENABLED
+
+/// Records the enclosing scope's wall time into a histogram on destruction.
+///
+///   telemetry::ScopedTimer t(levelLatencyNs);
+///   ... expand one lattice level ...
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept : h_(&h), start_(nowNs()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { h_->record(nowNs() - start_); }
+
+  /// Elapsed nanoseconds so far (the timer keeps running).
+  [[nodiscard]] std::uint64_t elapsedNs() const noexcept {
+    return nowNs() - start_;
+  }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+#else
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  [[nodiscard]] std::uint64_t elapsedNs() const noexcept { return 0; }
+};
+
+#endif  // MPX_TELEMETRY_ENABLED
+
+}  // namespace mpx::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/trace_span.hpp"
+
+#include <sstream>
+
+namespace mpx::telemetry {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+#if MPX_TELEMETRY_ENABLED
+
+namespace {
+
+/// Minimal JSON string escaping (the span names and categories are all
+/// internal literals, but arg keys could in principle carry anything).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `ns` as a microsecond value with three fractional digits (the
+/// trace-event format's "ts"/"dur" fields are in microseconds).
+void writeUs(std::ostream& os, std::uint64_t ns) {
+  const std::uint64_t frac = ns % 1000;
+  os << (ns / 1000) << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+std::uint32_t TraceRecorder::tidLocked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size() + 1);
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::recordComplete(
+    std::string name, std::string category, std::uint64_t startNs,
+    std::uint64_t durationNs,
+    std::vector<std::pair<std::string, std::int64_t>> args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(Record{std::move(name), std::move(category), 'X',
+                            startNs, durationNs,
+                            tidLocked(std::this_thread::get_id()),
+                            std::move(args)});
+}
+
+void TraceRecorder::recordInstant(std::string name, std::string category) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(Record{std::move(name), std::move(category), 'i',
+                            nowNs(), 0,
+                            tidLocked(std::this_thread::get_id()),
+                            {}});
+}
+
+std::size_t TraceRecorder::spanCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::string TraceRecorder::toChromeTraceJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Record& r : records_) {
+    if (!first) os << ',';
+    first = false;
+    // Chrome trace timestamps are microseconds; keep sub-us precision with
+    // a fractional part.
+    os << "\n  {\"name\": \"" << escape(r.name) << "\", \"cat\": \""
+       << escape(r.category) << "\", \"ph\": \"" << r.phase
+       << "\", \"pid\": 1, \"tid\": " << r.tid << ", \"ts\": ";
+    writeUs(os, r.startNs);
+    if (r.phase == 'X') {
+      os << ", \"dur\": ";
+      writeUs(os, r.durationNs);
+    }
+    if (r.phase == 'i') {
+      os << ", \"s\": \"t\"";
+    }
+    if (!r.args.empty()) {
+      os << ", \"args\": {";
+      bool firstArg = true;
+      for (const auto& [k, v] : r.args) {
+        if (!firstArg) os << ", ";
+        firstArg = false;
+        os << '"' << escape(k) << "\": " << v;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return os.str();
+}
+
+#endif  // MPX_TELEMETRY_ENABLED
+
+}  // namespace mpx::telemetry

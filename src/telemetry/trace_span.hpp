@@ -1,0 +1,138 @@
+// Chrome trace-event spans: a process-wide recorder plus a TraceSpan RAII
+// guard.  The recorder's toChromeTraceJson() output loads directly into
+// chrome://tracing or Perfetto (ui.perfetto.dev), giving a flame-style
+// timeline of the analysis pipeline: instrumentation, channel flushes, and
+// lattice level construction.
+//
+// Recording is off by default (a single relaxed atomic-bool check per
+// span), and the whole facility compiles to no-ops when telemetry is
+// disabled at build time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/timer.hpp"
+
+namespace mpx::telemetry {
+
+#if MPX_TELEMETRY_ENABLED
+
+class TraceRecorder {
+ public:
+  /// The process-wide recorder all spans report into.
+  static TraceRecorder& global();
+
+  void setEnabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one complete ("ph":"X") event.  Timestamps are nowNs() values.
+  void recordComplete(
+      std::string name, std::string category, std::uint64_t startNs,
+      std::uint64_t durationNs,
+      std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// Records an instant ("ph":"i") event at the current time.
+  void recordInstant(std::string name, std::string category);
+
+  [[nodiscard]] std::size_t spanCount() const;
+  void clear();
+
+  /// The recorded timeline as a Chrome trace-event JSON document.
+  [[nodiscard]] std::string toChromeTraceJson() const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::string category;
+    char phase;  ///< 'X' (complete) or 'i' (instant)
+    std::uint64_t startNs;
+    std::uint64_t durationNs;
+    std::uint32_t tid;
+    std::vector<std::pair<std::string, std::int64_t>> args;
+  };
+
+  std::uint32_t tidLocked(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII span: measures construction-to-destruction and reports it to the
+/// global recorder (only when recording is enabled — construction is a
+/// single atomic load otherwise).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) noexcept {
+    if (TraceRecorder::global().enabled()) {
+      active_ = true;
+      name_ = name;
+      category_ = category;
+      start_ = nowNs();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an integer argument shown in the trace viewer's detail pane.
+  void arg(const char* key, std::int64_t value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      TraceRecorder::global().recordComplete(name_, category_, start_,
+                                             nowNs() - start_,
+                                             std::move(args_));
+    }
+  }
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+};
+
+#else  // !MPX_TELEMETRY_ENABLED
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+  void setEnabled(bool) noexcept {}
+  [[nodiscard]] bool enabled() const noexcept { return false; }
+  void recordComplete(std::string, std::string, std::uint64_t, std::uint64_t,
+                      std::vector<std::pair<std::string, std::int64_t>> = {}) {
+  }
+  void recordInstant(std::string, std::string) {}
+  [[nodiscard]] std::size_t spanCount() const { return 0; }
+  void clear() {}
+  [[nodiscard]] std::string toChromeTraceJson() const {
+    return "{\"traceEvents\": []}\n";
+  }
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(const char*, const char*) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  void arg(const char*, std::int64_t) {}
+};
+
+#endif  // MPX_TELEMETRY_ENABLED
+
+}  // namespace mpx::telemetry

@@ -2,7 +2,54 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace mpx::trace {
+
+namespace {
+
+/// Channel-layer telemetry: delivered-message volume and in-flight buffer
+/// depth across all channel instances.
+struct ChannelMetrics {
+  telemetry::Counter& delivered;
+  telemetry::Gauge& queueDepthHwm;
+
+  static ChannelMetrics& get() {
+    static ChannelMetrics m{
+        telemetry::registry().counter(
+            "mpx_channel_messages_delivered_total",
+            "Messages a channel handed to its downstream sink"),
+        telemetry::registry().gauge(
+            "mpx_channel_queue_depth_hwm",
+            "High-water mark of messages held in flight by any channel"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void Channel::deliver(const Message& m) {
+  if constexpr (telemetry::kEnabled) ChannelMetrics::get().delivered.add(1);
+  downstream_->onMessage(m);
+}
+
+void Channel::noteQueueDepth(std::size_t depth) {
+  if constexpr (telemetry::kEnabled) {
+    ChannelMetrics::get().queueDepthHwm.recordMax(
+        static_cast<std::int64_t>(depth));
+  }
+}
+
+void ShuffleChannel::onMessage(const Message& m) {
+  buffer_.push_back(m);
+  noteQueueDepth(buffer_.size());
+}
+
+void ReverseChannel::onMessage(const Message& m) {
+  buffer_.push_back(m);
+  noteQueueDepth(buffer_.size());
+}
 
 void ShuffleChannel::close() {
   if (closed_) return;
@@ -14,6 +61,7 @@ void ShuffleChannel::close() {
 
 void DelayChannel::onMessage(const Message& m) {
   held_.push_back(m);
+  noteQueueDepth(held_.size());
   maybeRelease();
 }
 

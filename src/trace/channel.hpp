@@ -62,7 +62,12 @@ class Channel : public MessageSink {
   virtual void close() = 0;
 
  protected:
-  void deliver(const Message& m) { downstream_->onMessage(m); }
+  /// Forwards to the downstream sink (counts delivered messages).
+  void deliver(const Message& m);
+
+  /// Telemetry hook: tracks the channel's in-flight buffer depth high-water
+  /// mark (queue growth is the first symptom of an observer falling behind).
+  static void noteQueueDepth(std::size_t depth);
 
  private:
   MessageSink* downstream_;
@@ -83,7 +88,7 @@ class ShuffleChannel final : public Channel {
   ShuffleChannel(MessageSink& downstream, std::uint64_t seed)
       : Channel(downstream), rng_(seed) {}
 
-  void onMessage(const Message& m) override { buffer_.push_back(m); }
+  void onMessage(const Message& m) override;
   void close() override;
 
  private:
@@ -119,7 +124,7 @@ class DelayChannel final : public Channel {
 class ReverseChannel final : public Channel {
  public:
   using Channel::Channel;
-  void onMessage(const Message& m) override { buffer_.push_back(m); }
+  void onMessage(const Message& m) override;
   void close() override;
 
  private:

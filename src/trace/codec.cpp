@@ -6,8 +6,32 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+
 namespace mpx::trace {
 namespace {
+
+/// Wire-format telemetry: encoded/decoded volume over the observer channel.
+struct CodecMetrics {
+  telemetry::Counter& messagesEncoded;
+  telemetry::Counter& bytesEncoded;
+  telemetry::Counter& messagesDecoded;
+  telemetry::Counter& bytesDecoded;
+
+  static CodecMetrics& get() {
+    static CodecMetrics m{
+        telemetry::registry().counter("mpx_channel_messages_encoded_total",
+                                      "Messages serialized to the wire"),
+        telemetry::registry().counter("mpx_channel_bytes_encoded_total",
+                                      "Bytes serialized to the wire"),
+        telemetry::registry().counter("mpx_channel_messages_decoded_total",
+                                      "Messages parsed from the wire"),
+        telemetry::registry().counter("mpx_channel_bytes_decoded_total",
+                                      "Bytes parsed from the wire"),
+    };
+    return m;
+  }
+};
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T v) {
@@ -42,12 +66,18 @@ std::size_t BinaryCodec::encode(const Message& m,
   const auto& comps = m.clock.components();
   put<std::uint32_t>(out, static_cast<std::uint32_t>(comps.size()));
   for (const std::uint64_t c : comps) put<std::uint64_t>(out, c);
+  if constexpr (telemetry::kEnabled) {
+    CodecMetrics& tm = CodecMetrics::get();
+    tm.messagesEncoded.add(1);
+    tm.bytesEncoded.add(out.size() - start);
+  }
   return out.size() - start;
 }
 
 Message BinaryCodec::decode(const std::vector<std::uint8_t>& in,
                             std::size_t& offset) {
   Message m;
+  const std::size_t start = offset;
   const auto kind = take<std::uint8_t>(in, offset);
   if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
     throw std::runtime_error("BinaryCodec: corrupt event kind");
@@ -61,6 +91,11 @@ Message BinaryCodec::decode(const std::vector<std::uint8_t>& in,
   const auto n = take<std::uint32_t>(in, offset);
   for (std::uint32_t j = 0; j < n; ++j) {
     m.clock.set(static_cast<ThreadId>(j), take<std::uint64_t>(in, offset));
+  }
+  if constexpr (telemetry::kEnabled) {
+    CodecMetrics& tm = CodecMetrics::get();
+    tm.messagesDecoded.add(1);
+    tm.bytesDecoded.add(offset - start);
   }
   return m;
 }

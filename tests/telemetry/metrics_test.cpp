@@ -1,0 +1,156 @@
+// Instrument semantics and registry behavior: counters, gauges, histogram
+// bucketing, and snapshot consistency under concurrent writers.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mpx::telemetry {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndHighWaterMark) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.recordMax(5);
+  EXPECT_EQ(g.value(), 7) << "recordMax must not lower the gauge";
+  g.recordMax(19);
+  EXPECT_EQ(g.value(), 19);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BoundsAreInclusiveUpperLimits) {
+  Histogram h({10, 100});
+  h.record(5);    // <= 10
+  h.record(10);   // <= 10 (inclusive)
+  h.record(11);   // <= 100
+  h.record(100);  // <= 100
+  h.record(101);  // +Inf bucket
+  EXPECT_EQ(h.bucketCount(0), 2u);
+  EXPECT_EQ(h.bucketCount(1), 2u);
+  EXPECT_EQ(h.bucketCount(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 100 + 101);
+}
+
+TEST(Histogram, DefaultBucketFamiliesAreSortedAndNonEmpty) {
+  for (const auto& bounds : {latencyBucketsNs(), sizeBuckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry& reg = registry();
+  Counter& a = reg.counter("test_registry_same_name");
+  Counter& b = reg.counter("test_registry_same_name");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesNamesHelpAndValues) {
+  MetricsRegistry& reg = registry();
+  reg.counter("test_snap_counter", "counter help").add(7);
+  reg.gauge("test_snap_gauge", "gauge help").set(-4);
+  reg.histogram("test_snap_hist", "hist help", {1, 2}).record(2);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  bool sawCounter = false, sawGauge = false, sawHist = false;
+  for (const auto& c : snap.counters) {
+    if (c.name != "test_snap_counter") continue;
+    sawCounter = true;
+    EXPECT_EQ(c.help, "counter help");
+    EXPECT_EQ(c.value, 7u);
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.name != "test_snap_gauge") continue;
+    sawGauge = true;
+    EXPECT_EQ(g.value, -4);
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name != "test_snap_hist") continue;
+    sawHist = true;
+    ASSERT_EQ(h.bounds.size(), 2u);
+    ASSERT_EQ(h.counts.size(), 3u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.sum, 2u);
+  }
+  EXPECT_TRUE(sawCounter);
+  EXPECT_TRUE(sawGauge);
+  EXPECT_TRUE(sawHist);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry& reg = registry();
+  Counter& c = reg.counter("test_reset_counter");
+  c.add(9);
+  const std::size_t before = reg.snapshot().size();
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.snapshot().size(), before);
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  MetricsRegistry& reg = registry();
+  Counter& c = reg.counter("test_mt_counter");
+  Gauge& g = reg.gauge("test_mt_gauge");
+  Histogram& h = reg.histogram("test_mt_hist", "", {8, 64, 512});
+  c.reset();
+  g.reset();
+  h.reset();
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        g.recordMax(static_cast<std::int64_t>(t * kPerThread + i));
+        h.record(i % 1000);
+        if (i % 4096 == 0) {
+          // Snapshots interleaved with writes must stay internally sane.
+          const MetricsSnapshot snap = reg.snapshot();
+          for (const auto& hs : snap.histograms) {
+            if (hs.name != "test_mt_hist") continue;
+            std::uint64_t bucketTotal = 0;
+            for (const auto n : hs.counts) bucketTotal += n;
+            EXPECT_LE(hs.count, kThreads * kPerThread);
+            EXPECT_LE(bucketTotal, kThreads * kPerThread);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(g.value(),
+            static_cast<std::int64_t>(kThreads * kPerThread) - 1);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t bucketTotal = 0;
+  for (std::size_t i = 0; i <= 3; ++i) bucketTotal += h.bucketCount(i);
+  EXPECT_EQ(bucketTotal, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace mpx::telemetry

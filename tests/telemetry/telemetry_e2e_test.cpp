@@ -1,0 +1,119 @@
+// End-to-end: the observer-layer metrics emitted while an analyzer runs
+// must agree with the analyzer's own LatticeStats on the same trace — the
+// telemetry is a live view of the exact quantities the stats accumulate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../support/fixtures.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/lattice.hpp"
+#include "observer/online.hpp"
+#include "program/corpus.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mpx::observer {
+namespace {
+
+using mpx::testing::landingComputation;
+using mpx::testing::xyzComputation;
+
+std::uint64_t counterValue(const telemetry::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+/// Asserts the per-run metric deltas (the registry was reset before the
+/// run) match the lattice's own bookkeeping.
+void expectMetricsMatchStats(const LatticeStats& stats) {
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  // stats.levels counts level 0; the counter ticks once per advance.
+  EXPECT_EQ(counterValue(snap, "mpx_observer_levels_advanced_total"),
+            stats.levels - 1);
+  // stats.totalNodes counts the initial node; created = expanded ones.
+  EXPECT_EQ(counterValue(snap, "mpx_observer_nodes_created_total"),
+            stats.totalNodes - 1);
+  EXPECT_EQ(counterValue(snap, "mpx_observer_nodes_gc_total"),
+            stats.gcNodes);
+}
+
+TEST(TelemetryE2E, OnlineAnalyzerMetricsMatchItsStats) {
+  const auto c = xyzComputation();
+  logic::SynthesizedMonitor mon(
+      logic::SpecParser(c.space).parse(program::corpus::xyzProperty()));
+
+  telemetry::registry().reset();
+  OnlineAnalyzer online(c.space, c.prog.threadCount(), &mon);
+  for (const auto& ref : c.graph.observedOrder()) {
+    online.onMessage(c.graph.message(ref));
+  }
+  online.endOfTrace();
+  ASSERT_TRUE(online.finished());
+
+  expectMetricsMatchStats(online.stats());
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  EXPECT_EQ(counterValue(snap, "mpx_observer_violations_total"),
+            online.violations().size());
+}
+
+TEST(TelemetryE2E, BatchLatticeMetricsMatchItsStats) {
+  const auto c = landingComputation();
+  logic::SynthesizedMonitor mon(
+      logic::SpecParser(c.space).parse(program::corpus::landingProperty()));
+
+  telemetry::registry().reset();
+  ComputationLattice lattice(c.graph, c.space);
+  std::vector<Violation> violations;
+  lattice.check(mon, violations);
+
+  expectMetricsMatchStats(lattice.stats());
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  EXPECT_EQ(counterValue(snap, "mpx_observer_violations_total"),
+            violations.size());
+}
+
+TEST(TelemetryE2E, OnlineAndBatchAgreeOnGcWork) {
+  const auto c = xyzComputation();
+
+  telemetry::registry().reset();
+  ComputationLattice batch(c.graph, c.space);
+  batch.build();
+
+  OnlineAnalyzer online(c.space, c.prog.threadCount(), nullptr);
+  for (const auto& ref : c.graph.observedOrder()) {
+    online.onMessage(c.graph.message(ref));
+  }
+  online.endOfTrace();
+  ASSERT_TRUE(online.finished());
+
+  // Same lattice, same sliding window: identical node and GC accounting.
+  EXPECT_EQ(online.stats().totalNodes, batch.stats().totalNodes);
+  EXPECT_EQ(online.stats().gcNodes, batch.stats().gcNodes);
+  EXPECT_EQ(online.stats().levels, batch.stats().levels);
+}
+
+TEST(TelemetryE2E, FrontierWidthObservationsCoverEveryLevel) {
+  const auto c = xyzComputation();
+
+  telemetry::registry().reset();
+  ComputationLattice lattice(c.graph, c.space);
+  lattice.build();
+
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  bool found = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "mpx_observer_frontier_width") continue;
+    found = true;
+    EXPECT_EQ(h.count, lattice.stats().levels - 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mpx::observer

@@ -1,0 +1,156 @@
+// Chrome trace-event output: well-formed JSON, correct phases, and the
+// RAII span life cycle (including the disabled fast path).
+#include "telemetry/trace_span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mpx::telemetry {
+namespace {
+
+/// Structural JSON check: balanced braces/brackets outside strings, and a
+/// non-empty document.  A full parser would be overkill; Perfetto's loader
+/// is exercised manually (docs/OBSERVABILITY.md).
+void expectBalancedJson(const std::string& s) {
+  int depth = 0;
+  bool inString = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      inString = !inString;
+      continue;
+    }
+    if (inString) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced close in:\n" << s;
+    }
+  }
+  EXPECT_FALSE(inString) << "unterminated string in:\n" << s;
+  EXPECT_EQ(depth, 0) << "unbalanced JSON:\n" << s;
+}
+
+std::size_t countOccurrences(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::global().clear();
+    TraceRecorder::global().setEnabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::global().setEnabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(TraceRecorderTest, SpansRecordWhenEnabled) {
+  {
+    TraceSpan span("unit.work", "test");
+    span.arg("items", 3);
+  }
+  EXPECT_EQ(TraceRecorder::global().spanCount(), 1u);
+}
+
+TEST_F(TraceRecorderTest, DisabledRecorderDropsSpans) {
+  TraceRecorder::global().setEnabled(false);
+  { TraceSpan span("unit.skipped", "test"); }
+  EXPECT_EQ(TraceRecorder::global().spanCount(), 0u);
+}
+
+TEST_F(TraceRecorderTest, JsonIsWellFormedAndCarriesEvents) {
+  {
+    TraceSpan span("unit.alpha", "test");
+    span.arg("level", 2);
+  }
+  { TraceSpan span("unit.beta", "test"); }
+  TraceRecorder::global().recordInstant("unit.mark", "test");
+
+  const std::string json = TraceRecorder::global().toChromeTraceJson();
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.mark\""), std::string::npos);
+  EXPECT_NE(json.find("\"level\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(json, "\"ph\": \"X\""), 2u);
+  EXPECT_EQ(countOccurrences(json, "\"ph\": \"i\""), 1u);
+}
+
+TEST_F(TraceRecorderTest, NamesAreEscaped) {
+  TraceRecorder::global().recordComplete("quote\"back\\slash", "test", 0, 1);
+  const std::string json = TraceRecorder::global().toChromeTraceJson();
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, ThreadsGetDistinctTrackIds) {
+  { TraceSpan span("unit.main", "test"); }
+  std::thread other([] { TraceSpan span("unit.other", "test"); });
+  other.join();
+  const std::string json = TraceRecorder::global().toChromeTraceJson();
+  expectBalancedJson(json);
+  EXPECT_EQ(TraceRecorder::global().spanCount(), 2u);
+
+  // Collect the tid of each event; the two threads must differ.
+  std::vector<std::string> tids;
+  const std::string key = "\"tid\": ";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    const std::size_t start = pos + key.size();
+    std::size_t end = start;
+    while (end < json.size() && std::isdigit(json[end]) != 0) ++end;
+    tids.push_back(json.substr(start, end - start));
+  }
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);
+}
+
+TEST(Exporters, PrometheusTextAndJsonAreConsistent) {
+  MetricsRegistry& reg = registry();
+  reg.counter("test_export_counter", "an exported counter").add(5);
+  reg.histogram("test_export_hist", "an exported histogram", {4, 16})
+      .record(9);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const std::string prom = toPrometheusText(snap);
+  EXPECT_NE(prom.find("# HELP test_export_counter an exported counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_export_counter 5"), std::string::npos);
+  EXPECT_NE(prom.find("test_export_hist_bucket{le=\"16\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_export_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_export_hist_count 1"), std::string::npos);
+
+  const std::string json = toJson(snap);
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"test_export_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_export_hist\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpx::telemetry
