@@ -1,0 +1,137 @@
+// Parallel level expansion: wall-clock scaling of ComputationLattice over
+// the pool width (--jobs).  The workload is the k-writer product lattice —
+// wide levels of pairwise-concurrent cuts, exactly the shape the chunked
+// frontier expansion targets — checked against a monitor so the per-edge
+// work includes monitor advancement, not just state joins.
+//
+// Counters per run:
+//   ns_per_level        mean wall time per lattice level
+//   speedup_vs_serial   serial (jobs=1) mean time / this run's mean time
+//   levels, nodes, violations   workload shape sanity
+//
+// jobs=1 uses the serial in-place path (no pool, no snapshot); jobs>1 uses
+// a pre-built injected pool so thread start-up is not measured.  Results
+// are identical across jobs by construction (see tests/parallel/).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/instrumentor.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/lattice.hpp"
+#include "parallel/thread_pool.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+
+namespace {
+
+using namespace mpx;
+
+struct Computation {
+  observer::CausalityGraph graph;
+  observer::StateSpace space;
+};
+
+Computation buildComputation(std::size_t threads, std::size_t writes) {
+  const program::Program prog =
+      program::corpus::independentWriters(threads, writes);
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+
+  Computation c;
+  std::unordered_set<VarId> vars;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < threads; ++i) {
+    names.push_back("v" + std::to_string(i));
+    vars.insert(prog.vars.id(names.back()));
+  }
+  core::Instrumentor instr(core::RelevancePolicy::writesOf(vars), c.graph);
+  for (const auto& e : rec.events) instr.onEvent(e);
+  c.graph.finalize();
+  c.space = observer::StateSpace::byNames(prog.vars, names);
+  return c;
+}
+
+/// Serial mean ns per check(), keyed by workload, filled by the jobs=1 run
+/// (registered first, so it always executes before the parallel runs).
+std::map<std::string, double>& serialBaselineNs() {
+  static std::map<std::string, double> ns;
+  return ns;
+}
+
+void BM_ParallelLattice_Check(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t writes = static_cast<std::size_t>(state.range(1));
+  const std::size_t jobs = static_cast<std::size_t>(state.range(2));
+  const std::string workload =
+      std::to_string(threads) + "x" + std::to_string(writes);
+
+  const Computation c = buildComputation(threads, writes);
+  logic::SynthesizedMonitor mon(
+      logic::SpecParser(c.space).parse("!(v0 = 2 && v1 = 2)"));
+
+  observer::LatticeOptions opts;
+  opts.recordPaths = false;    // measure expansion, not witness bookkeeping
+  opts.maxViolations = 1u << 20;
+  opts.parallel.jobs = jobs;
+  opts.parallel.minFrontier = 2;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<parallel::ThreadPool>(jobs);
+    opts.parallel.pool = pool.get();
+  }
+
+  observer::LatticeStats stats;
+  std::size_t violations = 0;
+  double totalSec = 0.0;
+  for (auto _ : state) {
+    observer::ComputationLattice lattice(c.graph, c.space, opts);
+    std::vector<observer::Violation> found;
+    const auto t0 = std::chrono::steady_clock::now();
+    stats = lattice.check(mon, found);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    state.SetIterationTime(sec);
+    totalSec += sec;
+    violations = found.size();
+    benchmark::DoNotOptimize(stats.totalNodes);
+  }
+
+  const double meanNs =
+      totalSec * 1e9 / static_cast<double>(state.iterations());
+  if (jobs <= 1) serialBaselineNs()[workload] = meanNs;
+  const auto base = serialBaselineNs().find(workload);
+  state.counters["ns_per_level"] =
+      meanNs / static_cast<double>(stats.levels == 0 ? 1 : stats.levels);
+  state.counters["speedup_vs_serial"] =
+      (base != serialBaselineNs().end() && meanNs > 0.0)
+          ? base->second / meanNs
+          : 0.0;
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["levels"] = static_cast<double>(stats.levels);
+  state.counters["nodes"] = static_cast<double>(stats.totalNodes);
+  state.counters["violations"] = static_cast<double>(violations);
+}
+// jobs=1 FIRST per workload: it seeds the serial baseline the parallel
+// rows are normalized against.
+BENCHMARK(BM_ParallelLattice_Check)
+    ->Args({4, 4, 1})
+    ->Args({4, 4, 2})
+    ->Args({4, 4, 4})
+    ->Args({4, 4, 8})
+    ->Args({5, 3, 1})
+    ->Args({5, 3, 2})
+    ->Args({5, 3, 4})
+    ->Args({5, 3, 8})
+    ->UseManualTime();
+
+}  // namespace
+
+MPX_BENCH_MAIN("parallel_lattice")

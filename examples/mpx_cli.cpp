@@ -123,6 +123,10 @@ int analyze(const std::string& name, int argc, char** argv) {
     config.delivery = trace::DeliveryPolicy::kReverse;
   const bool wantLattice = hasFlag(argc, argv, "--lattice");
   if (wantLattice) config.lattice.retention = observer::Retention::kFull;
+  // --jobs N: expand lattice levels on N pool workers (1 = serial,
+  // 0 = one per hardware thread).  Verdicts are identical either way.
+  config.lattice.parallel.jobs =
+      std::stoull(argValue(argc, argv, "--jobs").value_or("1"));
 
   const std::uint64_t seed =
       std::stoull(argValue(argc, argv, "--seed").value_or("0"));
@@ -262,7 +266,7 @@ int main(int argc, char** argv) {
                  "       mpx_cli analyze <program> [--spec S] [--seed N]\n"
                  "               [--schedule greedy|roundrobin|random|observed]\n"
                  "               [--delivery fifo|shuffle|delay|reverse]"
-                 " [--lattice] [--dot] [--json]\n"
+                 " [--lattice] [--dot] [--json] [--jobs N]\n"
                  "       mpx_cli explore <program> [--spec S]\n"
                  "       mpx_cli campaign <program> [--spec S] [--trials N]"
                  " [--ground-truth]\n"

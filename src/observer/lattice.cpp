@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
 #include "telemetry/trace_span.hpp"
@@ -52,42 +53,37 @@ const LatticeStats& ComputationLattice::check(
   return run(&mon, &violations);
 }
 
-namespace {
-
-std::uint64_t saturatingAdd(std::uint64_t a, std::uint64_t b, bool& sat) {
-  const std::uint64_t s = a + b;
-  if (s < a) {
-    sat = true;
-    return ~0ull;
+parallel::ThreadPool* ComputationLattice::poolForRun() {
+  if (opts_.parallel.pool != nullptr) return opts_.parallel.pool;
+  const std::size_t jobs = opts_.parallel.effectiveJobs();
+  if (jobs <= 1) return nullptr;
+  if (ownedPool_ == nullptr) {
+    ownedPool_ = std::make_unique<parallel::ThreadPool>(jobs);
   }
-  return s;
+  return ownedPool_.get();
 }
-
-}  // namespace
 
 const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
                                             std::vector<Violation>* violations) {
   stats_ = LatticeStats{};
   retained_.clear();
+  parallel::ThreadPool* pool = poolForRun();
 
   const std::size_t n = graph_->threadCount();
   std::uint64_t maxLevel = 0;
   for (ThreadId j = 0; j < n; ++j) maxLevel += graph_->eventsOfThread(j);
 
   // Level 0: the initial cut and the initial global state.
-  Frontier frontier;
-  Node init;
+  detail::Frontier frontier;
+  detail::FrontierNode init;
   init.state = GlobalState(space_.initialValues());
   init.pathCount = 1;
   if (mon != nullptr) {
     const MonitorState m0 = mon->initial(init.state);
     init.mstates.emplace(m0, nullptr);
-    if (mon->isViolating(m0) && violations != nullptr) {
-      violations->push_back(
-          Violation{Cut(n), init.state, m0, {}});
-      if constexpr (telemetry::kEnabled) {
-        ObserverMetrics::get().violations.add(1);
-      }
+    if (mon->isViolating(m0)) {
+      detail::emitViolation(violations, opts_, Cut(n), init.state, m0,
+                            nullptr);
     }
   }
   frontier.emplace(Cut(n), std::move(init));
@@ -99,120 +95,70 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   stats_.monitorStatesPeak = mon != nullptr ? 1 : 0;
   retainLevel(0, frontier);
 
+  const auto next = [this](const Cut& cut, ThreadId j) -> const trace::Message* {
+    if (!enabled(cut, j)) return nullptr;
+    return &graph_->message(j, cut.k[j] + 1);
+  };
+
   for (std::uint64_t level = 0; level < maxLevel; ++level) {
     telemetry::TraceSpan span("lattice.level", "observer");
     telemetry::ScopedTimer levelTimer(ObserverMetrics::get().levelNs);
-    Frontier next;
     std::size_t edges = 0;
-    for (const auto& [cut, node] : frontier) {
-      for (ThreadId j = 0; j < n; ++j) {
-        if (!enabled(cut, j)) continue;
-        ++edges;
-        const trace::Message& m = graph_->message(j, cut.k[j] + 1);
-        const EventRef ref{j, cut.k[j] + 1};
-        Cut ncut = cut.advanced(j);
+    detail::Frontier next_ = detail::expandLevel(
+        frontier, n, space_, mon, opts_, stats_, violations, pool, edges,
+        next);
 
-        // Apply the event's state update.
-        GlobalState nstate = node.state;
-        if (const auto slot = space_.slotOf(m.event.var)) {
-          nstate.values[*slot] = m.event.value;
-        }
-
-        auto [it, inserted] = next.try_emplace(std::move(ncut));
-        Node& child = it->second;
-        if (inserted) {
-          child.state = std::move(nstate);
-        }
-        // All paths into a cut yield the same state (writes to each
-        // variable are totally ordered by ≺, so a consistent cut has a
-        // unique maximal write per variable).
-        child.pathCount = saturatingAdd(child.pathCount, node.pathCount,
-                                        stats_.pathCountSaturated);
-
-        if (mon != nullptr) {
-          for (const auto& [ms, witness] : node.mstates) {
-            const MonitorState nm = mon->advance(ms, child.state);
-            if (!mon->isViolating(nm) && !mon->canEverViolate(nm)) {
-              ++stats_.prunedMonitorStates;  // permanently safe: GC
-              continue;
-            }
-            const auto found = child.mstates.find(nm);
-            if (found == child.mstates.end()) {
-              PathPtr npath;
-              if (opts_.recordPaths) {
-                npath = std::make_shared<const PathNode>(PathNode{ref, witness});
-              }
-              child.mstates.emplace(nm, npath);
-              if (mon->isViolating(nm) && violations != nullptr &&
-                  violations->size() < opts_.maxViolations) {
-                violations->push_back(Violation{it->first, child.state, nm,
-                                                unwindPath(npath)});
-                if constexpr (telemetry::kEnabled) {
-                  ObserverMetrics::get().violations.add(1);
-                }
-              }
-            }
-          }
-          stats_.monitorStatesPeak =
-              std::max(stats_.monitorStatesPeak, child.mstates.size());
-        } else if (opts_.recordPaths && inserted) {
-          child.anyPath =
-              std::make_shared<const PathNode>(PathNode{ref, node.anyPath});
-        }
-      }
-    }
-
-    if (next.empty()) {
+    if (next_.empty()) {
       // Should not happen for a consistent finalized graph, but guard.
       stats_.truncated = true;
       break;
     }
-    if (opts_.beamWidth > 0 && next.size() > opts_.beamWidth) {
+    if (opts_.beamWidth > 0 && next_.size() > opts_.beamWidth) {
       // Beam approximation: keep the cuts covering the most runs.
       std::vector<const Cut*> order;
-      order.reserve(next.size());
-      for (const auto& [cut, node] : next) order.push_back(&cut);
+      order.reserve(next_.size());
+      for (const auto& [cut, node] : next_) order.push_back(&cut);
       std::sort(order.begin(), order.end(),
-                [&next](const Cut* a, const Cut* b) {
-                  const auto pa = next.at(*a).pathCount;
-                  const auto pb = next.at(*b).pathCount;
+                [&next_](const Cut* a, const Cut* b) {
+                  const auto pa = next_.at(*a).pathCount;
+                  const auto pb = next_.at(*b).pathCount;
                   if (pa != pb) return pa > pb;
                   return a->k < b->k;  // deterministic tie-break
                 });
-      Frontier kept;
+      detail::Frontier kept;
       for (std::size_t i = 0; i < opts_.beamWidth; ++i) {
-        kept.emplace(*order[i], std::move(next.at(*order[i])));
+        kept.emplace(*order[i], std::move(next_.at(*order[i])));
       }
-      stats_.beamPrunedNodes += next.size() - kept.size();
+      stats_.beamPrunedNodes += next_.size() - kept.size();
       stats_.approximated = true;
-      next = std::move(kept);
+      next_ = std::move(kept);
     }
-    if (next.size() > opts_.maxNodesPerLevel) {
+    if (next_.size() > opts_.maxNodesPerLevel) {
       stats_.truncated = true;
       break;
     }
 
     stats_.totalEdges += edges;
-    stats_.totalNodes += next.size();
-    stats_.peakLevelWidth = std::max(stats_.peakLevelWidth, next.size());
+    stats_.totalNodes += next_.size();
+    stats_.peakLevelWidth = std::max(stats_.peakLevelWidth, next_.size());
     stats_.peakLiveNodes =
-        std::max(stats_.peakLiveNodes, frontier.size() + next.size());
+        std::max(stats_.peakLiveNodes, frontier.size() + next_.size());
     ++stats_.levels;
     stats_.gcNodes += frontier.size();
     if constexpr (telemetry::kEnabled) {
       ObserverMetrics& tm = ObserverMetrics::get();
       tm.levels.add(1);
-      tm.nodesCreated.add(next.size());
+      tm.nodesCreated.add(next_.size());
       tm.nodesGc.add(frontier.size());
-      tm.frontierWidth.record(next.size());
+      tm.frontierWidth.record(next_.size());
       tm.monitorStatesPeak.recordMax(
           static_cast<std::int64_t>(stats_.monitorStatesPeak));
       span.arg("level", static_cast<std::int64_t>(level + 1));
-      span.arg("width", static_cast<std::int64_t>(next.size()));
+      span.arg("width", static_cast<std::int64_t>(next_.size()));
       span.arg("edges", static_cast<std::int64_t>(edges));
     }
-    retainLevel(level + 1, next);
-    frontier = std::move(next);  // sliding window: old level dies here
+    retainLevel(level + 1, next_);
+    frontier = std::move(next_);  // sliding window: old level dies here
   }
 
   // The final frontier is the single complete cut; its pathCount is the
@@ -224,7 +170,7 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
 }
 
 void ComputationLattice::retainLevel(std::uint64_t level,
-                                     const Frontier& frontier) {
+                                     const detail::Frontier& frontier) {
   if (opts_.retention != Retention::kFull) return;
   std::vector<LevelNode> nodes;
   nodes.reserve(frontier.size());

@@ -18,160 +18,23 @@
 // parallel in one pass (paper: "store the state of the FSM or of the
 // synthesized monitor together with each global state in the computation
 // lattice").
+//
+// Level expansion can itself run multi-threaded (LatticeOptions::parallel)
+// — see level_expand.hpp for the engine and its determinism contract.  The
+// vocabulary types (Cut, Violation, LatticeStats, ...) live in
+// lattice_types.hpp.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "observer/causality.hpp"
 #include "observer/global_state.hpp"
+#include "observer/lattice_types.hpp"
 
 namespace mpx::observer {
-
-/// Packed opaque monitor state.  The ptLTL synthesized monitors pack the
-/// truth values of all subformulas into these 64 bits.
-using MonitorState = std::uint64_t;
-
-/// A safety monitor the lattice can run over every path in parallel.
-/// Implementations must be deterministic functions of (state, globalState).
-class LatticeMonitor {
- public:
-  virtual ~LatticeMonitor() = default;
-
-  /// Monitor state after seeing the initial global state.
-  virtual MonitorState initial(const GlobalState& s) = 0;
-
-  /// Monitor state after additionally seeing `s`.
-  virtual MonitorState advance(MonitorState prev, const GlobalState& s) = 0;
-
-  /// True if `m` witnesses a property violation.
-  [[nodiscard]] virtual bool isViolating(MonitorState m) const = 0;
-
-  /// Pruning hook (paper §4: "parts of the lattice which become
-  /// non-relevant for the property to check can be garbage-collected
-  /// while the analysis process continues").  Return false ONLY when no
-  /// continuation from `m` can ever reach a violating state; the lattice
-  /// then drops the (node, state) pair — sound, since any run through it
-  /// is permanently safe.  Default: conservatively true.
-  [[nodiscard]] virtual bool canEverViolate(MonitorState m) const {
-    (void)m;
-    return true;
-  }
-};
-
-/// A consistent cut (k_1, ..., k_n).
-struct Cut {
-  std::vector<std::uint32_t> k;
-
-  Cut() = default;
-  explicit Cut(std::size_t threads) : k(threads, 0) {}
-
-  [[nodiscard]] std::uint64_t level() const noexcept {
-    std::uint64_t s = 0;
-    for (const auto v : k) s += v;
-    return s;
-  }
-
-  [[nodiscard]] Cut advanced(ThreadId j) const {
-    Cut c = *this;
-    ++c.k[j];
-    return c;
-  }
-
-  friend bool operator==(const Cut&, const Cut&) = default;
-
-  [[nodiscard]] std::size_t hash() const noexcept {
-    std::size_t h = 1469598103934665603ull;
-    for (const auto v : k) {
-      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      h *= 1099511628211ull;
-    }
-    return h;
-  }
-
-  /// "S21" style label as in the paper's Fig. 6 (concatenated indices).
-  [[nodiscard]] std::string toString() const;
-};
-
-struct CutHash {
-  std::size_t operator()(const Cut& c) const noexcept { return c.hash(); }
-};
-
-/// Persistent (shared-suffix) path witness: the run that led to a node.
-struct PathNode {
-  EventRef event;
-  std::shared_ptr<const PathNode> parent;
-};
-using PathPtr = std::shared_ptr<const PathNode>;
-
-/// Unwinds a witness chain into initial-to-final order.
-[[nodiscard]] std::vector<EventRef> unwindPath(const PathPtr& path);
-
-/// A predicted property violation: some run consistent with the causal
-/// order drives the monitor into a violating state.
-struct Violation {
-  Cut cut;                    ///< where the violation was detected
-  GlobalState state;          ///< the global state at that cut
-  MonitorState monitorState;  ///< the violating monitor state
-  std::vector<EventRef> path; ///< counterexample run from the initial state
-};
-
-enum class Retention : std::uint8_t {
-  kSlidingWindow,  ///< keep only the current and next level (paper's mode)
-  kFull,           ///< keep every level (small lattices: tests, rendering)
-};
-
-struct LatticeOptions {
-  Retention retention = Retention::kSlidingWindow;
-  /// Safety cap on level width; exceeded => stats.truncated.
-  std::size_t maxNodesPerLevel = 1u << 22;
-  /// Stop collecting violations after this many distinct witnesses.
-  std::size_t maxViolations = 64;
-  /// Record counterexample paths (costs one PathNode per node/monitor-state).
-  bool recordPaths = true;
-  /// Beam approximation ("the computation lattice can grow quite large",
-  /// paper §4): when a level exceeds this width, keep only the
-  /// `beamWidth` cuts covering the most runs (highest path counts) and
-  /// drop the rest.  Reported violations remain REAL (their witnesses are
-  /// genuine runs), but coverage is no longer exhaustive —
-  /// stats.approximated records that the verdict "no violation" is then
-  /// only best-effort.  0 disables.
-  std::size_t beamWidth = 0;
-};
-
-struct LatticeStats {
-  std::size_t levels = 0;          ///< number of levels built (incl. level 0)
-  std::size_t totalNodes = 0;      ///< lattice nodes (consistent cuts)
-  std::size_t totalEdges = 0;      ///< lattice edges (events between cuts)
-  std::size_t peakLevelWidth = 0;  ///< widest level
-  std::size_t peakLiveNodes = 0;   ///< max nodes resident at once (≤ 2 levels
-                                   ///< under sliding-window retention)
-  std::size_t gcNodes = 0;         ///< nodes released when the sliding window
-                                   ///< advanced past their level
-  std::uint64_t pathCount = 0;     ///< number of multithreaded runs
-  bool pathCountSaturated = false;
-  bool truncated = false;
-  std::size_t monitorStatesPeak = 0;  ///< max distinct monitor states per node
-  std::size_t prunedMonitorStates = 0;  ///< (node, state) pairs GC'd because
-                                        ///< the monitor can no longer violate
-  std::size_t beamPrunedNodes = 0;  ///< cuts dropped by the beam approximation
-  bool approximated = false;        ///< beam pruning occurred: absence of
-                                    ///< violations is best-effort only
-};
-
-/// One node of a fully-retained lattice (inspection/rendering).
-struct LevelNode {
-  Cut cut;
-  GlobalState state;
-  std::uint64_t pathCount = 0;
-  std::vector<MonitorState> monitorStates;  ///< sorted, unique; empty if no
-                                            ///< monitor was run
-};
 
 class ComputationLattice {
  public:
@@ -202,25 +65,20 @@ class ComputationLattice {
   [[nodiscard]] std::string renderDot() const;
 
  private:
-  struct Node {
-    GlobalState state;
-    std::uint64_t pathCount = 0;
-    /// Reachable monitor states, each with one witness path.
-    std::map<MonitorState, PathPtr> mstates;
-    PathPtr anyPath;  ///< witness when no monitor is running
-  };
-  using Frontier = std::unordered_map<Cut, Node, CutHash>;
-
   const LatticeStats& run(LatticeMonitor* mon,
                           std::vector<Violation>* violations);
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j) const;
-  void retainLevel(std::uint64_t level, const Frontier& frontier);
+  void retainLevel(std::uint64_t level, const detail::Frontier& frontier);
+  [[nodiscard]] parallel::ThreadPool* poolForRun();
 
   const CausalityGraph* graph_;
   StateSpace space_;
   LatticeOptions opts_;
   LatticeStats stats_;
   std::vector<std::vector<LevelNode>> retained_;
+  /// Lazily created when opts_.parallel asks for jobs > 1 and no external
+  /// pool was injected; reused across build()/check() calls.
+  std::unique_ptr<parallel::ThreadPool> ownedPool_;
 };
 
 }  // namespace mpx::observer

@@ -1,0 +1,192 @@
+// Vocabulary types of the computation lattice (paper §4): cuts, monitors,
+// violations, options and statistics.  Shared by the batch
+// ComputationLattice and the incremental OnlineAnalyzer — both build the
+// same structure through the level-expansion engine in level_expand.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "observer/causality.hpp"
+#include "observer/global_state.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mpx::observer {
+
+/// Packed opaque monitor state.  The ptLTL synthesized monitors pack the
+/// truth values of all subformulas into these 64 bits.
+using MonitorState = std::uint64_t;
+
+/// A safety monitor the lattice can run over every path in parallel.
+/// Implementations must be deterministic functions of (state, globalState)
+/// and must not mutate member state in advance()/isViolating() — the
+/// parallel expansion path calls them concurrently from pool workers.
+class LatticeMonitor {
+ public:
+  virtual ~LatticeMonitor() = default;
+
+  /// Monitor state after seeing the initial global state.
+  virtual MonitorState initial(const GlobalState& s) = 0;
+
+  /// Monitor state after additionally seeing `s`.
+  virtual MonitorState advance(MonitorState prev, const GlobalState& s) = 0;
+
+  /// True if `m` witnesses a property violation.
+  [[nodiscard]] virtual bool isViolating(MonitorState m) const = 0;
+
+  /// Pruning hook (paper §4: "parts of the lattice which become
+  /// non-relevant for the property to check can be garbage-collected
+  /// while the analysis process continues").  Return false ONLY when no
+  /// continuation from `m` can ever reach a violating state; the lattice
+  /// then drops the (node, state) pair — sound, since any run through it
+  /// is permanently safe.  Default: conservatively true.
+  [[nodiscard]] virtual bool canEverViolate(MonitorState m) const {
+    (void)m;
+    return true;
+  }
+};
+
+/// A consistent cut (k_1, ..., k_n).
+struct Cut {
+  std::vector<std::uint32_t> k;
+
+  Cut() = default;
+  explicit Cut(std::size_t threads) : k(threads, 0) {}
+
+  [[nodiscard]] std::uint64_t level() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto v : k) s += v;
+    return s;
+  }
+
+  [[nodiscard]] Cut advanced(ThreadId j) const {
+    Cut c = *this;
+    ++c.k[j];
+    return c;
+  }
+
+  friend bool operator==(const Cut&, const Cut&) = default;
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto v : k) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// "S21" style label as in the paper's Fig. 6 (concatenated indices).
+  [[nodiscard]] std::string toString() const;
+};
+
+struct CutHash {
+  std::size_t operator()(const Cut& c) const noexcept { return c.hash(); }
+};
+
+/// Persistent (shared-suffix) path witness: the run that led to a node.
+struct PathNode {
+  EventRef event;
+  std::shared_ptr<const PathNode> parent;
+};
+using PathPtr = std::shared_ptr<const PathNode>;
+
+/// Unwinds a witness chain into initial-to-final order.
+[[nodiscard]] std::vector<EventRef> unwindPath(const PathPtr& path);
+
+/// A predicted property violation: some run consistent with the causal
+/// order drives the monitor into a violating state.
+struct Violation {
+  Cut cut;                    ///< where the violation was detected
+  GlobalState state;          ///< the global state at that cut
+  MonitorState monitorState;  ///< the violating monitor state
+  std::vector<EventRef> path; ///< counterexample run from the initial state
+};
+
+enum class Retention : std::uint8_t {
+  kSlidingWindow,  ///< keep only the current and next level (paper's mode)
+  kFull,           ///< keep every level (small lattices: tests, rendering)
+};
+
+struct LatticeOptions {
+  Retention retention = Retention::kSlidingWindow;
+  /// Safety cap on level width; exceeded => stats.truncated.
+  std::size_t maxNodesPerLevel = 1u << 22;
+  /// Stop collecting violations after this many distinct witnesses.
+  std::size_t maxViolations = 64;
+  /// Record counterexample paths (costs one PathNode per node/monitor-state).
+  bool recordPaths = true;
+  /// Beam approximation ("the computation lattice can grow quite large",
+  /// paper §4): when a level exceeds this width, keep only the
+  /// `beamWidth` cuts covering the most runs (highest path counts) and
+  /// drop the rest.  Reported violations remain REAL (their witnesses are
+  /// genuine runs), but coverage is no longer exhaustive —
+  /// stats.approximated records that the verdict "no violation" is then
+  /// only best-effort.  0 disables.
+  std::size_t beamWidth = 0;
+  /// Multi-threaded level expansion (jobs > 1).  Violation SETS, stats and
+  /// retained levels are identical to the serial path; only the ORDER in
+  /// which violations are appended may differ (see level_expand.hpp).
+  parallel::ParallelConfig parallel;
+};
+
+struct LatticeStats {
+  std::size_t levels = 0;          ///< number of levels built (incl. level 0)
+  std::size_t totalNodes = 0;      ///< lattice nodes (consistent cuts)
+  std::size_t totalEdges = 0;      ///< lattice edges (events between cuts)
+  std::size_t peakLevelWidth = 0;  ///< widest level
+  std::size_t peakLiveNodes = 0;   ///< max nodes resident at once (≤ 2 levels
+                                   ///< under sliding-window retention)
+  std::size_t gcNodes = 0;         ///< nodes released when the sliding window
+                                   ///< advanced past their level
+  std::uint64_t pathCount = 0;     ///< number of multithreaded runs
+  bool pathCountSaturated = false;
+  bool truncated = false;
+  std::size_t monitorStatesPeak = 0;  ///< max distinct monitor states per node
+  std::size_t prunedMonitorStates = 0;  ///< (node, state) pairs GC'd because
+                                        ///< the monitor can no longer violate
+  std::size_t beamPrunedNodes = 0;  ///< cuts dropped by the beam approximation
+  bool approximated = false;        ///< beam pruning occurred: absence of
+                                    ///< violations is best-effort only
+};
+
+/// One node of a fully-retained lattice (inspection/rendering).
+struct LevelNode {
+  Cut cut;
+  GlobalState state;
+  std::uint64_t pathCount = 0;
+  std::vector<MonitorState> monitorStates;  ///< sorted, unique; empty if no
+                                            ///< monitor was run
+};
+
+namespace detail {
+
+/// One lattice node while its level is live.
+struct FrontierNode {
+  GlobalState state;
+  std::uint64_t pathCount = 0;
+  /// Reachable monitor states, each with one witness path.
+  std::map<MonitorState, PathPtr> mstates;
+  PathPtr anyPath;  ///< witness when no monitor is running
+};
+
+/// A live lattice level, keyed by cut.
+using Frontier = std::unordered_map<Cut, FrontierNode, CutHash>;
+
+inline std::uint64_t saturatingAdd(std::uint64_t a, std::uint64_t b,
+                                   bool& sat) noexcept {
+  const std::uint64_t s = a + b;
+  if (s < a) {
+    sat = true;
+    return ~0ull;
+  }
+  return s;
+}
+
+}  // namespace detail
+
+}  // namespace mpx::observer

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
 #include "telemetry/trace_span.hpp"
@@ -14,17 +15,15 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
     : space_(std::move(space)), monitor_(monitor), opts_(opts) {
   buffered_.resize(threads);
   // Level 0.
-  Node init;
+  detail::FrontierNode init;
   init.state = GlobalState(space_.initialValues());
   init.pathCount = 1;
   if (monitor_ != nullptr) {
     const MonitorState m0 = monitor_->initial(init.state);
     init.mstates.emplace(m0, nullptr);
     if (monitor_->isViolating(m0)) {
-      violations_.push_back(Violation{Cut(threads), init.state, m0, {}});
-      if constexpr (telemetry::kEnabled) {
-        ObserverMetrics::get().violations.add(1);
-      }
+      detail::emitViolation(&violations_, opts_, Cut(threads), init.state, m0,
+                            nullptr);
     }
   }
   frontier_.emplace(Cut(threads), std::move(init));
@@ -109,56 +108,29 @@ bool OnlineAnalyzer::canExpand() const {
   return anySuccessor;
 }
 
+parallel::ThreadPool* OnlineAnalyzer::poolForRun() {
+  if (opts_.parallel.pool != nullptr) return opts_.parallel.pool;
+  const std::size_t jobs = opts_.parallel.effectiveJobs();
+  if (jobs <= 1) return nullptr;
+  if (ownedPool_ == nullptr) {
+    ownedPool_ = std::make_unique<parallel::ThreadPool>(jobs);
+  }
+  return ownedPool_.get();
+}
+
 void OnlineAnalyzer::expandOneLevel() {
   telemetry::TraceSpan span("online.level", "observer");
   telemetry::ScopedTimer levelTimer(ObserverMetrics::get().levelNs);
-  Frontier next;
+  const auto nextMsg =
+      [this](const Cut& cut, ThreadId j) -> const trace::Message* {
+    const trace::Message* m = find(j, cut.k[j] + 1);
+    if (m == nullptr || !enabled(cut, j, *m)) return nullptr;
+    return m;
+  };
   std::size_t edges = 0;
-  for (const auto& [cut, node] : frontier_) {
-    for (ThreadId j = 0; j < cut.k.size(); ++j) {
-      const trace::Message* m = find(j, cut.k[j] + 1);
-      if (m == nullptr || !enabled(cut, j, *m)) continue;
-      ++edges;
-      const EventRef ref{j, cut.k[j] + 1};
-      Cut ncut = cut.advanced(j);
-
-      GlobalState nstate = node.state;
-      if (const auto slot = space_.slotOf(m->event.var)) {
-        nstate.values[*slot] = m->event.value;
-      }
-
-      auto [it, inserted] = next.try_emplace(std::move(ncut));
-      Node& child = it->second;
-      if (inserted) child.state = std::move(nstate);
-      child.pathCount += node.pathCount;
-
-      if (monitor_ != nullptr) {
-        for (const auto& [ms, witness] : node.mstates) {
-          const MonitorState nm = monitor_->advance(ms, child.state);
-          if (!monitor_->isViolating(nm) && !monitor_->canEverViolate(nm)) {
-            ++stats_.prunedMonitorStates;  // permanently safe: GC
-            continue;
-          }
-          if (child.mstates.contains(nm)) continue;
-          PathPtr npath;
-          if (opts_.recordPaths) {
-            npath = std::make_shared<const PathNode>(PathNode{ref, witness});
-          }
-          child.mstates.emplace(nm, npath);
-          if (monitor_->isViolating(nm) &&
-              violations_.size() < opts_.maxViolations) {
-            violations_.push_back(
-                Violation{it->first, child.state, nm, unwindPath(npath)});
-            if constexpr (telemetry::kEnabled) {
-              ObserverMetrics::get().violations.add(1);
-            }
-          }
-        }
-        stats_.monitorStatesPeak =
-            std::max(stats_.monitorStatesPeak, child.mstates.size());
-      }
-    }
-  }
+  detail::Frontier next = detail::expandLevel(
+      frontier_, buffered_.size(), space_, monitor_, opts_, stats_,
+      &violations_, poolForRun(), edges, nextMsg);
 
   // Consume: every event at the frontier's level is now folded in.  Each
   // expansion uses one message per thread-successor; the per-level message

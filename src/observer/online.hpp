@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -75,13 +76,6 @@ class OnlineAnalyzer final : public trace::MessageSink {
   }
 
  private:
-  struct Node {
-    GlobalState state;
-    std::uint64_t pathCount = 0;
-    std::map<MonitorState, PathPtr> mstates;
-  };
-  using Frontier = std::unordered_map<Cut, Node, CutHash>;
-
   /// The k-th (1-based) message of thread j, if present.
   [[nodiscard]] const trace::Message* find(ThreadId j, LocalSeq k) const;
 
@@ -92,6 +86,7 @@ class OnlineAnalyzer final : public trace::MessageSink {
   void expandOneLevel();
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j,
                              const trace::Message& m) const;
+  [[nodiscard]] parallel::ThreadPool* poolForRun();
 
   StateSpace space_;
   LatticeMonitor* monitor_;
@@ -101,9 +96,12 @@ class OnlineAnalyzer final : public trace::MessageSink {
   std::size_t pending_ = 0;
   bool ended_ = false;
   bool finished_ = false;
-  Frontier frontier_;
+  detail::Frontier frontier_;
   LatticeStats stats_;
   std::vector<Violation> violations_;
+  /// Lazily created when opts_.parallel asks for jobs > 1 and no external
+  /// pool was injected.
+  std::unique_ptr<parallel::ThreadPool> ownedPool_;
 };
 
 }  // namespace mpx::observer

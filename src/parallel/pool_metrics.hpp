@@ -1,0 +1,34 @@
+// Telemetry for the parallel execution layer.  Internal to src/parallel.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::parallel {
+
+struct PoolMetrics {
+  telemetry::Gauge& workers;
+  telemetry::Gauge& utilizationPct;
+  telemetry::Counter& parallelForTotal;
+  telemetry::Counter& chunksTotal;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        telemetry::registry().gauge(
+            "mpx_parallel_pool_workers",
+            "High-water mark of thread-pool worker count"),
+        telemetry::registry().gauge(
+            "mpx_parallel_pool_utilization_pct",
+            "Peak percent of worker-time spent in chunk bodies during one "
+            "parallelFor"),
+        telemetry::registry().counter(
+            "mpx_parallel_for_total",
+            "parallelFor invocations dispatched to the pool"),
+        telemetry::registry().counter(
+            "mpx_parallel_chunks_total",
+            "Non-empty chunks executed by pool workers"),
+    };
+    return m;
+  }
+};
+
+}  // namespace mpx::parallel

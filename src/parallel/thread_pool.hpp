@@ -1,0 +1,113 @@
+// Fixed-size worker pool for the observer's level-expansion hot path.
+//
+// The pool is deliberately small and deterministic-friendly rather than
+// general-purpose:
+//
+//  * parallelFor(n, body) splits [0, n) into exactly `workers()` contiguous
+//    chunks via static division — chunk boundaries depend only on (n,
+//    workers), never on timing — so callers can merge worker-local results
+//    in chunk-index order and obtain results identical to a serial run.
+//  * parallelFor blocks until every chunk finished.  If chunks throw, the
+//    exception from the LOWEST chunk index is rethrown (again: determinism;
+//    a serial loop would have surfaced that one first).
+//  * Calling parallelFor from inside a pool worker (reentrancy) runs the
+//    loop inline on the calling thread instead of deadlocking on the pool.
+//  * submit(fn) is a conventional future-returning escape hatch for tests
+//    and one-off tasks.
+//
+// Telemetry: the pool exports its size, a utilization gauge (percent of
+// worker-seconds actually spent in chunk bodies during the most recent
+// parallelFor), and counters for loops/chunks executed.  See
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpx::parallel {
+
+/// How a lattice / analyzer should parallelize level expansion.
+///
+/// jobs == 1 (the default) means strictly serial: no pool is created and
+/// the legacy single-threaded code path runs.  jobs == 0 means "one per
+/// hardware thread".
+struct ParallelConfig {
+  std::size_t jobs = 1;         ///< worker count; 1 = serial, 0 = hardware
+  std::size_t minFrontier = 16; ///< below this many nodes, expand serially
+  /// Optional externally owned pool to use instead of creating one.  The
+  /// pool must outlive the analysis; its worker count wins over `jobs`.
+  class ThreadPool* pool = nullptr;
+
+  /// Effective worker count (resolves jobs==0 to the hardware).
+  [[nodiscard]] std::size_t effectiveJobs() const noexcept;
+  /// True iff this config ever runs anything concurrently.
+  [[nodiscard]] bool enabled() const noexcept { return effectiveJobs() > 1; }
+};
+
+class ThreadPool {
+ public:
+  /// Chunk body: [begin, end) slice of the iteration space plus the chunk's
+  /// stable index (0-based, < workers()).
+  using ChunkFn =
+      std::function<void(std::size_t begin, std::size_t end,
+                         std::size_t chunkIndex)>;
+
+  /// Spawns `workers` threads (0 resolves to the hardware concurrency,
+  /// clamped to at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+  /// Runs `body` over [0, n) split into exactly workers() contiguous chunks
+  /// (fewer when n < workers(): empty chunks are skipped).  Blocks until all
+  /// chunks complete; rethrows the exception of the lowest-index failing
+  /// chunk.  Deterministic partition: chunk c covers
+  /// [c*ceil(n/W) ... min(n, (c+1)*ceil(n/W))).
+  void parallelFor(std::size_t n, const ChunkFn& body);
+
+  /// Conventional task submission; the future carries the result/exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] bool insideWorker() const noexcept;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop(std::size_t index);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Static contiguous chunking shared by the pool and its tests: returns the
+/// [begin, end) slice of chunk `c` when [0, n) is split into `chunks` parts.
+[[nodiscard]] inline std::pair<std::size_t, std::size_t> chunkRange(
+    std::size_t n, std::size_t chunks, std::size_t c) noexcept {
+  const std::size_t step = chunks == 0 ? n : (n + chunks - 1) / chunks;
+  const std::size_t begin = std::min(n, c * step);
+  const std::size_t end = std::min(n, begin + step);
+  return {begin, end};
+}
+
+}  // namespace mpx::parallel

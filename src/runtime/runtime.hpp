@@ -7,18 +7,41 @@
 // mpx::runtime::SharedVar, their locks as InstrumentedMutex, and every
 // access runs Algorithm A before returning.
 //
-// A single global mutex serializes all instrumented accesses.  That is not
-// an implementation shortcut so much as the paper's model made concrete:
-// §2.1 assumes "all shared memory accesses are atomic and instantaneous"
-// (sequential consistency), and the serialization point is what assigns
-// the total order M that the happens-before analysis is defined over.
-// Claim C3's benches measure exactly this cost.
+// Locking is STRIPED, not global: every shared variable carries its own
+// mutex protecting its value and its MVCs (V^a_x, V^w_x), and the thread
+// registry is sharded.  Algorithm A makes this sound because one event
+// touches exactly one variable's state plus the issuing thread's own clock
+// (V_i), which no other thread ever reads or writes:
+//
+//  * Per-variable atomicity — steps 2-3 for an event on x read and write
+//    only {V_i, V^a_x, V^w_x, value_x}, all under x's mutex, so
+//    same-variable accesses are serialized exactly as §2.1's "all shared
+//    memory accesses are atomic and instantaneous" requires.
+//  * Total order M — each event draws its globalSeq from one atomic
+//    counter WHILE HOLDING the variable's mutex.  Same-variable events get
+//    seqs in their serialization order, same-thread events in program
+//    order; causality ≺ is the transitive closure of those two edge kinds,
+//    so e ≺ e' still implies seq(e) < seq(e') (the Theorem 3 invariant the
+//    runtime tests assert).  Any linearization of the striped execution in
+//    seq order is a legal execution of the old single-mutex runtime.
+//  * Lock ordering — an event path holds at most ONE variable mutex.  Any
+//    future multi-variable operation MUST acquire variable mutexes in
+//    ascending VarId order.  The full hierarchy is
+//      structMu_ (shared) -> var mutex -> { recordMu_ | sinkMu_ }
+//    where structMu_ is held shared on event paths and uniquely only by
+//    declare()/markRelevant() (which grow the tables).
+//
+// See DESIGN.md ("Striped runtime locking") for the full argument.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -32,20 +55,42 @@
 
 namespace mpx::runtime {
 
-/// Maps std::thread ids to the dense ThreadIds the MVCs are indexed by.
+/// Per-thread instrumentation state: the MVC V_i, the thread's local event
+/// numbering, and its lockset.  Only ever touched by the owning thread
+/// (under the variable mutex of the event being processed).
+struct ThreadState {
+  ThreadId id = 0;
+  vc::VectorClock vi;            ///< V_i
+  LocalSeq nextLocal = 1;
+  std::vector<VarId> heldLocks;  ///< lock VarIds currently held
+};
+
+/// Maps std::thread ids to the dense ThreadIds the MVCs are indexed by,
+/// sharded so registration lookups of different threads do not contend.
 /// Threads register lazily on their first instrumented access — this is
 /// the "dynamically created threads" support the paper mentions in §2.
-class ThreadRegistry {
+class ShardedThreadRegistry {
  public:
-  /// Dense id of the calling thread, registering it if new.
-  /// Caller must hold the runtime lock.
-  ThreadId currentLocked();
+  ShardedThreadRegistry();
 
-  [[nodiscard]] std::size_t threadCount() const { return next_; }
+  /// State of the calling thread, registering it if new.  Thread-safe; the
+  /// returned reference is stable for the registry's lifetime and cached
+  /// thread-locally.
+  ThreadState& current();
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return next_.load(std::memory_order_acquire);
+  }
 
  private:
-  std::unordered_map<std::thread::id, ThreadId> ids_;
-  ThreadId next_ = 0;
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::thread::id, std::unique_ptr<ThreadState>> states;
+  };
+  std::array<Shard, kShards> shards_;
+  std::atomic<ThreadId> next_{0};
+  std::uint64_t generation_;  ///< process-unique key for the TLS cache
 };
 
 class SharedVar;
@@ -56,8 +101,10 @@ class InstrumentedCondition;
 /// state, and the observer-bound message stream.
 class Runtime {
  public:
-  /// Messages for relevant events are pushed into `sink` (already
-  /// serialized by the runtime's global lock).
+  /// Messages for relevant events are pushed into `sink`.  Emissions are
+  /// serialized (the sink need not be thread-safe); each thread's messages
+  /// arrive in its program order, cross-thread interleaving follows the
+  /// total order M.
   explicit Runtime(trace::MessageSink& sink);
 
   /// Declares a shared variable.  Thread-safe; idempotent per name.
@@ -87,6 +134,8 @@ class Runtime {
     trace::Event event;
     std::vector<VarId> locksHeld;  ///< lock VarIds held by event.thread
   };
+  /// The recording in total order M (sorted by globalSeq — appends from
+  /// different stripes may land out of order).
   [[nodiscard]] std::vector<RecordedEvent> takeRecording();
 
   /// Predictive race analysis over a recording: instruments the recorded
@@ -104,30 +153,45 @@ class Runtime {
   friend class InstrumentedMutex;
   friend class InstrumentedCondition;
 
-  /// The instrumented access primitives; each takes the global lock,
+  /// Striped per-variable state: the current value and the variable MVCs,
+  /// all under the stripe mutex.
+  struct VarState {
+    std::mutex mu;
+    Value value = 0;
+    vc::VectorClock va;  ///< V^a_x
+    vc::VectorClock vw;  ///< V^w_x
+    std::uint64_t contended = 0;  ///< contended acquisitions (under mu)
+  };
+
+  /// The instrumented access primitives; each locks the variable's stripe,
   /// stamps the event into the total order M, and runs Algorithm A.
   Value read(VarId v);
   void write(VarId v, Value value);
   void syncEvent(trace::EventKind kind, VarId v);
 
-  trace::Event makeEventLocked(trace::EventKind kind, ThreadId t, VarId v,
-                               Value value);
+  /// Shared event path: called with structMu_ held shared.  Runs Algorithm
+  /// A steps 1-4 for one event under the variable's stripe mutex.
+  Value processEvent(trace::EventKind kind, VarId v, Value writeValue);
 
-  /// Acquires the global mutex, recording contention telemetry (waiters on
-  /// the sequential-consistency point are the runtime's scaling limit).
-  [[nodiscard]] std::unique_lock<std::mutex> lockGlobal() const;
+  VarId internVar(const std::string& name, Value initial, trace::VarRole role);
+  [[nodiscard]] VarState& stateOf(VarId v);
 
-  mutable std::mutex mu_;  ///< the sequential-consistency point
+  /// Guards the *shape* of the tables (vars_, varStates_ growth, the
+  /// relevant set).  Event paths hold it shared; declarations hold it
+  /// uniquely.  Never acquired after a stripe mutex.
+  mutable std::shared_mutex structMu_;
   trace::VarTable vars_;
-  std::vector<Value> values_;  ///< current valuation, by VarId
-  std::shared_ptr<std::unordered_set<VarId>> relevant_;
-  core::Instrumentor instr_;
-  ThreadRegistry registry_;
-  GlobalSeq nextSeq_ = 1;
-  std::vector<LocalSeq> nextLocal_;
-  bool recording_ = false;
+  std::deque<VarState> varStates_;  ///< by VarId; deque: stable references
+  std::unordered_set<VarId> relevant_;
+  trace::MessageSink* sink_;
+  mutable std::mutex sinkMu_;    ///< serializes sink_->onMessage
+  ShardedThreadRegistry registry_;
+  std::atomic<GlobalSeq> nextSeq_{1};
+  std::atomic<std::uint64_t> eventsProcessed_{0};
+  std::atomic<std::uint64_t> messagesEmitted_{0};
+  std::atomic<bool> recording_{false};
+  mutable std::mutex recordMu_;  ///< guards recorded_
   std::vector<RecordedEvent> recorded_;
-  std::vector<std::vector<VarId>> heldLocks_;  ///< by dense ThreadId
 };
 
 /// A shared variable whose every access executes Algorithm A.
@@ -140,6 +204,8 @@ class SharedVar {
 
   /// Read-modify-write convenience (two events: a read and a write, like
   /// the paper's x++ which is a read of x followed by a write of x).
+  /// NOTE: the two events are individually atomic but the pair is not —
+  /// exactly like the paper's x++.
   Value fetchAdd(Value delta) {
     const Value old = load();
     store(old + delta);

@@ -1,56 +1,14 @@
 #include "vc/vector_clock.hpp"
 
-#include <algorithm>
 #include <ostream>
 #include <sstream>
 
 namespace mpx::vc {
 
-void VectorClock::set(ThreadId t, std::uint64_t v) {
-  if (t >= c_.size()) {
-    if (v == 0) return;  // zeros beyond the stored size are implicit
-    c_.resize(static_cast<std::size_t>(t) + 1, 0);
-  }
-  c_[t] = v;
-}
-
-std::uint64_t VectorClock::increment(ThreadId t) {
-  if (t >= c_.size()) c_.resize(static_cast<std::size_t>(t) + 1, 0);
-  return ++c_[t];
-}
-
-void VectorClock::joinWith(const VectorClock& other) {
-  if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
-  for (std::size_t j = 0; j < other.c_.size(); ++j) {
-    c_[j] = std::max(c_[j], other.c_[j]);
-  }
-}
-
-VectorClock VectorClock::join(const VectorClock& a, const VectorClock& b) {
-  VectorClock out = a;
-  out.joinWith(b);
-  return out;
-}
-
-bool VectorClock::lessEq(const VectorClock& other) const noexcept {
-  for (std::size_t j = 0; j < c_.size(); ++j) {
-    if (c_[j] > other.get(static_cast<ThreadId>(j))) return false;
-  }
-  return true;
-}
-
-bool VectorClock::less(const VectorClock& other) const noexcept {
-  return lessEq(other) && !(*this == other);
-}
-
-bool VectorClock::concurrentWith(const VectorClock& other) const noexcept {
-  return compare(other) == Ordering::kConcurrent;
-}
-
 Ordering VectorClock::compare(const VectorClock& other) const noexcept {
   bool le = true;  // this <= other so far
   bool ge = true;  // this >= other so far
-  const std::size_t n = std::max(c_.size(), other.c_.size());
+  const std::size_t n = std::max(size_, other.size_);
   for (std::size_t j = 0; j < n; ++j) {
     const std::uint64_t a = get(static_cast<ThreadId>(j));
     const std::uint64_t b = other.get(static_cast<ThreadId>(j));
@@ -63,7 +21,7 @@ Ordering VectorClock::compare(const VectorClock& other) const noexcept {
 }
 
 bool VectorClock::operator==(const VectorClock& other) const noexcept {
-  const std::size_t n = std::max(c_.size(), other.c_.size());
+  const std::size_t n = std::max(size_, other.size_);
   for (std::size_t j = 0; j < n; ++j) {
     if (get(static_cast<ThreadId>(j)) != other.get(static_cast<ThreadId>(j))) {
       return false;
@@ -74,16 +32,14 @@ bool VectorClock::operator==(const VectorClock& other) const noexcept {
 
 std::uint64_t VectorClock::sum() const noexcept {
   std::uint64_t s = 0;
-  for (const std::uint64_t v : c_) s += v;
+  for (std::size_t j = 0; j < size_; ++j) s += data_[j];
   return s;
 }
 
 bool VectorClock::isZero() const noexcept {
-  return std::all_of(c_.begin(), c_.end(),
+  return std::all_of(data_, data_ + size_,
                      [](std::uint64_t v) { return v == 0; });
 }
-
-void VectorClock::clear() noexcept { std::fill(c_.begin(), c_.end(), 0); }
 
 std::string VectorClock::toString() const {
   std::ostringstream os;
@@ -93,23 +49,19 @@ std::string VectorClock::toString() const {
 
 std::size_t VectorClock::hash() const noexcept {
   // FNV-1a over the zero-trimmed prefix so growth history is irrelevant.
-  std::size_t last = c_.size();
-  while (last > 0 && c_[last - 1] == 0) --last;
+  std::size_t last = size_;
+  while (last > 0 && data_[last - 1] == 0) --last;
   std::size_t h = 1469598103934665603ull;
   for (std::size_t j = 0; j < last; ++j) {
-    h ^= static_cast<std::size_t>(c_[j]) + 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::size_t>(data_[j]) + 0x9e3779b97f4a7c15ull;
     h *= 1099511628211ull;
   }
   return h;
 }
 
-void VectorClock::normalize() noexcept {
-  while (!c_.empty() && c_.back() == 0) c_.pop_back();
-}
-
 std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
   os << '(';
-  const auto& c = vc.components();
+  const auto c = vc.components();
   for (std::size_t j = 0; j < c.size(); ++j) {
     if (j != 0) os << ',';
     os << c[j];

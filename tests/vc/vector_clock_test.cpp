@@ -17,6 +17,82 @@ TEST(VectorClock, DefaultIsZeroAndEmpty) {
   EXPECT_EQ(v[100], 0u);
 }
 
+TEST(VectorClockSbo, SpillBoundaryAtInlineCapacity) {
+  // 7 and 8 components stay in the inline buffer; 9 spills to the heap.
+  for (std::size_t n : {std::size_t{7}, std::size_t{8}, std::size_t{9}}) {
+    VectorClock v;
+    for (std::size_t j = 0; j < n; ++j) {
+      v.set(static_cast<ThreadId>(j), j + 1);
+    }
+    EXPECT_EQ(v.size(), n);
+    EXPECT_EQ(v.isInline(), n <= VectorClock::kInlineComponents) << n;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(v[static_cast<ThreadId>(j)], j + 1) << "n=" << n << " j=" << j;
+    }
+    EXPECT_EQ(v.sum(), n * (n + 1) / 2);
+  }
+}
+
+TEST(VectorClockSbo, CopyAndMoveAcrossBoundary) {
+  for (std::size_t n : {std::size_t{7}, std::size_t{8}, std::size_t{9}}) {
+    VectorClock src;
+    for (std::size_t j = 0; j < n; ++j) {
+      src.set(static_cast<ThreadId>(j), 10 + j);
+    }
+    const VectorClock copy = src;
+    EXPECT_EQ(copy, src);
+    EXPECT_EQ(copy.isInline(), n <= VectorClock::kInlineComponents);
+
+    VectorClock moved = std::move(src);
+    EXPECT_EQ(moved, copy);
+    EXPECT_EQ(src.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+    EXPECT_TRUE(src.isInline());
+
+    // Assignment in both directions across the boundary.
+    VectorClock narrow{1, 2, 3};
+    narrow = moved;
+    EXPECT_EQ(narrow, copy);
+    VectorClock wide(VectorClock::kInlineComponents + 4);
+    wide = VectorClock{1, 2, 3};
+    EXPECT_EQ(wide, (VectorClock{1, 2, 3}));
+  }
+}
+
+TEST(VectorClockSbo, JoinAcrossBoundaryMatchesSemantics) {
+  // Inline ⊔ heap must grow the inline side past the spill point.
+  VectorClock narrow;
+  narrow.set(0, 5);
+  VectorClock wide;
+  wide.set(static_cast<ThreadId>(VectorClock::kInlineComponents + 1), 3);
+  ASSERT_TRUE(narrow.isInline());
+  ASSERT_FALSE(wide.isInline());
+
+  VectorClock j = narrow;
+  j.joinWith(wide);
+  EXPECT_FALSE(j.isInline());
+  EXPECT_EQ(j[0], 5u);
+  EXPECT_EQ(j[static_cast<ThreadId>(VectorClock::kInlineComponents + 1)], 3u);
+  EXPECT_EQ(j, VectorClock::join(wide, narrow));
+
+  // Equality and hash ignore representation: a spilled clock whose tail is
+  // zero equals its inline twin.
+  VectorClock spilled(VectorClock::kInlineComponents + 8);
+  spilled.set(2, 9);
+  VectorClock compact;
+  compact.set(2, 9);
+  EXPECT_EQ(spilled, compact);
+  EXPECT_EQ(spilled.hash(), compact.hash());
+}
+
+TEST(VectorClockSbo, IncrementGrowsThroughBoundary) {
+  VectorClock v;
+  for (std::size_t j = 0; j < VectorClock::kInlineComponents + 4; ++j) {
+    EXPECT_EQ(v.increment(static_cast<ThreadId>(j)), 1u);
+  }
+  EXPECT_FALSE(v.isInline());
+  EXPECT_EQ(v.sum(), VectorClock::kInlineComponents + 4);
+}
+
 TEST(VectorClock, SizedConstructorZeroInitializes) {
   const VectorClock v(4);
   EXPECT_EQ(v.size(), 4u);
