@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "net/wire.hpp"
 #include "observer/causality.hpp"
 #include "trace/channel.hpp"
 #include "trace/codec.hpp"
@@ -93,6 +94,72 @@ void BM_CausalityIngest(benchmark::State& state) {
   state.SetLabel(shuffled ? "shuffled" : "fifo");
 }
 BENCHMARK(BM_CausalityIngest)->Arg(0)->Arg(1);
+
+void BM_FramedStream_Encode(benchmark::State& state) {
+  // The emitter's wire path: encode a batch, wrap it in a kEvents frame.
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const auto stream = makeStream(256, 4, 4);
+  std::uint64_t bytesOut = 0;
+  for (auto _ : state) {
+    std::vector<std::uint8_t> wire;
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < stream.size(); i += batch) {
+      payload.clear();
+      const std::size_t end = std::min(stream.size(), i + batch);
+      for (std::size_t j = i; j < end; ++j) {
+        trace::BinaryCodec::encode(stream[j], payload);
+      }
+      net::appendFrame(wire, net::FrameType::kEvents, payload);
+    }
+    bytesOut += wire.size();
+    benchmark::DoNotOptimize(wire.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytesOut));
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_FramedStream_Encode)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_FramedStream_Deframe(benchmark::State& state) {
+  // The daemon's wire path: FrameReader over a packetized byte stream,
+  // tryDecode on every payload.  Chunk size models recv() granularity.
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  const auto stream = makeStream(256, 4, 5);
+  std::vector<std::uint8_t> wire;
+  {
+    std::vector<std::uint8_t> payload;
+    constexpr std::size_t kBatch = 128;
+    for (std::size_t i = 0; i < stream.size(); i += kBatch) {
+      payload.clear();
+      const std::size_t end = std::min(stream.size(), i + kBatch);
+      for (std::size_t j = i; j < end; ++j) {
+        trace::BinaryCodec::encode(stream[j], payload);
+      }
+      net::appendFrame(wire, net::FrameType::kEvents, payload);
+    }
+  }
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    net::FrameReader reader;
+    std::vector<trace::Message> out;
+    for (std::size_t off = 0; off < wire.size(); off += chunk) {
+      reader.feed(wire.data() + off, std::min(chunk, wire.size() - off));
+      net::Frame f;
+      while (reader.next(f) == net::FrameReader::Status::kFrame) {
+        const char* error = nullptr;
+        if (!net::decodeEventsPayload(f.payload, out, &error)) std::abort();
+      }
+    }
+    messages += out.size();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+  state.counters["chunk"] = static_cast<double>(chunk);
+}
+BENCHMARK(BM_FramedStream_Deframe)->Arg(512)->Arg(4096)->Arg(65536);
 
 }  // namespace
 

@@ -1,0 +1,101 @@
+// mpx_observerd — the standalone observer process of the paper's Fig. 4
+// deployment.  An instrumented program (or several channels of one) connects
+// with a SocketEmitter and streams its observer-bound messages; this daemon
+// feeds them into an OnlineAnalyzer and prints the violation report when the
+// trace completes or the daemon is told to shut down.
+//
+//   mpx_observerd [--port N] [--jobs N] [--streams N] [--quiet]
+//
+//   --port N     listen on 127.0.0.1:N (default 0 = ephemeral; the chosen
+//                port is printed on startup either way)
+//   --jobs N     parallel lattice-level expansion inside the analyzer
+//   --streams N  kEndOfTrace frames to await before finalizing (a client
+//                spreading its trace over N channels sends one per channel)
+//   --quiet      suppress per-connection error logging
+//
+// While running, `curl http://127.0.0.1:PORT/` returns a live status page
+// (lifecycle counters, current report, telemetry snapshot).  SIGTERM/SIGINT
+// print the final report and exit: 0 = finished with no violations,
+// 1 = violations predicted, 2 = analysis incomplete or unusable input.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/observerd.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void onSignal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--jobs N] [--streams N] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+long argValue(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) usage(argv0);
+  char* end = nullptr;
+  const long v = std::strtol(argv[++i], &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mpx::net::DaemonOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      const long v = argValue(argc, argv, i, argv[0]);
+      if (v > 65535) usage(argv[0]);
+      opts.port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      opts.jobs = static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      const long v = argValue(argc, argv, i, argv[0]);
+      if (v < 1) usage(argv[0]);
+      opts.expectedStreams = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      opts.logErrors = false;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  mpx::net::ObserverDaemon daemon(opts);
+  if (!daemon.start()) {
+    std::fprintf(stderr, "mpx_observerd: cannot bind 127.0.0.1:%u\n",
+                 static_cast<unsigned>(opts.port));
+    return 2;
+  }
+  std::printf("mpx_observerd: listening on 127.0.0.1:%u (streams=%zu jobs=%zu)\n",
+              static_cast<unsigned>(daemon.port()), opts.expectedStreams,
+              opts.jobs);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+
+  // Serve until the trace completes or a signal asks for the report now.
+  while (g_stop == 0 &&
+         !daemon.waitFinished(std::chrono::milliseconds(200))) {
+    const std::string err = daemon.streamError();
+    if (!err.empty()) {
+      std::fprintf(stderr, "mpx_observerd: analysis failed: %s\n",
+                   err.c_str());
+      break;
+    }
+  }
+  daemon.stop();
+
+  std::fputs(daemon.renderReport().c_str(), stdout);
+  if (!daemon.finished()) return 2;
+  return daemon.violations().empty() ? 0 : 1;
+}

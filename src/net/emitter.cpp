@@ -1,0 +1,244 @@
+#include "net/emitter.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::net {
+
+namespace {
+
+/// Client-side transport telemetry.
+struct EmitterMetrics {
+  telemetry::Counter& bytesTx;
+  telemetry::Counter& framesTx;
+  telemetry::Counter& dropped;
+  telemetry::Counter& reconnects;
+  telemetry::Gauge& queueHwm;
+  telemetry::Histogram& batchSize;
+
+  static EmitterMetrics& get() {
+    auto& reg = telemetry::registry();
+    static EmitterMetrics m{
+        reg.counter("mpx_net_bytes_tx_total",
+                    "Bytes written to the observer socket"),
+        reg.counter("mpx_net_frames_tx_total",
+                    "Frames written to the observer socket"),
+        reg.counter("mpx_net_messages_dropped_total",
+                    "Messages discarded by backpressure or transport failure"),
+        reg.counter("mpx_net_reconnects_total",
+                    "Successful reconnections to the observer daemon"),
+        reg.gauge("mpx_net_send_queue_depth_hwm",
+                  "High-water mark of the emitter send queue"),
+        reg.histogram("mpx_net_batch_messages",
+                      "Messages per transmitted events frame",
+                      telemetry::sizeBuckets()),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+SocketEmitter::SocketEmitter(EmitterOptions opts) : opts_(std::move(opts)) {
+  if (opts_.queueCapacity == 0) opts_.queueCapacity = 1;
+  if (opts_.maxBatch == 0) opts_.maxBatch = 1;
+  sender_ = std::thread([this] { senderLoop(); });
+}
+
+SocketEmitter::~SocketEmitter() { close(); }
+
+void SocketEmitter::onMessage(const trace::Message& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closing_ || failed_) {
+    ++dropped_;
+    if constexpr (telemetry::kEnabled) EmitterMetrics::get().dropped.add(1);
+    return;
+  }
+  if (queue_.size() >= opts_.queueCapacity) {
+    if (opts_.backpressure == Backpressure::kDrop) {
+      ++dropped_;
+      if constexpr (telemetry::kEnabled) EmitterMetrics::get().dropped.add(1);
+      return;
+    }
+    notFull_.wait(lk, [this] {
+      return queue_.size() < opts_.queueCapacity || closing_ || failed_;
+    });
+    if (closing_ || failed_) {
+      ++dropped_;
+      if constexpr (telemetry::kEnabled) EmitterMetrics::get().dropped.add(1);
+      return;
+    }
+  }
+  queue_.push_back(m);
+  if constexpr (telemetry::kEnabled) {
+    EmitterMetrics::get().queueHwm.recordMax(
+        static_cast<std::int64_t>(queue_.size()));
+  }
+  notEmpty_.notify_one();
+}
+
+void SocketEmitter::close() {
+  {
+    std::lock_guard<std::mutex> lk(closeMu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closing_ = true;
+  }
+  notEmpty_.notify_all();
+  notFull_.notify_all();
+  if (sender_.joinable()) sender_.join();
+  sock_.close();
+}
+
+bool SocketEmitter::ensureConnected() {
+  if (sock_.valid()) return true;
+  if (failed()) return false;
+  std::mt19937_64 rng(opts_.jitterSeed ^ reconnects());
+  for (std::size_t attempt = 0; attempt < opts_.maxReconnectAttempts;
+       ++attempt) {
+    {
+      // A closing emitter with an empty queue must not sit out the full
+      // backoff schedule against a daemon that is already gone.
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closing_ && queue_.empty() && attempt > 0) break;
+    }
+    Socket s = Socket::connectTo(opts_.host, opts_.port);
+    if (s.valid()) {
+      sock_ = std::move(s);
+      const std::vector<std::uint8_t> hs = encodeHandshake(opts_.handshake);
+      std::vector<std::uint8_t> frame;
+      appendFrame(frame, FrameType::kHandshake, hs);
+      if (sock_.sendAll(frame.data(), frame.size())) {
+        if constexpr (telemetry::kEnabled) {
+          EmitterMetrics::get().bytesTx.add(frame.size());
+          EmitterMetrics::get().framesTx.add(1);
+        }
+        bool first;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          first = framesSent_ == 0 && reconnects_ == 0;
+          ++framesSent_;
+          if (!first) ++reconnects_;
+        }
+        if (!first) {
+          if constexpr (telemetry::kEnabled) {
+            EmitterMetrics::get().reconnects.add(1);
+          }
+        }
+        return true;
+      }
+      sock_.close();
+    }
+    // Exponential backoff with up to 50% jitter.
+    auto delay = opts_.reconnectBase * (1u << std::min<std::size_t>(attempt, 10));
+    delay = std::min<std::chrono::milliseconds>(delay, opts_.reconnectMax);
+    const auto jitter = std::chrono::milliseconds(
+        delay.count() > 0
+            ? static_cast<std::int64_t>(
+                  rng() % static_cast<std::uint64_t>(delay.count() + 1) / 2)
+            : 0);
+    std::this_thread::sleep_for(delay + jitter);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    failed_ = true;
+  }
+  notFull_.notify_all();
+  return false;
+}
+
+bool SocketEmitter::sendFrame(FrameType type,
+                              const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  appendFrame(frame, type, payload);
+  // At-least-once: if the send fails, reconnect (which resends the
+  // handshake) and retry the same frame on the fresh connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!ensureConnected()) return false;
+    if (sock_.sendAll(frame.data(), frame.size())) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++framesSent_;
+      }
+      if constexpr (telemetry::kEnabled) {
+        EmitterMetrics::get().bytesTx.add(frame.size());
+        EmitterMetrics::get().framesTx.add(1);
+      }
+      return true;
+    }
+    sock_.close();  // force a reconnect on the next attempt
+  }
+  return false;
+}
+
+void SocketEmitter::senderLoop() {
+  std::vector<trace::Message> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      notEmpty_.wait(lk, [this] { return !queue_.empty() || closing_; });
+      if (queue_.empty() && closing_) break;
+      const std::size_t n = std::min(queue_.size(), opts_.maxBatch);
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    notFull_.notify_all();
+
+    std::vector<std::uint8_t> payload;
+    for (const trace::Message& m : batch) {
+      trace::BinaryCodec::encode(m, payload);
+    }
+    if (!sendFrame(FrameType::kEvents, payload)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      dropped_ += batch.size() + queue_.size();
+      if constexpr (telemetry::kEnabled) {
+        EmitterMetrics::get().dropped.add(batch.size() + queue_.size());
+      }
+      queue_.clear();
+      continue;  // stay alive to drain (and drop) whatever else arrives
+    }
+    if constexpr (telemetry::kEnabled) {
+      EmitterMetrics::get().batchSize.record(batch.size());
+    }
+  }
+  // Graceful end-of-stream: only when the transport is still healthy.
+  bool sendEnd;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sendEnd = !failed_;
+  }
+  if (sendEnd && sendFrame(FrameType::kEndOfTrace, {})) {
+    sock_.shutdownWrite();
+  }
+}
+
+std::uint64_t SocketEmitter::droppedMessages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::uint64_t SocketEmitter::reconnects() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reconnects_;
+}
+
+std::uint64_t SocketEmitter::framesSent() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return framesSent_;
+}
+
+bool SocketEmitter::failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_;
+}
+
+}  // namespace mpx::net

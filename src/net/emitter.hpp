@@ -1,0 +1,110 @@
+// SocketEmitter: the client half of the Fig. 4 deployment.  A MessageSink
+// that plugs into Runtime (or any instrumentor) exactly where a Channel
+// does, but ships the messages over TCP to mpx_observerd instead of
+// delivering in-process.
+//
+// Design goals, in paper order (§1: "the monitoring overhead on the
+// program should be minimal"):
+//   * onMessage() only copies the message into a bounded queue — no
+//     syscalls, no encoding on the instrumented program's threads.
+//   * A dedicated sender thread drains the queue in batches, encodes them
+//     with BinaryCodec and frames them (one kEvents frame per batch).
+//   * When the queue is full the configured backpressure policy applies:
+//     kBlock stalls the producer (lossless), kDrop counts and discards
+//     (bounded overhead, lossy — the daemon's report shows the gap).
+//   * Connection loss triggers reconnect with exponential backoff plus
+//     jitter; after reconnecting, the handshake and the in-flight batch
+//     are resent (at-least-once delivery; the daemon deduplicates).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::net {
+
+/// What onMessage does when the send queue is full.
+enum class Backpressure : std::uint8_t {
+  kBlock,  ///< stall the producing thread until the sender drains a slot
+  kDrop,   ///< discard the message, count it in droppedMessages()
+};
+
+struct EmitterOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Sent as the first frame of every (re)connection.
+  Handshake handshake;
+  std::size_t queueCapacity = 8192;
+  /// Max messages per kEvents frame.
+  std::size_t maxBatch = 128;
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Reconnect backoff: base * 2^attempt, capped at max, plus up to 50%
+  /// seeded jitter (decorrelates a fleet of emitters hammering one daemon).
+  std::chrono::milliseconds reconnectBase{5};
+  std::chrono::milliseconds reconnectMax{500};
+  /// Consecutive failed connect attempts before the emitter gives up and
+  /// switches to dropping everything (so close() can always finish).
+  std::size_t maxReconnectAttempts = 20;
+  std::uint64_t jitterSeed = 0;
+};
+
+class SocketEmitter final : public trace::MessageSink {
+ public:
+  /// Starts the sender thread immediately; the connection itself is
+  /// established (and re-established) by that thread.
+  explicit SocketEmitter(EmitterOptions opts);
+  ~SocketEmitter() override;
+
+  SocketEmitter(const SocketEmitter&) = delete;
+  SocketEmitter& operator=(const SocketEmitter&) = delete;
+
+  /// Enqueue one observer-bound message.  Applies the backpressure policy;
+  /// after close() or transport failure the message is dropped (counted).
+  void onMessage(const trace::Message& m) override;
+
+  /// Flushes the queue, sends the kEndOfTrace frame, and joins the sender
+  /// thread.  Idempotent — double close is a no-op.
+  void close();
+
+  // --- introspection (tests, reports) --------------------------------
+  [[nodiscard]] std::uint64_t droppedMessages() const;
+  [[nodiscard]] std::uint64_t reconnects() const;
+  [[nodiscard]] std::uint64_t framesSent() const;
+  /// True once the emitter has exhausted its reconnect budget.
+  [[nodiscard]] bool failed() const;
+
+ private:
+  void senderLoop();
+  /// Ensures a live connection with the handshake sent; applies backoff.
+  /// Returns false once the reconnect budget is exhausted.
+  bool ensureConnected();
+  bool sendFrame(FrameType type, const std::vector<std::uint8_t>& payload);
+
+  EmitterOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<trace::Message> queue_;
+  bool closing_ = false;
+  bool failed_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t framesSent_ = 0;
+
+  Socket sock_;          ///< sender-thread only
+  std::thread sender_;
+  bool closed_ = false;  ///< close() already ran (guarded by closeMu_)
+  std::mutex closeMu_;
+};
+
+}  // namespace mpx::net

@@ -1,0 +1,509 @@
+#include "net/observerd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "logic/parser.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mpx::net {
+
+namespace {
+
+/// Daemon-side transport telemetry.
+struct DaemonMetrics {
+  telemetry::Counter& bytesRx;
+  telemetry::Counter& framesRx;
+  telemetry::Counter& framesCorrupt;
+  telemetry::Counter& connections;
+  telemetry::Counter& connectionsAborted;
+  telemetry::Counter& messagesIngested;
+  telemetry::Counter& duplicatesIgnored;
+
+  static DaemonMetrics& get() {
+    auto& reg = telemetry::registry();
+    static DaemonMetrics m{
+        reg.counter("mpx_net_bytes_rx_total",
+                    "Bytes read from client sockets"),
+        reg.counter("mpx_net_frames_rx_total",
+                    "Whole frames received from clients"),
+        reg.counter("mpx_net_frames_corrupt_total",
+                    "Connections dropped for corrupt or malformed frames"),
+        reg.counter("mpx_net_connections_total",
+                    "Client connections accepted"),
+        reg.counter("mpx_net_connections_aborted_total",
+                    "Connections that died before end-of-trace"),
+        reg.counter("mpx_net_messages_ingested_total",
+                    "Messages fed into the online analyzer"),
+        reg.counter("mpx_net_duplicates_ignored_total",
+                    "Resent messages deduplicated (at-least-once delivery)"),
+    };
+    return m;
+  }
+};
+
+/// A hostile own-clock index must not drive the dedup table's allocation.
+constexpr LocalSeq kMaxLocalSeq = 1u << 24;
+
+}  // namespace
+
+std::string renderViolationReport(const observer::StateSpace& space,
+                                  const std::vector<observer::Violation>& vs,
+                                  const observer::LatticeStats& stats,
+                                  bool finished) {
+  std::ostringstream os;
+  os << "analysis " << (finished ? "complete" : "INCOMPLETE") << '\n';
+  os << "violations: " << vs.size() << '\n';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const observer::Violation& v = vs[i];
+    os << "  violation " << (i + 1) << ": cut " << v.cut.toString()
+       << ", state <" << v.state.toString(space) << ">, path";
+    if (v.path.empty()) {
+      os << " (initial state)";
+    } else {
+      for (const observer::EventRef& ref : v.path) {
+        os << " T" << (ref.thread + 1) << '#' << ref.index;
+      }
+    }
+    os << '\n';
+  }
+  os << "lattice: levels=" << stats.levels << " nodes=" << stats.totalNodes
+     << " edges=" << stats.totalEdges << " peakWidth=" << stats.peakLevelWidth
+     << " paths=" << stats.pathCount
+     << (stats.pathCountSaturated ? " (saturated)" : "")
+     << (stats.truncated ? " TRUNCATED" : "")
+     << (stats.approximated ? " APPROXIMATED" : "") << '\n';
+  return os.str();
+}
+
+struct ObserverDaemon::Conn {
+  Socket sock;
+  std::thread thread;
+  bool sawHandshake = false;
+  bool sawEnd = false;
+  /// Set by the serving thread when it is done with the socket.  The fd is
+  /// closed only after joining that thread (by the reaper or by stop()),
+  /// so stop()'s shutdownBoth() never races a close().
+  std::atomic<bool> done{false};
+};
+
+ObserverDaemon::ObserverDaemon(DaemonOptions opts) : opts_(std::move(opts)) {
+  if (opts_.expectedStreams == 0) opts_.expectedStreams = 1;
+}
+
+ObserverDaemon::~ObserverDaemon() { stop(); }
+
+bool ObserverDaemon::start() {
+  if (!listener_.open(opts_.port)) return false;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+std::uint16_t ObserverDaemon::port() const noexcept {
+  return listener_.port();
+}
+
+void ObserverDaemon::acceptLoop() {
+  while (true) {
+    Socket s = listener_.accept();
+    if (!s.valid()) return;  // stopped or listener error
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(s);
+    {
+      std::lock_guard<std::mutex> lk(connsMu_);
+      if (stopping_) return;
+      reapFinishedLocked();
+      conns_.push_back(conn);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++accepted_;
+    }
+    if constexpr (telemetry::kEnabled) DaemonMetrics::get().connections.add(1);
+    conn->thread = std::thread([this, conn] { serveConnection(conn); });
+  }
+}
+
+void ObserverDaemon::reapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);  // Socket destructor closes the fd
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
+  // Marks the connection reapable on every exit path.
+  struct DoneGuard {
+    Conn& c;
+    ~DoneGuard() { c.done.store(true, std::memory_order_release); }
+  } guard{*conn};
+
+  FrameReader reader(opts_.maxFramePayload);
+  std::uint8_t buf[16 * 1024];
+  std::vector<std::uint8_t> head;  // first bytes, until classified
+  bool isFrameStream = false;
+  const char* error = nullptr;
+
+  while (error == nullptr) {
+    const std::ptrdiff_t n = conn->sock.recvSome(buf, sizeof buf);
+    if (n < 0) {
+      error = "connection error";
+      break;
+    }
+    if (n == 0) break;  // peer closed
+    if constexpr (telemetry::kEnabled) {
+      DaemonMetrics::get().bytesRx.add(static_cast<std::uint64_t>(n));
+    }
+    if (!isFrameStream) {
+      // Decide what this connection is from its first four bytes: MPX
+      // frames start with the magic; anything ASCII-request-shaped gets
+      // the status page; the rest is garbage and is disconnected.
+      head.insert(head.end(), buf, buf + n);
+      if (head.size() < 4) continue;
+      std::uint32_t magic = 0;
+      std::memcpy(&magic, head.data(), 4);
+      if (magic != kFrameMagic) {
+        const std::string text(reinterpret_cast<const char*>(head.data()),
+                               std::min<std::size_t>(head.size(), 8));
+        if (text.rfind("GET", 0) == 0 || text.rfind("HEAD", 0) == 0) {
+          serveStatus(conn->sock, text);
+          std::lock_guard<std::mutex> lk(mu_);
+          ++rejected_;  // not an MPX stream (benign probe)
+          return;
+        }
+        error = "not an MPX frame stream";
+        break;
+      }
+      isFrameStream = true;
+      reader.feed(head.data(), head.size());
+      head.clear();
+    } else {
+      reader.feed(buf, static_cast<std::size_t>(n));
+    }
+
+    Frame frame;
+    FrameReader::Status st;
+    while ((st = reader.next(frame)) == FrameReader::Status::kFrame) {
+      if constexpr (telemetry::kEnabled) DaemonMetrics::get().framesRx.add(1);
+      if (!handleFrame(*conn, frame, &error)) break;
+    }
+    if (error == nullptr && st == FrameReader::Status::kCorrupt) {
+      error = reader.error();
+    }
+  }
+
+  // Half-close only: the fd itself is closed after this thread is joined,
+  // so a concurrent stop() can safely shutdownBoth() on it.
+  conn->sock.shutdownBoth();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (error != nullptr) {
+    logError(error);
+    if constexpr (telemetry::kEnabled) {
+      DaemonMetrics::get().framesCorrupt.add(1);
+    }
+    if (conn->sawHandshake && !conn->sawEnd) {
+      ++aborted_;
+      if constexpr (telemetry::kEnabled) {
+        DaemonMetrics::get().connectionsAborted.add(1);
+      }
+    } else {
+      ++rejected_;
+    }
+  } else if (conn->sawHandshake && !conn->sawEnd) {
+    // Client vanished mid-stream (SIGKILL, network reset): the analyzer
+    // keeps whatever arrived; finalization may now be impossible, which
+    // the report states honestly.
+    logError("client closed before end-of-trace");
+    ++aborted_;
+    if constexpr (telemetry::kEnabled) {
+      DaemonMetrics::get().connectionsAborted.add(1);
+    }
+  } else if (!conn->sawHandshake && (isFrameStream || !head.empty())) {
+    // Sent some bytes but died before a complete handshake (e.g. a frame
+    // cut mid-header).  Nothing reached the analyzer.
+    logError("client closed before a complete handshake");
+    ++rejected_;
+  }
+}
+
+bool ObserverDaemon::handleFrame(Conn& conn, const Frame& frame,
+                                 const char** error) {
+  switch (frame.type) {
+    case FrameType::kHandshake:
+      return handleHandshake(conn, frame, error);
+    case FrameType::kEvents:
+      return handleEvents(conn, frame, error);
+    case FrameType::kEndOfTrace:
+      if (!conn.sawHandshake) {
+        *error = "end-of-trace before handshake";
+        return false;
+      }
+      if (conn.sawEnd) {
+        *error = "duplicate end-of-trace";
+        return false;
+      }
+      conn.sawEnd = true;
+      noteStreamEnd();
+      return true;
+  }
+  *error = "unknown frame type";
+  return false;
+}
+
+bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
+                                     const char** error) {
+  Handshake h;
+  if (!decodeHandshake(frame.payload, h, error)) return false;
+  if (h.threads == 0) {
+    *error = "handshake declares zero threads";
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (conn.sawHandshake) {
+    // A reconnecting emitter resends its handshake on the SAME connection
+    // never happens (each reconnect is a new connection), so a second
+    // handshake on one connection is a protocol error.
+    *error = "duplicate handshake";
+    return false;
+  }
+  if (!handshaken_) {
+    try {
+      space_ = observer::StateSpace::byNames(h.vars, h.tracked);
+      observer::LatticeOptions lat = opts_.lattice;
+      if (opts_.jobs > 0) lat.parallel.jobs = opts_.jobs;
+      if (!h.spec.empty()) {
+        const logic::Formula f = logic::SpecParser(space_).parse(h.spec);
+        monitor_ = std::make_unique<logic::SynthesizedMonitor>(f);
+      }
+      analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
+          space_, h.threads, monitor_.get(), lat);
+    } catch (const std::exception&) {
+      monitor_.reset();
+      analyzer_.reset();
+      *error = "handshake rejected: unusable spec or variable set";
+      return false;
+    }
+    seen_.assign(h.threads, {});
+    handshake_ = std::move(h);
+    handshaken_ = true;
+  } else {
+    // Additional channels of the same analysis must agree on the world.
+    if (h.threads != handshake_.threads || h.spec != handshake_.spec) {
+      *error = "handshake conflicts with the active analysis";
+      return false;
+    }
+  }
+  conn.sawHandshake = true;
+  return true;
+}
+
+bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
+                                  const char** error) {
+  if (!conn.sawHandshake) {
+    *error = "events before handshake";
+    return false;
+  }
+  if (conn.sawEnd) {
+    *error = "events after end-of-trace";
+    return false;
+  }
+  std::vector<trace::Message> messages;
+  if (!decodeEventsPayload(frame.payload, messages, error)) return false;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const trace::Message& m : messages) {
+    if (finished_) {
+      *error = "events after the analysis finished";
+      return false;
+    }
+    const ThreadId j = m.event.thread;
+    if (j >= handshake_.threads) {
+      *error = "message from undeclared thread";
+      return false;
+    }
+    const LocalSeq k = m.clock[j];
+    if (k == 0 || k > kMaxLocalSeq) {
+      *error = "message own-clock out of range";
+      return false;
+    }
+    auto& seen = seen_[j];
+    if (k < seen.size() && seen[k]) {
+      ++duplicates_;
+      if constexpr (telemetry::kEnabled) {
+        DaemonMetrics::get().duplicatesIgnored.add(1);
+      }
+      continue;
+    }
+    try {
+      analyzer_->onMessage(m);
+    } catch (const std::exception&) {
+      *error = "message rejected by the analyzer";
+      return false;
+    }
+    if (k >= seen.size()) seen.resize(k + 1, false);
+    seen[k] = true;
+    ++ingested_;
+    if constexpr (telemetry::kEnabled) {
+      DaemonMetrics::get().messagesIngested.add(1);
+    }
+  }
+  return true;
+}
+
+void ObserverDaemon::noteStreamEnd() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++streamsEnded_;
+  if (streamsEnded_ < opts_.expectedStreams || finished_ ||
+      analyzer_ == nullptr) {
+    return;
+  }
+  try {
+    analyzer_->endOfTrace();
+    finished_ = analyzer_->finished();
+  } catch (const std::exception& e) {
+    streamError_ = e.what();
+  }
+  finishedCv_.notify_all();
+}
+
+void ObserverDaemon::serveStatus(Socket& sock, const std::string&) {
+  const std::string body = renderStatus();
+  std::ostringstream os;
+  os << "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: "
+     << body.size() << "\r\nConnection: close\r\n\r\n"
+     << body;
+  const std::string resp = os.str();
+  sock.sendAll(resp.data(), resp.size());
+  sock.shutdownWrite();
+}
+
+bool ObserverDaemon::waitFinished(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  finishedCv_.wait_for(lk, timeout, [this] {
+    return finished_ || !streamError_.empty();
+  });
+  return finished_;
+}
+
+void ObserverDaemon::stop() {
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lk(connsMu_);
+    if (stopping_) return;
+    stopping_ = true;
+    conns = conns_;
+  }
+  listener_.stop();
+  if (acceptThread_.joinable()) acceptThread_.join();
+  for (auto& c : conns) c->sock.shutdownBoth();
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    finishedCv_.notify_all();
+  }
+}
+
+bool ObserverDaemon::finished() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return finished_;
+}
+
+bool ObserverDaemon::handshaken() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return handshaken_;
+}
+
+std::vector<observer::Violation> ObserverDaemon::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return analyzer_ != nullptr ? analyzer_->violations()
+                              : std::vector<observer::Violation>{};
+}
+
+observer::LatticeStats ObserverDaemon::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{};
+}
+
+std::uint64_t ObserverDaemon::connectionsAccepted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return accepted_;
+}
+
+std::uint64_t ObserverDaemon::connectionsAborted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aborted_;
+}
+
+std::uint64_t ObserverDaemon::connectionsRejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+std::uint64_t ObserverDaemon::messagesIngested() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ingested_;
+}
+
+std::uint64_t ObserverDaemon::duplicatesIgnored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return duplicates_;
+}
+
+std::string ObserverDaemon::streamError() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return streamError_;
+}
+
+std::string ObserverDaemon::renderReport() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return renderViolationReport(
+      space_,
+      analyzer_ != nullptr ? analyzer_->violations()
+                           : std::vector<observer::Violation>{},
+      analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{},
+      finished_);
+}
+
+std::string ObserverDaemon::renderStatus() const {
+  std::ostringstream os;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    os << "mpx_observerd status\n";
+    os << "handshaken: " << (handshaken_ ? "yes" : "no")
+       << ", streams ended: " << streamsEnded_ << '/' << opts_.expectedStreams
+       << '\n';
+    os << "connections: accepted=" << accepted_ << " aborted=" << aborted_
+       << " rejected=" << rejected_ << '\n';
+    os << "messages: ingested=" << ingested_
+       << " duplicates_ignored=" << duplicates_ << '\n';
+    if (!streamError_.empty()) os << "stream error: " << streamError_ << '\n';
+    os << '\n'
+       << renderViolationReport(
+              space_,
+              analyzer_ != nullptr ? analyzer_->violations()
+                                   : std::vector<observer::Violation>{},
+              analyzer_ != nullptr ? analyzer_->stats()
+                                   : observer::LatticeStats{},
+              finished_);
+  }
+  os << '\n' << telemetry::toPrometheusText(telemetry::registry().snapshot());
+  return os.str();
+}
+
+void ObserverDaemon::logError(const char* what) const {
+  if (opts_.logErrors) {
+    std::fprintf(stderr, "mpx_observerd: dropping connection: %s\n", what);
+  }
+}
+
+}  // namespace mpx::net

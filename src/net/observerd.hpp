@@ -1,0 +1,157 @@
+// ObserverDaemon: the observer half of the Fig. 4 deployment, as a library
+// (the mpx_observerd binary is a thin main() around it, and the loopback
+// e2e tests drive it in-process).
+//
+// The daemon accepts TCP connections on localhost.  Each connection is
+// either
+//   * an MPX frame stream — handshake, then any number of kEvents frames,
+//     then kEndOfTrace.  All streams feed ONE OnlineAnalyzer; Theorem 3
+//     makes any interleaving of frames across connections safe, so a
+//     client may spread its messages over several channels/connections to
+//     cut emission latency, exactly as the paper suggests.
+//   * a plain-text status probe ("GET ..."): the daemon replies with an
+//     HTTP response carrying the violation report and the telemetry
+//     snapshot, then closes.  Anything that is neither is logged, counted
+//     and disconnected — a hostile or corrupt client never takes the
+//     daemon down.
+//
+// Lifecycle rules the tests pin down:
+//   * The analyzer is finalized (endOfTrace) once `expectedStreams`
+//     kEndOfTrace frames have arrived.
+//   * A connection that dies without kEndOfTrace (client SIGKILL, network
+//     reset) counts as aborted; the analysis stays consistent but may
+//     never finish — the report says so instead of lying.
+//   * Zero-message streams (handshake + kEndOfTrace) are legal.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/monitor.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "observer/online.hpp"
+
+namespace mpx::net {
+
+/// The daemon's violation report in paper notation.  Exposed so the
+/// loopback e2e tests can render an in-process OnlineAnalyzer's result
+/// through the exact same code and assert byte equality.
+[[nodiscard]] std::string renderViolationReport(
+    const observer::StateSpace& space,
+    const std::vector<observer::Violation>& violations,
+    const observer::LatticeStats& stats, bool finished);
+
+struct DaemonOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  /// kEndOfTrace frames to collect before finalizing the analyzer.  A
+  /// client using N channels (connections) sends one per connection.
+  std::size_t expectedStreams = 1;
+  /// Parallel level expansion inside the OnlineAnalyzer (mpx_cli --jobs).
+  std::size_t jobs = 1;
+  std::size_t maxFramePayload = kDefaultMaxFramePayload;
+  observer::LatticeOptions lattice;
+  /// Log connection errors to stderr (tests silence this).
+  bool logErrors = true;
+};
+
+class ObserverDaemon {
+ public:
+  explicit ObserverDaemon(DaemonOptions opts);
+  ~ObserverDaemon();
+
+  ObserverDaemon(const ObserverDaemon&) = delete;
+  ObserverDaemon& operator=(const ObserverDaemon&) = delete;
+
+  /// Binds, listens, and starts the accept thread.  Returns false if the
+  /// port cannot be bound.
+  bool start();
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Blocks until the analysis finished (all expected streams ended) or
+  /// the timeout expires.  Returns finished().
+  bool waitFinished(std::chrono::milliseconds timeout);
+
+  /// Stops accepting, closes every live connection, joins all threads.
+  /// Idempotent.  The analysis state remains queryable afterwards.
+  void stop();
+
+  // --- analysis results (thread-safe snapshots) ----------------------
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] bool handshaken() const;
+  [[nodiscard]] std::vector<observer::Violation> violations() const;
+  [[nodiscard]] observer::LatticeStats stats() const;
+
+  // --- lifecycle counters --------------------------------------------
+  [[nodiscard]] std::uint64_t connectionsAccepted() const;
+  [[nodiscard]] std::uint64_t connectionsAborted() const;
+  [[nodiscard]] std::uint64_t connectionsRejected() const;
+  [[nodiscard]] std::uint64_t messagesIngested() const;
+  [[nodiscard]] std::uint64_t duplicatesIgnored() const;
+  /// Non-empty once the stream hit an unrecoverable analysis error (e.g.
+  /// endOfTrace with gaps after an aborted client).
+  [[nodiscard]] std::string streamError() const;
+
+  /// Human-readable violation report in paper notation — byte-identical to
+  /// renderReport() over an in-process OnlineAnalyzer fed the same
+  /// messages (the loopback e2e equality check).
+  [[nodiscard]] std::string renderReport() const;
+
+  /// The HTTP status body: lifecycle summary + report + telemetry text.
+  [[nodiscard]] std::string renderStatus() const;
+
+ private:
+  struct Conn;
+
+  void acceptLoop();
+  /// Joins and releases finished connections (accept-thread only, with
+  /// connsMu_ held).
+  void reapFinishedLocked();
+  void serveConnection(std::shared_ptr<Conn> conn);
+  /// Handles one whole frame; returns false to drop the connection (with
+  /// `*error` describing why, or nullptr for a clean end).
+  bool handleFrame(Conn& conn, const Frame& frame, const char** error);
+  bool handleHandshake(Conn& conn, const Frame& frame, const char** error);
+  bool handleEvents(Conn& conn, const Frame& frame, const char** error);
+  void serveStatus(Socket& sock, const std::string& requestLine);
+  void noteStreamEnd();
+  void logError(const char* what) const;
+
+  DaemonOptions opts_;
+  Listener listener_;
+  std::thread acceptThread_;
+
+  mutable std::mutex mu_;  ///< guards everything below
+  std::condition_variable finishedCv_;
+  // Analysis state, created on the first handshake.
+  std::unique_ptr<logic::SynthesizedMonitor> monitor_;
+  std::unique_ptr<observer::OnlineAnalyzer> analyzer_;
+  observer::StateSpace space_;
+  Handshake handshake_;
+  bool handshaken_ = false;
+  bool finished_ = false;
+  std::string streamError_;
+  /// At-least-once dedup: seen_[thread] holds the own-clock indices already
+  /// ingested (a reconnecting emitter resends its in-flight batch).
+  std::vector<std::vector<bool>> seen_;
+  std::size_t streamsEnded_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t duplicates_ = 0;
+
+  std::mutex connsMu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  bool stopping_ = false;  ///< guarded by connsMu_
+};
+
+}  // namespace mpx::net

@@ -1,0 +1,170 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace mpx::net {
+
+namespace {
+
+/// One-time process-wide SIGPIPE suppression: a peer closing mid-send must
+/// surface as an EPIPE error code, not kill the process.  (MSG_NOSIGNAL
+/// covers send(); this covers any future write paths too.)
+void ignoreSigpipe() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connectTo(const std::string& host, std::uint16_t port) {
+  ignoreSigpipe();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Socket();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+bool Socket::sendAll(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const std::ptrdiff_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t Socket::recvSome(void* data, std::size_t len) noexcept {
+  std::ptrdiff_t n;
+  do {
+    n = ::recv(fd_, data, len, 0);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+void Socket::shutdownWrite() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdownBoth() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() { close(); }
+
+bool Listener::open(std::uint16_t port) {
+  ignoreSigpipe();
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd_, 16) < 0 || ::pipe(wakePipe_) < 0) {
+    close();
+    return false;
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+Socket Listener::accept() {
+  while (fd_ >= 0) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wakePipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) return Socket();  // stopped
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Socket();
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Socket(cfd);
+  }
+  return Socket();
+}
+
+void Listener::stop() noexcept {
+  if (wakePipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wakePipe_[1], &b, 1);
+  }
+}
+
+void Listener::close() noexcept {
+  stop();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  for (int& p : wakePipe_) {
+    if (p >= 0) {
+      ::close(p);
+      p = -1;
+    }
+  }
+  port_ = 0;
+}
+
+}  // namespace mpx::net

@@ -1,0 +1,87 @@
+// Thin RAII wrappers over POSIX TCP sockets — just enough for the paper's
+// Fig. 4 deployment (instrumented program and observer as separate
+// processes talking over a socket).  No frameworks: blocking sockets, a
+// self-pipe to make accept() and recv() interruptible, full-buffer
+// send/recv helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mpx::net {
+
+/// A connected TCP stream socket.  Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to host:port.  Returns an invalid socket on failure
+  /// (errno preserved); never throws.
+  static Socket connectTo(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer (looping over partial sends, retrying EINTR).
+  /// Returns false on any error — the connection is then unusable.
+  bool sendAll(const void* data, std::size_t len) noexcept;
+
+  /// Reads up to `len` bytes.  Returns >0 bytes read, 0 on orderly peer
+  /// shutdown, -1 on error.
+  std::ptrdiff_t recvSome(void* data, std::size_t len) noexcept;
+
+  /// Half-close the write side (signals end-of-stream to the peer while
+  /// still allowing reads).
+  void shutdownWrite() noexcept;
+  /// Full shutdown: wakes any thread blocked in recv on this socket.
+  void shutdownBoth() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.  accept() can be woken from
+/// another thread via stop() (self-pipe; closing the listening fd alone is
+/// not a reliable wakeup).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  Returns false
+  /// on failure.
+  bool open(std::uint16_t port);
+
+  /// The bound port (useful after open(0)).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Blocks until a connection arrives or stop() is called.  Returns an
+  /// invalid socket once stopped or on listener error.
+  Socket accept();
+
+  /// Wakes all accept() calls; subsequent accepts return invalid sockets.
+  void stop() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int wakePipe_[2] = {-1, -1};  ///< [0]=read end polled by accept, [1]=write
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mpx::net

@@ -1,0 +1,128 @@
+// The framed wire protocol between an instrumented program and the
+// out-of-process observer daemon (paper Fig. 4: the instrumented program
+// ships messages <e, i, V_i> over a socket to the observer).
+//
+// Every frame is:
+//
+//   u32 magic "MPXF" | u8 type | u32 payloadLen | payload[payloadLen]
+//
+// (little-endian).  The magic on every frame makes stream corruption
+// detectable immediately and lets the daemon tell an MPX client from a
+// stray HTTP request on the same port.  Three frame types:
+//
+//   kHandshake   first frame of every connection: protocol version, the
+//                instrumented program's thread count, the property spec,
+//                the tracked variable names, and the full VarTable — so
+//                the daemon can build its StateSpace/monitor and render
+//                paper-notation reports without sharing memory.
+//   kEvents      a batch of BinaryCodec-encoded messages (>= 1).  Theorem 3
+//                makes any batching/reordering across frames and
+//                connections safe.
+//   kEndOfTrace  the client's streams are complete (empty payload).
+//
+// Delivery is at-least-once: an emitter that reconnects mid-batch resends
+// the whole batch, so the daemon deduplicates by (thread, ownClock) —
+// sound because Algorithm A emits exactly one message per (thread, k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/codec.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
+/// Default payload-size cap a receiver enforces (hostile length words must
+/// not drive allocation).
+inline constexpr std::size_t kDefaultMaxFramePayload = 8u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHandshake = 1,
+  kEvents = 2,
+  kEndOfTrace = 3,
+};
+
+struct Frame {
+  FrameType type = FrameType::kEvents;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Everything the daemon needs to analyze and render a stream: carried in
+/// the first frame of every connection.
+struct Handshake {
+  std::uint16_t version = kProtocolVersion;
+  std::uint32_t threads = 0;          ///< instrumented program thread count
+  std::string spec;                   ///< ptLTL property source text
+  std::vector<std::string> tracked;   ///< relevant variable names, in order
+  trace::VarTable vars;               ///< full table (names, initials, roles)
+};
+
+/// Builds the handshake for a program with the given variable table.
+[[nodiscard]] Handshake makeHandshake(std::uint32_t threads, std::string spec,
+                                      std::vector<std::string> tracked,
+                                      const trace::VarTable& vars);
+
+/// Appends one frame (header + payload) to `out`.
+void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::uint8_t* payload, std::size_t len);
+inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                        const std::vector<std::uint8_t>& payload) {
+  appendFrame(out, type, payload.data(), payload.size());
+}
+
+/// Handshake payload (de)serialization.  decodeHandshake returns false on
+/// malformed or version-incompatible payloads, with a static reason in
+/// `error` — it never throws (daemon-side input is untrusted).
+[[nodiscard]] std::vector<std::uint8_t> encodeHandshake(const Handshake& h);
+[[nodiscard]] bool decodeHandshake(const std::vector<std::uint8_t>& payload,
+                                   Handshake& out, const char** error);
+
+/// Parses a kEvents payload into messages via BinaryCodec::tryDecode.
+/// Returns false (static reason in `error`) on any corrupt or trailing
+/// partial message — frames are atomic, so a partial message inside a
+/// complete frame can only be corruption.
+[[nodiscard]] bool decodeEventsPayload(const std::vector<std::uint8_t>& payload,
+                                       std::vector<trace::Message>& out,
+                                       const char** error);
+
+/// Incremental frame parser over an untrusted byte stream.  Feed bytes as
+/// they arrive; pull whole frames out.  Once corrupt, stays corrupt (the
+/// connection must be dropped — there is no resynchronization).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t maxPayload = kDefaultMaxFramePayload)
+      : maxPayload_(maxPayload) {}
+
+  enum class Status : std::uint8_t {
+    kFrame,     ///< `out` holds one whole frame
+    kNeedMore,  ///< buffered bytes are a prefix of a valid frame
+    kCorrupt,   ///< stream is not (or no longer) a valid frame stream
+  };
+
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Extracts the next whole frame if available.
+  Status next(Frame& out);
+
+  /// Static reason for the last kCorrupt status.
+  [[nodiscard]] const char* error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  std::size_t maxPayload_;
+  bool corrupt_ = false;
+  const char* error_ = nullptr;
+};
+
+}  // namespace mpx::net

@@ -41,17 +41,6 @@ void put(std::vector<std::uint8_t>& out, T v) {
   out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
-template <typename T>
-T take(const std::vector<std::uint8_t>& in, std::size_t& offset) {
-  if (offset + sizeof(T) > in.size()) {
-    throw std::runtime_error("BinaryCodec: truncated message");
-  }
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return v;
-}
-
 }  // namespace
 
 std::size_t BinaryCodec::encode(const Message& m,
@@ -74,30 +63,74 @@ std::size_t BinaryCodec::encode(const Message& m,
   return out.size() - start;
 }
 
-Message BinaryCodec::decode(const std::vector<std::uint8_t>& in,
-                            std::size_t& offset) {
-  Message m;
-  const std::size_t start = offset;
-  const auto kind = take<std::uint8_t>(in, offset);
+DecodeResult BinaryCodec::tryDecode(const std::uint8_t* data,
+                                    std::size_t len) noexcept {
+  DecodeResult r;
+  std::size_t off = 0;
+  const auto fits = [&](std::size_t n) { return len - off >= n; };
+  const auto read = [&](auto& v) {
+    std::memcpy(&v, data + off, sizeof v);
+    off += sizeof v;
+  };
+
+  if (!fits(1)) return r;  // kNeedMore
+  std::uint8_t kind;
+  read(kind);
   if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
-    throw std::runtime_error("BinaryCodec: corrupt event kind");
+    r.status = DecodeStatus::kCorrupt;
+    r.error = "corrupt event kind";
+    return r;
   }
-  m.event.kind = static_cast<EventKind>(kind);
-  m.event.thread = take<std::uint32_t>(in, offset);
-  m.event.var = take<std::uint32_t>(in, offset);
-  m.event.value = take<std::int64_t>(in, offset);
-  m.event.localSeq = take<std::uint64_t>(in, offset);
-  m.event.globalSeq = take<std::uint64_t>(in, offset);
-  const auto n = take<std::uint32_t>(in, offset);
+  r.message.event.kind = static_cast<EventKind>(kind);
+
+  // Fixed-width body: thread, var, value, localSeq, globalSeq, clockSize.
+  constexpr std::size_t kBody = 4 + 4 + 8 + 8 + 8 + 4;
+  if (!fits(kBody)) return r;
+  read(r.message.event.thread);
+  read(r.message.event.var);
+  read(r.message.event.value);
+  read(r.message.event.localSeq);
+  read(r.message.event.globalSeq);
+  std::uint32_t n;
+  read(n);
+  if (n > kMaxClockComponents) {
+    r.status = DecodeStatus::kCorrupt;
+    r.error = "oversized vector clock";
+    return r;
+  }
+  if (!fits(std::size_t{8} * n)) return r;
   for (std::uint32_t j = 0; j < n; ++j) {
-    m.clock.set(static_cast<ThreadId>(j), take<std::uint64_t>(in, offset));
+    std::uint64_t c;
+    read(c);
+    r.message.clock.set(static_cast<ThreadId>(j), c);
   }
+  r.status = DecodeStatus::kOk;
+  r.consumed = off;
   if constexpr (telemetry::kEnabled) {
     CodecMetrics& tm = CodecMetrics::get();
     tm.messagesDecoded.add(1);
-    tm.bytesDecoded.add(offset - start);
+    tm.bytesDecoded.add(off);
   }
-  return m;
+  return r;
+}
+
+Message BinaryCodec::decode(const std::vector<std::uint8_t>& in,
+                            std::size_t& offset) {
+  if (offset > in.size()) {
+    throw std::runtime_error("BinaryCodec: offset past end of input");
+  }
+  const DecodeResult r = tryDecode(in.data() + offset, in.size() - offset);
+  switch (r.status) {
+    case DecodeStatus::kOk:
+      offset += r.consumed;
+      return r.message;
+    case DecodeStatus::kNeedMore:
+      throw std::runtime_error("BinaryCodec: truncated message");
+    case DecodeStatus::kCorrupt:
+    default:
+      throw std::runtime_error(std::string("BinaryCodec: ") +
+                               (r.error != nullptr ? r.error : "corrupt input"));
+  }
 }
 
 std::vector<std::uint8_t> BinaryCodec::encodeAll(

@@ -16,16 +16,42 @@
 
 namespace mpx::trace {
 
+/// Outcome of a non-throwing decode attempt.
+enum class DecodeStatus : std::uint8_t {
+  kOk,        ///< one whole message decoded
+  kNeedMore,  ///< input is a (possibly empty) prefix of a valid message
+  kCorrupt,   ///< input can never become a valid message
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  std::size_t consumed = 0;  ///< bytes consumed (only meaningful on kOk)
+  Message message;           ///< only meaningful on kOk
+  const char* error = nullptr;  ///< static reason string on kCorrupt
+};
+
 /// Binary codec.  Varint-free fixed-width little-endian layout:
 ///   u8 kind | u32 thread | u32 var | i64 value | u64 localSeq |
 ///   u64 globalSeq | u32 clockSize | u64 * clockSize
 class BinaryCodec {
  public:
+  /// Largest clock the decoder accepts.  A hostile clockSize word would
+  /// otherwise make the decoder wait for (or allocate) gigabytes; real
+  /// streams carry one component per thread of the instrumented program.
+  static constexpr std::uint32_t kMaxClockComponents = 1u << 16;
+
   /// Appends the encoding of `m` to `out`.  Returns bytes written.
   static std::size_t encode(const Message& m, std::vector<std::uint8_t>& out);
 
+  /// Non-throwing decode of one message from `data[0..len)`, for untrusted
+  /// input (the daemon's frame parser): truncated input reports kNeedMore,
+  /// garbage reports kCorrupt, and neither kills the process.
+  [[nodiscard]] static DecodeResult tryDecode(const std::uint8_t* data,
+                                              std::size_t len) noexcept;
+
   /// Decodes one message starting at `offset`; advances `offset` past it.
-  /// Throws std::runtime_error on truncated or corrupt input.
+  /// Throws std::runtime_error on truncated or corrupt input.  Trusted
+  /// in-process callers (trace replay, tests) keep this API.
   static Message decode(const std::vector<std::uint8_t>& in,
                         std::size_t& offset);
 

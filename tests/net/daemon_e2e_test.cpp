@@ -1,0 +1,349 @@
+// Loopback end-to-end: the full Fig. 4 deployment on 127.0.0.1.  A socket-
+// fed ObserverDaemon must produce exactly the analysis an in-process
+// OnlineAnalyzer produces — identical violation sets, lattice statistics
+// and rendered reports — and must survive every hostile lifecycle edge:
+// clients killed mid-stream, zero-message streams, random bytes, HTTP
+// probes, protocol violations.
+#include "net/observerd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../support/fixtures.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "net/emitter.hpp"
+#include "observer/online.hpp"
+#include "program/corpus.hpp"
+#include "trace/codec.hpp"
+
+namespace mpx::net {
+namespace {
+
+using namespace std::chrono_literals;
+using mpx::testing::ObservedComputation;
+using mpx::testing::landingComputation;
+using mpx::testing::xyzComputation;
+
+std::vector<trace::Message> messagesInOrder(
+    const observer::CausalityGraph& g) {
+  std::vector<trace::Message> out;
+  for (const auto& ref : g.observedOrder()) out.push_back(g.message(ref));
+  return out;
+}
+
+/// The reference result: an in-process OnlineAnalyzer over the same
+/// messages, rendered through the same report code as the daemon.
+struct Reference {
+  std::vector<observer::Violation> violations;
+  observer::LatticeStats stats;
+  std::string report;
+};
+
+Reference inProcess(const ObservedComputation& c, const char* spec,
+                    std::size_t jobs = 1) {
+  std::unique_ptr<logic::SynthesizedMonitor> mon;
+  if (spec != nullptr && *spec != '\0') {
+    mon = std::make_unique<logic::SynthesizedMonitor>(
+        logic::SpecParser(c.space).parse(spec));
+  }
+  observer::LatticeOptions opts;
+  opts.parallel.jobs = jobs;
+  observer::OnlineAnalyzer a(c.space, c.prog.threadCount(), mon.get(), opts);
+  for (const auto& m : messagesInOrder(c.graph)) a.onMessage(m);
+  a.endOfTrace();
+  EXPECT_TRUE(a.finished());
+  Reference r;
+  r.violations = a.violations();
+  r.stats = a.stats();
+  r.report = renderViolationReport(c.space, a.violations(), a.stats(),
+                                   a.finished());
+  return r;
+}
+
+Handshake handshakeFor(const ObservedComputation& c, const char* spec,
+                       const std::vector<std::string>& tracked) {
+  return makeHandshake(static_cast<std::uint32_t>(c.prog.threadCount()),
+                       spec != nullptr ? spec : "", tracked, c.prog.vars);
+}
+
+DaemonOptions quietDaemon(std::size_t streams = 1, std::size_t jobs = 1) {
+  DaemonOptions o;
+  o.expectedStreams = streams;
+  o.jobs = jobs;
+  o.logErrors = false;
+  return o;
+}
+
+EmitterOptions emitterTo(std::uint16_t port, Handshake h) {
+  EmitterOptions o;
+  o.port = port;
+  o.handshake = std::move(h);
+  o.reconnectBase = 1ms;
+  o.reconnectMax = 20ms;
+  return o;
+}
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(2ms);
+  }
+  return true;
+}
+
+/// Sends raw frames over a fresh connection (the "manual client" used for
+/// lifecycle-edge tests); returns the socket for further abuse.
+Socket rawClient(std::uint16_t port) {
+  Socket s = Socket::connectTo("127.0.0.1", port);
+  EXPECT_TRUE(s.valid());
+  return s;
+}
+
+void sendFrame(Socket& s, FrameType type,
+               const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  appendFrame(bytes, type, payload);
+  ASSERT_TRUE(s.sendAll(bytes.data(), bytes.size()));
+}
+
+std::vector<std::uint8_t> eventsPayload(
+    const std::vector<trace::Message>& ms) {
+  std::vector<std::uint8_t> payload;
+  for (const trace::Message& m : ms) trace::BinaryCodec::encode(m, payload);
+  return payload;
+}
+
+TEST(NetDaemonE2E, LoopbackEqualsInProcessOnLanding) {
+  const auto c = landingComputation();
+  const char* spec = program::corpus::landingProperty();
+  const Reference ref = inProcess(c, spec);
+  ASSERT_FALSE(ref.violations.empty());  // the paper's predicted violation
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  {
+    SocketEmitter emitter(emitterTo(
+        daemon.port(),
+        handshakeFor(c, spec, {"landing", "approved", "radio"})));
+    for (const auto& m : messagesInOrder(c.graph)) emitter.onMessage(m);
+    emitter.close();
+    EXPECT_EQ(emitter.droppedMessages(), 0u);
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  EXPECT_EQ(daemon.renderReport(), ref.report);
+  EXPECT_EQ(daemon.violations().size(), ref.violations.size());
+  EXPECT_EQ(daemon.stats().totalNodes, ref.stats.totalNodes);
+  EXPECT_EQ(daemon.stats().pathCount, ref.stats.pathCount);
+  EXPECT_EQ(daemon.stats().levels, ref.stats.levels);
+  EXPECT_EQ(daemon.messagesIngested(), messagesInOrder(c.graph).size());
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, TwoInterleavedChannelsWithParallelJobs) {
+  const auto c = xyzComputation();
+  const char* spec = program::corpus::xyzProperty();
+  const Reference ref = inProcess(c, spec);
+
+  ObserverDaemon daemon(quietDaemon(/*streams=*/2, /*jobs=*/4));
+  ASSERT_TRUE(daemon.start());
+  const Handshake h = handshakeFor(c, spec, {"x", "y", "z"});
+  {
+    // Split the trace alternately across two connections — Theorem 3 says
+    // the daemon must reassemble the causality regardless.
+    SocketEmitter a(emitterTo(daemon.port(), h));
+    SocketEmitter b(emitterTo(daemon.port(), h));
+    const auto msgs = messagesInOrder(c.graph);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      (i % 2 == 0 ? a : b).onMessage(msgs[i]);
+    }
+    a.close();
+    b.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  EXPECT_EQ(daemon.renderReport(), ref.report);
+  EXPECT_EQ(daemon.violations().size(), ref.violations.size());
+  EXPECT_EQ(daemon.stats().totalNodes, ref.stats.totalNodes);
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, ClientKilledMidStreamThenAnalysisRecovers) {
+  const auto c = landingComputation();
+  const char* spec = program::corpus::landingProperty();
+  const Reference ref = inProcess(c, spec);
+  const auto msgs = messagesInOrder(c.graph);
+  const Handshake h = handshakeFor(c, spec, {"landing", "approved", "radio"});
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+
+  // A client that is SIGKILLed mid-stream: handshake, half the messages,
+  // then the connection just vanishes — no kEndOfTrace, no goodbye.
+  const std::size_t half = msgs.size() / 2;
+  {
+    Socket victim = rawClient(daemon.port());
+    sendFrame(victim, FrameType::kHandshake, encodeHandshake(h));
+    sendFrame(victim, FrameType::kEvents,
+              eventsPayload({msgs.begin(),
+                             msgs.begin() + static_cast<std::ptrdiff_t>(half)}));
+    victim.close();  // abrupt death
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsAborted() == 1; }));
+  EXPECT_FALSE(daemon.finished());
+  EXPECT_NE(daemon.renderReport().find("INCOMPLETE"), std::string::npos);
+
+  // The client restarts and (at-least-once) resends the WHOLE trace; the
+  // daemon deduplicates the first half and completes the analysis.
+  {
+    SocketEmitter emitter(emitterTo(daemon.port(), h));
+    for (const auto& m : msgs) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+  EXPECT_EQ(daemon.duplicatesIgnored(), static_cast<std::uint64_t>(half));
+  EXPECT_EQ(daemon.messagesIngested(), msgs.size());
+  EXPECT_EQ(daemon.renderReport(), ref.report);
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, ZeroMessageStreamFinishesCleanly) {
+  trace::VarTable vars;
+  vars.intern("x", 0);
+  const Handshake h = makeHandshake(2, "", {"x"}, vars);
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  {
+    Socket client = rawClient(daemon.port());
+    sendFrame(client, FrameType::kHandshake, encodeHandshake(h));
+    sendFrame(client, FrameType::kEndOfTrace, {});
+    client.shutdownWrite();
+  }
+  ASSERT_TRUE(daemon.waitFinished(5000ms)) << daemon.streamError();
+  EXPECT_TRUE(daemon.violations().empty());
+  EXPECT_NE(daemon.renderReport().find("analysis complete"),
+            std::string::npos);
+  EXPECT_EQ(daemon.connectionsAborted(), 0u);
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, RandomBytesNeverTakeTheDaemonDown) {
+  const auto c = landingComputation();
+  const char* spec = program::corpus::landingProperty();
+  const Reference ref = inProcess(c, spec);
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+
+  // Garbage first: 4 KiB of bytes that are neither frames nor HTTP.
+  {
+    Socket garbage = rawClient(daemon.port());
+    std::vector<std::uint8_t> junk(4096);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;  // deterministic splitmix-ish
+    for (auto& b : junk) {
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      b = static_cast<std::uint8_t>(x * 0x2545f4914f6cdd1dull >> 56);
+    }
+    junk[0] = 0xAB;  // definitely not the magic, not "GET"/"HEAD"
+    garbage.sendAll(junk.data(), junk.size());
+    garbage.close();
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsRejected() >= 1; }));
+  EXPECT_FALSE(daemon.handshaken());
+
+  // A mid-frame truncation (valid prefix, then death) must not stick either.
+  {
+    const Handshake h = handshakeFor(c, spec, {"landing", "approved", "radio"});
+    Socket truncated = rawClient(daemon.port());
+    std::vector<std::uint8_t> bytes;
+    appendFrame(bytes, FrameType::kHandshake, encodeHandshake(h));
+    truncated.sendAll(bytes.data(), bytes.size() / 2);
+    truncated.close();
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsRejected() >= 2; }));
+
+  // ...and a clean client still gets a full, correct analysis.
+  {
+    SocketEmitter emitter(emitterTo(
+        daemon.port(),
+        handshakeFor(c, spec, {"landing", "approved", "radio"})));
+    for (const auto& m : messagesInOrder(c.graph)) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+  EXPECT_EQ(daemon.renderReport(), ref.report);
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, HttpProbeGetsStatusPage) {
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  Socket probe = rawClient(daemon.port());
+  const std::string req = "GET / HTTP/1.0\r\n\r\n";
+  ASSERT_TRUE(probe.sendAll(req.data(), req.size()));
+  std::string response;
+  char buf[4096];
+  std::ptrdiff_t n;
+  while ((n = probe.recvSome(buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("mpx_observerd status"), std::string::npos);
+  EXPECT_NE(response.find("handshaken: no"), std::string::npos);
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, ProtocolViolationsAreRejectedNotFatal) {
+  trace::VarTable vars;
+  vars.intern("x", 0);
+  const Handshake h = makeHandshake(2, "", {"x"}, vars);
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+
+  {
+    // Events before handshake.
+    trace::Message m;
+    m.event.thread = 0;
+    m.clock.set(0, 1);
+    Socket s = rawClient(daemon.port());
+    sendFrame(s, FrameType::kEvents, eventsPayload({m}));
+    s.shutdownWrite();
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsRejected() >= 1; }));
+
+  {
+    // Message from a thread the handshake never declared.
+    trace::Message m;
+    m.event.thread = 9;
+    m.clock.set(9, 1);
+    Socket s = rawClient(daemon.port());
+    sendFrame(s, FrameType::kHandshake, encodeHandshake(h));
+    sendFrame(s, FrameType::kEvents, eventsPayload({m}));
+    s.shutdownWrite();
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsAborted() >= 1; }));
+
+  // The daemon is still healthy: a clean zero-message stream finishes.
+  {
+    Socket s = rawClient(daemon.port());
+    sendFrame(s, FrameType::kHandshake, encodeHandshake(h));
+    sendFrame(s, FrameType::kEndOfTrace, {});
+    s.shutdownWrite();
+  }
+  ASSERT_TRUE(daemon.waitFinished(5000ms)) << daemon.streamError();
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace mpx::net

@@ -1,0 +1,226 @@
+// SocketEmitter transport behavior against a raw in-test server: framing,
+// lossless blocking backpressure, drop accounting when no daemon exists,
+// reconnect-with-handshake-resend, and close() idempotence.
+#include "net/emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "trace/codec.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+trace::Message sampleMessage(ThreadId t, LocalSeq k) {
+  trace::Message m;
+  m.event.kind = trace::EventKind::kWrite;
+  m.event.thread = t;
+  m.event.var = 0;
+  m.event.value = static_cast<Value>(k);
+  m.event.localSeq = k;
+  m.clock.set(t, k);
+  return m;
+}
+
+Handshake testHandshake() {
+  trace::VarTable vars;
+  vars.intern("x", 0);
+  return makeHandshake(2, "", {"x"}, vars);
+}
+
+EmitterOptions fastOptions(std::uint16_t port) {
+  EmitterOptions o;
+  o.port = port;
+  o.handshake = testHandshake();
+  o.reconnectBase = 1ms;
+  o.reconnectMax = 10ms;
+  return o;
+}
+
+/// Reads frames from `s` until EOF (or corruption, which fails the test).
+std::vector<Frame> readAllFrames(Socket& s) {
+  FrameReader reader;
+  std::vector<Frame> frames;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = s.recvSome(buf, sizeof buf);
+    if (n <= 0) break;
+    reader.feed(buf, static_cast<std::size_t>(n));
+    Frame f;
+    FrameReader::Status st;
+    while ((st = reader.next(f)) == FrameReader::Status::kFrame) {
+      frames.push_back(f);
+    }
+    EXPECT_NE(st, FrameReader::Status::kCorrupt) << reader.error();
+  }
+  return frames;
+}
+
+std::vector<trace::Message> messagesIn(const std::vector<Frame>& frames) {
+  std::vector<trace::Message> out;
+  for (const Frame& f : frames) {
+    if (f.type != FrameType::kEvents) continue;
+    const char* error = nullptr;
+    EXPECT_TRUE(decodeEventsPayload(f.payload, out, &error)) << error;
+  }
+  return out;
+}
+
+TEST(NetEmitter, StreamsHandshakeEventsAndEndOfTrace) {
+  Listener server;
+  ASSERT_TRUE(server.open(0));
+  std::vector<Frame> frames;
+  std::thread srv([&] {
+    Socket c = server.accept();
+    ASSERT_TRUE(c.valid());
+    frames = readAllFrames(c);
+  });
+
+  std::vector<trace::Message> sent;
+  {
+    SocketEmitter emitter(fastOptions(server.port()));
+    for (LocalSeq k = 1; k <= 5; ++k) {
+      sent.push_back(sampleMessage(0, k));
+      emitter.onMessage(sent.back());
+    }
+    emitter.close();
+    EXPECT_EQ(emitter.droppedMessages(), 0u);
+    EXPECT_FALSE(emitter.failed());
+  }
+  srv.join();
+
+  ASSERT_GE(frames.size(), 3u);
+  EXPECT_EQ(frames.front().type, FrameType::kHandshake);
+  Handshake h;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(frames.front().payload, h, &error)) << error;
+  EXPECT_EQ(h.threads, 2u);
+  EXPECT_EQ(frames.back().type, FrameType::kEndOfTrace);
+  EXPECT_EQ(messagesIn(frames), sent);
+}
+
+TEST(NetEmitter, BlockingBackpressureIsLossless) {
+  Listener server;
+  ASSERT_TRUE(server.open(0));
+  std::vector<Frame> frames;
+  std::thread srv([&] {
+    Socket c = server.accept();
+    ASSERT_TRUE(c.valid());
+    frames = readAllFrames(c);
+  });
+
+  EmitterOptions opts = fastOptions(server.port());
+  opts.queueCapacity = 2;  // producers must stall, never lose
+  opts.maxBatch = 1;
+  SocketEmitter emitter(opts);
+  constexpr int kMessages = 200;
+  for (LocalSeq k = 1; k <= kMessages; ++k) {
+    emitter.onMessage(sampleMessage(0, k));
+  }
+  emitter.close();
+  srv.join();
+
+  EXPECT_EQ(emitter.droppedMessages(), 0u);
+  EXPECT_EQ(messagesIn(frames).size(), static_cast<std::size_t>(kMessages));
+}
+
+TEST(NetEmitter, CountsEveryDropWhenNoDaemonExists) {
+  // Grab an ephemeral port nothing listens on.
+  std::uint16_t deadPort;
+  {
+    Listener probe;
+    ASSERT_TRUE(probe.open(0));
+    deadPort = probe.port();
+  }
+  EmitterOptions opts = fastOptions(deadPort);
+  opts.maxReconnectAttempts = 2;
+  SocketEmitter emitter(opts);
+  constexpr int kMessages = 32;
+  for (LocalSeq k = 1; k <= kMessages; ++k) {
+    emitter.onMessage(sampleMessage(0, k));
+  }
+  emitter.close();
+
+  EXPECT_TRUE(emitter.failed());
+  EXPECT_EQ(emitter.droppedMessages(), static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(NetEmitter, DoubleCloseIsIdempotent) {
+  Listener server;
+  ASSERT_TRUE(server.open(0));
+  std::thread srv([&] {
+    Socket c = server.accept();
+    if (c.valid()) readAllFrames(c);
+  });
+  SocketEmitter emitter(fastOptions(server.port()));
+  emitter.onMessage(sampleMessage(0, 1));
+  emitter.close();
+  emitter.close();  // no-op
+  const std::uint64_t framesAfterFirstClose = emitter.framesSent();
+  emitter.onMessage(sampleMessage(0, 2));  // dropped, not queued
+  emitter.close();
+  EXPECT_EQ(emitter.framesSent(), framesAfterFirstClose);
+  EXPECT_EQ(emitter.droppedMessages(), 1u);
+  srv.join();
+}
+
+TEST(NetEmitter, ReconnectResendsHandshake) {
+  Listener server;
+  ASSERT_TRUE(server.open(0));
+  std::atomic<bool> firstConnDone{false};
+  std::vector<Frame> secondConnFrames;
+  std::thread srv([&] {
+    {
+      // First connection: read the handshake plus one events frame, then
+      // hang up mid-stream.
+      Socket c = server.accept();
+      ASSERT_TRUE(c.valid());
+      FrameReader reader;
+      std::uint8_t buf[4096];
+      std::size_t got = 0;
+      while (got < 2) {
+        const std::ptrdiff_t n = c.recvSome(buf, sizeof buf);
+        ASSERT_GT(n, 0);
+        reader.feed(buf, static_cast<std::size_t>(n));
+        Frame f;
+        while (reader.next(f) == FrameReader::Status::kFrame) ++got;
+      }
+    }  // closes the socket
+    firstConnDone = true;
+    Socket c = server.accept();
+    ASSERT_TRUE(c.valid());
+    secondConnFrames = readAllFrames(c);
+  });
+
+  EmitterOptions opts = fastOptions(server.port());
+  opts.maxBatch = 1;
+  SocketEmitter emitter(opts);
+  emitter.onMessage(sampleMessage(0, 1));
+  while (!firstConnDone) std::this_thread::sleep_for(1ms);
+  // Keep emitting until a send trips over the dead socket and the emitter
+  // re-establishes the stream (handshake first) on a fresh connection.
+  LocalSeq k = 2;
+  while (emitter.reconnects() == 0 && k < 2000) {
+    emitter.onMessage(sampleMessage(0, k++));
+    std::this_thread::sleep_for(1ms);
+  }
+  emitter.close();
+  srv.join();
+
+  EXPECT_GE(emitter.reconnects(), 1u);
+  ASSERT_FALSE(secondConnFrames.empty());
+  EXPECT_EQ(secondConnFrames.front().type, FrameType::kHandshake);
+  EXPECT_EQ(secondConnFrames.back().type, FrameType::kEndOfTrace);
+}
+
+}  // namespace
+}  // namespace mpx::net

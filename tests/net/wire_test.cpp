@@ -1,0 +1,245 @@
+// The framed wire protocol and the hardened decoder underneath it: frame
+// round-trips under arbitrary packetization, handshake (de)serialization,
+// and the non-throwing BinaryCodec::tryDecode the daemon's parser runs on.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/codec.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::net {
+namespace {
+
+trace::Message sampleMessage(ThreadId t, LocalSeq k) {
+  trace::Message m;
+  m.event.kind = trace::EventKind::kWrite;
+  m.event.thread = t;
+  m.event.var = 2;
+  m.event.value = 40 + static_cast<Value>(k);
+  m.event.localSeq = k;
+  m.event.globalSeq = 7 + k;
+  m.clock.set(t, k);
+  m.clock.set(t + 1, 3);
+  return m;
+}
+
+std::vector<std::uint8_t> eventsPayload(const std::vector<trace::Message>& ms) {
+  std::vector<std::uint8_t> payload;
+  for (const trace::Message& m : ms) trace::BinaryCodec::encode(m, payload);
+  return payload;
+}
+
+Handshake sampleHandshake() {
+  trace::VarTable vars;
+  vars.intern("landing", 0);
+  vars.intern("approved", 1);
+  vars.intern("$lock:radio", 0, trace::VarRole::kLock);
+  return makeHandshake(3, "[](landing -> approved)", {"landing", "approved"},
+                       vars);
+}
+
+TEST(NetFrame, RoundTripSingleFrame) {
+  const std::vector<trace::Message> msgs{sampleMessage(0, 1),
+                                         sampleMessage(1, 1)};
+  std::vector<std::uint8_t> bytes;
+  appendFrame(bytes, FrameType::kEvents, eventsPayload(msgs));
+
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_EQ(reader.next(f), FrameReader::Status::kFrame);
+  EXPECT_EQ(f.type, FrameType::kEvents);
+
+  std::vector<trace::Message> decoded;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeEventsPayload(f.payload, decoded, &error)) << error;
+  EXPECT_EQ(decoded, msgs);
+  EXPECT_EQ(reader.next(f), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetFrame, ByteByByteFeedReassemblesEveryFrame) {
+  std::vector<std::uint8_t> bytes;
+  appendFrame(bytes, FrameType::kHandshake, encodeHandshake(sampleHandshake()));
+  appendFrame(bytes, FrameType::kEvents, eventsPayload({sampleMessage(0, 1)}));
+  appendFrame(bytes, FrameType::kEndOfTrace, {});
+
+  FrameReader reader;
+  std::vector<FrameType> types;
+  for (const std::uint8_t b : bytes) {
+    reader.feed(&b, 1);
+    Frame f;
+    while (reader.next(f) == FrameReader::Status::kFrame) {
+      types.push_back(f.type);
+    }
+  }
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], FrameType::kHandshake);
+  EXPECT_EQ(types[1], FrameType::kEvents);
+  EXPECT_EQ(types[2], FrameType::kEndOfTrace);
+}
+
+TEST(NetFrame, BadMagicIsStickyCorrupt) {
+  FrameReader reader;
+  const std::uint8_t junk[16] = {0xde, 0xad, 0xbe, 0xef};
+  reader.feed(junk, sizeof junk);
+  Frame f;
+  EXPECT_EQ(reader.next(f), FrameReader::Status::kCorrupt);
+  EXPECT_STREQ(reader.error(), "bad frame magic");
+
+  // Corruption is terminal: even a subsequent valid frame is refused.
+  std::vector<std::uint8_t> good;
+  appendFrame(good, FrameType::kEndOfTrace, {});
+  reader.feed(good.data(), good.size());
+  EXPECT_EQ(reader.next(f), FrameReader::Status::kCorrupt);
+}
+
+TEST(NetFrame, UnknownTypeAndOversizedPayloadAreCorrupt) {
+  {
+    std::vector<std::uint8_t> bytes;
+    appendFrame(bytes, static_cast<FrameType>(9), {});
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_EQ(reader.next(f), FrameReader::Status::kCorrupt);
+    EXPECT_STREQ(reader.error(), "unknown frame type");
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    appendFrame(bytes, FrameType::kEvents, std::vector<std::uint8_t>(64, 0));
+    FrameReader reader(/*maxPayload=*/16);  // hostile length words capped
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_EQ(reader.next(f), FrameReader::Status::kCorrupt);
+    EXPECT_STREQ(reader.error(), "frame payload exceeds limit");
+  }
+}
+
+TEST(NetFrame, PartialHeaderAndPayloadNeedMore) {
+  std::vector<std::uint8_t> bytes;
+  appendFrame(bytes, FrameType::kEvents, eventsPayload({sampleMessage(0, 1)}));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameReader reader;
+    reader.feed(bytes.data(), cut);
+    Frame f;
+    EXPECT_EQ(reader.next(f), FrameReader::Status::kNeedMore) << "cut " << cut;
+  }
+}
+
+TEST(NetHandshake, RoundTripPreservesEverything) {
+  const Handshake h = sampleHandshake();
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.threads, 3u);
+  EXPECT_EQ(back.spec, h.spec);
+  EXPECT_EQ(back.tracked, h.tracked);
+  ASSERT_EQ(back.vars.size(), h.vars.size());
+  for (VarId v = 0; v < h.vars.size(); ++v) {
+    EXPECT_EQ(back.vars.name(v), h.vars.name(v));
+    EXPECT_EQ(back.vars.initial(v), h.vars.initial(v));
+    EXPECT_EQ(back.vars.role(v), h.vars.role(v));
+  }
+}
+
+TEST(NetHandshake, RejectsWrongVersion) {
+  std::vector<std::uint8_t> payload = encodeHandshake(sampleHandshake());
+  payload[0] = 0x7f;  // version word
+  Handshake back;
+  const char* error = nullptr;
+  EXPECT_FALSE(decodeHandshake(payload, back, &error));
+  EXPECT_STREQ(error, "unsupported protocol version");
+}
+
+TEST(NetHandshake, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> payload =
+      encodeHandshake(sampleHandshake());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(payload.begin(),
+                                     payload.begin() +
+                                         static_cast<std::ptrdiff_t>(cut));
+    Handshake back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeHandshake(prefix, back, &error)) << "cut " << cut;
+    EXPECT_NE(error, nullptr);
+  }
+}
+
+TEST(NetHandshake, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> payload = encodeHandshake(sampleHandshake());
+  payload.push_back(0);
+  Handshake back;
+  const char* error = nullptr;
+  EXPECT_FALSE(decodeHandshake(payload, back, &error));
+  EXPECT_STREQ(error, "handshake has trailing bytes");
+}
+
+TEST(NetEvents, PartialMessageInsideFrameIsCorrupt) {
+  std::vector<std::uint8_t> payload = eventsPayload({sampleMessage(0, 1)});
+  payload.pop_back();  // frames are atomic: a cut message is corruption
+  std::vector<trace::Message> out;
+  const char* error = nullptr;
+  EXPECT_FALSE(decodeEventsPayload(payload, out, &error));
+  EXPECT_STREQ(error, "partial message inside events frame");
+}
+
+// --- BinaryCodec::tryDecode: the hardened decoder under the daemon ------
+
+TEST(NetTryDecode, EveryPrefixReportsNeedMore) {
+  std::vector<std::uint8_t> bytes;
+  trace::BinaryCodec::encode(sampleMessage(1, 4), bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const trace::DecodeResult r =
+        trace::BinaryCodec::tryDecode(bytes.data(), cut);
+    EXPECT_EQ(r.status, trace::DecodeStatus::kNeedMore) << "cut " << cut;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+  const trace::DecodeResult full =
+      trace::BinaryCodec::tryDecode(bytes.data(), bytes.size());
+  ASSERT_EQ(full.status, trace::DecodeStatus::kOk);
+  EXPECT_EQ(full.consumed, bytes.size());
+  EXPECT_EQ(full.message, sampleMessage(1, 4));
+}
+
+TEST(NetTryDecode, CorruptKindAndOversizedClockAreRejected) {
+  std::vector<std::uint8_t> bytes;
+  trace::BinaryCodec::encode(sampleMessage(0, 1), bytes);
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] = 0xff;  // invalid EventKind
+    const trace::DecodeResult r =
+        trace::BinaryCodec::tryDecode(bad.data(), bad.size());
+    EXPECT_EQ(r.status, trace::DecodeStatus::kCorrupt);
+    EXPECT_STREQ(r.error, "corrupt event kind");
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    // clockSize lives after kind(1)+thread(4)+var(4)+value(8)+local(8)+global(8).
+    const std::size_t off = 1 + 4 + 4 + 8 + 8 + 8;
+    bad[off] = 0xff;
+    bad[off + 1] = 0xff;
+    bad[off + 2] = 0xff;
+    bad[off + 3] = 0xff;
+    const trace::DecodeResult r =
+        trace::BinaryCodec::tryDecode(bad.data(), bad.size());
+    EXPECT_EQ(r.status, trace::DecodeStatus::kCorrupt);
+    EXPECT_STREQ(r.error, "oversized vector clock");
+  }
+}
+
+TEST(NetTryDecode, ThrowingDecodeStillThrowsForTrustedCallers) {
+  std::vector<std::uint8_t> bytes;
+  trace::BinaryCodec::encode(sampleMessage(0, 1), bytes);
+  bytes.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(trace::BinaryCodec::decode(bytes, offset), std::runtime_error);
+  EXPECT_EQ(offset, 0u);
+}
+
+}  // namespace
+}  // namespace mpx::net
