@@ -1,0 +1,135 @@
+// The one-pass engine's reason to exist, measured: checking K properties
+// as plugins in ONE lattice pass vs K independent single-property passes
+// over the same execution.  The K-pass baseline pays K lattice expansions;
+// the one-pass engine pays one (plus K monitors riding it) and interning
+// keeps the two-consecutive-levels window small.
+//
+// BENCH_multi_property.json carries ns/op for both shapes plus
+// ns_per_level, peak retained nodes, and the intern hit rate.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+
+#include "analysis/engine.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+
+namespace {
+
+using namespace mpx;
+
+/// K = 3 properties over the independent-writers workload (maximal level
+/// width — the lattice shape that makes repeated passes expensive).
+const std::vector<std::string>& kSpecs() {
+  static const std::vector<std::string> specs = {
+      "!(v0 > v1 && v1 > v2)",
+      "v2 > 0 -> v0 >= 0",
+      "!(v0 = v1 && v1 = v2 && v0 > 0)",
+  };
+  return specs;
+}
+
+analysis::EngineConfig baseConfig() {
+  analysis::EngineConfig c;
+  c.lattice.maxViolations = 1u << 12;
+  return c;
+}
+
+void exportLatticeCounters(benchmark::State& state,
+                           const observer::LatticeStats& stats,
+                           double nsTotal, double passes) {
+  const double levels = static_cast<double>(stats.levels) * passes;
+  state.counters["levels"] = static_cast<double>(stats.levels);
+  state.counters["ns_per_level"] = levels > 0 ? nsTotal / levels : 0.0;
+  state.counters["peak_live_nodes"] =
+      static_cast<double>(stats.peakLiveNodes);
+  const double lookups =
+      static_cast<double>(stats.internHits + stats.internMisses);
+  state.counters["intern_hit_rate_percent"] =
+      lookups > 0 ? 100.0 * static_cast<double>(stats.internHits) / lookups
+                  : 0.0;
+  state.counters["total_nodes"] = static_cast<double>(stats.totalNodes);
+}
+
+void BM_OnePass_K3(benchmark::State& state) {
+  const std::size_t writes = static_cast<std::size_t>(state.range(0));
+  const program::Program prog = program::corpus::independentWriters(3, writes);
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+
+  analysis::EngineConfig config = baseConfig();
+  config.specs = kSpecs();
+  const analysis::Engine engine(prog, config);
+
+  observer::LatticeStats stats;
+  double nsTotal = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const analysis::EngineResult r = engine.run(rec);
+    const auto t1 = std::chrono::steady_clock::now();
+    nsTotal += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    stats = r.latticeStats;
+    benchmark::DoNotOptimize(r.reports.size());
+  }
+  exportLatticeCounters(state, stats,
+                        nsTotal / static_cast<double>(state.iterations()),
+                        /*passes=*/1.0);
+  state.counters["properties"] = static_cast<double>(kSpecs().size());
+  state.counters["passes"] = 1.0;
+}
+BENCHMARK(BM_OnePass_K3)->Arg(3)->Arg(5);
+
+void BM_KPasses_K3(benchmark::State& state) {
+  const std::size_t writes = static_cast<std::size_t>(state.range(0));
+  const program::Program prog = program::corpus::independentWriters(3, writes);
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+
+  // Baselines track the union of all specs' variables, exactly like the
+  // equivalence test: same messages, same lattice, K expansions of it.
+  const analysis::Engine unionEngine = [&] {
+    analysis::EngineConfig c = baseConfig();
+    c.specs = kSpecs();
+    return analysis::Engine(prog, c);
+  }();
+  std::vector<analysis::Engine> engines;
+  engines.reserve(kSpecs().size());
+  for (const std::string& spec : kSpecs()) {
+    analysis::EngineConfig c = baseConfig();
+    c.specs = {spec};
+    c.extraTrackedVars = unionEngine.trackedVariables();
+    engines.emplace_back(prog, c);
+  }
+
+  observer::LatticeStats stats;
+  double nsTotal = 0;
+  for (auto _ : state) {
+    std::size_t reports = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const analysis::Engine& engine : engines) {
+      const analysis::EngineResult r = engine.run(rec);
+      reports += r.reports.size();
+      stats = r.latticeStats;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    nsTotal += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    benchmark::DoNotOptimize(reports);
+  }
+  exportLatticeCounters(state, stats,
+                        nsTotal / static_cast<double>(state.iterations()),
+                        /*passes=*/static_cast<double>(engines.size()));
+  state.counters["properties"] = static_cast<double>(kSpecs().size());
+  state.counters["passes"] = static_cast<double>(engines.size());
+}
+BENCHMARK(BM_KPasses_K3)->Arg(3)->Arg(5);
+
+}  // namespace
+
+MPX_BENCH_MAIN("multi_property");

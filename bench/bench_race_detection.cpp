@@ -1,17 +1,29 @@
 // §3.1 in practice — predictive race/deadlock analysis throughput on
-// lock-instrumented executions.
+// lock-instrumented executions, driven through the lattice-engine plugins
+// (RaceAnalysis / DeadlockAnalysis) exactly like the one-pass engine does.
 #include <benchmark/benchmark.h>
 
 #include "bench_support.hpp"
 
-#include "detect/deadlock_detector.hpp"
-#include "detect/race_detector.hpp"
+#include "detect/deadlock_analysis.hpp"
+#include "detect/race_analysis.hpp"
 #include "program/corpus.hpp"
 #include "program/scheduler.hpp"
 
 namespace {
 
 using namespace mpx;
+
+/// Replays a recorded execution into a plugin the way the engine bus does.
+template <typename Plugin>
+void feed(Plugin& plugin, const program::ExecutionRecord& rec) {
+  static const std::vector<LockId> kNoLocks;
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    plugin.onRawEvent(rec.events[i],
+                      i < rec.locksHeld.size() ? rec.locksHeld[i] : kNoLocks);
+  }
+  plugin.finish({});
+}
 
 void BM_RacePredictor_BankAccount(benchmark::State& state) {
   const std::size_t deposits = static_cast<std::size_t>(state.range(0));
@@ -22,10 +34,11 @@ void BM_RacePredictor_BankAccount(benchmark::State& state) {
   detect::RaceOptions opts;
   opts.happensBefore = true;
   opts.lockset = true;
-  detect::RacePredictor predictor(opts);
   std::size_t races = 0;
   for (auto _ : state) {
-    races = predictor.analyzeExecution(rec, prog, {"balance"}).size();
+    detect::RaceAnalysis plugin(prog, {"balance"}, opts);
+    feed(plugin, rec);
+    races = plugin.races().size();
     benchmark::DoNotOptimize(races);
   }
   state.counters["accesses"] = static_cast<double>(deposits * 4);
@@ -43,10 +56,10 @@ void BM_RacePredictor_CleanLockedAccount(benchmark::State& state) {
   detect::RaceOptions opts;
   opts.happensBefore = true;
   opts.lockset = true;
-  detect::RacePredictor predictor(opts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        predictor.analyzeExecution(rec, prog, {"balance"}).size());
+    detect::RaceAnalysis plugin(prog, {"balance"}, opts);
+    feed(plugin, rec);
+    benchmark::DoNotOptimize(plugin.races().size());
   }
 }
 BENCHMARK(BM_RacePredictor_CleanLockedAccount)->Arg(16)->Arg(64);
@@ -56,10 +69,11 @@ void BM_DeadlockPredictor_Philosophers(benchmark::State& state) {
   const program::Program prog = program::corpus::diningPhilosophers(n);
   program::GreedyScheduler sched;
   const program::ExecutionRecord rec = program::runProgram(prog, sched);
-  detect::DeadlockPredictor predictor;
   std::size_t reports = 0;
   for (auto _ : state) {
-    reports = predictor.analyze(rec, prog).size();
+    detect::DeadlockAnalysis plugin(prog);
+    feed(plugin, rec);
+    reports = plugin.deadlocks().size();
     benchmark::DoNotOptimize(reports);
   }
   state.counters["philosophers"] = static_cast<double>(n);

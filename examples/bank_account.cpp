@@ -8,8 +8,8 @@
 // sections and no race is reported.
 #include <cstdio>
 
-#include "core/instrumentor.hpp"
-#include "detect/race_detector.hpp"
+#include "analysis/engine.hpp"
+#include "detect/race_analysis.hpp"
 #include "program/corpus.hpp"
 #include "program/explorer.hpp"
 
@@ -28,11 +28,15 @@ void analyzeRaces(const program::Program& prog, const char* label) {
   // Instrument ALL accesses of `balance` with the race-detection causality
   // projection (program order + synchronization edges only), then look for
   // MVC-concurrent conflicting pairs; the lockset refinement also flags
-  // pairs this particular run happened to order.
+  // pairs this particular run happened to order.  The detector is a
+  // lattice-engine plugin: the engine replays the recorded events through
+  // its bus and the plugin builds the projected clocks as they stream by.
   detect::RaceOptions opts;
   opts.lockset = true;
-  detect::RacePredictor predictor(opts);
-  const auto races = predictor.analyzeExecution(rec, prog, {"balance"});
+  detect::RaceAnalysis racePlugin(prog, {"balance"}, opts);
+  const analysis::Engine engine(prog, analysis::EngineConfig{});
+  (void)engine.run(rec, {&racePlugin});
+  const auto& races = racePlugin.races();
 
   std::printf("predicted races: %zu\n", races.size());
   for (const auto& race : races) {

@@ -8,7 +8,8 @@
 // ordered fork acquisition the graph is acyclic and nothing is reported.
 #include <cstdio>
 
-#include "detect/deadlock_detector.hpp"
+#include "analysis/engine.hpp"
+#include "detect/deadlock_analysis.hpp"
 #include "program/corpus.hpp"
 #include "program/explorer.hpp"
 
@@ -27,8 +28,13 @@ void analyze(std::size_t n, bool ordered) {
   const program::ExecutionRecord rec = program::runProgram(prog, sched);
   std::printf("observed run deadlocked: %s\n", rec.deadlocked ? "yes" : "no");
 
-  detect::DeadlockPredictor predictor;
-  const auto reports = predictor.analyze(rec, prog);
+  // The detector is a lattice-engine plugin: the engine replays the
+  // recorded events through its bus; the plugin accumulates lock-order
+  // edges and runs the cycle search at finish().
+  detect::DeadlockAnalysis deadlockPlugin(prog);
+  const analysis::Engine engine(prog, analysis::EngineConfig{});
+  (void)engine.run(rec, {&deadlockPlugin});
+  const auto& reports = deadlockPlugin.deadlocks();
   std::printf("predicted potential deadlocks: %zu\n", reports.size());
   for (const auto& r : reports) {
     std::printf("  %s\n", r.describe(prog.lockNames).c_str());

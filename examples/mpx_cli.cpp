@@ -1,15 +1,20 @@
 // mpx_cli — command-line predictive analysis over the built-in corpus.
 //
 //   mpx_cli list
-//   mpx_cli analyze <program> [--spec "<ptLTL>"] [--seed N]
-//           [--schedule greedy|roundrobin|random|observed]
+//   mpx_cli analyze <program> [--spec "<ptLTL>"] [--property "<ptLTL>"]...
+//           [--seed N] [--schedule greedy|roundrobin|random|observed]
 //           [--delivery fifo|shuffle|delay|reverse] [--lattice] [--dot] [--json]
 //   mpx_cli explore <program> [--spec "<ptLTL>"]      # ground truth
+//
+// `--property` is repeatable: all K properties are checked in ONE lattice
+// pass (each a SpecAnalysis plugin on the shared engine bus) instead of K
+// independent analyses.
 //
 // Examples:
 //   mpx_cli analyze landing --schedule observed --lattice
 //   mpx_cli analyze xyz --seed 7
 //   mpx_cli analyze naive-mutex --spec "!(c0 = 1 && c1 = 1)"
+//   mpx_cli analyze xyz --property "y = 1 -> [.](x = 0)" --property "z != 2"
 //   mpx_cli analyze peterson --stats --trace-out peterson.trace.json
 //   mpx_cli explore landing
 //
@@ -24,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/engine.hpp"
 #include "analysis/predictive_analyzer.hpp"
 #include "analysis/campaign.hpp"
 #include "analysis/report.hpp"
@@ -102,6 +108,15 @@ bool hasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Every occurrence of a repeatable flag's value, in command-line order.
+std::vector<std::string> argValues(int argc, char** argv, const char* flag) {
+  std::vector<std::string> values;
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) values.emplace_back(argv[i + 1]);
+  }
+  return values;
+}
+
 int analyze(const std::string& name, int argc, char** argv) {
   const auto it = registry().find(name);
   if (it == registry().end()) {
@@ -149,6 +164,44 @@ int analyze(const std::string& name, int argc, char** argv) {
     sched = std::make_unique<program::RandomScheduler>(seed);
   }
 
+  // Repeatable --property: K properties, ONE instrumented execution, ONE
+  // lattice pass (each property a SpecAnalysis plugin on the engine bus).
+  const std::vector<std::string> props = argValues(argc, argv, "--property");
+  if (!props.empty()) {
+    analysis::EngineConfig ec;
+    ec.specs = props;
+    ec.delivery = config.delivery;
+    ec.lattice = config.lattice;
+    analysis::Engine engine(prog, ec);
+
+    std::printf("program:  %s — %s\n", name.c_str(),
+                entry.description.c_str());
+    std::printf("properties (%zu, one pass):\n", props.size());
+    for (const auto& p : props) std::printf("  %s\n", p.c_str());
+    std::printf("tracked variables:");
+    for (const auto& v : engine.trackedVariables()) {
+      std::printf(" %s", v.c_str());
+    }
+    std::printf("\nschedule: %s (seed %llu), delivery: %s\n\n",
+                scheduleKind.c_str(), static_cast<unsigned long long>(seed),
+                delivery.c_str());
+
+    program::Executor ex(prog, *sched);
+    const analysis::EngineResult r = engine.run(ex.run());
+    std::printf("events instrumented: %llu, messages to observer: %llu\n",
+                static_cast<unsigned long long>(r.eventsInstrumented),
+                static_cast<unsigned long long>(r.messagesEmitted));
+    std::printf("lattice: %zu nodes across %zu levels, %llu consistent runs\n\n",
+                r.latticeStats.totalNodes, r.latticeStats.levels,
+                static_cast<unsigned long long>(r.latticeStats.pathCount));
+    std::printf("%s", analysis::renderAnalysisReports(r.reports).c_str());
+    if (hasFlag(argc, argv, "--dot")) {
+      std::printf("=== causality graph (graphviz) ===\n%s",
+                  r.causality.renderDot(prog.vars).c_str());
+    }
+    return analysis::exitCodeFor(true, r.totalFindings());
+  }
+
   analysis::PredictiveAnalyzer analyzer(prog, config);
   std::printf("program:  %s — %s\n", name.c_str(), entry.description.c_str());
   std::printf("property: %s\n", config.spec.c_str());
@@ -190,7 +243,7 @@ int analyze(const std::string& name, int argc, char** argv) {
     ropts.includeMetrics = hasFlag(argc, argv, "--stats");
     std::printf("%s\n", analysis::toJson(r, ropts).c_str());
   }
-  return r.predictsViolation() ? 1 : 0;
+  return analysis::exitCodeFor(true, r.predictedViolations.size());
 }
 
 int campaign(const std::string& name, int argc, char** argv) {
@@ -200,16 +253,27 @@ int campaign(const std::string& name, int argc, char** argv) {
     return 2;
   }
   const program::Program prog = it->second.make();
-  const std::string spec =
-      argValue(argc, argv, "--spec").value_or(it->second.defaultSpec());
   analysis::CampaignOptions opts;
   opts.trials =
       std::stoull(argValue(argc, argv, "--trials").value_or("100"));
   opts.withGroundTruth = hasFlag(argc, argv, "--ground-truth");
+
+  // Repeatable --property: every trial checks all K properties in one pass.
+  const std::vector<std::string> props = argValues(argc, argv, "--property");
+  if (!props.empty()) {
+    const auto r = analysis::runCampaign(prog, props, opts);
+    std::printf("program: %s\n%s\n", name.c_str(), r.summary().c_str());
+    std::size_t predicted = 0;
+    for (const std::size_t n : r.predictedDetections) predicted += n;
+    return analysis::exitCodeFor(true, predicted);
+  }
+
+  const std::string spec =
+      argValue(argc, argv, "--spec").value_or(it->second.defaultSpec());
   const auto r = analysis::runCampaign(prog, spec, opts);
   std::printf("program: %s, property: %s\n%s\n", name.c_str(), spec.c_str(),
               r.summary().c_str());
-  return r.predictedDetections > 0 ? 1 : 0;
+  return analysis::exitCodeFor(true, r.predictedDetections);
 }
 
 int explore(const std::string& name, int argc, char** argv) {
@@ -263,12 +327,14 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mpx_cli list\n"
-                 "       mpx_cli analyze <program> [--spec S] [--seed N]\n"
+                 "       mpx_cli analyze <program> [--spec S]"
+                 " [--property S]... [--seed N]\n"
                  "               [--schedule greedy|roundrobin|random|observed]\n"
                  "               [--delivery fifo|shuffle|delay|reverse]"
                  " [--lattice] [--dot] [--json] [--jobs N]\n"
                  "       mpx_cli explore <program> [--spec S]\n"
-                 "       mpx_cli campaign <program> [--spec S] [--trials N]"
+                 "       mpx_cli campaign <program> [--spec S]"
+                 " [--property S]... [--trials N]"
                  " [--ground-truth]\n"
                  "global flags: [--stats] [--trace-out <file>.json]\n");
     return 2;

@@ -4,13 +4,18 @@
 // feeds them into an OnlineAnalyzer and prints the violation report when the
 // trace completes or the daemon is told to shut down.
 //
-//   mpx_observerd [--port N] [--jobs N] [--streams N] [--quiet]
+//   mpx_observerd [--port N] [--jobs N] [--streams N] [--property SPEC]...
+//                 [--quiet]
 //
 //   --port N     listen on 127.0.0.1:N (default 0 = ephemeral; the chosen
 //                port is printed on startup either way)
 //   --jobs N     parallel lattice-level expansion inside the analyzer
 //   --streams N  kEndOfTrace frames to await before finalizing (a client
 //                spreading its trace over N channels sends one per channel)
+//   --property SPEC
+//                check SPEC in addition to the properties the client's
+//                handshake carries; repeatable — all properties are checked
+//                in ONE lattice pass (one SpecAnalysis plugin each)
 //   --quiet      suppress per-connection error logging
 //
 // While running, `curl http://127.0.0.1:PORT/` returns a live status page
@@ -24,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/report.hpp"
 #include "net/observerd.hpp"
 
 namespace {
@@ -34,7 +40,8 @@ void onSignal(int) { g_stop = 1; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--jobs N] [--streams N] [--quiet]\n",
+               "usage: %s [--port N] [--jobs N] [--streams N] "
+               "[--property SPEC]... [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +69,9 @@ int main(int argc, char** argv) {
       const long v = argValue(argc, argv, i, argv[0]);
       if (v < 1) usage(argv[0]);
       opts.expectedStreams = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--property") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opts.extraSpecs.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opts.logErrors = false;
     } else {
@@ -96,6 +106,11 @@ int main(int argc, char** argv) {
   daemon.stop();
 
   std::fputs(daemon.renderReport().c_str(), stdout);
-  if (!daemon.finished()) return 2;
-  return daemon.violations().empty() ? 0 : 1;
+  const auto reports = daemon.analysisReports();
+  if (!reports.empty()) {
+    std::fputs("\n", stdout);
+    std::fputs(mpx::analysis::renderAnalysisReports(reports).c_str(), stdout);
+  }
+  return mpx::analysis::exitCodeFor(daemon.finished(),
+                                    daemon.violations().size());
 }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/engine.hpp"
+
 namespace mpx::analysis {
 
 std::string CampaignResult::summary() const {
@@ -46,6 +48,60 @@ CampaignResult runCampaign(const program::Program& prog,
 
   if (opts.withGroundTruth) {
     result.groundTruth = groundTruth(prog, spec, opts.groundTruthOptions);
+    result.groundTruthComputed = true;
+  }
+  return result;
+}
+
+std::string MultiCampaignResult::summary() const {
+  std::ostringstream os;
+  os << trials << " trials, " << specs.size()
+     << " properties in one pass each:";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    os << "\n  [" << specs[i] << "] observed " << observedDetections[i]
+       << ", predicted " << predictedDetections[i];
+    if (groundTruthComputed) {
+      os << ", ground truth " << groundTruth[i].violatingExecutions << '/'
+         << groundTruth[i].totalExecutions;
+    }
+  }
+  if (deadlocks > 0) os << "\n  " << deadlocks << " trials deadlocked";
+  return os.str();
+}
+
+MultiCampaignResult runCampaign(const program::Program& prog,
+                                const std::vector<std::string>& specs,
+                                CampaignOptions opts) {
+  EngineConfig config;
+  config.specs = specs;
+  const Engine engine(prog, config);
+
+  MultiCampaignResult result;
+  result.specs = specs;
+  result.trials = opts.trials;
+  result.observedDetections.assign(specs.size(), 0);
+  result.predictedDetections.assign(specs.size(), 0);
+
+  for (std::size_t i = 0; i < opts.trials; ++i) {
+    const std::uint64_t seed = opts.firstSeed + i;
+    program::RandomScheduler sched(seed);
+    program::Executor ex(prog, sched);
+    const program::ExecutionRecord rec = ex.run();
+    if (rec.deadlocked) ++result.deadlocks;
+
+    const EngineResult r = engine.run(rec);
+    for (std::size_t s = 0; s < r.specs.size(); ++s) {
+      if (r.specs[s].observedRunViolates()) ++result.observedDetections[s];
+      if (r.specs[s].predictsViolation()) ++result.predictedDetections[s];
+    }
+  }
+
+  if (opts.withGroundTruth) {
+    result.groundTruth.reserve(specs.size());
+    for (const std::string& spec : specs) {
+      result.groundTruth.push_back(
+          groundTruth(prog, spec, opts.groundTruthOptions));
+    }
     result.groundTruthComputed = true;
   }
   return result;

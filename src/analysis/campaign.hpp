@@ -61,4 +61,30 @@ struct CampaignResult {
                                          const std::string& spec,
                                          CampaignOptions opts = {});
 
+// --- K properties, ONE lattice pass per trial --------------------------
+
+/// Per-property tallies of a multi-property campaign.
+struct MultiCampaignResult {
+  std::vector<std::string> specs;
+  std::size_t trials = 0;
+  /// Indexed like `specs`.
+  std::vector<std::size_t> observedDetections;
+  std::vector<std::size_t> predictedDetections;
+  std::size_t deadlocks = 0;
+  /// Ground truth per spec (parallel to `specs`); valid when requested.
+  std::vector<GroundTruthResult> groundTruth;
+  bool groundTruthComputed = false;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The one-pass form: every trial instruments the execution ONCE and
+/// checks all K properties in a single lattice expansion (each property a
+/// SpecAnalysis plugin on the shared engine bus) instead of K independent
+/// passes.  Verdicts per property are identical to K single-spec
+/// campaigns run over the union variable set.
+[[nodiscard]] MultiCampaignResult runCampaign(
+    const program::Program& prog, const std::vector<std::string>& specs,
+    CampaignOptions opts = {});
+
 }  // namespace mpx::analysis

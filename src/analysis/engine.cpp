@@ -1,0 +1,129 @@
+#include "analysis/engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/instrumentor.hpp"
+#include "logic/parser.hpp"
+#include "telemetry/trace_span.hpp"
+
+namespace mpx::analysis {
+
+std::size_t EngineResult::totalFindings() const {
+  std::size_t n = 0;
+  for (const auto& r : reports) n += r.violationCount;
+  return n;
+}
+
+Engine::Engine(const program::Program& prog, EngineConfig config)
+    : prog_(&prog), config_(std::move(config)) {
+  // Union of relevant variables across all specs, first-seen order.
+  for (const std::string& spec : config_.specs) {
+    for (std::string& v : logic::SpecParser::referencedVariables(spec)) {
+      if (std::find(trackedVars_.begin(), trackedVars_.end(), v) ==
+          trackedVars_.end()) {
+        trackedVars_.push_back(std::move(v));
+      }
+    }
+  }
+  for (const std::string& v : config_.extraTrackedVars) {
+    if (std::find(trackedVars_.begin(), trackedVars_.end(), v) ==
+        trackedVars_.end()) {
+      trackedVars_.push_back(v);
+    }
+  }
+  space_ = observer::StateSpace::byNames(prog.vars, trackedVars_);
+  formulas_.reserve(config_.specs.size());
+  for (const std::string& spec : config_.specs) {
+    formulas_.push_back(logic::SpecParser(space_).parse(spec));
+  }
+}
+
+EngineResult Engine::runWithSeed(
+    std::uint64_t seed,
+    const std::vector<observer::Analysis*>& extraPlugins) const {
+  program::RandomScheduler sched(seed);
+  program::Executor ex(*prog_, sched);
+  return run(ex.run(config_.maxSteps), extraPlugins);
+}
+
+EngineResult Engine::run(
+    const program::ExecutionRecord& record,
+    const std::vector<observer::Analysis*>& extraPlugins) const {
+  telemetry::TraceSpan span("engine.run", "analysis");
+  EngineResult result;
+  result.space = space_;
+
+  // Build the pass's plugin set: one SpecAnalysis per property, then the
+  // caller's extras; MonitorBus::add (inside the bus constructor) throws
+  // if the packed widths exceed 64 bits.
+  std::vector<std::unique_ptr<logic::SpecAnalysis>> specPlugins;
+  specPlugins.reserve(config_.specs.size());
+  for (std::size_t i = 0; i < config_.specs.size(); ++i) {
+    specPlugins.push_back(std::make_unique<logic::SpecAnalysis>(
+        space_, formulas_[i], config_.specs[i]));
+  }
+  std::vector<observer::Analysis*> plugins;
+  plugins.reserve(specPlugins.size() + extraPlugins.size());
+  for (auto& p : specPlugins) plugins.push_back(p.get());
+  for (observer::Analysis* p : extraPlugins) plugins.push_back(p);
+  observer::AnalysisBus bus(plugins);
+
+  std::unordered_set<VarId> trackedIds;
+  for (const VarId v : space_.varIds()) trackedIds.insert(v);
+
+  // ONE pass over the execution's events: Algorithm A emits the relevant
+  // messages through the delivery channel into the causality graph, every
+  // plugin sees the raw stream, and the observed-run state trace steps the
+  // plugins' linear baselines.
+  {
+    telemetry::TraceSpan instSpan("engine.instrument", "analysis");
+    auto channel = trace::makeChannel(config_.delivery, result.causality,
+                                      config_.deliverySeed,
+                                      config_.deliveryMaxDelay);
+    core::Instrumentor instr(core::RelevancePolicy::writesOf(trackedIds),
+                             *channel);
+    instr.reserve(prog_->threadCount(), prog_->vars.size());
+
+    observer::GlobalState observed(space_.initialValues());
+    bus.dispatchObservedState(observed);
+    static const std::vector<LockId> kNoLocks;
+    for (std::size_t i = 0; i < record.events.size(); ++i) {
+      const trace::Event& e = record.events[i];
+      bus.dispatchRawEvent(
+          e, i < record.locksHeld.size() ? record.locksHeld[i] : kNoLocks);
+      instr.onEvent(e);
+      if (trace::isWriteLike(e.kind) && trackedIds.contains(e.var)) {
+        if (const auto slot = space_.slotOf(e.var)) {
+          observed.values[*slot] = e.value;
+        }
+        bus.dispatchObservedState(observed);
+      }
+    }
+    channel->close();
+    result.causality.finalize();
+    result.messagesEmitted = instr.messagesEmitted();
+    result.eventsInstrumented = instr.eventsProcessed();
+  }
+
+  // The single lattice expansion all plugins ride.
+  {
+    telemetry::TraceSpan latSpan("engine.lattice", "analysis");
+    observer::ComputationLattice lattice(result.causality, space_,
+                                         config_.lattice);
+    result.latticeStats = lattice.analyze(bus, result.violations);
+  }
+
+  result.specs.reserve(specPlugins.size());
+  for (std::size_t i = 0; i < specPlugins.size(); ++i) {
+    SpecOutcome out;
+    out.spec = config_.specs[i];
+    out.violations = specPlugins[i]->violations();
+    out.observedViolationIndex = specPlugins[i]->observedViolationIndex();
+    result.specs.push_back(std::move(out));
+  }
+  result.reports = bus.reports();
+  return result;
+}
+
+}  // namespace mpx::analysis

@@ -1,0 +1,123 @@
+// One-pass pluggable analysis engine (the generalization of the paper's
+// Fig. 4 pipeline): ONE instrumented execution drives ONE level-by-level
+// lattice expansion, and every checker — K ptLTL properties, the race
+// detector, the deadlock detector, the lasso search, custom plugins —
+// rides it as an observer::Analysis plugin on a shared AnalysisBus.
+//
+// The K properties are tracked over the UNION of their relevant variables,
+// so each property's monitor sees every state change any property cares
+// about.  NOTE: ptLTL is stutter-sensitive — a single-property pass over
+// the union space is the reference semantics here, and the engine's
+// per-property reports are byte-identical to K such single-property passes
+// (the one-pass-equivalence corpus test pins this down for serial and
+// parallel expansion and shuffled delivery).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/spec_analysis.hpp"
+#include "observer/analysis.hpp"
+#include "observer/causality.hpp"
+#include "observer/lattice.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::analysis {
+
+struct EngineConfig {
+  /// The ptLTL safety properties, each checked by its own SpecAnalysis
+  /// plugin packed into the shared monitor word.  May be empty (plugin-only
+  /// passes, e.g. race/deadlock detection).
+  std::vector<std::string> specs;
+  /// Variables to track beyond the union of the specs' variables.
+  std::vector<std::string> extraTrackedVars;
+  trace::DeliveryPolicy delivery = trace::DeliveryPolicy::kFifo;
+  std::uint64_t deliverySeed = 0;
+  std::size_t deliveryMaxDelay = 8;
+  observer::LatticeOptions lattice;
+  std::size_t maxSteps = 1'000'000;
+};
+
+/// One property's outcome inside an engine pass.
+struct SpecOutcome {
+  std::string spec;
+  /// This property's violations (component monitor state in
+  /// Violation::monitorState), in engine arrival order.
+  std::vector<observer::Violation> violations;
+  /// Single-trace baseline verdict: index of the first violating observed
+  /// state, or -1.
+  std::int64_t observedViolationIndex = -1;
+
+  [[nodiscard]] bool predictsViolation() const {
+    return !violations.empty();
+  }
+  [[nodiscard]] bool observedRunViolates() const {
+    return observedViolationIndex >= 0;
+  }
+};
+
+struct EngineResult {
+  observer::StateSpace space;  ///< union space the pass ran over
+  observer::CausalityGraph causality;
+  /// Engine-level violation list: every violating packed monitor word that
+  /// some plugin accepted (use SpecOutcome::violations for per-property
+  /// attribution).
+  std::vector<observer::Violation> violations;
+  observer::LatticeStats latticeStats;
+  std::vector<SpecOutcome> specs;
+  /// One report per plugin, spec plugins first (in spec order), then the
+  /// extra plugins (in the order passed to run()).
+  std::vector<observer::AnalysisReport> reports;
+  std::uint64_t messagesEmitted = 0;
+  std::uint64_t eventsInstrumented = 0;
+
+  [[nodiscard]] bool predictsViolation() const {
+    return !violations.empty();
+  }
+  /// Sum of every plugin's violationCount (races, deadlocks, lassos and
+  /// property violations alike) — the CLI exit-code input.
+  [[nodiscard]] std::size_t totalFindings() const;
+};
+
+/// Binds (program, specs) once; run() analyzes recorded executions.
+class Engine {
+ public:
+  /// The program's VarTable must contain every variable any spec mentions.
+  /// Throws std::invalid_argument when the specs' packed monitors exceed
+  /// the 64-bit monitor word.
+  Engine(const program::Program& prog, EngineConfig config);
+
+  /// Analyzes one recorded execution.  `extraPlugins` (e.g. RaceAnalysis,
+  /// DeadlockAnalysis, LassoAnalysis or custom checkers) join the pass and
+  /// must outlive the call; their reports are appended after the specs'.
+  [[nodiscard]] EngineResult run(
+      const program::ExecutionRecord& record,
+      const std::vector<observer::Analysis*>& extraPlugins = {}) const;
+
+  /// Convenience: execute under a seeded random schedule, then run().
+  [[nodiscard]] EngineResult runWithSeed(
+      std::uint64_t seed,
+      const std::vector<observer::Analysis*>& extraPlugins = {}) const;
+
+  [[nodiscard]] const observer::StateSpace& space() const noexcept {
+    return space_;
+  }
+  /// Union of the specs' variables plus extraTrackedVars, in first-seen
+  /// order (paper §4.1's relevant-variable extraction, over K specs).
+  [[nodiscard]] const std::vector<std::string>& trackedVariables()
+      const noexcept {
+    return trackedVars_;
+  }
+
+ private:
+  const program::Program* prog_;
+  EngineConfig config_;
+  std::vector<std::string> trackedVars_;
+  observer::StateSpace space_;
+  std::vector<logic::Formula> formulas_;  ///< parallel to config_.specs
+};
+
+}  // namespace mpx::analysis

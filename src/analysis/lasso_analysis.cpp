@@ -1,0 +1,94 @@
+#include "analysis/lasso_analysis.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "observer/run_enumerator.hpp"
+
+namespace mpx::analysis {
+
+LassoAnalysis::LassoAnalysis(const observer::CausalityGraph& graph,
+                             const observer::StateSpace& space,
+                             const logic::LtlFormula* property,
+                             LivenessOptions opts, unsigned bloomBits)
+    : graph_(&graph),
+      space_(&space),
+      property_(property),
+      opts_(opts),
+      visit_(bloomBits) {
+  if (bloomBits < 1 || bloomBits > 63) {
+    throw std::invalid_argument("LassoAnalysis: bloomBits must be in [1,63]");
+  }
+}
+
+bool LassoAnalysis::onViolation(const observer::Violation& v,
+                                observer::MonitorState componentState) {
+  if (!visit_.isViolating(componentState)) return false;
+  if (lassos_.size() >= opts_.maxViolations) return false;
+  if (v.path.empty()) return false;  // no witness — cannot verify
+
+  // Replay the witness run and look for a genuine repeat of its final
+  // state (the Bloom flag may be a hash collision).
+  observer::RunEnumerator runs(*graph_, *space_);
+  const std::vector<observer::GlobalState> states = runs.statesAlong(v.path);
+  const std::size_t end = states.size() - 1;
+  std::size_t i = end;
+  for (std::size_t t = 0; t < end; ++t) {
+    if (states[t] == states[end]) {
+      i = t;
+      break;
+    }
+  }
+  if (i == end) return false;  // collision, not a real lasso
+
+  LassoViolation lasso;
+  lasso.stemStates.assign(states.begin(),
+                          states.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  lasso.loopStates.assign(states.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                          states.begin() + static_cast<std::ptrdiff_t>(end) +
+                              1);
+  lasso.stemEvents.assign(v.path.begin(),
+                          v.path.begin() + static_cast<std::ptrdiff_t>(i));
+  lasso.loopEvents.assign(v.path.begin() + static_cast<std::ptrdiff_t>(i),
+                          v.path.begin() + static_cast<std::ptrdiff_t>(end));
+
+  // Same fingerprint the pre-plugin scan used, so dedupe semantics match.
+  std::size_t fp = 1469598103934665603ull;
+  const auto mix = [&fp](std::size_t h) {
+    fp ^= h + 0x9e3779b97f4a7c15ull + (fp << 6) + (fp >> 2);
+  };
+  for (const auto& s : lasso.stemStates) mix(s.hash());
+  mix(0xabcdef);
+  for (const auto& s : lasso.loopStates) mix(s.hash());
+  if (!seen_.insert(fp).second) return false;
+
+  if (property_ != nullptr &&
+      logic::satisfiesLasso(*property_, lasso.stemStates, lasso.loopStates)) {
+    return false;  // property holds on this lasso — not a violation
+  }
+  lassos_.push_back(std::move(lasso));
+  return false;  // collected locally, never a safety violation
+}
+
+observer::AnalysisReport LassoAnalysis::report() const {
+  observer::AnalysisReport r;
+  r.name = name();
+  r.kind = kind();
+  r.violationCount = lassos_.size();
+  std::ostringstream os;
+  os << (property_ != nullptr ? "liveness violations (lassos): "
+                              : "lassos: ")
+     << lassos_.size() << '\n';
+  for (const LassoViolation& l : lassos_) {
+    os << "  stem " << l.stemStates.size() << " states, loop "
+       << l.loopStates.size() << " states: loop";
+    for (const auto& s : l.loopStates) {
+      os << ' ' << s.toString(*space_);
+    }
+    os << '\n';
+  }
+  r.text = os.str();
+  return r;
+}
+
+}  // namespace mpx::analysis

@@ -1,0 +1,104 @@
+// The §4 lasso/liveness search as a lattice-engine plugin.
+//
+// The paper's idea: "search for paths of the form u v in the computation
+// lattice with the property that the shared variable global state ...
+// reached by u is the same as the one reached by u v, and then check
+// whether u v^ω satisfies the liveness property."
+//
+// The plugin rides the engine's packed monitor word with a StateVisitMonitor
+// — a per-path Bloom filter of visited global states plus one "revisit"
+// flag bit that fires when a path re-enters a state (hash bit) it already
+// passed through.  A firing flag is only a CANDIDATE (hash collisions):
+// onViolation replays the witness run, locates a genuine state repeat, and
+// keeps the lasso only when it is real (and, when a property is given,
+// only when u v^ω violates it).  No false positives survive; a real repeat
+// always collides with its own hash bit, so no lasso reachable through a
+// recorded witness is missed.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "observer/analysis.hpp"
+
+namespace mpx::analysis {
+
+/// Bloom-filter monitor over the states a lattice path visits.  Bits
+/// [0, bloomBits) record state hashes; bit bloomBits flags "the newest
+/// state's hash bit was already set" and is cleared by the next advance.
+class StateVisitMonitor final : public observer::LatticeMonitor {
+ public:
+  /// `bloomBits` in [1, 63].
+  explicit StateVisitMonitor(unsigned bloomBits) : bloomBits_(bloomBits) {}
+
+  observer::MonitorState initial(const observer::GlobalState& s) override {
+    return bitFor(s);
+  }
+  observer::MonitorState advance(observer::MonitorState prev,
+                                 const observer::GlobalState& s) override {
+    const observer::MonitorState seen = prev & ~flagMask();
+    const observer::MonitorState bit = bitFor(s);
+    observer::MonitorState next = seen | bit;
+    if ((seen & bit) != 0) next |= flagMask();
+    return next;
+  }
+  [[nodiscard]] bool isViolating(observer::MonitorState m) const override {
+    return (m & flagMask()) != 0;
+  }
+  [[nodiscard]] unsigned stateBits() const override { return bloomBits_ + 1; }
+
+ private:
+  [[nodiscard]] observer::MonitorState bitFor(
+      const observer::GlobalState& s) const {
+    return 1ull << (s.hash() % bloomBits_);
+  }
+  [[nodiscard]] observer::MonitorState flagMask() const {
+    return 1ull << bloomBits_;
+  }
+
+  unsigned bloomBits_;
+};
+
+class LassoAnalysis final : public observer::Analysis {
+ public:
+  /// `graph` and `space` must outlive the plugin; `property` (nullable:
+  /// collect every lasso) must outlive it too.  The engine pass must run
+  /// with LatticeOptions::recordPaths — the replay needs the witness.
+  LassoAnalysis(const observer::CausalityGraph& graph,
+                const observer::StateSpace& space,
+                const logic::LtlFormula* property, LivenessOptions opts = {},
+                unsigned bloomBits = 63);
+
+  [[nodiscard]] std::string name() const override { return "lasso"; }
+  [[nodiscard]] std::string kind() const override { return "lasso"; }
+  [[nodiscard]] observer::LatticeMonitor* monitor() override {
+    return &visit_;
+  }
+
+  /// Verifies the candidate; never accepts (lassos are not safety
+  /// violations — they are collected here, not in the engine's list).
+  bool onViolation(const observer::Violation& v,
+                   observer::MonitorState componentState) override;
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  [[nodiscard]] const std::vector<LassoViolation>& lassos() const noexcept {
+    return lassos_;
+  }
+  [[nodiscard]] std::vector<LassoViolation> takeLassos() {
+    return std::move(lassos_);
+  }
+
+ private:
+  const observer::CausalityGraph* graph_;
+  const observer::StateSpace* space_;
+  const logic::LtlFormula* property_;
+  LivenessOptions opts_;
+  StateVisitMonitor visit_;
+  std::set<std::size_t> seen_;  ///< lasso fingerprints (dedupe)
+  std::vector<LassoViolation> lassos_;
+};
+
+}  // namespace mpx::analysis

@@ -1,6 +1,8 @@
 #include "analysis/liveness.hpp"
 
-#include <set>
+#include "analysis/lasso_analysis.hpp"
+#include "observer/analysis.hpp"
+#include "observer/lattice.hpp"
 
 namespace mpx::analysis {
 
@@ -16,57 +18,17 @@ std::vector<LassoViolation> LivenessPredictor::allLassos(
 
 std::vector<LassoViolation> LivenessPredictor::scan(
     const logic::LtlFormula* property, LivenessOptions opts) const {
-  std::vector<LassoViolation> out;
-  // Dedupe by the (stem-state, loop-state-sequence) fingerprint so the same
-  // lasso reached along different runs is reported once.
-  std::set<std::size_t> seen;
-
-  observer::RunEnumerator runs(*graph_, space_);
-  runs.forEachRun(
-      [&](const observer::Run& run) {
-        const auto& states = run.states;
-        for (std::size_t i = 0; i < states.size() && out.size() < opts.maxViolations; ++i) {
-          for (std::size_t j = i + 1; j < states.size(); ++j) {
-            if (!(states[i] == states[j])) continue;
-
-            LassoViolation lasso;
-            lasso.stemStates.assign(states.begin(),
-                                    states.begin() +
-                                        static_cast<std::ptrdiff_t>(i) + 1);
-            lasso.loopStates.assign(states.begin() +
-                                        static_cast<std::ptrdiff_t>(i) + 1,
-                                    states.begin() +
-                                        static_cast<std::ptrdiff_t>(j) + 1);
-            lasso.stemEvents.assign(run.events.begin(),
-                                    run.events.begin() +
-                                        static_cast<std::ptrdiff_t>(i));
-            lasso.loopEvents.assign(run.events.begin() +
-                                        static_cast<std::ptrdiff_t>(i),
-                                    run.events.begin() +
-                                        static_cast<std::ptrdiff_t>(j));
-
-            std::size_t fp = 1469598103934665603ull;
-            const auto mix = [&fp](std::size_t h) {
-              fp ^= h + 0x9e3779b97f4a7c15ull + (fp << 6) + (fp >> 2);
-            };
-            for (const auto& s : lasso.stemStates) mix(s.hash());
-            mix(0xabcdef);
-            for (const auto& s : lasso.loopStates) mix(s.hash());
-            if (!seen.insert(fp).second) continue;
-
-            if (property != nullptr &&
-                logic::satisfiesLasso(*property, lasso.stemStates,
-                                      lasso.loopStates)) {
-              continue;  // property holds on this lasso — not a violation
-            }
-            out.push_back(std::move(lasso));
-            if (out.size() >= opts.maxViolations) break;
-          }
-        }
-        return out.size() < opts.maxViolations;
-      },
-      opts.maxRuns);
-  return out;
+  // One lattice pass with the lasso plugin riding the monitor word: every
+  // path whose newest state revisits an earlier one surfaces as a monitor
+  // candidate; the plugin replays the witness and keeps the real lassos.
+  LassoAnalysis lasso(*graph_, space_, property, opts);
+  observer::AnalysisBus bus({&lasso});
+  observer::LatticeOptions lopts;
+  lopts.recordPaths = true;  // the replay needs witnesses
+  observer::ComputationLattice lattice(*graph_, space_, lopts);
+  std::vector<observer::Violation> violations;
+  lattice.analyze(bus, violations);
+  return lasso.takeLassos();
 }
 
 }  // namespace mpx::analysis

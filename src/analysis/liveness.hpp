@@ -7,8 +7,10 @@
 //    that the system can potentially run into the infinite sequence of
 //    states u v^ω."
 //
-// We enumerate runs of the causality graph, locate repeated global states
-// along each run (the u / uv split), and evaluate the LTL property on the
+// The search runs as a lattice-engine pass: a LassoAnalysis plugin
+// (lasso_analysis.hpp) rides the level-by-level expansion with a
+// visited-state Bloom monitor, replays candidate witnesses to locate the
+// genuine u / uv split, and evaluates the LTL property on the
 // ultimately-periodic word with the Markey-Schnoebelen-style lasso
 // evaluator from logic/lasso.hpp.
 #pragma once
@@ -31,6 +33,9 @@ struct LassoViolation {
 };
 
 struct LivenessOptions {
+  /// Unused since the run-enumeration scan was replaced by the lattice
+  /// pass (coverage now comes from the lattice itself); kept so existing
+  /// call sites compile.
   std::size_t maxRuns = 10'000;
   std::size_t maxViolations = 16;
 };

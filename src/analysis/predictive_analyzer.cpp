@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "logic/spec_analysis.hpp"
+#include "observer/analysis.hpp"
 #include "telemetry/trace_span.hpp"
 
 namespace mpx::analysis {
@@ -112,13 +114,17 @@ AnalysisResult PredictiveAnalyzer::analyzeRecord(
         linear.firstViolation(result.observedStates);
   }
 
-  // Predictive verdict: the lattice, all runs in parallel.
+  // Predictive verdict: the lattice, all runs in parallel, driven through
+  // the plugin engine (a single-property AnalysisBus — the K=1 case of the
+  // one-pass multi-property Engine, byte-identical to the old direct
+  // monitor path).
   {
     telemetry::TraceSpan span("analysis.lattice_check", "analysis");
     observer::ComputationLattice lattice(result.causality, space_,
                                          config_.lattice);
-    logic::SynthesizedMonitor monitor(formula_);
-    lattice.check(monitor, result.predictedViolations);
+    logic::SpecAnalysis plugin(space_, formula_, config_.spec);
+    observer::AnalysisBus bus({&plugin});
+    lattice.analyze(bus, result.predictedViolations);
     result.latticeStats = lattice.stats();
     span.arg("nodes", static_cast<std::int64_t>(result.latticeStats.totalNodes));
     span.arg("levels", static_cast<std::int64_t>(result.latticeStats.levels));

@@ -7,6 +7,52 @@
 
 namespace mpx::analysis {
 
+std::string renderViolationReport(const observer::StateSpace& space,
+                                  const std::vector<observer::Violation>& vs,
+                                  const observer::LatticeStats& stats,
+                                  bool finished) {
+  std::ostringstream os;
+  os << "analysis " << (finished ? "complete" : "INCOMPLETE") << '\n';
+  os << "violations: " << vs.size() << '\n';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const observer::Violation& v = vs[i];
+    os << "  violation " << (i + 1) << ": cut " << v.cut.toString()
+       << ", state <" << v.state.toString(space) << ">, path";
+    if (v.path.empty()) {
+      os << " (initial state)";
+    } else {
+      for (const observer::EventRef& ref : v.path) {
+        os << " T" << (ref.thread + 1) << '#' << ref.index;
+      }
+    }
+    os << '\n';
+  }
+  os << "lattice: levels=" << stats.levels << " nodes=" << stats.totalNodes
+     << " edges=" << stats.totalEdges << " peakWidth=" << stats.peakLevelWidth
+     << " paths=" << stats.pathCount
+     << (stats.pathCountSaturated ? " (saturated)" : "")
+     << (stats.truncated ? " TRUNCATED" : "")
+     << (stats.approximated ? " APPROXIMATED" : "") << '\n';
+  return os.str();
+}
+
+std::string renderAnalysisReports(
+    const std::vector<observer::AnalysisReport>& reports) {
+  std::ostringstream os;
+  std::size_t findings = 0;
+  for (const observer::AnalysisReport& r : reports) {
+    os << "=== " << r.name << " ===\n" << r.text;
+    findings += r.violationCount;
+  }
+  os << "total findings: " << findings << '\n';
+  return os.str();
+}
+
+int exitCodeFor(bool usable, std::size_t violationCount) {
+  if (!usable) return 2;
+  return violationCount > 0 ? 1 : 0;
+}
+
 std::string jsonEscape(const std::string& s) {
   std::ostringstream os;
   for (const char c : s) {

@@ -13,8 +13,31 @@
 #include "analysis/predictive_analyzer.hpp"
 #include "detect/deadlock_detector.hpp"
 #include "detect/race_detector.hpp"
+#include "observer/analysis.hpp"
 
 namespace mpx::analysis {
+
+// --- the ONE report-rendering + exit-code path both mpx_cli and
+// --- mpx_observerd use -------------------------------------------------
+
+/// The violation report in paper notation (one line per violation with its
+/// counterexample path, then the lattice statistics line).  Shared by the
+/// daemon's HTTP status page, the daemon CLI, and mpx_cli, and exposed so
+/// the loopback e2e tests can render an in-process analyzer's result
+/// through the exact same code and assert byte equality.
+[[nodiscard]] std::string renderViolationReport(
+    const observer::StateSpace& space,
+    const std::vector<observer::Violation>& violations,
+    const observer::LatticeStats& stats, bool finished);
+
+/// Concatenates per-plugin reports ("=== <name> ===" sections) plus a
+/// findings total — the multi-property tail of both CLIs.
+[[nodiscard]] std::string renderAnalysisReports(
+    const std::vector<observer::AnalysisReport>& reports);
+
+/// The common exit-code contract: 2 = analysis unusable (incomplete,
+/// errored), 1 = violations found, 0 = clean.
+[[nodiscard]] int exitCodeFor(bool usable, std::size_t violationCount);
 
 struct ReportOptions {
   bool includeCounterexamples = true;

@@ -1,0 +1,52 @@
+#include "detect/deadlock_analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpx::detect {
+
+DeadlockAnalysis::DeadlockAnalysis(const program::Program& prog)
+    : prog_(&prog) {
+  for (LockId l = 0; l < prog.lockVars.size(); ++l) {
+    lockOfVar_.emplace(prog.lockVars[l], l);
+  }
+}
+
+void DeadlockAnalysis::onRawEvent(const trace::Event& event,
+                                  const std::vector<LockId>& locksHeld) {
+  if (event.kind != trace::EventKind::kLockAcquire) return;
+  const auto it = lockOfVar_.find(event.var);
+  if (it == lockOfVar_.end()) return;
+  const LockId acquired = it->second;
+  // locksHeld includes the just-acquired lock.
+  for (const LockId held : locksHeld) {
+    if (held == acquired) continue;
+    LockOrderEdge edge{event.thread, held, acquired, event.globalSeq};
+    const bool dup = std::any_of(
+        edges_.begin(), edges_.end(), [&edge](const LockOrderEdge& x) {
+          return x.from == edge.from && x.to == edge.to;
+        });
+    if (!dup) edges_.push_back(edge);
+  }
+}
+
+void DeadlockAnalysis::finish(const observer::LatticeStats& stats) {
+  (void)stats;
+  reports_ = findLockCycles(edges_);
+}
+
+observer::AnalysisReport DeadlockAnalysis::report() const {
+  observer::AnalysisReport r;
+  r.name = name();
+  r.kind = kind();
+  r.violationCount = reports_.size();
+  std::ostringstream os;
+  os << "potential deadlocks: " << reports_.size() << '\n';
+  for (const DeadlockReport& d : reports_) {
+    os << "  " << d.describe(prog_->lockNames) << '\n';
+  }
+  r.text = os.str();
+  return r;
+}
+
+}  // namespace mpx::detect

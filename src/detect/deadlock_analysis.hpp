@@ -1,0 +1,49 @@
+// Predictive deadlock detection as a lattice-engine plugin.
+//
+// The lock-order graph is a pure function of the raw event stream (which
+// kLockAcquire happened while which locks were held), so the plugin only
+// listens to onRawEvent and runs the cycle search at finish() — no monitor
+// component, no node dispatch.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/deadlock_detector.hpp"
+#include "observer/analysis.hpp"
+#include "program/scheduler.hpp"
+
+namespace mpx::detect {
+
+class DeadlockAnalysis final : public observer::Analysis {
+ public:
+  /// `prog` must outlive the plugin (lockVars maps events to locks;
+  /// lockNames render the report).
+  explicit DeadlockAnalysis(const program::Program& prog);
+
+  [[nodiscard]] std::string name() const override { return "deadlock"; }
+  [[nodiscard]] std::string kind() const override { return "deadlock"; }
+
+  void onRawEvent(const trace::Event& event,
+                  const std::vector<LockId>& locksHeld) override;
+  void finish(const observer::LatticeStats& stats) override;
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  /// The deduplicated lock-order edges accumulated so far.
+  [[nodiscard]] const std::vector<LockOrderEdge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<DeadlockReport>& deadlocks()
+      const noexcept {
+    return reports_;
+  }
+
+ private:
+  const program::Program* prog_;
+  std::map<VarId, LockId> lockOfVar_;
+  std::vector<LockOrderEdge> edges_;
+  std::vector<DeadlockReport> reports_;
+};
+
+}  // namespace mpx::detect

@@ -22,36 +22,6 @@ std::string DeadlockReport::describe(
   return os.str();
 }
 
-std::vector<LockOrderEdge> DeadlockPredictor::lockOrderEdges(
-    const program::ExecutionRecord& record,
-    const program::Program& prog) const {
-  // Map lock VarIds back to LockIds.
-  std::map<VarId, LockId> lockOfVar;
-  for (LockId l = 0; l < prog.lockVars.size(); ++l) {
-    lockOfVar.emplace(prog.lockVars[l], l);
-  }
-
-  std::vector<LockOrderEdge> edges;
-  for (std::size_t i = 0; i < record.events.size(); ++i) {
-    const trace::Event& e = record.events[i];
-    if (e.kind != trace::EventKind::kLockAcquire) continue;
-    const auto it = lockOfVar.find(e.var);
-    if (it == lockOfVar.end()) continue;
-    const LockId acquired = it->second;
-    // locksHeld[i] includes the just-acquired lock (last element).
-    for (const LockId held : record.locksHeld[i]) {
-      if (held == acquired) continue;
-      LockOrderEdge edge{e.thread, held, acquired, e.globalSeq};
-      const bool dup = std::any_of(
-          edges.begin(), edges.end(), [&edge](const LockOrderEdge& x) {
-            return x.from == edge.from && x.to == edge.to;
-          });
-      if (!dup) edges.push_back(edge);
-    }
-  }
-  return edges;
-}
-
 namespace {
 
 /// DFS cycle enumeration on the lock-order graph.  Reports each elementary
@@ -115,10 +85,8 @@ class CycleFinder {
 
 }  // namespace
 
-std::vector<DeadlockReport> DeadlockPredictor::analyze(
-    const program::ExecutionRecord& record,
-    const program::Program& prog) const {
-  const std::vector<LockOrderEdge> edges = lockOrderEdges(record, prog);
+std::vector<DeadlockReport> findLockCycles(
+    const std::vector<LockOrderEdge>& edges) {
   CycleFinder finder(edges);
   return finder.run();
 }

@@ -10,14 +10,15 @@
 // (thread, held-lock, acquired-lock) edges.
 //
 // The interpreter also detects *actual* deadlocks (no runnable thread);
-// this module predicts the ones that did not happen.
+// this module predicts the ones that did not happen.  Edge COLLECTION
+// lives in the DeadlockAnalysis lattice plugin (deadlock_analysis.hpp) —
+// this header keeps the pure graph algorithm.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "program/scheduler.hpp"
 #include "trace/event.hpp"
 
 namespace mpx::detect {
@@ -42,18 +43,10 @@ struct DeadlockReport {
       const std::vector<std::string>& lockNames) const;
 };
 
-class DeadlockPredictor {
- public:
-  /// Analyzes a completed execution.  `record` must come from a program run
-  /// (its locksHeld array gives the held-set at each event).
-  [[nodiscard]] std::vector<DeadlockReport> analyze(
-      const program::ExecutionRecord& record,
-      const program::Program& prog) const;
-
-  /// The raw lock-order edges (deduplicated), for inspection/tests.
-  [[nodiscard]] std::vector<LockOrderEdge> lockOrderEdges(
-      const program::ExecutionRecord& record,
-      const program::Program& prog) const;
-};
+/// Enumerates the elementary cycles of the lock-order graph, each reported
+/// once (canonicalized by smallest-lock rotation), with one witness edge
+/// per cycle arc.
+[[nodiscard]] std::vector<DeadlockReport> findLockCycles(
+    const std::vector<LockOrderEdge>& edges);
 
 }  // namespace mpx::detect

@@ -1,0 +1,53 @@
+#include "detect/race_analysis.hpp"
+
+#include <sstream>
+
+namespace mpx::detect {
+
+RaceAnalysis::RaceAnalysis(const program::Program& prog,
+                           const std::vector<std::string>& varNames,
+                           RaceOptions opts)
+    : prog_(&prog),
+      varNames_(varNames),
+      opts_(opts),
+      candidates_([&] {
+        std::unordered_set<VarId> c;
+        for (const auto& n : varNames) c.insert(prog.vars.id(n));
+        return c;
+      }()),
+      instr_(core::RelevancePolicy::accessesOf(candidates_), sink_) {
+  instr_.excludeFromCausality(candidates_);
+}
+
+std::string RaceAnalysis::name() const {
+  std::string n = "race:";
+  for (const auto& v : varNames_) n += ' ' + v;
+  return n;
+}
+
+void RaceAnalysis::onRawEvent(const trace::Event& event,
+                              const std::vector<LockId>& locksHeld) {
+  instr_.onEvent(event);
+  locksets_.emplace(event.globalSeq, locksHeld);
+}
+
+void RaceAnalysis::finish(const observer::LatticeStats& stats) {
+  (void)stats;
+  races_ = RacePredictor(opts_).analyze(sink_.messages(), locksets_);
+}
+
+observer::AnalysisReport RaceAnalysis::report() const {
+  observer::AnalysisReport r;
+  r.name = name();
+  r.kind = kind();
+  r.violationCount = races_.size();
+  std::ostringstream os;
+  os << "races: " << races_.size() << '\n';
+  for (const RaceReport& race : races_) {
+    os << "  " << race.describe(prog_->vars) << '\n';
+  }
+  r.text = os.str();
+  return r;
+}
+
+}  // namespace mpx::detect

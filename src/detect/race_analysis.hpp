@@ -1,0 +1,55 @@
+// The predictive race detector as a lattice-engine plugin.
+//
+// The detector never needed the lattice itself — it needs the MVC clocks of
+// all accesses of the candidate variables, under the race-detection
+// causality projection (candidates excluded from MVC joins; program order
+// and synchronization kept).  As a plugin it builds those clocks from the
+// engine's raw-event feed with a private Instrumentor, so one observed
+// execution drives property checking AND race prediction in one pass.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/instrumentor.hpp"
+#include "detect/race_detector.hpp"
+#include "observer/analysis.hpp"
+#include "program/scheduler.hpp"
+#include "trace/channel.hpp"
+
+namespace mpx::detect {
+
+class RaceAnalysis final : public observer::Analysis {
+ public:
+  /// Watches the named variables of `prog` for races.  `prog` must outlive
+  /// the plugin (its VarTable renders the report).
+  RaceAnalysis(const program::Program& prog,
+               const std::vector<std::string>& varNames,
+               RaceOptions opts = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string kind() const override { return "race"; }
+
+  void onRawEvent(const trace::Event& event,
+                  const std::vector<LockId>& locksHeld) override;
+  void finish(const observer::LatticeStats& stats) override;
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  [[nodiscard]] const std::vector<RaceReport>& races() const noexcept {
+    return races_;
+  }
+
+ private:
+  const program::Program* prog_;
+  std::vector<std::string> varNames_;
+  RaceOptions opts_;
+  std::unordered_set<VarId> candidates_;
+  trace::CollectingSink sink_;
+  core::Instrumentor instr_;
+  std::unordered_map<GlobalSeq, std::vector<LockId>> locksets_;
+  std::vector<RaceReport> races_;
+};
+
+}  // namespace mpx::detect

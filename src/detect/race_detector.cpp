@@ -4,9 +4,6 @@
 #include <set>
 #include <sstream>
 #include <tuple>
-#include <unordered_set>
-
-#include "core/instrumentor.hpp"
 
 namespace mpx::detect {
 
@@ -105,22 +102,6 @@ std::vector<RaceReport> RacePredictor::analyze(
     }
   }
   return out;
-}
-
-std::vector<RaceReport> RacePredictor::analyzeExecution(
-    const program::ExecutionRecord& record, const program::Program& prog,
-    const std::vector<std::string>& varNames) const {
-  std::unordered_set<VarId> candidates;
-  for (const auto& name : varNames) candidates.insert(prog.vars.id(name));
-
-  trace::CollectingSink sink;
-  core::Instrumentor instr(core::RelevancePolicy::accessesOf(candidates),
-                           sink);
-  instr.excludeFromCausality(candidates);
-  for (const trace::Event& e : record.events) instr.onEvent(e);
-
-  return analyze(sink.messages(),
-                 locksetIndex(record.events, record.locksHeld));
 }
 
 std::unordered_map<GlobalSeq, std::vector<LockId>> locksetIndex(

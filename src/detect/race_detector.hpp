@@ -26,7 +26,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "program/scheduler.hpp"
 #include "trace/event.hpp"
 #include "trace/var_table.hpp"
 #include "vc/types.hpp"
@@ -65,19 +64,14 @@ class RacePredictor {
   /// variables (from an Instrumentor with RelevancePolicy::accessesOf).
   /// `locksets`, keyed by event globalSeq, gives the locks held at each
   /// access (from ExecutionRecord::locksHeld); required for lockset mode.
+  ///
+  /// Message collection from an execution lives in the RaceAnalysis
+  /// lattice plugin (race_analysis.hpp), which owns the instrumented
+  /// causality projection; this class keeps the pure pairwise analysis.
   [[nodiscard]] std::vector<RaceReport> analyze(
       const std::vector<trace::Message>& accesses,
       const std::unordered_map<GlobalSeq, std::vector<LockId>>& locksets = {})
       const;
-
-  /// One-call form: instruments `record` with the race-detection causality
-  /// projection (candidate variables excluded from MVC joins; program
-  /// order and synchronization edges kept — see
-  /// core::Instrumentor::excludeFromCausality) and analyzes all accesses
-  /// of the named variables.
-  [[nodiscard]] std::vector<RaceReport> analyzeExecution(
-      const program::ExecutionRecord& record, const program::Program& prog,
-      const std::vector<std::string>& varNames) const;
 
  private:
   RaceOptions opts_;

@@ -37,6 +37,11 @@ class SynthesizedMonitor final : public observer::LatticeMonitor {
   [[nodiscard]] bool isViolating(observer::MonitorState m) const override {
     return (m >> rootBit_ & 1u) == 0;
   }
+  /// ptLTL monitors use one bit per subformula, so several fit in the
+  /// MonitorBus's packed 64-bit word.
+  [[nodiscard]] unsigned stateBits() const override {
+    return static_cast<unsigned>(subs_.size());
+  }
 
   // --- linear (single-trace) monitoring ------------------------------
   /// Reset for a fresh trace.

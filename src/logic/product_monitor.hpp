@@ -42,6 +42,7 @@ class ProductMonitor final : public observer::LatticeMonitor {
                                  const observer::GlobalState& s) override;
   /// Violating iff ANY component is violating.
   [[nodiscard]] bool isViolating(observer::MonitorState m) const override;
+  [[nodiscard]] unsigned stateBits() const override { return width_; }
 
   /// Which components are violating in `m` (for attribution in reports).
   [[nodiscard]] std::vector<std::size_t> violatingComponents(

@@ -1,0 +1,98 @@
+#include "logic/spec_analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpx::logic {
+
+SpecAnalysis::SpecAnalysis(const observer::StateSpace& space,
+                           const Formula& formula, std::string spec)
+    : space_(&space),
+      spec_(std::move(spec)),
+      riding_(formula),
+      linear_(formula) {}
+
+void SpecAnalysis::onObservedState(const observer::GlobalState& state) {
+  const bool holds = linear_.stepLinear(state);
+  if (!holds && observedViolationIndex_ < 0) {
+    observedViolationIndex_ = observedCount_;
+  }
+  ++observedCount_;
+}
+
+bool SpecAnalysis::onViolation(const observer::Violation& v,
+                               observer::MonitorState componentState) {
+  if (!riding_.isViolating(componentState)) return false;
+  if (!seen_.insert({v.cut.k, componentState}).second) return false;
+  observer::Violation mine = v;
+  mine.monitorState = componentState;
+  violations_.push_back(std::move(mine));
+  return true;
+}
+
+void SpecAnalysis::finish(const observer::LatticeStats& stats) {
+  truncated_ = stats.truncated;
+  approximated_ = stats.approximated;
+}
+
+observer::AnalysisReport SpecAnalysis::report() const {
+  observer::AnalysisReport r;
+  r.name = name();
+  r.kind = kind();
+  r.violationCount = violations_.size();
+
+  // Canonical text: sorted by (cut, component state), no witness paths —
+  // byte-identical whether this property ran alone or packed with others,
+  // serial or parallel.
+  std::vector<const observer::Violation*> sorted;
+  sorted.reserve(violations_.size());
+  for (const auto& v : violations_) sorted.push_back(&v);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const observer::Violation* a, const observer::Violation* b) {
+              if (a->cut.k != b->cut.k) return a->cut.k < b->cut.k;
+              return a->monitorState < b->monitorState;
+            });
+
+  std::ostringstream os;
+  os << "property: " << spec_ << '\n';
+  if (violations_.empty()) {
+    os << "verdict: no violation on any consistent run";
+    if (truncated_ || approximated_) os << " (coverage INCOMPLETE)";
+    os << '\n';
+  } else {
+    os << "verdict: VIOLATED (" << violations_.size() << " cut/state pair"
+       << (violations_.size() == 1 ? "" : "s") << ")\n";
+    for (const observer::Violation* v : sorted) {
+      // Render the state sorted by variable NAME: the engine's union space
+      // orders slots by first-seen across all K specs, so slot order is
+      // K-packing-dependent while the name order is not.
+      std::vector<std::pair<std::string, Value>> vars;
+      vars.reserve(v->state.values.size());
+      for (std::size_t i = 0; i < v->state.values.size(); ++i) {
+        vars.emplace_back(space_->name(i), v->state.values[i]);
+      }
+      std::sort(vars.begin(), vars.end());
+      os << "  violation: cut " << v->cut.toString() << ", state <";
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << vars[i].first << " = " << vars[i].second;
+      }
+      os << ">\n";
+    }
+  }
+  // A deployment that never feeds observed states (the remote daemon sees
+  // only MVC messages) must not claim the run holds.
+  if (observedCount_ == 0) {
+    os << "observed run: (not monitored)\n";
+  } else {
+    os << "observed run: "
+       << (observedRunViolates()
+               ? "violates at state " + std::to_string(observedViolationIndex_)
+               : "holds")
+       << '\n';
+  }
+  r.text = os.str();
+  return r;
+}
+
+}  // namespace mpx::logic

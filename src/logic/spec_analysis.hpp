@@ -1,0 +1,75 @@
+// The ptLTL safety checker as a lattice-engine plugin.
+//
+// Wraps one parsed specification in the observer::Analysis interface: a
+// riding SynthesizedMonitor contributes `subformulaCount()` bits to the
+// engine's packed monitor word (MonitorBus), a second linear monitor tracks
+// the observed single run (the JPAX-style baseline verdict), and accepted
+// violations are deduplicated per (cut, component state) so K properties
+// checked in ONE pass report exactly what K independent single-property
+// passes would.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logic/monitor.hpp"
+#include "observer/analysis.hpp"
+
+namespace mpx::logic {
+
+class SpecAnalysis final : public observer::Analysis {
+ public:
+  /// `space` must outlive the plugin and contain every variable `formula`
+  /// references; `spec` is the source text (used for the report header).
+  SpecAnalysis(const observer::StateSpace& space, const Formula& formula,
+               std::string spec);
+
+  [[nodiscard]] std::string name() const override { return "ptltl: " + spec_; }
+  [[nodiscard]] std::string kind() const override { return "ptltl"; }
+  [[nodiscard]] observer::LatticeMonitor* monitor() override {
+    return &riding_;
+  }
+
+  void onObservedState(const observer::GlobalState& state) override;
+  bool onViolation(const observer::Violation& v,
+                   observer::MonitorState componentState) override;
+  void finish(const observer::LatticeStats& stats) override;
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  /// Violations of THIS property (component monitor state in
+  /// Violation::monitorState), in engine arrival order.
+  [[nodiscard]] const std::vector<observer::Violation>& violations()
+      const noexcept {
+    return violations_;
+  }
+  /// Index of the first violating observed state, or -1 (the single-trace
+  /// baseline verdict).
+  [[nodiscard]] std::int64_t observedViolationIndex() const noexcept {
+    return observedViolationIndex_;
+  }
+  [[nodiscard]] bool observedRunViolates() const noexcept {
+    return observedViolationIndex_ >= 0;
+  }
+  [[nodiscard]] const std::string& spec() const noexcept { return spec_; }
+
+ private:
+  const observer::StateSpace* space_;
+  std::string spec_;
+  SynthesizedMonitor riding_;  ///< packed into the engine's monitor word
+  SynthesizedMonitor linear_;  ///< steps the observed run only
+  /// Dedupe key: in a multi-plugin pass the same component state can enter
+  /// one cut inside several distinct packed words; single-property passes
+  /// see it once, so the plugin must too.
+  std::set<std::pair<std::vector<std::uint32_t>, observer::MonitorState>>
+      seen_;
+  std::vector<observer::Violation> violations_;
+  std::int64_t observedViolationIndex_ = -1;
+  std::int64_t observedCount_ = 0;
+  bool truncated_ = false;
+  bool approximated_ = false;
+};
+
+}  // namespace mpx::logic

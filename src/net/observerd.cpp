@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "analysis/report.hpp"
 #include "logic/parser.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -54,29 +55,9 @@ std::string renderViolationReport(const observer::StateSpace& space,
                                   const std::vector<observer::Violation>& vs,
                                   const observer::LatticeStats& stats,
                                   bool finished) {
-  std::ostringstream os;
-  os << "analysis " << (finished ? "complete" : "INCOMPLETE") << '\n';
-  os << "violations: " << vs.size() << '\n';
-  for (std::size_t i = 0; i < vs.size(); ++i) {
-    const observer::Violation& v = vs[i];
-    os << "  violation " << (i + 1) << ": cut " << v.cut.toString()
-       << ", state <" << v.state.toString(space) << ">, path";
-    if (v.path.empty()) {
-      os << " (initial state)";
-    } else {
-      for (const observer::EventRef& ref : v.path) {
-        os << " T" << (ref.thread + 1) << '#' << ref.index;
-      }
-    }
-    os << '\n';
-  }
-  os << "lattice: levels=" << stats.levels << " nodes=" << stats.totalNodes
-     << " edges=" << stats.totalEdges << " peakWidth=" << stats.peakLevelWidth
-     << " paths=" << stats.pathCount
-     << (stats.pathCountSaturated ? " (saturated)" : "")
-     << (stats.truncated ? " TRUNCATED" : "")
-     << (stats.approximated ? " APPROXIMATED" : "") << '\n';
-  return os.str();
+  // The daemon and mpx_cli share ONE rendering + exit-code path; this
+  // net-namespace name survives for the e2e byte-equality tests.
+  return analysis::renderViolationReport(space, vs, stats, finished);
 }
 
 struct ObserverDaemon::Conn {
@@ -274,28 +255,51 @@ bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
     return false;
   }
   if (!handshaken_) {
+    // The active property set: handshake specs plus daemon-side
+    // --property additions, first-seen order, deduplicated.
+    std::vector<std::string> specs = h.specs;
+    for (const std::string& extra : opts_.extraSpecs) {
+      if (std::find(specs.begin(), specs.end(), extra) == specs.end()) {
+        specs.push_back(extra);
+      }
+    }
     try {
       space_ = observer::StateSpace::byNames(h.vars, h.tracked);
       observer::LatticeOptions lat = opts_.lattice;
       if (opts_.jobs > 0) lat.parallel.jobs = opts_.jobs;
-      if (!h.spec.empty()) {
-        const logic::Formula f = logic::SpecParser(space_).parse(h.spec);
-        monitor_ = std::make_unique<logic::SynthesizedMonitor>(f);
+      if (!specs.empty()) {
+        // One SpecAnalysis plugin per property on one shared bus — the
+        // daemon checks all K properties in a single lattice pass.
+        for (const std::string& spec : specs) {
+          const logic::Formula f = logic::SpecParser(space_).parse(spec);
+          plugins_.push_back(
+              std::make_unique<logic::SpecAnalysis>(space_, f, spec));
+        }
+        std::vector<observer::Analysis*> raw;
+        raw.reserve(plugins_.size());
+        for (auto& p : plugins_) raw.push_back(p.get());
+        bus_ = std::make_unique<observer::AnalysisBus>(raw);
+        analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
+            space_, h.threads, *bus_, lat);
+      } else {
+        analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
+            space_, h.threads, static_cast<observer::LatticeMonitor*>(nullptr),
+            lat);
       }
-      analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
-          space_, h.threads, monitor_.get(), lat);
     } catch (const std::exception&) {
-      monitor_.reset();
       analyzer_.reset();
+      bus_.reset();
+      plugins_.clear();
       *error = "handshake rejected: unusable spec or variable set";
       return false;
     }
+    specs_ = std::move(specs);
     seen_.assign(h.threads, {});
     handshake_ = std::move(h);
     handshaken_ = true;
   } else {
     // Additional channels of the same analysis must agree on the world.
-    if (h.threads != handshake_.threads || h.spec != handshake_.spec) {
+    if (h.threads != handshake_.threads || h.specs != handshake_.specs) {
       *error = "handshake conflicts with the active analysis";
       return false;
     }
@@ -434,6 +438,19 @@ observer::LatticeStats ObserverDaemon::stats() const {
   return analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{};
 }
 
+std::vector<std::string> ObserverDaemon::specs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return specs_;
+}
+
+std::vector<observer::AnalysisReport> ObserverDaemon::analysisReports() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<observer::AnalysisReport> out;
+  out.reserve(plugins_.size());
+  for (const auto& p : plugins_) out.push_back(p->report());
+  return out;
+}
+
 std::uint64_t ObserverDaemon::connectionsAccepted() const {
   std::lock_guard<std::mutex> lk(mu_);
   return accepted_;
@@ -495,6 +512,12 @@ std::string ObserverDaemon::renderStatus() const {
               analyzer_ != nullptr ? analyzer_->stats()
                                    : observer::LatticeStats{},
               finished_);
+    if (!plugins_.empty()) {
+      std::vector<observer::AnalysisReport> reports;
+      reports.reserve(plugins_.size());
+      for (const auto& p : plugins_) reports.push_back(p->report());
+      os << '\n' << analysis::renderAnalysisReports(reports);
+    }
   }
   os << '\n' << telemetry::toPrometheusText(telemetry::registry().snapshot());
   return os.str();

@@ -34,9 +34,10 @@
 #include <thread>
 #include <vector>
 
-#include "logic/monitor.hpp"
+#include "logic/spec_analysis.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "observer/analysis.hpp"
 #include "observer/online.hpp"
 
 namespace mpx::net {
@@ -58,6 +59,10 @@ struct DaemonOptions {
   std::size_t jobs = 1;
   std::size_t maxFramePayload = kDefaultMaxFramePayload;
   observer::LatticeOptions lattice;
+  /// Properties checked IN ADDITION to the ones the handshake carries
+  /// (mpx_observerd --property).  All of them become SpecAnalysis plugins
+  /// on one shared bus — a single lattice pass checks every property.
+  std::vector<std::string> extraSpecs;
   /// Log connection errors to stderr (tests silence this).
   bool logErrors = true;
 };
@@ -89,6 +94,13 @@ class ObserverDaemon {
   [[nodiscard]] bool handshaken() const;
   [[nodiscard]] std::vector<observer::Violation> violations() const;
   [[nodiscard]] observer::LatticeStats stats() const;
+  /// The property specs the active analysis checks (handshake specs plus
+  /// opts.extraSpecs, first-seen order).  Empty before the handshake or in
+  /// structure-only mode.
+  [[nodiscard]] std::vector<std::string> specs() const;
+  /// Per-plugin reports (one per spec), rendered through the shared
+  /// analysis::renderAnalysisReports path.  Empty in structure-only mode.
+  [[nodiscard]] std::vector<observer::AnalysisReport> analysisReports() const;
 
   // --- lifecycle counters --------------------------------------------
   [[nodiscard]] std::uint64_t connectionsAccepted() const;
@@ -131,8 +143,11 @@ class ObserverDaemon {
 
   mutable std::mutex mu_;  ///< guards everything below
   std::condition_variable finishedCv_;
-  // Analysis state, created on the first handshake.
-  std::unique_ptr<logic::SynthesizedMonitor> monitor_;
+  // Analysis state, created on the first handshake.  One SpecAnalysis
+  // plugin per property, all on one bus, driven by ONE online lattice.
+  std::vector<std::unique_ptr<logic::SpecAnalysis>> plugins_;
+  std::unique_ptr<observer::AnalysisBus> bus_;
+  std::vector<std::string> specs_;
   std::unique_ptr<observer::OnlineAnalyzer> analyzer_;
   observer::StateSpace space_;
   Handshake handshake_;

@@ -48,15 +48,24 @@ struct Reader {
 
 }  // namespace
 
-Handshake makeHandshake(std::uint32_t threads, std::string spec,
+Handshake makeHandshake(std::uint32_t threads,
+                        std::vector<std::string> specs,
                         std::vector<std::string> tracked,
                         const trace::VarTable& vars) {
   Handshake h;
   h.threads = threads;
-  h.spec = std::move(spec);
+  h.specs = std::move(specs);
   h.tracked = std::move(tracked);
   h.vars = vars;
   return h;
+}
+
+Handshake makeHandshake(std::uint32_t threads, std::string spec,
+                        std::vector<std::string> tracked,
+                        const trace::VarTable& vars) {
+  std::vector<std::string> specs;
+  if (!spec.empty()) specs.push_back(std::move(spec));
+  return makeHandshake(threads, std::move(specs), std::move(tracked), vars);
 }
 
 void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
@@ -71,7 +80,14 @@ std::vector<std::uint8_t> encodeHandshake(const Handshake& h) {
   std::vector<std::uint8_t> out;
   put<std::uint16_t>(out, h.version);
   put<std::uint32_t>(out, h.threads);
-  putString(out, h.spec);
+  if (h.version <= kLegacyProtocolVersion) {
+    // v1 layout: a single spec string (first spec, or empty) where v2
+    // carries the list — emitted only for wire-compat tests and old peers.
+    putString(out, h.primarySpec());
+  } else {
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(h.specs.size()));
+    for (const std::string& spec : h.specs) putString(out, spec);
+  }
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.tracked.size()));
   for (const std::string& name : h.tracked) putString(out, name);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.vars.size()));
@@ -92,9 +108,27 @@ bool decodeHandshake(const std::vector<std::uint8_t>& payload, Handshake& out,
   Reader r{payload};
   Handshake h;
   if (!r.read(h.version)) return fail("handshake truncated");
-  if (h.version != kProtocolVersion) return fail("unsupported protocol version");
+  if (h.version == 0 || h.version > kProtocolVersion) {
+    return fail("unsupported protocol version");
+  }
   if (!r.read(h.threads)) return fail("handshake truncated");
-  if (!r.readString(h.spec)) return fail("handshake spec malformed");
+  if (h.version <= kLegacyProtocolVersion) {
+    // v1 peers send exactly one spec string; empty means "no property".
+    std::string spec;
+    if (!r.readString(spec)) return fail("handshake spec malformed");
+    if (!spec.empty()) h.specs.push_back(std::move(spec));
+  } else {
+    std::uint32_t nSpecs = 0;
+    if (!r.read(nSpecs) || nSpecs > kMaxVars) {
+      return fail("handshake spec-count malformed");
+    }
+    h.specs.reserve(nSpecs);
+    for (std::uint32_t i = 0; i < nSpecs; ++i) {
+      std::string spec;
+      if (!r.readString(spec)) return fail("handshake spec malformed");
+      h.specs.push_back(std::move(spec));
+    }
+  }
   std::uint32_t nTracked = 0;
   if (!r.read(nTracked) || nTracked > kMaxVars) {
     return fail("handshake tracked-count malformed");

@@ -11,9 +11,11 @@
 // stray HTTP request on the same port.  Three frame types:
 //
 //   kHandshake   first frame of every connection: protocol version, the
-//                instrumented program's thread count, the property spec,
+//                instrumented program's thread count, the property specs
+//                (v2 carries a LIST — the daemon checks all of them in one
+//                lattice pass; v1 carried exactly one and still decodes),
 //                the tracked variable names, and the full VarTable — so
-//                the daemon can build its StateSpace/monitor and render
+//                the daemon can build its StateSpace/monitors and render
 //                paper-notation reports without sharing memory.
 //   kEvents      a batch of BinaryCodec-encoded messages (>= 1).  Theorem 3
 //                makes any batching/reordering across frames and
@@ -35,7 +37,11 @@
 namespace mpx::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: the handshake carries a LIST of property specs (one-pass
+/// multi-property analysis).  Receivers still decode v1 single-spec
+/// handshakes; versions above kProtocolVersion are rejected.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kLegacyProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
 /// Default payload-size cap a receiver enforces (hostile length words must
 /// not drive allocation).
@@ -57,12 +63,25 @@ struct Frame {
 struct Handshake {
   std::uint16_t version = kProtocolVersion;
   std::uint32_t threads = 0;          ///< instrumented program thread count
-  std::string spec;                   ///< ptLTL property source text
+  /// ptLTL property source texts, checked in ONE lattice pass.  Empty =
+  /// structure-only analysis.  A decoded v1 handshake has 0 or 1 entries.
+  std::vector<std::string> specs;
   std::vector<std::string> tracked;   ///< relevant variable names, in order
   trace::VarTable vars;               ///< full table (names, initials, roles)
+
+  /// The v1 view: the first spec, or empty.
+  [[nodiscard]] const std::string& primarySpec() const {
+    static const std::string kEmpty;
+    return specs.empty() ? kEmpty : specs.front();
+  }
 };
 
 /// Builds the handshake for a program with the given variable table.
+[[nodiscard]] Handshake makeHandshake(std::uint32_t threads,
+                                      std::vector<std::string> specs,
+                                      std::vector<std::string> tracked,
+                                      const trace::VarTable& vars);
+/// Single-property convenience (an empty spec means "no property").
 [[nodiscard]] Handshake makeHandshake(std::uint32_t threads, std::string spec,
                                       std::vector<std::string> tracked,
                                       const trace::VarTable& vars);
@@ -75,9 +94,13 @@ inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
   appendFrame(out, type, payload.data(), payload.size());
 }
 
-/// Handshake payload (de)serialization.  decodeHandshake returns false on
-/// malformed or version-incompatible payloads, with a static reason in
-/// `error` — it never throws (daemon-side input is untrusted).
+/// Handshake payload (de)serialization.  encodeHandshake honors
+/// `h.version`: 1 emits the legacy single-spec layout (first spec or
+/// empty), 2 emits the spec list.  decodeHandshake accepts BOTH layouts
+/// (a v1 single spec decodes to a one-element `specs`), rejects versions
+/// above kProtocolVersion, and returns false on malformed payloads with a
+/// static reason in `error` — it never throws (daemon-side input is
+/// untrusted).
 [[nodiscard]] std::vector<std::uint8_t> encodeHandshake(const Handshake& h);
 [[nodiscard]] bool decodeHandshake(const std::vector<std::uint8_t>& payload,
                                    Handshake& out, const char** error);

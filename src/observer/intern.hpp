@@ -1,0 +1,147 @@
+// Hash-consing arenas for the lattice engine.
+//
+// The computation lattice visits far more cuts than distinct global states
+// ("a state is a map assigning values to variables", paper §1 — many runs
+// pass through the same valuation).  StateArena deduplicates GlobalStates so
+// every frontier node holds a pointer into the arena: node state equality is
+// pointer equality, and the two-consecutive-levels working set stores each
+// distinct valuation once instead of once per cut.
+//
+// Invariants the engine relies on (documented in DESIGN.md §"Analysis
+// plugin interface"):
+//   * An interned pointer stays valid for the arena's lifetime (node-based
+//     std::unordered_set storage; no rehash ever moves elements).  The
+//     arena outlives every frontier built from it — one arena per
+//     ComputationLattice run / OnlineAnalyzer instance.
+//   * intern() is thread-safe (striped mutexes): the parallel expansion
+//     path interns from pool workers.  Hit/miss totals are deterministic
+//     regardless of jobs: misses == number of distinct states, and the
+//     number of intern() calls is a pure function of the lattice.
+//   * The arena only ever grows within a run.  Distinct states are bounded
+//     by the product of per-variable value ranges actually written — in
+//     practice orders of magnitude below the cut count.
+//
+// MonitorSetArena plays the same trick for the per-node *sets* of monitor
+// states handed to analysis plugins: identical sets (extremely common —
+// neighbouring cuts usually carry the same reachable-monitor-state set)
+// are stored once.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "observer/global_state.hpp"
+
+namespace mpx::observer {
+
+/// Monotonic hit/miss tally of one arena (relaxed atomics; exact totals
+/// are only read after the run quiesces).
+struct InternStats {
+  std::uint64_t hits = 0;    ///< intern() found the value already present
+  std::uint64_t misses = 0;  ///< intern() inserted a new value
+  std::size_t size = 0;      ///< distinct values resident
+
+  [[nodiscard]] double hitRate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe hash-consing arena for GlobalState.
+class StateArena {
+ public:
+  StateArena() = default;
+  StateArena(const StateArena&) = delete;
+  StateArena& operator=(const StateArena&) = delete;
+
+  /// Returns the canonical pointer for `s`; inserts if unseen.  Two equal
+  /// states always intern to the same pointer.
+  const GlobalState* intern(GlobalState&& s) {
+    const std::size_t h = s.hash();
+    Stripe& stripe = stripes_[h & (kStripes - 1)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto [it, inserted] = stripe.set.insert(std::move(s));
+    if (inserted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return &*it;
+  }
+
+  const GlobalState* intern(const GlobalState& s) {
+    return intern(GlobalState(s));
+  }
+
+  /// Counts a dedup that short-circuited the table (an edge that left the
+  /// state unchanged reuses the parent's pointer without a lookup).
+  void noteReuse() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] InternStats stats() const {
+    InternStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      s.size += stripe.set.size();
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;  // power of two
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<GlobalState, GlobalStateHash> set;
+  };
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Hash-consing arena for sorted monitor-state sets (single-threaded: the
+/// engine interns sets on the orchestrator thread when a level completes).
+class MonitorSetArena {
+ public:
+  MonitorSetArena() = default;
+  MonitorSetArena(const MonitorSetArena&) = delete;
+  MonitorSetArena& operator=(const MonitorSetArena&) = delete;
+
+  /// `states` must be sorted ascending (FrontierNode::mstates iterates its
+  /// keys in order, so callers get this for free).
+  const std::vector<std::uint64_t>* intern(std::vector<std::uint64_t> states) {
+    const auto [it, inserted] = set_.insert(std::move(states));
+    if (inserted) {
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    return &*it;
+  }
+
+  [[nodiscard]] InternStats stats() const {
+    return InternStats{hits_, misses_, set_.size()};
+  }
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
+      std::size_t h = 1469598103934665603ull;
+      for (const std::uint64_t x : v) {
+        h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+  std::unordered_set<std::vector<std::uint64_t>, VecHash> set_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mpx::observer

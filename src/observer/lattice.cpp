@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "observer/analysis.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
@@ -46,11 +47,20 @@ bool ComputationLattice::enabled(const Cut& cut, ThreadId j) const {
   return true;
 }
 
-const LatticeStats& ComputationLattice::build() { return run(nullptr, nullptr); }
+const LatticeStats& ComputationLattice::build() {
+  return run(nullptr, nullptr, nullptr);
+}
 
 const LatticeStats& ComputationLattice::check(
     LatticeMonitor& mon, std::vector<Violation>& violations) {
-  return run(&mon, &violations);
+  return run(&mon, &violations, nullptr);
+}
+
+const LatticeStats& ComputationLattice::analyze(
+    AnalysisBus& bus, std::vector<Violation>& violations) {
+  run(bus.monitor(), &violations, &bus);
+  bus.finish(stats_);
+  return stats_;
 }
 
 parallel::ThreadPool* ComputationLattice::poolForRun() {
@@ -64,9 +74,12 @@ parallel::ThreadPool* ComputationLattice::poolForRun() {
 }
 
 const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
-                                            std::vector<Violation>* violations) {
+                                            std::vector<Violation>* violations,
+                                            AnalysisBus* bus) {
   stats_ = LatticeStats{};
   retained_.clear();
+  states_ = std::make_unique<StateArena>();
+  msets_ = std::make_unique<MonitorSetArena>();
   parallel::ThreadPool* pool = poolForRun();
 
   const std::size_t n = graph_->threadCount();
@@ -76,13 +89,13 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   // Level 0: the initial cut and the initial global state.
   detail::Frontier frontier;
   detail::FrontierNode init;
-  init.state = GlobalState(space_.initialValues());
+  init.state = states_->intern(GlobalState(space_.initialValues()));
   init.pathCount = 1;
   if (mon != nullptr) {
-    const MonitorState m0 = mon->initial(init.state);
+    const MonitorState m0 = mon->initial(*init.state);
     init.mstates.emplace(m0, nullptr);
     if (mon->isViolating(m0)) {
-      detail::emitViolation(violations, opts_, Cut(n), init.state, m0,
+      detail::emitViolation(violations, bus, opts_, Cut(n), *init.state, m0,
                             nullptr);
     }
   }
@@ -94,6 +107,10 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   stats_.peakLiveNodes = 1;
   stats_.monitorStatesPeak = mon != nullptr ? 1 : 0;
   retainLevel(0, frontier);
+  if (bus != nullptr) {
+    bus->dispatchLevel(frontier, 0, *msets_, pool,
+                       opts_.parallel.minFrontier);
+  }
 
   const auto next = [this](const Cut& cut, ThreadId j) -> const trace::Message* {
     if (!enabled(cut, j)) return nullptr;
@@ -105,8 +122,8 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
     telemetry::ScopedTimer levelTimer(ObserverMetrics::get().levelNs);
     std::size_t edges = 0;
     detail::Frontier next_ = detail::expandLevel(
-        frontier, n, space_, mon, opts_, stats_, violations, pool, edges,
-        next);
+        frontier, n, space_, mon, opts_, stats_, violations, bus, *states_,
+        pool, edges, next);
 
     if (next_.empty()) {
       // Should not happen for a consistent finalized graph, but guard.
@@ -158,6 +175,10 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
       span.arg("edges", static_cast<std::int64_t>(edges));
     }
     retainLevel(level + 1, next_);
+    if (bus != nullptr) {
+      bus->dispatchLevel(next_, level + 1, *msets_, pool,
+                         opts_.parallel.minFrontier);
+    }
     frontier = std::move(next_);  // sliding window: old level dies here
   }
 
@@ -166,6 +187,7 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   if (frontier.size() == 1) {
     stats_.pathCount = frontier.begin()->second.pathCount;
   }
+  detail::recordInternStats(stats_, *states_, *msets_);
   return stats_;
 }
 
@@ -177,7 +199,7 @@ void ComputationLattice::retainLevel(std::uint64_t level,
   for (const auto& [cut, node] : frontier) {
     LevelNode ln;
     ln.cut = cut;
-    ln.state = node.state;
+    ln.state = *node.state;
     ln.pathCount = node.pathCount;
     for (const auto& [ms, witness] : node.mstates) {
       ln.monitorStates.push_back(ms);

@@ -32,9 +32,12 @@
 
 #include "observer/causality.hpp"
 #include "observer/global_state.hpp"
+#include "observer/intern.hpp"
 #include "observer/lattice_types.hpp"
 
 namespace mpx::observer {
+
+class AnalysisBus;
 
 class ComputationLattice {
  public:
@@ -52,6 +55,14 @@ class ComputationLattice {
   const LatticeStats& check(LatticeMonitor& mon,
                             std::vector<Violation>& violations);
 
+  /// Builds the lattice while running a whole plugin bus (analysis.hpp):
+  /// the bus's packed monitor rides the nodes, candidate violations are
+  /// filtered through the owning plugins, completed levels are dispatched
+  /// to node-observing plugins, and plugin finish() hooks run at the end.
+  /// Accepted violations land in `violations`.
+  const LatticeStats& analyze(AnalysisBus& bus,
+                              std::vector<Violation>& violations);
+
   [[nodiscard]] const LatticeStats& stats() const noexcept { return stats_; }
 
   /// Retained levels (only with Retention::kFull).  levels()[L] is sorted
@@ -66,7 +77,8 @@ class ComputationLattice {
 
  private:
   const LatticeStats& run(LatticeMonitor* mon,
-                          std::vector<Violation>* violations);
+                          std::vector<Violation>* violations,
+                          AnalysisBus* bus);
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j) const;
   void retainLevel(std::uint64_t level, const detail::Frontier& frontier);
   [[nodiscard]] parallel::ThreadPool* poolForRun();
@@ -79,6 +91,10 @@ class ComputationLattice {
   /// Lazily created when opts_.parallel asks for jobs > 1 and no external
   /// pool was injected; reused across build()/check() calls.
   std::unique_ptr<parallel::ThreadPool> ownedPool_;
+  /// Hash-consing arenas, recreated per run (frontier nodes point into
+  /// them; see intern.hpp for the lifetime invariant).
+  std::unique_ptr<StateArena> states_;
+  std::unique_ptr<MonitorSetArena> msets_;
 };
 
 }  // namespace mpx::observer

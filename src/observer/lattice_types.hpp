@@ -48,6 +48,13 @@ class LatticeMonitor {
     (void)m;
     return true;
   }
+
+  /// How many of the 64 bits this monitor's states actually occupy.  The
+  /// MonitorBus packs several monitors side by side in one MonitorState;
+  /// a monitor that uses fewer bits (ptLTL monitors use one bit per
+  /// subformula) should override so more components fit.  States must
+  /// never exceed the declared width.
+  [[nodiscard]] virtual unsigned stateBits() const { return 64; }
 };
 
 /// A consistent cut (k_1, ..., k_n).
@@ -152,6 +159,15 @@ struct LatticeStats {
   std::size_t beamPrunedNodes = 0;  ///< cuts dropped by the beam approximation
   bool approximated = false;        ///< beam pruning occurred: absence of
                                     ///< violations is best-effort only
+  // Hash-consing effectiveness (see intern.hpp).  Deterministic across
+  // jobs counts: misses == distinct states, and the number of intern
+  // lookups is a pure function of the lattice.
+  std::uint64_t internHits = 0;    ///< state lookups that found a resident
+                                   ///< state (incl. unchanged-value reuse)
+  std::uint64_t internMisses = 0;  ///< state lookups that inserted
+  std::size_t internedStates = 0;  ///< distinct GlobalStates resident
+  std::uint64_t msetInternHits = 0;    ///< monitor-state-set lookups deduped
+  std::uint64_t msetInternMisses = 0;  ///< monitor-state-set inserts
 };
 
 /// One node of a fully-retained lattice (inspection/rendering).
@@ -165,9 +181,12 @@ struct LevelNode {
 
 namespace detail {
 
-/// One lattice node while its level is live.
+/// One lattice node while its level is live.  `state` is interned in the
+/// engine's StateArena (hash-consed: equal states share one pointer, so
+/// node-state equality is pointer equality and the two-level sliding
+/// window stores each distinct valuation once).
 struct FrontierNode {
-  GlobalState state;
+  const GlobalState* state = nullptr;
   std::uint64_t pathCount = 0;
   /// Reachable monitor states, each with one witness path.
   std::map<MonitorState, PathPtr> mstates;

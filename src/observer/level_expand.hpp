@@ -24,34 +24,54 @@
 // carries — may differ, because workers discover the same pairs in a
 // different interleaving.  Every statistic is order-independent by
 // construction: edge and prune counts partition over frontier nodes,
-// pathCount folding is a commutative-associative saturating sum, and
+// pathCount folding is a commutative-associative saturating sum,
 // monitorStatesPeak is a max over per-cut final sets, which the keep-first
-// merge reproduces exactly.
+// merge reproduces exactly, and intern hit/miss totals are deterministic
+// because misses == distinct states while the lookup count is a pure
+// function of the lattice (see intern.hpp).
+//
+// Global states are hash-consed: every FrontierNode holds a pointer into
+// the run's StateArena, and an edge that does not change the written
+// variable's value reuses the parent's pointer outright.
+//
+// Analysis plugins (analysis.hpp) hook in at two points: emitViolation
+// routes each candidate violation through AnalysisBus::acceptViolation
+// (the violation is recorded only if some owning plugin accepts), and the
+// CALLERS dispatch each completed level's nodes via
+// AnalysisBus::dispatchLevel.  Both happen on the orchestrator thread
+// only — workers never touch the bus.
 //
 // Thread-safety requirements on the inputs (all satisfied in-tree):
 // NextFn and LatticeMonitor must be pure/const — workers call them
-// concurrently; the StateSpace is only read.
+// concurrently; the StateSpace is only read; StateArena::intern is
+// internally synchronized.
 #pragma once
 
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "observer/analysis.hpp"
+#include "observer/intern.hpp"
 #include "observer/lattice_types.hpp"
 #include "observer/observer_metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mpx::observer::detail {
 
-/// Appends one violation, respecting the cap, and counts it.
-inline void emitViolation(std::vector<Violation>* violations,
+/// Appends one violation, respecting the cap, and counts it.  When `bus`
+/// is non-null the candidate is first offered to the owning plugins and
+/// dropped unless one accepts.  Orchestrator thread only.
+inline void emitViolation(std::vector<Violation>* violations, AnalysisBus* bus,
                           const LatticeOptions& opts, const Cut& cut,
                           const GlobalState& state, MonitorState nm,
                           const PathPtr& witness) {
   if (violations == nullptr || violations->size() >= opts.maxViolations) {
     return;
   }
-  violations->push_back(Violation{cut, state, nm, unwindPath(witness)});
+  Violation v{cut, state, nm, unwindPath(witness)};
+  if (bus != nullptr && !bus->acceptViolation(v)) return;
+  violations->push_back(std::move(v));
   if constexpr (telemetry::kEnabled) {
     ObserverMetrics::get().violations.add(1);
   }
@@ -71,22 +91,30 @@ struct EdgeCounters {
 inline void applyEdge(const Cut& cut, const FrontierNode& node, ThreadId j,
                       const trace::Message& m, const StateSpace& space,
                       LatticeMonitor* mon, const LatticeOptions& opts,
-                      Frontier& out, EdgeCounters& counters,
+                      StateArena& arena, AnalysisBus* bus, Frontier& out,
+                      EdgeCounters& counters,
                       std::vector<Violation>* violations) {
   ++counters.edges;
   const EventRef ref{j, cut.k[j] + 1};
   Cut ncut = cut.advanced(j);
 
-  // Apply the event's state update.
-  GlobalState nstate = node.state;
+  // Apply the event's state update, hash-consed: an edge that leaves the
+  // value unchanged reuses the parent's interned state without a lookup.
+  const GlobalState* nstate = node.state;
   if (const auto slot = space.slotOf(m.event.var)) {
-    nstate.values[*slot] = m.event.value;
+    if (nstate->values[*slot] != m.event.value) {
+      GlobalState changed = *nstate;
+      changed.values[*slot] = m.event.value;
+      nstate = arena.intern(std::move(changed));
+    } else {
+      arena.noteReuse();
+    }
   }
 
   auto [it, inserted] = out.try_emplace(std::move(ncut));
   FrontierNode& child = it->second;
   if (inserted) {
-    child.state = std::move(nstate);
+    child.state = nstate;
   }
   // All paths into a cut yield the same state (writes to each variable are
   // totally ordered by ≺, so a consistent cut has a unique maximal write
@@ -96,7 +124,7 @@ inline void applyEdge(const Cut& cut, const FrontierNode& node, ThreadId j,
 
   if (mon != nullptr) {
     for (const auto& [ms, witness] : node.mstates) {
-      const MonitorState nm = mon->advance(ms, child.state);
+      const MonitorState nm = mon->advance(ms, *child.state);
       if (!mon->isViolating(nm) && !mon->canEverViolate(nm)) {
         ++counters.prunedMonitorStates;  // permanently safe: GC
         continue;
@@ -108,7 +136,8 @@ inline void applyEdge(const Cut& cut, const FrontierNode& node, ThreadId j,
       }
       child.mstates.emplace(nm, npath);
       if (mon->isViolating(nm)) {
-        emitViolation(violations, opts, it->first, child.state, nm, npath);
+        emitViolation(violations, bus, opts, it->first, *child.state, nm,
+                      npath);
       }
     }
   } else if (opts.recordPaths && inserted) {
@@ -120,16 +149,17 @@ inline void applyEdge(const Cut& cut, const FrontierNode& node, ThreadId j,
 /// Expands one level.  `next(cut, j)` returns thread j's candidate next
 /// message when it exists AND is enabled at `cut`, else nullptr.  Returns
 /// the new frontier; edge count lands in `edges`; prune/saturation/peak
-/// side-stats land in `stats`; violations (if collecting) in `violations`.
-/// `pool` may be null (always serial); parallel mode engages when the pool
-/// has >1 workers and the frontier is at least opts.parallel.minFrontier.
+/// side-stats land in `stats`; violations (if collecting) in `violations`,
+/// filtered through `bus` when one is attached.  `pool` may be null
+/// (always serial); parallel mode engages when the pool has >1 workers and
+/// the frontier is at least opts.parallel.minFrontier.
 template <typename NextFn>
 Frontier expandLevel(const Frontier& frontier, std::size_t threads,
                      const StateSpace& space, LatticeMonitor* mon,
                      const LatticeOptions& opts, LatticeStats& stats,
-                     std::vector<Violation>* violations,
-                     parallel::ThreadPool* pool, std::size_t& edges,
-                     const NextFn& next) {
+                     std::vector<Violation>* violations, AnalysisBus* bus,
+                     StateArena& arena, parallel::ThreadPool* pool,
+                     std::size_t& edges, const NextFn& next) {
   Frontier result;
   EdgeCounters counters;
 
@@ -140,8 +170,8 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
       for (ThreadId j = 0; j < threads; ++j) {
         const trace::Message* m = next(cut, j);
         if (m == nullptr) continue;
-        applyEdge(cut, node, j, *m, space, mon, opts, result, counters,
-                  violations);
+        applyEdge(cut, node, j, *m, space, mon, opts, arena, bus, result,
+                  counters, violations);
       }
     }
   } else {
@@ -165,9 +195,9 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
               const trace::Message* m = next(cut, j);
               if (m == nullptr) continue;
               // Violations deferred to the merge: workers must not touch
-              // the shared violation list (or telemetry counters).
-              applyEdge(cut, node, j, *m, space, mon, opts, local, lc,
-                        nullptr);
+              // the shared violation list, the plugin bus, or telemetry.
+              applyEdge(cut, node, j, *m, space, mon, opts, arena, nullptr,
+                        local, lc, nullptr);
             }
           }
         });
@@ -185,7 +215,8 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
       for (const auto& [cut, child] : result) {
         for (const auto& [nm, witness] : child.mstates) {
           if (mon->isViolating(nm)) {
-            emitViolation(violations, opts, cut, child.state, nm, witness);
+            emitViolation(violations, bus, opts, cut, *child.state, nm,
+                          witness);
           }
         }
       }
@@ -200,8 +231,8 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
           if (mon != nullptr && violations != nullptr) {
             for (const auto& [nm, witness] : pos->second.mstates) {
               if (mon->isViolating(nm)) {
-                emitViolation(violations, opts, pos->first,
-                              pos->second.state, nm, witness);
+                emitViolation(violations, bus, opts, pos->first,
+                              *pos->second.state, nm, witness);
               }
             }
           }
@@ -216,8 +247,8 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
               child.mstates.emplace(nm, std::move(witness));
           if (!fresh) continue;  // keep-first: earlier chunk's witness stands
           if (mon != nullptr && mon->isViolating(nm)) {
-            emitViolation(violations, opts, found->first, child.state, nm,
-                          mit->second);
+            emitViolation(violations, bus, opts, found->first, *child.state,
+                          nm, mit->second);
           }
         }
       }
@@ -234,6 +265,23 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
   stats.pathCountSaturated |= counters.pathCountSaturated;
   edges = counters.edges;
   return result;
+}
+
+/// Copies the arena tallies into the stats block (end of run / level).
+inline void recordInternStats(LatticeStats& stats, const StateArena& states,
+                              const MonitorSetArena& msets) {
+  const InternStats s = states.stats();
+  stats.internHits = s.hits;
+  stats.internMisses = s.misses;
+  stats.internedStates = s.size;
+  const InternStats m = msets.stats();
+  stats.msetInternHits = m.hits;
+  stats.msetInternMisses = m.misses;
+  if constexpr (telemetry::kEnabled) {
+    ObserverMetrics& tm = ObserverMetrics::get();
+    tm.internStates.set(static_cast<std::int64_t>(s.size));
+    tm.internHitRate.set(static_cast<std::int64_t>(s.hitRate() * 100.0));
+  }
 }
 
 }  // namespace mpx::observer::detail

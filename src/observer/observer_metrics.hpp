@@ -17,6 +17,8 @@ struct ObserverMetrics {
   telemetry::Histogram& levelNs;
   telemetry::Gauge& monitorStatesPeak;
   telemetry::Gauge& backlogHwm;
+  telemetry::Gauge& internStates;
+  telemetry::Gauge& internHitRate;
 
   static ObserverMetrics& get() {
     static ObserverMetrics m{
@@ -44,6 +46,13 @@ struct ObserverMetrics {
             "mpx_observer_backlog_hwm",
             "High-water mark of buffered messages awaiting lattice "
             "consumption (online analyzer only)"),
+        telemetry::registry().gauge(
+            "mpx_observer_intern_states",
+            "Distinct global states resident in the hash-consing arena"),
+        telemetry::registry().gauge(
+            "mpx_observer_intern_hit_rate_percent",
+            "State-intern lookups that found a resident state, percent "
+            "(most recent run)"),
     };
     return m;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "observer/analysis.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
@@ -16,14 +17,14 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
   buffered_.resize(threads);
   // Level 0.
   detail::FrontierNode init;
-  init.state = GlobalState(space_.initialValues());
+  init.state = states_.intern(GlobalState(space_.initialValues()));
   init.pathCount = 1;
   if (monitor_ != nullptr) {
-    const MonitorState m0 = monitor_->initial(init.state);
+    const MonitorState m0 = monitor_->initial(*init.state);
     init.mstates.emplace(m0, nullptr);
     if (monitor_->isViolating(m0)) {
-      detail::emitViolation(&violations_, opts_, Cut(threads), init.state, m0,
-                            nullptr);
+      detail::emitViolation(&violations_, bus_, opts_, Cut(threads),
+                            *init.state, m0, nullptr);
     }
   }
   frontier_.emplace(Cut(threads), std::move(init));
@@ -32,6 +33,25 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
   stats_.peakLevelWidth = 1;
   stats_.peakLiveNodes = 1;
   stats_.monitorStatesPeak = monitor_ != nullptr ? 1 : 0;
+}
+
+OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
+                               AnalysisBus& bus, LatticeOptions opts)
+    : OnlineAnalyzer(std::move(space), threads, bus.monitor(), opts) {
+  bus_ = &bus;
+  // Re-run the level-0 hooks the delegated constructor could not see:
+  // violation filtering at level 0 is a no-op to redo (an initial monitor
+  // state violating at Cut(0..0) is emitted by the delegatee unfiltered
+  // only when no bus is attached — here the bus existed too late, so
+  // offer it now), and node-observing plugins get the initial node.
+  if (!violations_.empty()) {
+    // Rare: the property is violated by the initial state itself.  The
+    // delegatee recorded it without consulting the plugins; offer it and
+    // drop it when every owner rejects.
+    if (!bus_->acceptViolation(violations_.front())) violations_.clear();
+  }
+  bus_->dispatchLevel(frontier_, 0, msets_, nullptr,
+                      opts_.parallel.minFrontier);
 }
 
 const trace::Message* OnlineAnalyzer::find(ThreadId j, LocalSeq k) const {
@@ -130,7 +150,7 @@ void OnlineAnalyzer::expandOneLevel() {
   std::size_t edges = 0;
   detail::Frontier next = detail::expandLevel(
       frontier_, buffered_.size(), space_, monitor_, opts_, stats_,
-      &violations_, poolForRun(), edges, nextMsg);
+      &violations_, bus_, states_, poolForRun(), edges, nextMsg);
 
   // Consume: every event at the frontier's level is now folded in.  Each
   // expansion uses one message per thread-successor; the per-level message
@@ -157,6 +177,12 @@ void OnlineAnalyzer::expandOneLevel() {
     span.arg("edges", static_cast<std::int64_t>(edges));
   }
   frontier_ = std::move(next);
+  if (bus_ != nullptr && frontier_.size() <= opts_.maxNodesPerLevel) {
+    // Matches the batch lattice: a level that trips the width cap is
+    // dropped, not dispatched.
+    bus_->dispatchLevel(frontier_, stats_.levels - 1, msets_, poolForRun(),
+                        opts_.parallel.minFrontier);
+  }
 
   // Recompute pending: messages with index > max frontier k for their
   // thread are still pending; consumed ones could be dropped here (true
@@ -175,12 +201,18 @@ void OnlineAnalyzer::expandOneLevel() {
   }
 }
 
+void OnlineAnalyzer::finalize() {
+  finished_ = true;
+  detail::recordInternStats(stats_, states_, msets_);
+  if (bus_ != nullptr) bus_->finish(stats_);
+}
+
 void OnlineAnalyzer::tryAdvance() {
   while (!finished_ && canExpand()) {
     expandOneLevel();
     if (frontier_.size() > opts_.maxNodesPerLevel) {
       stats_.truncated = true;
-      finished_ = true;
+      finalize();
       return;
     }
   }
@@ -195,8 +227,8 @@ void OnlineAnalyzer::tryAdvance() {
       }
       // Also require no stray unconsumed messages (gap detection).
       if (complete && pending_ == 0) {
-        finished_ = true;
         stats_.pathCount = frontier_.begin()->second.pathCount;
+        finalize();
       }
     }
   }

@@ -29,6 +29,8 @@
 
 namespace mpx::observer {
 
+class AnalysisBus;
+
 class OnlineAnalyzer final : public trace::MessageSink {
  public:
   /// `monitor` may be null (structure-only mode).  Violations are appended
@@ -43,6 +45,14 @@ class OnlineAnalyzer final : public trace::MessageSink {
   /// the maximum and let absent threads be closed by endOfTrace().)
   OnlineAnalyzer(StateSpace space, std::size_t threads,
                  LatticeMonitor* monitor, LatticeOptions opts = {});
+
+  /// Plugin-bus form: the bus's packed monitor rides the lattice,
+  /// candidate violations are filtered through the owning plugins, every
+  /// completed level is dispatched to node-observing plugins, and plugin
+  /// finish() hooks run when the analysis finishes.  `bus` must outlive
+  /// the analyzer.
+  OnlineAnalyzer(StateSpace space, std::size_t threads, AnalysisBus& bus,
+                 LatticeOptions opts = {});
 
   /// Feed one message (any arrival order).  Advances the lattice as far as
   /// the buffered messages permit.
@@ -87,10 +97,16 @@ class OnlineAnalyzer final : public trace::MessageSink {
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j,
                              const trace::Message& m) const;
   [[nodiscard]] parallel::ThreadPool* poolForRun();
+  /// Marks the analysis finished: snapshots intern stats and runs the
+  /// plugins' finish() hooks (once).
+  void finalize();
 
   StateSpace space_;
   LatticeMonitor* monitor_;
+  AnalysisBus* bus_ = nullptr;
   LatticeOptions opts_;
+  StateArena states_;
+  MonitorSetArena msets_;
   /// buffered_[j][k] = thread j's k-th message (sparse until gaps fill).
   std::vector<std::unordered_map<LocalSeq, trace::Message>> buffered_;
   std::size_t pending_ = 0;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "detect/deadlock_analysis.hpp"
+#include "detect/race_analysis.hpp"
 #include "program/corpus.hpp"
 
 namespace mpx::analysis {
@@ -105,8 +107,14 @@ TEST(Report, RacesToJson) {
   const auto rec = program::runProgram(p, sched);
   detect::RaceOptions opts;
   opts.happensBefore = true;
-  const auto races =
-      detect::RacePredictor{opts}.analyzeExecution(rec, p, {"balance"});
+  detect::RaceAnalysis plugin(p, {"balance"}, opts);
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    plugin.onRawEvent(rec.events[i], i < rec.locksHeld.size()
+                                         ? rec.locksHeld[i]
+                                         : std::vector<LockId>{});
+  }
+  plugin.finish({});
+  const auto& races = plugin.races();
   const std::string json = racesToJson(races, p.vars);
   expectBalancedJson(json);
   EXPECT_NE(json.find("\"balance\""), std::string::npos);
@@ -117,7 +125,14 @@ TEST(Report, DeadlocksToJson) {
   const program::Program p = corpus::diningPhilosophers(3);
   program::GreedyScheduler sched;
   const auto rec = program::runProgram(p, sched);
-  const auto reports = detect::DeadlockPredictor{}.analyze(rec, p);
+  detect::DeadlockAnalysis plugin(p);
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    plugin.onRawEvent(rec.events[i], i < rec.locksHeld.size()
+                                         ? rec.locksHeld[i]
+                                         : std::vector<LockId>{});
+  }
+  plugin.finish({});
+  const auto& reports = plugin.deadlocks();
   const std::string json = deadlocksToJson(reports, p.lockNames);
   expectBalancedJson(json);
   EXPECT_NE(json.find("fork0"), std::string::npos);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "detect/deadlock_analysis.hpp"
 #include "program/corpus.hpp"
 #include "program/explorer.hpp"
 
@@ -13,6 +14,35 @@ program::ExecutionRecord greedy(const program::Program& p) {
   program::GreedyScheduler sched;
   return program::runProgram(p, sched);
 }
+
+/// Drives the DeadlockAnalysis plugin the way the engine bus does: every
+/// raw event with its lockset, then finish() (which runs the cycle search).
+struct DeadlockHarness {
+  static void feed(DeadlockAnalysis& plugin,
+                   const program::ExecutionRecord& rec) {
+    static const std::vector<LockId> kNoLocks;
+    for (std::size_t i = 0; i < rec.events.size(); ++i) {
+      plugin.onRawEvent(rec.events[i], i < rec.locksHeld.size()
+                                           ? rec.locksHeld[i]
+                                           : kNoLocks);
+    }
+    plugin.finish({});
+  }
+
+  [[nodiscard]] std::vector<DeadlockReport> analyze(
+      const program::ExecutionRecord& rec, const program::Program& p) const {
+    DeadlockAnalysis plugin(p);
+    feed(plugin, rec);
+    return plugin.deadlocks();
+  }
+
+  [[nodiscard]] std::vector<LockOrderEdge> lockOrderEdges(
+      const program::ExecutionRecord& rec, const program::Program& p) const {
+    DeadlockAnalysis plugin(p);
+    feed(plugin, rec);
+    return plugin.edges();
+  }
+};
 
 program::Program abbaProgram() {
   program::ProgramBuilder b;
@@ -33,7 +63,7 @@ TEST(DeadlockPredictor, AbbaCycleFromSuccessfulRun) {
   const auto rec = greedy(p);
   ASSERT_FALSE(rec.deadlocked);  // the observed run completed
 
-  DeadlockPredictor predictor;
+  DeadlockHarness predictor;
   const auto reports = predictor.analyze(rec, p);
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(reports[0].cycle.size(), 2u);
@@ -57,13 +87,13 @@ TEST(DeadlockPredictor, ConsistentOrderNoCycle) {
         .lockRelease(c).lockRelease(a);
   }
   const program::Program p = b.build();
-  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+  EXPECT_TRUE(DeadlockHarness{}.analyze(greedy(p), p).empty());
 }
 
 TEST(DeadlockPredictor, PhilosopherRingCycleLengthN) {
   for (std::size_t n = 2; n <= 4; ++n) {
     const program::Program p = program::corpus::diningPhilosophers(n);
-    const auto reports = DeadlockPredictor{}.analyze(greedy(p), p);
+    const auto reports = DeadlockHarness{}.analyze(greedy(p), p);
     ASSERT_EQ(reports.size(), 1u) << n << " philosophers";
     EXPECT_EQ(reports[0].cycle.size(), n);
   }
@@ -71,7 +101,7 @@ TEST(DeadlockPredictor, PhilosopherRingCycleLengthN) {
 
 TEST(DeadlockPredictor, OrderedPhilosophersClean) {
   const program::Program p = program::corpus::diningPhilosophers(4, true);
-  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+  EXPECT_TRUE(DeadlockHarness{}.analyze(greedy(p), p).empty());
 }
 
 TEST(DeadlockPredictor, LockOrderEdgesDeduplicated) {
@@ -86,7 +116,7 @@ TEST(DeadlockPredictor, LockOrderEdgesDeduplicated) {
         .lockRelease(c).lockRelease(a);
   }
   const program::Program p = b.build();
-  const auto edges = DeadlockPredictor{}.lockOrderEdges(greedy(p), p);
+  const auto edges = DeadlockHarness{}.lockOrderEdges(greedy(p), p);
   ASSERT_EQ(edges.size(), 1u);
   EXPECT_EQ(edges[0].from, a);
   EXPECT_EQ(edges[0].to, c);
@@ -94,7 +124,7 @@ TEST(DeadlockPredictor, LockOrderEdgesDeduplicated) {
 
 TEST(DeadlockPredictor, NoLocksNoEdges) {
   const program::Program p = program::corpus::bankAccountRacy();
-  EXPECT_TRUE(DeadlockPredictor{}.lockOrderEdges(greedy(p), p).empty());
+  EXPECT_TRUE(DeadlockHarness{}.lockOrderEdges(greedy(p), p).empty());
 }
 
 TEST(DeadlockPredictor, ThreeLockCycleAcrossThreeThreads) {
@@ -111,7 +141,7 @@ TEST(DeadlockPredictor, ThreeLockCycleAcrossThreeThreads) {
         .lockRelease(locks[i]);
   }
   const program::Program p = b.build();
-  const auto reports = DeadlockPredictor{}.analyze(greedy(p), p);
+  const auto reports = DeadlockHarness{}.analyze(greedy(p), p);
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(reports[0].cycle.size(), 3u);
   const std::string desc = reports[0].describe(p.lockNames);
@@ -137,7 +167,7 @@ TEST(DeadlockPredictor, NestedButAcyclicHierarchy) {
   t2.lockAcquire(locks[0]).lockAcquire(locks[2]).write(x, program::lit(2))
       .lockRelease(locks[2]).lockRelease(locks[0]);
   const program::Program p = b.build();
-  EXPECT_TRUE(DeadlockPredictor{}.analyze(greedy(p), p).empty());
+  EXPECT_TRUE(DeadlockHarness{}.analyze(greedy(p), p).empty());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "detect/race_analysis.hpp"
 #include "program/corpus.hpp"
 #include "program/scheduler.hpp"
 
@@ -21,6 +22,27 @@ program::ExecutionRecord greedy(const program::Program& p) {
   program::GreedyScheduler sched;
   return program::runProgram(p, sched);
 }
+
+/// Drives the RaceAnalysis plugin the way the engine bus does: every raw
+/// event with its lockset, then finish().  The standalone traversal this
+/// replaced is gone — the plugin IS the race detector's entry point now.
+struct RaceHarness {
+  RaceOptions opts;
+
+  [[nodiscard]] std::vector<RaceReport> analyzeExecution(
+      const program::ExecutionRecord& rec, const program::Program& p,
+      const std::vector<std::string>& varNames) const {
+    RaceAnalysis plugin(p, varNames, opts);
+    static const std::vector<LockId> kNoLocks;
+    for (std::size_t i = 0; i < rec.events.size(); ++i) {
+      plugin.onRawEvent(rec.events[i], i < rec.locksHeld.size()
+                                           ? rec.locksHeld[i]
+                                           : kNoLocks);
+    }
+    plugin.finish({});
+    return plugin.races();
+  }
+};
 
 RaceOptions hbOnly() {
   RaceOptions o;
@@ -45,7 +67,7 @@ TEST(RacePredictor, UnsynchronizedWritesRace) {
   t2.write(x, program::lit(2));
   const program::Program p = b.build();
 
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"x"});
   ASSERT_EQ(races.size(), 1u);
   EXPECT_EQ(races[0].evidence, RaceEvidence::kHappensBefore);
@@ -60,7 +82,7 @@ TEST(RacePredictor, UnsynchronizedReadWriteRaces) {
   auto t2 = b.thread();
   t2.write(x, program::lit(2));
   const program::Program p = b.build();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"x"});
   ASSERT_EQ(races.size(), 1u);
   EXPECT_NE(races[0].first.event.thread, races[0].second.event.thread);
@@ -74,7 +96,7 @@ TEST(RacePredictor, ReadReadDoesNotRace) {
   auto t2 = b.thread();
   t2.read(x, 0);
   const program::Program p = b.build();
-  EXPECT_TRUE(RacePredictor{withLockset()}
+  EXPECT_TRUE(RaceHarness{withLockset()}
                   .analyzeExecution(greedy(p), p, {"x"})
                   .empty());
 }
@@ -85,7 +107,7 @@ TEST(RacePredictor, SameThreadDoesNotRace) {
   auto t1 = b.thread();
   t1.read(x, 0).write(x, program::reg(0) + program::lit(1));
   const program::Program p = b.build();
-  EXPECT_TRUE(RacePredictor{withLockset()}
+  EXPECT_TRUE(RaceHarness{withLockset()}
                   .analyzeExecution(greedy(p), p, {"x"})
                   .empty());
 }
@@ -95,7 +117,7 @@ TEST(RacePredictor, BankAccountRaceFoundFromSerializedRun) {
   // shows the critical sections unordered: the race is PREDICTED from a
   // successful execution — the paper's selling point, applied to races.
   const program::Program p = program::corpus::bankAccountRacy();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"balance"});
   ASSERT_FALSE(races.empty());
   EXPECT_EQ(races[0].evidence, RaceEvidence::kHappensBefore);
@@ -106,7 +128,7 @@ TEST(RacePredictor, LockedAccountNeverRaces) {
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     program::RandomScheduler sched(seed);
     const auto rec = program::runProgram(p, sched);
-    EXPECT_TRUE(RacePredictor{withLockset()}
+    EXPECT_TRUE(RaceHarness{withLockset()}
                     .analyzeExecution(rec, p, {"balance"})
                     .empty())
         << "seed " << seed;
@@ -128,7 +150,7 @@ TEST(RacePredictor, LockProtectionCreatesHappensBefore) {
     s.write(x, program::lit(2));
   });
   const program::Program p = b.build();
-  EXPECT_TRUE(RacePredictor{withLockset()}
+  EXPECT_TRUE(RaceHarness{withLockset()}
                   .analyzeExecution(greedy(p), p, {"x"})
                   .empty());
 }
@@ -145,7 +167,7 @@ TEST(RacePredictor, PartialLockingStillRaces) {
   auto t2 = b.thread();
   t2.write(x, program::lit(2));
   const program::Program p = b.build();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"x"});
   ASSERT_EQ(races.size(), 1u);
 }
@@ -172,9 +194,9 @@ TEST(RacePredictor, LocksetCatchesAccidentallyOrderedRace) {
   // x-writes transitively.
   const auto rec = greedy(p);
   EXPECT_TRUE(
-      RacePredictor{hbOnly()}.analyzeExecution(rec, p, {"x"}).empty());
+      RaceHarness{hbOnly()}.analyzeExecution(rec, p, {"x"}).empty());
   const auto races =
-      RacePredictor{withLockset()}.analyzeExecution(rec, p, {"x"});
+      RaceHarness{withLockset()}.analyzeExecution(rec, p, {"x"});
   ASSERT_EQ(races.size(), 1u);
   EXPECT_EQ(races[0].evidence, RaceEvidence::kLocksetOnly);
 }
@@ -184,12 +206,12 @@ TEST(RacePredictor, DedupeOneReportPerVarAndThreadPair) {
       program::corpus::bankAccountRacy(/*depositsPerThread=*/3);
   const auto rec = greedy(p);
   const auto once =
-      RacePredictor{hbOnly()}.analyzeExecution(rec, p, {"balance"});
+      RaceHarness{hbOnly()}.analyzeExecution(rec, p, {"balance"});
   EXPECT_EQ(once.size(), 1u);
 
   RaceOptions all = hbOnly();
   all.dedupeByVarAndThreads = false;
-  const auto full = RacePredictor{all}.analyzeExecution(rec, p, {"balance"});
+  const auto full = RaceHarness{all}.analyzeExecution(rec, p, {"balance"});
   EXPECT_GT(full.size(), once.size());
 }
 
@@ -199,7 +221,7 @@ TEST(RacePredictor, MaxReportsCap) {
   RaceOptions opts = hbOnly();
   opts.dedupeByVarAndThreads = false;
   opts.maxReports = 2;
-  EXPECT_EQ(RacePredictor{opts}
+  EXPECT_EQ(RaceHarness{opts}
                 .analyzeExecution(greedy(p), p, {"balance"})
                 .size(),
             2u);
@@ -207,7 +229,7 @@ TEST(RacePredictor, MaxReportsCap) {
 
 TEST(RacePredictor, ReportOrdersPairByGlobalSeq) {
   const program::Program p = program::corpus::bankAccountRacy();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"balance"});
   ASSERT_FALSE(races.empty());
   EXPECT_LT(races[0].first.event.globalSeq, races[0].second.event.globalSeq);
@@ -219,7 +241,7 @@ TEST(RacePredictor, AtomicUpdatesDoNotRaceWithEachOther) {
   // CAS retry loops contain plain reads too, and a plain read can race
   // with another thread's atomic write — but two atomic updates must not
   // be reported against each other.
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       rec, p, {"counter"});
   for (const auto& r : races) {
     EXPECT_FALSE(r.first.event.kind == trace::EventKind::kAtomicUpdate &&
@@ -236,7 +258,7 @@ TEST(RacePredictor, AtomicAgainstPlainWriteStillRaces) {
   auto t2 = b.thread();
   t2.write(x, program::lit(7));  // plain, unsynchronized
   const program::Program p = b.build();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"x"});
   ASSERT_FALSE(races.empty());
 }
@@ -249,7 +271,7 @@ TEST(RaceReport, DescribeMentionsVariableAndThreads) {
   auto t2 = b.thread();
   t2.write(x, program::lit(1));
   const program::Program p = b.build();
-  const auto races = RacePredictor{hbOnly()}.analyzeExecution(
+  const auto races = RaceHarness{hbOnly()}.analyzeExecution(
       greedy(p), p, {"shared_counter"});
   ASSERT_EQ(races.size(), 1u);
   const std::string desc = races[0].describe(p.vars);
@@ -264,7 +286,7 @@ TEST(RacePredictor, SpawnJoinOrdersWorkerAgainstMain) {
   // happens-before predictor is clean.
   const program::Program p = program::corpus::spawnJoin();
   const auto rec = greedy(p);
-  EXPECT_TRUE(RacePredictor{hbOnly()}
+  EXPECT_TRUE(RaceHarness{hbOnly()}
                   .analyzeExecution(rec, p, {"a", "c", "sum"})
                   .empty());
 
@@ -274,7 +296,7 @@ TEST(RacePredictor, SpawnJoinOrdersWorkerAgainstMain) {
   RaceOptions locksetOnly;
   locksetOnly.happensBefore = false;
   locksetOnly.lockset = true;
-  EXPECT_FALSE(RacePredictor{locksetOnly}
+  EXPECT_FALSE(RaceHarness{locksetOnly}
                    .analyzeExecution(rec, p, {"a", "c", "sum"})
                    .empty());
 }

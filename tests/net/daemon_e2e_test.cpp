@@ -16,6 +16,8 @@
 #include "../support/fixtures.hpp"
 #include "logic/monitor.hpp"
 #include "logic/parser.hpp"
+#include "logic/spec_analysis.hpp"
+#include "observer/analysis.hpp"
 #include "net/emitter.hpp"
 #include "observer/online.hpp"
 #include "program/corpus.hpp"
@@ -342,6 +344,89 @@ TEST(NetDaemonE2E, ProtocolViolationsAreRejectedNotFatal) {
     s.shutdownWrite();
   }
   ASSERT_TRUE(daemon.waitFinished(5000ms)) << daemon.streamError();
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, MultiSpecHandshakeRunsKPlugins) {
+  // Wire protocol v2: the handshake carries a LIST of specs and the daemon
+  // runs one SpecAnalysis plugin per spec on its shared bus.  Reference:
+  // the same K plugins driven in-process over the same messages.
+  const auto c = landingComputation();
+  const std::vector<std::string> specs{
+      program::corpus::landingProperty(), "!(landing = 1 && radio = 0)"};
+
+  std::vector<std::string> refTexts;
+  {
+    std::vector<std::unique_ptr<logic::SpecAnalysis>> plugins;
+    std::vector<observer::Analysis*> raw;
+    for (const auto& spec : specs) {
+      plugins.push_back(std::make_unique<logic::SpecAnalysis>(
+          c.space, logic::SpecParser(c.space).parse(spec), spec));
+      raw.push_back(plugins.back().get());
+    }
+    observer::AnalysisBus bus(raw);
+    observer::OnlineAnalyzer a(c.space, c.prog.threadCount(), bus,
+                               observer::LatticeOptions{});
+    for (const auto& m : messagesInOrder(c.graph)) a.onMessage(m);
+    a.endOfTrace();
+    ASSERT_TRUE(a.finished());
+    for (const auto& r : bus.reports()) refTexts.push_back(r.text);
+  }
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  {
+    SocketEmitter emitter(emitterTo(
+        daemon.port(),
+        makeHandshake(static_cast<std::uint32_t>(c.prog.threadCount()), specs,
+                      {"landing", "approved", "radio"}, c.prog.vars)));
+    for (const auto& m : messagesInOrder(c.graph)) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  EXPECT_EQ(daemon.specs(), specs);
+  const auto reports = daemon.analysisReports();
+  ASSERT_EQ(reports.size(), specs.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].name, "ptltl: " + specs[i]);
+    EXPECT_EQ(reports[i].text, refTexts[i]) << specs[i];
+    EXPECT_GT(reports[i].violationCount, 0u) << specs[i];
+  }
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, DaemonSidePropertyJoinsHandshakeSpecs) {
+  // mpx_observerd --property adds daemon-side specs; duplicates of
+  // handshake specs are ignored.
+  const auto c = landingComputation();
+  const std::string fromClient = program::corpus::landingProperty();
+  const std::string fromDaemon = "!(landing = 1 && radio = 0)";
+
+  DaemonOptions opts = quietDaemon();
+  opts.extraSpecs = {fromDaemon, fromClient};  // second one is a duplicate
+  ObserverDaemon daemon(opts);
+  ASSERT_TRUE(daemon.start());
+  {
+    SocketEmitter emitter(emitterTo(
+        daemon.port(),
+        makeHandshake(static_cast<std::uint32_t>(c.prog.threadCount()),
+                      fromClient, {"landing", "approved", "radio"},
+                      c.prog.vars)));
+    for (const auto& m : messagesInOrder(c.graph)) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  EXPECT_EQ(daemon.specs(),
+            (std::vector<std::string>{fromClient, fromDaemon}));
+  const auto reports = daemon.analysisReports();
+  ASSERT_EQ(reports.size(), 2u);
+  // The daemon never sees observed states — only MVC messages.
+  for (const auto& r : reports) {
+    EXPECT_NE(r.text.find("observed run: (not monitored)"), std::string::npos)
+        << r.name;
+  }
   daemon.stop();
 }
 

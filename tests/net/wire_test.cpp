@@ -137,13 +137,71 @@ TEST(NetHandshake, RoundTripPreservesEverything) {
   ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
   EXPECT_EQ(back.version, kProtocolVersion);
   EXPECT_EQ(back.threads, 3u);
-  EXPECT_EQ(back.spec, h.spec);
+  EXPECT_EQ(back.specs, h.specs);
   EXPECT_EQ(back.tracked, h.tracked);
   ASSERT_EQ(back.vars.size(), h.vars.size());
   for (VarId v = 0; v < h.vars.size(); ++v) {
     EXPECT_EQ(back.vars.name(v), h.vars.name(v));
     EXPECT_EQ(back.vars.initial(v), h.vars.initial(v));
     EXPECT_EQ(back.vars.role(v), h.vars.role(v));
+  }
+}
+
+TEST(NetHandshake, MultiSpecRoundTrip) {
+  trace::VarTable vars;
+  vars.intern("x", 0);
+  vars.intern("y", 0);
+  const std::vector<std::string> specs{"x = 0", "y = 1 -> [.](x = 0)",
+                                       "!(x = 1 && y = 1)"};
+  const Handshake h = makeHandshake(2, specs, {"x", "y"}, vars);
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.specs, specs);
+  EXPECT_EQ(back.primarySpec(), "x = 0");
+}
+
+TEST(NetHandshake, V1SingleSpecStillRoundTrips) {
+  // Wire-compat: an emitter speaking protocol v1 (single spec string in
+  // the spec-list position) must still be understood.
+  Handshake h = sampleHandshake();
+  h.version = kLegacyProtocolVersion;
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_EQ(back.version, kLegacyProtocolVersion);
+  EXPECT_EQ(back.threads, h.threads);
+  ASSERT_EQ(back.specs.size(), 1u);
+  EXPECT_EQ(back.specs[0], "[](landing -> approved)");
+  EXPECT_EQ(back.tracked, h.tracked);
+  ASSERT_EQ(back.vars.size(), h.vars.size());
+}
+
+TEST(NetHandshake, V1EmptySpecDecodesToNoProperties) {
+  trace::VarTable vars;
+  vars.intern("x", 0);
+  Handshake h = makeHandshake(2, std::string(), {"x"}, vars);
+  h.version = kLegacyProtocolVersion;
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_TRUE(back.specs.empty());
+}
+
+TEST(NetHandshake, RejectsFutureAndZeroVersions) {
+  // Versions above ours (and the nonsense version 0) are refused with a
+  // stable reason; the daemon turns this into a sticky-dropped connection.
+  for (const std::uint16_t v :
+       {static_cast<std::uint16_t>(kProtocolVersion + 1),
+        static_cast<std::uint16_t>(0x7fff), static_cast<std::uint16_t>(0)}) {
+    std::vector<std::uint8_t> payload = encodeHandshake(sampleHandshake());
+    payload[0] = static_cast<std::uint8_t>(v & 0xff);
+    payload[1] = static_cast<std::uint8_t>(v >> 8);
+    Handshake back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeHandshake(payload, back, &error)) << v;
+    EXPECT_STREQ(error, "unsupported protocol version");
   }
 }
 
