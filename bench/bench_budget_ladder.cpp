@@ -1,0 +1,114 @@
+// Cost of bounded-memory operation: the same wide product lattice checked
+// at each rung of the degradation ladder (DESIGN.md §5c) — full expansion
+// (no limits), budget-sampled frontier, and observed-path-only.  Shedding
+// work (ranking + greedy byte fill) is part of the measured loop, so the
+// rows answer "what does staying within a budget cost per level, and what
+// coverage does it buy back".
+//
+// Counters per run:
+//   ns_per_level    mean wall time per lattice level (shedding included)
+//   peak_bytes      high-water accounted bytes (deterministic byte model)
+//   dropped_nodes   frontier nodes shed across the run (0 = SOUND)
+//   mode            ladder rung actually reached: 0 full, 1 sampled,
+//                   2 observed-only
+//   levels, nodes   workload shape sanity
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+#include <chrono>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/instrumentor.hpp"
+#include "logic/monitor.hpp"
+#include "logic/parser.hpp"
+#include "observer/lattice.hpp"
+#include "program/corpus.hpp"
+#include "program/scheduler.hpp"
+
+namespace {
+
+using namespace mpx;
+
+struct Computation {
+  observer::CausalityGraph graph;
+  observer::StateSpace space;
+};
+
+Computation buildComputation(std::size_t threads, std::size_t writes) {
+  const program::Program prog =
+      program::corpus::independentWriters(threads, writes);
+  program::GreedyScheduler sched;
+  const program::ExecutionRecord rec = program::runProgram(prog, sched);
+
+  Computation c;
+  std::unordered_set<VarId> vars;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < threads; ++i) {
+    names.push_back("v" + std::to_string(i));
+    vars.insert(prog.vars.id(names.back()));
+  }
+  core::Instrumentor instr(core::RelevancePolicy::writesOf(vars), c.graph);
+  for (const auto& e : rec.events) instr.onEvent(e);
+  c.graph.finalize();
+  c.space = observer::StateSpace::byNames(prog.vars, names);
+  return c;
+}
+
+// Ladder rung selector (state.range(2)): 0 = full (no limits), 1 = sampled
+// (a frontier cap the workload exceeds, but wide enough to keep sampling),
+// 2 = observed-only (cap of 1 collapses to the observed path immediately).
+void BM_BudgetLadder_Check(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t writes = static_cast<std::size_t>(state.range(1));
+  const int rung = static_cast<int>(state.range(2));
+
+  const Computation c = buildComputation(threads, writes);
+  logic::SynthesizedMonitor mon(
+      logic::SpecParser(c.space).parse("!(v0 = 2 && v1 = 2)"));
+
+  observer::LatticeOptions opts;
+  opts.recordPaths = false;  // measure expansion + shedding, not witnesses
+  opts.maxViolations = 1u << 20;
+  if (rung == 1) opts.maxFrontier = 16;
+  if (rung == 2) opts.maxFrontier = 1;
+
+  observer::LatticeStats stats;
+  double totalSec = 0.0;
+  for (auto _ : state) {
+    observer::ComputationLattice lattice(c.graph, c.space, opts);
+    std::vector<observer::Violation> found;
+    const auto t0 = std::chrono::steady_clock::now();
+    stats = lattice.check(mon, found);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    state.SetIterationTime(sec);
+    totalSec += sec;
+    benchmark::DoNotOptimize(stats.totalNodes);
+  }
+
+  const double meanNs =
+      totalSec * 1e9 / static_cast<double>(state.iterations());
+  state.counters["ns_per_level"] =
+      meanNs / static_cast<double>(stats.levels == 0 ? 1 : stats.levels);
+  state.counters["peak_bytes"] =
+      static_cast<double>(stats.peakAccountedBytes);
+  state.counters["dropped_nodes"] = static_cast<double>(stats.droppedNodes);
+  state.counters["mode"] = static_cast<double>(stats.degradation);
+  state.counters["levels"] = static_cast<double>(stats.levels);
+  state.counters["nodes"] = static_cast<double>(stats.totalNodes);
+}
+BENCHMARK(BM_BudgetLadder_Check)
+    ->Args({4, 4, 0})
+    ->Args({4, 4, 1})
+    ->Args({4, 4, 2})
+    ->Args({5, 4, 0})
+    ->Args({5, 4, 1})
+    ->Args({5, 4, 2})
+    ->UseManualTime();
+
+}  // namespace
+
+MPX_BENCH_MAIN("budget_ladder")

@@ -142,6 +142,14 @@ int analyze(const std::string& name, int argc, char** argv) {
   // 0 = one per hardware thread).  Verdicts are identical either way.
   config.lattice.parallel.jobs =
       std::stoull(argValue(argc, argv, "--jobs").value_or("1"));
+  // --memory-budget BYTES / --max-frontier N: bound the accounted working
+  // set / per-level width.  When either bound trips, the engine degrades
+  // (sampled frontier, then observed-path-only) instead of crashing, the
+  // report is stamped BOUNDED, and a clean run exits 3 instead of 0.
+  config.lattice.memoryBudgetBytes = std::stoull(
+      argValue(argc, argv, "--memory-budget").value_or("0"));
+  config.lattice.maxFrontier =
+      std::stoull(argValue(argc, argv, "--max-frontier").value_or("0"));
 
   const std::uint64_t seed =
       std::stoull(argValue(argc, argv, "--seed").value_or("0"));
@@ -195,11 +203,23 @@ int analyze(const std::string& name, int argc, char** argv) {
                 r.latticeStats.totalNodes, r.latticeStats.levels,
                 static_cast<unsigned long long>(r.latticeStats.pathCount));
     std::printf("%s", analysis::renderAnalysisReports(r.reports).c_str());
+    if (r.latticeStats.bounded()) {
+      std::printf("coverage: BOUNDED(%s, dropped_nodes=%llu) — degraded to "
+                  "'%s' at level %llu\n",
+                  observer::toString(r.latticeStats.boundReason),
+                  static_cast<unsigned long long>(
+                      r.latticeStats.droppedNodes +
+                      r.latticeStats.beamPrunedNodes),
+                  observer::toString(r.latticeStats.degradation),
+                  static_cast<unsigned long long>(
+                      r.latticeStats.degradedAtLevel));
+    }
     if (hasFlag(argc, argv, "--dot")) {
       std::printf("=== causality graph (graphviz) ===\n%s",
                   r.causality.renderDot(prog.vars).c_str());
     }
-    return analysis::exitCodeFor(true, r.totalFindings());
+    return analysis::exitCodeFor(true, r.totalFindings(),
+                                 r.latticeStats.bounded());
   }
 
   analysis::PredictiveAnalyzer analyzer(prog, config);
@@ -243,7 +263,15 @@ int analyze(const std::string& name, int argc, char** argv) {
     ropts.includeMetrics = hasFlag(argc, argv, "--stats");
     std::printf("%s\n", analysis::toJson(r, ropts).c_str());
   }
-  return analysis::exitCodeFor(true, r.predictedViolations.size());
+  if (r.latticeStats.bounded()) {
+    std::printf("coverage: BOUNDED(%s, dropped_nodes=%llu)\n",
+                observer::toString(r.latticeStats.boundReason),
+                static_cast<unsigned long long>(
+                    r.latticeStats.droppedNodes +
+                    r.latticeStats.beamPrunedNodes));
+  }
+  return analysis::exitCodeFor(true, r.predictedViolations.size(),
+                               r.latticeStats.bounded());
 }
 
 int campaign(const std::string& name, int argc, char** argv) {
@@ -332,6 +360,7 @@ int main(int argc, char** argv) {
                  "               [--schedule greedy|roundrobin|random|observed]\n"
                  "               [--delivery fifo|shuffle|delay|reverse]"
                  " [--lattice] [--dot] [--json] [--jobs N]\n"
+                 "               [--memory-budget BYTES] [--max-frontier N]\n"
                  "       mpx_cli explore <program> [--spec S]\n"
                  "       mpx_cli campaign <program> [--spec S]"
                  " [--property S]... [--trials N]"

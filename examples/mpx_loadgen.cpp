@@ -1,0 +1,115 @@
+// mpx_loadgen — synthetic wide-lattice client for soak-testing mpx_observerd
+// under a memory budget.
+//
+// Generates the worst case for frontier width: T fully independent threads
+// (no synchronization, each writing its own variable E times), so EVERY
+// interleaving is a consistent run and the lattice holds (E+1)^T cuts.  A
+// daemon with a tight --memory-budget must ride the degradation ladder
+// (DESIGN.md §5c) instead of OOMing, finish with `verdict: BOUNDED(...)`,
+// and exit 3 (clean but bounded).
+//
+// The same stream is sent --streams S times over S sequential connections.
+// Delivery is at-least-once and ingest is idempotent, so streams 2..S are
+// pure duplicates the daemon must absorb with FLAT memory — the CI soak
+// samples the daemon's RSS between streams and fails on growth.
+//
+//   mpx_loadgen --port N [--threads T] [--events E] [--streams S]
+//
+// Exit: 0 = all streams delivered, 1 = transport failure / messages lost.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/emitter.hpp"
+#include "net/wire.hpp"
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--threads T] [--events E] [--streams S]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  mpx::ThreadId threads = 4;
+  std::uint64_t events = 8;
+  std::size_t streams = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto intArg = [&](const char* name) -> std::uint64_t {
+      if (i + 1 >= argc) usage(argv[0]);
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(intArg("--port"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<mpx::ThreadId>(intArg("--threads"));
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      events = intArg("--events");
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      streams = static_cast<std::size_t>(intArg("--streams"));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (port == 0 || threads == 0 || events == 0 || streams == 0) {
+    usage(argv[0]);
+  }
+
+  // One variable per thread, no cross-thread causality: thread t's i-th
+  // write carries clock {t: i+1} only, so all threads are pairwise
+  // concurrent everywhere and the lattice is the full (E+1)^T grid.
+  mpx::trace::VarTable vars;
+  std::vector<std::string> tracked;
+  for (mpx::ThreadId t = 0; t < threads; ++t) {
+    const std::string name = "g" + std::to_string(t);
+    vars.intern(name, 0);
+    tracked.push_back(name);
+  }
+  std::vector<mpx::trace::Message> trace;
+  for (mpx::ThreadId t = 0; t < threads; ++t) {
+    for (std::uint64_t i = 0; i < events; ++i) {
+      mpx::trace::Message m;
+      m.event.kind = mpx::trace::EventKind::kWrite;
+      m.event.thread = t;
+      m.event.var = t;
+      m.event.value = static_cast<mpx::Value>(i + 1);
+      m.event.localSeq = i + 1;
+      m.event.globalSeq = static_cast<mpx::GlobalSeq>(t) * events + i + 1;
+      m.clock = mpx::vc::VectorClock(threads);
+      m.clock.set(t, i + 1);
+      trace.push_back(m);
+    }
+  }
+
+  const mpx::net::Handshake handshake = mpx::net::makeHandshake(
+      threads, std::string(), tracked, vars);
+
+  bool ok = true;
+  for (std::size_t s = 0; s < streams; ++s) {
+    mpx::net::EmitterOptions opts;
+    opts.port = port;
+    opts.handshake = handshake;
+    mpx::net::SocketEmitter emitter(opts);
+    for (const auto& m : trace) emitter.onMessage(m);
+    emitter.close();
+    std::printf("mpx_loadgen: stream %zu/%zu sent %zu messages "
+                "(dropped=%llu reconnects=%llu)\n",
+                s + 1, streams, trace.size(),
+                static_cast<unsigned long long>(emitter.droppedMessages()),
+                static_cast<unsigned long long>(emitter.reconnects()));
+    std::fflush(stdout);
+    if (emitter.failed() || emitter.droppedMessages() != 0) ok = false;
+  }
+  return ok ? 0 : 1;
+}

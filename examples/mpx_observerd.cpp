@@ -5,6 +5,7 @@
 // trace completes or the daemon is told to shut down.
 //
 //   mpx_observerd [--port N] [--jobs N] [--streams N] [--property SPEC]...
+//                 [--memory-budget BYTES] [--max-frontier N] [--max-conns N]
 //                 [--quiet]
 //
 //   --port N     listen on 127.0.0.1:N (default 0 = ephemeral; the chosen
@@ -16,12 +17,23 @@
 //                check SPEC in addition to the properties the client's
 //                handshake carries; repeatable — all properties are checked
 //                in ONE lattice pass (one SpecAnalysis plugin each)
+//   --memory-budget BYTES
+//                bound the analyzer's accounted working set; over budget it
+//                degrades (sampled frontier → observed path only) instead of
+//                dying, and new connections are shed while over budget
+//   --max-frontier N
+//                cap the lattice frontier at N nodes per level (same ladder)
+//   --max-conns N
+//                admission control: at most N live client connections;
+//                further connections are shed with a notice
 //   --quiet      suppress per-connection error logging
 //
 // While running, `curl http://127.0.0.1:PORT/` returns a live status page
 // (lifecycle counters, current report, telemetry snapshot).  SIGTERM/SIGINT
 // print the final report and exit: 0 = finished with no violations,
-// 1 = violations predicted, 2 = analysis incomplete or unusable input.
+// 1 = violations predicted, 2 = analysis incomplete or unusable input,
+// 3 = finished clean but BOUNDED (the ladder shed runs, so "no violation"
+// is not a proof).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -41,7 +53,8 @@ void onSignal(int) { g_stop = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--jobs N] [--streams N] "
-               "[--property SPEC]... [--quiet]\n",
+               "[--property SPEC]... [--memory-budget BYTES] "
+               "[--max-frontier N] [--max-conns N] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -72,6 +85,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--property") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
       opts.extraSpecs.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      opts.lattice.memoryBudgetBytes =
+          static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--max-frontier") == 0) {
+      opts.lattice.maxFrontier =
+          static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--max-conns") == 0) {
+      opts.maxConnections =
+          static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opts.logErrors = false;
     } else {
@@ -112,5 +134,6 @@ int main(int argc, char** argv) {
     std::fputs(mpx::analysis::renderAnalysisReports(reports).c_str(), stdout);
   }
   return mpx::analysis::exitCodeFor(daemon.finished(),
-                                    daemon.violations().size());
+                                    daemon.violations().size(),
+                                    daemon.stats().bounded());
 }

@@ -33,6 +33,23 @@ std::string renderViolationReport(const observer::StateSpace& space,
      << (stats.pathCountSaturated ? " (saturated)" : "")
      << (stats.truncated ? " TRUNCATED" : "")
      << (stats.approximated ? " APPROXIMATED" : "") << '\n';
+  // The verdict stamp: SOUND means the lattice was explored exhaustively
+  // (every consistent run was analyzed), so both positive and negative
+  // verdicts are trustworthy.  BOUNDED means some runs were shed — reported
+  // violations still carry genuine witnesses (a subset of the exhaustive
+  // set), but the ABSENCE of a violation proves nothing.
+  if (!stats.bounded() && finished) {
+    os << "verdict: SOUND\n";
+  } else {
+    const char* reason =
+        stats.boundReason != observer::BoundReason::kNone
+            ? observer::toString(stats.boundReason)
+            : (stats.truncated        ? "level-width-cap"
+               : stats.approximated   ? "beam"
+                                      : "incomplete");
+    os << "verdict: BOUNDED(" << reason << ", dropped_nodes="
+       << (stats.droppedNodes + stats.beamPrunedNodes) << ")\n";
+  }
   return os.str();
 }
 
@@ -51,6 +68,12 @@ std::string renderAnalysisReports(
 int exitCodeFor(bool usable, std::size_t violationCount) {
   if (!usable) return 2;
   return violationCount > 0 ? 1 : 0;
+}
+
+int exitCodeFor(bool usable, std::size_t violationCount, bool bounded) {
+  if (!usable) return 2;
+  if (violationCount > 0) return 1;
+  return bounded ? 3 : 0;
 }
 
 std::string jsonEscape(const std::string& s) {

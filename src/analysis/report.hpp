@@ -39,6 +39,13 @@ namespace mpx::analysis {
 /// errored), 1 = violations found, 0 = clean.
 [[nodiscard]] int exitCodeFor(bool usable, std::size_t violationCount);
 
+/// Budget-aware overload: 3 = clean but BOUNDED — the degradation ladder
+/// (or a width cap / beam) shed runs, so "no violation" is not a proof.
+/// Violations still exit 1 (they carry genuine witnesses even when
+/// bounded), and unusable still dominates with 2.
+[[nodiscard]] int exitCodeFor(bool usable, std::size_t violationCount,
+                              bool bounded);
+
 struct ReportOptions {
   bool includeCounterexamples = true;
   bool includeObservedRun = true;

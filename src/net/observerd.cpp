@@ -23,6 +23,7 @@ struct DaemonMetrics {
   telemetry::Counter& connectionsAborted;
   telemetry::Counter& messagesIngested;
   telemetry::Counter& duplicatesIgnored;
+  telemetry::Counter& connectionsShed;
 
   static DaemonMetrics& get() {
     auto& reg = telemetry::registry();
@@ -41,6 +42,9 @@ struct DaemonMetrics {
                     "Messages fed into the online analyzer"),
         reg.counter("mpx_net_duplicates_ignored_total",
                     "Resent messages deduplicated (at-least-once delivery)"),
+        reg.counter("mpx_net_connections_shed_total",
+                    "Connections turned away by admission control "
+                    "(connection cap or memory budget exhausted)"),
     };
     return m;
   }
@@ -91,6 +95,38 @@ void ObserverDaemon::acceptLoop() {
   while (true) {
     Socket s = listener_.accept();
     if (!s.valid()) return;  // stopped or listener error
+    // Admission control: turn the connection away (with a one-line notice)
+    // when the live-connection cap is hit or the analyzer's accounted
+    // working set already sits above its memory budget.  Shedding load at
+    // the door keeps the daemon alive and its existing streams progressing;
+    // the analysis is then INCOMPLETE/BOUNDED, which the report states.
+    bool shed = false;
+    if (opts_.maxConnections > 0) {
+      std::lock_guard<std::mutex> lk(connsMu_);
+      if (stopping_) return;
+      reapFinishedLocked();
+      shed = conns_.size() >= opts_.maxConnections;
+    }
+    if (!shed && opts_.lattice.memoryBudgetBytes > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      shed = analyzer_ != nullptr &&
+             analyzer_->stats().accountedBytes > opts_.lattice.memoryBudgetBytes;
+    }
+    if (shed) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++shed_;
+      }
+      if constexpr (telemetry::kEnabled) {
+        DaemonMetrics::get().connectionsShed.add(1);
+      }
+      logError("shedding connection: observer at capacity");
+      static const char kNotice[] =
+          "MPX-SHED observer at capacity; retry later\n";
+      s.sendAll(kNotice, sizeof kNotice - 1);
+      s.shutdownBoth();
+      continue;  // Socket destructor closes the fd
+    }
     auto conn = std::make_shared<Conn>();
     conn->sock = std::move(s);
     {
@@ -466,6 +502,11 @@ std::uint64_t ObserverDaemon::connectionsRejected() const {
   return rejected_;
 }
 
+std::uint64_t ObserverDaemon::connectionsShed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
+}
+
 std::uint64_t ObserverDaemon::messagesIngested() const {
   std::lock_guard<std::mutex> lk(mu_);
   return ingested_;
@@ -500,7 +541,7 @@ std::string ObserverDaemon::renderStatus() const {
        << ", streams ended: " << streamsEnded_ << '/' << opts_.expectedStreams
        << '\n';
     os << "connections: accepted=" << accepted_ << " aborted=" << aborted_
-       << " rejected=" << rejected_ << '\n';
+       << " rejected=" << rejected_ << " shed=" << shed_ << '\n';
     os << "messages: ingested=" << ingested_
        << " duplicates_ignored=" << duplicates_ << '\n';
     if (!streamError_.empty()) os << "stream error: " << streamError_ << '\n';

@@ -63,6 +63,10 @@ struct DaemonOptions {
   /// (mpx_observerd --property).  All of them become SpecAnalysis plugins
   /// on one shared bus — a single lattice pass checks every property.
   std::vector<std::string> extraSpecs;
+  /// Admission control: maximum live client connections (0 = unlimited).
+  /// A connection beyond the cap is SHED — told so and disconnected —
+  /// instead of letting unbounded per-connection state kill the daemon.
+  std::size_t maxConnections = 0;
   /// Log connection errors to stderr (tests silence this).
   bool logErrors = true;
 };
@@ -106,6 +110,9 @@ class ObserverDaemon {
   [[nodiscard]] std::uint64_t connectionsAccepted() const;
   [[nodiscard]] std::uint64_t connectionsAborted() const;
   [[nodiscard]] std::uint64_t connectionsRejected() const;
+  /// Connections turned away by admission control (connection cap or the
+  /// analyzer's accounted working set already over its memory budget).
+  [[nodiscard]] std::uint64_t connectionsShed() const;
   [[nodiscard]] std::uint64_t messagesIngested() const;
   [[nodiscard]] std::uint64_t duplicatesIgnored() const;
   /// Non-empty once the stream hit an unrecoverable analysis error (e.g.
@@ -161,6 +168,7 @@ class ObserverDaemon {
   std::uint64_t accepted_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t ingested_ = 0;
   std::uint64_t duplicates_ = 0;
 

@@ -1,0 +1,233 @@
+// Memory-budget accounting and the degradation ladder (DESIGN.md §5c).
+//
+// The paper's sliding window bounds the lattice to two consecutive levels,
+// but a level's width is still worst-case exponential in thread count, so a
+// wide (or hostile) trace could OOM the observer.  This module makes that
+// pressure a first-class, explicitly-reported bound instead of a crash:
+//
+//   accounted = arena bytes (StateArena + MonitorSetArena)
+//             + bytes of the previous (still live) frontier
+//             + bytes of the freshly expanded frontier
+//
+// under a DETERMINISTIC byte model: every container node is charged a
+// fixed, documented cost plus its payload (see the k*Bytes constants and
+// kInternNodeBytes in intern.hpp).  The model is a platform-stable
+// estimate, not malloc truth — what matters is that the same lattice
+// always produces the same accounted totals, for any --jobs count and any
+// message arrival order, so budget decisions are reproducible.
+//
+// When the accounted total exceeds LatticeOptions::memoryBudgetBytes (or a
+// level exceeds maxFrontier), enforceBudget() sheds nodes from the freshly
+// expanded frontier down the ladder of lattice_types.hpp:
+//
+//   kFull → kSampled:  a seeded hash over (degradationSeed, level, cut)
+//     ranks the level's cuts and only the best-ranked `allowed` survive —
+//     "causally fair": survival is independent of path counts and of
+//     discovery order, so no systematic bias toward particular
+//     interleavings.  The observed execution's own cut ALWAYS survives.
+//   kSampled → kObservedOnly:  when even a handful of cuts no longer fits,
+//     only the observed-execution cut survives each level; the analysis
+//     degenerates to single-trace monitoring.  This rung is sticky.
+//
+// The observed-execution cut at level L is recovered without any arrival-
+// order bookkeeping: the events' globalSeq stamps give the execution's
+// total order, and the prefix cut of length L is exactly the consistent
+// cut minimizing max(globalSeq of its per-thread last events).  Both the
+// batch lattice and the online analyzer supply that key via a callback.
+//
+// Soundness: shedding only ever REMOVES runs from consideration.  Every
+// violation the engine still reports carries a genuine witness run, so a
+// BOUNDED report's violations are a subset of the exhaustive (oracle)
+// set — never a superset.  What is lost is exhaustiveness, which the
+// report stamps honestly (SOUND vs BOUNDED, analysis/report.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "observer/intern.hpp"
+#include "observer/lattice_types.hpp"
+#include "observer/observer_metrics.hpp"
+
+namespace mpx::observer::detail {
+
+/// Byte model of one live frontier entry: unordered_map node + FrontierNode
+/// payload (pointer, path count, map header, witness pointer) + its share
+/// of the bucket array.
+inline constexpr std::uint64_t kFrontierNodeBytes = 96;
+/// Per-component cost of the cut key stored in the node.
+inline constexpr std::uint64_t kCutComponentBytes = sizeof(std::uint32_t);
+/// One (MonitorState, witness) entry of a node's mstates map (rb-tree node
+/// + key + shared_ptr).
+inline constexpr std::uint64_t kMonitorEntryBytes = 64;
+/// One witness PathNode + its control block, charged per mstates entry
+/// when paths are recorded (suffix sharing makes this an upper bound per
+/// entry, which is the safe direction for a budget).
+inline constexpr std::uint64_t kPathNodeBytes = 48;
+
+/// Accounted bytes of one frontier node under the byte model.
+inline std::uint64_t frontierNodeBytes(const Cut& cut, const FrontierNode& node,
+                                       bool recordPaths) noexcept {
+  const std::uint64_t perEntry =
+      kMonitorEntryBytes + (recordPaths ? kPathNodeBytes : 0);
+  return kFrontierNodeBytes + cut.k.size() * kCutComponentBytes +
+         node.mstates.size() * perEntry;
+}
+
+/// Accounted bytes of a whole frontier.
+inline std::uint64_t frontierBytes(const Frontier& frontier,
+                                   bool recordPaths) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [cut, node] : frontier) {
+    total += frontierNodeBytes(cut, node, recordPaths);
+  }
+  return total;
+}
+
+/// splitmix64 finalizer: the sampler's rank function.  Pure, so the set of
+/// survivors is a function of (seed, level, cut) only.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Applies the degradation ladder to a freshly expanded frontier.
+///
+/// `level` is the 1-based index of the level `frontier` sits at;
+/// `arenaBytesNow` = StateArena::bytes() + MonitorSetArena::bytes();
+/// `carryBytes` = accounted bytes of the previous frontier (still live
+/// while this one was expanded); `observedKey(cut)` must return the
+/// maximum globalSeq over the cut's per-thread last events (0 for the zero
+/// cut) — the key whose minimum identifies the observed-execution cut.
+///
+/// On return `frontier` holds only the survivors, and stats carries the
+/// post-shed accounting (accountedBytes, peakAccountedBytes, droppedNodes,
+/// degradation, boundReason, degradedAtLevel, approximated).  Deterministic
+/// across jobs and delivery orders — see the file comment.
+template <typename ObservedKeyFn>
+void enforceBudget(Frontier& frontier, const LatticeOptions& opts,
+                   LatticeStats& stats, std::uint64_t level,
+                   std::uint64_t arenaBytesNow, std::uint64_t carryBytes,
+                   const ObservedKeyFn& observedKey) {
+  const std::uint64_t newBytes = frontierBytes(frontier, opts.recordPaths);
+  const std::uint64_t fixed = arenaBytesNow + carryBytes;
+
+  std::size_t maxCount = frontier.size();
+  BoundReason reason = BoundReason::kNone;
+  if (stats.degradation == DegradationMode::kObservedOnly) {
+    // Sticky deepest rung: once the analysis fell back to the observed
+    // path it stays there (re-widening could not recover the runs already
+    // lost, and would thrash the budget).
+    maxCount = 1;
+    reason = stats.boundReason;
+  }
+  if (opts.maxFrontier > 0 && maxCount > opts.maxFrontier) {
+    maxCount = opts.maxFrontier;
+    reason = BoundReason::kMaxFrontier;
+  }
+  const bool overBudget = opts.memoryBudgetBytes > 0 && !frontier.empty() &&
+                          fixed + newBytes > opts.memoryBudgetBytes;
+
+  if (!frontier.empty() && (maxCount < frontier.size() || overBudget)) {
+    // The observed-execution cut: minimal (observedKey, cut) — kept
+    // unconditionally so the run the program ACTUALLY took is analyzed to
+    // the end on every rung.  It is the floor the budget is measured
+    // against: if even the floor exceeds the budget nothing more can be
+    // shed, and peakAccountedBytes shows by how much it overshoots.
+    const Cut* observed = nullptr;
+    std::uint64_t observedK = 0;
+    for (const auto& [cut, node] : frontier) {
+      const std::uint64_t key = observedKey(cut);
+      if (observed == nullptr || key < observedK ||
+          (key == observedK && cut.k < observed->k)) {
+        observed = &cut;
+        observedK = key;
+      }
+    }
+
+    // Rank the rest by the seeded hash; survival is independent of path
+    // counts and of the order nodes were discovered in.
+    std::vector<const Cut*> order;
+    order.reserve(frontier.size());
+    for (const auto& [cut, node] : frontier) {
+      if (&cut != observed) order.push_back(&cut);
+    }
+    const std::uint64_t levelSalt = mix64(opts.degradationSeed ^ level);
+    const auto rank = [levelSalt](const Cut& c) {
+      return mix64(levelSalt ^ static_cast<std::uint64_t>(c.hash()));
+    };
+    std::sort(order.begin(), order.end(), [&rank](const Cut* a, const Cut* b) {
+      const std::uint64_t ra = rank(*a);
+      const std::uint64_t rb = rank(*b);
+      if (ra != rb) return ra < rb;
+      return a->k < b->k;  // deterministic tie-break
+    });
+
+    // Greedy EXACT fill in rank order: survivors are the longest ranked
+    // prefix whose actual bytes fit next to the fixed costs (so post-shed
+    // accounted never exceeds the budget unless the floor alone does).
+    std::uint64_t budgetLeft = ~std::uint64_t{0};
+    if (opts.memoryBudgetBytes > 0) {
+      budgetLeft = opts.memoryBudgetBytes > fixed
+                       ? opts.memoryBudgetBytes - fixed
+                       : 0;
+    }
+    Frontier kept;
+    std::uint64_t keptBytes =
+        frontierNodeBytes(*observed, frontier.at(*observed), opts.recordPaths);
+    kept.emplace(*observed, std::move(frontier.at(*observed)));
+    bool memoryBound = keptBytes > budgetLeft;
+    for (const Cut* c : order) {
+      if (kept.size() >= maxCount) break;
+      const std::uint64_t nb =
+          frontierNodeBytes(*c, frontier.at(*c), opts.recordPaths);
+      if (keptBytes + nb > budgetLeft) {
+        memoryBound = true;
+        break;
+      }
+      keptBytes += nb;
+      kept.emplace(*c, std::move(frontier.at(*c)));
+    }
+    const std::size_t dropped = frontier.size() - kept.size();
+    if (memoryBound && kept.size() < maxCount) reason = BoundReason::kMemoryBudget;
+    frontier = std::move(kept);
+
+    if (dropped > 0) {
+      // Degradation bookkeeping reflects RUN SHEDDING only: a frontier that
+      // fits under every cap stays SOUND even when the arenas alone push
+      // the accounted total over budget (nothing more could be shed).
+      const DegradationMode rung = frontier.size() <= 1
+                                       ? DegradationMode::kObservedOnly
+                                       : DegradationMode::kSampled;
+      stats.droppedNodes += dropped;
+      stats.approximated = true;  // absence of violations is best-effort now
+      if (stats.degradation < rung) stats.degradation = rung;
+      if (stats.boundReason == BoundReason::kNone) stats.boundReason = reason;
+      if (stats.degradedAtLevel == 0) stats.degradedAtLevel = level;
+      if constexpr (telemetry::kEnabled) {
+        ObserverMetrics& tm = ObserverMetrics::get();
+        tm.degradedLevels.add(1);
+        tm.degradedNodesDropped.add(dropped);
+        tm.degradedMode.recordMax(static_cast<std::int64_t>(rung));
+      }
+    }
+  }
+
+  stats.accountedBytes =
+      fixed + frontierBytes(frontier, opts.recordPaths);
+  stats.peakAccountedBytes =
+      std::max(stats.peakAccountedBytes, stats.accountedBytes);
+  if constexpr (telemetry::kEnabled) {
+    ObserverMetrics& tm = ObserverMetrics::get();
+    tm.budgetLimit.set(static_cast<std::int64_t>(opts.memoryBudgetBytes));
+    tm.budgetAccounted.set(static_cast<std::int64_t>(stats.accountedBytes));
+    tm.budgetPeak.recordMax(static_cast<std::int64_t>(stats.peakAccountedBytes));
+  }
+}
+
+}  // namespace mpx::observer::detail

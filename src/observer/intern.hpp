@@ -51,6 +51,14 @@ struct InternStats {
   }
 };
 
+/// Accounted bytes per resident hash-table node beyond its payload: the
+/// element itself plus its share of bucket array and chaining pointers.
+/// Part of the deterministic byte MODEL of DESIGN.md §5c — a platform-
+/// stable estimate the budget enforcer charges, not malloc truth.  Both
+/// arenas and the frontier accounting (budget.hpp) charge through it, so
+/// accounted totals are identical across jobs counts and platforms.
+inline constexpr std::uint64_t kInternNodeBytes = 64;
+
 /// Thread-safe hash-consing arena for GlobalState.
 class StateArena {
  public:
@@ -62,11 +70,16 @@ class StateArena {
   /// states always intern to the same pointer.
   const GlobalState* intern(GlobalState&& s) {
     const std::size_t h = s.hash();
+    // Accounted bytes are a pure function of the inserted value, so the
+    // total is deterministic: misses == distinct states for any jobs count.
+    const std::uint64_t cost = kInternNodeBytes + sizeof(GlobalState) +
+                               s.values.size() * sizeof(Value);
     Stripe& stripe = stripes_[h & (kStripes - 1)];
     std::lock_guard<std::mutex> lock(stripe.mu);
     const auto [it, inserted] = stripe.set.insert(std::move(s));
     if (inserted) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      bytes_.fetch_add(cost, std::memory_order_relaxed);
     } else {
       hits_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -80,6 +93,13 @@ class StateArena {
   /// Counts a dedup that short-circuited the table (an edge that left the
   /// state unchanged reuses the parent's pointer without a lookup).
   void noteReuse() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Accounted bytes of every resident state under the byte model.
+  /// Monotonic within a run (the arena only grows); exact for any jobs
+  /// count because each distinct state is charged exactly once.
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] InternStats stats() const {
     InternStats s;
@@ -101,6 +121,7 @@ class StateArena {
   std::array<Stripe, kStripes> stripes_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 /// Hash-consing arena for sorted monitor-state sets (single-threaded: the
@@ -114,9 +135,13 @@ class MonitorSetArena {
   /// `states` must be sorted ascending (FrontierNode::mstates iterates its
   /// keys in order, so callers get this for free).
   const std::vector<std::uint64_t>* intern(std::vector<std::uint64_t> states) {
+    const std::uint64_t cost = kInternNodeBytes +
+                               sizeof(std::vector<std::uint64_t>) +
+                               states.size() * sizeof(std::uint64_t);
     const auto [it, inserted] = set_.insert(std::move(states));
     if (inserted) {
       ++misses_;
+      bytes_ += cost;
     } else {
       ++hits_;
     }
@@ -126,6 +151,9 @@ class MonitorSetArena {
   [[nodiscard]] InternStats stats() const {
     return InternStats{hits_, misses_, set_.size()};
   }
+
+  /// Accounted bytes of every resident set under the byte model.
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
 
  private:
   struct VecHash {
@@ -142,6 +170,7 @@ class MonitorSetArena {
   std::unordered_set<std::vector<std::uint64_t>, VecHash> set_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace mpx::observer

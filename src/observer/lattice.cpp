@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "observer/analysis.hpp"
+#include "observer/budget.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
@@ -16,6 +17,24 @@ std::string Cut::toString() const {
   os << 'S';
   for (const auto v : k) os << v;
   return os.str();
+}
+
+const char* toString(DegradationMode m) noexcept {
+  switch (m) {
+    case DegradationMode::kFull: return "full";
+    case DegradationMode::kSampled: return "sampled";
+    case DegradationMode::kObservedOnly: return "observed-only";
+  }
+  return "?";
+}
+
+const char* toString(BoundReason r) noexcept {
+  switch (r) {
+    case BoundReason::kNone: return "none";
+    case BoundReason::kMemoryBudget: return "memory-budget";
+    case BoundReason::kMaxFrontier: return "max-frontier";
+  }
+  return "?";
 }
 
 std::vector<EventRef> unwindPath(const PathPtr& path) {
@@ -33,6 +52,19 @@ ComputationLattice::ComputationLattice(const CausalityGraph& graph,
   if (!graph.finalized()) {
     throw std::logic_error("ComputationLattice: CausalityGraph not finalized");
   }
+}
+
+std::uint64_t ComputationLattice::observedPathKey(const Cut& cut) const {
+  // Max globalSeq over the cut's per-thread last events.  globalSeq grows
+  // along each thread, so this equals the max over ALL included events —
+  // minimized exactly by the observed execution's prefix cut (budget.hpp).
+  std::uint64_t key = 0;
+  for (ThreadId j = 0; j < cut.k.size(); ++j) {
+    if (cut.k[j] == 0) continue;
+    key = std::max<std::uint64_t>(
+        key, graph_->message(j, cut.k[j]).event.globalSeq);
+  }
+  return key;
 }
 
 bool ComputationLattice::enabled(const Cut& cut, ThreadId j) const {
@@ -106,6 +138,10 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
   stats_.peakLevelWidth = 1;
   stats_.peakLiveNodes = 1;
   stats_.monitorStatesPeak = mon != nullptr ? 1 : 0;
+  // Accounted bytes of the live working set (budget.hpp byte model).
+  std::uint64_t carryBytes = detail::frontierBytes(frontier, opts_.recordPaths);
+  stats_.accountedBytes = states_->bytes() + msets_->bytes() + carryBytes;
+  stats_.peakAccountedBytes = stats_.accountedBytes;
   retainLevel(0, frontier);
   if (bus != nullptr) {
     bus->dispatchLevel(frontier, 0, *msets_, pool,
@@ -150,6 +186,13 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
       stats_.approximated = true;
       next_ = std::move(kept);
     }
+    // Degradation ladder: shed nodes (deterministically) when the level
+    // pushes the accounted working set over the budget or the frontier cap.
+    detail::enforceBudget(next_, opts_, stats_, level + 1,
+                          states_->bytes() + msets_->bytes(), carryBytes,
+                          [this](const Cut& cut) {
+                            return observedPathKey(cut);
+                          });
     if (next_.size() > opts_.maxNodesPerLevel) {
       stats_.truncated = true;
       break;
@@ -179,6 +222,7 @@ const LatticeStats& ComputationLattice::run(LatticeMonitor* mon,
       bus->dispatchLevel(next_, level + 1, *msets_, pool,
                          opts_.parallel.minFrontier);
     }
+    carryBytes = detail::frontierBytes(next_, opts_.recordPaths);
     frontier = std::move(next_);  // sliding window: old level dies here
   }
 

@@ -80,6 +80,9 @@ class ComputationLattice {
                           std::vector<Violation>* violations,
                           AnalysisBus* bus);
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j) const;
+  /// Max globalSeq over the cut's per-thread last events — the budget
+  /// enforcer's observed-execution key (see budget.hpp).
+  [[nodiscard]] std::uint64_t observedPathKey(const Cut& cut) const;
   void retainLevel(std::uint64_t level, const detail::Frontier& frontier);
   [[nodiscard]] parallel::ThreadPool* poolForRun();
 

@@ -119,6 +119,35 @@ enum class Retention : std::uint8_t {
   kFull,           ///< keep every level (small lattices: tests, rendering)
 };
 
+/// The degradation ladder (DESIGN.md §5c).  Under resource pressure the
+/// engine steps down rung by rung instead of dying:
+///   kFull         — exhaustive lattice, the verdict is SOUND.
+///   kSampled      — causally-fair frontier sampling: a seeded hash ranks
+///                   the cuts of an over-budget level and only the best
+///                   `allowed` survive (the observed-execution cut always
+///                   among them).  Deterministic across --jobs and across
+///                   delivery orders.
+///   kObservedOnly — only the observed execution's own cut survives per
+///                   level; the analysis degenerates to single-trace
+///                   monitoring (still sound for what it DOES report).
+/// The rung recorded in LatticeStats is the deepest ever entered; entering
+/// kObservedOnly is sticky for the rest of the run (no thrash).
+enum class DegradationMode : std::uint8_t {
+  kFull = 0,
+  kSampled = 1,
+  kObservedOnly = 2,
+};
+
+/// Why the ladder engaged (first trigger wins; kNone while kFull).
+enum class BoundReason : std::uint8_t {
+  kNone = 0,
+  kMemoryBudget = 1,  ///< accounted bytes exceeded LatticeOptions::memoryBudgetBytes
+  kMaxFrontier = 2,   ///< a level exceeded LatticeOptions::maxFrontier
+};
+
+[[nodiscard]] const char* toString(DegradationMode m) noexcept;
+[[nodiscard]] const char* toString(BoundReason r) noexcept;
+
 struct LatticeOptions {
   Retention retention = Retention::kSlidingWindow;
   /// Safety cap on level width; exceeded => stats.truncated.
@@ -139,6 +168,20 @@ struct LatticeOptions {
   /// retained levels are identical to the serial path; only the ORDER in
   /// which violations are appended may differ (see level_expand.hpp).
   parallel::ParallelConfig parallel;
+  /// Byte budget for the accounted working set (arenas + the two live
+  /// frontiers, under the deterministic byte model of budget.hpp).  When a
+  /// freshly expanded level would push the accounted total past the
+  /// budget, the degradation ladder sheds frontier nodes until the
+  /// retained set fits (floor: the observed-execution cut).  0 = unlimited.
+  std::size_t memoryBudgetBytes = 0;
+  /// Hard cap on frontier width, enforced by the same ladder (sampling,
+  /// not truncation — the analysis continues to the end).  0 = unlimited.
+  std::size_t maxFrontier = 0;
+  /// Seed of the causally-fair sampler.  The sampling decision is a pure
+  /// function of (seed, level, cut), so any two runs over the same lattice
+  /// with the same seed retain the same nodes regardless of jobs count or
+  /// message arrival order.
+  std::uint64_t degradationSeed = 0x9e3779b97f4a7c15ull;
 };
 
 struct LatticeStats {
@@ -168,6 +211,21 @@ struct LatticeStats {
   std::size_t internedStates = 0;  ///< distinct GlobalStates resident
   std::uint64_t msetInternHits = 0;    ///< monitor-state-set lookups deduped
   std::uint64_t msetInternMisses = 0;  ///< monitor-state-set inserts
+  // Budget accounting + degradation ladder (budget.hpp, DESIGN.md §5c).
+  std::uint64_t accountedBytes = 0;      ///< accounted working set after the
+                                         ///< last completed level (post-shed)
+  std::uint64_t peakAccountedBytes = 0;  ///< peak of the retained accounting
+  std::uint64_t droppedNodes = 0;   ///< frontier nodes shed by the ladder
+  std::uint64_t degradedAtLevel = 0;  ///< first level the ladder engaged (0 =
+                                      ///< never; level 0 is never shed)
+  DegradationMode degradation = DegradationMode::kFull;  ///< deepest rung
+  BoundReason boundReason = BoundReason::kNone;
+
+  /// True when the verdict is not exhaustive: some consistent runs were
+  /// never examined (ladder, beam, or width-cap truncation).
+  [[nodiscard]] bool bounded() const noexcept {
+    return degradation != DegradationMode::kFull || truncated || approximated;
+  }
 };
 
 /// One node of a fully-retained lattice (inspection/rendering).

@@ -19,6 +19,12 @@ struct ObserverMetrics {
   telemetry::Gauge& backlogHwm;
   telemetry::Gauge& internStates;
   telemetry::Gauge& internHitRate;
+  telemetry::Gauge& budgetLimit;
+  telemetry::Gauge& budgetAccounted;
+  telemetry::Gauge& budgetPeak;
+  telemetry::Gauge& degradedMode;
+  telemetry::Counter& degradedLevels;
+  telemetry::Counter& degradedNodesDropped;
 
   static ObserverMetrics& get() {
     static ObserverMetrics m{
@@ -53,6 +59,27 @@ struct ObserverMetrics {
             "mpx_observer_intern_hit_rate_percent",
             "State-intern lookups that found a resident state, percent "
             "(most recent run)"),
+        telemetry::registry().gauge(
+            "mpx_observer_budget_limit_bytes",
+            "Configured memory budget for the accounted working set "
+            "(0 = unlimited)"),
+        telemetry::registry().gauge(
+            "mpx_observer_budget_accounted_bytes",
+            "Accounted working set (arenas + live frontiers) after the "
+            "last completed level, under the deterministic byte model"),
+        telemetry::registry().gauge(
+            "mpx_observer_budget_peak_bytes",
+            "High-water mark of the accounted working set"),
+        telemetry::registry().gauge(
+            "mpx_analysis_degraded_mode",
+            "Deepest degradation rung entered: 0 = full lattice, "
+            "1 = sampled frontier, 2 = observed path only"),
+        telemetry::registry().counter(
+            "mpx_analysis_degraded_levels_total",
+            "Lattice levels on which the degradation ladder shed nodes"),
+        telemetry::registry().counter(
+            "mpx_analysis_degraded_nodes_dropped_total",
+            "Frontier nodes shed by the degradation ladder"),
     };
     return m;
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "observer/analysis.hpp"
+#include "observer/budget.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
 #include "telemetry/timer.hpp"
@@ -33,6 +34,10 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
   stats_.peakLevelWidth = 1;
   stats_.peakLiveNodes = 1;
   stats_.monitorStatesPeak = monitor_ != nullptr ? 1 : 0;
+  liveFrontierBytes_ = detail::frontierBytes(frontier_, opts_.recordPaths);
+  stats_.accountedBytes =
+      states_.bytes() + msets_.bytes() + liveFrontierBytes_;
+  stats_.peakAccountedBytes = stats_.accountedBytes;
 }
 
 OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
@@ -52,6 +57,21 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
   }
   bus_->dispatchLevel(frontier_, 0, msets_, nullptr,
                       opts_.parallel.minFrontier);
+}
+
+std::uint64_t OnlineAnalyzer::observedPathKey(const Cut& cut) const {
+  // Mirrors ComputationLattice::observedPathKey: max globalSeq over the
+  // cut's per-thread last events.  A frontier cut only includes events
+  // that already arrived, so find() never misses here.
+  std::uint64_t key = 0;
+  for (ThreadId j = 0; j < cut.k.size(); ++j) {
+    if (cut.k[j] == 0) continue;
+    const trace::Message* m = find(j, cut.k[j]);
+    if (m != nullptr) {
+      key = std::max<std::uint64_t>(key, m->event.globalSeq);
+    }
+  }
+  return key;
 }
 
 const trace::Message* OnlineAnalyzer::find(ThreadId j, LocalSeq k) const {
@@ -151,6 +171,16 @@ void OnlineAnalyzer::expandOneLevel() {
   detail::Frontier next = detail::expandLevel(
       frontier_, buffered_.size(), space_, monitor_, opts_, stats_,
       &violations_, bus_, states_, poolForRun(), edges, nextMsg);
+  // Degradation ladder: shed nodes (deterministically) when the level
+  // pushes the accounted working set over the budget or the frontier cap.
+  // stats_.levels is the pre-increment count, so `next` sits at level
+  // stats_.levels — the same index the batch lattice passes (level + 1),
+  // which keeps the sampled survivor sets identical between the two.
+  detail::enforceBudget(next, opts_, stats_, stats_.levels,
+                        states_.bytes() + msets_.bytes(), liveFrontierBytes_,
+                        [this](const Cut& cut) {
+                          return observedPathKey(cut);
+                        });
 
   // Consume: every event at the frontier's level is now folded in.  Each
   // expansion uses one message per thread-successor; the per-level message
@@ -176,6 +206,7 @@ void OnlineAnalyzer::expandOneLevel() {
     span.arg("width", static_cast<std::int64_t>(next.size()));
     span.arg("edges", static_cast<std::int64_t>(edges));
   }
+  liveFrontierBytes_ = detail::frontierBytes(next, opts_.recordPaths);
   frontier_ = std::move(next);
   if (bus_ != nullptr && frontier_.size() <= opts_.maxNodesPerLevel) {
     // Matches the batch lattice: a level that trips the width cap is

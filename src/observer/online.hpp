@@ -96,6 +96,10 @@ class OnlineAnalyzer final : public trace::MessageSink {
   void expandOneLevel();
   [[nodiscard]] bool enabled(const Cut& cut, ThreadId j,
                              const trace::Message& m) const;
+  /// Max globalSeq over the cut's per-thread last events — the budget
+  /// enforcer's observed-execution key (see budget.hpp).  Every event a
+  /// frontier cut includes has already arrived, so the lookup never misses.
+  [[nodiscard]] std::uint64_t observedPathKey(const Cut& cut) const;
   [[nodiscard]] parallel::ThreadPool* poolForRun();
   /// Marks the analysis finished: snapshots intern stats and runs the
   /// plugins' finish() hooks (once).
@@ -113,6 +117,9 @@ class OnlineAnalyzer final : public trace::MessageSink {
   bool ended_ = false;
   bool finished_ = false;
   detail::Frontier frontier_;
+  /// Accounted bytes of frontier_ (budget.hpp byte model), maintained so
+  /// each level's enforcement sees the previous frontier's carry cost.
+  std::uint64_t liveFrontierBytes_ = 0;
   LatticeStats stats_;
   std::vector<Violation> violations_;
   /// Lazily created when opts_.parallel asks for jobs > 1 and no external

@@ -5,10 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <random>
+#include <set>
+#include <string>
 
+#include "../support/trace_gen.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/predictive_analyzer.hpp"
+#include "analysis/report.hpp"
+#include "detect/deadlock_analysis.hpp"
+#include "detect/race_analysis.hpp"
 #include "logic/fsm.hpp"
+#include "logic/parser.hpp"
 #include "observer/online.hpp"
 #include "observer/run_enumerator.hpp"
 #include "program/corpus.hpp"
@@ -121,6 +130,327 @@ TEST(TripleAgreementCanonical, SyncHeavyPrograms) {
     EXPECT_EQ(e.lattice, e.online);
     EXPECT_EQ(e.lattice, e.enumeration);
   }
+}
+
+// ===================================================================
+// Oracle differential sweep: the one-pass Engine against the naive
+// Definition-level brute-force oracle of tests/support/trace_gen.hpp.
+// ===================================================================
+
+/// One engine configuration of the differential matrix.
+struct RunCfg {
+  std::size_t jobs = 1;
+  trace::DeliveryPolicy delivery = trace::DeliveryPolicy::kFifo;
+  std::size_t maxFrontier = 0;
+  std::size_t memoryBudget = 0;
+};
+
+EngineResult runEngineCase(const mpx::testing::GeneratedCase& c,
+                           const RunCfg& cfg) {
+  EngineConfig ec;
+  ec.specs = {c.spec};
+  ec.delivery = cfg.delivery;
+  ec.deliverySeed = c.shuffleSeed;
+  // The sweep compares full violation SETS — never let the witness cap
+  // truncate them.
+  ec.lattice.maxViolations = std::size_t{1} << 20;
+  ec.lattice.parallel.jobs = cfg.jobs;
+  // Tiny lattices would otherwise fall below the serial-fallback threshold
+  // and never exercise the parallel merge path.
+  ec.lattice.parallel.minFrontier = 1;
+  ec.lattice.maxFrontier = cfg.maxFrontier;
+  ec.lattice.memoryBudgetBytes = cfg.memoryBudget;
+  const Engine engine(c.program, ec);
+  return engine.runWithSeed(c.scheduleSeed);
+}
+
+std::set<std::string> violatingCuts(const EngineResult& r) {
+  std::set<std::string> cuts;
+  for (const auto& v : r.specs.at(0).violations) cuts.insert(v.cut.toString());
+  return cuts;
+}
+
+/// Runs the oracle for an already-run base case; nullopt when the seed is
+/// infeasible (too many events or runs) and must be skipped.
+std::optional<mpx::testing::OracleResult> oracleFor(
+    const mpx::testing::GeneratedCase& c, const EngineResult& base) {
+  const logic::Formula f = logic::SpecParser(base.space).parse(c.spec);
+  const mpx::testing::BruteForceOracle oracle(base.causality, base.space, f);
+  if (!oracle.result().feasible) return std::nullopt;
+  return oracle.result();
+}
+
+/// ≥500 accepted seeds: the engine's violating-cut set, level count, node
+/// census, peak width and run count must all equal the oracle's, and the
+/// rendered report must be byte-identical across jobs {1,4} and fifo /
+/// shuffled delivery.
+TEST(OracleDifferential, FiveHundredSeedSweep) {
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 1; accepted < 500 && seed < 20000; ++seed) {
+    const auto c = mpx::testing::generateCase(seed);
+    const EngineResult base = runEngineCase(c, {});
+    const auto oracle = oracleFor(c, base);
+    if (!oracle) continue;
+    ++accepted;
+
+    ASSERT_EQ(violatingCuts(base), oracle->violatingCuts) << "seed " << seed;
+    ASSERT_EQ(base.latticeStats.levels, oracle->levels) << "seed " << seed;
+    ASSERT_EQ(base.latticeStats.totalNodes, oracle->consistentCuts)
+        << "seed " << seed;
+    ASSERT_EQ(base.latticeStats.peakLevelWidth, oracle->peakLevelWidth())
+        << "seed " << seed;
+    ASSERT_FALSE(base.latticeStats.pathCountSaturated) << "seed " << seed;
+    ASSERT_EQ(base.latticeStats.pathCount, oracle->runCount)
+        << "seed " << seed;
+    ASSERT_FALSE(base.latticeStats.bounded()) << "seed " << seed;
+
+    // Cross-config determinism: byte-identical reports and accounting.
+    const std::string ref = renderAnalysisReports(base.reports);
+    const RunCfg variants[] = {
+        {4, trace::DeliveryPolicy::kFifo, 0, 0},
+        {1, trace::DeliveryPolicy::kShuffle, 0, 0},
+        {4, trace::DeliveryPolicy::kShuffle, 0, 0},
+    };
+    for (const RunCfg& v : variants) {
+      const EngineResult r = runEngineCase(c, v);
+      ASSERT_EQ(renderAnalysisReports(r.reports), ref)
+          << "seed " << seed << " jobs " << v.jobs;
+      ASSERT_EQ(r.latticeStats.accountedBytes, base.latticeStats.accountedBytes)
+          << "seed " << seed << " jobs " << v.jobs;
+      ASSERT_EQ(r.latticeStats.peakAccountedBytes,
+                base.latticeStats.peakAccountedBytes)
+          << "seed " << seed << " jobs " << v.jobs;
+    }
+  }
+  ASSERT_GE(accepted, 500u);
+}
+
+/// Budget-ladder runs: under ANY finite budget the engine's violations stay
+/// a SUBSET of the oracle's (never a superset — shed runs only lose
+/// exhaustiveness), the report is stamped BOUNDED exactly when runs were
+/// shed, and shedding is deterministic across jobs counts.
+TEST(OracleDifferential, BoundedRunsAreSoundSubsets) {
+  std::size_t accepted = 0;
+  std::size_t degradedRuns = 0;
+  for (std::uint64_t seed = 1; accepted < 500 && seed < 20000; ++seed) {
+    const auto c = mpx::testing::generateCase(seed);
+    const EngineResult base = runEngineCase(c, {});
+    const auto oracle = oracleFor(c, base);
+    if (!oracle) continue;
+    ++accepted;
+
+    const std::size_t ladders[][2] = {
+        {1, 0}, {2, 0}, {0, 2048},  // {maxFrontier, memoryBudgetBytes}
+    };
+    for (const auto& lad : ladders) {
+      EngineResult byJobs[2];
+      for (std::size_t ji = 0; ji < 2; ++ji) {
+        const RunCfg cfg{ji == 0 ? 1u : 4u, trace::DeliveryPolicy::kFifo,
+                         lad[0], lad[1]};
+        EngineResult r = runEngineCase(c, cfg);
+        const std::set<std::string> cuts = violatingCuts(r);
+
+        // Soundness: BOUNDED violations ⊆ oracle, never a superset.
+        ASSERT_TRUE(std::includes(oracle->violatingCuts.begin(),
+                                  oracle->violatingCuts.end(), cuts.begin(),
+                                  cuts.end()))
+            << "seed " << seed << " mf " << lad[0] << " mb " << lad[1];
+
+        // The verdict stamp tells the truth about exhaustiveness.
+        const std::string report = renderViolationReport(
+            r.space, r.violations, r.latticeStats, true);
+        if (r.latticeStats.bounded()) {
+          ASSERT_NE(report.find("verdict: BOUNDED("), std::string::npos)
+              << report;
+          ASSERT_NE(r.latticeStats.degradation,
+                    observer::DegradationMode::kFull);
+          ASSERT_NE(r.latticeStats.boundReason, observer::BoundReason::kNone);
+          ASSERT_GT(r.latticeStats.droppedNodes, 0u);
+          ASSERT_GE(r.latticeStats.degradedAtLevel, 1u);
+          ++degradedRuns;
+        } else {
+          ASSERT_NE(report.find("verdict: SOUND"), std::string::npos)
+              << report;
+          ASSERT_EQ(cuts, oracle->violatingCuts) << "seed " << seed;
+        }
+        byJobs[ji] = std::move(r);
+      }
+
+      // Shedding is deterministic across jobs counts: same survivors, same
+      // accounting, byte-identical reports.
+      ASSERT_EQ(violatingCuts(byJobs[0]), violatingCuts(byJobs[1]))
+          << "seed " << seed << " mf " << lad[0] << " mb " << lad[1];
+      ASSERT_EQ(byJobs[0].latticeStats.droppedNodes,
+                byJobs[1].latticeStats.droppedNodes)
+          << "seed " << seed;
+      ASSERT_EQ(byJobs[0].latticeStats.degradation,
+                byJobs[1].latticeStats.degradation)
+          << "seed " << seed;
+      ASSERT_EQ(byJobs[0].latticeStats.accountedBytes,
+                byJobs[1].latticeStats.accountedBytes)
+          << "seed " << seed;
+      ASSERT_EQ(renderAnalysisReports(byJobs[0].reports),
+                renderAnalysisReports(byJobs[1].reports))
+          << "seed " << seed;
+    }
+  }
+  ASSERT_GE(accepted, 500u);
+  // The matrix must actually exercise the ladder, not just pass vacuously.
+  ASSERT_GT(degradedRuns, 100u);
+}
+
+/// Budget-ladder determinism across DELIVERY orders: the sampler's rank is
+/// a pure function of (seed, level, cut), so shuffled arrival must shed the
+/// exact same nodes as fifo.
+TEST(OracleDifferential, BoundedRunsDeterministicAcrossDelivery) {
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 1; accepted < 120 && seed < 20000; ++seed) {
+    const auto c = mpx::testing::generateCase(seed);
+    const EngineResult base = runEngineCase(c, {});
+    if (!oracleFor(c, base)) continue;
+    ++accepted;
+
+    const RunCfg fifo{1, trace::DeliveryPolicy::kFifo, 2, 0};
+    const RunCfg shuf{4, trace::DeliveryPolicy::kShuffle, 2, 0};
+    const EngineResult a = runEngineCase(c, fifo);
+    const EngineResult b = runEngineCase(c, shuf);
+    ASSERT_EQ(violatingCuts(a), violatingCuts(b)) << "seed " << seed;
+    ASSERT_EQ(a.latticeStats.droppedNodes, b.latticeStats.droppedNodes)
+        << "seed " << seed;
+    ASSERT_EQ(a.latticeStats.degradation, b.latticeStats.degradation)
+        << "seed " << seed;
+    ASSERT_EQ(renderAnalysisReports(a.reports),
+              renderAnalysisReports(b.reports))
+        << "seed " << seed;
+  }
+  ASSERT_GE(accepted, 120u);
+}
+
+/// Race/deadlock differential: plugin reports are invariant across jobs and
+/// delivery orders, lock-free programs never report deadlocks, and every
+/// race report satisfies the Definition-level invariants (same variable,
+/// different threads, at least one write, MVC-concurrent).
+TEST(OracleDifferential, RaceAndDeadlockReportsInvariant) {
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 1; accepted < 60 && seed < 2000; ++seed) {
+    const auto c = mpx::testing::generateCase(seed);
+    std::vector<std::string> varNames;
+    for (std::size_t i = 0; i < c.options.vars; ++i) {
+      varNames.push_back("g" + std::to_string(i));
+    }
+    ++accepted;
+
+    EngineConfig ec;
+    ec.specs = {c.spec};
+    ec.lattice.maxViolations = std::size_t{1} << 20;
+    ec.lattice.parallel.minFrontier = 1;
+
+    std::string ref;
+    std::size_t refRaces = 0;
+    const RunCfg variants[] = {
+        {1, trace::DeliveryPolicy::kFifo, 0, 0},
+        {4, trace::DeliveryPolicy::kFifo, 0, 0},
+        {1, trace::DeliveryPolicy::kShuffle, 0, 0},
+        {4, trace::DeliveryPolicy::kShuffle, 0, 0},
+    };
+    for (std::size_t vi = 0; vi < 4; ++vi) {
+      ec.delivery = variants[vi].delivery;
+      ec.deliverySeed = c.shuffleSeed;
+      ec.lattice.parallel.jobs = variants[vi].jobs;
+      const Engine engine(c.program, ec);
+      detect::RaceAnalysis race(c.program, varNames, {});
+      detect::DeadlockAnalysis deadlock(c.program);
+      const EngineResult r =
+          engine.runWithSeed(c.scheduleSeed, {&race, &deadlock});
+      const std::string rendered = renderAnalysisReports(r.reports);
+      if (vi == 0) {
+        ref = rendered;
+        refRaces = race.races().size();
+      } else {
+        ASSERT_EQ(rendered, ref) << "seed " << seed << " variant " << vi;
+        ASSERT_EQ(race.races().size(), refRaces) << "seed " << seed;
+      }
+
+      if (c.options.locks == 0) {
+        ASSERT_TRUE(deadlock.deadlocks().empty()) << "seed " << seed;
+      }
+      for (const detect::RaceReport& rep : race.races()) {
+        ASSERT_EQ(rep.first.event.var, rep.second.event.var)
+            << "seed " << seed;
+        ASSERT_NE(rep.first.event.thread, rep.second.event.thread)
+            << "seed " << seed;
+        ASSERT_TRUE(trace::isWriteLike(rep.first.event.kind) ||
+                    trace::isWriteLike(rep.second.event.kind))
+            << "seed " << seed;
+        ASSERT_TRUE(rep.first.concurrentWith(rep.second)) << "seed " << seed;
+      }
+    }
+  }
+  ASSERT_GE(accepted, 60u);
+}
+
+/// Online-vs-batch budget parity: the online analyzer fed SHUFFLED messages
+/// must shed the exact same nodes as the batch lattice — the level index
+/// passed to the sampler and the byte accounting line up exactly.
+TEST(OracleDifferential, OnlineMatchesBatchUnderBudget) {
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 1; accepted < 80 && seed < 2000; ++seed) {
+    const auto c = mpx::testing::generateCase(seed);
+    PredictiveAnalyzer analyzer(c.program, specConfig(c.spec));
+    const AnalysisResult base = analyzer.analyzeWithSeed(c.scheduleSeed);
+    ++accepted;
+
+    for (const std::size_t maxFrontier : {std::size_t{1}, std::size_t{2}}) {
+      observer::LatticeOptions opts;
+      opts.maxViolations = std::size_t{1} << 20;
+      opts.maxFrontier = maxFrontier;
+
+      // Batch, fifo discovery order.
+      observer::ComputationLattice lattice(base.causality, base.space, opts);
+      logic::SynthesizedMonitor batchMon(analyzer.formula());
+      std::vector<observer::Violation> batchViolations;
+      const observer::LatticeStats batchStats =
+          lattice.check(batchMon, batchViolations);
+
+      // Online, shuffled arrival.
+      std::vector<trace::Message> msgs;
+      for (const auto& ref : base.causality.observedOrder()) {
+        msgs.push_back(base.causality.message(ref));
+      }
+      std::mt19937_64 rng(c.shuffleSeed);
+      std::shuffle(msgs.begin(), msgs.end(), rng);
+      logic::SynthesizedMonitor onlineMon(analyzer.formula());
+      // The graph's thread count, not the program's: a thread that emitted
+      // no relevant event adds a cut component, which shifts the byte model
+      // (the batch lattice only ever sees the graph's threads).
+      observer::OnlineAnalyzer online(base.space,
+                                      base.causality.threadCount(),
+                                      &onlineMon, opts);
+      for (const auto& m : msgs) online.onMessage(m);
+      online.endOfTrace();
+
+      std::set<std::string> batchCuts;
+      for (const auto& v : batchViolations) batchCuts.insert(v.cut.toString());
+      std::set<std::string> onlineCuts;
+      for (const auto& v : online.violations()) {
+        onlineCuts.insert(v.cut.toString());
+      }
+      ASSERT_EQ(batchCuts, onlineCuts) << "seed " << seed << " mf "
+                                       << maxFrontier;
+      ASSERT_EQ(batchStats.droppedNodes, online.stats().droppedNodes)
+          << "seed " << seed << " mf " << maxFrontier;
+      ASSERT_EQ(batchStats.degradation, online.stats().degradation)
+          << "seed " << seed << " mf " << maxFrontier;
+      ASSERT_EQ(batchStats.degradedAtLevel, online.stats().degradedAtLevel)
+          << "seed " << seed << " mf " << maxFrontier;
+      ASSERT_EQ(batchStats.accountedBytes, online.stats().accountedBytes)
+          << "seed " << seed << " mf " << maxFrontier;
+      ASSERT_EQ(batchStats.peakAccountedBytes,
+                online.stats().peakAccountedBytes)
+          << "seed " << seed << " mf " << maxFrontier;
+    }
+  }
+  ASSERT_GE(accepted, 80u);
 }
 
 }  // namespace

@@ -1,0 +1,9 @@
+// libFuzzer target: BinaryCodec::tryDecode + decodeEventsPayload over
+// arbitrary bytes.  Build with -DMPX_BUILD_FUZZERS=ON (clang only).
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  mpx::testing::fuzz::driveCodec(data, size);
+  return 0;
+}

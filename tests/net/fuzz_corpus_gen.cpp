@@ -1,0 +1,58 @@
+// Writes the seed corpus for the wire-layer fuzz targets:
+//
+//   fuzz_corpus_gen <dir>
+//
+// creates <dir>/{frame_reader,codec,handshake}/seed-*.bin with valid
+// encodings (a whole frame stream, an events batch, v1 + v2 handshakes)
+// plus a few deterministic mutations of each.  The checked-in corpus under
+// tests/net/corpus/ was produced by this tool; CI regenerates and uploads
+// it so fuzz runs always start from live-format seeds.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_harness.hpp"
+
+namespace {
+
+void writeSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(dir / name, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+void writeFamily(const std::filesystem::path& root, const std::string& family,
+                 const std::vector<std::vector<std::uint8_t>>& seeds) {
+  const std::filesystem::path dir = root / family;
+  std::filesystem::create_directories(dir);
+  std::size_t n = 0;
+  for (const auto& s : seeds) {
+    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin", s);
+    // Two deterministic mutations per seed widen initial coverage.
+    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin",
+              mpx::testing::fuzz::mutateSeed(s, 0x5eedu + n));
+    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin",
+              mpx::testing::fuzz::mutateSeed(s, 0xf00du + n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  namespace fuzz = mpx::testing::fuzz;
+  const std::filesystem::path root = argv[1];
+  writeFamily(root, "frame_reader", {fuzz::seedFrameStream()});
+  writeFamily(root, "codec", {fuzz::seedEventsPayload()});
+  writeFamily(root, "handshake",
+              {fuzz::seedHandshakePayload(mpx::net::kProtocolVersion),
+               fuzz::seedHandshakePayload(mpx::net::kLegacyProtocolVersion)});
+  std::printf("corpus written to %s\n", root.string().c_str());
+  return 0;
+}

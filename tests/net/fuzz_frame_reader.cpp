@@ -1,0 +1,9 @@
+// libFuzzer target: FrameReader over an arbitrary byte stream with
+// fuzzer-chosen chunking.  Build with -DMPX_BUILD_FUZZERS=ON (clang only).
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  mpx::testing::fuzz::driveFrameReader(data, size);
+  return 0;
+}

@@ -1,0 +1,264 @@
+// Shared fuzz drivers for the untrusted wire layer.
+//
+// Each driver consumes an arbitrary byte string, exercises one parser
+// (FrameReader, BinaryCodec::tryDecode, decodeHandshake) and checks the
+// parser's CONTRACT — not just "no crash":
+//
+//   * a non-throwing API must never throw, whatever the bytes;
+//   * kNeedMore must really mean "a prefix": appending bytes may only move
+//     the verdict forward, never resurrect a corrupt stream;
+//   * every successful decode must re-encode to something that decodes to
+//     the same value (encode/decode fixpoint);
+//   * declared sizes in the input must never drive unbounded allocation.
+//
+// The drivers are used twice: by the libFuzzer targets (fuzz_*.cpp, built
+// only with -DMPX_BUILD_FUZZERS=ON under clang) and by the deterministic
+// tier-1 smoke test (fuzz_smoke_test.cpp), which replays the checked-in
+// seed corpus plus seeded random mutations of valid encodings through the
+// exact same code.  A crash found by CI fuzzing is landed as a named
+// regression input in the smoke test.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "trace/codec.hpp"
+
+namespace mpx::testing::fuzz {
+
+/// Abort with a message: both libFuzzer and the gtest smoke treat an abort
+/// as a finding (gtest surfaces it as a crashed test binary with the
+/// message on stderr).
+#define MPX_FUZZ_ASSERT(cond, what)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "fuzz invariant violated: %s (%s:%d)\n", what, \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// --- FrameReader --------------------------------------------------------
+
+/// Feeds `data` to a FrameReader in chunk sizes derived from the data
+/// itself (so the fuzzer controls the chunking too) and drains frames
+/// after every feed.
+inline void driveFrameReader(const std::uint8_t* data, std::size_t len) {
+  // Small payload cap: a fuzzer must be able to reach it with small inputs.
+  net::FrameReader reader(/*maxPayload=*/4096);
+  std::size_t pos = 0;
+  bool corrupt = false;
+  std::uint64_t drained = 0;
+  while (pos < len) {
+    // Chunk size 1..64, steered by the input bytes.
+    const std::size_t chunk =
+        std::min<std::size_t>(len - pos, 1 + (data[pos] & 63));
+    reader.feed(data + pos, chunk);
+    pos += chunk;
+    net::Frame frame;
+    for (;;) {
+      const net::FrameReader::Status st = reader.next(frame);
+      if (st == net::FrameReader::Status::kFrame) {
+        MPX_FUZZ_ASSERT(!corrupt, "frame extracted after corruption");
+        MPX_FUZZ_ASSERT(frame.payload.size() <= 4096,
+                        "frame payload exceeds the reader's cap");
+        ++drained;
+        continue;
+      }
+      if (st == net::FrameReader::Status::kCorrupt) {
+        MPX_FUZZ_ASSERT(reader.error() != nullptr,
+                        "kCorrupt without a reason");
+        corrupt = true;
+      } else {
+        MPX_FUZZ_ASSERT(!corrupt, "corrupt reader recovered to kNeedMore");
+      }
+      break;
+    }
+    // A reader never buffers more than a header + one capped payload per
+    // pending frame; with draining after every feed the backlog stays
+    // bounded by one frame (plus the unconsumed chunk).
+    MPX_FUZZ_ASSERT(reader.buffered() <= net::kFrameHeaderSize + 4096 + 64,
+                    "reader buffered more than one capped frame");
+  }
+  (void)drained;
+}
+
+// --- BinaryCodec::tryDecode ---------------------------------------------
+
+/// Decodes messages from the input until it is exhausted, corrupt, or a
+/// prefix; checks consumption accounting and the encode/decode fixpoint.
+inline void driveCodec(const std::uint8_t* data, std::size_t len) {
+  std::size_t pos = 0;
+  while (pos < len) {
+    const trace::DecodeResult r =
+        trace::BinaryCodec::tryDecode(data + pos, len - pos);
+    if (r.status == trace::DecodeStatus::kOk) {
+      MPX_FUZZ_ASSERT(r.consumed > 0, "kOk consumed nothing");
+      MPX_FUZZ_ASSERT(r.consumed <= len - pos, "kOk consumed past the end");
+      // Semantic fixpoint: re-encoding the decoded message must decode to
+      // an EQUAL message.  Byte identity is deliberately not required —
+      // trailing zero clock components are implicit (vector_clock.hpp), so
+      // the canonical re-encode may be SHORTER than the consumed bytes,
+      // never longer.
+      std::vector<std::uint8_t> re;
+      const std::size_t written = trace::BinaryCodec::encode(r.message, re);
+      MPX_FUZZ_ASSERT(written == re.size(), "encode() miscounted");
+      MPX_FUZZ_ASSERT(re.size() <= r.consumed,
+                      "re-encode longer than the consumed bytes");
+      const trace::DecodeResult r2 =
+          trace::BinaryCodec::tryDecode(re.data(), re.size());
+      MPX_FUZZ_ASSERT(r2.status == trace::DecodeStatus::kOk,
+                      "re-encoded message does not decode");
+      MPX_FUZZ_ASSERT(r2.consumed == re.size(),
+                      "re-encoded message decodes short");
+      MPX_FUZZ_ASSERT(r2.message.event == r.message.event,
+                      "event changed in round trip");
+      MPX_FUZZ_ASSERT(r2.message.clock == r.message.clock,
+                      "clock changed in round trip");
+      pos += r.consumed;
+      continue;
+    }
+    if (r.status == trace::DecodeStatus::kNeedMore) {
+      // A true prefix: decoding any shorter slice must also be kNeedMore
+      // or kCorrupt-free — spot-check the empty tail contract.
+      MPX_FUZZ_ASSERT(r.error == nullptr, "kNeedMore with an error reason");
+    } else {
+      MPX_FUZZ_ASSERT(r.error != nullptr, "kCorrupt without a reason");
+    }
+    break;
+  }
+  // Whole-buffer batch decode through the frame-payload path must agree.
+  std::vector<std::uint8_t> payload(data, data + len);
+  std::vector<trace::Message> out;
+  const char* error = nullptr;
+  (void)net::decodeEventsPayload(payload, out, &error);
+}
+
+// --- handshake (v1 + v2) ------------------------------------------------
+
+/// decodeHandshake must accept or reject any payload without throwing, and
+/// every accepted payload must survive an encode/decode round trip.
+inline void driveHandshake(const std::uint8_t* data, std::size_t len) {
+  const std::vector<std::uint8_t> payload(data, data + len);
+  net::Handshake h;
+  const char* error = nullptr;
+  if (!net::decodeHandshake(payload, h, &error)) {
+    MPX_FUZZ_ASSERT(error != nullptr, "decode failure without a reason");
+    return;
+  }
+  MPX_FUZZ_ASSERT(h.version >= net::kLegacyProtocolVersion &&
+                      h.version <= net::kProtocolVersion,
+                  "accepted handshake with an unsupported version");
+  // Fixpoint: what we decoded must re-encode to something that decodes to
+  // the same surface (version normalization aside).
+  const std::vector<std::uint8_t> re = net::encodeHandshake(h);
+  net::Handshake h2;
+  MPX_FUZZ_ASSERT(net::decodeHandshake(re, h2, &error),
+                  "re-encoded handshake does not decode");
+  MPX_FUZZ_ASSERT(h2.version == h.version, "version changed in round trip");
+  MPX_FUZZ_ASSERT(h2.threads == h.threads, "threads changed in round trip");
+  MPX_FUZZ_ASSERT(h2.specs == h.specs, "specs changed in round trip");
+  MPX_FUZZ_ASSERT(h2.tracked == h.tracked, "tracked changed in round trip");
+  MPX_FUZZ_ASSERT(h2.vars.size() == h.vars.size(),
+                  "var table size changed in round trip");
+}
+
+// --- seed inputs --------------------------------------------------------
+// Valid encodings the corpus ships and the smoke test mutates.  Kept here
+// so the corpus generator utility and the smoke test produce byte-identical
+// seeds.
+
+inline trace::Message seedMessage(std::uint64_t salt) {
+  trace::Message m;
+  m.event.kind = trace::EventKind::kWrite;
+  m.event.thread = static_cast<ThreadId>(salt % 3);
+  m.event.var = static_cast<VarId>(salt % 5);
+  m.event.value = static_cast<Value>(salt * 7 % 23);
+  m.event.localSeq = static_cast<LocalSeq>(1 + salt % 4);
+  m.event.globalSeq = static_cast<GlobalSeq>(1 + salt);
+  m.clock = vc::VectorClock(3);
+  for (ThreadId t = 0; t < 3; ++t) {
+    m.clock.set(t, (salt + t) % 5);
+  }
+  return m;
+}
+
+inline std::vector<std::uint8_t> seedEventsPayload() {
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    trace::BinaryCodec::encode(seedMessage(i), out);
+  }
+  return out;
+}
+
+inline std::vector<std::uint8_t> seedHandshakePayload(std::uint16_t version) {
+  trace::VarTable vars;
+  vars.intern("g0", 1);
+  vars.intern("g1", 2);
+  vars.intern("L0", 0, trace::VarRole::kLock);
+  net::Handshake h = net::makeHandshake(
+      3, std::vector<std::string>{"historically g0 <= g1 + 5", "g0 >= 0"},
+      {"g0", "g1"}, vars);
+  h.version = version;
+  return net::encodeHandshake(h);
+}
+
+inline std::vector<std::uint8_t> seedFrameStream() {
+  std::vector<std::uint8_t> out;
+  net::appendFrame(out, net::FrameType::kHandshake,
+                   seedHandshakePayload(net::kProtocolVersion));
+  net::appendFrame(out, net::FrameType::kEvents, seedEventsPayload());
+  net::appendFrame(out, net::FrameType::kEndOfTrace, nullptr, 0);
+  return out;
+}
+
+/// Deterministic mutation of a valid encoding: byte flips, truncations,
+/// duplications and splices, steered by `seed`.
+inline std::vector<std::uint8_t> mutateSeed(std::vector<std::uint8_t> bytes,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  if (bytes.empty()) bytes.push_back(0);
+  const std::size_t mutations = 1 + rng() % 4;
+  for (std::size_t i = 0; i < mutations; ++i) {
+    switch (rng() % 5) {
+      case 0:  // flip one byte
+        bytes[rng() % bytes.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng() % 8));
+        break;
+      case 1:  // truncate
+        bytes.resize(1 + rng() % bytes.size());
+        break;
+      case 2: {  // duplicate a slice onto the end
+        const std::size_t at = rng() % bytes.size();
+        const std::size_t n = std::min<std::size_t>(
+            bytes.size() - at, 1 + rng() % 16);
+        bytes.insert(bytes.end(), bytes.begin() + at, bytes.begin() + at + n);
+        break;
+      }
+      case 3: {  // overwrite a length-looking word with a huge value
+        if (bytes.size() >= 4) {
+          const std::size_t at = rng() % (bytes.size() - 3);
+          const std::uint32_t big = 0x7fffffffu >> (rng() % 8);
+          std::memcpy(bytes.data() + at, &big, 4);
+        }
+        break;
+      }
+      default: {  // insert random bytes
+        const std::size_t at = rng() % (bytes.size() + 1);
+        std::vector<std::uint8_t> junk(1 + rng() % 8);
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+        bytes.insert(bytes.begin() + at, junk.begin(), junk.end());
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mpx::testing::fuzz

@@ -1,0 +1,137 @@
+// Boundary behavior of the static chunking and parallelFor: zero items,
+// fewer items than workers, a single worker, and the exact-multiple edges.
+// The lattice's parallel expansion and the budget enforcer both lean on
+// chunkRange covering [0, n) disjointly in chunk-index order — an
+// off-by-one here silently corrupts merged frontiers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mpx::parallel {
+namespace {
+
+TEST(ChunkRangeBoundary, ZeroItemsYieldsOnlyEmptyChunks) {
+  for (std::size_t chunks = 0; chunks <= 4; ++chunks) {
+    for (std::size_t c = 0; c < chunks + 2; ++c) {
+      const auto [begin, end] = chunkRange(0, chunks, c);
+      EXPECT_EQ(begin, 0u) << "chunks " << chunks << " c " << c;
+      EXPECT_EQ(end, 0u) << "chunks " << chunks << " c " << c;
+    }
+  }
+}
+
+TEST(ChunkRangeBoundary, ZeroChunksDegeneratesToOneFullSlice) {
+  // chunks == 0 must not divide by zero; chunk 0 covers everything.
+  const auto [begin, end] = chunkRange(7, 0, 0);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 7u);
+}
+
+TEST(ChunkRangeBoundary, FewerItemsThanChunks) {
+  // n=3 over 5 chunks: ceil(3/5)=1 item per chunk, chunks 3 and 4 empty.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto [begin, end] = chunkRange(3, 5, c);
+    EXPECT_EQ(begin, c);
+    EXPECT_EQ(end, c + 1);
+  }
+  for (std::size_t c = 3; c < 5; ++c) {
+    const auto [begin, end] = chunkRange(3, 5, c);
+    EXPECT_EQ(begin, end) << "chunk " << c << " should be empty";
+  }
+}
+
+TEST(ChunkRangeBoundary, SingleChunkTakesAll) {
+  const auto [begin, end] = chunkRange(9, 1, 0);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 9u);
+}
+
+TEST(ChunkRangeBoundary, PartitionPropertySweep) {
+  // For every (n, chunks): chunks are in order, disjoint, cover [0, n)
+  // exactly, and no chunk exceeds ceil(n/chunks).
+  for (std::size_t n = 0; n <= 40; ++n) {
+    for (std::size_t chunks = 1; chunks <= 8; ++chunks) {
+      const std::size_t ceilStep = (n + chunks - 1) / chunks;
+      std::size_t cursor = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = chunkRange(n, chunks, c);
+        ASSERT_LE(begin, end) << "n " << n << " chunks " << chunks;
+        if (begin < end) {
+          ASSERT_EQ(begin, cursor) << "gap/overlap at chunk " << c;
+          ASSERT_LE(end - begin, ceilStep);
+          cursor = end;
+        }
+      }
+      ASSERT_EQ(cursor, n) << "n " << n << " chunks " << chunks
+                           << " not fully covered";
+    }
+  }
+}
+
+TEST(ParallelForBoundary, ZeroItemsNeverCallsBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallelFor(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForBoundary, FewerItemsThanWorkersVisitsEachIndexOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n = 1; n < 4; ++n) {
+    std::vector<std::atomic<int>> seen(n);
+    for (auto& s : seen) s.store(0);
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end,
+                            std::size_t chunk) {
+      EXPECT_LT(chunk, pool.workers());
+      for (std::size_t i = begin; i < end; ++i) ++seen[i];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "n " << n << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForBoundary, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> bodies;
+  pool.parallelFor(5, [&](std::size_t, std::size_t, std::size_t) {
+    bodies.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(bodies.size(), 1u);  // one chunk covering everything
+  EXPECT_EQ(bodies.front(), caller);
+}
+
+TEST(ParallelForBoundary, ExactWorkerMultiplesCoverEverything) {
+  ThreadPool pool(3);
+  for (const std::size_t n : {3u, 6u, 7u}) {
+    std::vector<std::atomic<int>> seen(n);
+    for (auto& s : seen) s.store(0);
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) ++seen[i];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "n " << n << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForBoundary, LowestFailingChunkExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallelFor(8, [&](std::size_t, std::size_t, std::size_t chunk) {
+      throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "parallelFor swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+}  // namespace
+}  // namespace mpx::parallel

@@ -1,0 +1,320 @@
+// Differential-testing harness: seeded workload generator + a
+// Definition-level brute-force oracle.
+//
+// The oracle re-implements the paper's definitions with NO shared code
+// with the engine under test:
+//
+//   * consistent cuts  — direct tuple enumeration over
+//     (0..N_1) x ... x (0..N_n) with the MVC consistency check (every
+//     included event's causal predecessors are included: the last included
+//     event of each thread has clock[o] <= k_o for every other thread o);
+//   * multithreaded runs — DFS over one-event extensions of consistent
+//     cuts, from the empty cut to the complete cut;
+//   * ptLTL — the recursive Havelund-Roşu semantics documented in
+//     logic/ptltl.hpp, evaluated per run prefix with plain recursion
+//     equations (no synthesized monitor, no packing, no lattice).
+//
+// It is deliberately naive (exponential in trace size); the generator caps
+// workloads at a handful of threads and events so a single oracle run is
+// microseconds, and seeds whose lattice is too wide are reported
+// infeasible and skipped by the caller.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/ptltl.hpp"
+#include "observer/causality.hpp"
+#include "observer/global_state.hpp"
+#include "program/corpus.hpp"
+
+namespace mpx::testing {
+
+// --- seeded workload generator ------------------------------------------
+
+struct GeneratedCase {
+  program::corpus::RandomProgramOptions options;
+  program::Program program;
+  std::string spec;
+  std::uint64_t scheduleSeed = 0;
+  std::uint64_t shuffleSeed = 0;
+};
+
+/// A small rotating pool of ptLTL specs over g0/g1 (always present:
+/// generated programs have >= 2 variables), exercising every operator
+/// family: plain state, historically, interval, once, prev/start, since.
+inline const char* specForSeed(std::uint64_t seed) {
+  static const char* const kSpecs[] = {
+      "historically g0 <= g1 + 5",
+      "g0 <= g1 + 5",
+      "g0 = 2 -> [g1 >= 1, g0 = 0)",
+      "g0 >= 3 -> once g1 > 0",
+      "start(g0 > 2) -> prev g1 <= 3",
+      "g1 <= 4 S g0 <= 4",
+  };
+  return kSpecs[seed % (sizeof kSpecs / sizeof kSpecs[0])];
+}
+
+/// Deterministic case for one seed: threads 2..4, vars 2..3, a few ops per
+/// thread, occasionally a lock — small enough that the brute-force oracle
+/// stays trivial, varied enough to hit every operator and lattice shape.
+inline GeneratedCase generateCase(std::uint64_t seed) {
+  GeneratedCase c;
+  c.options.threads = 2 + seed % 3;          // 2..4
+  c.options.vars = 2 + (seed / 3) % 2;       // 2..3
+  c.options.opsPerThread = 3 + (seed / 7) % 2;
+  c.options.locks = (seed % 5 == 0) ? 1 : 0;
+  c.program = program::corpus::randomProgram(seed, c.options);
+  c.spec = specForSeed(seed);
+  c.scheduleSeed = seed * 31 + 7;
+  c.shuffleSeed = seed * 131 + 13;
+  return c;
+}
+
+// --- ptLTL recursive evaluator ------------------------------------------
+
+/// Evaluates a Formula over a growing run prefix via the textbook
+/// recursion equations (ptltl.hpp header comment).  State: one truth value
+/// per distinct subformula node, carried from the previous position.
+class PtEval {
+ public:
+  explicit PtEval(const logic::Formula& f) { index(f.root()); }
+
+  [[nodiscard]] std::size_t width() const noexcept { return nodes_.size(); }
+
+  /// Truth values at the run's first position (s_1).
+  [[nodiscard]] std::vector<char> initial(
+      const observer::GlobalState& s) const {
+    return step({}, true, s);
+  }
+
+  /// Truth values at the next position given the previous position's.
+  [[nodiscard]] std::vector<char> step(const std::vector<char>& prev,
+                                       bool first,
+                                       const observer::GlobalState& s) const {
+    std::vector<char> cur(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const logic::Formula::Node* n = nodes_[i];
+      const int L = lhs_[i];
+      const int R = rhs_[i];
+      bool v = false;
+      switch (n->op) {
+        case logic::PtOp::kAtom: v = n->atom.evalBool(s); break;
+        case logic::PtOp::kTrue: v = true; break;
+        case logic::PtOp::kFalse: v = false; break;
+        case logic::PtOp::kNot: v = cur[L] == 0; break;
+        case logic::PtOp::kAnd: v = cur[L] != 0 && cur[R] != 0; break;
+        case logic::PtOp::kOr: v = cur[L] != 0 || cur[R] != 0; break;
+        case logic::PtOp::kImplies: v = cur[L] == 0 || cur[R] != 0; break;
+        case logic::PtOp::kPrev:
+          // At the first state, "previously F" = F (paper convention).
+          v = first ? cur[L] != 0 : prev[L] != 0;
+          break;
+        case logic::PtOp::kOnce:
+          v = cur[L] != 0 || (!first && prev[i] != 0);
+          break;
+        case logic::PtOp::kHistorically:
+          v = cur[L] != 0 && (first || prev[i] != 0);
+          break;
+        case logic::PtOp::kSince:  // lhs S rhs
+          v = cur[R] != 0 || (cur[L] != 0 && !first && prev[i] != 0);
+          break;
+        case logic::PtOp::kStart:
+          v = !first && cur[L] != 0 && prev[L] == 0;
+          break;
+        case logic::PtOp::kEnd:
+          v = !first && cur[L] == 0 && prev[L] != 0;
+          break;
+        case logic::PtOp::kInterval:  // [lhs, rhs)
+          v = cur[R] == 0 && (cur[L] != 0 || (!first && prev[i] != 0));
+          break;
+      }
+      cur[i] = v ? 1 : 0;
+    }
+    return cur;
+  }
+
+  /// The whole formula's truth — the root is last in the postorder.
+  [[nodiscard]] static bool rootValue(const std::vector<char>& truth) {
+    return !truth.empty() && truth.back() != 0;
+  }
+
+ private:
+  /// Postorder indexing with pointer dedup (children before parents, so
+  /// step() can evaluate in one left-to-right sweep).
+  int index(const logic::Formula::Node* n) {
+    const auto it = idx_.find(n);
+    if (it != idx_.end()) return it->second;
+    const int l = n->lhs != nullptr ? index(n->lhs.get()) : -1;
+    const int r = n->rhs != nullptr ? index(n->rhs.get()) : -1;
+    const int me = static_cast<int>(nodes_.size());
+    nodes_.push_back(n);
+    lhs_.push_back(l);
+    rhs_.push_back(r);
+    idx_.emplace(n, me);
+    return me;
+  }
+
+  std::vector<const logic::Formula::Node*> nodes_;
+  std::vector<int> lhs_;
+  std::vector<int> rhs_;
+  std::unordered_map<const logic::Formula::Node*, int> idx_;
+};
+
+// --- brute-force oracle -------------------------------------------------
+
+struct OracleOptions {
+  /// Skip seeds whose causality graph has more relevant events than this
+  /// (the oracle is exponential; the differential sweep wants many cheap
+  /// seeds, not a few slow ones).
+  std::size_t maxEvents = 12;
+  /// Skip seeds with more multithreaded runs than this.
+  std::uint64_t maxRuns = 20000;
+};
+
+struct OracleResult {
+  /// False: the case blew an OracleOptions cap and must be skipped.
+  bool feasible = true;
+  /// Cut names ("S" + per-thread indices, Cut::toString notation) at which
+  /// SOME multithreaded run violates the formula.
+  std::set<std::string> violatingCuts;
+  /// Number of complete multithreaded runs (lattice pathCount).
+  std::uint64_t runCount = 0;
+  /// Lattice level count = total relevant events + 1 (LatticeStats.levels).
+  std::uint64_t levels = 0;
+  /// Consistent cuts per level, from the tuple census (level L holds the
+  /// cuts with sum k_j == L); max entry is LatticeStats.peakLevelWidth.
+  std::vector<std::uint64_t> levelWidths;
+  /// Total consistent cuts (LatticeStats.totalNodes).
+  std::uint64_t consistentCuts = 0;
+
+  [[nodiscard]] std::uint64_t peakLevelWidth() const {
+    std::uint64_t best = 0;
+    for (const std::uint64_t w : levelWidths) best = std::max(best, w);
+    return best;
+  }
+};
+
+class BruteForceOracle {
+ public:
+  /// `graph` must be finalized; `space` and `formula` as the engine used
+  /// them (same tracked variables, same parsed spec).
+  BruteForceOracle(const observer::CausalityGraph& graph,
+                   const observer::StateSpace& space,
+                   const logic::Formula& formula, OracleOptions opts = {})
+      : graph_(&graph), space_(&space), eval_(formula), opts_(opts) {
+    n_ = graph.threadCount();
+    std::size_t total = 0;
+    for (ThreadId j = 0; j < n_; ++j) total += graph.eventsOfThread(j);
+    result_.levels = total + 1;
+    if (total > opts_.maxEvents) {
+      result_.feasible = false;
+      return;
+    }
+    census();
+    observer::GlobalState init(space.initialValues());
+    const std::vector<char> truth = eval_.initial(init);
+    std::vector<LocalSeq> k(n_, 0);
+    if (!PtEval::rootValue(truth)) {
+      result_.violatingCuts.insert(cutName(k));
+    }
+    dfs(k, init, truth);
+  }
+
+  [[nodiscard]] const OracleResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] static std::string cutName(const std::vector<LocalSeq>& k) {
+    std::string s = "S";
+    for (const LocalSeq v : k) s += std::to_string(v);
+    return s;
+  }
+
+  /// Cut (k_1..k_n) is consistent iff each thread's last included event has
+  /// every causal predecessor included — clock[o] <= k_o for all o.
+  [[nodiscard]] bool consistent(const std::vector<LocalSeq>& k) const {
+    for (ThreadId j = 0; j < n_; ++j) {
+      if (k[j] == 0) continue;
+      const trace::Message& m = graph_->message(j, k[j]);
+      for (ThreadId o = 0; o < n_; ++o) {
+        if (o == j) continue;
+        if (m.clock[o] > k[o]) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Event (j, k_j + 1) extends cut `k` iff all its causal predecessors
+  /// are already in the cut.
+  [[nodiscard]] bool enabled(const std::vector<LocalSeq>& k,
+                             ThreadId j) const {
+    if (k[j] >= graph_->eventsOfThread(j)) return false;
+    const trace::Message& m = graph_->message(j, k[j] + 1);
+    for (ThreadId o = 0; o < n_; ++o) {
+      if (o == j) continue;
+      if (m.clock[o] > k[o]) return false;
+    }
+    return true;
+  }
+
+  /// Full odometer sweep over (0..N_1) x ... x (0..N_n): count consistent
+  /// cuts per level.
+  void census() {
+    result_.levelWidths.assign(result_.levels, 0);
+    std::vector<LocalSeq> k(n_, 0);
+    while (true) {
+      if (consistent(k)) {
+        std::size_t level = 0;
+        for (const LocalSeq v : k) level += v;
+        ++result_.levelWidths[level];
+        ++result_.consistentCuts;
+      }
+      ThreadId j = 0;
+      while (j < n_ && k[j] == graph_->eventsOfThread(j)) {
+        k[j] = 0;
+        ++j;
+      }
+      if (j == n_) break;
+      ++k[j];
+    }
+  }
+
+  void dfs(std::vector<LocalSeq>& k, const observer::GlobalState& s,
+           const std::vector<char>& truth) {
+    if (!result_.feasible) return;
+    bool complete = true;
+    for (ThreadId j = 0; j < n_; ++j) {
+      if (k[j] < graph_->eventsOfThread(j)) complete = false;
+      if (!enabled(k, j)) continue;
+      const trace::Message& m = graph_->message(j, k[j] + 1);
+      observer::GlobalState ns = s;
+      if (const auto slot = space_->slotOf(m.event.var)) {
+        ns.values[*slot] = m.event.value;
+      }
+      const std::vector<char> nt = eval_.step(truth, false, ns);
+      ++k[j];
+      if (!PtEval::rootValue(nt)) {
+        result_.violatingCuts.insert(cutName(k));
+      }
+      dfs(k, ns, nt);
+      --k[j];
+    }
+    if (complete && ++result_.runCount > opts_.maxRuns) {
+      result_.feasible = false;
+    }
+  }
+
+  const observer::CausalityGraph* graph_;
+  const observer::StateSpace* space_;
+  PtEval eval_;
+  OracleOptions opts_;
+  std::size_t n_ = 0;
+  OracleResult result_;
+};
+
+}  // namespace mpx::testing
