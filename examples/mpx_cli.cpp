@@ -21,6 +21,9 @@
 // Global flags (any command):
 //   --stats               dump the telemetry registry (Prometheus text) at exit
 //   --trace-out <file>    write a Chrome trace-event JSON (load in Perfetto)
+//   --telemetry-sample N  time every N-th Algorithm A event (rounded up to a
+//                         power of two; 0 disables latency sampling; default
+//                         64; env MPX_TELEMETRY_SAMPLE is the same knob)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -365,11 +368,15 @@ int main(int argc, char** argv) {
                  "       mpx_cli campaign <program> [--spec S]"
                  " [--property S]... [--trials N]"
                  " [--ground-truth]\n"
-                 "global flags: [--stats] [--trace-out <file>.json]\n");
+                 "global flags: [--stats] [--trace-out <file>.json]"
+                 " [--telemetry-sample N]\n");
     return 2;
   }
   if (argValue(argc, argv, "--trace-out")) {
     telemetry::TraceRecorder::global().setEnabled(true);
+  }
+  if (const auto sample = argValue(argc, argv, "--telemetry-sample")) {
+    telemetry::setLatencySampleEvery(std::stoull(*sample));
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return listPrograms();

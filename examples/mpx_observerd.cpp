@@ -6,7 +6,7 @@
 //
 //   mpx_observerd [--port N] [--jobs N] [--streams N] [--property SPEC]...
 //                 [--memory-budget BYTES] [--max-frontier N] [--max-conns N]
-//                 [--quiet]
+//                 [--flight-dump PATH] [--quiet]
 //
 //   --port N     listen on 127.0.0.1:N (default 0 = ephemeral; the chosen
 //                port is printed on startup either way)
@@ -26,14 +26,23 @@
 //   --max-conns N
 //                admission control: at most N live client connections;
 //                further connections are shed with a notice
+//   --flight-dump PATH
+//                write the flight-recorder ring (recent pipeline events) to
+//                PATH as JSON on exit, on the first predicted violation, and
+//                from the SIGSEGV/SIGABRT crash handler
 //   --quiet      suppress per-connection error logging
 //
-// While running, `curl http://127.0.0.1:PORT/` returns a live status page
-// (lifecycle counters, current report, telemetry snapshot).  SIGTERM/SIGINT
-// print the final report and exit: 0 = finished with no violations,
-// 1 = violations predicted, 2 = analysis incomplete or unusable input,
-// 3 = finished clean but BOUNDED (the ladder shed runs, so "no violation"
-// is not a proof).
+// While running the daemon answers plain HTTP on its port:
+//   GET /                human status page (counters, report, telemetry)
+//   GET /healthz         "ok" once the listener is up
+//   GET /metrics         Prometheus exposition (mpx_pipeline_* live here)
+//   GET /streams         per-stream lag + watermark JSON
+//   GET /report          current violation report (text)
+//   GET /flightrecorder  flight-recorder ring as JSON, on demand
+// SIGTERM/SIGINT print the final report and exit: 0 = finished with no
+// violations, 1 = violations predicted, 2 = analysis incomplete or unusable
+// input, 3 = finished clean but BOUNDED (the ladder shed runs, so "no
+// violation" is not a proof).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +52,10 @@
 
 #include "analysis/report.hpp"
 #include "net/observerd.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace_span.hpp"
+
+#include <unistd.h>
 
 namespace {
 
@@ -54,7 +67,8 @@ void onSignal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: %s [--port N] [--jobs N] [--streams N] "
                "[--property SPEC]... [--memory-budget BYTES] "
-               "[--max-frontier N] [--max-conns N] [--quiet]\n",
+               "[--max-frontier N] [--max-conns N] [--flight-dump PATH] "
+               "[--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -94,12 +108,27 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-conns") == 0) {
       opts.maxConnections =
           static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opts.flightDumpPath = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opts.logErrors = false;
     } else {
       usage(argv[0]);
     }
   }
+
+  if (!opts.flightDumpPath.empty()) {
+    // Crash handler last-resort dump goes to the same file the graceful
+    // paths use, so post-mortems always look in one place.
+    mpx::telemetry::FlightRecorder::installCrashHandler(
+        opts.flightDumpPath.c_str());
+  }
+  // Tag this process's trace spans so a merged Chrome trace shows the
+  // daemon's daemon.frame spans beside the client's emitter.batch spans.
+  mpx::telemetry::TraceRecorder::global().setPid(
+      static_cast<std::uint32_t>(::getpid()));
+  mpx::telemetry::TraceRecorder::global().setProcessName("mpx_observerd");
 
   mpx::net::ObserverDaemon daemon(opts);
   if (!daemon.start()) {
@@ -126,6 +155,13 @@ int main(int argc, char** argv) {
     }
   }
   daemon.stop();
+
+  if (!opts.flightDumpPath.empty()) {
+    mpx::telemetry::FlightRecorder::global().record(
+        mpx::telemetry::FlightEvent::kDump, /*reason=*/0);
+    mpx::telemetry::FlightRecorder::global().dumpToFile(
+        opts.flightDumpPath.c_str());
+  }
 
   std::fputs(daemon.renderReport().c_str(), stdout);
   const auto reports = daemon.analysisReports();

@@ -30,15 +30,11 @@ struct InstrumentorMetrics {
             "Messages <e, i, V_i> sent toward the observer"),
         telemetry::registry().histogram(
             "mpx_runtime_algorithm_a_ns",
-            "Per-event latency of Algorithm A (sampled every 64th event)"),
+            "Per-event latency of Algorithm A (sampled; default every 64th event)"),
     };
     return m;
   }
 };
-
-/// Timing every event would double its cost (two clock reads against a
-/// handful of vector-clock joins), so the latency histogram samples 1/64.
-constexpr std::uint64_t kLatencySampleMask = 63;
 
 }  // namespace
 
@@ -67,7 +63,10 @@ void Instrumentor::onEvent(const trace::Event& e) {
   std::uint64_t t0 = 0;
   bool sampled = false;
   if constexpr (telemetry::kEnabled) {
-    sampled = (eventsProcessed_ & kLatencySampleMask) == 0;
+    // Timing every event would double its cost (two clock reads against a
+    // handful of vector-clock joins); the period defaults to 1/64 and is
+    // configurable via --telemetry-sample / MPX_TELEMETRY_SAMPLE.
+    sampled = telemetry::shouldSampleLatency(eventsProcessed_);
     if (sampled) t0 = telemetry::nowNs();
   }
   ++eventsProcessed_;

@@ -1,9 +1,12 @@
 #include "net/emitter.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <random>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/timer.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace mpx::net {
 
@@ -44,6 +47,16 @@ struct EmitterMetrics {
 SocketEmitter::SocketEmitter(EmitterOptions opts) : opts_(std::move(opts)) {
   if (opts_.queueCapacity == 0) opts_.queueCapacity = 1;
   if (opts_.maxBatch == 0) opts_.maxBatch = 1;
+  if (opts_.handshake.version >= kTraceContextProtocolVersion &&
+      opts_.handshake.streamId == 0) {
+    // A stream id survives reconnects, so the daemon can stitch the
+    // connections of one logical client back together.  Mix the clock with
+    // an address so two emitters created in the same nanosecond differ.
+    opts_.handshake.streamId =
+        telemetry::rawMonotonicNs() ^
+        (reinterpret_cast<std::uintptr_t>(this) << 16) ^ opts_.jitterSeed;
+    if (opts_.handshake.streamId == 0) opts_.handshake.streamId = 1;
+  }
   sender_ = std::thread([this] { senderLoop(); });
 }
 
@@ -110,6 +123,11 @@ bool SocketEmitter::ensureConnected() {
     Socket s = Socket::connectTo(opts_.host, opts_.port);
     if (s.valid()) {
       sock_ = std::move(s);
+      // v3 peers stamp the handshake with the raw monotonic clock at send
+      // time, letting the daemon measure connection-setup skew.
+      if (opts_.handshake.version >= kTraceContextProtocolVersion) {
+        opts_.handshake.handshakeSendNs = telemetry::rawMonotonicNs();
+      }
       const std::vector<std::uint8_t> hs = encodeHandshake(opts_.handshake);
       std::vector<std::uint8_t> frame;
       appendFrame(frame, FrameType::kHandshake, hs);
@@ -193,11 +211,26 @@ void SocketEmitter::senderLoop() {
     }
     notFull_.notify_all();
 
+    const bool v3 =
+        opts_.handshake.version >= kTraceContextProtocolVersion;
+    telemetry::TraceSpan span("emitter.batch", "net");
+    span.arg("stream_id",
+             static_cast<std::int64_t>(opts_.handshake.streamId));
+    span.arg("messages", static_cast<std::int64_t>(batch.size()));
     std::vector<std::uint8_t> payload;
+    if (v3) {
+      // kEventsTs prefix: the raw monotonic clock at frame-build time.
+      // Stamped once per frame (not per message) so the emitter hot path
+      // stays a queue push.
+      const std::uint64_t sendNs = telemetry::rawMonotonicNs();
+      payload.resize(kEventsTsPrefixSize);
+      std::memcpy(payload.data(), &sendNs, sizeof(sendNs));
+    }
     for (const trace::Message& m : batch) {
       trace::BinaryCodec::encode(m, payload);
     }
-    if (!sendFrame(FrameType::kEvents, payload)) {
+    if (!sendFrame(v3 ? FrameType::kEventsTs : FrameType::kEvents,
+                   payload)) {
       std::lock_guard<std::mutex> lk(mu_);
       dropped_ += batch.size() + queue_.size();
       if constexpr (telemetry::kEnabled) {

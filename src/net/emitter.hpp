@@ -76,6 +76,11 @@ class SocketEmitter final : public trace::MessageSink {
   void close();
 
   // --- introspection (tests, reports) --------------------------------
+  /// The stream id carried in every handshake (0 for v1/v2 emitters;
+  /// auto-generated for v3 emitters unless the caller set one).
+  [[nodiscard]] std::uint64_t streamId() const noexcept {
+    return opts_.handshake.streamId;
+  }
   [[nodiscard]] std::uint64_t droppedMessages() const;
   [[nodiscard]] std::uint64_t reconnects() const;
   [[nodiscard]] std::uint64_t framesSent() const;

@@ -8,7 +8,10 @@
 #include "analysis/report.hpp"
 #include "logic/parser.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timer.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace mpx::net {
 
@@ -50,8 +53,63 @@ struct DaemonMetrics {
   }
 };
 
+/// Cross-process pipeline telemetry (tentpole of the observability layer):
+/// how far behind the instrumented program the observer runs.
+struct PipelineMetrics {
+  telemetry::Histogram& receiveLagNs;
+  telemetry::Histogram& analyzeLagNs;
+  telemetry::Gauge& watermarkLevel;
+  telemetry::Gauge& framesInFlight;
+  telemetry::Gauge& streamsActive;
+
+  static PipelineMetrics& get() {
+    auto& reg = telemetry::registry();
+    static PipelineMetrics m{
+        reg.histogram("mpx_pipeline_receive_lag_ns",
+                      "Emit-to-receive lag of timestamped event frames"),
+        reg.histogram("mpx_pipeline_analyze_lag_ns",
+                      "Emit-to-analyze lag: frame send until every message "
+                      "of the frame is folded into the lattice"),
+        reg.gauge("mpx_pipeline_watermark_level",
+                  "Last fully-analyzed lattice level"),
+        reg.gauge("mpx_pipeline_frames_in_flight",
+                  "Timestamped frames received but not yet fully analyzed"),
+        reg.gauge("mpx_pipeline_streams_active",
+                  "Streams with a handshake but no end-of-trace yet"),
+    };
+    return m;
+  }
+};
+
 /// A hostile own-clock index must not drive the dedup table's allocation.
 constexpr LocalSeq kMaxLocalSeq = 1u << 24;
+
+/// Lag clamped at zero: raw monotonic clocks on one machine share an
+/// epoch, but scheduling can still order the reads unhelpfully.
+std::uint64_t lagNs(std::uint64_t recvNs, std::uint64_t sendNs) noexcept {
+  return recvNs > sendNs ? recvNs - sendNs : 0;
+}
+
+void appendJsonU64(std::string& out, const char* key, std::uint64_t v,
+                   bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(v);
+  if (comma) out += ", ";
+}
+
+void appendLagJson(std::string& out, const char* key, const LagStats& lag) {
+  out += '"';
+  out += key;
+  out += "\": {";
+  appendJsonU64(out, "count", lag.count);
+  appendJsonU64(out, "sum_ns", lag.sumNs);
+  appendJsonU64(out, "mean_ns", lag.meanNs());
+  appendJsonU64(out, "max_ns", lag.maxNs);
+  appendJsonU64(out, "last_ns", lag.lastNs, /*comma=*/false);
+  out += '}';
+}
 
 }  // namespace
 
@@ -69,6 +127,8 @@ struct ObserverDaemon::Conn {
   std::thread thread;
   bool sawHandshake = false;
   bool sawEnd = false;
+  /// Stream id from this connection's handshake (0 for v1/v2 peers).
+  std::uint64_t streamId = 0;
   /// Set by the serving thread when it is done with the socket.  The fd is
   /// closed only after joining that thread (by the reaper or by stop()),
   /// so stop()'s shutdownBoth() never races a close().
@@ -83,6 +143,10 @@ ObserverDaemon::~ObserverDaemon() { stop(); }
 
 bool ObserverDaemon::start() {
   if (!listener_.open(opts_.port)) return false;
+  // Register the pipeline instruments up front so a /metrics scrape of an
+  // idle daemon already exposes the series (gauges at zero, empty
+  // histograms) instead of appearing only after the first frame.
+  PipelineMetrics::get();
   acceptThread_ = std::thread([this] { acceptLoop(); });
   return true;
 }
@@ -120,6 +184,8 @@ void ObserverDaemon::acceptLoop() {
       if constexpr (telemetry::kEnabled) {
         DaemonMetrics::get().connectionsShed.add(1);
       }
+      telemetry::FlightRecorder::global().record(
+          telemetry::FlightEvent::kConnShed);
       logError("shedding connection: observer at capacity");
       static const char kNotice[] =
           "MPX-SHED observer at capacity; retry later\n";
@@ -135,11 +201,14 @@ void ObserverDaemon::acceptLoop() {
       reapFinishedLocked();
       conns_.push_back(conn);
     }
+    std::uint64_t ordinal = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      ++accepted_;
+      ordinal = ++accepted_;
     }
     if constexpr (telemetry::kEnabled) DaemonMetrics::get().connections.add(1);
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEvent::kConnAccepted, ordinal);
     conn->thread = std::thread([this, conn] { serveConnection(conn); });
   }
 }
@@ -166,7 +235,11 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
   std::uint8_t buf[16 * 1024];
   std::vector<std::uint8_t> head;  // first bytes, until classified
   bool isFrameStream = false;
+  bool isHttp = false;
   const char* error = nullptr;
+  // An HTTP probe's request line is read in full before routing (it may
+  // arrive byte by byte); anything longer than this is not a real probe.
+  constexpr std::size_t kMaxRequestLine = 4096;
 
   while (error == nullptr) {
     const std::ptrdiff_t n = conn->sock.recvSome(buf, sizeof buf);
@@ -174,23 +247,37 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
       error = "connection error";
       break;
     }
-    if (n == 0) break;  // peer closed
+    if (n == 0) {
+      if (isHttp) error = "http request truncated";
+      break;  // peer closed
+    }
     if constexpr (telemetry::kEnabled) {
       DaemonMetrics::get().bytesRx.add(static_cast<std::uint64_t>(n));
     }
     if (!isFrameStream) {
       // Decide what this connection is from its first four bytes: MPX
       // frames start with the magic; anything ASCII-request-shaped gets
-      // the status page; the rest is garbage and is disconnected.
+      // the introspection API; the rest is garbage and is disconnected.
       head.insert(head.end(), buf, buf + n);
-      if (head.size() < 4) continue;
+      if (head.size() < 4 && !isHttp) continue;
       std::uint32_t magic = 0;
-      std::memcpy(&magic, head.data(), 4);
-      if (magic != kFrameMagic) {
+      if (head.size() >= 4) std::memcpy(&magic, head.data(), 4);
+      if (isHttp || magic != kFrameMagic) {
         const std::string text(reinterpret_cast<const char*>(head.data()),
-                               std::min<std::size_t>(head.size(), 8));
-        if (text.rfind("GET", 0) == 0 || text.rfind("HEAD", 0) == 0) {
-          serveStatus(conn->sock, text);
+                               head.size());
+        if (isHttp || text.rfind("GET", 0) == 0 ||
+            text.rfind("HEAD", 0) == 0) {
+          isHttp = true;
+          // Route only once the whole request line is here.
+          const std::size_t eol = text.find('\n');
+          if (eol == std::string::npos) {
+            if (head.size() > kMaxRequestLine) {
+              error = "http request line too long";
+              break;
+            }
+            continue;
+          }
+          serveHttp(conn->sock, text.substr(0, eol));
           std::lock_guard<std::mutex> lk(mu_);
           ++rejected_;  // not an MPX stream (benign probe)
           return;
@@ -230,6 +317,8 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
       if constexpr (telemetry::kEnabled) {
         DaemonMetrics::get().connectionsAborted.add(1);
       }
+      telemetry::FlightRecorder::global().record(
+          telemetry::FlightEvent::kConnAborted, conn->streamId);
     } else {
       ++rejected_;
     }
@@ -242,6 +331,8 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
     if constexpr (telemetry::kEnabled) {
       DaemonMetrics::get().connectionsAborted.add(1);
     }
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEvent::kConnAborted, conn->streamId);
   } else if (!conn->sawHandshake && (isFrameStream || !head.empty())) {
     // Sent some bytes but died before a complete handshake (e.g. a frame
     // cut mid-header).  Nothing reached the analyzer.
@@ -252,10 +343,14 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
 
 bool ObserverDaemon::handleFrame(Conn& conn, const Frame& frame,
                                  const char** error) {
+  telemetry::FlightRecorder::global().record(
+      telemetry::FlightEvent::kFrame, conn.streamId,
+      static_cast<std::uint64_t>(frame.type), frame.payload.size());
   switch (frame.type) {
     case FrameType::kHandshake:
       return handleHandshake(conn, frame, error);
     case FrameType::kEvents:
+    case FrameType::kEventsTs:
       return handleEvents(conn, frame, error);
     case FrameType::kEndOfTrace:
       if (!conn.sawHandshake) {
@@ -267,6 +362,18 @@ bool ObserverDaemon::handleFrame(Conn& conn, const Frame& frame,
         return false;
       }
       conn.sawEnd = true;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto& stream = streams_[conn.streamId];
+        if (!stream.snap.ended) {
+          stream.snap.ended = true;
+          if constexpr (telemetry::kEnabled) {
+            PipelineMetrics::get().streamsActive.add(-1);
+          }
+        }
+      }
+      telemetry::FlightRecorder::global().record(
+          telemetry::FlightEvent::kStreamEnd, conn.streamId);
       noteStreamEnd();
       return true;
   }
@@ -341,6 +448,18 @@ bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
     }
   }
   conn.sawHandshake = true;
+  conn.streamId = h.streamId;
+  telemetry::FlightRecorder::global().record(
+      telemetry::FlightEvent::kHandshake, h.streamId, h.version, h.threads);
+  auto& stream = streams_[h.streamId];
+  if (stream.snap.connections == 0) {
+    stream.snap.streamId = h.streamId;
+    if constexpr (telemetry::kEnabled) {
+      PipelineMetrics::get().streamsActive.add(1);
+    }
+  }
+  ++stream.snap.connections;
+  stream.snap.version = h.version;
   return true;
 }
 
@@ -354,10 +473,38 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     *error = "events after end-of-trace";
     return false;
   }
+  const bool timestamped = frame.type == FrameType::kEventsTs;
+  std::uint64_t sendNs = 0;
   std::vector<trace::Message> messages;
-  if (!decodeEventsPayload(frame.payload, messages, error)) return false;
+  if (timestamped) {
+    if (!decodeEventsTsPayload(frame.payload, sendNs, messages, error)) {
+      return false;
+    }
+  } else {
+    if (!decodeEventsPayload(frame.payload, messages, error)) return false;
+  }
+  const std::uint64_t recvNs = telemetry::rawMonotonicNs();
+
+  // The daemon-side frame span carries the stream id, so a merged
+  // emitter+daemon trace joins in one Perfetto view.
+  telemetry::TraceSpan span("daemon.frame", "net");
+  span.arg("stream_id", static_cast<std::int64_t>(conn.streamId));
+  span.arg("messages", static_cast<std::int64_t>(messages.size()));
 
   std::lock_guard<std::mutex> lk(mu_);
+  auto& stream = streams_[conn.streamId];
+  ++stream.snap.frames;
+  stream.snap.lastEventNs = recvNs;
+  if (timestamped) {
+    const std::uint64_t lag = lagNs(recvNs, sendNs);
+    stream.snap.receiveLag.observe(lag);
+    if constexpr (telemetry::kEnabled) {
+      PipelineMetrics::get().receiveLagNs.record(lag);
+    }
+  }
+  // Per-thread max own-clock index of this frame: the frame counts as
+  // analyzed once the analyzer's consumption watermark covers it.
+  std::vector<LocalSeq> frameMaxK(handshake_.threads, 0);
   for (const trace::Message& m : messages) {
     if (finished_) {
       *error = "events after the analysis finished";
@@ -373,9 +520,11 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
       *error = "message own-clock out of range";
       return false;
     }
+    frameMaxK[j] = std::max(frameMaxK[j], k);
     auto& seen = seen_[j];
     if (k < seen.size() && seen[k]) {
       ++duplicates_;
+      ++stream.snap.duplicates;
       if constexpr (telemetry::kEnabled) {
         DaemonMetrics::get().duplicatesIgnored.add(1);
       }
@@ -390,10 +539,16 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     if (k >= seen.size()) seen.resize(k + 1, false);
     seen[k] = true;
     ++ingested_;
+    ++stream.snap.messages;
     if constexpr (telemetry::kEnabled) {
       DaemonMetrics::get().messagesIngested.add(1);
     }
   }
+  if (timestamped) {
+    stream.inFlight.push_back(PendingFrame{std::move(frameMaxK), sendNs});
+  }
+  settleAnalyzedLocked();
+  noteViolationsLocked();
   return true;
 }
 
@@ -410,14 +565,124 @@ void ObserverDaemon::noteStreamEnd() {
   } catch (const std::exception& e) {
     streamError_ = e.what();
   }
+  settleAnalyzedLocked();
+  noteViolationsLocked();
   finishedCv_.notify_all();
 }
 
-void ObserverDaemon::serveStatus(Socket& sock, const std::string&) {
-  const std::string body = renderStatus();
+void ObserverDaemon::settleAnalyzedLocked() {
+  if (analyzer_ == nullptr) return;
+  const std::vector<LocalSeq>& ck = analyzer_->consumedK();
+  const std::uint64_t now = telemetry::rawMonotonicNs();
+  for (auto& [id, stream] : streams_) {
+    while (!stream.inFlight.empty()) {
+      const PendingFrame& f = stream.inFlight.front();
+      bool analyzed = finished_;  // finalization consumed everything
+      if (!analyzed) {
+        analyzed = true;
+        for (std::size_t j = 0; j < f.maxK.size(); ++j) {
+          if (j >= ck.size() || ck[j] < f.maxK[j]) {
+            analyzed = false;
+            break;
+          }
+        }
+      }
+      if (!analyzed) break;  // frames settle in arrival order per stream
+      const std::uint64_t lag = lagNs(now, f.sendNs);
+      stream.snap.analyzeLag.observe(lag);
+      if constexpr (telemetry::kEnabled) {
+        PipelineMetrics::get().analyzeLagNs.record(lag);
+      }
+      stream.inFlight.pop_front();
+    }
+    stream.snap.framesInFlight = stream.inFlight.size();
+  }
+  if constexpr (telemetry::kEnabled) {
+    std::int64_t total = 0;
+    for (const auto& [id, s] : streams_) {
+      total += static_cast<std::int64_t>(s.inFlight.size());
+    }
+    PipelineMetrics::get().framesInFlight.set(total);
+    PipelineMetrics::get().watermarkLevel.set(
+        static_cast<std::int64_t>(analyzer_->levelsCompleted() - 1));
+  }
+}
+
+void ObserverDaemon::noteViolationsLocked() {
+  if (analyzer_ == nullptr) return;
+  const std::size_t n = analyzer_->violations().size();
+  if (n > violationsSeen_) {
+    violationsSeen_ = n;
+    // On-violation flight dump: the post-mortem trail of how the pipeline
+    // got here, written while the state is still fresh.
+    if (!opts_.flightDumpPath.empty()) {
+      telemetry::FlightRecorder::global().record(
+          telemetry::FlightEvent::kDump, /*reason=*/2);
+      telemetry::FlightRecorder::global().dumpToFile(
+          opts_.flightDumpPath.c_str());
+    }
+  }
+}
+
+void ObserverDaemon::serveHttp(Socket& sock, const std::string& requestLine) {
+  // "GET /path HTTP/1.x" — the path is the second whitespace token.
+  std::string path = "/";
+  {
+    const std::size_t sp1 = requestLine.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t start = requestLine.find_first_not_of(' ', sp1);
+      if (start != std::string::npos) {
+        std::size_t end = requestLine.find(' ', start);
+        if (end == std::string::npos) end = requestLine.size();
+        path = requestLine.substr(start, end - start);
+        while (!path.empty() &&
+               (path.back() == '\r' || path.back() == '\n')) {
+          path.pop_back();
+        }
+      }
+    }
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+
+  const char* status = "200 OK";
+  const char* contentType = "text/plain";
+  std::string body;
+  if (path == "/" || path.empty()) {
+    body = renderStatus();  // the legacy status page
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/metrics") {
+    body = telemetry::toPrometheusText(telemetry::registry().snapshot());
+  } else if (path == "/streams") {
+    contentType = "application/json";
+    body = renderStreamsJson();
+  } else if (path == "/report") {
+    body = renderReport();
+    std::vector<observer::AnalysisReport> reports;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      reports.reserve(plugins_.size());
+      for (const auto& p : plugins_) reports.push_back(p->report());
+    }
+    if (!reports.empty()) {
+      body += '\n';
+      body += analysis::renderAnalysisReports(reports);
+    }
+  } else if (path == "/flightrecorder") {
+    contentType = "application/json";
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEvent::kDump, /*reason=*/3);
+    body = telemetry::FlightRecorder::global().toJson();
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+
   std::ostringstream os;
-  os << "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: "
-     << body.size() << "\r\nConnection: close\r\n\r\n"
+  os << "HTTP/1.0 " << status << "\r\nContent-Type: " << contentType
+     << "\r\nContent-Length: " << body.size()
+     << "\r\nConnection: close\r\n\r\n"
      << body;
   const std::string resp = os.str();
   sock.sendAll(resp.data(), resp.size());
@@ -515,6 +780,71 @@ std::uint64_t ObserverDaemon::messagesIngested() const {
 std::uint64_t ObserverDaemon::duplicatesIgnored() const {
   std::lock_guard<std::mutex> lk(mu_);
   return duplicates_;
+}
+
+std::uint64_t ObserverDaemon::watermarkLevel() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return analyzer_ != nullptr ? analyzer_->levelsCompleted() - 1 : 0;
+}
+
+std::vector<StreamSnapshot> ObserverDaemon::streamSnapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<StreamSnapshot> out;
+  out.reserve(streams_.size());
+  for (const auto& [id, s] : streams_) out.push_back(s.snap);
+  return out;
+}
+
+std::string ObserverDaemon::renderStreamsJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n  ";
+  out += "\"handshaken\": ";
+  out += handshaken_ ? "true" : "false";
+  out += ", \"finished\": ";
+  out += finished_ ? "true" : "false";
+  out += ",\n  ";
+  const observer::LatticeStats stats =
+      analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{};
+  appendJsonU64(out, "levels", stats.levels);
+  appendJsonU64(out, "watermark_level",
+                analyzer_ != nullptr ? analyzer_->levelsCompleted() - 1 : 0);
+  appendJsonU64(out, "pending_messages",
+                analyzer_ != nullptr ? analyzer_->pendingMessages() : 0);
+  out += "\"degradation\": \"";
+  out += observer::toString(stats.degradation);
+  out += "\", \"bound_reason\": \"";
+  out += observer::toString(stats.boundReason);
+  out += "\",\n  ";
+  appendJsonU64(out, "streams_ended", streamsEnded_);
+  appendJsonU64(out, "expected_streams", opts_.expectedStreams);
+  appendJsonU64(out, "connections_accepted", accepted_);
+  appendJsonU64(out, "messages_ingested", ingested_);
+  appendJsonU64(out, "duplicates_ignored", duplicates_, /*comma=*/false);
+  out += ",\n  \"streams\": [";
+  bool first = true;
+  for (const auto& [id, s] : streams_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    appendJsonU64(out, "stream_id", s.snap.streamId);
+    appendJsonU64(out, "version", s.snap.version);
+    appendJsonU64(out, "connections", s.snap.connections);
+    appendJsonU64(out, "frames", s.snap.frames);
+    appendJsonU64(out, "messages", s.snap.messages);
+    appendJsonU64(out, "duplicates", s.snap.duplicates);
+    appendJsonU64(out, "frames_in_flight", s.inFlight.size());
+    out += "\"ended\": ";
+    out += s.snap.ended ? "true" : "false";
+    out += ", ";
+    appendLagJson(out, "receive_lag_ns", s.snap.receiveLag);
+    out += ", ";
+    appendLagJson(out, "analyze_lag_ns", s.snap.analyzeLag);
+    out += ", ";
+    appendJsonU64(out, "last_event_ns", s.snap.lastEventNs, /*comma=*/false);
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
 }
 
 std::string ObserverDaemon::streamError() const {

@@ -28,6 +28,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +52,47 @@ namespace mpx::net {
     const std::vector<observer::Violation>& violations,
     const observer::LatticeStats& stats, bool finished);
 
+/// Aggregated lag observations in nanoseconds (kept as plain counters so
+/// /streams works identically in telemetry-OFF builds).
+struct LagStats {
+  std::uint64_t count = 0;
+  std::uint64_t sumNs = 0;
+  std::uint64_t maxNs = 0;
+  std::uint64_t lastNs = 0;
+
+  void observe(std::uint64_t ns) noexcept {
+    ++count;
+    sumNs += ns;
+    if (ns > maxNs) maxNs = ns;
+    lastNs = ns;
+  }
+  [[nodiscard]] std::uint64_t meanNs() const noexcept {
+    return count == 0 ? 0 : sumNs / count;
+  }
+};
+
+/// Point-in-time view of one logical stream, as served by /streams.  A
+/// stream is every connection sharing one handshake stream id (v3); v1/v2
+/// peers, which carry no id, aggregate under stream id 0.
+struct StreamSnapshot {
+  std::uint64_t streamId = 0;
+  std::uint16_t version = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t duplicates = 0;
+  /// Timestamped frames received but not yet fully folded into the lattice.
+  std::uint64_t framesInFlight = 0;
+  bool ended = false;
+  /// Emit-to-receive lag (socket + queueing), from kEventsTs timestamps.
+  LagStats receiveLag;
+  /// Emit-to-analyze lag: send timestamp to the moment every message of
+  /// the frame is at or below the analyzer's consumption watermark.
+  LagStats analyzeLag;
+  /// rawMonotonicNs() when the stream's last events frame arrived.
+  std::uint64_t lastEventNs = 0;
+};
+
 struct DaemonOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
   /// kEndOfTrace frames to collect before finalizing the analyzer.  A
@@ -69,6 +112,10 @@ struct DaemonOptions {
   std::size_t maxConnections = 0;
   /// Log connection errors to stderr (tests silence this).
   bool logErrors = true;
+  /// When set, the flight recorder ring is dumped to this path on the
+  /// first violation (the binary additionally dumps at exit/SIGTERM and
+  /// installs the crash handlers).
+  std::string flightDumpPath;
 };
 
 class ObserverDaemon {
@@ -119,6 +166,15 @@ class ObserverDaemon {
   /// endOfTrace with gaps after an aborted client).
   [[nodiscard]] std::string streamError() const;
 
+  // --- pipeline observability ----------------------------------------
+  /// Last fully-analyzed lattice level (levelsCompleted - 1); 0 before the
+  /// handshake.  The /streams progress watermark.
+  [[nodiscard]] std::uint64_t watermarkLevel() const;
+  /// Per-stream lag/dedup/watermark stats, one entry per stream id.
+  [[nodiscard]] std::vector<StreamSnapshot> streamSnapshots() const;
+  /// The /streams endpoint body: global watermark + per-stream JSON.
+  [[nodiscard]] std::string renderStreamsJson() const;
+
   /// Human-readable violation report in paper notation — byte-identical to
   /// renderReport() over an in-process OnlineAnalyzer fed the same
   /// messages (the loopback e2e equality check).
@@ -130,6 +186,19 @@ class ObserverDaemon {
  private:
   struct Conn;
 
+  /// A timestamped frame whose messages are not yet all folded into the
+  /// lattice: per-thread max own-clock indices + the emitter's send clock.
+  struct PendingFrame {
+    std::vector<LocalSeq> maxK;
+    std::uint64_t sendNs = 0;
+  };
+
+  /// Accumulating per-stream state behind a StreamSnapshot.
+  struct StreamState {
+    StreamSnapshot snap;
+    std::deque<PendingFrame> inFlight;
+  };
+
   void acceptLoop();
   /// Joins and releases finished connections (accept-thread only, with
   /// connsMu_ held).
@@ -140,8 +209,13 @@ class ObserverDaemon {
   bool handleFrame(Conn& conn, const Frame& frame, const char** error);
   bool handleHandshake(Conn& conn, const Frame& frame, const char** error);
   bool handleEvents(Conn& conn, const Frame& frame, const char** error);
-  void serveStatus(Socket& sock, const std::string& requestLine);
+  void serveHttp(Socket& sock, const std::string& requestLine);
   void noteStreamEnd();
+  /// Retires in-flight frames the analyzer has fully consumed, recording
+  /// their emit-to-analyze lag, and refreshes the watermark gauge.  Call
+  /// with mu_ held after anything that can advance the lattice.
+  void settleAnalyzedLocked();
+  void noteViolationsLocked();
   void logError(const char* what) const;
 
   DaemonOptions opts_;
@@ -165,6 +239,11 @@ class ObserverDaemon {
   /// ingested (a reconnecting emitter resends its in-flight batch).
   std::vector<std::vector<bool>> seen_;
   std::size_t streamsEnded_ = 0;
+  /// Per-stream observability state, keyed by handshake stream id.
+  std::map<std::uint64_t, StreamState> streams_;
+  /// Violations already dumped/announced (flight-recorder on-violation
+  /// trigger fires once per new violation batch).
+  std::size_t violationsSeen_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t rejected_ = 0;

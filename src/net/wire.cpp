@@ -88,6 +88,12 @@ std::vector<std::uint8_t> encodeHandshake(const Handshake& h) {
     put<std::uint32_t>(out, static_cast<std::uint32_t>(h.specs.size()));
     for (const std::string& spec : h.specs) putString(out, spec);
   }
+  if (h.version >= kTraceContextProtocolVersion) {
+    // v3: stream identity and the emitter's send clock (decode is
+    // version-gated, so v1/v2 peers never see these fields).
+    put<std::uint64_t>(out, h.streamId);
+    put<std::uint64_t>(out, h.handshakeSendNs);
+  }
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.tracked.size()));
   for (const std::string& name : h.tracked) putString(out, name);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.vars.size()));
@@ -129,6 +135,11 @@ bool decodeHandshake(const std::vector<std::uint8_t>& payload, Handshake& out,
       h.specs.push_back(std::move(spec));
     }
   }
+  if (h.version >= kTraceContextProtocolVersion) {
+    if (!r.read(h.streamId) || !r.read(h.handshakeSendNs)) {
+      return fail("handshake trace context malformed");
+    }
+  }
   std::uint32_t nTracked = 0;
   if (!r.read(nTracked) || nTracked > kMaxVars) {
     return fail("handshake tracked-count malformed");
@@ -164,14 +175,14 @@ bool decodeHandshake(const std::vector<std::uint8_t>& payload, Handshake& out,
   return true;
 }
 
-bool decodeEventsPayload(const std::vector<std::uint8_t>& payload,
-                         std::vector<trace::Message>& out,
-                         const char** error) {
+namespace {
+
+bool decodeMessages(const std::uint8_t* data, std::size_t len,
+                    std::vector<trace::Message>& out, const char** error) {
   std::size_t off = 0;
-  while (off < payload.size()) {
+  while (off < len) {
     const trace::DecodeResult r =
-        trace::BinaryCodec::tryDecode(payload.data() + off,
-                                      payload.size() - off);
+        trace::BinaryCodec::tryDecode(data + off, len - off);
     if (r.status != trace::DecodeStatus::kOk) {
       if (error != nullptr) {
         *error = r.status == trace::DecodeStatus::kCorrupt
@@ -184,6 +195,27 @@ bool decodeEventsPayload(const std::vector<std::uint8_t>& payload,
     off += r.consumed;
   }
   return true;
+}
+
+}  // namespace
+
+bool decodeEventsPayload(const std::vector<std::uint8_t>& payload,
+                         std::vector<trace::Message>& out,
+                         const char** error) {
+  return decodeMessages(payload.data(), payload.size(), out, error);
+}
+
+bool decodeEventsTsPayload(const std::vector<std::uint8_t>& payload,
+                           std::uint64_t& sendNs,
+                           std::vector<trace::Message>& out,
+                           const char** error) {
+  if (payload.size() < kEventsTsPrefixSize) {
+    if (error != nullptr) *error = "events-ts frame shorter than timestamp";
+    return false;
+  }
+  std::memcpy(&sendNs, payload.data(), sizeof(sendNs));
+  return decodeMessages(payload.data() + kEventsTsPrefixSize,
+                        payload.size() - kEventsTsPrefixSize, out, error);
 }
 
 void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
@@ -213,7 +245,7 @@ FrameReader::Status FrameReader::next(Frame& out) {
     return Status::kCorrupt;
   }
   if (type < static_cast<std::uint8_t>(FrameType::kHandshake) ||
-      type > static_cast<std::uint8_t>(FrameType::kEndOfTrace)) {
+      type > static_cast<std::uint8_t>(FrameType::kEventsTs)) {
     corrupt_ = true;
     error_ = "unknown frame type";
     return Status::kCorrupt;

@@ -8,7 +8,7 @@
 //
 // (little-endian).  The magic on every frame makes stream corruption
 // detectable immediately and lets the daemon tell an MPX client from a
-// stray HTTP request on the same port.  Three frame types:
+// stray HTTP request on the same port.  Four frame types:
 //
 //   kHandshake   first frame of every connection: protocol version, the
 //                instrumented program's thread count, the property specs
@@ -16,11 +16,17 @@
 //                lattice pass; v1 carried exactly one and still decodes),
 //                the tracked variable names, and the full VarTable — so
 //                the daemon can build its StateSpace/monitors and render
-//                paper-notation reports without sharing memory.
+//                paper-notation reports without sharing memory.  v3 adds a
+//                stream id (joins reconnecting connections and correlates
+//                emitter/daemon trace spans) and the emitter's raw
+//                monotonic clock at send time.
 //   kEvents      a batch of BinaryCodec-encoded messages (>= 1).  Theorem 3
 //                makes any batching/reordering across frames and
 //                connections safe.
 //   kEndOfTrace  the client's streams are complete (empty payload).
+//   kEventsTs    v3: a kEvents payload prefixed with the emitter's raw
+//                monotonic send timestamp (u64 ns), so the daemon can
+//                compute emit-to-analyze lag per frame.
 //
 // Delivery is at-least-once: an emitter that reconnects mid-batch resends
 // the whole batch, so the daemon deduplicates by (thread, ownClock) —
@@ -37,10 +43,17 @@
 namespace mpx::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
-/// v2: the handshake carries a LIST of property specs (one-pass
-/// multi-property analysis).  Receivers still decode v1 single-spec
-/// handshakes; versions above kProtocolVersion are rejected.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: the handshake additionally carries a stream id and the emitter's
+/// monotonic send clock, and event batches may arrive as kEventsTs frames
+/// (timestamp-prefixed) for pipeline-lag measurement.  Receivers still
+/// decode v1 single-spec and v2 list handshakes; versions above
+/// kProtocolVersion are rejected.
+inline constexpr std::uint16_t kProtocolVersion = 3;
+/// First version whose handshake carries stream id + send clock and whose
+/// event frames may be kEventsTs.
+inline constexpr std::uint16_t kTraceContextProtocolVersion = 3;
+/// First version whose handshake carries a spec LIST instead of one spec.
+inline constexpr std::uint16_t kListSpecProtocolVersion = 2;
 inline constexpr std::uint16_t kLegacyProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
 /// Default payload-size cap a receiver enforces (hostile length words must
@@ -51,7 +64,11 @@ enum class FrameType : std::uint8_t {
   kHandshake = 1,
   kEvents = 2,
   kEndOfTrace = 3,
+  kEventsTs = 4,  ///< v3: u64 send-timestamp (raw monotonic ns) + events
 };
+
+/// Size of the timestamp prefix in a kEventsTs payload.
+inline constexpr std::size_t kEventsTsPrefixSize = 8;
 
 struct Frame {
   FrameType type = FrameType::kEvents;
@@ -68,6 +85,13 @@ struct Handshake {
   std::vector<std::string> specs;
   std::vector<std::string> tracked;   ///< relevant variable names, in order
   trace::VarTable vars;               ///< full table (names, initials, roles)
+  /// v3: stable id for the logical stream.  Connections that reconnect keep
+  /// the same id, so the daemon can aggregate per-stream stats and trace
+  /// spans across TCP connections.  0 = unset (v1/v2 peers).
+  std::uint64_t streamId = 0;
+  /// v3: the emitter's raw monotonic clock (CLOCK_MONOTONIC ns) at
+  /// handshake-encode time.  0 = unset (v1/v2 peers).
+  std::uint64_t handshakeSendNs = 0;
 
   /// The v1 view: the first spec, or empty.
   [[nodiscard]] const std::string& primarySpec() const {
@@ -96,9 +120,11 @@ inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
 
 /// Handshake payload (de)serialization.  encodeHandshake honors
 /// `h.version`: 1 emits the legacy single-spec layout (first spec or
-/// empty), 2 emits the spec list.  decodeHandshake accepts BOTH layouts
-/// (a v1 single spec decodes to a one-element `specs`), rejects versions
-/// above kProtocolVersion, and returns false on malformed payloads with a
+/// empty), 2 emits the spec list, 3 additionally appends the stream id and
+/// send clock.  decodeHandshake accepts ALL layouts (a v1 single spec
+/// decodes to a one-element `specs`; v1/v2 handshakes decode with
+/// streamId == handshakeSendNs == 0), rejects versions above
+/// kProtocolVersion, and returns false on malformed payloads with a
 /// static reason in `error` — it never throws (daemon-side input is
 /// untrusted).
 [[nodiscard]] std::vector<std::uint8_t> encodeHandshake(const Handshake& h);
@@ -112,6 +138,14 @@ inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
 [[nodiscard]] bool decodeEventsPayload(const std::vector<std::uint8_t>& payload,
                                        std::vector<trace::Message>& out,
                                        const char** error);
+
+/// Parses a kEventsTs payload: a u64 raw-monotonic send timestamp (LE ns)
+/// followed by BinaryCodec-encoded messages.  Same error contract as
+/// decodeEventsPayload; a payload shorter than the timestamp prefix is
+/// corrupt.
+[[nodiscard]] bool decodeEventsTsPayload(
+    const std::vector<std::uint8_t>& payload, std::uint64_t& sendNs,
+    std::vector<trace::Message>& out, const char** error);
 
 /// Incremental frame parser over an untrusted byte stream.  Feed bytes as
 /// they arrive; pull whole frames out.  Once corrupt, stays corrupt (the

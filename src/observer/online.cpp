@@ -7,6 +7,7 @@
 #include "observer/budget.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/timer.hpp"
 #include "telemetry/trace_span.hpp"
 
@@ -16,6 +17,7 @@ OnlineAnalyzer::OnlineAnalyzer(StateSpace space, std::size_t threads,
                                LatticeMonitor* monitor, LatticeOptions opts)
     : space_(std::move(space)), monitor_(monitor), opts_(opts) {
   buffered_.resize(threads);
+  consumedK_.assign(threads, 0);
   // Level 0.
   detail::FrontierNode init;
   init.state = states_.intern(GlobalState(space_.initialValues()));
@@ -167,6 +169,8 @@ void OnlineAnalyzer::expandOneLevel() {
     if (m == nullptr || !enabled(cut, j, *m)) return nullptr;
     return m;
   };
+  const std::size_t violationsBefore = violations_.size();
+  const DegradationMode degradationBefore = stats_.degradation;
   std::size_t edges = 0;
   detail::Frontier next = detail::expandLevel(
       frontier_, buffered_.size(), space_, monitor_, opts_, stats_,
@@ -217,7 +221,9 @@ void OnlineAnalyzer::expandOneLevel() {
 
   // Recompute pending: messages with index > max frontier k for their
   // thread are still pending; consumed ones could be dropped here (true
-  // GC) — we keep them for path reconstruction but count precisely.
+  // GC) — we keep them for path reconstruction but count precisely.  The
+  // per-thread maxima double as the consumption watermark the daemon
+  // measures emit-to-analyze lag against.
   std::vector<LocalSeq> maxK(buffered_.size(), 0);
   for (const auto& [cut, node] : frontier_) {
     for (ThreadId j = 0; j < cut.k.size(); ++j) {
@@ -229,6 +235,22 @@ void OnlineAnalyzer::expandOneLevel() {
     for (const auto& [k, m] : buffered_[j]) {
       if (k > maxK[j]) ++pending_;
     }
+  }
+  consumedK_ = std::move(maxK);
+
+  // Flight-recorder breadcrumbs: one record per level, plus rung changes
+  // and fresh violations (the post-mortem story of the run).
+  telemetry::FlightRecorder::global().record(
+      telemetry::FlightEvent::kLevel, stats_.levels - 1, frontier_.size());
+  if (stats_.degradation != degradationBefore) {
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEvent::kDegradation,
+        static_cast<std::uint64_t>(stats_.degradation),
+        static_cast<std::uint64_t>(stats_.boundReason));
+  }
+  for (std::size_t i = violationsBefore; i < violations_.size(); ++i) {
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEvent::kViolation, stats_.levels - 1);
   }
 }
 

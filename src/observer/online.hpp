@@ -85,6 +85,15 @@ class OnlineAnalyzer final : public trace::MessageSink {
     return pending_;
   }
 
+  /// Per-thread consumption watermark: consumedK()[j] is the highest local
+  /// sequence number of thread j folded into the current frontier.  A
+  /// frame whose per-thread max indices are all <= this vector has been
+  /// fully analyzed — the daemon's emit-to-analyze lag is measured against
+  /// it.  Size == declared thread count; all zeros before level 1.
+  [[nodiscard]] const std::vector<LocalSeq>& consumedK() const noexcept {
+    return consumedK_;
+  }
+
  private:
   /// The k-th (1-based) message of thread j, if present.
   [[nodiscard]] const trace::Message* find(ThreadId j, LocalSeq k) const;
@@ -113,6 +122,8 @@ class OnlineAnalyzer final : public trace::MessageSink {
   MonitorSetArena msets_;
   /// buffered_[j][k] = thread j's k-th message (sparse until gaps fill).
   std::vector<std::unordered_map<LocalSeq, trace::Message>> buffered_;
+  /// Per-thread max frontier index (see consumedK()).
+  std::vector<LocalSeq> consumedK_;
   std::size_t pending_ = 0;
   bool ended_ = false;
   bool finished_ = false;

@@ -64,14 +64,11 @@ struct EventMetrics {
             "Messages <e, i, V_i> sent toward the observer"),
         telemetry::registry().histogram(
             "mpx_runtime_algorithm_a_ns",
-            "Per-event latency of Algorithm A (sampled every 64th event)"),
+            "Per-event latency of Algorithm A (sampled; default every 64th event)"),
     };
     return m;
   }
 };
-
-/// Timing every event would double its cost, so latency samples 1/64.
-constexpr std::uint64_t kLatencySampleMask = 63;
 
 /// Process-unique registry generations for the thread-local cache (plain
 /// pointer keys could alias across a destroy/construct at the same
@@ -162,7 +159,9 @@ Value Runtime::processEvent(trace::EventKind kind, VarId v, Value writeValue) {
   std::uint64_t t0 = 0;
   bool sampled = false;
   if constexpr (telemetry::kEnabled) {
-    sampled = (eventIndex & kLatencySampleMask) == 0;
+    // Timing every event would double its cost; the period is 1/64 by
+    // default and configurable via --telemetry-sample / MPX_TELEMETRY_SAMPLE.
+    sampled = telemetry::shouldSampleLatency(eventIndex);
     if (sampled) t0 = telemetry::nowNs();
   }
 

@@ -39,9 +39,27 @@ std::string jsonEscape(const std::string& s) {
   return out;
 }
 
+/// Exposition-format HELP escaping: backslash and line feed must be
+/// escaped (`\\` and `\n`) or a multi-line help string corrupts the whole
+/// scrape.
+std::string promEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 void writeHelpAndType(std::ostringstream& os, const std::string& name,
                       const std::string& help, const char* type) {
-  if (!help.empty()) os << "# HELP " << name << ' ' << help << '\n';
+  if (!help.empty()) {
+    os << "# HELP " << name << ' ' << promEscapeHelp(help) << '\n';
+  }
   os << "# TYPE " << name << ' ' << type << '\n';
 }
 

@@ -1,0 +1,260 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "telemetry/timer.hpp"
+
+namespace mpx::telemetry {
+
+namespace {
+
+// --- async-signal-safe formatting helpers ---------------------------------
+
+/// Writes `v` in decimal into `buf` (must hold >= 21 bytes); returns the
+/// number of characters written.  No locale, no allocation.
+std::size_t u64ToDec(std::uint64_t v, char* buf) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+/// Buffered write(2) wrapper: batches small appends so a dump is a few
+/// syscalls, not thousands.  Everything here is async-signal-safe.
+struct FdWriter {
+  int fd;
+  char buf[4096] = {};
+  std::size_t len = 0;
+  bool ok = true;
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (ok && off < len) {
+      const ::ssize_t n = ::write(fd, buf + off, len - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void put(const char* s, std::size_t n) noexcept {
+    if (n > sizeof(buf)) {  // oversized literal: write through
+      flush();
+      std::size_t off = 0;
+      while (ok && off < n) {
+        const ::ssize_t w = ::write(fd, s + off, n - off);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          ok = false;
+          return;
+        }
+        off += static_cast<std::size_t>(w);
+      }
+      return;
+    }
+    if (len + n > sizeof(buf)) flush();
+    std::memcpy(buf + len, s, n);
+    len += n;
+  }
+  void lit(const char* s) noexcept { put(s, std::strlen(s)); }
+  void num(std::uint64_t v) noexcept {
+    char d[21];
+    put(d, u64ToDec(v, d));
+  }
+};
+
+// Crash-handler state: the dump path lives in static storage because a
+// signal handler cannot touch the heap.
+char g_crashDumpPath[512] = {0};
+std::atomic<bool> g_handlerInstalled{false};
+
+void crashHandler(int sig) noexcept {
+  FlightRecorder::global().record(FlightEvent::kDump, /*reason=*/1,
+                                  static_cast<std::uint64_t>(sig));
+  if (g_crashDumpPath[0] != '\0') {
+    FlightRecorder::global().dumpToFile(g_crashDumpPath);
+  } else {
+    FlightRecorder::global().dumpToFd(STDERR_FILENO);
+  }
+  // Re-raise with the default disposition so the exit status still says
+  // "killed by SIGSEGV/SIGABRT" (and core dumps still happen).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* flightEventName(FlightEvent e) noexcept {
+  switch (e) {
+    case FlightEvent::kConnAccepted: return "conn_accepted";
+    case FlightEvent::kConnShed: return "conn_shed";
+    case FlightEvent::kConnAborted: return "conn_aborted";
+    case FlightEvent::kHandshake: return "handshake";
+    case FlightEvent::kFrame: return "frame";
+    case FlightEvent::kStreamEnd: return "stream_end";
+    case FlightEvent::kLevel: return "level";
+    case FlightEvent::kDegradation: return "degradation";
+    case FlightEvent::kViolation: return "violation";
+    case FlightEvent::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::record(FlightEvent type, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[seq % kCapacity];
+  s.state.store(2 * seq + 1, std::memory_order_release);  // writing
+  s.seq.store(seq, std::memory_order_relaxed);
+  s.tsNs.store(rawMonotonicNs(), std::memory_order_relaxed);
+  s.type.store(static_cast<std::uint64_t>(type), std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.c.store(c, std::memory_order_relaxed);
+  s.state.store(2 * seq + 2, std::memory_order_release);  // published
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(kCapacity);
+  for (const Slot& s : slots_) {
+    const std::uint64_t before = s.state.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 == 1) continue;  // empty or mid-write
+    FlightRecord r;
+    r.seq = s.seq.load(std::memory_order_relaxed);
+    r.tsNs = s.tsNs.load(std::memory_order_relaxed);
+    r.type = static_cast<FlightEvent>(s.type.load(std::memory_order_relaxed));
+    r.a = s.a.load(std::memory_order_relaxed);
+    r.b = s.b.load(std::memory_order_relaxed);
+    r.c = s.c.load(std::memory_order_relaxed);
+    if (s.state.load(std::memory_order_acquire) != before) continue;  // torn
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& x, const FlightRecord& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::toJson() const {
+  const std::vector<FlightRecord> events = snapshot();
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out += "{\n  \"recorded\": ";
+  char d[21];
+  out.append(d, u64ToDec(recorded(), d));
+  out += ",\n  \"events\": [";
+  bool first = true;
+  for (const FlightRecord& r : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"seq\": ";
+    out.append(d, u64ToDec(r.seq, d));
+    out += ", \"ts_ns\": ";
+    out.append(d, u64ToDec(r.tsNs, d));
+    out += ", \"type\": \"";
+    out += flightEventName(r.type);
+    out += "\", \"a\": ";
+    out.append(d, u64ToDec(r.a, d));
+    out += ", \"b\": ";
+    out.append(d, u64ToDec(r.b, d));
+    out += ", \"c\": ";
+    out.append(d, u64ToDec(r.c, d));
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool FlightRecorder::dumpToFd(int fd) const noexcept {
+  FdWriter w{fd};
+  w.lit("{\n  \"recorded\": ");
+  w.num(recorded());
+  w.lit(",\n  \"events\": [");
+  // Walk the ring in publish order starting at the oldest surviving slot.
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t first =
+      head > kCapacity ? head - kCapacity : 0;
+  bool any = false;
+  for (std::uint64_t seq = first; seq < head; ++seq) {
+    const Slot& s = slots_[seq % kCapacity];
+    const std::uint64_t before = s.state.load(std::memory_order_acquire);
+    if (before != 2 * seq + 2) continue;  // overwritten or mid-write
+    const std::uint64_t tsNs = s.tsNs.load(std::memory_order_relaxed);
+    const std::uint64_t type = s.type.load(std::memory_order_relaxed);
+    const std::uint64_t a = s.a.load(std::memory_order_relaxed);
+    const std::uint64_t b = s.b.load(std::memory_order_relaxed);
+    const std::uint64_t c = s.c.load(std::memory_order_relaxed);
+    if (s.state.load(std::memory_order_acquire) != before) continue;
+    w.lit(any ? ",\n" : "\n");
+    any = true;
+    w.lit("    {\"seq\": ");
+    w.num(seq);
+    w.lit(", \"ts_ns\": ");
+    w.num(tsNs);
+    w.lit(", \"type\": \"");
+    w.lit(flightEventName(static_cast<FlightEvent>(type)));
+    w.lit("\", \"a\": ");
+    w.num(a);
+    w.lit(", \"b\": ");
+    w.num(b);
+    w.lit(", \"c\": ");
+    w.num(c);
+    w.lit("}");
+  }
+  w.lit("\n  ]\n}\n");
+  w.flush();
+  return w.ok;
+}
+
+bool FlightRecorder::dumpToFile(const char* path) const noexcept {
+  if (path == nullptr || path[0] == '\0') return false;
+  const int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = dumpToFd(fd);
+  ::close(fd);
+  return ok;
+}
+
+void FlightRecorder::installCrashHandler(const char* path) {
+  if (path != nullptr) {
+    std::strncpy(g_crashDumpPath, path, sizeof(g_crashDumpPath) - 1);
+    g_crashDumpPath[sizeof(g_crashDumpPath) - 1] = '\0';
+  }
+  if (g_handlerInstalled.exchange(true)) return;
+  struct ::sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &crashHandler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+void FlightRecorder::reset() noexcept {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) s.state.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mpx::telemetry

@@ -1,0 +1,107 @@
+// Flight recorder: a lock-free fixed-size ring of recent structured
+// pipeline events (connections, frames, level completions, degradation
+// rung changes, violations), kept so a dying daemon leaves a post-mortem
+// artifact instead of a bare "report INCOMPLETE".
+//
+// Recording is a relaxed fetch_add plus a handful of plain stores into a
+// pre-allocated slot — safe from any thread, cheap enough to leave on
+// always (it is NOT gated on MPX_TELEMETRY_ENABLED: the recorder is most
+// valuable exactly when the rest of telemetry was compiled out).
+//
+// Slots are published seqlock-style: a writer bumps the slot's sequence
+// word last (release), and readers that observe a torn or in-progress slot
+// skip it.  dumpToFd() is async-signal-safe — no allocation, no locking,
+// hand-rolled decimal formatting straight into write(2) — so the SIGSEGV/
+// SIGABRT handlers installed by installCrashHandler() can call it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpx::telemetry {
+
+/// What happened.  Values are stable (they appear in dump JSON).
+enum class FlightEvent : std::uint8_t {
+  kConnAccepted = 1,   ///< a = connection ordinal
+  kConnShed = 2,       ///< a = active connections at shed time
+  kConnAborted = 3,    ///< a = connection ordinal
+  kHandshake = 4,      ///< a = stream id, b = protocol version, c = threads
+  kFrame = 5,          ///< a = stream id, b = frame type, c = payload bytes
+  kStreamEnd = 6,      ///< a = stream id
+  kLevel = 7,          ///< a = level index, b = frontier width
+  kDegradation = 8,    ///< a = new DegradationMode, b = BoundReason
+  kViolation = 9,      ///< a = level index
+  kDump = 10,          ///< a = reason (0 exit, 1 signal, 2 violation, 3 demand)
+};
+
+/// Stable lowercase name for an event type ("conn_accepted", ...).
+[[nodiscard]] const char* flightEventName(FlightEvent e) noexcept;
+
+struct FlightRecord {
+  std::uint64_t seq = 0;   ///< global record ordinal (monotonic)
+  std::uint64_t tsNs = 0;  ///< rawMonotonicNs() at record time
+  FlightEvent type = FlightEvent::kConnAccepted;
+  std::uint64_t a = 0, b = 0, c = 0;  ///< event-specific payload (see enum)
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity: enough for the recent past, small enough to dump from
+  /// a signal handler in bounded time.
+  static constexpr std::size_t kCapacity = 1024;
+
+  /// The process-wide recorder every pipeline layer reports into.
+  static FlightRecorder& global();
+
+  /// Appends one event.  Lock-free, wait-free except for the ring-slot
+  /// claim; callable from any thread.
+  void record(FlightEvent type, std::uint64_t a = 0, std::uint64_t b = 0,
+              std::uint64_t c = 0) noexcept;
+
+  /// Total events ever recorded (>= kCapacity means the ring has wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Point-in-time copy of the surviving ring contents in seq order.
+  /// Torn slots (a writer mid-publish) are skipped.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+  /// The snapshot as a JSON document (non-signal path: /flightrecorder
+  /// endpoint, on-violation dumps).
+  [[nodiscard]] std::string toJson() const;
+
+  /// Async-signal-safe dump: writes the same JSON shape straight to `fd`
+  /// with write(2) and stack buffers.  Returns false on a write error.
+  bool dumpToFd(int fd) const noexcept;
+
+  /// Async-signal-safe: opens `path` (create/truncate) and dumps into it.
+  bool dumpToFile(const char* path) const noexcept;
+
+  /// Installs SIGSEGV/SIGABRT handlers that dump the ring to `path`
+  /// (copied into static storage) and then re-raise the signal with the
+  /// default disposition.  Pass nullptr to leave the path unset (handlers
+  /// then write to stderr).  Idempotent.
+  static void installCrashHandler(const char* path);
+
+  /// Clears the ring (tests).
+  void reset() noexcept;
+
+ private:
+  struct Slot {
+    /// 0 = empty; odd (2*seq+1) = writer in progress; even (2*seq+2) =
+    /// published.  Readers that see the state change under them skip the
+    /// slot.  Fields are relaxed atomics so concurrent overwrite+snapshot
+    /// is well-defined (and clean under TSan); the state word orders them.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> tsNs{0};
+    std::atomic<std::uint64_t> type{0};
+    std::atomic<std::uint64_t> a{0}, b{0}, c{0};
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  Slot slots_[kCapacity];
+};
+
+}  // namespace mpx::telemetry

@@ -1,6 +1,67 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
 namespace mpx::telemetry {
+
+namespace {
+
+/// Sampling state: `off` wins over the mask.  Defaults match the
+/// historical hardcoded 1/64.
+std::atomic<std::uint64_t> g_latencySampleMask{63};
+std::atomic<bool> g_latencySampleOff{false};
+
+/// The store half of setLatencySampleEvery (shared with the env path).
+void applySamplePeriod(std::uint64_t n) noexcept {
+  if (n == 0) {
+    g_latencySampleOff.store(true, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t p = 1;
+  while (p < n && p < (1ull << 62)) p <<= 1;
+  g_latencySampleMask.store(p - 1, std::memory_order_relaxed);
+  g_latencySampleOff.store(false, std::memory_order_relaxed);
+}
+
+/// MPX_TELEMETRY_SAMPLE, applied once on first use (an explicit
+/// setLatencySampleEvery afterwards overrides it).
+bool applyLatencySampleEnv() {
+  const char* env = std::getenv("MPX_TELEMETRY_SAMPLE");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      applySamplePeriod(static_cast<std::uint64_t>(v));
+    }
+  }
+  return true;
+}
+
+void ensureLatencySampleEnvApplied() {
+  static const bool applied = applyLatencySampleEnv();
+  (void)applied;
+}
+
+}  // namespace
+
+void setLatencySampleEvery(std::uint64_t n) noexcept {
+  ensureLatencySampleEnvApplied();  // fix the ordering: explicit set wins
+  applySamplePeriod(n);
+}
+
+std::uint64_t latencySampleEvery() noexcept {
+  ensureLatencySampleEnvApplied();
+  if (g_latencySampleOff.load(std::memory_order_relaxed)) return 0;
+  return g_latencySampleMask.load(std::memory_order_relaxed) + 1;
+}
+
+bool shouldSampleLatency(std::uint64_t idx) noexcept {
+  ensureLatencySampleEnvApplied();
+  if (g_latencySampleOff.load(std::memory_order_relaxed)) return false;
+  return (idx & g_latencySampleMask.load(std::memory_order_relaxed)) == 0;
+}
 
 std::vector<std::uint64_t> latencyBucketsNs() {
   // Powers of four, 64ns .. ~1.07s.
@@ -84,6 +145,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.sum = h.sum();
     snap.histograms.push_back(std::move(s));
   }
+  // The documented contract: name-sorted sections, so --stats dumps and
+  // report JSON diff cleanly across runs whatever the registration order.
+  const auto byName = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), byName);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
   return snap;
 }
 

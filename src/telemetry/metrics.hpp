@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #ifndef MPX_TELEMETRY_ENABLED
@@ -85,6 +85,25 @@ struct MetricsSnapshot {
 /// Default bucket bounds for size-ish histograms (frontier widths, queue
 /// depths): powers of two from 1 to 65536.
 [[nodiscard]] std::vector<std::uint64_t> sizeBuckets();
+
+// ---------------------------------------------------------------------------
+// Algorithm A latency sampling control (always available: the CLIs parse
+// the flag even in telemetry-OFF builds).
+// ---------------------------------------------------------------------------
+
+/// Sets the latency sample period: roughly every n-th event is timed
+/// (n is rounded UP to a power of two so the hot path stays one mask).
+/// n == 0 disables latency sampling entirely; the default is 64, which
+/// keeps historical BENCH numbers comparable.  Overrides any
+/// MPX_TELEMETRY_SAMPLE environment setting.
+void setLatencySampleEvery(std::uint64_t n) noexcept;
+
+/// The effective (rounded) sample period; 0 when sampling is off.
+[[nodiscard]] std::uint64_t latencySampleEvery() noexcept;
+
+/// True when the event with per-site ordinal `idx` should be timed.  The
+/// MPX_TELEMETRY_SAMPLE environment variable is applied on first use.
+[[nodiscard]] bool shouldSampleLatency(std::uint64_t idx) noexcept;
 
 #if MPX_TELEMETRY_ENABLED
 
@@ -191,6 +210,9 @@ class MetricsRegistry {
                        std::vector<std::uint64_t> bounds = latencyBucketsNs());
 
   /// Consistent point-in-time copy of every registered instrument.
+  /// CONTRACT: each section is sorted by metric name, so two runs of the
+  /// same workload render byte-identical --stats / report JSON regardless
+  /// of registration (thread interleaving) order.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Zeroes every instrument, keeping registrations (tests; per-run CLI
@@ -204,10 +226,12 @@ class MetricsRegistry {
     std::string help;
   };
 
+  // Registration is a hash lookup (hot call sites cache the reference
+  // anyway); snapshot() sorts, per its contract above.
   mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  std::unordered_map<std::string, Entry<Counter>> counters_;
+  std::unordered_map<std::string, Entry<Gauge>> gauges_;
+  std::unordered_map<std::string, Entry<Histogram>> histograms_;
 };
 
 #else  // !MPX_TELEMETRY_ENABLED

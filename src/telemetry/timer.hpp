@@ -20,6 +20,21 @@ inline std::uint64_t nowNs() noexcept {
           .count());
 }
 
+/// Raw monotonic nanoseconds with NO process-local epoch: the steady-clock
+/// reading itself.  On Linux steady_clock is CLOCK_MONOTONIC, which is
+/// system-wide, so timestamps taken in different processes on the SAME
+/// machine are directly comparable — this is what the wire protocol's v3
+/// send timestamps and the daemon's emit-to-analyze lag computation use.
+/// Cross-machine deployments must treat these lags as approximate (clock
+/// offset is not compensated; see docs/TRACING.md).
+inline std::uint64_t rawMonotonicNs() noexcept {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
 #if MPX_TELEMETRY_ENABLED
 
 /// Records the enclosing scope's wall time into a histogram on destruction.

@@ -76,6 +76,11 @@ void TraceRecorder::recordInstant(std::string name, std::string category) {
                             {}});
 }
 
+void TraceRecorder::setProcessName(std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  processName_ = std::move(name);
+}
+
 std::size_t TraceRecorder::spanCount() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
@@ -88,9 +93,16 @@ void TraceRecorder::clear() {
 
 std::string TraceRecorder::toChromeTraceJson() const {
   const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t pid = pid_.load(std::memory_order_relaxed);
   std::ostringstream os;
   os << "{\"traceEvents\": [";
   bool first = true;
+  if (!processName_.empty()) {
+    os << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << escape(processName_)
+       << "\"}}";
+    first = false;
+  }
   for (const Record& r : records_) {
     if (!first) os << ',';
     first = false;
@@ -98,7 +110,7 @@ std::string TraceRecorder::toChromeTraceJson() const {
     // a fractional part.
     os << "\n  {\"name\": \"" << escape(r.name) << "\", \"cat\": \""
        << escape(r.category) << "\", \"ph\": \"" << r.phase
-       << "\", \"pid\": 1, \"tid\": " << r.tid << ", \"ts\": ";
+       << "\", \"pid\": " << pid << ", \"tid\": " << r.tid << ", \"ts\": ";
     writeUs(os, r.startNs);
     if (r.phase == 'X') {
       os << ", \"dur\": ";

@@ -45,6 +45,21 @@ class TraceRecorder {
   /// Records an instant ("ph":"i") event at the current time.
   void recordInstant(std::string name, std::string category);
 
+  /// Sets the "pid" emitted on every trace event (default 1).  The emitter
+  /// and daemon set their real process ids so a merged client+daemon trace
+  /// renders as two processes in one Perfetto load, joined by the
+  /// stream_id span argument.
+  void setPid(std::uint32_t pid) noexcept {
+    pid_.store(pid, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t pid() const noexcept {
+    return pid_.load(std::memory_order_relaxed);
+  }
+
+  /// Optional process label rendered as a Chrome "process_name" metadata
+  /// event (Perfetto shows it as the track group title).
+  void setProcessName(std::string name);
+
   [[nodiscard]] std::size_t spanCount() const;
   void clear();
 
@@ -65,7 +80,9 @@ class TraceRecorder {
   std::uint32_t tidLocked(std::thread::id id);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> pid_{1};
   mutable std::mutex mu_;
+  std::string processName_;
   std::vector<Record> records_;
   std::map<std::thread::id, std::uint32_t> tids_;
 };
@@ -114,6 +131,9 @@ class TraceRecorder {
   static TraceRecorder& global();
   void setEnabled(bool) noexcept {}
   [[nodiscard]] bool enabled() const noexcept { return false; }
+  void setPid(std::uint32_t) noexcept {}
+  [[nodiscard]] std::uint32_t pid() const noexcept { return 1; }
+  void setProcessName(std::string) {}
   void recordComplete(std::string, std::string, std::uint64_t, std::uint64_t,
                       std::vector<std::pair<std::string, std::int64_t>> = {}) {
   }

@@ -21,6 +21,7 @@
 #include "net/emitter.hpp"
 #include "observer/online.hpp"
 #include "program/corpus.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/codec.hpp"
 
 namespace mpx::net {
@@ -427,6 +428,194 @@ TEST(NetDaemonE2E, DaemonSidePropertyJoinsHandshakeSpecs) {
     EXPECT_NE(r.text.find("observed run: (not monitored)"), std::string::npos)
         << r.name;
   }
+  daemon.stop();
+}
+
+// --- trace-context propagation (wire v3): lag, watermark, introspection ---
+
+std::vector<std::uint8_t> eventsTsPayload(
+    const std::vector<trace::Message>& ms, std::uint64_t sendNs) {
+  std::vector<std::uint8_t> payload(kEventsTsPrefixSize);
+  for (std::size_t i = 0; i < kEventsTsPrefixSize; ++i) {
+    payload[i] = static_cast<std::uint8_t>(sendNs >> (8 * i));
+  }
+  for (const trace::Message& m : ms) trace::BinaryCodec::encode(m, payload);
+  return payload;
+}
+
+std::string httpGet(std::uint16_t port, const std::string& path) {
+  Socket probe = rawClient(port);
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_TRUE(probe.sendAll(req.data(), req.size()));
+  std::string response;
+  char buf[4096];
+  std::ptrdiff_t n;
+  while ((n = probe.recvSome(buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(NetDaemonE2E, V2StreamMatchesV3AndInProcess) {
+  // The default emitter now speaks v3 (kEventsTs + trace context); a v2
+  // peer carrying the identical messages must still yield a byte-identical
+  // report — timestamps are observability metadata, never analysis input.
+  const auto c = landingComputation();
+  const char* spec = program::corpus::landingProperty();
+  const Reference ref = inProcess(c, spec);
+  const auto msgs = messagesInOrder(c.graph);
+
+  std::string reportV2;
+  std::string reportV3;
+  for (const std::uint16_t version :
+       {kListSpecProtocolVersion, kTraceContextProtocolVersion}) {
+    ObserverDaemon daemon(quietDaemon());
+    ASSERT_TRUE(daemon.start());
+    Handshake h = handshakeFor(c, spec, {"landing", "approved", "radio"});
+    h.version = version;
+    {
+      SocketEmitter emitter(emitterTo(daemon.port(), h));
+      for (const auto& m : msgs) emitter.onMessage(m);
+      emitter.close();
+    }
+    ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+    (version == kListSpecProtocolVersion ? reportV2 : reportV3) =
+        daemon.renderReport();
+
+    // v3 streams register under their stream id with measured lag; v2
+    // streams aggregate under the legacy id 0 with no lag samples.
+    const auto streams = daemon.streamSnapshots();
+    ASSERT_EQ(streams.size(), 1u) << "version " << version;
+    const StreamSnapshot& s = streams[0];
+    EXPECT_EQ(s.version, version);
+    EXPECT_EQ(s.messages, msgs.size());
+    EXPECT_TRUE(s.ended);
+    EXPECT_EQ(s.framesInFlight, 0u);
+    if (version == kTraceContextProtocolVersion) {
+      EXPECT_NE(s.streamId, 0u);
+      EXPECT_GE(s.receiveLag.count, 1u);
+      EXPECT_GE(s.analyzeLag.count, 1u);
+    } else {
+      EXPECT_EQ(s.streamId, 0u);
+      EXPECT_EQ(s.receiveLag.count, 0u);
+      EXPECT_EQ(s.analyzeLag.count, 0u);
+    }
+    daemon.stop();
+  }
+  EXPECT_EQ(reportV2, ref.report);
+  EXPECT_EQ(reportV3, ref.report);
+}
+
+TEST(NetDaemonE2E, WatermarkAdvancesMonotonicallyToFinalLevelCount) {
+  // Feed the trace one kEventsTs frame per message and require the
+  // progress watermark to (a) never regress and (b) land exactly on the
+  // final level count - 1 (levels are the lattice's 0-based frontier
+  // sequence; "fully analyzed" = last level).
+  const auto c = xyzComputation();
+  const char* spec = program::corpus::xyzProperty();
+  const auto msgs = messagesInOrder(c.graph);
+
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  Handshake h = handshakeFor(c, spec, {"x", "y", "z"});
+  h.streamId = 0x51;
+
+  Socket client = rawClient(daemon.port());
+  sendFrame(client, FrameType::kHandshake, encodeHandshake(h));
+  std::uint64_t lastWatermark = 0;
+  std::uint64_t fed = 0;
+  for (const auto& m : msgs) {
+    sendFrame(client, FrameType::kEventsTs,
+              eventsTsPayload({m}, /*sendNs=*/1000 + fed));
+    ++fed;
+    // Wait until the daemon has ingested this frame, then sample.
+    ASSERT_TRUE(eventually([&] { return daemon.messagesIngested() >= fed; }));
+    const std::uint64_t w = daemon.watermarkLevel();
+    EXPECT_GE(w, lastWatermark) << "watermark regressed at message " << fed;
+    lastWatermark = w;
+  }
+  sendFrame(client, FrameType::kEndOfTrace, {});
+  client.shutdownWrite();
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  EXPECT_EQ(daemon.watermarkLevel(),
+            static_cast<std::uint64_t>(daemon.stats().levels) - 1);
+  const auto streams = daemon.streamSnapshots();
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].streamId, 0x51u);
+  EXPECT_EQ(streams[0].framesInFlight, 0u)
+      << "every timestamped frame must settle by end of trace";
+  EXPECT_EQ(streams[0].frames, msgs.size());
+  EXPECT_EQ(streams[0].receiveLag.count, msgs.size());
+  EXPECT_EQ(streams[0].analyzeLag.count, msgs.size());
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, StreamsEndpointMatchesDaemonAccessors) {
+  const auto c = landingComputation();
+  const char* spec = program::corpus::landingProperty();
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+  {
+    SocketEmitter emitter(emitterTo(
+        daemon.port(),
+        handshakeFor(c, spec, {"landing", "approved", "radio"})));
+    for (const auto& m : messagesInOrder(c.graph)) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  const std::string response = httpGet(daemon.port(), "/streams");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  // The endpoint body is exactly the daemon's own renderer, which must
+  // agree with the structured accessors.
+  const std::size_t body = response.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_EQ(response.substr(body + 4), daemon.renderStreamsJson());
+
+  const auto streams = daemon.streamSnapshots();
+  ASSERT_EQ(streams.size(), 1u);
+  const std::string expectLevels =
+      "\"levels\": " + std::to_string(daemon.stats().levels);
+  const std::string expectWatermark =
+      "\"watermark_level\": " + std::to_string(daemon.watermarkLevel());
+  const std::string expectMessages =
+      "\"messages\": " + std::to_string(streams[0].messages);
+  EXPECT_NE(response.find(expectLevels), std::string::npos) << response;
+  EXPECT_NE(response.find(expectWatermark), std::string::npos) << response;
+  EXPECT_NE(response.find(expectMessages), std::string::npos) << response;
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, IntrospectionEndpointsServeHealthMetricsAndReport) {
+  ObserverDaemon daemon(quietDaemon());
+  ASSERT_TRUE(daemon.start());
+
+  const std::string health = httpGet(daemon.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = httpGet(daemon.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  if (telemetry::kEnabled) {
+    EXPECT_NE(metrics.find("mpx_pipeline_watermark_level"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("# TYPE mpx_pipeline_receive_lag_ns histogram"),
+              std::string::npos);
+  }
+
+  const std::string report = httpGet(daemon.port(), "/report");
+  EXPECT_NE(report.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(report.find("INCOMPLETE"), std::string::npos);
+
+  const std::string flight = httpGet(daemon.port(), "/flightrecorder");
+  EXPECT_NE(flight.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(flight.find("\"recorded\""), std::string::npos);
+  EXPECT_NE(flight.find("conn_accepted"), std::string::npos);
+
+  const std::string missing = httpGet(daemon.port(), "/no-such-endpoint");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
   daemon.stop();
 }
 

@@ -68,9 +68,16 @@ std::vector<Frame> readAllFrames(Socket& s) {
 std::vector<trace::Message> messagesIn(const std::vector<Frame>& frames) {
   std::vector<trace::Message> out;
   for (const Frame& f : frames) {
-    if (f.type != FrameType::kEvents) continue;
     const char* error = nullptr;
-    EXPECT_TRUE(decodeEventsPayload(f.payload, out, &error)) << error;
+    if (f.type == FrameType::kEvents) {
+      EXPECT_TRUE(decodeEventsPayload(f.payload, out, &error)) << error;
+    } else if (f.type == FrameType::kEventsTs) {
+      // v3 emitters timestamp each batch; the messages are unchanged.
+      std::uint64_t sendNs = 0;
+      EXPECT_TRUE(decodeEventsTsPayload(f.payload, sendNs, out, &error))
+          << error;
+      EXPECT_GT(sendNs, 0u);
+    }
   }
   return out;
 }
@@ -104,6 +111,9 @@ TEST(NetEmitter, StreamsHandshakeEventsAndEndOfTrace) {
   const char* error = nullptr;
   ASSERT_TRUE(decodeHandshake(frames.front().payload, h, &error)) << error;
   EXPECT_EQ(h.threads, 2u);
+  EXPECT_EQ(h.version, kProtocolVersion);
+  EXPECT_NE(h.streamId, 0u) << "v3 emitter must mint a stream id";
+  EXPECT_GT(h.handshakeSendNs, 0u);
   EXPECT_EQ(frames.back().type, FrameType::kEndOfTrace);
   EXPECT_EQ(messagesIn(frames), sent);
 }

@@ -237,6 +237,83 @@ TEST(NetHandshake, RejectsTrailingBytes) {
   EXPECT_STREQ(error, "handshake has trailing bytes");
 }
 
+TEST(NetHandshake, V3CarriesTraceContext) {
+  // Protocol v3 = v2 + trace context: a stream id correlating the client's
+  // spans with the daemon's, and the handshake's own send timestamp.
+  Handshake h = sampleHandshake();
+  h.streamId = 0x0123456789abcdefull;
+  h.handshakeSendNs = 42'000'000'017ull;
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_EQ(back.version, kTraceContextProtocolVersion);
+  EXPECT_EQ(back.streamId, h.streamId);
+  EXPECT_EQ(back.handshakeSendNs, h.handshakeSendNs);
+}
+
+TEST(NetHandshake, PreV3PeersDecodeWithZeroTraceContext) {
+  // v1/v2 payloads carry no trace context; the decoder must leave the new
+  // fields zeroed (stream id 0 = "legacy aggregate" on the daemon side),
+  // not reject or misparse.
+  for (const std::uint16_t v :
+       {kLegacyProtocolVersion, kListSpecProtocolVersion}) {
+    Handshake h = sampleHandshake();
+    h.version = v;
+    h.streamId = 0xdeadbeefull;  // must NOT survive a pre-v3 encode
+    h.handshakeSendNs = 7;
+    Handshake back;
+    const char* error = nullptr;
+    ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error))
+        << "version " << v << ": " << error;
+    EXPECT_EQ(back.version, v);
+    EXPECT_EQ(back.streamId, 0u);
+    EXPECT_EQ(back.handshakeSendNs, 0u);
+  }
+}
+
+TEST(NetEvents, EventsTsPayloadRoundTripsTimestampAndMessages) {
+  const std::vector<trace::Message> msgs{sampleMessage(0, 1),
+                                         sampleMessage(1, 2)};
+  const std::uint64_t sendNs = 0xfeedfacecafe1234ull;
+  std::vector<std::uint8_t> payload(kEventsTsPrefixSize);
+  for (std::size_t i = 0; i < kEventsTsPrefixSize; ++i) {
+    payload[i] = static_cast<std::uint8_t>(sendNs >> (8 * i));
+  }
+  const std::vector<std::uint8_t> body = eventsPayload(msgs);
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  std::uint64_t decodedNs = 0;
+  std::vector<trace::Message> decoded;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeEventsTsPayload(payload, decodedNs, decoded, &error))
+      << error;
+  EXPECT_EQ(decodedNs, sendNs);
+  EXPECT_EQ(decoded, msgs);
+}
+
+TEST(NetEvents, EventsTsShorterThanTimestampIsCorrupt) {
+  for (std::size_t len = 0; len < kEventsTsPrefixSize; ++len) {
+    const std::vector<std::uint8_t> payload(len, 0);
+    std::uint64_t ns = 0;
+    std::vector<trace::Message> out;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeEventsTsPayload(payload, ns, out, &error))
+        << "len " << len;
+    EXPECT_STREQ(error, "events-ts frame shorter than timestamp");
+  }
+}
+
+TEST(NetFrame, EventsTsFrameTypeIsAccepted) {
+  std::vector<std::uint8_t> payload(kEventsTsPrefixSize, 0);
+  std::vector<std::uint8_t> bytes;
+  appendFrame(bytes, FrameType::kEventsTs, payload);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_EQ(reader.next(f), FrameReader::Status::kFrame);
+  EXPECT_EQ(f.type, FrameType::kEventsTs);
+}
+
 TEST(NetEvents, PartialMessageInsideFrameIsCorrupt) {
   std::vector<std::uint8_t> payload = eventsPayload({sampleMessage(0, 1)});
   payload.pop_back();  // frames are atomic: a cut message is corruption

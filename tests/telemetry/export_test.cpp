@@ -1,0 +1,100 @@
+// Prometheus exposition renderer: HELP escaping, bucket cumulativity,
+// _count/_sum lines, and a golden full-exposition check over a hand-built
+// snapshot (so the format is pinned independently of the live registry).
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::telemetry {
+namespace {
+
+MetricsSnapshot demoSnapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back(
+      CounterSample{"mpx_demo_total", "Counts demo events", 3});
+  snap.gauges.push_back(
+      GaugeSample{"mpx_demo_gauge", "line1\nline2 \\ tail", -4});
+  HistogramSample h;
+  h.name = "mpx_demo_ns";
+  h.help = "Latency";
+  h.bounds = {10, 100};
+  h.counts = {2, 3, 1};  // per-bucket (non-cumulative), +Inf last
+  h.count = 6;
+  h.sum = 123;
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+TEST(PrometheusText, GoldenExposition) {
+  const char* expected =
+      "# HELP mpx_demo_total Counts demo events\n"
+      "# TYPE mpx_demo_total counter\n"
+      "mpx_demo_total 3\n"
+      "# HELP mpx_demo_gauge line1\\nline2 \\\\ tail\n"
+      "# TYPE mpx_demo_gauge gauge\n"
+      "mpx_demo_gauge -4\n"
+      "# HELP mpx_demo_ns Latency\n"
+      "# TYPE mpx_demo_ns histogram\n"
+      "mpx_demo_ns_bucket{le=\"10\"} 2\n"
+      "mpx_demo_ns_bucket{le=\"100\"} 5\n"
+      "mpx_demo_ns_bucket{le=\"+Inf\"} 6\n"
+      "mpx_demo_ns_sum 123\n"
+      "mpx_demo_ns_count 6\n";
+  EXPECT_EQ(toPrometheusText(demoSnapshot()), expected);
+}
+
+TEST(PrometheusText, HelpEscapesBackslashAndNewline) {
+  // A raw newline in HELP would terminate the comment mid-string and make
+  // the next fragment parse as a sample line — the whole scrape 400s.
+  const std::string text = toPrometheusText(demoSnapshot());
+  EXPECT_EQ(text.find("line1\nline2"), std::string::npos)
+      << "raw newline leaked into HELP";
+  EXPECT_NE(text.find("line1\\nline2 \\\\ tail"), std::string::npos);
+}
+
+TEST(PrometheusText, BucketsAreCumulativeAndCappedByInf) {
+  const std::string text = toPrometheusText(demoSnapshot());
+  // Stored counts are per-bucket {2, 3, 1}; exposition must cumulate.
+  EXPECT_NE(text.find("mpx_demo_ns_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("mpx_demo_ns_bucket{le=\"100\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("mpx_demo_ns_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  // _count equals the +Inf bucket, _sum is the raw total.
+  EXPECT_NE(text.find("mpx_demo_ns_count 6"), std::string::npos);
+  EXPECT_NE(text.find("mpx_demo_ns_sum 123"), std::string::npos);
+}
+
+TEST(PrometheusText, ExoticMetricNamesAreSanitized) {
+  MetricsSnapshot snap;
+  snap.counters.push_back(CounterSample{"bad name-with.dots", "", 1});
+  const std::string text = toPrometheusText(snap);
+  EXPECT_NE(text.find("bad_name_with_dots 1"), std::string::npos);
+}
+
+TEST(PrometheusText, LiveRegistrySnapshotRendersSorted) {
+  // The registry snapshot contract (name-sorted sections) is what makes
+  // two --stats dumps of the same workload diff cleanly; the renderer
+  // must preserve that order.
+  registry().counter("test_export_zz_total", "later").add(1);
+  registry().counter("test_export_aa_total", "earlier").add(1);
+  const MetricsSnapshot snap = registry().snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const CounterSample& a, const CounterSample& b) {
+        return a.name < b.name;
+      }));
+  const std::string text = toPrometheusText(snap);
+  const std::size_t aa = text.find("test_export_aa_total");
+  const std::size_t zz = text.find("test_export_zz_total");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+}
+
+}  // namespace
+}  // namespace mpx::telemetry

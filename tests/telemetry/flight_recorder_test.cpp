@@ -1,0 +1,137 @@
+// Flight recorder: ring semantics (wrap, seq order, torn-slot skip is
+// covered by hammering), JSON shape, and the async-signal-safe dump path
+// exercised through a real file descriptor.
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace mpx::telemetry {
+namespace {
+
+TEST(FlightRecorder, RecordsInSequenceWithPayload) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.reset();
+  fr.record(FlightEvent::kConnAccepted, 1);
+  fr.record(FlightEvent::kHandshake, 0xabcd, 3, 4);
+  fr.record(FlightEvent::kLevel, 7, 42);
+
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, FlightEvent::kConnAccepted);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].type, FlightEvent::kHandshake);
+  EXPECT_EQ(events[1].a, 0xabcdu);
+  EXPECT_EQ(events[1].b, 3u);
+  EXPECT_EQ(events[1].c, 4u);
+  EXPECT_EQ(events[2].type, FlightEvent::kLevel);
+  EXPECT_EQ(events[2].a, 7u);
+  EXPECT_EQ(events[2].b, 42u);
+  EXPECT_LE(events[0].tsNs, events[2].tsNs);
+  EXPECT_EQ(fr.recorded(), 3u);
+}
+
+TEST(FlightRecorder, RingWrapKeepsOnlyTheMostRecent) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.reset();
+  const std::uint64_t total = FlightRecorder::kCapacity + 50;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    fr.record(FlightEvent::kFrame, /*a=*/i);
+  }
+  EXPECT_EQ(fr.recorded(), total);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // Oldest surviving record is exactly total - capacity; order is seq.
+  EXPECT_EQ(events.front().seq, total - FlightRecorder::kCapacity);
+  EXPECT_EQ(events.back().seq, total - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.back().a, total - 1);
+}
+
+TEST(FlightRecorder, EventNamesAreStable) {
+  EXPECT_STREQ(flightEventName(FlightEvent::kConnAccepted), "conn_accepted");
+  EXPECT_STREQ(flightEventName(FlightEvent::kHandshake), "handshake");
+  EXPECT_STREQ(flightEventName(FlightEvent::kViolation), "violation");
+  EXPECT_STREQ(flightEventName(FlightEvent::kDump), "dump");
+}
+
+TEST(FlightRecorder, JsonCarriesNamesAndPayload) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.reset();
+  fr.record(FlightEvent::kViolation, 9);
+  fr.record(FlightEvent::kDump, 3);
+  const std::string json = fr.toJson();
+  EXPECT_NE(json.find("\"recorded\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"type\": \"violation\", \"a\": 9"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"type\": \"dump\", \"a\": 3"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpToFileMatchesToJson) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.reset();
+  fr.record(FlightEvent::kConnAccepted, 1);
+  fr.record(FlightEvent::kStreamEnd, 0x55);
+
+  const std::string path = "flight_recorder_test_dump.json";
+  ASSERT_TRUE(fr.dumpToFile(path.c_str()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  // The signal-safe writer and the string renderer must produce the same
+  // document — one code path cannot silently drift from the other.
+  EXPECT_EQ(buf.str(), fr.toJson());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpToBadPathFailsWithoutSideEffects) {
+  FlightRecorder& fr = FlightRecorder::global();
+  EXPECT_FALSE(fr.dumpToFile("/nonexistent-dir/nope/flight.json"));
+  EXPECT_FALSE(fr.dumpToFile(""));
+  EXPECT_FALSE(fr.dumpToFile(nullptr));
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornSnapshots) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.reset();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&fr, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Payload encodes (writer, i) twice; a torn read would decouple
+        // the halves.
+        const std::uint64_t tag =
+            (static_cast<std::uint64_t>(t) << 32) | i;
+        fr.record(FlightEvent::kFrame, tag, tag, tag);
+      }
+    });
+  }
+  std::uint64_t snapshots = 0;
+  while (snapshots < 50) {
+    for (const FlightRecord& r : fr.snapshot()) {
+      EXPECT_EQ(r.a, r.b);
+      EXPECT_EQ(r.b, r.c);
+    }
+    ++snapshots;
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(fr.recorded(), kThreads * kPerThread);
+  fr.reset();
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mpx::telemetry

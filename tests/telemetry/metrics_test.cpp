@@ -108,6 +108,64 @@ TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
   EXPECT_EQ(reg.snapshot().size(), before);
 }
 
+TEST(MetricsRegistry, SnapshotSectionsAreNameSorted) {
+  // Registration order is thread-interleaving-dependent (unordered_map
+  // internally); the snapshot contract is what keeps --stats and report
+  // JSON byte-stable across runs.
+  MetricsRegistry& reg = registry();
+  reg.counter("test_sort_zz");
+  reg.counter("test_sort_aa");
+  reg.counter("test_sort_mm");
+  reg.gauge("test_sort_g2");
+  reg.gauge("test_sort_g1");
+  reg.histogram("test_sort_h2", "", {1});
+  reg.histogram("test_sort_h1", "", {1});
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto sorted = [](const auto& section) {
+    for (std::size_t i = 1; i < section.size(); ++i) {
+      if (!(section[i - 1].name < section[i].name)) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(sorted(snap.counters));
+  EXPECT_TRUE(sorted(snap.gauges));
+  EXPECT_TRUE(sorted(snap.histograms));
+}
+
+TEST(LatencySampling, PeriodRoundsUpToAPowerOfTwo) {
+  setLatencySampleEvery(5);
+  EXPECT_EQ(latencySampleEvery(), 8u);
+  EXPECT_TRUE(shouldSampleLatency(0));
+  EXPECT_FALSE(shouldSampleLatency(1));
+  EXPECT_FALSE(shouldSampleLatency(7));
+  EXPECT_TRUE(shouldSampleLatency(8));
+  EXPECT_TRUE(shouldSampleLatency(16));
+  setLatencySampleEvery(64);  // restore the default
+}
+
+TEST(LatencySampling, OneMeansEveryEventZeroMeansOff) {
+  setLatencySampleEvery(1);
+  EXPECT_EQ(latencySampleEvery(), 1u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(shouldSampleLatency(i)) << i;
+  }
+  setLatencySampleEvery(0);
+  EXPECT_EQ(latencySampleEvery(), 0u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(shouldSampleLatency(i)) << i;
+  }
+  setLatencySampleEvery(64);  // restore the default
+}
+
+TEST(LatencySampling, ExactPowersAreKept) {
+  setLatencySampleEvery(256);
+  EXPECT_EQ(latencySampleEvery(), 256u);
+  EXPECT_TRUE(shouldSampleLatency(512));
+  EXPECT_FALSE(shouldSampleLatency(511));
+  setLatencySampleEvery(64);  // restore the default
+}
+
 TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
   constexpr int kThreads = 8;
   constexpr std::uint64_t kPerThread = 20000;

@@ -129,6 +129,37 @@ TEST_F(TraceRecorderTest, ThreadsGetDistinctTrackIds) {
   EXPECT_NE(tids[0], tids[1]);
 }
 
+TEST_F(TraceRecorderTest, DefaultPidIsOneAndNoProcessMetadata) {
+  { TraceSpan span("unit.pid", "test"); }
+  const std::string json = TraceRecorder::global().toChromeTraceJson();
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("process_name"), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, PidAndProcessNameJoinCrossProcessTraces) {
+  // Cross-process correlation: each process stamps its own pid and a
+  // process_name metadata event, so a merged client+daemon trace shows
+  // two named tracks whose spans share the stream_id arg.
+  TraceRecorder::global().setPid(4242);
+  TraceRecorder::global().setProcessName("mpx_observerd");
+  {
+    TraceSpan span("daemon.frame", "net");
+    span.arg("stream_id", 77);
+  }
+  const std::string json = TraceRecorder::global().toChromeTraceJson();
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"name\": \"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"mpx_observerd\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 4242"), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\": 1,"), std::string::npos)
+      << "all events must carry the configured pid";
+  EXPECT_NE(json.find("\"stream_id\""), std::string::npos);
+
+  TraceRecorder::global().setPid(1);
+  TraceRecorder::global().setProcessName("");
+}
+
 TEST(Exporters, PrometheusTextAndJsonAreConsistent) {
   MetricsRegistry& reg = registry();
   reg.counter("test_export_counter", "an exported counter").add(5);
