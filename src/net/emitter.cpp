@@ -213,24 +213,37 @@ void SocketEmitter::senderLoop() {
 
     const bool v3 =
         opts_.handshake.version >= kTraceContextProtocolVersion;
+    const bool v4 =
+        opts_.handshake.version >= kSparseClockProtocolVersion;
     telemetry::TraceSpan span("emitter.batch", "net");
     span.arg("stream_id",
              static_cast<std::int64_t>(opts_.handshake.streamId));
     span.arg("messages", static_cast<std::int64_t>(batch.size()));
     std::vector<std::uint8_t> payload;
     if (v3) {
-      // kEventsTs prefix: the raw monotonic clock at frame-build time.
-      // Stamped once per frame (not per message) so the emitter hot path
-      // stays a queue push.
+      // kEventsTs/kEventsSparse prefix: the raw monotonic clock at
+      // frame-build time.  Stamped once per frame (not per message) so the
+      // emitter hot path stays a queue push.
       const std::uint64_t sendNs = telemetry::rawMonotonicNs();
       payload.resize(kEventsTsPrefixSize);
       std::memcpy(payload.data(), &sendNs, sizeof(sendNs));
     }
-    for (const trace::Message& m : batch) {
-      trace::BinaryCodec::encode(m, payload);
+    if (v4) {
+      // Sparse clock tails, frame-local delta state: a resent frame is
+      // byte-identical and a lost frame cannot corrupt its successors.
+      trace::SparseClockCodec::FrameState st;
+      for (const trace::Message& m : batch) {
+        trace::SparseClockCodec::encode(m, st, payload);
+      }
+    } else {
+      for (const trace::Message& m : batch) {
+        trace::BinaryCodec::encode(m, payload);
+      }
     }
-    if (!sendFrame(v3 ? FrameType::kEventsTs : FrameType::kEvents,
-                   payload)) {
+    const FrameType frameType = v4   ? FrameType::kEventsSparse
+                                : v3 ? FrameType::kEventsTs
+                                     : FrameType::kEvents;
+    if (!sendFrame(frameType, payload)) {
       std::lock_guard<std::mutex> lk(mu_);
       dropped_ += batch.size() + queue_.size();
       if constexpr (telemetry::kEnabled) {

@@ -351,6 +351,7 @@ bool ObserverDaemon::handleFrame(Conn& conn, const Frame& frame,
       return handleHandshake(conn, frame, error);
     case FrameType::kEvents:
     case FrameType::kEventsTs:
+    case FrameType::kEventsSparse:
       return handleEvents(conn, frame, error);
     case FrameType::kEndOfTrace:
       if (!conn.sawHandshake) {
@@ -473,10 +474,17 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     *error = "events after end-of-trace";
     return false;
   }
-  const bool timestamped = frame.type == FrameType::kEventsTs;
+  // Both timestamp-prefixed frame kinds (v3 dense, v4 sparse) feed the
+  // pipeline-lag machinery; decoded messages are identical full clocks
+  // either way, so everything downstream (dedup, lattice) is coding-blind.
+  const bool timestamped = frame.type != FrameType::kEvents;
   std::uint64_t sendNs = 0;
   std::vector<trace::Message> messages;
-  if (timestamped) {
+  if (frame.type == FrameType::kEventsSparse) {
+    if (!decodeEventsSparsePayload(frame.payload, sendNs, messages, error)) {
+      return false;
+    }
+  } else if (frame.type == FrameType::kEventsTs) {
     if (!decodeEventsTsPayload(frame.payload, sendNs, messages, error)) {
       return false;
     }

@@ -218,6 +218,36 @@ bool decodeEventsTsPayload(const std::vector<std::uint8_t>& payload,
                         payload.size() - kEventsTsPrefixSize, out, error);
 }
 
+bool decodeEventsSparsePayload(const std::vector<std::uint8_t>& payload,
+                               std::uint64_t& sendNs,
+                               std::vector<trace::Message>& out,
+                               const char** error) {
+  if (payload.size() < kEventsTsPrefixSize) {
+    if (error != nullptr) *error = "events-sparse frame shorter than timestamp";
+    return false;
+  }
+  std::memcpy(&sendNs, payload.data(), sizeof(sendNs));
+  const std::uint8_t* data = payload.data() + kEventsTsPrefixSize;
+  const std::size_t len = payload.size() - kEventsTsPrefixSize;
+  trace::SparseClockCodec::FrameState st;  // frame-local by construction
+  std::size_t off = 0;
+  while (off < len) {
+    const trace::DecodeResult r =
+        trace::SparseClockCodec::tryDecode(data + off, len - off, st);
+    if (r.status != trace::DecodeStatus::kOk) {
+      if (error != nullptr) {
+        *error = r.status == trace::DecodeStatus::kCorrupt
+                     ? r.error
+                     : "partial message inside events frame";
+      }
+      return false;
+    }
+    out.push_back(r.message);
+    off += r.consumed;
+  }
+  return true;
+}
+
 void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
   if (corrupt_) return;
   // Reclaim the consumed prefix before growing (long streams stay O(frame)).
@@ -245,7 +275,7 @@ FrameReader::Status FrameReader::next(Frame& out) {
     return Status::kCorrupt;
   }
   if (type < static_cast<std::uint8_t>(FrameType::kHandshake) ||
-      type > static_cast<std::uint8_t>(FrameType::kEventsTs)) {
+      type > static_cast<std::uint8_t>(FrameType::kEventsSparse)) {
     corrupt_ = true;
     error_ = "unknown frame type";
     return Status::kCorrupt;

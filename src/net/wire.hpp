@@ -27,6 +27,12 @@
 //   kEventsTs    v3: a kEvents payload prefixed with the emitter's raw
 //                monotonic send timestamp (u64 ns), so the daemon can
 //                compute emit-to-analyze lag per frame.
+//   kEventsSparse v4: like kEventsTs (timestamp prefix) but the messages
+//                use the sparse/delta clock tail (SparseClockCodec): wide
+//                mostly-unchanged clocks ship as (index, value) pairs
+//                instead of a dense u64 array.  Coding state is
+//                frame-local, so every frame still decodes standalone and
+//                the at-least-once redelivery story is unchanged.
 //
 // Delivery is at-least-once: an emitter that reconnects mid-batch resends
 // the whole batch, so the daemon deduplicates by (thread, ownClock) —
@@ -43,12 +49,15 @@
 namespace mpx::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
-/// v3: the handshake additionally carries a stream id and the emitter's
-/// monotonic send clock, and event batches may arrive as kEventsTs frames
-/// (timestamp-prefixed) for pipeline-lag measurement.  Receivers still
-/// decode v1 single-spec and v2 list handshakes; versions above
+/// v4: event batches may arrive as kEventsSparse frames carrying
+/// sparse/delta-coded clocks (the handshake layout is unchanged from v3).
+/// Receivers still decode every earlier layout — v1 single-spec and v2
+/// list handshakes, v2 kEvents and v3 kEventsTs frames; versions above
 /// kProtocolVersion are rejected.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
+/// First version whose event frames may be kEventsSparse (sparse/delta
+/// clock tails).  The handshake layout is identical to v3.
+inline constexpr std::uint16_t kSparseClockProtocolVersion = 4;
 /// First version whose handshake carries stream id + send clock and whose
 /// event frames may be kEventsTs.
 inline constexpr std::uint16_t kTraceContextProtocolVersion = 3;
@@ -64,7 +73,8 @@ enum class FrameType : std::uint8_t {
   kHandshake = 1,
   kEvents = 2,
   kEndOfTrace = 3,
-  kEventsTs = 4,  ///< v3: u64 send-timestamp (raw monotonic ns) + events
+  kEventsTs = 4,      ///< v3: u64 send-timestamp (raw monotonic ns) + events
+  kEventsSparse = 5,  ///< v4: u64 send-timestamp + sparse-clock messages
 };
 
 /// Size of the timestamp prefix in a kEventsTs payload.
@@ -144,6 +154,15 @@ inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
 /// decodeEventsPayload; a payload shorter than the timestamp prefix is
 /// corrupt.
 [[nodiscard]] bool decodeEventsTsPayload(
+    const std::vector<std::uint8_t>& payload, std::uint64_t& sendNs,
+    std::vector<trace::Message>& out, const char** error);
+
+/// Parses a kEventsSparse payload: a u64 raw-monotonic send timestamp
+/// followed by SparseClockCodec-encoded messages.  Decoding state is
+/// frame-local (a fresh SparseClockCodec::FrameState per call), so frames
+/// decode standalone in any order.  Same error contract as
+/// decodeEventsPayload.
+[[nodiscard]] bool decodeEventsSparsePayload(
     const std::vector<std::uint8_t>& payload, std::uint64_t& sendNs,
     std::vector<trace::Message>& out, const char** error);
 

@@ -41,17 +41,52 @@ void put(std::vector<std::uint8_t>& out, T v) {
   out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
+/// Appends the fixed event header shared by both codecs:
+///   u8 kind | u32 thread | u32 var | i64 value | u64 localSeq | u64 globalSeq
+void putEventHeader(std::vector<std::uint8_t>& out, const Event& e) {
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+  put<std::uint32_t>(out, e.thread);
+  put<std::uint32_t>(out, e.var);
+  put<std::int64_t>(out, e.value);
+  put<std::uint64_t>(out, e.localSeq);
+  put<std::uint64_t>(out, e.globalSeq);
+}
+
+/// Parses the fixed event header into `r.message.event`, advancing `off`.
+/// Returns true on success; on failure `r` already carries the verdict
+/// (kNeedMore for a truncated header, kCorrupt for a bad event kind).
+bool readEventHeader(const std::uint8_t* data, std::size_t len,
+                     DecodeResult& r, std::size_t& off) noexcept {
+  const auto fits = [&](std::size_t n) { return len - off >= n; };
+  const auto read = [&](auto& v) {
+    std::memcpy(&v, data + off, sizeof v);
+    off += sizeof v;
+  };
+  if (!fits(1)) return false;  // kNeedMore
+  std::uint8_t kind;
+  read(kind);
+  if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
+    r.status = DecodeStatus::kCorrupt;
+    r.error = "corrupt event kind";
+    return false;
+  }
+  r.message.event.kind = static_cast<EventKind>(kind);
+  constexpr std::size_t kBody = 4 + 4 + 8 + 8 + 8;
+  if (!fits(kBody)) return false;  // kNeedMore
+  read(r.message.event.thread);
+  read(r.message.event.var);
+  read(r.message.event.value);
+  read(r.message.event.localSeq);
+  read(r.message.event.globalSeq);
+  return true;
+}
+
 }  // namespace
 
 std::size_t BinaryCodec::encode(const Message& m,
                                 std::vector<std::uint8_t>& out) {
   const std::size_t start = out.size();
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.event.kind));
-  put<std::uint32_t>(out, m.event.thread);
-  put<std::uint32_t>(out, m.event.var);
-  put<std::int64_t>(out, m.event.value);
-  put<std::uint64_t>(out, m.event.localSeq);
-  put<std::uint64_t>(out, m.event.globalSeq);
+  putEventHeader(out, m.event);
   const auto& comps = m.clock.components();
   put<std::uint32_t>(out, static_cast<std::uint32_t>(comps.size()));
   for (const std::uint64_t c : comps) put<std::uint64_t>(out, c);
@@ -67,31 +102,15 @@ DecodeResult BinaryCodec::tryDecode(const std::uint8_t* data,
                                     std::size_t len) noexcept {
   DecodeResult r;
   std::size_t off = 0;
+  if (!readEventHeader(data, len, r, off)) return r;
   const auto fits = [&](std::size_t n) { return len - off >= n; };
   const auto read = [&](auto& v) {
     std::memcpy(&v, data + off, sizeof v);
     off += sizeof v;
   };
 
-  if (!fits(1)) return r;  // kNeedMore
-  std::uint8_t kind;
-  read(kind);
-  if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
-    r.status = DecodeStatus::kCorrupt;
-    r.error = "corrupt event kind";
-    return r;
-  }
-  r.message.event.kind = static_cast<EventKind>(kind);
-
-  // Fixed-width body: thread, var, value, localSeq, globalSeq, clockSize.
-  constexpr std::size_t kBody = 4 + 4 + 8 + 8 + 8 + 4;
-  if (!fits(kBody)) return r;
-  read(r.message.event.thread);
-  read(r.message.event.var);
-  read(r.message.event.value);
-  read(r.message.event.localSeq);
-  read(r.message.event.globalSeq);
   std::uint32_t n;
+  if (!fits(4)) return r;  // kNeedMore
   read(n);
   if (n > kMaxClockComponents) {
     r.status = DecodeStatus::kCorrupt;
@@ -146,6 +165,163 @@ std::vector<Message> BinaryCodec::decodeAll(
   std::size_t offset = 0;
   while (offset < in.size()) out.push_back(decode(in, offset));
   return out;
+}
+
+std::size_t SparseClockCodec::encode(const Message& m, FrameState& st,
+                                     std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  putEventHeader(out, m.event);
+
+  const auto comps = m.clock.components();
+  const std::size_t size = comps.size();
+  std::size_t nonzero = 0;
+  for (const std::uint64_t c : comps) nonzero += c != 0 ? 1 : 0;
+
+  // Candidate tail costs (the u8 mode byte is common to all three).
+  const std::size_t denseCost = 4 + 8 * size;
+  const std::size_t sparseCost = 4 + 12 * nonzero;
+  std::size_t deltaCost = ~std::size_t{0};
+  std::size_t changed = 0;
+  const auto base = st.last.find(m.event.thread);
+  if (base != st.last.end()) {
+    const std::size_t width = std::max(size, base->second.size());
+    for (std::size_t j = 0; j < width; ++j) {
+      const auto t = static_cast<ThreadId>(j);
+      changed += m.clock.get(t) != base->second.get(t) ? 1 : 0;
+    }
+    deltaCost = 4 + 12 * changed;
+  }
+
+  // Deterministic minimal-mode choice; ties break toward the lower mode
+  // number so independent encoders of the same stream agree byte-for-byte.
+  std::uint8_t mode = kModeDense;
+  std::size_t best = denseCost;
+  if (sparseCost < best) {
+    mode = kModeSparse;
+    best = sparseCost;
+  }
+  if (deltaCost < best) mode = kModeDelta;
+
+  put<std::uint8_t>(out, mode);
+  switch (mode) {
+    case kModeDense:
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(size));
+      for (const std::uint64_t c : comps) put<std::uint64_t>(out, c);
+      break;
+    case kModeSparse:
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(nonzero));
+      for (std::size_t j = 0; j < size; ++j) {
+        if (comps[j] == 0) continue;
+        put<std::uint32_t>(out, static_cast<std::uint32_t>(j));
+        put<std::uint64_t>(out, comps[j]);
+      }
+      break;
+    case kModeDelta:
+    default: {
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(changed));
+      const std::size_t width = std::max(size, base->second.size());
+      for (std::size_t j = 0; j < width; ++j) {
+        const auto t = static_cast<ThreadId>(j);
+        const std::uint64_t v = m.clock.get(t);
+        if (v == base->second.get(t)) continue;
+        put<std::uint32_t>(out, static_cast<std::uint32_t>(j));
+        put<std::uint64_t>(out, v);
+      }
+      break;
+    }
+  }
+  st.last[m.event.thread] = m.clock;  // copy-assign normalizes
+
+  if constexpr (telemetry::kEnabled) {
+    CodecMetrics& tm = CodecMetrics::get();
+    tm.messagesEncoded.add(1);
+    tm.bytesEncoded.add(out.size() - start);
+  }
+  return out.size() - start;
+}
+
+DecodeResult SparseClockCodec::tryDecode(const std::uint8_t* data,
+                                         std::size_t len,
+                                         FrameState& st) noexcept {
+  DecodeResult r;
+  std::size_t off = 0;
+  if (!readEventHeader(data, len, r, off)) return r;
+  const auto fits = [&](std::size_t n) { return len - off >= n; };
+  const auto read = [&](auto& v) {
+    std::memcpy(&v, data + off, sizeof v);
+    off += sizeof v;
+  };
+
+  if (!fits(1)) return r;  // kNeedMore
+  std::uint8_t mode;
+  read(mode);
+  if (mode > kModeDelta) {
+    r.status = DecodeStatus::kCorrupt;
+    r.error = "unknown clock coding mode";
+    return r;
+  }
+  std::uint32_t n;
+  if (!fits(4)) return r;  // kNeedMore
+  read(n);
+  if (n > BinaryCodec::kMaxClockComponents) {
+    r.status = DecodeStatus::kCorrupt;
+    r.error = "oversized vector clock";
+    return r;
+  }
+
+  if (mode == kModeDense) {
+    if (!fits(std::size_t{8} * n)) return r;  // kNeedMore
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::uint64_t c;
+      read(c);
+      r.message.clock.set(static_cast<ThreadId>(j), c);
+    }
+  } else {
+    if (mode == kModeDelta) {
+      const auto base = st.last.find(r.message.event.thread);
+      if (base == st.last.end()) {
+        // Delta state is frame-local by design; a delta with no in-frame
+        // base can only come from a corrupted or mis-framed stream.
+        r.status = DecodeStatus::kCorrupt;
+        r.error = "delta clock without in-frame base";
+        return r;
+      }
+      r.message.clock = base->second;
+    }
+    if (!fits(std::size_t{12} * n)) return r;  // kNeedMore
+    bool first = true;
+    std::uint32_t prev = 0;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::uint32_t idx;
+      std::uint64_t val;
+      read(idx);
+      read(val);
+      if (idx >= BinaryCodec::kMaxClockComponents) {
+        r.status = DecodeStatus::kCorrupt;
+        r.error = "clock component index out of range";
+        return r;
+      }
+      if (!first && idx <= prev) {
+        r.status = DecodeStatus::kCorrupt;
+        r.error = "unordered clock component indices";
+        return r;
+      }
+      r.message.clock.set(static_cast<ThreadId>(idx), val);
+      first = false;
+      prev = idx;
+    }
+  }
+  r.message.clock.normalize();
+  st.last[r.message.event.thread] = r.message.clock;
+
+  r.status = DecodeStatus::kOk;
+  r.consumed = off;
+  if constexpr (telemetry::kEnabled) {
+    CodecMetrics& tm = CodecMetrics::get();
+    tm.messagesDecoded.add(1);
+    tm.bytesDecoded.add(off);
+  }
+  return r;
 }
 
 std::string TextCodec::format(const Message& m) const {

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/event.hpp"
 #include "trace/var_table.hpp"
+#include "vc/vector_clock.hpp"
 
 namespace mpx::trace {
 
@@ -59,6 +61,50 @@ class BinaryCodec {
   static std::vector<std::uint8_t> encodeAll(
       const std::vector<Message>& messages);
   static std::vector<Message> decodeAll(const std::vector<std::uint8_t>& in);
+};
+
+/// Sparse/delta clock codec — the wire-v4 message tail (kEventsSparse
+/// frames).  The fixed event header is byte-identical to BinaryCodec; the
+/// clock tail is mode-tagged:
+///
+///   u8 mode = 0: u32 n | n * u64                    dense (legacy tail)
+///   u8 mode = 1: u32 n | n * (u32 idx, u64 val)     nonzero components
+///   u8 mode = 2: u32 n | n * (u32 idx, u64 val)     components that differ
+///        from the same thread's PREVIOUS message in the SAME frame
+///        (absolute new values, so one lost pair cannot smear)
+///
+/// The encoder picks the smallest of the applicable modes, deterministic
+/// in the input (ties break toward the lower mode number).  Coding state
+/// is FRAME-LOCAL: the first message of each thread in a frame is coded
+/// without a delta base, so every frame decodes standalone — the
+/// at-least-once resend/reorder/dedup story of the wire layer (wire.hpp)
+/// is untouched.  Sparse indices must be strictly increasing and below
+/// BinaryCodec::kMaxClockComponents, so hostile tails cannot drive
+/// allocation or quadratic work.
+class SparseClockCodec {
+ public:
+  static constexpr std::uint8_t kModeDense = 0;
+  static constexpr std::uint8_t kModeSparse = 1;
+  static constexpr std::uint8_t kModeDelta = 2;
+
+  /// Per-frame coding state: the last clock coded per thread.  Reset (or a
+  /// fresh instance) at every frame boundary, on both sides.
+  struct FrameState {
+    std::unordered_map<ThreadId, vc::VectorClock> last;
+    void reset() { last.clear(); }
+  };
+
+  /// Appends the sparse encoding of `m` to `out`; updates `st`.  Returns
+  /// bytes written.
+  static std::size_t encode(const Message& m, FrameState& st,
+                            std::vector<std::uint8_t>& out);
+
+  /// Non-throwing decode of one sparse-coded message; same contract as
+  /// BinaryCodec::tryDecode.  A mode-2 message whose thread has no in-frame
+  /// base is corrupt.  Updates `st` on success.
+  [[nodiscard]] static DecodeResult tryDecode(const std::uint8_t* data,
+                                              std::size_t len,
+                                              FrameState& st) noexcept;
 };
 
 /// Text codec emitting the paper's notation, e.g. "<x=1, T2, (1,2)>" for a

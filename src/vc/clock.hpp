@@ -1,0 +1,110 @@
+// Pluggable clock backend facade for Algorithm A.
+//
+// The hosts of Algorithm A (core/instrumentor.cpp and runtime/runtime.cpp)
+// manipulate clocks through this facade so the MVC representation can be
+// chosen per trace without touching the algorithm:
+//
+//   * kFlat — the SBO VectorClock.  O(width) joins that never leave the
+//     inline buffer for <= 8 threads; unbeatable at small widths.
+//   * kTree — the provenance TreeClock (tree_clock.hpp).  O(changed)
+//     amortized joins; wins once the width clears the SBO buffer.
+//   * kAuto — resolve by declared thread count at reserve() time:
+//     <= VectorClock::kInlineComponents stays flat, wider goes tree.
+//
+// Whatever the backend, flat() exposes the component values as a plain
+// VectorClock — message emission, the causality graph, the observer
+// frontier and every test read that, so reports are byte-identical across
+// backends (certified by the differential sweep in tests/analysis and the
+// randomized equivalence test in tests/vc).
+#pragma once
+
+#include <cstdint>
+
+#include "vc/tree_clock.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace mpx::vc {
+
+enum class ClockBackend : std::uint8_t {
+  kFlat = 0,
+  kTree = 1,
+  kAuto = 2,
+};
+
+/// kAuto resolution rule: stay flat while every clock fits the SBO buffer,
+/// go tree beyond it.  Deterministic in the declared thread count so the
+/// same trace always picks the same backend.
+[[nodiscard]] constexpr ClockBackend resolveBackend(
+    ClockBackend requested, std::size_t threads) noexcept {
+  if (requested != ClockBackend::kAuto) return requested;
+  return threads > VectorClock::kInlineComponents ? ClockBackend::kTree
+                                                  : ClockBackend::kFlat;
+}
+
+/// One MVC behind the selected backend.  Only the operations Algorithm A
+/// performs are exposed; in particular there is no arbitrary set() — tree
+/// clocks are only sound for clocks describing causal pasts of one
+/// execution, which Algorithm A's op sequence guarantees.
+class Clock {
+ public:
+  Clock() = default;  // flat
+  explicit Clock(ClockBackend backend)
+      : isTree_(backend == ClockBackend::kTree) {}
+
+  [[nodiscard]] ClockBackend backend() const noexcept {
+    return isTree_ ? ClockBackend::kTree : ClockBackend::kFlat;
+  }
+
+  /// Thread-clock identity (V_i's owning thread).  No-op for flat.
+  void setOwner(ThreadId t) {
+    if (isTree_) tree_.setOwner(t);
+  }
+
+  /// Must run once at the start of every event on the event's thread
+  /// clock, BEFORE the event's joins: ticks the tree backend's shadow
+  /// epoch (see tree_clock.hpp).  No-op for flat.
+  void onEventStart() {
+    if (isTree_) tree_.onEventStart();
+  }
+
+  /// Step 1: V[t] <- V[t] + 1.
+  std::uint64_t increment(ThreadId t) {
+    return isTree_ ? tree_.increment(t) : flat_.increment(t);
+  }
+
+  /// Steps 2-3: V <- max{V, other}.  Backends must match (one trace, one
+  /// backend).
+  JoinStats joinWith(const Clock& other) {
+    return isTree_ ? tree_.joinWith(other.tree_)
+                   : flat_.joinWith(other.flat_);
+  }
+
+  /// Step 3 publication: V <- other.  Requires *this <= other (which the
+  /// preceding join established) so the tree backend may monotone-copy.
+  void assignFrom(const Clock& other) {
+    if (isTree_) {
+      tree_.monotoneAssignFrom(other.tree_);
+    } else {
+      flat_ = other.flat_;
+    }
+  }
+
+  /// The component values as a flat clock (what messages carry).
+  [[nodiscard]] const VectorClock& flat() const noexcept {
+    return isTree_ ? tree_.flat() : flat_;
+  }
+
+  [[nodiscard]] std::uint64_t get(ThreadId t) const noexcept {
+    return flat().get(t);
+  }
+
+  /// Backend internals, for tests and the shootout bench.
+  [[nodiscard]] const TreeClock& tree() const noexcept { return tree_; }
+
+ private:
+  VectorClock flat_;  ///< used by the flat backend only
+  TreeClock tree_;    ///< used by the tree backend only (owns its mirror)
+  bool isTree_ = false;
+};
+
+}  // namespace mpx::vc

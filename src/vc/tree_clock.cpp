@@ -1,0 +1,133 @@
+#include "vc/tree_clock.hpp"
+
+namespace mpx::vc {
+
+void TreeClock::onEventStart() {
+  const auto owner = static_cast<std::uint32_t>(owner_);
+  ensureNode(owner);
+  if (root_ < 0) root_ = owner_;
+  ++nodes_[owner].sclk;
+}
+
+void TreeClock::ensureNode(std::uint32_t tid) {
+  if (tid >= nodes_.size()) nodes_.resize(static_cast<std::size_t>(tid) + 1);
+}
+
+void TreeClock::detach(std::int32_t t) {
+  Node& n = nodes_[static_cast<std::uint32_t>(t)];
+  if (n.parent < 0) return;  // root or not attached
+  if (n.prev >= 0) {
+    nodes_[static_cast<std::uint32_t>(n.prev)].next = n.next;
+  } else {
+    nodes_[static_cast<std::uint32_t>(n.parent)].head = n.next;
+  }
+  if (n.next >= 0) nodes_[static_cast<std::uint32_t>(n.next)].prev = n.prev;
+  n.parent = n.prev = n.next = -1;
+}
+
+void TreeClock::attachUnder(std::int32_t child, std::int32_t parent) {
+  Node& c = nodes_[static_cast<std::uint32_t>(child)];
+  Node& p = nodes_[static_cast<std::uint32_t>(parent)];
+  c.parent = parent;
+  c.prev = -1;
+  c.next = p.head;
+  if (p.head >= 0) nodes_[static_cast<std::uint32_t>(p.head)].prev = child;
+  p.head = child;
+}
+
+void TreeClock::absorbNode(const TreeClock& src, std::int32_t v,
+                           std::int32_t attach) {
+  const auto vt = static_cast<std::uint32_t>(v);
+  ensureNode(vt);
+  if (root_ != v) {
+    // Move the node to its new provenance position.  Its existing children
+    // stay beneath it: they were known at its OLD shadow epoch, so a
+    // fortiori at the new one — the subtree invariant survives the move.
+    detach(v);
+    attachUnder(v, attach);
+  }
+  // else: src knows this (non-owner) tree's frozen root thread further than
+  // the frozen copy does; the root updates in place and stays the root.
+  nodes_[vt].sclk = src.nodes_[vt].sclk;
+  flat_.set(static_cast<ThreadId>(vt), src.flat_.get(static_cast<ThreadId>(vt)));
+}
+
+JoinStats TreeClock::joinWith(const TreeClock& src) {
+  JoinStats st;
+  if (this == &src || src.root_ < 0) return st;
+  if (root_ < 0) {
+    // Empty target (a variable clock before its first write): a join from
+    // nothing is a monotone copy.
+    monotoneAssignFrom(src);
+    st.entriesTouched = 1;
+    st.changed = true;
+    return st;
+  }
+
+  const auto srt = static_cast<std::uint32_t>(src.root_);
+  ++st.entriesTouched;  // the src root probe
+  const bool rootKnown = shadow(srt) >= src.nodes_[srt].sclk;
+  if (rootKnown && src.rootDominated_) {
+    // O(1) whole-tree skip: everything beneath a dominated root was known
+    // to its owner at that shadow epoch, which we have already absorbed.
+    return st;
+  }
+
+  bool changed = false;
+  if (!rootKnown) {
+    changed = true;
+    ensureNode(srt);
+    if (root_ != src.root_) {
+      detach(src.root_);
+      attachUnder(src.root_, root_);
+    }
+    nodes_[srt].sclk = src.nodes_[srt].sclk;
+    flat_.set(static_cast<ThreadId>(srt),
+              src.flat_.get(static_cast<ThreadId>(srt)));
+  }
+
+  // Children of an UNDOMINATED src root must not hang under our copy of
+  // that root: its entry does not certify their content, and a later
+  // subtree skip through it would drop reader knowledge.  They re-attach
+  // under our root instead (whose coverage is tracked by rootDominated_).
+  const std::int32_t topAttach =
+      src.rootDominated_ ? src.root_ : root_;
+  scratch_.clear();
+  for (std::int32_t c = src.nodes_[srt].head; c >= 0;
+       c = src.nodes_[static_cast<std::uint32_t>(c)].next) {
+    scratch_.emplace_back(c, topAttach);
+  }
+  while (!scratch_.empty()) {
+    const auto [v, attach] = scratch_.back();
+    scratch_.pop_back();
+    ++st.entriesTouched;
+    const auto vt = static_cast<std::uint32_t>(v);
+    // Subtree skip: a node's entry certifies its whole src subtree (the
+    // subtree is what v's thread knew at sclk, and stays frozen in src
+    // until v is re-attached), so knowing the entry means knowing the
+    // subtree.
+    if (shadow(vt) >= src.nodes_[vt].sclk) continue;
+    changed = true;
+    absorbNode(src, v, attach);
+    for (std::int32_t c = src.nodes_[vt].head; c >= 0;
+         c = src.nodes_[static_cast<std::uint32_t>(c)].next) {
+      scratch_.emplace_back(c, v);
+    }
+  }
+
+  st.changed = changed;
+  // A thread clock (owner-rooted, live) always covers its own content; a
+  // variable clock that absorbed foreign knowledge no longer does.
+  if (changed && root_ != owner_) rootDominated_ = false;
+  return st;
+}
+
+void TreeClock::monotoneAssignFrom(const TreeClock& src) {
+  nodes_ = src.nodes_;
+  root_ = src.root_;
+  rootDominated_ = src.rootDominated_;
+  flat_ = src.flat_;
+  // owner_ is this clock's identity, not content — deliberately untouched.
+}
+
+}  // namespace mpx::vc

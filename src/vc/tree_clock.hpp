@@ -1,0 +1,134 @@
+// Tree clock backend for Algorithm A's MVCs — joins that cost O(changed
+// entries) instead of O(width), after Mathur–Tunç–Pavlogiannis ("tree
+// clocks", arXiv 2201.06325), adapted to this paper's instrumentation
+// setting.
+//
+// A TreeClock stores the same component values as a flat VectorClock (the
+// `flat_` mirror IS the authoritative clk storage; every read-side query
+// delegates to it) plus a rooted tree over thread ids that remembers the
+// PROVENANCE of each entry: a node v hangs under the node whose join
+// brought v's value in.  A join then descends only into subtrees the
+// target does not already know, so re-absorbing a mostly-known clock
+// touches a handful of nodes where the flat join scans the whole width.
+//
+// ## The shadow clock, and why the paper's clk cannot prune
+//
+// The tree-clock paper prunes on the component values themselves, which is
+// sound for sync-only clocks that tick on every operation.  Algorithm A's
+// MVCs tick V_i[i] only on RELEVANT events (paper Fig. 2 step 1), so one
+// (thread, clk) epoch can label MANY distinct knowledge states: a thread
+// can publish V^w_x at epoch t@k, then gain knowledge through reads
+// (which never tick), then publish V^w_z still at t@k with strictly more
+// knowledge.  "I already know t@k" therefore does NOT imply "I already
+// know this publication", and pruning on clk drops causality edges.
+//
+// The fix: each tree node carries a SHADOW component `sclk`, ticked by the
+// owning thread's onEventStart() at EVERY event (relevant or not).  Shadow
+// epochs are unique per knowledge state — all of an event's joins happen
+// after the tick and all its publications after the joins — so "my shadow
+// of t >= the node's sclk" soundly means "I possess everything thread t
+// knew at that point".  All pruning decisions compare sclk; the real MVC
+// values ride along as payload in `flat_`.
+//
+// ## Root domination
+//
+// The O(1) whole-tree skip ("the source's root is already known, skip the
+// source entirely") needs the source's root entry to dominate the whole
+// tree.  That holds for thread clocks (V_i is exactly what thread i knows)
+// and for freshly write-published variable clocks (V^w_x, V^a_x right
+// after step 3 are monotone copies of V_i), but NOT for access clocks that
+// readers have joined into: V^a_x's root stays frozen at the last writer
+// while reader knowledge accumulates beneath it.  The `rootDominated_`
+// flag tracks this; undominated sources skip the O(1) check and fall back
+// to per-child probing, and an undominated source's root is never used as
+// an attachment certificate in the target (its children re-attach under
+// the target's root instead).  This also means the sibling-early-break of
+// the original tree-clock Join (via attach-time aclk certificates) is
+// unavailable here — Algorithm A's join-built variable clocks cannot carry
+// sound attach certificates — so Join probes every child of a visited node
+// at O(1) each and prunes whole SUBTREES, which preserves the
+// O(changed + probed frontier) bound that matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vc/vector_clock.hpp"
+
+namespace mpx::vc {
+
+/// Provenance-tree MVC.  Same observable value surface as VectorClock
+/// (delegated to the flat mirror); joins and assignments exploit the tree.
+class TreeClock {
+ public:
+  TreeClock() = default;
+
+  /// Declares this clock to be thread `t`'s V_i.  Must be set before the
+  /// first event; variable clocks (V^a_x, V^w_x) never call this.
+  void setOwner(ThreadId t) { owner_ = static_cast<std::int32_t>(t); }
+
+  /// Start-of-event shadow tick (thread clocks only): creates the root on
+  /// the first event and bumps the owner's sclk.  Must precede the event's
+  /// joins — shadow epochs are what make pruning sound (see file header).
+  void onEventStart();
+
+  /// Step 1 tick of the REAL clock value.  `t` must be the owner.
+  std::uint64_t increment(ThreadId t) { return flat_.increment(t); }
+
+  /// V <- max{V, src}, descending only into unknown subtrees.
+  JoinStats joinWith(const TreeClock& src);
+
+  /// V <- src, structurally (step 3's V^w_x <- V^a_x <- V_i publications).
+  /// Precondition: *this <= src component-wise, which step 3 guarantees
+  /// after the join.  Re-roots this clock at src's root so the copy stays
+  /// root-dominated — the property the O(1) join skip feeds on.
+  void monotoneAssignFrom(const TreeClock& src);
+
+  /// The component values, as a flat clock (message emission reads this
+  /// verbatim, so reports are byte-identical across backends).
+  [[nodiscard]] const VectorClock& flat() const noexcept { return flat_; }
+
+  [[nodiscard]] std::uint64_t get(ThreadId t) const noexcept {
+    return flat_.get(t);
+  }
+
+  /// Shadow component read (pruning metadata; exposed for tests).
+  [[nodiscard]] std::uint64_t shadow(ThreadId t) const noexcept {
+    return t < nodes_.size() ? nodes_[t].sclk : 0;
+  }
+
+  [[nodiscard]] bool rootDominated() const noexcept { return rootDominated_; }
+  [[nodiscard]] std::int32_t rootTid() const noexcept { return root_; }
+  [[nodiscard]] bool empty() const noexcept { return root_ < 0; }
+
+ private:
+  /// One tree node per thread id, stored densely (tids are small and
+  /// dense in every host: the runtime registry and the interpreter both
+  /// hand them out sequentially).  sclk == 0 means "never seen".
+  struct Node {
+    std::uint64_t sclk = 0;
+    std::int32_t parent = -1;  ///< tid of parent, -1 = root or absent
+    std::int32_t head = -1;    ///< first child tid
+    std::int32_t prev = -1;    ///< previous sibling tid
+    std::int32_t next = -1;    ///< next sibling tid
+  };
+
+  void ensureNode(std::uint32_t tid);
+  /// Unlinks `t` from its parent's child list, keeping t's own children.
+  void detach(std::int32_t t);
+  void attachUnder(std::int32_t child, std::int32_t parent);
+  /// Copy one entry (shadow + value) from src, moving the node under
+  /// `attach` unless it is this tree's root.
+  void absorbNode(const TreeClock& src, std::int32_t v, std::int32_t attach);
+
+  std::vector<Node> nodes_;
+  VectorClock flat_;
+  std::int32_t root_ = -1;
+  std::int32_t owner_ = -1;
+  bool rootDominated_ = true;
+  /// Join DFS worklist: (src node, tid to attach copies under).  A member
+  /// so the per-event joins stay allocation-free once warmed up.
+  std::vector<std::pair<std::int32_t, std::int32_t>> scratch_;
+};
+
+}  // namespace mpx::vc

@@ -456,19 +456,19 @@ std::string httpGet(std::uint16_t port, const std::string& path) {
   return response;
 }
 
-TEST(NetDaemonE2E, V2StreamMatchesV3AndInProcess) {
-  // The default emitter now speaks v3 (kEventsTs + trace context); a v2
-  // peer carrying the identical messages must still yield a byte-identical
-  // report — timestamps are observability metadata, never analysis input.
+TEST(NetDaemonE2E, AllWireVersionsMatchInProcess) {
+  // The default emitter now speaks v4 (kEventsSparse); v2 (kEvents) and v3
+  // (kEventsTs) peers carrying the identical messages must still yield a
+  // byte-identical report — timestamps and clock coding are transport
+  // concerns, never analysis input.
   const auto c = landingComputation();
   const char* spec = program::corpus::landingProperty();
   const Reference ref = inProcess(c, spec);
   const auto msgs = messagesInOrder(c.graph);
 
-  std::string reportV2;
-  std::string reportV3;
   for (const std::uint16_t version :
-       {kListSpecProtocolVersion, kTraceContextProtocolVersion}) {
+       {kListSpecProtocolVersion, kTraceContextProtocolVersion,
+        kSparseClockProtocolVersion}) {
     ObserverDaemon daemon(quietDaemon());
     ASSERT_TRUE(daemon.start());
     Handshake h = handshakeFor(c, spec, {"landing", "approved", "radio"});
@@ -479,10 +479,9 @@ TEST(NetDaemonE2E, V2StreamMatchesV3AndInProcess) {
       emitter.close();
     }
     ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
-    (version == kListSpecProtocolVersion ? reportV2 : reportV3) =
-        daemon.renderReport();
+    EXPECT_EQ(daemon.renderReport(), ref.report) << "version " << version;
 
-    // v3 streams register under their stream id with measured lag; v2
+    // v3+ streams register under their stream id with measured lag; v2
     // streams aggregate under the legacy id 0 with no lag samples.
     const auto streams = daemon.streamSnapshots();
     ASSERT_EQ(streams.size(), 1u) << "version " << version;
@@ -491,7 +490,7 @@ TEST(NetDaemonE2E, V2StreamMatchesV3AndInProcess) {
     EXPECT_EQ(s.messages, msgs.size());
     EXPECT_TRUE(s.ended);
     EXPECT_EQ(s.framesInFlight, 0u);
-    if (version == kTraceContextProtocolVersion) {
+    if (version >= kTraceContextProtocolVersion) {
       EXPECT_NE(s.streamId, 0u);
       EXPECT_GE(s.receiveLag.count, 1u);
       EXPECT_GE(s.analyzeLag.count, 1u);
@@ -502,8 +501,6 @@ TEST(NetDaemonE2E, V2StreamMatchesV3AndInProcess) {
     }
     daemon.stop();
   }
-  EXPECT_EQ(reportV2, ref.report);
-  EXPECT_EQ(reportV3, ref.report);
 }
 
 TEST(NetDaemonE2E, WatermarkAdvancesMonotonicallyToFinalLevelCount) {

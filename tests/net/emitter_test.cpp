@@ -77,6 +77,13 @@ std::vector<trace::Message> messagesIn(const std::vector<Frame>& frames) {
       EXPECT_TRUE(decodeEventsTsPayload(f.payload, sendNs, out, &error))
           << error;
       EXPECT_GT(sendNs, 0u);
+    } else if (f.type == FrameType::kEventsSparse) {
+      // v4 emitters additionally sparse-code the clocks; decode yields the
+      // same full-clock messages.
+      std::uint64_t sendNs = 0;
+      EXPECT_TRUE(decodeEventsSparsePayload(f.payload, sendNs, out, &error))
+          << error;
+      EXPECT_GT(sendNs, 0u);
     }
   }
   return out;

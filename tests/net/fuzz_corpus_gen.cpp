@@ -2,9 +2,10 @@
 //
 //   fuzz_corpus_gen <dir>
 //
-// creates <dir>/{frame_reader,codec,handshake}/seed-*.bin with valid
-// encodings (a whole frame stream, an events batch, v1 + v2 handshakes)
-// plus a few deterministic mutations of each.  The checked-in corpus under
+// creates <dir>/{frame_reader,codec,handshake,sparse_clock}/seed-*.bin
+// with valid encodings (a whole frame stream, an events batch, v1 + v2
+// handshakes, a sparse-coded v4 message stream) plus a few deterministic
+// mutations of each.  The checked-in corpus under
 // tests/net/corpus/ was produced by this tool; CI regenerates and uploads
 // it so fuzz runs always start from live-format seeds.
 #include <cstdio>
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   writeFamily(root, "handshake",
               {fuzz::seedHandshakePayload(mpx::net::kProtocolVersion),
                fuzz::seedHandshakePayload(mpx::net::kLegacyProtocolVersion)});
+  writeFamily(root, "sparse_clock", {fuzz::seedSparseEventsPayload()});
   std::printf("corpus written to %s\n", root.string().c_str());
   return 0;
 }

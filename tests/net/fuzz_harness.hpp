@@ -140,6 +140,69 @@ inline void driveCodec(const std::uint8_t* data, std::size_t len) {
   (void)net::decodeEventsPayload(payload, out, &error);
 }
 
+// --- SparseClockCodec::tryDecode ----------------------------------------
+
+/// Decodes sparse-coded messages (wire v4 tails) from the input with a
+/// frame-local state, exactly like one kEventsSparse frame; checks the
+/// contract plus the sparse-specific invariants: hostile counts and
+/// indices must be rejected before they drive allocation, and a decoded
+/// stream must re-encode (with a mirrored frame state) to the same or
+/// fewer bytes and decode back to equal messages.
+inline void driveSparseClock(const std::uint8_t* data, std::size_t len) {
+  trace::SparseClockCodec::FrameState dec;
+  // Mirror states: `reEnc`/`reDec` replay the accepted messages so the
+  // delta bases on the re-encode path match the original stream's.
+  trace::SparseClockCodec::FrameState reEnc;
+  trace::SparseClockCodec::FrameState reDec;
+  std::size_t pos = 0;
+  while (pos < len) {
+    const trace::DecodeResult r =
+        trace::SparseClockCodec::tryDecode(data + pos, len - pos, dec);
+    if (r.status == trace::DecodeStatus::kOk) {
+      MPX_FUZZ_ASSERT(r.consumed > 0, "kOk consumed nothing");
+      MPX_FUZZ_ASSERT(r.consumed <= len - pos, "kOk consumed past the end");
+      MPX_FUZZ_ASSERT(r.message.clock.size() <=
+                          trace::BinaryCodec::kMaxClockComponents,
+                      "decoded clock wider than the component cap");
+      // Semantic fixpoint: the minimal re-encode may be shorter than the
+      // consumed bytes (the input may have used a non-minimal mode or
+      // redundant entries), never longer.
+      std::vector<std::uint8_t> re;
+      const std::size_t written =
+          trace::SparseClockCodec::encode(r.message, reEnc, re);
+      MPX_FUZZ_ASSERT(written == re.size(), "encode() miscounted");
+      MPX_FUZZ_ASSERT(re.size() <= r.consumed,
+                      "re-encode longer than the consumed bytes");
+      const trace::DecodeResult r2 =
+          trace::SparseClockCodec::tryDecode(re.data(), re.size(), reDec);
+      MPX_FUZZ_ASSERT(r2.status == trace::DecodeStatus::kOk,
+                      "re-encoded sparse message does not decode");
+      MPX_FUZZ_ASSERT(r2.consumed == re.size(),
+                      "re-encoded sparse message decodes short");
+      MPX_FUZZ_ASSERT(r2.message.event == r.message.event,
+                      "event changed in sparse round trip");
+      MPX_FUZZ_ASSERT(r2.message.clock == r.message.clock,
+                      "clock changed in sparse round trip");
+      pos += r.consumed;
+      continue;
+    }
+    if (r.status == trace::DecodeStatus::kNeedMore) {
+      MPX_FUZZ_ASSERT(r.error == nullptr, "kNeedMore with an error reason");
+    } else {
+      MPX_FUZZ_ASSERT(r.error != nullptr, "kCorrupt without a reason");
+    }
+    break;
+  }
+  // Whole-buffer decode through the v4 frame-payload path must not throw
+  // either; prepend the timestamp prefix the payload decoder expects.
+  std::vector<std::uint8_t> payload(net::kEventsTsPrefixSize, 0);
+  payload.insert(payload.end(), data, data + len);
+  std::vector<trace::Message> out;
+  std::uint64_t sendNs = 0;
+  const char* error = nullptr;
+  (void)net::decodeEventsSparsePayload(payload, sendNs, out, &error);
+}
+
 // --- handshake (v1 + v2) ------------------------------------------------
 
 /// decodeHandshake must accept or reject any payload without throwing, and
@@ -209,11 +272,46 @@ inline std::vector<std::uint8_t> seedHandshakePayload(std::uint16_t version) {
   return net::encodeHandshake(h);
 }
 
+/// A sparse-coded (wire v4) message stream exercising all three clock
+/// modes: a wide dense-ish first clock, a sparse mostly-zero clock, and
+/// same-thread successors that delta-code to a handful of entries.
+inline std::vector<std::uint8_t> seedSparseEventsPayload() {
+  trace::SparseClockCodec::FrameState st;
+  std::vector<std::uint8_t> out;
+  // Thread 0: a 32-wide fully-populated clock, then two small advances
+  // (delta mode with 1-2 entries).
+  trace::Message m = seedMessage(1);
+  m.event.thread = 0;
+  for (ThreadId t = 0; t < 32; ++t) m.clock.set(t, 100 + t);
+  trace::SparseClockCodec::encode(m, st, out);
+  m.clock.set(0, m.clock.get(0) + 1);
+  m.event.localSeq++;
+  trace::SparseClockCodec::encode(m, st, out);
+  m.clock.set(0, m.clock.get(0) + 1);
+  m.clock.set(31, m.clock.get(31) + 3);
+  m.event.localSeq++;
+  trace::SparseClockCodec::encode(m, st, out);
+  // Thread 1: a mostly-zero wide clock (sparse-absolute mode).
+  trace::Message n = seedMessage(2);
+  n.event.thread = 1;
+  n.clock = vc::VectorClock();
+  n.clock.set(1, 7);
+  n.clock.set(30, 9);
+  trace::SparseClockCodec::encode(n, st, out);
+  // Thread 2: a narrow clock (dense mode wins at small widths).
+  trace::SparseClockCodec::encode(seedMessage(3), st, out);
+  return out;
+}
+
 inline std::vector<std::uint8_t> seedFrameStream() {
   std::vector<std::uint8_t> out;
   net::appendFrame(out, net::FrameType::kHandshake,
                    seedHandshakePayload(net::kProtocolVersion));
   net::appendFrame(out, net::FrameType::kEvents, seedEventsPayload());
+  std::vector<std::uint8_t> sparse(net::kEventsTsPrefixSize, 0);
+  const auto body = seedSparseEventsPayload();
+  sparse.insert(sparse.end(), body.begin(), body.end());
+  net::appendFrame(out, net::FrameType::kEventsSparse, sparse);
   net::appendFrame(out, net::FrameType::kEndOfTrace, nullptr, 0);
   return out;
 }

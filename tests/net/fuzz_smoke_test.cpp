@@ -56,6 +56,10 @@ TEST(FuzzSmoke, HandshakeV1) {
         3000, 0xDECAF);
 }
 
+TEST(FuzzSmoke, SparseClock) {
+  sweep(&driveSparseClock, seedSparseEventsPayload(), 3000, 0x5BA45E);
+}
+
 // Regressions: inputs that once violated a driver invariant stay pinned by
 // name so the exact bytes are re-checked forever.
 TEST(FuzzSmoke, RegressionHugeClockSize) {
@@ -112,8 +116,97 @@ TEST(FuzzSmoke, RegressionEmptyAndHeaderOnlyInputs) {
   driveFrameReader(nullptr, 0);
   driveCodec(nullptr, 0);
   driveHandshake(nullptr, 0);
+  driveSparseClock(nullptr, 0);
   const std::vector<std::uint8_t> stream = seedFrameStream();
   driveFrameReader(stream.data(), net::kFrameHeaderSize);
+}
+
+/// A sparse-coded message header (all-zero event: kind kInternal, thread 0)
+/// followed by the given mode byte and tail.
+std::vector<std::uint8_t> sparseMessageWithTail(
+    std::uint8_t mode, const std::vector<std::uint8_t>& tail) {
+  std::vector<std::uint8_t> bytes(33, 0);  // zeroed fixed event header
+  bytes.push_back(mode);
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+  return bytes;
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+TEST(FuzzSmoke, RegressionSparseDeltaWithoutBase) {
+  // Mode 2 (delta) as the first message of a frame has no in-frame base for
+  // its thread: must be kCorrupt, never a join against stale cross-frame
+  // state.  Entry list {idx 0 -> 5} is otherwise well-formed.
+  std::vector<std::uint8_t> tail;
+  put32(tail, 1);
+  put32(tail, 0);
+  put64(tail, 5);
+  const auto bytes = sparseMessageWithTail(trace::SparseClockCodec::kModeDelta,
+                                           tail);
+  trace::SparseClockCodec::FrameState st;
+  const trace::DecodeResult r =
+      trace::SparseClockCodec::tryDecode(bytes.data(), bytes.size(), st);
+  EXPECT_EQ(r.status, trace::DecodeStatus::kCorrupt);
+  driveSparseClock(bytes.data(), bytes.size());
+}
+
+TEST(FuzzSmoke, RegressionSparseAtCapComponentCounts) {
+  // Counts at and one past BinaryCodec::kMaxClockComponents: the cap itself
+  // is accepted (truncated input -> kNeedMore without a giant allocation
+  // up-front is fine; a full valid body would be ~768 KiB so we only probe
+  // the header), one past it is rejected immediately.
+  std::vector<std::uint8_t> atCap;
+  put32(atCap, trace::BinaryCodec::kMaxClockComponents);
+  const auto capBytes = sparseMessageWithTail(
+      trace::SparseClockCodec::kModeSparse, atCap);
+  trace::SparseClockCodec::FrameState st;
+  EXPECT_EQ(trace::SparseClockCodec::tryDecode(capBytes.data(),
+                                               capBytes.size(), st)
+                .status,
+            trace::DecodeStatus::kNeedMore);
+  driveSparseClock(capBytes.data(), capBytes.size());
+
+  std::vector<std::uint8_t> pastCap;
+  put32(pastCap, trace::BinaryCodec::kMaxClockComponents + 1);
+  const auto pastBytes = sparseMessageWithTail(
+      trace::SparseClockCodec::kModeSparse, pastCap);
+  st.reset();
+  EXPECT_EQ(trace::SparseClockCodec::tryDecode(pastBytes.data(),
+                                               pastBytes.size(), st)
+                .status,
+            trace::DecodeStatus::kCorrupt);
+  driveSparseClock(pastBytes.data(), pastBytes.size());
+}
+
+TEST(FuzzSmoke, RegressionSparseHostileIndices) {
+  // Duplicate, descending, and out-of-range component indices must all be
+  // kCorrupt — the strictly-increasing rule is what makes the encoding
+  // canonical and the re-encode fixpoint sound.
+  const auto probe = [](std::uint32_t a, std::uint32_t b) {
+    std::vector<std::uint8_t> tail;
+    put32(tail, 2);
+    put32(tail, a);
+    put64(tail, 1);
+    put32(tail, b);
+    put64(tail, 1);
+    const auto bytes = sparseMessageWithTail(
+        trace::SparseClockCodec::kModeSparse, tail);
+    trace::SparseClockCodec::FrameState st;
+    const trace::DecodeResult r =
+        trace::SparseClockCodec::tryDecode(bytes.data(), bytes.size(), st);
+    EXPECT_EQ(r.status, trace::DecodeStatus::kCorrupt)
+        << "indices " << a << "," << b;
+    driveSparseClock(bytes.data(), bytes.size());
+  };
+  probe(4, 4);                                         // duplicate
+  probe(9, 2);                                         // descending
+  probe(1, trace::BinaryCodec::kMaxClockComponents);   // out of range
 }
 
 }  // namespace

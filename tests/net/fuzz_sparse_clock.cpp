@@ -1,0 +1,10 @@
+// libFuzzer target: SparseClockCodec::tryDecode + re-encode fixpoint +
+// decodeEventsSparsePayload over arbitrary bytes.  Build with
+// -DMPX_BUILD_FUZZERS=ON (clang only).
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  mpx::testing::fuzz::driveSparseClock(data, size);
+  return 0;
+}

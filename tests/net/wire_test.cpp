@@ -239,8 +239,10 @@ TEST(NetHandshake, RejectsTrailingBytes) {
 
 TEST(NetHandshake, V3CarriesTraceContext) {
   // Protocol v3 = v2 + trace context: a stream id correlating the client's
-  // spans with the daemon's, and the handshake's own send timestamp.
+  // spans with the daemon's, and the handshake's own send timestamp.  (v4
+  // keeps the same handshake layout; pin v3 to test that layer itself.)
   Handshake h = sampleHandshake();
+  h.version = kTraceContextProtocolVersion;
   h.streamId = 0x0123456789abcdefull;
   h.handshakeSendNs = 42'000'000'017ull;
   Handshake back;

@@ -63,6 +63,199 @@ TEST(BinaryCodec, EmptyInputDecodesToNothing) {
   EXPECT_TRUE(BinaryCodec::decodeAll({}).empty());
 }
 
+/// Encodes a stream with per-frame state, mirroring one kEventsSparse frame.
+std::vector<std::uint8_t> sparseEncodeAll(const std::vector<Message>& ms) {
+  SparseClockCodec::FrameState st;
+  std::vector<std::uint8_t> out;
+  for (const Message& m : ms) SparseClockCodec::encode(m, st, out);
+  return out;
+}
+
+std::vector<Message> sparseDecodeAll(const std::vector<std::uint8_t>& in) {
+  SparseClockCodec::FrameState st;
+  std::vector<Message> out;
+  std::size_t off = 0;
+  while (off < in.size()) {
+    const DecodeResult r =
+        SparseClockCodec::tryDecode(in.data() + off, in.size() - off, st);
+    EXPECT_EQ(r.status, DecodeStatus::kOk) << r.error;
+    if (r.status != DecodeStatus::kOk) break;
+    out.push_back(r.message);
+    off += r.consumed;
+  }
+  return out;
+}
+
+class SparseClockCodecRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparseClockCodecRoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<Message> sent;
+  for (int i = 0; i < 50; ++i) sent.push_back(randomMessage(rng));
+  const auto got = sparseDecodeAll(sparseEncodeAll(sent));
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].event, sent[i].event);
+    EXPECT_EQ(got[i].clock, sent[i].clock);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseClockCodecRoundTrip,
+                         ::testing::Values(44, 55, 66));
+
+TEST(SparseClockCodec, WideSlowlyChangingClocksBeatDenseEncoding) {
+  // The motivating case: 64 threads, one component advancing per message —
+  // an Algorithm A thread ticking itself between syncs.  The sparse stream
+  // must be well under the dense (BinaryCodec) stream.
+  constexpr ThreadId kThreads = 64;
+  vc::VectorClock clock;
+  for (ThreadId t = 0; t < kThreads; ++t) clock.set(t, 1);
+  std::vector<Message> ms;
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.event.kind = EventKind::kWrite;
+    m.event.thread = 3;
+    m.event.localSeq = clock.increment(3);
+    m.clock = clock;
+    ms.push_back(m);
+  }
+  const std::size_t dense = BinaryCodec::encodeAll(ms).size();
+  const std::size_t sparse = sparseEncodeAll(ms).size();
+  EXPECT_LT(sparse * 4, dense)
+      << "delta coding should collapse unchanged components";
+  const auto got = sparseDecodeAll(sparseEncodeAll(ms));
+  ASSERT_EQ(got.size(), ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(got[i].clock, ms[i].clock);
+  }
+}
+
+TEST(SparseClockCodec, EncodingIsDeterministicAcrossFrameStates) {
+  // Two independent encoders fed the same messages must agree byte-for-byte
+  // (the at-least-once resend path re-encodes a batch from scratch).
+  std::mt19937_64 rng(99);
+  std::vector<Message> ms;
+  for (int i = 0; i < 30; ++i) ms.push_back(randomMessage(rng));
+  EXPECT_EQ(sparseEncodeAll(ms), sparseEncodeAll(ms));
+}
+
+TEST(SparseClockCodec, DeltaWithoutInFrameBaseIsCorrupt) {
+  // A mode-2 tail referencing a thread with no earlier message in the
+  // frame can only come from mis-framing; the decoder must refuse, not
+  // guess a base.
+  Message a;
+  a.event.thread = 7;
+  for (ThreadId t = 0; t < 32; ++t) a.clock.set(t, 1000 + t);
+  Message b = a;
+  b.clock.increment(7);
+  SparseClockCodec::FrameState enc;
+  std::vector<std::uint8_t> first;
+  SparseClockCodec::encode(a, enc, first);
+  std::vector<std::uint8_t> second;
+  SparseClockCodec::encode(b, enc, second);  // 1-component delta vs `a`
+  ASSERT_LT(second.size(), first.size());
+
+  SparseClockCodec::FrameState dec;  // fresh frame: no base for thread 7
+  const DecodeResult r =
+      SparseClockCodec::tryDecode(second.data(), second.size(), dec);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  EXPECT_STREQ(r.error, "delta clock without in-frame base");
+}
+
+TEST(SparseClockCodec, RejectsUnknownModeAndHostileCounts) {
+  Message m;
+  m.clock.set(0, 1);
+  SparseClockCodec::FrameState st;
+  std::vector<std::uint8_t> bytes;
+  SparseClockCodec::encode(m, st, bytes);
+  const std::size_t modeOff = 33;  // fixed header is 33 bytes, then u8 mode
+
+  auto corruptAt = [&](std::size_t off, std::initializer_list<std::uint8_t> v,
+                       const char* expect) {
+    std::vector<std::uint8_t> bad = bytes;
+    std::size_t i = off;
+    for (const std::uint8_t b : v) bad[i++] = b;
+    SparseClockCodec::FrameState fresh;
+    const DecodeResult r =
+        SparseClockCodec::tryDecode(bad.data(), bad.size(), fresh);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+    EXPECT_STREQ(r.error, expect);
+  };
+  corruptAt(modeOff, {3}, "unknown clock coding mode");
+  // Count word 0xffffffff: must be rejected before any allocation.
+  corruptAt(modeOff + 1, {0xff, 0xff, 0xff, 0xff}, "oversized vector clock");
+}
+
+TEST(SparseClockCodec, RejectsUnorderedAndOutOfRangeIndices) {
+  // Hand-build a sparse (mode 1) tail with hostile index sequences.
+  auto makeSparse = [](std::initializer_list<std::pair<std::uint32_t,
+                                                       std::uint64_t>> comps) {
+    std::vector<std::uint8_t> out(33, 0);  // zeroed fixed header: kRead etc.
+    out.push_back(SparseClockCodec::kModeSparse);
+    const std::uint32_t n = static_cast<std::uint32_t>(comps.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    }
+    for (const auto& [idx, val] : comps) {
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(idx >> (8 * i)));
+      }
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(val >> (8 * i)));
+      }
+    }
+    return out;
+  };
+
+  SparseClockCodec::FrameState st;
+  const auto dup = makeSparse({{4, 1}, {4, 2}});
+  DecodeResult r = SparseClockCodec::tryDecode(dup.data(), dup.size(), st);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  EXPECT_STREQ(r.error, "unordered clock component indices");
+
+  const auto desc = makeSparse({{9, 1}, {2, 2}});
+  r = SparseClockCodec::tryDecode(desc.data(), desc.size(), st);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  EXPECT_STREQ(r.error, "unordered clock component indices");
+
+  const auto far = makeSparse({{BinaryCodec::kMaxClockComponents, 1}});
+  r = SparseClockCodec::tryDecode(far.data(), far.size(), st);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  EXPECT_STREQ(r.error, "clock component index out of range");
+
+  // In-range strictly-increasing indices decode fine.
+  const auto ok = makeSparse({{2, 7}, {5, 9}});
+  r = SparseClockCodec::tryDecode(ok.data(), ok.size(), st);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.message.clock.get(2), 7u);
+  EXPECT_EQ(r.message.clock.get(5), 9u);
+  EXPECT_EQ(r.message.clock.get(0), 0u);
+}
+
+TEST(SparseClockCodec, TruncationAtEveryOffsetNeverDecodesGarbage) {
+  std::mt19937_64 rng(123);
+  std::vector<Message> ms;
+  for (int i = 0; i < 5; ++i) ms.push_back(randomMessage(rng));
+  const auto bytes = sparseEncodeAll(ms);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    SparseClockCodec::FrameState st;
+    std::size_t off = 0;
+    // Decode as far as possible; the final partial message must report
+    // kNeedMore (prefixes of valid messages are never corrupt).
+    for (;;) {
+      const DecodeResult r =
+          SparseClockCodec::tryDecode(bytes.data() + off, cut - off, st);
+      if (r.status != DecodeStatus::kOk) {
+        EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "cut " << cut;
+        break;
+      }
+      off += r.consumed;
+      if (off == cut) break;
+    }
+  }
+}
+
 class TextCodecTest : public ::testing::Test {
  protected:
   TextCodecTest() {

@@ -201,6 +201,60 @@ TEST(VectorClock, NormalizeDropsTrailingZeros) {
   EXPECT_EQ(v, (VectorClock{1}));
 }
 
+TEST(VectorClock, RegressionCopyAssignmentNormalizesLikeCopyConstruction) {
+  // Copy-assign used to keep the source's trailing zeros while copy-
+  // construction dropped them, so two copies of one value could disagree
+  // on size()/components() — and therefore on their wire encoding.  All
+  // copy paths must yield the same canonical representation; moves keep
+  // the source representation on purpose (the wire tests rely on building
+  // non-canonical clocks by move).
+  VectorClock grown{1, 2, 0, 0, 0};
+  ASSERT_EQ(grown.size(), 5u);  // initializer_list keeps trailing zeros
+
+  VectorClock assigned;
+  assigned = grown;
+  const VectorClock constructed(grown);
+  EXPECT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(constructed.size(), 2u);
+  EXPECT_EQ(assigned.components().size(), constructed.components().size());
+
+  // Assigning over a wider clock must not keep stale tail components.
+  VectorClock wide{9, 9, 9, 9, 9, 9, 9};
+  wide = VectorClock{1};
+  EXPECT_EQ(wide.size(), 1u);
+
+  VectorClock moved = std::move(grown);
+  EXPECT_EQ(moved.size(), 5u);  // moves preserve representation
+}
+
+TEST(VectorClock, JoinWithReportsTouchedEntriesAndStaleness) {
+  VectorClock a{5, 5, 5};
+  const VectorClock stale{1, 2, 3};
+  // Stale join: every component already dominated — scan only, no change.
+  JoinStats st = a.joinWith(stale);
+  EXPECT_EQ(st.entriesTouched, 3u);
+  EXPECT_FALSE(st.changed);
+  EXPECT_EQ(a, (VectorClock{5, 5, 5}));
+
+  // Self-join short-circuits without touching any component.
+  st = a.joinWith(a);
+  EXPECT_EQ(st.entriesTouched, 0u);
+  EXPECT_FALSE(st.changed);
+
+  // A growing join touches the other clock's width and reports the change.
+  const VectorClock ahead{6, 5, 5, 1};
+  st = a.joinWith(ahead);
+  EXPECT_EQ(st.entriesTouched, 4u);
+  EXPECT_TRUE(st.changed);
+  EXPECT_EQ(a, (VectorClock{6, 5, 5, 1}));
+
+  // Partial staleness: the scan stops at the first growing component.
+  VectorClock b{9, 0};
+  st = b.joinWith(VectorClock{1, 4});
+  EXPECT_TRUE(st.changed);
+  EXPECT_EQ(b, (VectorClock{9, 4}));
+}
+
 TEST(VectorClock, ToStringFormat) {
   EXPECT_EQ((VectorClock{1, 2}).toString(), "(1,2)");
   EXPECT_EQ(VectorClock().toString(), "()");
