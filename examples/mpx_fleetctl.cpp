@@ -1,0 +1,377 @@
+// mpx_fleetctl — local control plane for a fleet of mpx_observerd nodes.
+//
+// A fleet is N observer daemons on consecutive ports, each with its own
+// epoch-checkpoint snapshot file; emitters rendezvous-hash their trace ids
+// over the node list (see SocketEmitter), so every stream of one trace
+// lands on the same node and a killed node's traces resume exactly where
+// its last checkpoint left them once the node is restored.  fleetctl
+// spawns the nodes, probes them over their HTTP surface, kills them
+// (crash-testing: SIGKILL by default), and restores them from their
+// snapshots — everything CI's fleet smoke needs.
+//
+//   mpx_fleetctl spawn   --dir DIR --observerd PATH --nodes N
+//                        [--base-port P] [-- OBSERVERD_ARGS...]
+//   mpx_fleetctl status  --dir DIR
+//   mpx_fleetctl kill    --dir DIR --node I [--term]
+//   mpx_fleetctl restore --dir DIR --node I
+//   mpx_fleetctl stop    --dir DIR
+//   mpx_fleetctl endpoints --dir DIR
+//
+//   spawn      start N nodes on ports P..P+N-1 (default base 47850), each
+//              with `--serve --checkpoint DIR/node<i>.snapshot` plus any
+//              passthrough args after `--`; waits for every /healthz.
+//              Node state (pidfile, log, snapshot) lives under DIR.
+//   status     one line per node: pid, alive?, and the node's
+//              checkpoints_written / sessions_restored / session count
+//              pulled from GET /streams.  Exit 0 iff every node responds.
+//   kill       SIGKILL (or SIGTERM with --term) one node; its sessions
+//              stay on disk in the snapshot.
+//   restore    respawn a killed node with its original arguments; the
+//              daemon restores its sessions from the snapshot on startup.
+//              Waits for /healthz and prints the restored-session count.
+//   stop       SIGTERM every live node (each snapshots its final epoch on
+//              the way down) and delete the pidfiles.
+//   endpoints  print "host:port,host:port,..." for mpx_loadgen --endpoints.
+//
+// Exit: 0 = command succeeded, 1 = a node failed a probe / signal, 2 = bad
+// usage or unreadable fleet state.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mpx_fleetctl spawn --dir DIR --observerd PATH --nodes N\n"
+      "                          [--base-port P] [-- OBSERVERD_ARGS...]\n"
+      "       mpx_fleetctl status --dir DIR\n"
+      "       mpx_fleetctl kill --dir DIR --node I [--term]\n"
+      "       mpx_fleetctl restore --dir DIR --node I\n"
+      "       mpx_fleetctl stop --dir DIR\n"
+      "       mpx_fleetctl endpoints --dir DIR\n");
+  std::exit(2);
+}
+
+/// One-shot HTTP/1.0 GET against 127.0.0.1:port; empty string on failure.
+std::string httpGet(std::uint16_t port, const std::string& path) {
+  mpx::net::Socket s = mpx::net::Socket::connectTo("127.0.0.1", port);
+  if (!s.valid()) return {};
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!s.sendAll(req.data(), req.size())) return {};
+  std::string response;
+  char buf[4096];
+  std::ptrdiff_t n;
+  while ((n = s.recvSome(buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t sep = response.find("\r\n\r\n");
+  if (sep == std::string::npos) return {};
+  return response.substr(sep + 4);
+}
+
+std::uint64_t jsonU64(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Polls /healthz until the node answers or ~10s pass.
+bool waitHealthy(std::uint16_t port) {
+  for (int i = 0; i < 200; ++i) {
+    if (!httpGet(port, "/healthz").empty()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// The fleet's on-disk control state: DIR/fleet.meta holds the spawn
+/// parameters (one "key=value" per line, passthrough args one per "arg="
+/// line), DIR/node<i>.pid the live pid, DIR/node<i>.snapshot the epoch
+/// checkpoints, DIR/node<i>.log the daemon's stdout+stderr.
+struct FleetMeta {
+  std::string observerd;
+  std::size_t nodes = 0;
+  std::uint16_t basePort = 47850;
+  std::vector<std::string> extraArgs;
+};
+
+std::string metaPath(const std::string& dir) { return dir + "/fleet.meta"; }
+std::string pidPath(const std::string& dir, std::size_t i) {
+  return dir + "/node" + std::to_string(i) + ".pid";
+}
+std::string snapshotPath(const std::string& dir, std::size_t i) {
+  return dir + "/node" + std::to_string(i) + ".snapshot";
+}
+std::string logPath(const std::string& dir, std::size_t i) {
+  return dir + "/node" + std::to_string(i) + ".log";
+}
+
+bool writeMeta(const std::string& dir, const FleetMeta& m) {
+  std::FILE* f = std::fopen(metaPath(dir).c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "observerd=%s\nnodes=%zu\nbaseport=%u\n",
+               m.observerd.c_str(), m.nodes,
+               static_cast<unsigned>(m.basePort));
+  for (const auto& a : m.extraArgs) std::fprintf(f, "arg=%s\n", a.c_str());
+  std::fclose(f);
+  return true;
+}
+
+bool readMeta(const std::string& dir, FleetMeta* m) {
+  std::FILE* f = std::fopen(metaPath(dir).c_str(), "r");
+  if (f == nullptr) return false;
+  char line[4096];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    std::string s(line);
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = s.substr(0, eq), val = s.substr(eq + 1);
+    if (key == "observerd") m->observerd = val;
+    else if (key == "nodes") m->nodes = std::strtoull(val.c_str(), nullptr, 10);
+    else if (key == "baseport")
+      m->basePort =
+          static_cast<std::uint16_t>(std::strtoul(val.c_str(), nullptr, 10));
+    else if (key == "arg") m->extraArgs.push_back(val);
+  }
+  std::fclose(f);
+  return m->nodes > 0 && !m->observerd.empty();
+}
+
+pid_t readPid(const std::string& dir, std::size_t i) {
+  std::FILE* f = std::fopen(pidPath(dir, i).c_str(), "r");
+  if (f == nullptr) return -1;
+  long pid = -1;
+  if (std::fscanf(f, "%ld", &pid) != 1) pid = -1;
+  std::fclose(f);
+  return static_cast<pid_t>(pid);
+}
+
+bool alive(pid_t pid) { return pid > 0 && ::kill(pid, 0) == 0; }
+
+/// fork+exec one node; stdout/stderr go to its log, the pid to its pidfile.
+bool spawnNode(const std::string& dir, const FleetMeta& m, std::size_t i) {
+  const std::uint16_t port = static_cast<std::uint16_t>(m.basePort + i);
+  std::vector<std::string> args = {
+      m.observerd,      "--port",       std::to_string(port),
+      "--serve",        "--checkpoint", snapshotPath(dir, i),
+  };
+  for (const auto& a : m.extraArgs) args.push_back(a);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    const int log = ::open(logPath(dir, i).c_str(),
+                           O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (log >= 0) {
+      ::dup2(log, 1);
+      ::dup2(log, 2);
+      ::close(log);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);  // exec failed
+  }
+  std::FILE* f = std::fopen(pidPath(dir, i).c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%ld\n", static_cast<long>(pid));
+    std::fclose(f);
+  }
+  if (!waitHealthy(port)) {
+    std::fprintf(stderr, "mpx_fleetctl: node %zu (pid %ld, port %u) "
+                 "never became healthy\n",
+                 i, static_cast<long>(pid), static_cast<unsigned>(port));
+    return false;
+  }
+  return true;
+}
+
+std::string flagValue(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage();
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+
+  std::string dir;
+  FleetMeta meta;
+  std::size_t node = static_cast<std::size_t>(-1);
+  bool term = false;
+  std::vector<std::string> passthrough;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0) {
+      dir = flagValue(argc, argv, i);
+    } else if (std::strcmp(argv[i], "--observerd") == 0) {
+      meta.observerd = flagValue(argc, argv, i);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      meta.nodes = std::strtoull(flagValue(argc, argv, i).c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--base-port") == 0) {
+      meta.basePort = static_cast<std::uint16_t>(
+          std::strtoul(flagValue(argc, argv, i).c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--node") == 0) {
+      node = std::strtoull(flagValue(argc, argv, i).c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--term") == 0) {
+      term = true;
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      for (++i; i < argc; ++i) passthrough.emplace_back(argv[i]);
+    } else {
+      usage();
+    }
+  }
+  if (dir.empty()) usage();
+
+  if (cmd == "spawn") {
+    if (meta.observerd.empty() || meta.nodes == 0) usage();
+    meta.extraArgs = passthrough;
+    ::mkdir(dir.c_str(), 0755);
+    if (!writeMeta(dir, meta)) {
+      std::fprintf(stderr, "mpx_fleetctl: cannot write %s\n",
+                   metaPath(dir).c_str());
+      return 2;
+    }
+    for (std::size_t i = 0; i < meta.nodes; ++i) {
+      if (!spawnNode(dir, meta, i)) return 1;
+      std::printf("mpx_fleetctl: node %zu up on 127.0.0.1:%u\n", i,
+                  static_cast<unsigned>(meta.basePort + i));
+    }
+    std::fflush(stdout);
+    return 0;
+  }
+
+  if (!readMeta(dir, &meta)) {
+    std::fprintf(stderr, "mpx_fleetctl: no fleet state in %s\n", dir.c_str());
+    return 2;
+  }
+  if ((cmd == "kill" || cmd == "restore") && node >= meta.nodes) usage();
+
+  if (cmd == "status") {
+    bool allUp = true;
+    for (std::size_t i = 0; i < meta.nodes; ++i) {
+      const pid_t pid = readPid(dir, i);
+      const std::uint16_t port = static_cast<std::uint16_t>(meta.basePort + i);
+      const std::string body = httpGet(port, "/streams");
+      if (body.empty()) allUp = false;
+      std::printf("node %zu port=%u pid=%ld %s sessions=%llu "
+                  "checkpoints=%llu restored=%llu violations=%llu\n",
+                  i, static_cast<unsigned>(port), static_cast<long>(pid),
+                  body.empty() ? (alive(pid) ? "starting" : "DOWN") : "up",
+                  static_cast<unsigned long long>(
+                      jsonU64(body, "sessions_active")),
+                  static_cast<unsigned long long>(
+                      jsonU64(body, "checkpoints_written")),
+                  static_cast<unsigned long long>(
+                      jsonU64(body, "sessions_restored")),
+                  static_cast<unsigned long long>(
+                      jsonU64(body, "violations_total")));
+    }
+    std::fflush(stdout);
+    return allUp ? 0 : 1;
+  }
+
+  if (cmd == "kill") {
+    const pid_t pid = readPid(dir, node);
+    if (!alive(pid)) {
+      std::fprintf(stderr, "mpx_fleetctl: node %zu is not running\n", node);
+      return 1;
+    }
+    // SIGKILL is the crash test (no final checkpoint — the restore replays
+    // the gap from the emitters' resend windows); --term is the graceful
+    // path (the daemon snapshots its final epoch before exiting).
+    ::kill(pid, term ? SIGTERM : SIGKILL);
+    int st = 0;
+    ::waitpid(pid, &st, 0);  // only reaps our own children; harmless else
+    // The node is usually init's child (the spawning fleetctl has exited),
+    // so waitpid cannot reap it — poll until the kernel retires the pid, or
+    // a follow-up `restore` races the dying process and refuses to start.
+    for (int tries = 0; alive(pid) && tries < 200; ++tries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (alive(pid)) {
+      std::fprintf(stderr, "mpx_fleetctl: node %zu (pid %ld) did not exit\n",
+                   node, static_cast<long>(pid));
+      return 1;
+    }
+    std::printf("mpx_fleetctl: node %zu (pid %ld) sent %s\n", node,
+                static_cast<long>(pid), term ? "SIGTERM" : "SIGKILL");
+    std::fflush(stdout);
+    return 0;
+  }
+
+  if (cmd == "restore") {
+    const pid_t old = readPid(dir, node);
+    if (alive(old)) {
+      std::fprintf(stderr, "mpx_fleetctl: node %zu is still running\n", node);
+      return 1;
+    }
+    if (!spawnNode(dir, meta, node)) return 1;
+    const std::uint16_t port = static_cast<std::uint16_t>(meta.basePort + node);
+    const std::string body = httpGet(port, "/streams");
+    std::printf("mpx_fleetctl: node %zu restored on 127.0.0.1:%u "
+                "(sessions_restored=%llu)\n",
+                node, static_cast<unsigned>(port),
+                static_cast<unsigned long long>(
+                    jsonU64(body, "sessions_restored")));
+    std::fflush(stdout);
+    return 0;
+  }
+
+  if (cmd == "stop") {
+    bool ok = true;
+    for (std::size_t i = 0; i < meta.nodes; ++i) {
+      const pid_t pid = readPid(dir, i);
+      if (alive(pid)) {
+        ::kill(pid, SIGTERM);
+      }
+    }
+    for (std::size_t i = 0; i < meta.nodes; ++i) {
+      const pid_t pid = readPid(dir, i);
+      for (int tries = 0; alive(pid) && tries < 200; ++tries) {
+        int st = 0;
+        ::waitpid(pid, &st, WNOHANG);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (alive(pid)) {
+        std::fprintf(stderr, "mpx_fleetctl: node %zu did not exit\n", i);
+        ok = false;
+      }
+      std::remove(pidPath(dir, i).c_str());
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (cmd == "endpoints") {
+    std::string list;
+    for (std::size_t i = 0; i < meta.nodes; ++i) {
+      if (i > 0) list += ',';
+      list += "127.0.0.1:" + std::to_string(meta.basePort + i);
+    }
+    std::printf("%s\n", list.c_str());
+    return 0;
+  }
+
+  usage();
+}

@@ -13,7 +13,15 @@
 // pure duplicates the daemon must absorb with FLAT memory — the CI soak
 // samples the daemon's RSS between streams and fails on growth.
 //
+// With --tenants T each stream instead becomes its OWN analyzer session:
+// stream s handshakes (wire v5) as tenant "tenant<s mod T>" with a unique
+// trace id, exercising the daemon's multi-tenant routing.  Run the daemon
+// with `--streams 1 --serve` so every session finalizes on its single
+// kEndOfTrace while the node stays up.  With --endpoints the emitter
+// rendezvous-hashes each trace over the listed fleet instead of --port.
+//
 //   mpx_loadgen --port N [--threads T] [--events E] [--streams S]
+//               [--tenants T] [--endpoints host:port,host:port,...]
 //
 // Exit: 0 = all streams delivered, 1 = transport failure / messages lost.
 #include <cstdio>
@@ -32,9 +40,31 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port N [--threads T] [--events E] [--streams S]\n",
+               "usage: %s --port N [--threads T] [--events E] [--streams S] "
+               "[--tenants T] [--endpoints host:port,...]\n",
                argv0);
   std::exit(2);
+}
+
+/// Parses "host:port,host:port,..." into endpoints; empty result = bad input.
+std::vector<mpx::net::Endpoint> parseEndpoints(const std::string& list) {
+  std::vector<mpx::net::Endpoint> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(pos, comma - pos);
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) return {};
+    mpx::net::Endpoint e;
+    e.host = item.substr(0, colon);
+    e.port = static_cast<std::uint16_t>(
+        std::strtoul(item.c_str() + colon + 1, nullptr, 10));
+    if (e.port == 0) return {};
+    out.push_back(std::move(e));
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -44,6 +74,8 @@ int main(int argc, char** argv) {
   mpx::ThreadId threads = 4;
   std::uint64_t events = 8;
   std::size_t streams = 3;
+  std::size_t tenants = 0;
+  std::vector<mpx::net::Endpoint> endpoints;
 
   for (int i = 1; i < argc; ++i) {
     const auto intArg = [&](const char* name) -> std::uint64_t {
@@ -58,11 +90,18 @@ int main(int argc, char** argv) {
       events = intArg("--events");
     } else if (std::strcmp(argv[i], "--streams") == 0) {
       streams = static_cast<std::size_t>(intArg("--streams"));
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      tenants = static_cast<std::size_t>(intArg("--tenants"));
+    } else if (std::strcmp(argv[i], "--endpoints") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      endpoints = parseEndpoints(argv[++i]);
+      if (endpoints.empty()) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
   }
-  if (port == 0 || threads == 0 || events == 0 || streams == 0) {
+  if ((port == 0 && endpoints.empty()) || threads == 0 || events == 0 ||
+      streams == 0) {
     usage(argv[0]);
   }
 
@@ -99,13 +138,20 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < streams; ++s) {
     mpx::net::EmitterOptions opts;
     opts.port = port;
+    opts.endpoints = endpoints;
     opts.handshake = handshake;
+    if (tenants > 0) {
+      // Multi-tenant mode: every stream is its own (tenant, trace) session.
+      opts.handshake.tenant = "tenant" + std::to_string(s % tenants);
+      opts.handshake.traceId = s + 1;
+    }
     mpx::net::SocketEmitter emitter(opts);
     for (const auto& m : trace) emitter.onMessage(m);
     emitter.close();
     std::printf("mpx_loadgen: stream %zu/%zu sent %zu messages "
-                "(dropped=%llu reconnects=%llu)\n",
+                "(tenant=%s dropped=%llu reconnects=%llu)\n",
                 s + 1, streams, trace.size(),
+                tenants > 0 ? opts.handshake.tenant.c_str() : "-",
                 static_cast<unsigned long long>(emitter.droppedMessages()),
                 static_cast<unsigned long long>(emitter.reconnects()));
     std::fflush(stdout);

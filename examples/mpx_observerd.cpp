@@ -6,6 +6,8 @@
 //
 //   mpx_observerd [--port N] [--jobs N] [--streams N] [--property SPEC]...
 //                 [--memory-budget BYTES] [--max-frontier N] [--max-conns N]
+//                 [--max-conns-per-tenant N] [--checkpoint PATH]
+//                 [--checkpoint-interval LEVELS] [--serve]
 //                 [--flight-dump PATH] [--quiet]
 //
 //   --port N     listen on 127.0.0.1:N (default 0 = ephemeral; the chosen
@@ -26,6 +28,22 @@
 //   --max-conns N
 //                admission control: at most N live client connections;
 //                further connections are shed with a notice
+//   --max-conns-per-tenant N
+//                per-tenant admission control: at most N live handshaken
+//                connections per tenant (wire v5); one tenant flooding the
+//                daemon cannot starve the others
+//   --checkpoint PATH
+//                epoch checkpoint/restore: restore all analyzer sessions
+//                from PATH on startup (if it exists), snapshot them back
+//                atomically on SIGTERM/SIGINT and at the --checkpoint-
+//                interval cadence
+//   --checkpoint-interval LEVELS
+//                also snapshot whenever a session's consumption watermark
+//                advanced LEVELS levels since its last checkpoint
+//                (default 0 = only on shutdown)
+//   --serve      keep serving after the expected streams finished (fleet
+//                mode: a node analyzes many tenants' traces, each session
+//                finishing on its own schedule; stop with SIGTERM)
 //   --flight-dump PATH
 //                write the flight-recorder ring (recent pipeline events) to
 //                PATH as JSON on exit, on the first predicted violation, and
@@ -67,8 +85,10 @@ void onSignal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: %s [--port N] [--jobs N] [--streams N] "
                "[--property SPEC]... [--memory-budget BYTES] "
-               "[--max-frontier N] [--max-conns N] [--flight-dump PATH] "
-               "[--quiet]\n",
+               "[--max-frontier N] [--max-conns N] "
+               "[--max-conns-per-tenant N] [--checkpoint PATH] "
+               "[--checkpoint-interval LEVELS] [--serve] "
+               "[--flight-dump PATH] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +105,7 @@ long argValue(int argc, char** argv, int& i, const char* argv0) {
 
 int main(int argc, char** argv) {
   mpx::net::DaemonOptions opts;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0) {
       const long v = argValue(argc, argv, i, argv[0]);
@@ -108,6 +129,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-conns") == 0) {
       opts.maxConnections =
           static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--max-conns-per-tenant") == 0) {
+      opts.maxConnsPerTenant =
+          static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opts.checkpointPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0) {
+      opts.checkpointIntervalLevels =
+          static_cast<std::uint64_t>(argValue(argc, argv, i, argv[0]));
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else if (std::strcmp(argv[i], "--flight-dump") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
       opts.flightDumpPath = argv[++i];
@@ -145,6 +177,9 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, onSignal);
 
   // Serve until the trace completes or a signal asks for the report now.
+  // Fleet mode (--serve) keeps the node alive after the expected streams
+  // finish: sessions come and go on their tenants' schedules, so only a
+  // signal ends the process.
   while (g_stop == 0 &&
          !daemon.waitFinished(std::chrono::milliseconds(200))) {
     const std::string err = daemon.streamError();
@@ -154,6 +189,12 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  while (serve && g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  // Persist the final epoch before tearing the listener down, so a
+  // SIGTERM'd node restarts exactly where it stopped.
+  if (!opts.checkpointPath.empty()) daemon.checkpointNow();
   daemon.stop();
 
   if (!opts.flightDumpPath.empty()) {

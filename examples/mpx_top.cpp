@@ -1,11 +1,12 @@
 // mpx_top — live pipeline introspection for a running mpx_observerd.
 //
-// Polls the daemon's `GET /streams` endpoint and renders a terminal table
-// of per-stream pipeline health: frames/messages ingested, duplicates
-// absorbed, frames still in flight, and the emit-to-receive / emit-to-
-// analyze lag the daemon measures from kEventsTs send timestamps — plus
-// the analysis progress watermark (last fully-analyzed lattice level vs
-// levels received).
+// Polls the daemon's `GET /streams` endpoint and renders two terminal
+// tables: one row per analyzer SESSION (tenant + trace id, checkpoint
+// epoch, restore count, watermark, violations), and one row per stream
+// with pipeline health — frames/messages ingested, duplicates absorbed,
+// frames still in flight, and the emit-to-receive / emit-to-analyze lag
+// the daemon measures from kEventsTs send timestamps.  Streams are
+// grouped under their session (sorted by tenant, then trace id).
 //
 //   mpx_top --port N [--host H] [--interval MS] [--once]
 //
@@ -85,12 +86,15 @@ std::string jsonStr(const std::string& text, const char* key,
   return text.substr(start, end - start);
 }
 
-/// Splits the `"streams": [...]` array into one raw-JSON chunk per stream
-/// object (objects are flat — no nested braces beyond the lag maps, which
-/// we balance with a depth counter).
-std::vector<std::string> streamChunks(const std::string& body) {
+/// Splits a `"<label>": [...]` array into one raw-JSON chunk per object
+/// (objects are flat — no nested braces beyond the lag maps, which we
+/// balance with a depth counter).  The per-session scalar `"streams": N`
+/// never matches because the needle requires the `[`.
+std::vector<std::string> arrayChunks(const std::string& body,
+                                     const char* label) {
   std::vector<std::string> out;
-  const std::size_t arr = body.find("\"streams\": [");
+  const std::size_t arr =
+      body.find(std::string("\"") + label + "\": [");
   if (arr == std::string::npos) return out;
   std::size_t i = arr;
   int depth = 0;
@@ -127,7 +131,7 @@ int renderOnce(const std::string& host, std::uint16_t port, bool clear) {
       jsonU64(body, "watermark_level", 0, ~std::uint64_t{0});
   const std::uint64_t pending = jsonU64(body, "pending_messages");
   std::printf("mpx_top — %s:%u   levels=%llu watermark=%lld pending=%llu "
-              "degradation=%s finished=%s\n",
+              "degradation=%s finished=%s checkpoints=%llu restored=%llu\n",
               host.c_str(), static_cast<unsigned>(port),
               static_cast<unsigned long long>(levels),
               watermark == ~std::uint64_t{0}
@@ -135,20 +139,57 @@ int renderOnce(const std::string& host, std::uint16_t port, bool clear) {
                   : static_cast<long long>(watermark),
               static_cast<unsigned long long>(pending),
               jsonStr(body, "degradation").c_str(),
-              jsonBool(body, "finished") ? "yes" : "no");
+              jsonBool(body, "finished") ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  jsonU64(body, "checkpoints_written")),
+              static_cast<unsigned long long>(
+                  jsonU64(body, "sessions_restored")));
 
-  std::printf("%-18s %3s %4s %7s %8s %6s %8s %5s %12s %12s\n", "STREAM",
-              "VER", "CONN", "FRAMES", "MSGS", "DUP", "INFLIGHT", "END",
-              "RECV-LAG ms", "ANLZ-LAG ms");
-  for (const std::string& chunk : streamChunks(body)) {
+  const std::vector<std::string> sessions = arrayChunks(body, "sessions");
+  if (!sessions.empty()) {
+    std::printf("%-16s %-18s %5s %4s %9s %7s %4s %5s %4s\n", "TENANT",
+                "TRACE", "EPOCH", "RST", "WATERMARK", "PENDING", "VIOL",
+                "ENDED", "FIN");
+    for (const std::string& chunk : sessions) {
+      const std::string tenant = jsonStr(chunk, "tenant");
+      char tracebuf[19];
+      std::snprintf(tracebuf, sizeof tracebuf, "%016llx",
+                    static_cast<unsigned long long>(
+                        jsonU64(chunk, "trace_id")));
+      std::printf("%-16s %-18s %5llu %4llu %9llu %7llu %4llu %5llu %4s\n",
+                  tenant == "?" || tenant.empty() ? "(default)"
+                                                  : tenant.c_str(),
+                  tracebuf,
+                  static_cast<unsigned long long>(jsonU64(chunk, "epoch")),
+                  static_cast<unsigned long long>(
+                      jsonU64(chunk, "restores")),
+                  static_cast<unsigned long long>(
+                      jsonU64(chunk, "watermark_level")),
+                  static_cast<unsigned long long>(
+                      jsonU64(chunk, "pending_messages")),
+                  static_cast<unsigned long long>(
+                      jsonU64(chunk, "violations")),
+                  static_cast<unsigned long long>(
+                      jsonU64(chunk, "streams_ended")),
+                  jsonBool(chunk, "finished") ? "yes" : "no");
+    }
+  }
+
+  std::printf("%-16s %-18s %3s %4s %7s %8s %6s %8s %5s %12s %12s\n",
+              "TENANT", "STREAM", "VER", "CONN", "FRAMES", "MSGS", "DUP",
+              "INFLIGHT", "END", "RECV-LAG ms", "ANLZ-LAG ms");
+  for (const std::string& chunk : arrayChunks(body, "streams")) {
     const std::uint64_t id = jsonU64(chunk, "stream_id");
+    const std::string tenant = jsonStr(chunk, "tenant");
     const std::size_t recvAt = chunk.find("\"receive_lag_ns\"");
     const std::size_t anlzAt = chunk.find("\"analyze_lag_ns\"");
     char idbuf[19];
     std::snprintf(idbuf, sizeof idbuf, "%016llx",
                   static_cast<unsigned long long>(id));
-    std::printf("%-18s %3llu %4llu %7llu %8llu %6llu %8llu %5s %12.3f "
-                "%12.3f\n",
+    std::printf("%-16s %-18s %3llu %4llu %7llu %8llu %6llu %8llu %5s "
+                "%12.3f %12.3f\n",
+                tenant == "?" || tenant.empty() ? "(default)"
+                                                : tenant.c_str(),
                 idbuf,
                 static_cast<unsigned long long>(jsonU64(chunk, "version")),
                 static_cast<unsigned long long>(

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "observer/checkpoint_codec.hpp"
 #include "observer/run_enumerator.hpp"
 
 namespace mpx::analysis {
@@ -68,6 +69,81 @@ bool LassoAnalysis::onViolation(const observer::Violation& v,
   }
   lassos_.push_back(std::move(lasso));
   return false;  // collected locally, never a safety violation
+}
+
+namespace {
+
+constexpr std::uint8_t kLassoCkptVersion = 1;
+
+void writeStates(observer::ckpt::Writer& w,
+                 const std::vector<observer::GlobalState>& states) {
+  w.u64(states.size());
+  for (const auto& s : states) {
+    w.u64(s.values.size());
+    for (const Value v : s.values) w.i64(v);
+  }
+}
+
+bool readStates(observer::ckpt::Reader& r,
+                std::vector<observer::GlobalState>& states) {
+  const std::uint64_t n = r.len(8);
+  states.resize(static_cast<std::size_t>(n));
+  for (auto& s : states) {
+    s.values.resize(static_cast<std::size_t>(r.len(8)));
+    for (auto& v : s.values) v = r.i64();
+  }
+  return r.ok();
+}
+
+void writeRefs(observer::ckpt::Writer& w,
+               const std::vector<observer::EventRef>& refs) {
+  w.u64(refs.size());
+  for (const auto& e : refs) observer::ckpt::writeEventRef(w, e);
+}
+
+bool readRefs(observer::ckpt::Reader& r,
+              std::vector<observer::EventRef>& refs) {
+  const std::uint64_t n = r.len(12);
+  refs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    refs.push_back(observer::ckpt::readEventRef(r));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void LassoAnalysis::checkpoint(observer::ckpt::Writer& w) const {
+  w.u8(kLassoCkptVersion);
+  w.u64(seen_.size());
+  for (const std::size_t fp : seen_) w.u64(fp);
+  w.u64(lassos_.size());
+  for (const LassoViolation& l : lassos_) {
+    writeRefs(w, l.stemEvents);
+    writeRefs(w, l.loopEvents);
+    writeStates(w, l.stemStates);
+    writeStates(w, l.loopStates);
+  }
+}
+
+bool LassoAnalysis::restore(observer::ckpt::Reader& r) {
+  if (r.u8() != kLassoCkptVersion) return false;
+  seen_.clear();
+  const std::uint64_t fps = r.len(8);
+  for (std::uint64_t i = 0; i < fps && r.ok(); ++i) {
+    seen_.insert(static_cast<std::size_t>(r.u64()));
+  }
+  lassos_.clear();
+  const std::uint64_t n = r.len(8);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    LassoViolation l;
+    if (!readRefs(r, l.stemEvents) || !readRefs(r, l.loopEvents) ||
+        !readStates(r, l.stemStates) || !readStates(r, l.loopStates)) {
+      return false;
+    }
+    lassos_.push_back(std::move(l));
+  }
+  return r.ok();
 }
 
 observer::AnalysisReport LassoAnalysis::report() const {

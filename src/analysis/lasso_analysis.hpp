@@ -82,6 +82,8 @@ class LassoAnalysis final : public observer::Analysis {
   /// violations — they are collected here, not in the engine's list).
   bool onViolation(const observer::Violation& v,
                    observer::MonitorState componentState) override;
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
   [[nodiscard]] observer::AnalysisReport report() const override;
 
   [[nodiscard]] const std::vector<LassoViolation>& lassos() const noexcept {

@@ -35,6 +35,37 @@ void DeadlockAnalysis::finish(const observer::LatticeStats& stats) {
   reports_ = findLockCycles(edges_);
 }
 
+namespace {
+constexpr std::uint8_t kDeadlockCkptVersion = 1;
+}  // namespace
+
+void DeadlockAnalysis::checkpoint(observer::ckpt::Writer& w) const {
+  w.u8(kDeadlockCkptVersion);
+  w.u64(edges_.size());
+  for (const LockOrderEdge& e : edges_) {
+    w.u32(e.thread);
+    w.u32(e.from);
+    w.u32(e.to);
+    w.u64(e.witness);
+  }
+}
+
+bool DeadlockAnalysis::restore(observer::ckpt::Reader& r) {
+  if (r.u8() != kDeadlockCkptVersion) return false;
+  edges_.clear();
+  const std::uint64_t n = r.len(20);
+  edges_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    LockOrderEdge e;
+    e.thread = r.u32();
+    e.from = r.u32();
+    e.to = r.u32();
+    e.witness = r.u64();
+    edges_.push_back(e);
+  }
+  return r.ok();
+}
+
 observer::AnalysisReport DeadlockAnalysis::report() const {
   observer::AnalysisReport r;
   r.name = name();

@@ -28,6 +28,10 @@ class DeadlockAnalysis final : public observer::Analysis {
   void onRawEvent(const trace::Event& event,
                   const std::vector<LockId>& locksHeld) override;
   void finish(const observer::LatticeStats& stats) override;
+  /// The lock-order graph is the whole accumulated state (reports_ is
+  /// recomputed from it at finish), so the checkpoint is just the edges.
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
   [[nodiscard]] observer::AnalysisReport report() const override;
 
   /// The deduplicated lock-order edges accumulated so far.

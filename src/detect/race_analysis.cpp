@@ -29,6 +29,60 @@ void RaceAnalysis::onRawEvent(const trace::Event& event,
                               const std::vector<LockId>& locksHeld) {
   instr_.onEvent(event);
   locksets_.emplace(event.globalSeq, locksHeld);
+  rawLog_.emplace_back(event, locksHeld);
+}
+
+namespace {
+
+constexpr std::uint8_t kRaceCkptVersion = 1;
+constexpr std::uint8_t kMaxEventKind =
+    static_cast<std::uint8_t>(trace::EventKind::kAtomicUpdate);
+
+void writeEvent(observer::ckpt::Writer& w, const trace::Event& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u32(e.thread);
+  w.u32(e.var);
+  w.i64(e.value);
+  w.u64(e.localSeq);
+  w.u64(e.globalSeq);
+}
+
+bool readEvent(observer::ckpt::Reader& r, trace::Event& e) {
+  const std::uint8_t kind = r.u8();
+  if (kind > kMaxEventKind) return false;
+  e.kind = static_cast<trace::EventKind>(kind);
+  e.thread = r.u32();
+  e.var = r.u32();
+  e.value = r.i64();
+  e.localSeq = r.u64();
+  e.globalSeq = r.u64();
+  return r.ok();
+}
+
+}  // namespace
+
+void RaceAnalysis::checkpoint(observer::ckpt::Writer& w) const {
+  w.u8(kRaceCkptVersion);
+  w.u64(rawLog_.size());
+  for (const auto& [event, locks] : rawLog_) {
+    writeEvent(w, event);
+    w.u64(locks.size());
+    for (const LockId l : locks) w.u32(l);
+  }
+}
+
+bool RaceAnalysis::restore(observer::ckpt::Reader& r) {
+  if (r.u8() != kRaceCkptVersion) return false;
+  const std::uint64_t n = r.len(29 + 8);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    trace::Event event;
+    if (!readEvent(r, event)) return false;
+    std::vector<LockId> locks(static_cast<std::size_t>(r.len(4)));
+    for (auto& l : locks) l = r.u32();
+    if (!r.ok()) return false;
+    onRawEvent(event, locks);
+  }
+  return r.ok();
 }
 
 void RaceAnalysis::finish(const observer::LatticeStats& stats) {

@@ -35,6 +35,12 @@ class RaceAnalysis final : public observer::Analysis {
   void onRawEvent(const trace::Event& event,
                   const std::vector<LockId>& locksHeld) override;
   void finish(const observer::LatticeStats& stats) override;
+  /// The Instrumentor's clock state is a deterministic function of the raw
+  /// event stream, so the checkpoint is the replayable (event, lockset)
+  /// log; restore() — valid on a FRESHLY constructed plugin only — replays
+  /// it through onRawEvent.
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
   [[nodiscard]] observer::AnalysisReport report() const override;
 
   [[nodiscard]] const std::vector<RaceReport>& races() const noexcept {
@@ -50,6 +56,9 @@ class RaceAnalysis final : public observer::Analysis {
   core::Instrumentor instr_;
   std::unordered_map<GlobalSeq, std::vector<LockId>> locksets_;
   std::vector<RaceReport> races_;
+  /// Raw events in arrival order, with the locks held after each — the
+  /// checkpoint payload (see checkpoint()).
+  std::vector<std::pair<trace::Event, std::vector<LockId>>> rawLog_;
 };
 
 }  // namespace mpx::detect

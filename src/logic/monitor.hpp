@@ -54,6 +54,16 @@ class SynthesizedMonitor final : public observer::LatticeMonitor {
   [[nodiscard]] std::int64_t firstViolation(
       const std::vector<observer::GlobalState>& trace);
 
+  // --- checkpoint support (SpecAnalysis::checkpoint/restore) ----------
+  /// The packed subformula word of the linear monitor's current position.
+  [[nodiscard]] std::uint64_t linearState() const noexcept { return cur_; }
+  [[nodiscard]] bool linearStarted() const noexcept { return started_; }
+  /// Resumes the linear monitor exactly where a checkpointed one stood.
+  void restoreLinear(std::uint64_t state, bool started) noexcept {
+    cur_ = state;
+    started_ = started;
+  }
+
   /// One flattened subformula (public so the compiler helper can build it).
   struct Sub {
     PtOp op;

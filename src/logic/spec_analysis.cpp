@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "observer/checkpoint_codec.hpp"
+
 namespace mpx::logic {
 
 SpecAnalysis::SpecAnalysis(const observer::StateSpace& space,
@@ -33,6 +35,56 @@ bool SpecAnalysis::onViolation(const observer::Violation& v,
 void SpecAnalysis::finish(const observer::LatticeStats& stats) {
   truncated_ = stats.truncated;
   approximated_ = stats.approximated;
+}
+
+namespace {
+constexpr std::uint8_t kSpecCkptVersion = 1;
+}  // namespace
+
+void SpecAnalysis::checkpoint(observer::ckpt::Writer& w) const {
+  w.u8(kSpecCkptVersion);
+  // The riding monitor is stateless between calls (its state lives in the
+  // lattice's packed word); only the linear observed-run monitor and the
+  // accumulated observations persist.
+  w.u64(linear_.linearState());
+  w.boolean(linear_.linearStarted());
+  w.i64(observedViolationIndex_);
+  w.i64(observedCount_);
+  w.boolean(truncated_);
+  w.boolean(approximated_);
+  w.u64(seen_.size());
+  for (const auto& [cut, ms] : seen_) {
+    w.u64(cut.size());
+    for (const std::uint32_t c : cut) w.u32(c);
+    w.u64(ms);
+  }
+  w.u64(violations_.size());
+  for (const auto& v : violations_) observer::ckpt::writeViolation(w, v);
+}
+
+bool SpecAnalysis::restore(observer::ckpt::Reader& r) {
+  if (r.u8() != kSpecCkptVersion) return false;
+  const std::uint64_t linearState = r.u64();
+  const bool linearStarted = r.boolean();
+  linear_.restoreLinear(linearState, linearStarted);
+  observedViolationIndex_ = r.i64();
+  observedCount_ = r.i64();
+  truncated_ = r.boolean();
+  approximated_ = r.boolean();
+  seen_.clear();
+  const std::uint64_t seenCount = r.len(12);
+  for (std::uint64_t i = 0; i < seenCount && r.ok(); ++i) {
+    std::vector<std::uint32_t> cut(static_cast<std::size_t>(r.len(4)));
+    for (auto& c : cut) c = r.u32();
+    const observer::MonitorState ms = r.u64();
+    seen_.insert({std::move(cut), ms});
+  }
+  violations_.clear();
+  const std::uint64_t vcount = r.len(8);
+  for (std::uint64_t i = 0; i < vcount && r.ok(); ++i) {
+    violations_.push_back(observer::ckpt::readViolation(r));
+  }
+  return r.ok();
 }
 
 observer::AnalysisReport SpecAnalysis::report() const {

@@ -37,6 +37,8 @@ class SpecAnalysis final : public observer::Analysis {
   bool onViolation(const observer::Violation& v,
                    observer::MonitorState componentState) override;
   void finish(const observer::LatticeStats& stats) override;
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
   [[nodiscard]] observer::AnalysisReport report() const override;
 
   /// Violations of THIS property (component monitor state in

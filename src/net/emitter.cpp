@@ -42,6 +42,30 @@ struct EmitterMetrics {
   }
 };
 
+/// splitmix64 finalizer: the rendezvous-hash mixer.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over "host:port" — the endpoint half of the rendezvous score.
+std::uint64_t endpointHash(const Endpoint& e) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](char c) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  };
+  for (const char c : e.host) mix(c);
+  mix(':');
+  mix(static_cast<char>(e.port >> 8));
+  mix(static_cast<char>(e.port & 0xFF));
+  return h;
+}
+
 }  // namespace
 
 SocketEmitter::SocketEmitter(EmitterOptions opts) : opts_(std::move(opts)) {
@@ -56,6 +80,31 @@ SocketEmitter::SocketEmitter(EmitterOptions opts) : opts_(std::move(opts)) {
         telemetry::rawMonotonicNs() ^
         (reinterpret_cast<std::uintptr_t>(this) << 16) ^ opts_.jitterSeed;
     if (opts_.handshake.streamId == 0) opts_.handshake.streamId = 1;
+  }
+  // v3 peers stamp the handshake with the raw monotonic clock ONCE: the
+  // resent handshake must be byte-identical across reconnects so the
+  // daemon re-routes the stream to the same session.
+  if (opts_.handshake.version >= kTraceContextProtocolVersion &&
+      opts_.handshake.handshakeSendNs == 0) {
+    opts_.handshake.handshakeSendNs = telemetry::rawMonotonicNs();
+  }
+  encodedHandshake_ = encodeHandshake(opts_.handshake);
+  // Rendezvous-hash the fleet by trace id: every endpoint gets a score
+  // mixing the trace key with the endpoint identity; sorting by score
+  // gives each trace its own stable preference order, spreading traces
+  // evenly and moving only 1/N of them when a node joins or leaves.
+  if (opts_.endpoints.empty()) {
+    ranked_.push_back(Endpoint{opts_.host, opts_.port});
+  } else {
+    const std::uint64_t traceKey = opts_.handshake.traceId != 0
+                                       ? opts_.handshake.traceId
+                                       : opts_.handshake.streamId;
+    ranked_ = opts_.endpoints;
+    std::stable_sort(ranked_.begin(), ranked_.end(),
+                     [traceKey](const Endpoint& a, const Endpoint& b) {
+                       return mix64(traceKey ^ endpointHash(a)) >
+                              mix64(traceKey ^ endpointHash(b));
+                     });
   }
   sender_ = std::thread([this] { senderLoop(); });
 }
@@ -120,17 +169,19 @@ bool SocketEmitter::ensureConnected() {
       std::lock_guard<std::mutex> lk(mu_);
       if (closing_ && queue_.empty() && attempt > 0) break;
     }
-    Socket s = Socket::connectTo(opts_.host, opts_.port);
+    // Sticky routing with failover: the rendezvous winner first, then the
+    // rest of the preference order when the chosen node is down.
+    Socket s;
+    for (const Endpoint& ep : ranked_) {
+      s = Socket::connectTo(ep.host, ep.port);
+      if (s.valid()) break;
+    }
     if (s.valid()) {
       sock_ = std::move(s);
-      // v3 peers stamp the handshake with the raw monotonic clock at send
-      // time, letting the daemon measure connection-setup skew.
-      if (opts_.handshake.version >= kTraceContextProtocolVersion) {
-        opts_.handshake.handshakeSendNs = telemetry::rawMonotonicNs();
-      }
-      const std::vector<std::uint8_t> hs = encodeHandshake(opts_.handshake);
+      // The handshake bytes are the SAME on every (re)connection — the
+      // daemon joins the connections back into one stream/session by them.
       std::vector<std::uint8_t> frame;
-      appendFrame(frame, FrameType::kHandshake, hs);
+      appendFrame(frame, FrameType::kHandshake, encodedHandshake_);
       if (sock_.sendAll(frame.data(), frame.size())) {
         if constexpr (telemetry::kEnabled) {
           EmitterMetrics::get().bytesTx.add(frame.size());
@@ -143,12 +194,24 @@ bool SocketEmitter::ensureConnected() {
           ++framesSent_;
           if (!first) ++reconnects_;
         }
+        bool replayed = true;
         if (!first) {
           if constexpr (telemetry::kEnabled) {
             EmitterMetrics::get().reconnects.add(1);
           }
+          // Replay the recent-frame window: a daemon restored from an
+          // epoch checkpoint is missing everything after its checkpointed
+          // watermark; the overlap is deduplicated, the gap is closed.
+          for (const std::vector<std::uint8_t>& past : resendWindow_) {
+            if (!sock_.sendAll(past.data(), past.size())) {
+              replayed = false;
+              break;
+            }
+            std::lock_guard<std::mutex> lk(mu_);
+            ++framesSent_;
+          }
         }
-        return true;
+        if (replayed) return true;
       }
       sock_.close();
     }
@@ -176,7 +239,8 @@ bool SocketEmitter::sendFrame(FrameType type,
   frame.reserve(kFrameHeaderSize + payload.size());
   appendFrame(frame, type, payload);
   // At-least-once: if the send fails, reconnect (which resends the
-  // handshake) and retry the same frame on the fresh connection.
+  // handshake and replays the recent-frame window) and retry the same
+  // frame on the fresh connection.
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (!ensureConnected()) return false;
     if (sock_.sendAll(frame.data(), frame.size())) {
@@ -187,6 +251,15 @@ bool SocketEmitter::sendFrame(FrameType type,
       if constexpr (telemetry::kEnabled) {
         EmitterMetrics::get().bytesTx.add(frame.size());
         EmitterMetrics::get().framesTx.add(1);
+      }
+      // Window the frame for post-reconnect replay.  kEndOfTrace stays
+      // out: replaying it would double-count the stream's end at a
+      // restored daemon.
+      if (opts_.resendWindowFrames > 0 && type != FrameType::kEndOfTrace) {
+        resendWindow_.push_back(std::move(frame));
+        while (resendWindow_.size() > opts_.resendWindowFrames) {
+          resendWindow_.pop_front();
+        }
       }
       return true;
     }

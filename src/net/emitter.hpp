@@ -13,8 +13,17 @@
 //     kBlock stalls the producer (lossless), kDrop counts and discards
 //     (bounded overhead, lossy — the daemon's report shows the gap).
 //   * Connection loss triggers reconnect with exponential backoff plus
-//     jitter; after reconnecting, the handshake and the in-flight batch
-//     are resent (at-least-once delivery; the daemon deduplicates).
+//     jitter; after reconnecting, the handshake — the SAME bytes every
+//     time, stream id and all, so the daemon re-routes the stream to its
+//     session — is resent, followed by the bounded window of recently
+//     sent frames and the in-flight batch (at-least-once delivery; the
+//     daemon deduplicates by (thread, ownClock)).  The window is what
+//     lets a daemon restored from an epoch checkpoint catch up on the
+//     gap between its checkpointed watermark and the kill point.
+//   * With several observer endpoints configured, the emitter picks one
+//     by rendezvous-hashing its trace id over the fleet — sticky, so
+//     every stream of one trace lands on the same observer — and fails
+//     over down the preference order when the chosen node is gone.
 #pragma once
 
 #include <chrono>
@@ -38,11 +47,30 @@ enum class Backpressure : std::uint8_t {
   kDrop,   ///< discard the message, count it in droppedMessages()
 };
 
+/// One observer node of a fleet.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct EmitterOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
-  /// Sent as the first frame of every (re)connection.
+  /// Observer fleet: when non-empty, host/port above are ignored and the
+  /// emitter rendezvous-hashes its handshake trace id (stream id when the
+  /// trace id is 0) over these endpoints.  The ordering is a per-trace
+  /// preference list: the top choice is sticky, the rest are failover.
+  std::vector<Endpoint> endpoints;
+  /// Sent as the first frame of every (re)connection.  Encoded ONCE — the
+  /// resent bytes are identical across reconnects (same stream id, same
+  /// send timestamp), so the daemon can match the stream back up to its
+  /// session and checkpointed state.
   Handshake handshake;
+  /// Sent frames kept for replay after a reconnect (0 = none).  A daemon
+  /// restored from an epoch checkpoint misses the frames between its
+  /// checkpointed watermark and its death; replaying this window closes
+  /// the gap (dedup drops the overlap).  kEndOfTrace is never windowed.
+  std::size_t resendWindowFrames = 64;
   std::size_t queueCapacity = 8192;
   /// Max messages per kEvents frame.
   std::size_t maxBatch = 128;
@@ -86,15 +114,30 @@ class SocketEmitter final : public trace::MessageSink {
   [[nodiscard]] std::uint64_t framesSent() const;
   /// True once the emitter has exhausted its reconnect budget.
   [[nodiscard]] bool failed() const;
+  /// The fleet endpoint this emitter's trace rendezvous-hashed to (its
+  /// sticky first choice; equals host/port when no fleet is configured).
+  [[nodiscard]] const Endpoint& primaryEndpoint() const noexcept {
+    return ranked_.front();
+  }
 
  private:
   void senderLoop();
-  /// Ensures a live connection with the handshake sent; applies backoff.
-  /// Returns false once the reconnect budget is exhausted.
+  /// Ensures a live connection with the handshake sent and the resend
+  /// window replayed; applies backoff.  Returns false once the reconnect
+  /// budget is exhausted.
   bool ensureConnected();
   bool sendFrame(FrameType type, const std::vector<std::uint8_t>& payload);
 
   EmitterOptions opts_;
+  /// Fleet endpoints in rendezvous order for this trace (front = sticky
+  /// choice).  Singleton {host, port} when no fleet is configured.
+  std::vector<Endpoint> ranked_;
+  /// The handshake bytes, encoded once and resent verbatim (sender-thread
+  /// only after construction).
+  std::vector<std::uint8_t> encodedHandshake_;
+  /// Recently sent whole frames (header included), replayed after a
+  /// reconnect.  Sender-thread only.
+  std::deque<std::vector<std::uint8_t>> resendWindow_;
 
   mutable std::mutex mu_;
   std::condition_variable notEmpty_;

@@ -6,7 +6,7 @@
 #include <sstream>
 
 #include "analysis/report.hpp"
-#include "logic/parser.hpp"
+#include "net/snapshot.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
@@ -81,8 +81,38 @@ struct PipelineMetrics {
   }
 };
 
-/// A hostile own-clock index must not drive the dedup table's allocation.
-constexpr LocalSeq kMaxLocalSeq = 1u << 24;
+/// Fleet/multi-tenant telemetry: session routing, epoch checkpoints,
+/// restores, and per-tenant admission control.
+struct FleetMetrics {
+  telemetry::Gauge& sessionsActive;
+  telemetry::Gauge& tenantsActive;
+  telemetry::Counter& checkpoints;
+  telemetry::Counter& checkpointBytes;
+  telemetry::Counter& checkpointFailures;
+  telemetry::Counter& restores;
+  telemetry::Counter& tenantShed;
+
+  static FleetMetrics& get() {
+    auto& reg = telemetry::registry();
+    static FleetMetrics m{
+        reg.gauge("mpx_fleet_sessions_active",
+                  "Live analyzer sessions, one per (tenant, trace id)"),
+        reg.gauge("mpx_fleet_tenants_active",
+                  "Tenants with at least one live session"),
+        reg.counter("mpx_fleet_checkpoints_total",
+                    "Snapshot files written (epoch + explicit checkpoints)"),
+        reg.counter("mpx_fleet_checkpoint_bytes_total",
+                    "Bytes written into snapshot files"),
+        reg.counter("mpx_fleet_checkpoint_failures_total",
+                    "Snapshot writes that failed (previous file kept)"),
+        reg.counter("mpx_fleet_restores_total",
+                    "Analyzer sessions rebuilt from a snapshot at startup"),
+        reg.counter("mpx_fleet_tenant_shed_total",
+                    "Connections rejected by the per-tenant connection cap"),
+    };
+    return m;
+  }
+};
 
 /// Lag clamped at zero: raw monotonic clocks on one machine share an
 /// epoch, but scheduling can still order the reads unhelpfully.
@@ -99,6 +129,25 @@ void appendJsonU64(std::string& out, const char* key, std::uint64_t v,
   if (comma) out += ", ";
 }
 
+void appendJsonStr(std::string& out, const char* key, const std::string& v,
+                   bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\": \"";
+  for (const char c : v) {
+    // Tenant names are operator-chosen tokens; escape just enough that a
+    // hostile handshake cannot break the JSON framing.
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  out += '"';
+  if (comma) out += ", ";
+}
+
 void appendLagJson(std::string& out, const char* key, const LagStats& lag) {
   out += '"';
   out += key;
@@ -109,6 +158,22 @@ void appendLagJson(std::string& out, const char* key, const LagStats& lag) {
   appendJsonU64(out, "max_ns", lag.maxNs);
   appendJsonU64(out, "last_ns", lag.lastNs, /*comma=*/false);
   out += '}';
+}
+
+/// One "key=value" query parameter, unescaped verbatim (tenant names are
+/// expected to be URL-safe tokens).
+std::string queryParam(const std::string& query, const char* key) {
+  const std::string needle = std::string(key) + '=';
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    if (query.compare(pos, needle.size(), needle) == 0) {
+      return query.substr(pos + needle.size(), end - pos - needle.size());
+    }
+    pos = end + 1;
+  }
+  return {};
 }
 
 }  // namespace
@@ -129,6 +194,9 @@ struct ObserverDaemon::Conn {
   bool sawEnd = false;
   /// Stream id from this connection's handshake (0 for v1/v2 peers).
   std::uint64_t streamId = 0;
+  /// Session routing key from the handshake (""/0 for pre-v5 peers).
+  std::string tenant;
+  std::uint64_t traceId = 0;
   /// Set by the serving thread when it is done with the socket.  The fd is
   /// closed only after joining that thread (by the reaper or by stop()),
   /// so stop()'s shutdownBoth() never races a close().
@@ -147,6 +215,39 @@ bool ObserverDaemon::start() {
   // idle daemon already exposes the series (gauges at zero, empty
   // histograms) instead of appearing only after the first frame.
   PipelineMetrics::get();
+  if constexpr (telemetry::kEnabled) FleetMetrics::get();
+  if (!opts_.checkpointPath.empty()) {
+    // Resume-on-start: rebuild every checkpointed session.  A missing file
+    // is a fresh start, not an error; a corrupt file is reported and
+    // ignored (the daemon still comes up, emitters replay from scratch and
+    // the reports say INCOMPLETE where the replay cannot cover the gap).
+    std::vector<SnapshotEntry> entries;
+    const char* err = nullptr;
+    if (readSnapshotFile(opts_.checkpointPath, entries, &err)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const SnapshotEntry& e : entries) {
+        observer::ckpt::Reader r(e.blob.data(), e.blob.size());
+        auto session = analysis::AnalyzerSession::restore(r, opts_.jobs);
+        if (session == nullptr) {
+          logError("checkpoint session blob unusable; skipping");
+          continue;
+        }
+        SessionState ss;
+        ss.violationsSeen = session->violations().size();
+        ss.session = std::move(session);
+        sessions_[SessionKey{e.tenant, e.traceId}] = std::move(ss);
+        ++sessionsRestored_;
+        if constexpr (telemetry::kEnabled) FleetMetrics::get().restores.add(1);
+      }
+      if constexpr (telemetry::kEnabled) {
+        FleetMetrics::get().sessionsActive.set(
+            static_cast<std::int64_t>(sessions_.size()));
+      }
+    } else if (err != nullptr &&
+               std::strcmp(err, "cannot open snapshot file") != 0) {
+      logError(err);
+    }
+  }
   acceptThread_ = std::thread([this] { acceptLoop(); });
   return true;
 }
@@ -160,7 +261,7 @@ void ObserverDaemon::acceptLoop() {
     Socket s = listener_.accept();
     if (!s.valid()) return;  // stopped or listener error
     // Admission control: turn the connection away (with a one-line notice)
-    // when the live-connection cap is hit or the analyzer's accounted
+    // when the live-connection cap is hit or any analyzer's accounted
     // working set already sits above its memory budget.  Shedding load at
     // the door keeps the daemon alive and its existing streams progressing;
     // the analysis is then INCOMPLETE/BOUNDED, which the report states.
@@ -173,8 +274,14 @@ void ObserverDaemon::acceptLoop() {
     }
     if (!shed && opts_.lattice.memoryBudgetBytes > 0) {
       std::lock_guard<std::mutex> lk(mu_);
-      shed = analyzer_ != nullptr &&
-             analyzer_->stats().accountedBytes > opts_.lattice.memoryBudgetBytes;
+      for (const auto& [key, ss] : sessions_) {
+        if (ss.session != nullptr &&
+            ss.session->stats().accountedBytes >
+                opts_.lattice.memoryBudgetBytes) {
+          shed = true;
+          break;
+        }
+      }
     }
     if (shed) {
       {
@@ -307,6 +414,13 @@ void ObserverDaemon::serveConnection(std::shared_ptr<Conn> conn) {
   // so a concurrent stop() can safely shutdownBoth() on it.
   conn->sock.shutdownBoth();
   std::lock_guard<std::mutex> lk(mu_);
+  if (conn->sawHandshake) {
+    // Release the tenant's admission-control slot.
+    auto it = tenantLive_.find(conn->tenant);
+    if (it != tenantLive_.end() && it->second > 0 && --it->second == 0) {
+      tenantLive_.erase(it);
+    }
+  }
   if (error != nullptr) {
     logError(error);
     if constexpr (telemetry::kEnabled) {
@@ -363,19 +477,9 @@ bool ObserverDaemon::handleFrame(Conn& conn, const Frame& frame,
         return false;
       }
       conn.sawEnd = true;
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        auto& stream = streams_[conn.streamId];
-        if (!stream.snap.ended) {
-          stream.snap.ended = true;
-          if constexpr (telemetry::kEnabled) {
-            PipelineMetrics::get().streamsActive.add(-1);
-          }
-        }
-      }
       telemetry::FlightRecorder::global().record(
           telemetry::FlightEvent::kStreamEnd, conn.streamId);
-      noteStreamEnd();
+      noteStreamEnd(conn);
       return true;
   }
   *error = "unknown frame type";
@@ -392,69 +496,93 @@ bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (conn.sawHandshake) {
-    // A reconnecting emitter resends its handshake on the SAME connection
-    // never happens (each reconnect is a new connection), so a second
-    // handshake on one connection is a protocol error.
+    // A reconnecting emitter resends its handshake on a NEW connection,
+    // never the same one, so a second handshake here is a protocol error.
     *error = "duplicate handshake";
     return false;
   }
-  if (!handshaken_) {
-    // The active property set: handshake specs plus daemon-side
+  // Per-tenant admission control: one tenant flooding connections must not
+  // starve the others.  Applied before any session is built.
+  if (opts_.maxConnsPerTenant > 0) {
+    const auto it = tenantLive_.find(h.tenant);
+    if (it != tenantLive_.end() && it->second >= opts_.maxConnsPerTenant) {
+      ++shed_;
+      if constexpr (telemetry::kEnabled) {
+        DaemonMetrics::get().connectionsShed.add(1);
+        FleetMetrics::get().tenantShed.add(1);
+      }
+      telemetry::FlightRecorder::global().record(
+          telemetry::FlightEvent::kConnShed);
+      *error = "tenant over connection limit";
+      return false;
+    }
+  }
+  const SessionKey key{h.tenant, h.traceId};
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    // First handshake of this (tenant, trace): build the session.  The
+    // active property set is the handshake specs plus daemon-side
     // --property additions, first-seen order, deduplicated.
-    std::vector<std::string> specs = h.specs;
+    analysis::AnalyzerSession::Config cfg;
+    cfg.threads = h.threads;
+    cfg.handshakeSpecs = h.specs;
+    cfg.specs = h.specs;
     for (const std::string& extra : opts_.extraSpecs) {
-      if (std::find(specs.begin(), specs.end(), extra) == specs.end()) {
-        specs.push_back(extra);
+      if (std::find(cfg.specs.begin(), cfg.specs.end(), extra) ==
+          cfg.specs.end()) {
+        cfg.specs.push_back(extra);
       }
     }
+    cfg.tracked = h.tracked;
+    cfg.vars = h.vars;
+    cfg.expectedStreams = opts_.expectedStreams;
+    cfg.lattice = opts_.lattice;
+    if (opts_.jobs > 0) cfg.lattice.parallel.jobs = opts_.jobs;
     try {
-      space_ = observer::StateSpace::byNames(h.vars, h.tracked);
-      observer::LatticeOptions lat = opts_.lattice;
-      if (opts_.jobs > 0) lat.parallel.jobs = opts_.jobs;
-      if (!specs.empty()) {
-        // One SpecAnalysis plugin per property on one shared bus — the
-        // daemon checks all K properties in a single lattice pass.
-        for (const std::string& spec : specs) {
-          const logic::Formula f = logic::SpecParser(space_).parse(spec);
-          plugins_.push_back(
-              std::make_unique<logic::SpecAnalysis>(space_, f, spec));
-        }
-        std::vector<observer::Analysis*> raw;
-        raw.reserve(plugins_.size());
-        for (auto& p : plugins_) raw.push_back(p.get());
-        bus_ = std::make_unique<observer::AnalysisBus>(raw);
-        analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
-            space_, h.threads, *bus_, lat);
-      } else {
-        analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
-            space_, h.threads, static_cast<observer::LatticeMonitor*>(nullptr),
-            lat);
-      }
+      SessionState ss;
+      ss.session =
+          std::make_unique<analysis::AnalyzerSession>(std::move(cfg));
+      it = sessions_.emplace(key, std::move(ss)).first;
     } catch (const std::exception&) {
-      analyzer_.reset();
-      bus_.reset();
-      plugins_.clear();
       *error = "handshake rejected: unusable spec or variable set";
       return false;
     }
-    specs_ = std::move(specs);
-    seen_.assign(h.threads, {});
-    handshake_ = std::move(h);
-    handshaken_ = true;
+    if constexpr (telemetry::kEnabled) {
+      FleetMetrics::get().sessionsActive.set(
+          static_cast<std::int64_t>(sessions_.size()));
+      std::size_t tenants = 0;
+      std::string last;
+      bool first = true;
+      for (const auto& [k, s] : sessions_) {
+        if (first || k.tenant != last) ++tenants;
+        last = k.tenant;
+        first = false;
+      }
+      FleetMetrics::get().tenantsActive.set(
+          static_cast<std::int64_t>(tenants));
+    }
   } else {
-    // Additional channels of the same analysis must agree on the world.
-    if (h.threads != handshake_.threads || h.specs != handshake_.specs) {
+    // Additional channels of the same session must agree on the world —
+    // against the specs the FIRST handshake carried, not the merged set.
+    const analysis::AnalyzerSession::Config& cfg =
+        it->second.session->config();
+    if (h.threads != cfg.threads || h.specs != cfg.handshakeSpecs) {
       *error = "handshake conflicts with the active analysis";
       return false;
     }
   }
   conn.sawHandshake = true;
   conn.streamId = h.streamId;
+  conn.tenant = h.tenant;
+  conn.traceId = h.traceId;
+  ++tenantLive_[h.tenant];
   telemetry::FlightRecorder::global().record(
       telemetry::FlightEvent::kHandshake, h.streamId, h.version, h.threads);
-  auto& stream = streams_[h.streamId];
+  auto& stream = it->second.streams[h.streamId];
   if (stream.snap.connections == 0) {
     stream.snap.streamId = h.streamId;
+    stream.snap.tenant = h.tenant;
+    stream.snap.traceId = h.traceId;
     if constexpr (telemetry::kEnabled) {
       PipelineMetrics::get().streamsActive.add(1);
     }
@@ -500,7 +628,13 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
   span.arg("messages", static_cast<std::int64_t>(messages.size()));
 
   std::lock_guard<std::mutex> lk(mu_);
-  auto& stream = streams_[conn.streamId];
+  SessionState* ss = sessionForLocked(conn);
+  if (ss == nullptr || ss->session == nullptr) {
+    *error = "events for an unknown session";
+    return false;
+  }
+  analysis::AnalyzerSession& session = *ss->session;
+  auto& stream = ss->streams[conn.streamId];
   ++stream.snap.frames;
   stream.snap.lastEventNs = recvNs;
   if (timestamped) {
@@ -511,26 +645,15 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     }
   }
   // Per-thread max own-clock index of this frame: the frame counts as
-  // analyzed once the analyzer's consumption watermark covers it.
-  std::vector<LocalSeq> frameMaxK(handshake_.threads, 0);
+  // analyzed once the session's consumption watermark covers it.
+  std::vector<LocalSeq> frameMaxK(session.config().threads, 0);
   for (const trace::Message& m : messages) {
-    if (finished_) {
-      *error = "events after the analysis finished";
-      return false;
-    }
+    const analysis::AnalyzerSession::Ingest res = session.ingest(m, error);
+    if (res == analysis::AnalyzerSession::Ingest::kError) return false;
+    // ingest validated thread and own-clock on both non-error outcomes.
     const ThreadId j = m.event.thread;
-    if (j >= handshake_.threads) {
-      *error = "message from undeclared thread";
-      return false;
-    }
-    const LocalSeq k = m.clock[j];
-    if (k == 0 || k > kMaxLocalSeq) {
-      *error = "message own-clock out of range";
-      return false;
-    }
-    frameMaxK[j] = std::max(frameMaxK[j], k);
-    auto& seen = seen_[j];
-    if (k < seen.size() && seen[k]) {
+    frameMaxK[j] = std::max(frameMaxK[j], m.clock[j]);
+    if (res == analysis::AnalyzerSession::Ingest::kDuplicate) {
       ++duplicates_;
       ++stream.snap.duplicates;
       if constexpr (telemetry::kEnabled) {
@@ -538,14 +661,6 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
       }
       continue;
     }
-    try {
-      analyzer_->onMessage(m);
-    } catch (const std::exception&) {
-      *error = "message rejected by the analyzer";
-      return false;
-    }
-    if (k >= seen.size()) seen.resize(k + 1, false);
-    seen[k] = true;
     ++ingested_;
     ++stream.snap.messages;
     if constexpr (telemetry::kEnabled) {
@@ -556,71 +671,125 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     stream.inFlight.push_back(PendingFrame{std::move(frameMaxK), sendNs});
   }
   settleAnalyzedLocked();
-  noteViolationsLocked();
+  noteViolationsLocked(*ss);
+  maybeCheckpointLocked();
   return true;
 }
 
-void ObserverDaemon::noteStreamEnd() {
+void ObserverDaemon::noteStreamEnd(Conn& conn) {
   std::lock_guard<std::mutex> lk(mu_);
-  ++streamsEnded_;
-  if (streamsEnded_ < opts_.expectedStreams || finished_ ||
-      analyzer_ == nullptr) {
-    return;
+  SessionState* ss = sessionForLocked(conn);
+  if (ss == nullptr || ss->session == nullptr) return;
+  auto& stream = ss->streams[conn.streamId];
+  if (!stream.snap.ended) {
+    stream.snap.ended = true;
+    if constexpr (telemetry::kEnabled) {
+      PipelineMetrics::get().streamsActive.add(-1);
+    }
   }
-  try {
-    analyzer_->endOfTrace();
-    finished_ = analyzer_->finished();
-  } catch (const std::exception& e) {
-    streamError_ = e.what();
-  }
+  ss->session->noteStreamEnd();
   settleAnalyzedLocked();
-  noteViolationsLocked();
+  noteViolationsLocked(*ss);
+  if (ss->session->finished() && !opts_.checkpointPath.empty()) {
+    // A finished session's last epoch: the snapshot then holds the final
+    // verdict, so a restart after completion still serves the report.
+    checkpointLocked();
+  }
   finishedCv_.notify_all();
 }
 
+const ObserverDaemon::SessionState* ObserverDaemon::defaultSessionLocked()
+    const {
+  if (sessions_.empty()) return nullptr;
+  const auto it = sessions_.find(SessionKey{});
+  return it != sessions_.end() ? &it->second : &sessions_.begin()->second;
+}
+
+ObserverDaemon::SessionState* ObserverDaemon::sessionForLocked(
+    const Conn& conn) {
+  const auto it = sessions_.find(SessionKey{conn.tenant, conn.traceId});
+  return it != sessions_.end() ? &it->second : nullptr;
+}
+
+bool ObserverDaemon::allFinishedLocked() const {
+  if (sessions_.empty()) return false;
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr || !ss.session->finished()) return false;
+  }
+  return true;
+}
+
 void ObserverDaemon::settleAnalyzedLocked() {
-  if (analyzer_ == nullptr) return;
-  const std::vector<LocalSeq>& ck = analyzer_->consumedK();
   const std::uint64_t now = telemetry::rawMonotonicNs();
-  for (auto& [id, stream] : streams_) {
-    while (!stream.inFlight.empty()) {
-      const PendingFrame& f = stream.inFlight.front();
-      bool analyzed = finished_;  // finalization consumed everything
-      if (!analyzed) {
-        analyzed = true;
-        for (std::size_t j = 0; j < f.maxK.size(); ++j) {
-          if (j >= ck.size() || ck[j] < f.maxK[j]) {
-            analyzed = false;
-            break;
+  std::int64_t totalInFlight = 0;
+  for (auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr) continue;
+    const std::vector<LocalSeq>& ck = ss.session->consumedK();
+    const bool sessionDone = ss.session->finished();
+    for (auto& [id, stream] : ss.streams) {
+      while (!stream.inFlight.empty()) {
+        const PendingFrame& f = stream.inFlight.front();
+        bool analyzed = sessionDone;  // finalization consumed everything
+        if (!analyzed) {
+          analyzed = true;
+          for (std::size_t j = 0; j < f.maxK.size(); ++j) {
+            if (j >= ck.size() || ck[j] < f.maxK[j]) {
+              analyzed = false;
+              break;
+            }
           }
         }
+        if (!analyzed) break;  // frames settle in arrival order per stream
+        const std::uint64_t lag = lagNs(now, f.sendNs);
+        stream.snap.analyzeLag.observe(lag);
+        if constexpr (telemetry::kEnabled) {
+          PipelineMetrics::get().analyzeLagNs.record(lag);
+        }
+        stream.inFlight.pop_front();
       }
-      if (!analyzed) break;  // frames settle in arrival order per stream
-      const std::uint64_t lag = lagNs(now, f.sendNs);
-      stream.snap.analyzeLag.observe(lag);
-      if constexpr (telemetry::kEnabled) {
-        PipelineMetrics::get().analyzeLagNs.record(lag);
-      }
-      stream.inFlight.pop_front();
+      stream.snap.framesInFlight = stream.inFlight.size();
+      totalInFlight += static_cast<std::int64_t>(stream.inFlight.size());
     }
-    stream.snap.framesInFlight = stream.inFlight.size();
   }
   if constexpr (telemetry::kEnabled) {
-    std::int64_t total = 0;
-    for (const auto& [id, s] : streams_) {
-      total += static_cast<std::int64_t>(s.inFlight.size());
-    }
-    PipelineMetrics::get().framesInFlight.set(total);
+    PipelineMetrics::get().framesInFlight.set(totalInFlight);
+    const SessionState* def = defaultSessionLocked();
     PipelineMetrics::get().watermarkLevel.set(
-        static_cast<std::int64_t>(analyzer_->levelsCompleted() - 1));
+        def != nullptr && def->session != nullptr
+            ? static_cast<std::int64_t>(def->session->watermarkLevel())
+            : 0);
+    // Per-tenant budget gauges: how much of the lattice memory budget each
+    // tenant's sessions account for (label baked into the series name).
+    std::string tenant;
+    std::uint64_t bytes = 0;
+    bool have = false;
+    const auto flush = [&] {
+      if (!have) return;
+      telemetry::registry()
+          .gauge("mpx_observer_budget_accounted_bytes{tenant=\"" + tenant +
+                     "\"}",
+                 "Analyzer working-set bytes accounted to this tenant")
+          .set(static_cast<std::int64_t>(bytes));
+    };
+    for (const auto& [key, ss] : sessions_) {
+      if (ss.session == nullptr) continue;
+      if (!have || key.tenant != tenant) {
+        flush();
+        tenant = key.tenant;
+        bytes = 0;
+        have = true;
+      }
+      bytes += ss.session->stats().accountedBytes;
+    }
+    flush();
   }
 }
 
-void ObserverDaemon::noteViolationsLocked() {
-  if (analyzer_ == nullptr) return;
-  const std::size_t n = analyzer_->violations().size();
-  if (n > violationsSeen_) {
-    violationsSeen_ = n;
+void ObserverDaemon::noteViolationsLocked(SessionState& ss) {
+  if (ss.session == nullptr) return;
+  const std::size_t n = ss.session->violations().size();
+  if (n > ss.violationsSeen) {
+    ss.violationsSeen = n;
     // On-violation flight dump: the post-mortem trail of how the pipeline
     // got here, written while the state is still fresh.
     if (!opts_.flightDumpPath.empty()) {
@@ -632,9 +801,96 @@ void ObserverDaemon::noteViolationsLocked() {
   }
 }
 
+void ObserverDaemon::maybeCheckpointLocked() {
+  if (opts_.checkpointPath.empty() || opts_.checkpointIntervalLevels == 0) {
+    return;
+  }
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr) continue;
+    if (ss.session->watermarkLevel() >=
+        ss.session->lastCheckpointLevel() + opts_.checkpointIntervalLevels) {
+      checkpointLocked();
+      return;  // one file covers every session
+    }
+  }
+}
+
+bool ObserverDaemon::checkpointLocked() {
+  if (opts_.checkpointPath.empty() || sessions_.empty()) return false;
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(sessions_.size());
+  for (auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr) continue;
+    observer::ckpt::Writer w;
+    ss.session->checkpoint(w);
+    entries.push_back(SnapshotEntry{key.tenant, key.traceId, w.take()});
+  }
+  std::size_t bytes = 0;
+  for (const SnapshotEntry& e : entries) bytes += e.blob.size();
+  const char* err = nullptr;
+  if (!writeSnapshotFile(opts_.checkpointPath, entries, &err)) {
+    logError(err != nullptr ? err : "snapshot write failed");
+    if constexpr (telemetry::kEnabled) {
+      FleetMetrics::get().checkpointFailures.add(1);
+    }
+    return false;
+  }
+  ++checkpointsWritten_;
+  if constexpr (telemetry::kEnabled) {
+    FleetMetrics::get().checkpoints.add(1);
+    FleetMetrics::get().checkpointBytes.add(bytes);
+  }
+  return true;
+}
+
+bool ObserverDaemon::checkpointNow() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checkpointLocked();
+}
+
+std::uint64_t ObserverDaemon::checkpointsWritten() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checkpointsWritten_;
+}
+
+std::uint64_t ObserverDaemon::sessionsRestored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessionsRestored_;
+}
+
+std::size_t ObserverDaemon::sessionCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.size();
+}
+
+std::vector<SessionSnapshot> ObserverDaemon::sessionSnapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr) continue;
+    SessionSnapshot s;
+    s.tenant = key.tenant;
+    s.traceId = key.traceId;
+    s.finished = ss.session->finished();
+    s.epoch = ss.session->epoch();
+    s.restores = ss.session->restoreCount();
+    s.watermarkLevel = ss.session->watermarkLevel();
+    s.pendingMessages = ss.session->pendingMessages();
+    s.violations = ss.session->violations().size();
+    s.streams = ss.streams.size();
+    s.streamsEnded = ss.session->streamsEnded();
+    s.accountedBytes = ss.session->stats().accountedBytes;
+    s.streamError = ss.session->streamError();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void ObserverDaemon::serveHttp(Socket& sock, const std::string& requestLine) {
   // "GET /path HTTP/1.x" — the path is the second whitespace token.
   std::string path = "/";
+  std::string query;
   {
     const std::size_t sp1 = requestLine.find(' ');
     if (sp1 != std::string::npos) {
@@ -649,8 +905,11 @@ void ObserverDaemon::serveHttp(Socket& sock, const std::string& requestLine) {
         }
       }
     }
-    const std::size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
+    const std::size_t q = path.find('?');
+    if (q != std::string::npos) {
+      query = path.substr(q + 1);
+      path.resize(q);
+    }
   }
 
   const char* status = "200 OK";
@@ -666,16 +925,42 @@ void ObserverDaemon::serveHttp(Socket& sock, const std::string& requestLine) {
     contentType = "application/json";
     body = renderStreamsJson();
   } else if (path == "/report") {
-    body = renderReport();
-    std::vector<observer::AnalysisReport> reports;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      reports.reserve(plugins_.size());
-      for (const auto& p : plugins_) reports.push_back(p->report());
+    // ?tenant=NAME&trace=ID selects a session; no params = the default.
+    const std::string tenant = queryParam(query, "tenant");
+    const std::string traceStr = queryParam(query, "trace");
+    std::uint64_t traceId = 0;
+    bool traceOk = true;
+    if (!traceStr.empty()) {
+      try {
+        traceId = std::stoull(traceStr);
+      } catch (const std::exception&) {
+        traceOk = false;
+      }
     }
-    if (!reports.empty()) {
-      body += '\n';
-      body += analysis::renderAnalysisReports(reports);
+    std::lock_guard<std::mutex> lk(mu_);
+    const SessionState* ss = nullptr;
+    if (!traceOk) {
+      ss = nullptr;
+    } else if (tenant.empty() && traceStr.empty()) {
+      ss = defaultSessionLocked();
+    } else {
+      const auto it = sessions_.find(SessionKey{tenant, traceId});
+      ss = it != sessions_.end() ? &it->second : nullptr;
+    }
+    if (ss != nullptr && ss->session != nullptr) {
+      body = ss->session->renderReport();
+      const std::vector<observer::AnalysisReport> reports =
+          ss->session->analysisReports();
+      if (!reports.empty()) {
+        body += '\n';
+        body += analysis::renderAnalysisReports(reports);
+      }
+    } else if (!tenant.empty() || !traceStr.empty()) {
+      status = "404 Not Found";
+      body = "no such session\n";
+    } else {
+      body = renderViolationReport(observer::StateSpace{}, {},
+                                   observer::LatticeStats{}, false);
     }
   } else if (path == "/flightrecorder") {
     contentType = "application/json";
@@ -700,9 +985,15 @@ void ObserverDaemon::serveHttp(Socket& sock, const std::string& requestLine) {
 bool ObserverDaemon::waitFinished(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lk(mu_);
   finishedCv_.wait_for(lk, timeout, [this] {
-    return finished_ || !streamError_.empty();
+    if (allFinishedLocked()) return true;
+    for (const auto& [key, ss] : sessions_) {
+      if (ss.session != nullptr && !ss.session->streamError().empty()) {
+        return true;
+      }
+    }
+    return false;
   });
-  return finished_;
+  return allFinishedLocked();
 }
 
 void ObserverDaemon::stop() {
@@ -728,36 +1019,43 @@ void ObserverDaemon::stop() {
 
 bool ObserverDaemon::finished() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return finished_;
+  return allFinishedLocked();
 }
 
 bool ObserverDaemon::handshaken() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return handshaken_;
+  return !sessions_.empty();
 }
 
 std::vector<observer::Violation> ObserverDaemon::violations() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return analyzer_ != nullptr ? analyzer_->violations()
-                              : std::vector<observer::Violation>{};
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr
+             ? ss->session->violations()
+             : std::vector<observer::Violation>{};
 }
 
 observer::LatticeStats ObserverDaemon::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{};
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr ? ss->session->stats()
+                                                 : observer::LatticeStats{};
 }
 
 std::vector<std::string> ObserverDaemon::specs() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return specs_;
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr
+             ? ss->session->config().specs
+             : std::vector<std::string>{};
 }
 
 std::vector<observer::AnalysisReport> ObserverDaemon::analysisReports() const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::vector<observer::AnalysisReport> out;
-  out.reserve(plugins_.size());
-  for (const auto& p : plugins_) out.push_back(p->report());
-  return out;
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr
+             ? ss->session->analysisReports()
+             : std::vector<observer::AnalysisReport>{};
 }
 
 std::uint64_t ObserverDaemon::connectionsAccepted() const {
@@ -792,14 +1090,18 @@ std::uint64_t ObserverDaemon::duplicatesIgnored() const {
 
 std::uint64_t ObserverDaemon::watermarkLevel() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return analyzer_ != nullptr ? analyzer_->levelsCompleted() - 1 : 0;
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr
+             ? ss->session->watermarkLevel()
+             : 0;
 }
 
 std::vector<StreamSnapshot> ObserverDaemon::streamSnapshots() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<StreamSnapshot> out;
-  out.reserve(streams_.size());
-  for (const auto& [id, s] : streams_) out.push_back(s.snap);
+  for (const auto& [key, ss] : sessions_) {
+    for (const auto& [id, s] : ss.streams) out.push_back(s.snap);
+  }
   return out;
 }
 
@@ -807,95 +1109,151 @@ std::string ObserverDaemon::renderStreamsJson() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::string out = "{\n  ";
   out += "\"handshaken\": ";
-  out += handshaken_ ? "true" : "false";
+  out += !sessions_.empty() ? "true" : "false";
   out += ", \"finished\": ";
-  out += finished_ ? "true" : "false";
+  out += allFinishedLocked() ? "true" : "false";
   out += ",\n  ";
+  const SessionState* def = defaultSessionLocked();
+  const analysis::AnalyzerSession* ds =
+      def != nullptr ? def->session.get() : nullptr;
   const observer::LatticeStats stats =
-      analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{};
+      ds != nullptr ? ds->stats() : observer::LatticeStats{};
   appendJsonU64(out, "levels", stats.levels);
   appendJsonU64(out, "watermark_level",
-                analyzer_ != nullptr ? analyzer_->levelsCompleted() - 1 : 0);
+                ds != nullptr ? ds->watermarkLevel() : 0);
   appendJsonU64(out, "pending_messages",
-                analyzer_ != nullptr ? analyzer_->pendingMessages() : 0);
+                ds != nullptr ? ds->pendingMessages() : 0);
   out += "\"degradation\": \"";
   out += observer::toString(stats.degradation);
   out += "\", \"bound_reason\": \"";
   out += observer::toString(stats.boundReason);
   out += "\",\n  ";
-  appendJsonU64(out, "streams_ended", streamsEnded_);
+  std::uint64_t streamsEnded = 0;
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session != nullptr) streamsEnded += ss.session->streamsEnded();
+  }
+  appendJsonU64(out, "streams_ended", streamsEnded);
   appendJsonU64(out, "expected_streams", opts_.expectedStreams);
   appendJsonU64(out, "connections_accepted", accepted_);
   appendJsonU64(out, "messages_ingested", ingested_);
-  appendJsonU64(out, "duplicates_ignored", duplicates_, /*comma=*/false);
-  out += ",\n  \"streams\": [";
-  bool first = true;
-  for (const auto& [id, s] : streams_) {
-    out += first ? "\n" : ",\n";
-    first = false;
+  appendJsonU64(out, "duplicates_ignored", duplicates_);
+  appendJsonU64(out, "checkpoints_written", checkpointsWritten_);
+  appendJsonU64(out, "sessions_restored", sessionsRestored_);
+  std::uint64_t violationsTotal = 0;
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session != nullptr) violationsTotal += ss.session->violations().size();
+  }
+  appendJsonU64(out, "violations_total", violationsTotal);
+  appendJsonU64(out, "sessions_active", sessions_.size(),
+                /*comma=*/false);
+  out += ",\n  \"sessions\": [";
+  bool firstSession = true;
+  for (const auto& [key, ss] : sessions_) {
+    if (ss.session == nullptr) continue;
+    out += firstSession ? "\n" : ",\n";
+    firstSession = false;
     out += "    {";
-    appendJsonU64(out, "stream_id", s.snap.streamId);
-    appendJsonU64(out, "version", s.snap.version);
-    appendJsonU64(out, "connections", s.snap.connections);
-    appendJsonU64(out, "frames", s.snap.frames);
-    appendJsonU64(out, "messages", s.snap.messages);
-    appendJsonU64(out, "duplicates", s.snap.duplicates);
-    appendJsonU64(out, "frames_in_flight", s.inFlight.size());
-    out += "\"ended\": ";
-    out += s.snap.ended ? "true" : "false";
+    appendJsonStr(out, "tenant", key.tenant);
+    appendJsonU64(out, "trace_id", key.traceId);
+    out += "\"finished\": ";
+    out += ss.session->finished() ? "true" : "false";
     out += ", ";
-    appendLagJson(out, "receive_lag_ns", s.snap.receiveLag);
-    out += ", ";
-    appendLagJson(out, "analyze_lag_ns", s.snap.analyzeLag);
-    out += ", ";
-    appendJsonU64(out, "last_event_ns", s.snap.lastEventNs, /*comma=*/false);
+    appendJsonU64(out, "epoch", ss.session->epoch());
+    appendJsonU64(out, "restores", ss.session->restoreCount());
+    appendJsonU64(out, "watermark_level", ss.session->watermarkLevel());
+    appendJsonU64(out, "pending_messages", ss.session->pendingMessages());
+    appendJsonU64(out, "violations", ss.session->violations().size());
+    appendJsonU64(out, "streams_ended", ss.session->streamsEnded());
+    appendJsonU64(out, "accounted_bytes", ss.session->stats().accountedBytes);
+    appendJsonU64(out, "streams", ss.streams.size(), /*comma=*/false);
     out += '}';
   }
-  out += "\n  ]\n}\n";
+  out += firstSession ? "]" : "\n  ]";
+  out += ",\n  \"streams\": [";
+  bool first = true;
+  for (const auto& [key, ss] : sessions_) {
+    for (const auto& [id, s] : ss.streams) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {";
+      appendJsonU64(out, "stream_id", s.snap.streamId);
+      appendJsonStr(out, "tenant", s.snap.tenant);
+      appendJsonU64(out, "trace_id", s.snap.traceId);
+      appendJsonU64(out, "version", s.snap.version);
+      appendJsonU64(out, "connections", s.snap.connections);
+      appendJsonU64(out, "frames", s.snap.frames);
+      appendJsonU64(out, "messages", s.snap.messages);
+      appendJsonU64(out, "duplicates", s.snap.duplicates);
+      appendJsonU64(out, "frames_in_flight", s.inFlight.size());
+      out += "\"ended\": ";
+      out += s.snap.ended ? "true" : "false";
+      out += ", ";
+      appendLagJson(out, "receive_lag_ns", s.snap.receiveLag);
+      out += ", ";
+      appendLagJson(out, "analyze_lag_ns", s.snap.analyzeLag);
+      out += ", ";
+      appendJsonU64(out, "last_event_ns", s.snap.lastEventNs,
+                    /*comma=*/false);
+      out += '}';
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
   return out;
 }
 
 std::string ObserverDaemon::streamError() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return streamError_;
+  const SessionState* ss = defaultSessionLocked();
+  return ss != nullptr && ss->session != nullptr ? ss->session->streamError()
+                                                 : std::string{};
 }
 
 std::string ObserverDaemon::renderReport() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return renderViolationReport(
-      space_,
-      analyzer_ != nullptr ? analyzer_->violations()
-                           : std::vector<observer::Violation>{},
-      analyzer_ != nullptr ? analyzer_->stats() : observer::LatticeStats{},
-      finished_);
+  const SessionState* ss = defaultSessionLocked();
+  if (ss != nullptr && ss->session != nullptr) {
+    return ss->session->renderReport();
+  }
+  return renderViolationReport(observer::StateSpace{}, {},
+                               observer::LatticeStats{}, false);
 }
 
 std::string ObserverDaemon::renderStatus() const {
   std::ostringstream os;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    const SessionState* def = defaultSessionLocked();
+    const analysis::AnalyzerSession* ds =
+        def != nullptr ? def->session.get() : nullptr;
+    std::uint64_t streamsEnded = 0;
+    for (const auto& [key, ss] : sessions_) {
+      if (ss.session != nullptr) streamsEnded += ss.session->streamsEnded();
+    }
     os << "mpx_observerd status\n";
-    os << "handshaken: " << (handshaken_ ? "yes" : "no")
-       << ", streams ended: " << streamsEnded_ << '/' << opts_.expectedStreams
+    os << "handshaken: " << (!sessions_.empty() ? "yes" : "no")
+       << ", streams ended: " << streamsEnded << '/' << opts_.expectedStreams
        << '\n';
+    os << "sessions: " << sessions_.size()
+       << " restored=" << sessionsRestored_
+       << " checkpoints=" << checkpointsWritten_ << '\n';
     os << "connections: accepted=" << accepted_ << " aborted=" << aborted_
        << " rejected=" << rejected_ << " shed=" << shed_ << '\n';
     os << "messages: ingested=" << ingested_
        << " duplicates_ignored=" << duplicates_ << '\n';
-    if (!streamError_.empty()) os << "stream error: " << streamError_ << '\n';
-    os << '\n'
-       << renderViolationReport(
-              space_,
-              analyzer_ != nullptr ? analyzer_->violations()
-                                   : std::vector<observer::Violation>{},
-              analyzer_ != nullptr ? analyzer_->stats()
-                                   : observer::LatticeStats{},
-              finished_);
-    if (!plugins_.empty()) {
-      std::vector<observer::AnalysisReport> reports;
-      reports.reserve(plugins_.size());
-      for (const auto& p : plugins_) reports.push_back(p->report());
-      os << '\n' << analysis::renderAnalysisReports(reports);
+    if (ds != nullptr && !ds->streamError().empty()) {
+      os << "stream error: " << ds->streamError() << '\n';
+    }
+    os << '\n';
+    if (ds != nullptr) {
+      os << ds->renderReport();
+      const std::vector<observer::AnalysisReport> reports =
+          ds->analysisReports();
+      if (!reports.empty()) {
+        os << '\n' << analysis::renderAnalysisReports(reports);
+      }
+    } else {
+      os << renderViolationReport(observer::StateSpace{}, {},
+                                  observer::LatticeStats{}, false);
     }
   }
   os << '\n' << telemetry::toPrometheusText(telemetry::registry().snapshot());

@@ -1,0 +1,141 @@
+#include "net/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace mpx::net {
+
+std::uint32_t snapshotCrc32(const std::uint8_t* data, std::size_t len) {
+  // Table-free bitwise CRC-32: snapshots are written once per epoch and
+  // read once per restart, so simplicity beats a 1 KiB table.
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+std::vector<std::uint8_t> encodeSnapshot(
+    const std::vector<SnapshotEntry>& entries) {
+  observer::ckpt::Writer w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u64(entries.size());
+  for (const SnapshotEntry& e : entries) {
+    w.str(e.tenant);
+    w.u64(e.traceId);
+    w.u64(e.blob.size());
+    w.bytes(e.blob.data(), e.blob.size());
+  }
+  std::vector<std::uint8_t> out = w.take();
+  const std::uint32_t crc = snapshotCrc32(out.data(), out.size());
+  observer::ckpt::Writer trailer;
+  trailer.u32(crc);
+  const std::vector<std::uint8_t>& t = trailer.data();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+bool decodeSnapshot(const std::uint8_t* data, std::size_t len,
+                    std::vector<SnapshotEntry>& out, const char** error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    out.clear();
+    return false;
+  };
+  if (len < 4) return fail("snapshot shorter than its checksum");
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, data + (len - 4), 4);
+  if (snapshotCrc32(data, len - 4) != stored) {
+    return fail("snapshot checksum mismatch");
+  }
+  observer::ckpt::Reader r(data, len - 4);
+  if (r.u32() != kSnapshotMagic) return fail("snapshot magic mismatch");
+  if (r.u16() != kSnapshotVersion) {
+    return fail("unsupported snapshot version");
+  }
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count > kMaxSnapshotSessions) {
+    return fail("snapshot session count malformed");
+  }
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SnapshotEntry e;
+    e.tenant = r.str();
+    e.traceId = r.u64();
+    const std::uint64_t blobLen = r.len(1);
+    if (!r.ok()) return fail("snapshot session entry malformed");
+    e.blob.resize(static_cast<std::size_t>(blobLen));
+    if (!e.blob.empty() && !r.raw(e.blob.data(), e.blob.size())) {
+      return fail("snapshot session entry malformed");
+    }
+    out.push_back(std::move(e));
+  }
+  if (!r.atEnd()) return fail("snapshot has trailing bytes");
+  return true;
+}
+
+bool writeSnapshotFile(const std::string& path,
+                       const std::vector<SnapshotEntry>& entries,
+                       const char** error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::vector<std::uint8_t> image = encodeSnapshot(entries);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return fail("cannot open snapshot temp file");
+  const bool wrote =
+      image.empty() ||
+      std::fwrite(image.data(), 1, image.size(), f) == image.size();
+#ifndef _WIN32
+  // Durable before visible: the rename below must never publish a file
+  // whose bytes are still in the page cache of a dying machine.
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    return fail("snapshot temp file write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("snapshot rename failed");
+  }
+  return true;
+}
+
+bool readSnapshotFile(const std::string& path, std::vector<SnapshotEntry>& out,
+                      const char** error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    out.clear();
+    return false;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open snapshot file");
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[64 * 1024];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.insert(image.end(), buf, buf + n);
+  }
+  const bool readOk = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!readOk) return fail("snapshot file read failed");
+  return decodeSnapshot(image.data(), image.size(), out, error);
+}
+
+}  // namespace mpx::net

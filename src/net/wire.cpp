@@ -94,6 +94,12 @@ std::vector<std::uint8_t> encodeHandshake(const Handshake& h) {
     put<std::uint64_t>(out, h.streamId);
     put<std::uint64_t>(out, h.handshakeSendNs);
   }
+  if (h.version >= kMultiTenantProtocolVersion) {
+    // v5: session routing key — version-gated like the v3 fields so the
+    // trailing-bytes check still catches malformed older handshakes.
+    putString(out, h.tenant);
+    put<std::uint64_t>(out, h.traceId);
+  }
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.tracked.size()));
   for (const std::string& name : h.tracked) putString(out, name);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(h.vars.size()));
@@ -138,6 +144,11 @@ bool decodeHandshake(const std::vector<std::uint8_t>& payload, Handshake& out,
   if (h.version >= kTraceContextProtocolVersion) {
     if (!r.read(h.streamId) || !r.read(h.handshakeSendNs)) {
       return fail("handshake trace context malformed");
+    }
+  }
+  if (h.version >= kMultiTenantProtocolVersion) {
+    if (!r.readString(h.tenant) || !r.read(h.traceId)) {
+      return fail("handshake tenant routing malformed");
     }
   }
   std::uint32_t nTracked = 0;

@@ -49,12 +49,15 @@
 namespace mpx::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
-/// v4: event batches may arrive as kEventsSparse frames carrying
-/// sparse/delta-coded clocks (the handshake layout is unchanged from v3).
+/// v5: the handshake additionally carries a tenant name and a trace id, so
+/// one daemon can route streams to per-(tenant, trace) analyzer sessions.
 /// Receivers still decode every earlier layout — v1 single-spec and v2
-/// list handshakes, v2 kEvents and v3 kEventsTs frames; versions above
-/// kProtocolVersion are rejected.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+/// list handshakes, v2 kEvents, v3 kEventsTs and v4 kEventsSparse frames;
+/// v1–v4 handshakes decode with tenant == "" and traceId == 0 (the default
+/// session).  Versions above kProtocolVersion are rejected.
+inline constexpr std::uint16_t kProtocolVersion = 5;
+/// First version whose handshake carries the tenant name and trace id.
+inline constexpr std::uint16_t kMultiTenantProtocolVersion = 5;
 /// First version whose event frames may be kEventsSparse (sparse/delta
 /// clock tails).  The handshake layout is identical to v3.
 inline constexpr std::uint16_t kSparseClockProtocolVersion = 4;
@@ -102,6 +105,15 @@ struct Handshake {
   /// v3: the emitter's raw monotonic clock (CLOCK_MONOTONIC ns) at
   /// handshake-encode time.  0 = unset (v1/v2 peers).
   std::uint64_t handshakeSendNs = 0;
+  /// v5: the tenant this stream belongs to.  The daemon isolates analyzer
+  /// sessions, budgets and reports per tenant.  Empty = default tenant
+  /// (all v1–v4 peers).
+  std::string tenant;
+  /// v5: id of the trace this stream is part of.  Streams of one logical
+  /// execution share a trace id and feed ONE analyzer session; distinct
+  /// traces of the same tenant are analyzed independently.  0 = unset
+  /// (v1–v4 peers; the daemon treats it as "the default trace").
+  std::uint64_t traceId = 0;
 
   /// The v1 view: the first spec, or empty.
   [[nodiscard]] const std::string& primarySpec() const {
@@ -131,9 +143,11 @@ inline void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
 /// Handshake payload (de)serialization.  encodeHandshake honors
 /// `h.version`: 1 emits the legacy single-spec layout (first spec or
 /// empty), 2 emits the spec list, 3 additionally appends the stream id and
-/// send clock.  decodeHandshake accepts ALL layouts (a v1 single spec
-/// decodes to a one-element `specs`; v1/v2 handshakes decode with
-/// streamId == handshakeSendNs == 0), rejects versions above
+/// send clock, 5 additionally appends the tenant name and trace id.
+/// decodeHandshake accepts ALL layouts (a v1 single spec decodes to a
+/// one-element `specs`; v1/v2 handshakes decode with
+/// streamId == handshakeSendNs == 0; v1–v4 handshakes decode with
+/// tenant == "" and traceId == 0), rejects versions above
 /// kProtocolVersion, and returns false on malformed payloads with a
 /// static reason in `error` — it never throws (daemon-side input is
 /// untrusted).

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "observer/checkpoint.hpp"
 #include "observer/intern.hpp"
 #include "observer/lattice_types.hpp"
 #include "telemetry/metrics.hpp"
@@ -115,6 +116,23 @@ class Analysis {
 
   /// The expansion is complete (or was truncated — see stats.truncated).
   virtual void finish(const LatticeStats& stats) { (void)stats; }
+
+  /// Serializes the plugin's accumulated observations for a session
+  /// checkpoint (observer/checkpoint.hpp).  Each implementation writes a
+  /// leading version byte of its own; the default writes nothing — a
+  /// stateless plugin round-trips for free.  Orchestrator thread only,
+  /// between levels (never concurrent with dispatch).
+  virtual void checkpoint(ckpt::Writer& w) const { (void)w; }
+
+  /// Inverse of checkpoint(): replaces the plugin's state wholesale from a
+  /// blob written by the SAME plugin type.  Returns false (leaving the
+  /// plugin unusable) on version or decode mismatch — snapshot files are
+  /// untrusted input.  After a successful restore the plugin's report() is
+  /// byte-identical to the checkpoint-time original.
+  [[nodiscard]] virtual bool restore(ckpt::Reader& r) {
+    (void)r;
+    return true;
+  }
 
   [[nodiscard]] virtual AnalysisReport report() const = 0;
 };

@@ -1,0 +1,63 @@
+// Shared checkpoint encodings for the lattice vocabulary types.  The
+// OnlineAnalyzer core and several Analysis plugins serialize the same
+// Violation/EventRef/Cut shapes; keeping one encoding here keeps their
+// blobs mutually consistent and the bounds checks in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "observer/checkpoint.hpp"
+#include "observer/lattice_types.hpp"
+
+namespace mpx::observer::ckpt {
+
+inline void writeEventRef(Writer& w, const EventRef& e) {
+  w.u32(e.thread);
+  w.u64(e.index);
+}
+
+[[nodiscard]] inline EventRef readEventRef(Reader& r) {
+  EventRef e;
+  e.thread = r.u32();
+  e.index = r.u64();
+  return e;
+}
+
+inline void writeCut(Writer& w, const Cut& c) {
+  w.u64(c.k.size());
+  for (const std::uint32_t v : c.k) w.u32(v);
+}
+
+[[nodiscard]] inline Cut readCut(Reader& r) {
+  Cut c;
+  const std::uint64_t n = r.len(4);
+  c.k.resize(static_cast<std::size_t>(n));
+  for (auto& v : c.k) v = r.u32();
+  return c;
+}
+
+inline void writeViolation(Writer& w, const Violation& v) {
+  writeCut(w, v.cut);
+  w.u64(v.state.values.size());
+  for (const Value x : v.state.values) w.i64(x);
+  w.u64(v.monitorState);
+  w.u64(v.path.size());
+  for (const EventRef& e : v.path) writeEventRef(w, e);
+}
+
+[[nodiscard]] inline Violation readViolation(Reader& r) {
+  Violation v;
+  v.cut = readCut(r);
+  const std::uint64_t sn = r.len(8);
+  v.state.values.resize(static_cast<std::size_t>(sn));
+  for (auto& x : v.state.values) x = r.i64();
+  v.monitorState = r.u64();
+  const std::uint64_t pn = r.len(12);
+  v.path.reserve(static_cast<std::size_t>(pn));
+  for (std::uint64_t i = 0; i < pn && r.ok(); ++i) {
+    v.path.push_back(readEventRef(r));
+  }
+  return v;
+}
+
+}  // namespace mpx::observer::ckpt

@@ -27,6 +27,7 @@
 // are stored once.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -112,6 +113,47 @@ class StateArena {
     return s;
   }
 
+  // ---- Checkpoint support (observer/checkpoint.hpp) -------------------
+  // misses_ and bytes_ are pure functions of the distinct values resident,
+  // so restore == clear() + re-intern every snapshotted value (rebuilding
+  // misses/bytes exactly) + addHits() to top the hit tally back up.  The
+  // re-intern order is the snapshot's deterministic sort, which also makes
+  // a restored arena's pointer assignment reproducible for the frontier.
+
+  /// Every resident state, sorted by value (deterministic across runs and
+  /// jobs counts).  Quiesced callers only — takes every stripe lock.
+  [[nodiscard]] std::vector<const GlobalState*> snapshotSorted() const {
+    std::vector<const GlobalState*> out;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (const GlobalState& s : stripe.set) out.push_back(&s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const GlobalState* a, const GlobalState* b) {
+                return a->values < b->values;
+              });
+    return out;
+  }
+
+  /// Drops every resident state and zeroes the tallies.  Only valid when
+  /// nothing points into the arena anymore (restore rebuilds the frontier
+  /// afterwards).
+  void clear() {
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.set.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Restores a checkpointed hit tally after re-interning (re-interning
+  /// distinct values produces only misses).
+  void addHits(std::uint64_t n) {
+    hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t kStripes = 16;  // power of two
   struct Stripe {
@@ -154,6 +196,28 @@ class MonitorSetArena {
 
   /// Accounted bytes of every resident set under the byte model.
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+  /// Every resident set, sorted lexicographically (checkpoint support —
+  /// same contract as StateArena::snapshotSorted).
+  [[nodiscard]] std::vector<const std::vector<std::uint64_t>*> snapshotSorted()
+      const {
+    std::vector<const std::vector<std::uint64_t>*> out;
+    out.reserve(set_.size());
+    for (const auto& v : set_) out.push_back(&v);
+    std::sort(out.begin(), out.end(),
+              [](const std::vector<std::uint64_t>* a,
+                 const std::vector<std::uint64_t>* b) { return *a < *b; });
+    return out;
+  }
+
+  void clear() {
+    set_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    bytes_ = 0;
+  }
+
+  void addHits(std::uint64_t n) { hits_ += n; }
 
  private:
   struct VecHash {

@@ -5,11 +5,13 @@
 //
 // Two execution modes:
 //
-//  * Serial (jobs == 1, the default): a direct port of the original
-//    single-threaded loop — iteration order, witness selection and
-//    violation order are bit-for-bit those of the pre-parallel code.
-//  * Parallel: the frontier's nodes are snapshotted in iteration order and
-//    split into contiguous chunks, one per pool worker.  Each worker
+//  * Serial (jobs == 1, the default): one loop over the frontier in
+//    canonical (sorted-by-cut) order, so witness selection and violation
+//    order are a pure function of the lattice — in particular they survive
+//    a checkpoint/restore round trip, which rebuilds the frontier map with
+//    a different internal layout.
+//  * Parallel: the frontier's nodes are snapshotted in the same canonical
+//    order and split into contiguous chunks, one per pool worker.  Each worker
 //    expands its slice into a WORKER-LOCAL frontier (its own keep-first
 //    dedup of cuts and monitor states); the merge then folds the local
 //    frontiers together in chunk-index order with keep-first semantics and
@@ -163,10 +165,25 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
   Frontier result;
   EdgeCounters counters;
 
+  // Canonical expansion order: sorted by cut.  Witness selection and
+  // violation order are keep-first, so iterating the unordered frontier
+  // directly would make both a function of container HISTORY — which a
+  // checkpoint/restore round trip does not preserve (a restored frontier
+  // is rebuilt in sorted order, not discovery order).  Sorting first makes
+  // them a pure function of the lattice itself; it is also the same node
+  // order AnalysisBus::dispatchLevel hands the plugins.
+  std::vector<const std::pair<const Cut, FrontierNode>*> items;
+  items.reserve(frontier.size());
+  for (const auto& kv : frontier) items.push_back(&kv);
+  std::sort(items.begin(), items.end(), [](const auto* a, const auto* b) {
+    return a->first.k < b->first.k;
+  });
+
   const bool concurrent = pool != nullptr && pool->workers() > 1 &&
                           frontier.size() >= opts.parallel.minFrontier;
   if (!concurrent) {
-    for (const auto& [cut, node] : frontier) {
+    for (const auto* kv : items) {
+      const auto& [cut, node] = *kv;
       for (ThreadId j = 0; j < threads; ++j) {
         const trace::Message* m = next(cut, j);
         if (m == nullptr) continue;
@@ -175,12 +192,6 @@ Frontier expandLevel(const Frontier& frontier, std::size_t threads,
       }
     }
   } else {
-    // Snapshot the frontier in its iteration order so chunk boundaries are
-    // a pure function of (size, workers) — the determinism anchor.
-    std::vector<const std::pair<const Cut, FrontierNode>*> items;
-    items.reserve(frontier.size());
-    for (const auto& kv : frontier) items.push_back(&kv);
-
     const std::size_t chunks = pool->workers();
     std::vector<Frontier> locals(chunks);
     std::vector<EdgeCounters> localCounters(chunks);

@@ -5,8 +5,10 @@
 
 #include "observer/analysis.hpp"
 #include "observer/budget.hpp"
+#include "observer/checkpoint_codec.hpp"
 #include "observer/level_expand.hpp"
 #include "observer/observer_metrics.hpp"
+#include "trace/codec.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/timer.hpp"
 #include "telemetry/trace_span.hpp"
@@ -252,6 +254,279 @@ void OnlineAnalyzer::expandOneLevel() {
     telemetry::FlightRecorder::global().record(
         telemetry::FlightEvent::kViolation, stats_.levels - 1);
   }
+}
+
+namespace {
+
+/// Layout version of the OnlineAnalyzer checkpoint blob.
+constexpr std::uint8_t kAnalyzerCkptVersion = 1;
+
+void writeStats(ckpt::Writer& w, const LatticeStats& s) {
+  w.u64(s.levels);
+  w.u64(s.totalNodes);
+  w.u64(s.totalEdges);
+  w.u64(s.peakLevelWidth);
+  w.u64(s.peakLiveNodes);
+  w.u64(s.gcNodes);
+  w.u64(s.pathCount);
+  w.boolean(s.pathCountSaturated);
+  w.boolean(s.truncated);
+  w.u64(s.monitorStatesPeak);
+  w.u64(s.prunedMonitorStates);
+  w.u64(s.beamPrunedNodes);
+  w.boolean(s.approximated);
+  w.u64(s.internHits);
+  w.u64(s.internMisses);
+  w.u64(s.internedStates);
+  w.u64(s.msetInternHits);
+  w.u64(s.msetInternMisses);
+  w.u64(s.accountedBytes);
+  w.u64(s.peakAccountedBytes);
+  w.u64(s.droppedNodes);
+  w.u64(s.degradedAtLevel);
+  w.u8(static_cast<std::uint8_t>(s.degradation));
+  w.u8(static_cast<std::uint8_t>(s.boundReason));
+}
+
+bool readStats(ckpt::Reader& r, LatticeStats& s) {
+  s.levels = static_cast<std::size_t>(r.u64());
+  s.totalNodes = static_cast<std::size_t>(r.u64());
+  s.totalEdges = static_cast<std::size_t>(r.u64());
+  s.peakLevelWidth = static_cast<std::size_t>(r.u64());
+  s.peakLiveNodes = static_cast<std::size_t>(r.u64());
+  s.gcNodes = static_cast<std::size_t>(r.u64());
+  s.pathCount = r.u64();
+  s.pathCountSaturated = r.boolean();
+  s.truncated = r.boolean();
+  s.monitorStatesPeak = static_cast<std::size_t>(r.u64());
+  s.prunedMonitorStates = static_cast<std::size_t>(r.u64());
+  s.beamPrunedNodes = static_cast<std::size_t>(r.u64());
+  s.approximated = r.boolean();
+  s.internHits = r.u64();
+  s.internMisses = r.u64();
+  s.internedStates = static_cast<std::size_t>(r.u64());
+  s.msetInternHits = r.u64();
+  s.msetInternMisses = r.u64();
+  s.accountedBytes = r.u64();
+  s.peakAccountedBytes = r.u64();
+  s.droppedNodes = r.u64();
+  s.degradedAtLevel = r.u64();
+  const std::uint8_t deg = r.u8();
+  const std::uint8_t reason = r.u8();
+  if (deg > static_cast<std::uint8_t>(DegradationMode::kObservedOnly) ||
+      reason > static_cast<std::uint8_t>(BoundReason::kMaxFrontier)) {
+    return false;
+  }
+  s.degradation = static_cast<DegradationMode>(deg);
+  s.boundReason = static_cast<BoundReason>(reason);
+  return r.ok();
+}
+
+}  // namespace
+
+void OnlineAnalyzer::checkpoint(ckpt::Writer& w) const {
+  w.u8(kAnalyzerCkptVersion);
+  w.u64(buffered_.size());
+  w.boolean(ended_);
+  w.boolean(finished_);
+  w.u64(pending_);
+  for (const LocalSeq k : consumedK_) w.u64(k);
+
+  // Buffered messages, per thread in index order, each self-delimited by
+  // an explicit length so the reader can bound its copy.
+  for (ThreadId j = 0; j < buffered_.size(); ++j) {
+    std::vector<LocalSeq> keys;
+    keys.reserve(buffered_[j].size());
+    for (const auto& [k, m] : buffered_[j]) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (const LocalSeq k : keys) {
+      w.u64(k);
+      std::vector<std::uint8_t> enc;
+      trace::BinaryCodec::encode(buffered_[j].at(k), enc);
+      w.u64(enc.size());
+      w.bytes(enc.data(), enc.size());
+    }
+  }
+
+  // Both arenas: every distinct value in sorted order, plus the hit tally.
+  // Restore re-interns in this exact order, which (a) rebuilds misses and
+  // accounted bytes exactly and (b) makes pointer assignment deterministic
+  // so the frontier below can reference states by index.
+  const auto states = states_.snapshotSorted();
+  std::unordered_map<const GlobalState*, std::uint64_t> stateIndex;
+  stateIndex.reserve(states.size());
+  w.u64(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    stateIndex.emplace(states[i], i);
+    w.u64(states[i]->values.size());
+    for (const Value v : states[i]->values) w.i64(v);
+  }
+  w.u64(states_.stats().hits);
+
+  const auto msets = msets_.snapshotSorted();
+  w.u64(msets.size());
+  for (const auto* mv : msets) {
+    w.u64(mv->size());
+    for (const std::uint64_t x : *mv) w.u64(x);
+  }
+  w.u64(msets_.stats().hits);
+
+  // Witness-path DAG reachable from the frontier, parents before children
+  // (persistent shared-suffix chains; each node written once).  Id 0 is
+  // the null path.
+  std::vector<const detail::Frontier::value_type*> sorted;
+  sorted.reserve(frontier_.size());
+  for (const auto& kv : frontier_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first.k < b->first.k; });
+  std::unordered_map<const PathNode*, std::uint64_t> pathIds;
+  std::vector<const PathNode*> pathOrder;
+  const auto visitPath = [&](const PathPtr& p) {
+    std::vector<const PathNode*> chain;
+    for (const PathNode* n = p.get();
+         n != nullptr && pathIds.find(n) == pathIds.end();
+         n = n->parent.get()) {
+      chain.push_back(n);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      pathIds.emplace(*it, pathOrder.size() + 1);
+      pathOrder.push_back(*it);
+    }
+  };
+  for (const auto* kv : sorted) {
+    visitPath(kv->second.anyPath);
+    for (const auto& [ms, p] : kv->second.mstates) visitPath(p);
+  }
+  const auto pathIdOf = [&](const PathPtr& p) -> std::uint64_t {
+    return p == nullptr ? 0 : pathIds.at(p.get());
+  };
+  w.u64(pathOrder.size());
+  for (const PathNode* n : pathOrder) {
+    ckpt::writeEventRef(w, n->event);
+    w.u64(n->parent == nullptr ? 0 : pathIds.at(n->parent.get()));
+  }
+
+  // The live frontier, sorted by cut.
+  w.u64(sorted.size());
+  for (const auto* kv : sorted) {
+    w.u64(kv->first.k.size());
+    for (const std::uint32_t c : kv->first.k) w.u32(c);
+    w.u64(stateIndex.at(kv->second.state));
+    w.u64(kv->second.pathCount);
+    w.u64(kv->second.mstates.size());
+    for (const auto& [ms, p] : kv->second.mstates) {
+      w.u64(ms);
+      w.u64(pathIdOf(p));
+    }
+    w.u64(pathIdOf(kv->second.anyPath));
+  }
+  w.u64(liveFrontierBytes_);
+
+  writeStats(w, stats_);
+
+  w.u64(violations_.size());
+  for (const Violation& v : violations_) ckpt::writeViolation(w, v);
+}
+
+bool OnlineAnalyzer::restore(ckpt::Reader& r) {
+  if (r.u8() != kAnalyzerCkptVersion) return false;
+  if (r.u64() != buffered_.size()) return false;
+  ended_ = r.boolean();
+  finished_ = r.boolean();
+  pending_ = static_cast<std::size_t>(r.u64());
+  consumedK_.assign(buffered_.size(), 0);
+  for (ThreadId j = 0; j < buffered_.size(); ++j) consumedK_[j] = r.u64();
+
+  for (ThreadId j = 0; j < buffered_.size(); ++j) {
+    buffered_[j].clear();
+    const std::uint64_t count = r.len(16);
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const LocalSeq k = r.u64();
+      const std::uint64_t encLen = r.len(1);
+      std::vector<std::uint8_t> enc(static_cast<std::size_t>(encLen));
+      if (!r.raw(enc.data(), enc.size())) return false;
+      const auto dec = trace::BinaryCodec::tryDecode(enc.data(), enc.size());
+      if (dec.status != trace::DecodeStatus::kOk ||
+          dec.consumed != enc.size()) {
+        return false;
+      }
+      if (k == 0 || !buffered_[j].emplace(k, dec.message).second) return false;
+    }
+  }
+
+  states_.clear();
+  std::vector<const GlobalState*> statesByIndex;
+  const std::uint64_t stateCount = r.len(8);
+  statesByIndex.reserve(static_cast<std::size_t>(stateCount));
+  for (std::uint64_t i = 0; i < stateCount && r.ok(); ++i) {
+    const std::uint64_t n = r.len(8);
+    std::vector<Value> values(static_cast<std::size_t>(n));
+    for (auto& v : values) v = r.i64();
+    statesByIndex.push_back(states_.intern(GlobalState(std::move(values))));
+  }
+  states_.addHits(r.u64());
+
+  msets_.clear();
+  const std::uint64_t msetCount = r.len(8);
+  for (std::uint64_t i = 0; i < msetCount && r.ok(); ++i) {
+    const std::uint64_t n = r.len(8);
+    std::vector<std::uint64_t> set(static_cast<std::size_t>(n));
+    for (auto& x : set) x = r.u64();
+    msets_.intern(std::move(set));
+  }
+  msets_.addHits(r.u64());
+
+  const std::uint64_t pathCount = r.len(8);
+  std::vector<PathPtr> paths(static_cast<std::size_t>(pathCount) + 1);
+  for (std::uint64_t i = 1; i <= pathCount && r.ok(); ++i) {
+    const EventRef e = ckpt::readEventRef(r);
+    const std::uint64_t parent = r.u64();
+    if (parent >= i) return false;  // parents precede children
+    paths[static_cast<std::size_t>(i)] = std::make_shared<const PathNode>(
+        PathNode{e, paths[static_cast<std::size_t>(parent)]});
+  }
+  const auto pathAt = [&](std::uint64_t id) -> PathPtr {
+    if (id > pathCount) {
+      r.fail();
+      return nullptr;
+    }
+    return paths[static_cast<std::size_t>(id)];
+  };
+
+  frontier_.clear();
+  const std::uint64_t frontierCount = r.len(8);
+  for (std::uint64_t i = 0; i < frontierCount && r.ok(); ++i) {
+    Cut cut;
+    const std::uint64_t n = r.len(4);
+    if (n != buffered_.size()) return false;
+    cut.k.resize(static_cast<std::size_t>(n));
+    for (auto& c : cut.k) c = r.u32();
+    detail::FrontierNode node;
+    const std::uint64_t stateIdx = r.u64();
+    if (stateIdx >= statesByIndex.size()) return false;
+    node.state = statesByIndex[static_cast<std::size_t>(stateIdx)];
+    node.pathCount = r.u64();
+    const std::uint64_t mcount = r.len(16);
+    for (std::uint64_t m = 0; m < mcount && r.ok(); ++m) {
+      const MonitorState ms = r.u64();
+      node.mstates.emplace(ms, pathAt(r.u64()));
+    }
+    node.anyPath = pathAt(r.u64());
+    if (!frontier_.emplace(std::move(cut), std::move(node)).second) {
+      return false;
+    }
+  }
+  liveFrontierBytes_ = r.u64();
+
+  if (!readStats(r, stats_)) return false;
+
+  violations_.clear();
+  const std::uint64_t vcount = r.len(8);
+  for (std::uint64_t i = 0; i < vcount && r.ok(); ++i) {
+    violations_.push_back(ckpt::readViolation(r));
+  }
+  return r.ok();
 }
 
 void OnlineAnalyzer::finalize() {

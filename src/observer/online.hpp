@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "observer/checkpoint.hpp"
 #include "observer/global_state.hpp"
 #include "observer/lattice.hpp"
 #include "trace/channel.hpp"
@@ -93,6 +94,23 @@ class OnlineAnalyzer final : public trace::MessageSink {
   [[nodiscard]] const std::vector<LocalSeq>& consumedK() const noexcept {
     return consumedK_;
   }
+
+  /// Serializes the complete analyzer state — buffered messages, both
+  /// intern arenas, the live frontier (with its witness-path DAG), stats
+  /// and violations — so an identically-constructed analyzer can restore()
+  /// and continue to a byte-identical report.  Plugin state is NOT
+  /// included; the session checkpoints each plugin's blob beside this one
+  /// (Analysis::checkpoint).  Call only between messages (never from
+  /// inside a dispatch).
+  void checkpoint(ckpt::Writer& w) const;
+
+  /// Inverse of checkpoint() on a freshly constructed analyzer with the
+  /// same (space, threads, monitor/bus, options).  Rebuilds pointer
+  /// identity by re-interning arena contents in deterministic order.
+  /// Returns false on any version/bounds/decode mismatch — the input is an
+  /// untrusted snapshot file, and a failed restore leaves the analyzer
+  /// unusable (discard it).
+  [[nodiscard]] bool restore(ckpt::Reader& r);
 
  private:
   /// The k-th (1-based) message of thread j, if present.

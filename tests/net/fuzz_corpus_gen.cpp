@@ -2,10 +2,10 @@
 //
 //   fuzz_corpus_gen <dir>
 //
-// creates <dir>/{frame_reader,codec,handshake,sparse_clock}/seed-*.bin
-// with valid encodings (a whole frame stream, an events batch, v1 + v2
-// handshakes, a sparse-coded v4 message stream) plus a few deterministic
-// mutations of each.  The checked-in corpus under
+// creates <dir>/{frame_reader,codec,handshake,sparse_clock,snapshot}/
+// seed-*.bin with valid encodings (a whole frame stream, an events batch,
+// v1 + v2 handshakes, a sparse-coded v4 message stream, an epoch snapshot
+// file) plus a few deterministic mutations of each.  The checked-in corpus under
 // tests/net/corpus/ was produced by this tool; CI regenerates and uploads
 // it so fuzz runs always start from live-format seeds.
 #include <cstdio>
@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
               {fuzz::seedHandshakePayload(mpx::net::kProtocolVersion),
                fuzz::seedHandshakePayload(mpx::net::kLegacyProtocolVersion)});
   writeFamily(root, "sparse_clock", {fuzz::seedSparseEventsPayload()});
+  writeFamily(root, "snapshot", {fuzz::seedSnapshotBytes()});
   std::printf("corpus written to %s\n", root.string().c_str());
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "net/snapshot.hpp"
 #include "net/wire.hpp"
 #include "trace/codec.hpp"
 
@@ -232,6 +233,28 @@ inline void driveHandshake(const std::uint8_t* data, std::size_t len) {
                   "var table size changed in round trip");
 }
 
+// --- snapshot files (epoch checkpoints) ---------------------------------
+
+/// decodeSnapshot must accept or reject any byte string without throwing
+/// or over-allocating, and — because the format is fully canonical (no
+/// slack, trailing bytes rejected, CRC over everything) — any ACCEPTED
+/// input must re-encode byte-identically.
+inline void driveSnapshot(const std::uint8_t* data, std::size_t len) {
+  std::vector<net::SnapshotEntry> entries;
+  const char* error = nullptr;
+  if (!net::decodeSnapshot(data, len, entries, &error)) {
+    MPX_FUZZ_ASSERT(error != nullptr, "snapshot rejection without a reason");
+    MPX_FUZZ_ASSERT(entries.empty(), "rejected snapshot left entries behind");
+    return;
+  }
+  MPX_FUZZ_ASSERT(entries.size() <= net::kMaxSnapshotSessions,
+                  "decoded snapshot exceeds the session cap");
+  const std::vector<std::uint8_t> re = net::encodeSnapshot(entries);
+  MPX_FUZZ_ASSERT(re.size() == len, "snapshot re-encode changed the length");
+  MPX_FUZZ_ASSERT(len == 0 || std::memcmp(re.data(), data, len) == 0,
+                  "snapshot re-encode is not byte-identical");
+}
+
 // --- seed inputs --------------------------------------------------------
 // Valid encodings the corpus ships and the smoke test mutates.  Kept here
 // so the corpus generator utility and the smoke test produce byte-identical
@@ -301,6 +324,19 @@ inline std::vector<std::uint8_t> seedSparseEventsPayload() {
   // Thread 2: a narrow clock (dense mode wins at small widths).
   trace::SparseClockCodec::encode(seedMessage(3), st, out);
   return out;
+}
+
+/// A valid three-entry snapshot file image (named tenants + the default
+/// session + an empty blob).
+inline std::vector<std::uint8_t> seedSnapshotBytes() {
+  std::vector<net::SnapshotEntry> entries(3);
+  entries[0].tenant = "tenant-a";
+  entries[0].traceId = 0x1111;
+  entries[0].blob = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  entries[1].blob = std::vector<std::uint8_t>(64, 0x5A);  // default session
+  entries[2].tenant = "tenant-empty";
+  entries[2].traceId = 0x2222;
+  return net::encodeSnapshot(entries);
 }
 
 inline std::vector<std::uint8_t> seedFrameStream() {

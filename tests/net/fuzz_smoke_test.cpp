@@ -60,6 +60,23 @@ TEST(FuzzSmoke, SparseClock) {
   sweep(&driveSparseClock, seedSparseEventsPayload(), 3000, 0x5BA45E);
 }
 
+TEST(FuzzSmoke, Snapshot) {
+  sweep(&driveSnapshot, seedSnapshotBytes(), 3000, 0x5EA15);
+}
+
+TEST(FuzzSmoke, SnapshotValidSeedIsAcceptedAndCanonical) {
+  // The unmutated seed must pass the decoder and satisfy the driver's
+  // byte-identical re-encode invariant (the sweep above mostly exercises
+  // the reject paths, since any mutation breaks the CRC).
+  const auto seed = seedSnapshotBytes();
+  std::vector<net::SnapshotEntry> entries;
+  const char* error = nullptr;
+  ASSERT_TRUE(net::decodeSnapshot(seed.data(), seed.size(), entries, &error))
+      << error;
+  EXPECT_EQ(entries.size(), 3u);
+  driveSnapshot(seed.data(), seed.size());
+}
+
 // Regressions: inputs that once violated a driver invariant stay pinned by
 // name so the exact bytes are re-checked forever.
 TEST(FuzzSmoke, RegressionHugeClockSize) {
@@ -117,6 +134,7 @@ TEST(FuzzSmoke, RegressionEmptyAndHeaderOnlyInputs) {
   driveCodec(nullptr, 0);
   driveHandshake(nullptr, 0);
   driveSparseClock(nullptr, 0);
+  driveSnapshot(nullptr, 0);
   const std::vector<std::uint8_t> stream = seedFrameStream();
   driveFrameReader(stream.data(), net::kFrameHeaderSize);
 }

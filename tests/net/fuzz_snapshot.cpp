@@ -1,0 +1,10 @@
+// libFuzzer target: decodeSnapshot + canonical re-encode fixpoint over
+// arbitrary bytes (epoch checkpoint files are untrusted startup input).
+// Build with -DMPX_BUILD_FUZZERS=ON (clang only).
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  mpx::testing::fuzz::driveSnapshot(data, size);
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Snapshot file format: the epoch-checkpoint container must round-trip
+// byte-exactly, reject every corruption a crash or a hostile peer can
+// produce (bit flips, truncation, trailing bytes, lying length words), and
+// the file writer must be atomic — a failed write never clobbers the
+// previous good snapshot.
+#include "net/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpx::net {
+namespace {
+
+std::vector<SnapshotEntry> sampleEntries() {
+  std::vector<SnapshotEntry> entries;
+  SnapshotEntry a;
+  a.tenant = "team-payments";
+  a.traceId = 0xfeedface01ull;
+  a.blob = {0x01, 0x02, 0x03, 0x04, 0xff};
+  entries.push_back(a);
+  SnapshotEntry b;  // the default/legacy session: empty tenant, trace 0
+  b.blob = std::vector<std::uint8_t>(300, 0xAB);
+  entries.push_back(b);
+  SnapshotEntry c;
+  c.tenant = "tenant-with-empty-blob";
+  c.traceId = 7;
+  entries.push_back(c);
+  return entries;
+}
+
+TEST(NetSnapshot, EncodeDecodeRoundTripsEveryEntry) {
+  const auto entries = sampleEntries();
+  const std::vector<std::uint8_t> bytes = encodeSnapshot(entries);
+  std::vector<SnapshotEntry> back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeSnapshot(bytes.data(), bytes.size(), back, &error))
+      << error;
+  ASSERT_EQ(back.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(back[i].tenant, entries[i].tenant) << i;
+    EXPECT_EQ(back[i].traceId, entries[i].traceId) << i;
+    EXPECT_EQ(back[i].blob, entries[i].blob) << i;
+  }
+  // The encoding is canonical: re-encoding the decode is byte-identical.
+  EXPECT_EQ(encodeSnapshot(back), bytes);
+}
+
+TEST(NetSnapshot, EmptySnapshotRoundTrips) {
+  const std::vector<std::uint8_t> bytes = encodeSnapshot({});
+  std::vector<SnapshotEntry> back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeSnapshot(bytes.data(), bytes.size(), back, &error))
+      << error;
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(NetSnapshot, EveryBitFlipFailsTheChecksum) {
+  const std::vector<std::uint8_t> bytes = encodeSnapshot(sampleEntries());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[i] ^= 0x40;
+    std::vector<SnapshotEntry> back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeSnapshot(flipped.data(), flipped.size(), back, &error))
+        << "flip at byte " << i;
+    ASSERT_NE(error, nullptr);
+    // A flip in the body fails the CRC before any field is parsed; a flip
+    // inside the CRC trailer itself also mismatches.
+    EXPECT_STREQ(error, "snapshot checksum mismatch") << "flip at byte " << i;
+  }
+}
+
+TEST(NetSnapshot, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> bytes = encodeSnapshot(sampleEntries());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    std::vector<SnapshotEntry> back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeSnapshot(bytes.data(), n, back, &error))
+        << "length " << n;
+    EXPECT_NE(error, nullptr) << "length " << n;
+  }
+}
+
+TEST(NetSnapshot, TrailingBytesAreRejected) {
+  // Appending a byte breaks the CRC; appending a byte AND refreshing the
+  // CRC must still fail on the trailing-bytes check — the count says where
+  // the entries end.
+  std::vector<std::uint8_t> bytes = encodeSnapshot(sampleEntries());
+  bytes.resize(bytes.size() - 4);  // strip the old CRC
+  bytes.push_back(0xEE);           // junk after the last entry
+  const std::uint32_t crc = snapshotCrc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  std::vector<SnapshotEntry> back;
+  const char* error = nullptr;
+  EXPECT_FALSE(decodeSnapshot(bytes.data(), bytes.size(), back, &error));
+  EXPECT_STREQ(error, "snapshot has trailing bytes");
+}
+
+TEST(NetSnapshot, HostileSessionCountIsRejectedBeforeAllocation) {
+  // Header claiming 2^40 sessions (with a valid CRC): the count cap must
+  // reject it before any per-entry work.
+  std::vector<std::uint8_t> bytes;
+  const auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put32(kSnapshotMagic);
+  bytes.push_back(static_cast<std::uint8_t>(kSnapshotVersion));
+  bytes.push_back(static_cast<std::uint8_t>(kSnapshotVersion >> 8));
+  const std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(huge >> (8 * i)));
+  }
+  put32(snapshotCrc32(bytes.data(), bytes.size()));
+  std::vector<SnapshotEntry> back;
+  const char* error = nullptr;
+  EXPECT_FALSE(decodeSnapshot(bytes.data(), bytes.size(), back, &error));
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(std::string(error).find("session count"), std::string::npos);
+}
+
+TEST(NetSnapshot, WrongMagicAndVersionAreRejected) {
+  std::vector<std::uint8_t> bytes = encodeSnapshot({});
+  {
+    std::vector<std::uint8_t> wrongMagic = bytes;
+    wrongMagic[0] ^= 0xFF;
+    // Refresh the CRC so only the magic is wrong.
+    wrongMagic.resize(wrongMagic.size() - 4);
+    const std::uint32_t crc =
+        snapshotCrc32(wrongMagic.data(), wrongMagic.size());
+    for (int i = 0; i < 4; ++i) {
+      wrongMagic.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    std::vector<SnapshotEntry> back;
+    const char* error = nullptr;
+    EXPECT_FALSE(
+        decodeSnapshot(wrongMagic.data(), wrongMagic.size(), back, &error));
+    ASSERT_NE(error, nullptr);
+    EXPECT_NE(std::string(error).find("magic"), std::string::npos);
+  }
+  {
+    std::vector<std::uint8_t> wrongVersion = bytes;
+    wrongVersion[4] = 0x7F;
+    wrongVersion.resize(wrongVersion.size() - 4);
+    const std::uint32_t crc =
+        snapshotCrc32(wrongVersion.data(), wrongVersion.size());
+    for (int i = 0; i < 4; ++i) {
+      wrongVersion.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    std::vector<SnapshotEntry> back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeSnapshot(wrongVersion.data(), wrongVersion.size(),
+                                back, &error));
+    ASSERT_NE(error, nullptr);
+    EXPECT_NE(std::string(error).find("version"), std::string::npos);
+  }
+}
+
+TEST(NetSnapshot, FileWriteReadRoundTripsAndReplacesAtomically) {
+  const std::string path =
+      ::testing::TempDir() + "mpx_snapshot_test_roundtrip.bin";
+  std::remove(path.c_str());
+
+  const auto first = sampleEntries();
+  const char* error = nullptr;
+  ASSERT_TRUE(writeSnapshotFile(path, first, &error)) << error;
+  std::vector<SnapshotEntry> back;
+  ASSERT_TRUE(readSnapshotFile(path, back, &error)) << error;
+  ASSERT_EQ(back.size(), first.size());
+  EXPECT_EQ(back[0].tenant, first[0].tenant);
+  EXPECT_EQ(back[1].blob, first[1].blob);
+
+  // Overwrite with a different epoch; the reader sees only the new state.
+  std::vector<SnapshotEntry> second = first;
+  second.pop_back();
+  second[0].blob.push_back(0x99);
+  ASSERT_TRUE(writeSnapshotFile(path, second, &error)) << error;
+  back.clear();
+  ASSERT_TRUE(readSnapshotFile(path, back, &error)) << error;
+  ASSERT_EQ(back.size(), second.size());
+  EXPECT_EQ(back[0].blob, second[0].blob);
+  std::remove(path.c_str());
+}
+
+TEST(NetSnapshot, MissingAndCorruptFilesFailWithReasons) {
+  const std::string missing =
+      ::testing::TempDir() + "mpx_snapshot_test_missing.bin";
+  std::remove(missing.c_str());
+  std::vector<SnapshotEntry> back;
+  const char* error = nullptr;
+  EXPECT_FALSE(readSnapshotFile(missing, back, &error));
+  EXPECT_STREQ(error, "cannot open snapshot file");
+
+  // A torn write (half the file) must fail validation, not half-restore.
+  const std::string torn = ::testing::TempDir() + "mpx_snapshot_test_torn.bin";
+  const std::vector<std::uint8_t> bytes = encodeSnapshot(sampleEntries());
+  std::FILE* f = std::fopen(torn.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+  std::fclose(f);
+  error = nullptr;
+  EXPECT_FALSE(readSnapshotFile(torn, back, &error));
+  EXPECT_NE(error, nullptr);
+  std::remove(torn.c_str());
+}
+
+}  // namespace
+}  // namespace mpx::net

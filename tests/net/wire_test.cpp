@@ -273,6 +273,70 @@ TEST(NetHandshake, PreV3PeersDecodeWithZeroTraceContext) {
   }
 }
 
+TEST(NetHandshake, V5CarriesTenantRouting) {
+  // Protocol v5 = v4 + multi-tenant routing: the tenant name and trace id
+  // the daemon keys its analyzer sessions by.
+  Handshake h = sampleHandshake();
+  h.version = kMultiTenantProtocolVersion;
+  h.streamId = 0x1111222233334444ull;
+  h.tenant = "team-payments/checkout";
+  h.traceId = 0xfeedface00c0ffeeull;
+  Handshake back;
+  const char* error = nullptr;
+  ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error)) << error;
+  EXPECT_EQ(back.version, kMultiTenantProtocolVersion);
+  EXPECT_EQ(back.tenant, h.tenant);
+  EXPECT_EQ(back.traceId, h.traceId);
+  EXPECT_EQ(back.streamId, h.streamId);
+}
+
+TEST(NetHandshake, PreV5PeersDecodeToDefaultTenant) {
+  // v1-v4 payloads carry no routing fields; they must decode to the
+  // default tenant ("", trace 0) so legacy emitters land in the default
+  // session — not be rejected, not misparse the tail.
+  for (const std::uint16_t v :
+       {kLegacyProtocolVersion, kListSpecProtocolVersion,
+        kTraceContextProtocolVersion, kSparseClockProtocolVersion}) {
+    Handshake h = sampleHandshake();
+    h.version = v;
+    h.tenant = "must-not-survive";  // pre-v5 encode drops these
+    h.traceId = 99;
+    Handshake back;
+    const char* error = nullptr;
+    ASSERT_TRUE(decodeHandshake(encodeHandshake(h), back, &error))
+        << "version " << v << ": " << error;
+    EXPECT_EQ(back.version, v);
+    EXPECT_TRUE(back.tenant.empty()) << "version " << v;
+    EXPECT_EQ(back.traceId, 0u) << "version " << v;
+  }
+}
+
+TEST(NetHandshake, V5RejectsTruncatedTenantTail) {
+  // Cutting into the v5 tenant/trace tail must be a decode error, never a
+  // silent fallback to the default tenant.
+  Handshake h = sampleHandshake();
+  h.version = kMultiTenantProtocolVersion;
+  h.tenant = "tenant-a";
+  h.traceId = 7;
+  const std::vector<std::uint8_t> full = encodeHandshake(h);
+  const std::vector<std::uint8_t> base =
+      encodeHandshake([&] {
+        Handshake b = h;
+        b.version = kSparseClockProtocolVersion;
+        return b;
+      }());
+  // v5 appends its tail after the v4 layout; chop anywhere inside it.
+  ASSERT_GT(full.size(), base.size());
+  for (std::size_t n = base.size() + 1; n < full.size(); ++n) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<std::ptrdiff_t>(n));
+    Handshake back;
+    const char* error = nullptr;
+    EXPECT_FALSE(decodeHandshake(cut, back, &error)) << "length " << n;
+    EXPECT_NE(error, nullptr);
+  }
+}
+
 TEST(NetEvents, EventsTsPayloadRoundTripsTimestampAndMessages) {
   const std::vector<trace::Message> msgs{sampleMessage(0, 1),
                                          sampleMessage(1, 2)};
