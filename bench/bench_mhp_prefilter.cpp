@@ -1,0 +1,96 @@
+// MHP-prefilter payoff and overhead (ISSUE 10): the prefilter prunes
+// clock-certified never-concurrent suffix variables from the expanded
+// union space, shrinking the lattice; on unprunable traces it must cost
+// no more than the pairwise clock prepass.  Both sides are measured on
+// engine passes identical but for EngineConfig::mhpPrefilter.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+#include "analysis/engine.hpp"
+#include "program/corpus.hpp"
+
+namespace {
+
+using namespace mpx;
+
+analysis::EngineConfig prefilterConfig(bool on, std::size_t auxVars) {
+  analysis::EngineConfig cfg;
+  cfg.specs = {"data >= 0"};
+  for (std::size_t a = 0; a < auxVars; ++a) {
+    cfg.extraTrackedVars.push_back("aux" + std::to_string(a));
+  }
+  cfg.mhpPrefilter = on;
+  return cfg;
+}
+
+/// Lock-disciplined corpus: every aux variable is never-concurrent with
+/// `data`, so the prefilter prunes the whole aux suffix.  ns/op compares
+/// directly against the _off twin below; the counters pin the payoff.
+void BM_MhpPrefilter_LockDisciplined_On(benchmark::State& state) {
+  const auto aux = static_cast<std::size_t>(state.range(0));
+  const program::Program prog = program::corpus::lockDisciplined(3, 2, aux);
+  const analysis::Engine engine(prog, prefilterConfig(true, aux));
+  std::size_t expanded = 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const analysis::EngineResult r = engine.runWithSeed(7);
+    expanded = r.unionVarsExpanded;
+    nodes = r.latticeStats.totalNodes;
+    benchmark::DoNotOptimize(expanded);
+  }
+  state.counters["union_vars_expanded"] = static_cast<double>(expanded);
+  state.counters["union_vars_total"] = static_cast<double>(aux + 1);
+  state.counters["lattice_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_MhpPrefilter_LockDisciplined_On)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MhpPrefilter_LockDisciplined_Off(benchmark::State& state) {
+  const auto aux = static_cast<std::size_t>(state.range(0));
+  const program::Program prog = program::corpus::lockDisciplined(3, 2, aux);
+  const analysis::Engine engine(prog, prefilterConfig(false, aux));
+  std::size_t expanded = 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const analysis::EngineResult r = engine.runWithSeed(7);
+    expanded = r.unionVarsExpanded;
+    nodes = r.latticeStats.totalNodes;
+    benchmark::DoNotOptimize(expanded);
+  }
+  state.counters["union_vars_expanded"] = static_cast<double>(expanded);
+  state.counters["union_vars_total"] = static_cast<double>(aux + 1);
+  state.counters["lattice_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_MhpPrefilter_LockDisciplined_Off)->Arg(2)->Arg(4)->Arg(8);
+
+/// Unprunable trace (unsynchronized writers, everything concurrent): the
+/// prefilter certifies nothing and the pass degenerates to the off twin
+/// plus the prepass.  ns_per_level exposes any per-level regression.
+void BM_MhpPrefilter_Unprunable(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  const std::size_t deposits = 8;
+  const program::Program prog = program::corpus::bankAccountRacy(deposits);
+  analysis::EngineConfig cfg;
+  cfg.specs = {"balance >= 0"};
+  cfg.mhpPrefilter = on;
+  const analysis::Engine engine(prog, cfg);
+  std::size_t expanded = 0;
+  std::size_t levels = 0;
+  for (auto _ : state) {
+    const analysis::EngineResult r = engine.runWithSeed(11);
+    expanded = r.unionVarsExpanded;
+    levels = r.latticeStats.levels;
+    benchmark::DoNotOptimize(expanded);
+  }
+  state.counters["union_vars_expanded"] = static_cast<double>(expanded);
+  state.counters["levels"] = static_cast<double>(levels);
+  // ns/op ÷ levels = per-level cost; scripts diff Arg(1) against Arg(0).
+  state.counters["ns_per_level"] = benchmark::Counter(
+      static_cast<double>(levels * state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_MhpPrefilter_Unprunable)->Arg(0)->Arg(1);
+
+}  // namespace
+
+MPX_BENCH_MAIN("mhp_prefilter")

@@ -32,7 +32,9 @@
 #include <optional>
 #include <string>
 
+#include "analysis/atomicity_analysis.hpp"
 #include "analysis/engine.hpp"
+#include "analysis/mhp_prefilter.hpp"
 #include "analysis/predictive_analyzer.hpp"
 #include "analysis/campaign.hpp"
 #include "analysis/report.hpp"
@@ -60,8 +62,12 @@ program::Program makePeterson() { return corpus::peterson(); }
 program::Program makeNaiveMutex() { return corpus::mutualExclusionNaive(); }
 program::Program makeReadersWriter() { return corpus::readersWriter(); }
 program::Program makeCas() { return corpus::casCounter(); }
+program::Program makeAtomicityDemo() { return corpus::atomicityDemo(); }
+program::Program makeLockDisciplined() { return corpus::lockDisciplined(); }
 const char* casSpec() { return "counter >= 0"; }
 const char* bankSpec() { return "balance >= 0"; }
+const char* atomicityDemoSpec() { return "acct <= 100"; }
+const char* lockDisciplinedSpec() { return "data >= 0"; }
 
 const std::map<std::string, Entry>& registry() {
   static const std::map<std::string, Entry> r = {
@@ -84,6 +90,13 @@ const std::map<std::string, Entry>& registry() {
         &corpus::readersWriterProperty, nullptr}},
       {"cas-counter",
        {"lock-free CAS counter", &makeCas, &casSpec, nullptr}},
+      {"atomicity-demo",
+       {"annotated atomic regions, --atomicity finds the witness cycle",
+        &makeAtomicityDemo, &atomicityDemoSpec,
+        &corpus::atomicityDemoViolatingSchedule}},
+      {"lock-disciplined",
+       {"lock-disciplined pipeline, --mhp-prefilter prunes the aux suffix",
+        &makeLockDisciplined, &lockDisciplinedSpec, nullptr}},
   };
   return r;
 }
@@ -177,13 +190,34 @@ int analyze(const std::string& name, int argc, char** argv) {
 
   // Repeatable --property: K properties, ONE instrumented execution, ONE
   // lattice pass (each property a SpecAnalysis plugin on the engine bus).
+  // --atomicity / --mhp-prefilter add the ISSUE-10 analysis plugins to the
+  // same pass (and alone select the engine path with zero specs);
+  // --mhp-prefilter additionally turns on the engine's union-space pruning.
   const std::vector<std::string> props = argValues(argc, argv, "--property");
-  if (!props.empty()) {
+  const bool wantAtomicity = hasFlag(argc, argv, "--atomicity");
+  const bool wantMhp = hasFlag(argc, argv, "--mhp-prefilter");
+  if (!props.empty() || wantAtomicity || wantMhp) {
     analysis::EngineConfig ec;
     ec.specs = props;
+    // Repeatable --track: variables tracked beyond the specs' union —
+    // the prefilter's prunable candidates (spec variables never prune).
+    ec.extraTrackedVars = argValues(argc, argv, "--track");
     ec.delivery = config.delivery;
     ec.lattice = config.lattice;
+    ec.mhpPrefilter = wantMhp;
     analysis::Engine engine(prog, ec);
+
+    std::vector<std::unique_ptr<observer::Analysis>> extraOwned;
+    if (wantMhp) {
+      extraOwned.push_back(
+          std::make_unique<analysis::MhpPrefilter>(&prog.vars));
+    }
+    if (wantAtomicity) {
+      extraOwned.push_back(
+          std::make_unique<analysis::AtomicityAnalysis>(&prog.vars));
+    }
+    std::vector<observer::Analysis*> extras;
+    for (const auto& p : extraOwned) extras.push_back(p.get());
 
     std::printf("program:  %s — %s\n", name.c_str(),
                 entry.description.c_str());
@@ -198,13 +232,24 @@ int analyze(const std::string& name, int argc, char** argv) {
                 delivery.c_str());
 
     program::Executor ex(prog, *sched);
-    const analysis::EngineResult r = engine.run(ex.run());
+    const analysis::EngineResult r = engine.run(ex.run(), extras);
     std::printf("events instrumented: %llu, messages to observer: %llu\n",
                 static_cast<unsigned long long>(r.eventsInstrumented),
                 static_cast<unsigned long long>(r.messagesEmitted));
-    std::printf("lattice: %zu nodes across %zu levels, %llu consistent runs\n\n",
+    std::printf("lattice: %zu nodes across %zu levels, %llu consistent runs\n",
                 r.latticeStats.totalNodes, r.latticeStats.levels,
                 static_cast<unsigned long long>(r.latticeStats.pathCount));
+    if (wantMhp) {
+      std::printf("union variables expanded: %zu of %zu",
+                  r.unionVarsExpanded, engine.trackedVariables().size());
+      if (!r.prunedVars.empty()) {
+        std::printf(" (pruned:");
+        for (const auto& v : r.prunedVars) std::printf(" %s", v.c_str());
+        std::printf(")");
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
     std::printf("%s", analysis::renderAnalysisReports(r.reports).c_str());
     if (r.latticeStats.bounded()) {
       std::printf("coverage: BOUNDED(%s, dropped_nodes=%llu) — degraded to "
@@ -363,7 +408,8 @@ int main(int argc, char** argv) {
                  "               [--schedule greedy|roundrobin|random|observed]\n"
                  "               [--delivery fifo|shuffle|delay|reverse]"
                  " [--lattice] [--dot] [--json] [--jobs N]\n"
-                 "               [--memory-budget BYTES] [--max-frontier N]\n"
+                 "               [--memory-budget BYTES] [--max-frontier N]"
+                 " [--atomicity] [--mhp-prefilter] [--track VAR]...\n"
                  "       mpx_cli explore <program> [--spec S]\n"
                  "       mpx_cli campaign <program> [--spec S]"
                  " [--property S]... [--trials N]"

@@ -5,7 +5,8 @@
 // trace completes or the daemon is told to shut down.
 //
 //   mpx_observerd [--port N] [--jobs N] [--streams N] [--property SPEC]...
-//                 [--memory-budget BYTES] [--max-frontier N] [--max-conns N]
+//                 [--analysis NAME]... [--memory-budget BYTES]
+//                 [--max-frontier N] [--max-conns N]
 //                 [--max-conns-per-tenant N] [--checkpoint PATH]
 //                 [--checkpoint-interval LEVELS] [--serve]
 //                 [--flight-dump PATH] [--quiet]
@@ -19,6 +20,11 @@
 //                check SPEC in addition to the properties the client's
 //                handshake carries; repeatable — all properties are checked
 //                in ONE lattice pass (one SpecAnalysis plugin each)
+//   --analysis NAME
+//                run a daemon-side analysis plugin in every session;
+//                repeatable.  NAME is "atomicity" (conflict-serializability
+//                of MPX_ATOMIC_BEGIN/END regions, wire v6) or "mhp"
+//                (never-concurrent pair / race-free variable prefilter)
 //   --memory-budget BYTES
 //                bound the analyzer's accounted working set; over budget it
 //                degrades (sampled frontier → observed path only) instead of
@@ -84,7 +90,8 @@ void onSignal(int) { g_stop = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--jobs N] [--streams N] "
-               "[--property SPEC]... [--memory-budget BYTES] "
+               "[--property SPEC]... [--analysis NAME]... "
+               "[--memory-budget BYTES] "
                "[--max-frontier N] [--max-conns N] "
                "[--max-conns-per-tenant N] [--checkpoint PATH] "
                "[--checkpoint-interval LEVELS] [--serve] "
@@ -120,6 +127,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--property") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
       opts.extraSpecs.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--analysis") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      const std::string name = argv[++i];
+      if (name != "atomicity" && name != "mhp") usage(argv[0]);
+      opts.analyses.push_back(name);
     } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
       opts.lattice.memoryBudgetBytes =
           static_cast<std::size_t>(argValue(argc, argv, i, argv[0]));

@@ -1,0 +1,384 @@
+#include "analysis/atomicity_analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "telemetry/metrics.hpp"
+
+namespace mpx::analysis {
+
+namespace {
+
+constexpr std::uint8_t kAtomicityCkptVersion = 1;
+
+/// One transaction: an annotated region's events, or a single event
+/// outside any region.
+struct Txn {
+  ThreadId thread = 0;
+  bool annotated = false;
+  std::size_t ordinal = 0;   ///< 1-based among the thread's regions
+  Value regionId = 0;
+  LocalSeq firstLocal = 0;   ///< first event's k (canonical naming/order)
+  GlobalSeq firstSeq = 0;
+};
+
+std::string txnName(const Txn& t) {
+  std::ostringstream os;
+  if (t.annotated) {
+    os << 'T' << (t.thread + 1) << '#' << t.ordinal;
+  } else {
+    os << 'T' << (t.thread + 1) << "@k" << t.firstLocal;
+  }
+  return os.str();
+}
+
+/// Iterative Tarjan SCC over the transaction graph; components are
+/// emitted in a deterministic order (pure function of the graph).
+std::vector<std::vector<std::size_t>> stronglyConnected(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  std::vector<std::uint32_t> index(n, 0), low(n, 0);
+  std::vector<bool> onStack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::uint32_t counter = 1;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t next = 0;  ///< next adjacency slot to visit
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != 0) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    onStack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.next++];
+        if (index[w] == 0) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          onStack[w] = true;
+          frames.push_back({w});
+        } else if (onStack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          std::vector<std::size_t> scc;
+          std::size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            onStack[w] = false;
+            scc.push_back(w);
+          } while (w != f.v);
+          sccs.push_back(std::move(scc));
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+/// A cycle start -> ... -> start inside one SCC, DFS over canonically
+/// sorted adjacency (deterministic witness).
+std::vector<std::size_t> findCycle(
+    std::size_t start, const std::vector<std::vector<std::size_t>>& adj,
+    const std::vector<bool>& inScc) {
+  std::vector<std::size_t> path{start};
+  std::vector<bool> visited(adj.size(), false);
+  struct Frame {
+    std::size_t v;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> frames{{start}};
+  visited[start] = true;
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next < adj[f.v].size()) {
+      const std::size_t w = adj[f.v][f.next++];
+      if (!inScc[w]) continue;
+      if (w == start) {
+        path.push_back(start);
+        return path;
+      }
+      if (visited[w]) continue;
+      visited[w] = true;
+      path.push_back(w);
+      frames.push_back({w});
+    } else {
+      frames.pop_back();
+      path.pop_back();
+    }
+  }
+  return {start, start};  // unreachable for a non-singleton SCC
+}
+
+}  // namespace
+
+void AtomicityAnalysis::onMessage(const trace::Message& m) {
+  log_.push_back(m);
+}
+
+AtomicityAnalysis::CheckResult AtomicityAnalysis::check() const {
+  CheckResult out;
+
+  // Sort into the total order M; drop at-least-once duplicates.  Theorem 3
+  // guarantees globalSeq linearizes ≺, so the sorted log is a valid
+  // serial witness of the partial order regardless of delivery order.
+  std::vector<const trace::Message*> msgs;
+  msgs.reserve(log_.size());
+  for (const trace::Message& m : log_) msgs.push_back(&m);
+  std::sort(msgs.begin(), msgs.end(),
+            [](const trace::Message* a, const trace::Message* b) {
+              if (a->event.globalSeq != b->event.globalSeq) {
+                return a->event.globalSeq < b->event.globalSeq;
+              }
+              if (a->event.thread != b->event.thread) {
+                return a->event.thread < b->event.thread;
+              }
+              return a->event.localSeq < b->event.localSeq;
+            });
+  msgs.erase(std::unique(msgs.begin(), msgs.end(),
+                         [](const trace::Message* a, const trace::Message* b) {
+                           return a->event.thread == b->event.thread &&
+                                  a->event.localSeq == b->event.localSeq;
+                         }),
+             msgs.end());
+
+  // --- segmentation into transactions --------------------------------
+  std::vector<Txn> txns;
+  std::vector<std::vector<std::size_t>> adjSets;  // edges, deduped later
+  std::unordered_map<ThreadId, std::size_t> depth;      // open-region depth
+  std::unordered_map<ThreadId, std::size_t> current;    // open txn index
+  std::unordered_map<ThreadId, std::size_t> lastTxn;    // program-order tail
+  std::unordered_map<ThreadId, std::size_t> regionCount;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  const auto edge = [&](std::size_t from, std::size_t to) {
+    if (from != to) edges.emplace_back(from, to);
+  };
+
+  // Per-variable conflict tails.
+  struct VarTail {
+    std::size_t lastWriter = kNone;
+    std::vector<std::size_t> readersSinceWrite;
+  };
+  std::unordered_map<VarId, VarTail> tails;
+
+  const auto openTxn = [&](ThreadId t, bool annotated, Value regionId,
+                           const trace::Event& e) {
+    Txn x;
+    x.thread = t;
+    x.annotated = annotated;
+    if (annotated) {
+      x.ordinal = ++regionCount[t];
+      x.regionId = regionId;
+    }
+    x.firstLocal = e.localSeq;
+    x.firstSeq = e.globalSeq;
+    txns.push_back(x);
+    const std::size_t idx = txns.size() - 1;
+    const auto lt = lastTxn.find(t);
+    if (lt != lastTxn.end()) edge(lt->second, idx);  // program order
+    lastTxn[t] = idx;
+    return idx;
+  };
+
+  for (const trace::Message* mp : msgs) {
+    const trace::Event& e = mp->event;
+    const ThreadId t = e.thread;
+    if (e.kind == trace::EventKind::kRegionBegin) {
+      if (depth[t]++ == 0) {
+        current[t] = openTxn(t, true, e.value, e);
+      }
+      // Nested begins merge into the outermost region.
+      continue;
+    }
+    if (e.kind == trace::EventKind::kRegionEnd) {
+      if (depth[t] == 0) {
+        ++out.unmatchedEnds;  // hostile end-without-begin: counted no-op
+      } else if (--depth[t] == 0) {
+        current.erase(t);
+      }
+      continue;
+    }
+    const std::size_t txn =
+        depth[t] > 0 ? current[t] : openTxn(t, false, 0, e);
+    if (!e.accessesVariable()) continue;
+
+    VarTail& tail = tails[e.var];
+    if (trace::isWriteLike(e.kind)) {
+      if (tail.lastWriter != kNone) edge(tail.lastWriter, txn);
+      for (const std::size_t r : tail.readersSinceWrite) edge(r, txn);
+      tail.readersSinceWrite.clear();
+      tail.lastWriter = txn;
+    } else {  // read
+      if (tail.lastWriter != kNone) edge(tail.lastWriter, txn);
+      if (std::find(tail.readersSinceWrite.begin(),
+                    tail.readersSinceWrite.end(),
+                    txn) == tail.readersSinceWrite.end()) {
+        tail.readersSinceWrite.push_back(txn);
+      }
+    }
+  }
+
+  out.transactions = txns.size();
+  for (const auto& [t, d] : depth) {
+    if (d > 0) ++out.openRegions;  // region open at trace end: checked as-is
+  }
+  for (const auto& [t, c] : regionCount) out.regions += c;
+
+  // Dedup + canonically sort adjacency (SCC emission and witness DFS order
+  // become pure functions of the graph).
+  std::vector<std::vector<std::size_t>> adj(txns.size());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  out.conflictEdges = edges.size();
+  for (const auto& [from, to] : edges) adj[from].push_back(to);
+
+  // --- cycles --------------------------------------------------------
+  for (const std::vector<std::size_t>& scc : stronglyConnected(adj)) {
+    if (scc.size() < 2) continue;
+    std::vector<bool> inScc(txns.size(), false);
+    for (const std::size_t v : scc) inScc[v] = true;
+    std::vector<std::size_t> members = scc;
+    std::sort(members.begin(), members.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+      return std::pair(txns[a].thread, txns[a].firstLocal) <
+             std::pair(txns[b].thread, txns[b].firstLocal);
+    });
+    for (const std::size_t v : members) {
+      if (!txns[v].annotated) continue;
+      RegionViolation rv;
+      rv.thread = txns[v].thread;
+      rv.ordinal = txns[v].ordinal;
+      rv.regionId = txns[v].regionId;
+      for (const std::size_t w : findCycle(v, adj, inScc)) {
+        rv.cycle.push_back(txnName(txns[w]));
+      }
+      out.violations.push_back(std::move(rv));
+    }
+  }
+  std::sort(out.violations.begin(), out.violations.end(),
+            [](const RegionViolation& a, const RegionViolation& b) {
+              return std::pair(a.thread, a.ordinal) <
+                     std::pair(b.thread, b.ordinal);
+            });
+  return out;
+}
+
+void AtomicityAnalysis::finish(const observer::LatticeStats& stats) {
+  (void)stats;
+  result_ = check();
+  finished_ = true;
+  if constexpr (telemetry::kEnabled) {
+    telemetry::registry()
+        .counter("mpx_analysis_atomicity_regions_total",
+                 "Annotated atomic regions observed")
+        .add(static_cast<std::int64_t>(result_.regions));
+    telemetry::registry()
+        .counter("mpx_analysis_atomicity_violations_total",
+                 "Annotated regions found non-conflict-serializable")
+        .add(static_cast<std::int64_t>(result_.violations.size()));
+  }
+}
+
+void AtomicityAnalysis::checkpoint(observer::ckpt::Writer& w) const {
+  w.u8(kAtomicityCkptVersion);
+  w.u64(log_.size());
+  for (const trace::Message& m : log_) {
+    w.u8(static_cast<std::uint8_t>(m.event.kind));
+    w.u32(m.event.thread);
+    w.u32(m.event.var);
+    w.i64(m.event.value);
+    w.u64(m.event.localSeq);
+    w.u64(m.event.globalSeq);
+    w.u64(m.clock.size());
+    for (std::size_t i = 0; i < m.clock.size(); ++i) {
+      w.u64(m.clock[static_cast<ThreadId>(i)]);
+    }
+  }
+}
+
+bool AtomicityAnalysis::restore(observer::ckpt::Reader& r) {
+  if (r.u8() != kAtomicityCkptVersion) return false;
+  const std::uint64_t n = r.len(29 + 8);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    trace::Message m;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(trace::EventKind::kRegionEnd)) {
+      return false;
+    }
+    m.event.kind = static_cast<trace::EventKind>(kind);
+    m.event.thread = r.u32();
+    m.event.var = r.u32();
+    m.event.value = r.i64();
+    m.event.localSeq = r.u64();
+    m.event.globalSeq = r.u64();
+    const std::uint64_t width = r.len(8);
+    vc::VectorClock clock(static_cast<std::size_t>(width));
+    for (std::uint64_t c = 0; c < width; ++c) {
+      clock.set(static_cast<ThreadId>(c), r.u64());
+    }
+    m.clock = std::move(clock);
+    if (!r.ok()) return false;
+    log_.push_back(std::move(m));
+  }
+  return r.ok();
+}
+
+std::vector<AtomicityAnalysis::RegionViolation> AtomicityAnalysis::violations()
+    const {
+  return finished_ ? result_.violations : check().violations;
+}
+
+std::size_t AtomicityAnalysis::regionCount() const {
+  return finished_ ? result_.regions : check().regions;
+}
+
+std::size_t AtomicityAnalysis::unmatchedEnds() const {
+  return finished_ ? result_.unmatchedEnds : check().unmatchedEnds;
+}
+
+std::size_t AtomicityAnalysis::openRegions() const {
+  return finished_ ? result_.openRegions : check().openRegions;
+}
+
+observer::AnalysisReport AtomicityAnalysis::report() const {
+  const CheckResult res = finished_ ? result_ : check();
+  observer::AnalysisReport rep;
+  rep.name = name();
+  rep.kind = kind();
+  rep.violationCount = res.violations.size();
+  std::ostringstream os;
+  os << "atomicity: regions=" << res.regions
+     << " violations=" << res.violations.size()
+     << " transactions=" << res.transactions
+     << " conflict-edges=" << res.conflictEdges;
+  if (res.openRegions != 0) os << " open-regions=" << res.openRegions;
+  if (res.unmatchedEnds != 0) os << " unmatched-ends=" << res.unmatchedEnds;
+  os << '\n';
+  for (const RegionViolation& v : res.violations) {
+    os << "  region T" << (v.thread + 1) << '#' << v.ordinal << " r"
+       << v.regionId << ": cycle";
+    for (std::size_t i = 0; i < v.cycle.size(); ++i) {
+      os << (i == 0 ? " " : " -> ") << v.cycle[i];
+    }
+    os << '\n';
+  }
+  rep.text = os.str();
+  return rep;
+}
+
+}  // namespace mpx::analysis

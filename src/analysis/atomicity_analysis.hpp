@@ -1,0 +1,103 @@
+// Predictive atomicity-violation detection as a lattice-engine plugin
+// (ISSUE 10 tentpole, after Mathur & Viswanathan, arXiv 2001.04961).
+//
+// The programmer annotates intended-atomic code with MPX_ATOMIC_BEGIN/END
+// (runtime) or ThreadBuilder::atomicRegion (VM).  The markers arrive as
+// kRegionBegin/kRegionEnd messages — always relevant, so their clocks are
+// consistent with every relevant access they enclose.  The analysis
+// segments each thread's relevant events into TRANSACTIONS (an annotated
+// region's events merged into the outermost region; every event outside a
+// region is its own singleton transaction) and checks CONFLICT
+// SERIALIZABILITY: the trace is a violation witness iff the transaction
+// conflict graph has a cycle.
+//
+// Exactness across linearizations (what the census oracle asserts): two
+// conflicting events — same variable, at least one write — are always
+// causally ordered here (Algorithm A steps 2–3 join through V^a_x/V^w_x
+// for every shared access), so every conflict edge's direction is forced
+// by ≺ and the graph is a pure function of the partial order, NOT of the
+// delivery order or of which interleaving the scheduler happened to pick.
+// One observed trace therefore yields the same violation set as
+// brute-forcing all of its linearizations.
+//
+// Cycles can only pass through annotated (multi-event) transactions:
+// every edge points seq-forward at the event level, so a cycle needs a
+// transaction that spans its neighbors — reported regions are exactly the
+// annotated regions lying in a non-singleton SCC, each with a canonical
+// witness cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "observer/analysis.hpp"
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::analysis {
+
+class AtomicityAnalysis final : public observer::Analysis {
+ public:
+  /// One violating annotated region.
+  struct RegionViolation {
+    ThreadId thread = 0;        ///< thread that executed the region
+    std::size_t ordinal = 0;    ///< 1-based index among the thread's regions
+    Value regionId = 0;         ///< programmer-chosen label
+    /// Canonical witness cycle through the conflict graph, starting and
+    /// ending at this region ("T2#1" annotated / "T1@k3" singleton names).
+    std::vector<std::string> cycle;
+  };
+
+  /// `vars` (optional) renders variable names in reports; must outlive the
+  /// plugin when given.
+  explicit AtomicityAnalysis(const trace::VarTable* vars = nullptr)
+      : vars_(vars) {}
+
+  [[nodiscard]] std::string name() const override { return "atomicity"; }
+  [[nodiscard]] std::string kind() const override { return "atomicity"; }
+
+  /// Buffers every delivered message.  Delivery order is irrelevant: the
+  /// check runs over the log sorted by globalSeq (the total order M).
+  void onMessage(const trace::Message& m) override;
+
+  void finish(const observer::LatticeStats& stats) override;
+
+  /// Checkpoint = the replayable message log (the clock state is a pure
+  /// function of it); restore() is valid on a fresh plugin only.
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
+
+  /// Renders even before finish() ran (INCOMPLETE stream death): the
+  /// check is recomputed from the buffered log on demand.
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  /// Violating regions in canonical (thread, ordinal) order.  Recomputed
+  /// on demand when finish() has not run.
+  [[nodiscard]] std::vector<RegionViolation> violations() const;
+
+  // --- census inputs for tests ---------------------------------------
+  [[nodiscard]] std::size_t regionCount() const;
+  /// kRegionEnd markers with no matching begin (hostile input; no-ops).
+  [[nodiscard]] std::size_t unmatchedEnds() const;
+  /// Regions still open when the trace ended (checked to trace end).
+  [[nodiscard]] std::size_t openRegions() const;
+
+ private:
+  struct CheckResult {
+    std::vector<RegionViolation> violations;
+    std::size_t regions = 0;
+    std::size_t unmatchedEnds = 0;
+    std::size_t openRegions = 0;
+    std::size_t transactions = 0;
+    std::size_t conflictEdges = 0;
+  };
+  [[nodiscard]] CheckResult check() const;
+
+  const trace::VarTable* vars_;
+  std::vector<trace::Message> log_;
+  bool finished_ = false;
+  CheckResult result_;  ///< valid when finished_
+};
+
+}  // namespace mpx::analysis

@@ -1,8 +1,10 @@
 #include "analysis/engine.hpp"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
 
+#include "analysis/mhp_prefilter.hpp"
 #include "core/instrumentor.hpp"
 #include "logic/parser.hpp"
 #include "telemetry/trace_span.hpp"
@@ -26,6 +28,7 @@ Engine::Engine(const program::Program& prog, EngineConfig config)
       }
     }
   }
+  specVarCount_ = trackedVars_.size();
   for (const std::string& v : config_.extraTrackedVars) {
     if (std::find(trackedVars_.begin(), trackedVars_.end(), v) ==
         trackedVars_.end()) {
@@ -78,7 +81,13 @@ EngineResult Engine::run(
   // plugins' linear baselines.
   {
     telemetry::TraceSpan instSpan("engine.instrument", "analysis");
-    auto channel = trace::makeChannel(config_.delivery, result.causality,
+    // Tee delivered messages into the causality graph AND the plugins'
+    // message hooks (AtomicityAnalysis, MhpPrefilter) in delivery order.
+    trace::FunctionSink tee([&](const trace::Message& m) {
+      result.causality.onMessage(m);
+      bus.dispatchMessage(m);
+    });
+    auto channel = trace::makeChannel(config_.delivery, tee,
                                       config_.deliverySeed,
                                       config_.deliveryMaxDelay);
     core::Instrumentor instr(core::RelevancePolicy::writesOf(trackedIds),
@@ -106,10 +115,104 @@ EngineResult Engine::run(
     result.eventsInstrumented = instr.eventsProcessed();
   }
 
+  // MHP prefilter prepass (ISSUE 10): drop the maximal suffix of
+  // spec-unreferenced tracked variables certified never-concurrent with
+  // every spec variable from the EXPANDED space.  The cut structure is
+  // untouched (the pruned variables' writes still expand as stutter
+  // edges), every kept variable keeps its slot (suffix-only pruning), and
+  // recorded violations are lifted back to full-space states — a pruned
+  // variable's value at any consistent cut is its maximal included write
+  // (same-variable writes are totally ordered by ≺), so the lift is exact
+  // and reports are byte-identical to a prefilter-off pass.
+  observer::StateSpace expandSpace = space_;
+  if (config_.mhpPrefilter && !bus.wantsNodes() &&
+      trackedVars_.size() > specVarCount_) {
+    telemetry::TraceSpan preSpan("engine.mhp_prefilter", "analysis");
+    std::vector<trace::Message> all;
+    for (ThreadId j = 0; j < result.causality.threadCount(); ++j) {
+      const auto stream = result.causality.threadStream(j);
+      all.insert(all.end(), stream.begin(), stream.end());
+    }
+    std::set<std::pair<VarId, VarId>> orderedPairs;
+    for (const auto& p : MhpPrefilter::classifyNeverConcurrent(all)) {
+      orderedPairs.insert(p);
+    }
+    const auto neverConcurrent = [&](VarId a, VarId b) {
+      return orderedPairs.contains(std::minmax(a, b));
+    };
+
+    std::size_t keep = trackedVars_.size();
+    while (keep > specVarCount_) {
+      const VarId cand = space_.varIds()[keep - 1];
+      bool prunable = true;
+      for (std::size_t s = 0; s < specVarCount_ && prunable; ++s) {
+        prunable = neverConcurrent(cand, space_.varIds()[s]);
+      }
+      if (!prunable) break;
+      --keep;
+    }
+
+    if (keep < trackedVars_.size()) {
+      const std::vector<std::string> keptNames(trackedVars_.begin(),
+                                               trackedVars_.begin() + keep);
+      result.prunedVars.assign(trackedVars_.begin() + keep,
+                               trackedVars_.end());
+      expandSpace = observer::StateSpace::byNames(prog_->vars, keptNames);
+
+      // Per pruned full-space slot: that variable's writes, descending by
+      // globalSeq — the lift scans for the maximal write a cut includes.
+      struct PrunedWrite {
+        ThreadId thread;
+        LocalSeq idx;  ///< 1-based position in the thread's stream
+        GlobalSeq seq;
+        Value value;
+      };
+      std::vector<std::pair<std::size_t, std::vector<PrunedWrite>>> writes;
+      for (std::size_t slot = keep; slot < trackedVars_.size(); ++slot) {
+        const VarId v = space_.varIds()[slot];
+        std::vector<PrunedWrite> ws;
+        for (ThreadId j = 0; j < result.causality.threadCount(); ++j) {
+          const auto stream = result.causality.threadStream(j);
+          for (std::size_t i = 0; i < stream.size(); ++i) {
+            const trace::Event& e = stream[i].event;
+            if (e.var == v && trace::isWriteLike(e.kind)) {
+              ws.push_back(PrunedWrite{j, static_cast<LocalSeq>(i + 1),
+                                       e.globalSeq, e.value});
+            }
+          }
+        }
+        std::sort(ws.begin(), ws.end(),
+                  [](const PrunedWrite& a, const PrunedWrite& b) {
+                    return a.seq > b.seq;
+                  });
+        writes.emplace_back(slot, std::move(ws));
+      }
+
+      bus.setStateLift([fullInit = space_.initialValues(), writes,
+                        keep](observer::Violation& v) {
+        if (v.state.values.size() >= fullInit.size()) return;
+        observer::GlobalState full(fullInit);
+        for (std::size_t i = 0; i < keep && i < v.state.values.size(); ++i) {
+          full.values[i] = v.state.values[i];
+        }
+        for (const auto& [slot, ws] : writes) {
+          for (const auto& w : ws) {
+            if (w.thread < v.cut.k.size() && v.cut.k[w.thread] >= w.idx) {
+              full.values[slot] = w.value;
+              break;
+            }
+          }
+        }
+        v.state = std::move(full);
+      });
+    }
+  }
+  result.unionVarsExpanded = expandSpace.size();
+
   // The single lattice expansion all plugins ride.
   {
     telemetry::TraceSpan latSpan("engine.lattice", "analysis");
-    observer::ComputationLattice lattice(result.causality, space_,
+    observer::ComputationLattice lattice(result.causality, expandSpace,
                                          config_.lattice);
     result.latticeStats = lattice.analyze(bus, result.violations);
   }

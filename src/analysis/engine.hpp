@@ -39,6 +39,18 @@ struct EngineConfig {
   std::size_t deliveryMaxDelay = 8;
   observer::LatticeOptions lattice;
   std::size_t maxSteps = 1'000'000;
+  /// MHP prefilter (ISSUE 10): before expansion, classify tracked-variable
+  /// pairs by clock-certified never-concurrency and expand the lattice
+  /// over a REDUCED union space — the maximal suffix of spec-unreferenced
+  /// tracked variables each certified never-concurrent with every
+  /// spec-referenced variable is dropped from the expanded states (their
+  /// values stay cut-determined, so every recorded violation's state is
+  /// lifted back to the full space and reports are byte-identical to a
+  /// prefilter-off pass).  Suffix-only pruning keeps every kept variable's
+  /// slot index, so the parsed formulas apply unchanged.  Automatically
+  /// disabled when a plugin wants per-node dispatch (node states must be
+  /// full-width for such plugins).
+  bool mhpPrefilter = false;
 };
 
 /// One property's outcome inside an engine pass.
@@ -73,6 +85,11 @@ struct EngineResult {
   std::vector<observer::AnalysisReport> reports;
   std::uint64_t messagesEmitted = 0;
   std::uint64_t eventsInstrumented = 0;
+  /// Union variables the lattice actually expanded (== space.size() unless
+  /// the MHP prefilter pruned a suffix).
+  std::size_t unionVarsExpanded = 0;
+  /// Variables the prefilter pruned from the expanded space, in order.
+  std::vector<std::string> prunedVars;
 
   [[nodiscard]] bool predictsViolation() const {
     return !violations.empty();
@@ -116,6 +133,9 @@ class Engine {
   const program::Program* prog_;
   EngineConfig config_;
   std::vector<std::string> trackedVars_;
+  /// How many leading entries of trackedVars_ are referenced by a spec —
+  /// the prefix the MHP prefilter must never prune.
+  std::size_t specVarCount_ = 0;
   observer::StateSpace space_;
   std::vector<logic::Formula> formulas_;  ///< parallel to config_.specs
 };

@@ -1,0 +1,90 @@
+// May-happen-in-parallel + lockset prefilter (ISSUE 10 tentpole, after the
+// lotus-style MHPAnalysis/LockSetAnalysis prepasses).
+//
+// Two independent classifications over one observed execution:
+//
+//  * Clock-certified never-concurrent variable PAIRS: (x, y) is
+//    never-concurrent when every relevant access of x is causally ordered
+//    (Theorem 3 clock comparison) with every relevant access of y.  This
+//    is a property of the PARTIAL ORDER — true in every linearization the
+//    lattice could expand — so the engine may shrink the union variable
+//    space it expands without changing any verdict (the pruned variables'
+//    values stay cut-determined; see Engine's state lift).
+//
+//  * Lockset/thread-locality race-free VARIABLES (raw-event feed,
+//    in-process only): a variable accessed by a single thread, or whose
+//    every access holds one common lock, cannot race even predictively —
+//    the paper's §3.1 sync edges order any two same-lock critical
+//    sections in every consistent permutation.  RaceAnalysis consults
+//    this set to suppress guaranteed-ordered candidate pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "observer/analysis.hpp"
+#include "trace/event.hpp"
+#include "trace/var_table.hpp"
+
+namespace mpx::analysis {
+
+class MhpPrefilter final : public observer::Analysis {
+ public:
+  /// `vars` (optional) renders names in reports; must outlive the plugin.
+  explicit MhpPrefilter(const trace::VarTable* vars = nullptr)
+      : vars_(vars) {}
+
+  [[nodiscard]] std::string name() const override { return "mhp-prefilter"; }
+  [[nodiscard]] std::string kind() const override { return "mhp"; }
+
+  void onRawEvent(const trace::Event& event,
+                  const std::vector<LockId>& locksHeld) override;
+  void onMessage(const trace::Message& m) override;
+  void finish(const observer::LatticeStats& stats) override;
+
+  /// Checkpoint = both replayable logs; restore() on a fresh plugin only.
+  void checkpoint(observer::ckpt::Writer& w) const override;
+  [[nodiscard]] bool restore(observer::ckpt::Reader& r) override;
+
+  [[nodiscard]] observer::AnalysisReport report() const override;
+
+  /// Never-concurrent pairs (var ids, lo < hi), canonical order.
+  /// Recomputed on demand before finish().
+  [[nodiscard]] std::vector<std::pair<VarId, VarId>> neverConcurrentPairs()
+      const;
+
+  /// Variables certified race-free by thread-locality or a common lock
+  /// over every raw access (requires the raw-event feed).
+  [[nodiscard]] std::vector<VarId> raceFreeVars() const;
+
+  /// The pure pair classification, shared with the Engine's prepass:
+  /// groups `messages` by variable and reports every pair of variables
+  /// whose access sets are totally causally ordered against each other.
+  [[nodiscard]] static std::vector<std::pair<VarId, VarId>>
+  classifyNeverConcurrent(const std::vector<trace::Message>& messages);
+
+ private:
+  [[nodiscard]] std::vector<VarId> raceFreeVars_impl() const;
+
+  const trace::VarTable* vars_;
+  std::vector<trace::Message> log_;
+  /// Raw-access census per variable: accessing threads, and the
+  /// intersection of held locksets over all accesses so far.
+  struct VarCensus {
+    std::unordered_set<ThreadId> threads;
+    std::vector<LockId> commonLocks;  ///< intersection; meaningless until first
+    bool any = false;
+  };
+  std::unordered_map<VarId, VarCensus> census_;
+  /// Raw (event, lockset) log — the census checkpoint payload.
+  std::vector<std::pair<trace::Event, std::vector<LockId>>> rawLog_;
+
+  bool finished_ = false;
+  std::vector<std::pair<VarId, VarId>> pairs_;      ///< valid when finished_
+  std::vector<VarId> raceFree_;                     ///< valid when finished_
+};
+
+}  // namespace mpx::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/atomicity_analysis.hpp"
+#include "analysis/mhp_prefilter.hpp"
 #include "analysis/report.hpp"
 #include "logic/parser.hpp"
 
@@ -10,7 +12,9 @@ namespace mpx::analysis {
 
 namespace {
 
-constexpr std::uint8_t kSessionCkptVersion = 1;
+/// v2 (ISSUE 10): the config carries the daemon-side analysis plugin list
+/// and their blobs follow the spec plugins'.
+constexpr std::uint8_t kSessionCkptVersion = 2;
 
 /// A hostile own-clock index must not drive the dedup bitmap's allocation
 /// (same cap the wire layer enforces).
@@ -35,17 +39,28 @@ bool readStringList(observer::ckpt::Reader& r,
 AnalyzerSession::AnalyzerSession(Config cfg) : cfg_(std::move(cfg)) {
   space_ = observer::StateSpace::byNames(cfg_.vars, cfg_.tracked);
   if (cfg_.expectedStreams == 0) cfg_.expectedStreams = 1;
-  if (!cfg_.specs.empty()) {
-    // One SpecAnalysis plugin per property on one shared bus — all K
-    // properties are checked in a single lattice pass.
-    for (const std::string& spec : cfg_.specs) {
-      const logic::Formula f = logic::SpecParser(space_).parse(spec);
-      plugins_.push_back(
-          std::make_unique<logic::SpecAnalysis>(space_, f, spec));
+  // One SpecAnalysis plugin per property on one shared bus — all K
+  // properties are checked in a single lattice pass.
+  for (const std::string& spec : cfg_.specs) {
+    const logic::Formula f = logic::SpecParser(space_).parse(spec);
+    plugins_.push_back(std::make_unique<logic::SpecAnalysis>(space_, f, spec));
+  }
+  // Daemon-side analysis plugins (ISSUE 10) — message-fed, so they work
+  // from the wire stream alone.
+  for (const std::string& a : cfg_.analyses) {
+    if (a == "atomicity") {
+      extras_.push_back(std::make_unique<AtomicityAnalysis>(&cfg_.vars));
+    } else if (a == "mhp") {
+      extras_.push_back(std::make_unique<MhpPrefilter>(&cfg_.vars));
+    } else {
+      throw std::runtime_error("unknown analysis '" + a + "'");
     }
+  }
+  if (!plugins_.empty() || !extras_.empty()) {
     std::vector<observer::Analysis*> raw;
-    raw.reserve(plugins_.size());
+    raw.reserve(plugins_.size() + extras_.size());
     for (auto& p : plugins_) raw.push_back(p.get());
+    for (auto& p : extras_) raw.push_back(p.get());
     bus_ = std::make_unique<observer::AnalysisBus>(raw);
     analyzer_ = std::make_unique<observer::OnlineAnalyzer>(
         space_, cfg_.threads, *bus_, cfg_.lattice);
@@ -81,6 +96,10 @@ AnalyzerSession::Ingest AnalyzerSession::ingest(const trace::Message& m,
     *error = "message rejected by the analyzer";
     return Ingest::kError;
   }
+  // Post-dedup message feed for the session's analysis plugins: each
+  // message reaches them exactly once, in ingest order (they sort by
+  // globalSeq themselves — delivery order is not a linearization).
+  if (bus_ != nullptr) bus_->dispatchMessage(m);
   if (k >= seen.size()) seen.resize(k + 1, false);
   seen[k] = true;
   return Ingest::kIngested;
@@ -100,8 +119,9 @@ void AnalyzerSession::noteStreamEnd() {
 std::vector<observer::AnalysisReport> AnalyzerSession::analysisReports()
     const {
   std::vector<observer::AnalysisReport> out;
-  out.reserve(plugins_.size());
+  out.reserve(plugins_.size() + extras_.size());
   for (const auto& p : plugins_) out.push_back(p->report());
+  for (const auto& p : extras_) out.push_back(p->report());
   return out;
 }
 
@@ -119,6 +139,7 @@ void AnalyzerSession::checkpoint(observer::ckpt::Writer& w) {
   writeStringList(w, cfg_.specs);
   writeStringList(w, cfg_.handshakeSpecs);
   writeStringList(w, cfg_.tracked);
+  writeStringList(w, cfg_.analyses);
   w.u32(static_cast<std::uint32_t>(cfg_.vars.size()));
   for (VarId v = 0; v < cfg_.vars.size(); ++v) {
     w.str(cfg_.vars.name(v));
@@ -159,6 +180,7 @@ void AnalyzerSession::checkpoint(observer::ckpt::Writer& w) {
   // pure function of the config, so no explicit plugin count needed).
   analyzer_->checkpoint(w);
   for (const auto& p : plugins_) p->checkpoint(w);
+  for (const auto& p : extras_) p->checkpoint(w);
 }
 
 std::unique_ptr<AnalyzerSession> AnalyzerSession::restore(
@@ -167,7 +189,7 @@ std::unique_ptr<AnalyzerSession> AnalyzerSession::restore(
   Config cfg;
   cfg.threads = r.u32();
   if (!readStringList(r, cfg.specs) || !readStringList(r, cfg.handshakeSpecs) ||
-      !readStringList(r, cfg.tracked)) {
+      !readStringList(r, cfg.tracked) || !readStringList(r, cfg.analyses)) {
     return nullptr;
   }
   const std::uint32_t varCount = r.u32();
@@ -229,6 +251,9 @@ std::unique_ptr<AnalyzerSession> AnalyzerSession::restore(
   if (!r.ok()) return nullptr;
   if (!s->analyzer_->restore(r)) return nullptr;
   for (auto& p : s->plugins_) {
+    if (!p->restore(r)) return nullptr;
+  }
+  for (auto& p : s->extras_) {
     if (!p->restore(r)) return nullptr;
   }
   return r.ok() ? std::move(s) : nullptr;

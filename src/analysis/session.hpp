@@ -53,6 +53,11 @@ class AnalyzerSession {
     /// kEndOfTrace frames to collect before finalizing.
     std::size_t expectedStreams = 1;
     observer::LatticeOptions lattice;
+    /// Daemon-side analysis plugins riding the session's bus alongside the
+    /// spec plugins (ISSUE 10): "atomicity" (conflict-serializability of
+    /// annotated regions) and "mhp" (never-concurrent pair prefilter).
+    /// Unknown names throw at construction (handshake rejection).
+    std::vector<std::string> analyses;
   };
 
   enum class Ingest : std::uint8_t {
@@ -139,6 +144,8 @@ class AnalyzerSession {
   Config cfg_;
   observer::StateSpace space_;
   std::vector<std::unique_ptr<logic::SpecAnalysis>> plugins_;
+  /// Message-fed analysis plugins (cfg_.analyses order), on the same bus.
+  std::vector<std::unique_ptr<observer::Analysis>> extras_;
   std::unique_ptr<observer::AnalysisBus> bus_;
   std::unique_ptr<observer::OnlineAnalyzer> analyzer_;
   /// At-least-once dedup: seen_[thread][k] == the own-clock index k was

@@ -2,9 +2,16 @@
 
 namespace mpx::core {
 
+// Atomic-region markers are relevant under every variable-selecting policy:
+// a region annotation constrains whatever relevant events it encloses, so
+// the markers must reach the observer with ticked clocks no matter which
+// variables the property tracks (they access no variable themselves, so
+// Algorithm A steps 2-3 still skip them).
+
 RelevancePolicy RelevancePolicy::writesOf(std::unordered_set<VarId> vars) {
   auto shared = std::make_shared<std::unordered_set<VarId>>(std::move(vars));
   return RelevancePolicy([shared](const trace::Event& e) {
+    if (trace::isRegionMarker(e.kind)) return true;
     return trace::isWriteLike(e.kind) && shared->contains(e.var);
   });
 }
@@ -12,13 +19,15 @@ RelevancePolicy RelevancePolicy::writesOf(std::unordered_set<VarId> vars) {
 RelevancePolicy RelevancePolicy::accessesOf(std::unordered_set<VarId> vars) {
   auto shared = std::make_shared<std::unordered_set<VarId>>(std::move(vars));
   return RelevancePolicy([shared](const trace::Event& e) {
+    if (trace::isRegionMarker(e.kind)) return true;
     return e.accessesVariable() && shared->contains(e.var);
   });
 }
 
 RelevancePolicy RelevancePolicy::allSharedAccesses() {
-  return RelevancePolicy(
-      [](const trace::Event& e) { return e.accessesVariable(); });
+  return RelevancePolicy([](const trace::Event& e) {
+    return e.accessesVariable() || trace::isRegionMarker(e.kind);
+  });
 }
 
 RelevancePolicy RelevancePolicy::nothing() {

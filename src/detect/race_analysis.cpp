@@ -36,7 +36,7 @@ namespace {
 
 constexpr std::uint8_t kRaceCkptVersion = 1;
 constexpr std::uint8_t kMaxEventKind =
-    static_cast<std::uint8_t>(trace::EventKind::kAtomicUpdate);
+    static_cast<std::uint8_t>(trace::EventKind::kRegionEnd);
 
 void writeEvent(observer::ckpt::Writer& w, const trace::Event& e) {
   w.u8(static_cast<std::uint8_t>(e.kind));
@@ -88,6 +88,15 @@ bool RaceAnalysis::restore(observer::ckpt::Reader& r) {
 void RaceAnalysis::finish(const observer::LatticeStats& stats) {
   (void)stats;
   races_ = RacePredictor(opts_).analyze(sink_.messages(), locksets_);
+  if (suppressionSource_) {
+    std::unordered_set<VarId> raceFree;
+    for (const VarId v : suppressionSource_()) raceFree.insert(v);
+    const std::size_t before = races_.size();
+    std::erase_if(races_, [&](const RaceReport& r) {
+      return raceFree.contains(r.var);
+    });
+    suppressed_ = before - races_.size();
+  }
 }
 
 observer::AnalysisReport RaceAnalysis::report() const {
@@ -96,7 +105,9 @@ observer::AnalysisReport RaceAnalysis::report() const {
   r.kind = kind();
   r.violationCount = races_.size();
   std::ostringstream os;
-  os << "races: " << races_.size() << '\n';
+  os << "races: " << races_.size();
+  if (suppressed_ != 0) os << " (mhp-suppressed: " << suppressed_ << ')';
+  os << '\n';
   for (const RaceReport& race : races_) {
     os << "  " << race.describe(prog_->vars) << '\n';
   }

@@ -8,6 +8,7 @@
 // execution drives property checking AND race prediction in one pass.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +48,19 @@ class RaceAnalysis final : public observer::Analysis {
     return races_;
   }
 
+  /// MHP-prefilter hook (ISSUE 10): `source` yields variable ids certified
+  /// race-free (thread-local, or one common lock over every access — both
+  /// hold in every consistent permutation, so suppression is sound even
+  /// predictively).  Invoked during finish(); run the supplying plugin
+  /// BEFORE this one on the bus so its classification is ready.  Reports
+  /// on those variables are suppressed and counted.
+  void setSuppressionSource(std::function<std::vector<VarId>()> source) {
+    suppressionSource_ = std::move(source);
+  }
+  [[nodiscard]] std::size_t suppressedRaces() const noexcept {
+    return suppressed_;
+  }
+
  private:
   const program::Program* prog_;
   std::vector<std::string> varNames_;
@@ -59,6 +73,8 @@ class RaceAnalysis final : public observer::Analysis {
   /// Raw events in arrival order, with the locks held after each — the
   /// checkpoint payload (see checkpoint()).
   std::vector<std::pair<trace::Event, std::vector<LockId>>> rawLog_;
+  std::function<std::vector<VarId>()> suppressionSource_;
+  std::size_t suppressed_ = 0;
 };
 
 }  // namespace mpx::detect

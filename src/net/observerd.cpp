@@ -194,6 +194,11 @@ struct ObserverDaemon::Conn {
   bool sawEnd = false;
   /// Stream id from this connection's handshake (0 for v1/v2 peers).
   std::uint64_t streamId = 0;
+  /// Protocol version the handshake declared.  Region events (wire v6
+  /// capability) are rejected on connections that handshook below
+  /// kRegionProtocolVersion — an old emitter cannot emit a kind it does
+  /// not know, so such a frame is corruption or hostility.
+  std::uint16_t version = 0;
   /// Session routing key from the handshake (""/0 for pre-v5 peers).
   std::string tenant;
   std::uint64_t traceId = 0;
@@ -535,6 +540,7 @@ bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
     }
     cfg.tracked = h.tracked;
     cfg.vars = h.vars;
+    cfg.analyses = opts_.analyses;
     cfg.expectedStreams = opts_.expectedStreams;
     cfg.lattice = opts_.lattice;
     if (opts_.jobs > 0) cfg.lattice.parallel.jobs = opts_.jobs;
@@ -573,6 +579,7 @@ bool ObserverDaemon::handleHandshake(Conn& conn, const Frame& frame,
   }
   conn.sawHandshake = true;
   conn.streamId = h.streamId;
+  conn.version = h.version;
   conn.tenant = h.tenant;
   conn.traceId = h.traceId;
   ++tenantLive_[h.tenant];
@@ -618,6 +625,17 @@ bool ObserverDaemon::handleEvents(Conn& conn, const Frame& frame,
     }
   } else {
     if (!decodeEventsPayload(frame.payload, messages, error)) return false;
+  }
+  // Region events are a v6 capability: a peer that handshook below
+  // kRegionProtocolVersion never legitimately produces them, so treat
+  // one as stream corruption rather than silently analyzing it.
+  if (conn.version < kRegionProtocolVersion) {
+    for (const trace::Message& m : messages) {
+      if (trace::isRegionMarker(m.event.kind)) {
+        *error = "region event from a pre-v6 peer";
+        return false;
+      }
+    }
   }
   const std::uint64_t recvNs = telemetry::rawMonotonicNs();
 

@@ -142,6 +142,11 @@ struct DaemonOptions {
   /// (mpx_observerd --property).  All of them become SpecAnalysis plugins
   /// on one shared bus — a single lattice pass checks every property.
   std::vector<std::string> extraSpecs;
+  /// Daemon-side analysis plugins added to EVERY session
+  /// (mpx_observerd --analysis): "atomicity" and/or "mhp".  Like
+  /// extraSpecs they ride the session's bus; unlike specs they are
+  /// message-fed and need no lattice state.
+  std::vector<std::string> analyses;
   /// Admission control: maximum live client connections (0 = unlimited).
   /// A connection beyond the cap is SHED — told so and disconnected —
   /// instead of letting unbounded per-connection state kill the daemon.

@@ -49,13 +49,18 @@
 namespace mpx::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4658504Du;  // "MPXF" LE
-/// v5: the handshake additionally carries a tenant name and a trace id, so
-/// one daemon can route streams to per-(tenant, trace) analyzer sessions.
-/// Receivers still decode every earlier layout — v1 single-spec and v2
-/// list handshakes, v2 kEvents, v3 kEventsTs and v4 kEventsSparse frames;
-/// v1–v4 handshakes decode with tenant == "" and traceId == 0 (the default
-/// session).  Versions above kProtocolVersion are rejected.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+/// v6: event frames may carry the atomic-region marker kinds (kRegionBegin
+/// / kRegionEnd, ISSUE 10).  The handshake layout is identical to v5 — the
+/// version number is a capability declaration: a daemon rejects region
+/// events arriving on a stream that handshook < 6, because a v1–v5 peer
+/// could only produce them through corruption.  Receivers still decode
+/// every earlier layout — v1 single-spec and v2 list handshakes, v2
+/// kEvents, v3 kEventsTs and v4 kEventsSparse frames; v1–v4 handshakes
+/// decode with tenant == "" and traceId == 0 (the default session).
+/// Versions above kProtocolVersion are rejected.
+inline constexpr std::uint16_t kProtocolVersion = 6;
+/// First version whose event frames may carry atomic-region markers.
+inline constexpr std::uint16_t kRegionProtocolVersion = 6;
 /// First version whose handshake carries the tenant name and trace id.
 inline constexpr std::uint16_t kMultiTenantProtocolVersion = 5;
 /// First version whose event frames may be kEventsSparse (sparse/delta

@@ -115,7 +115,8 @@ AnalysisBus::AnalysisBus(std::vector<Analysis*> plugins)
   }
 }
 
-bool AnalysisBus::acceptViolation(const Violation& v) {
+bool AnalysisBus::acceptViolation(Violation& v) {
+  if (lift_) lift_(v);  // full-space state BEFORE any plugin records a copy
   bool accepted = false;
   for (std::size_t i = 0; i < bus_.components().size(); ++i) {
     const MonitorBus::Component& c = bus_.components()[i];
@@ -212,6 +213,10 @@ void AnalysisBus::dispatchRawEvent(const trace::Event& event,
 
 void AnalysisBus::dispatchObservedState(const GlobalState& state) {
   for (Analysis* p : plugins_) p->onObservedState(state);
+}
+
+void AnalysisBus::dispatchMessage(const trace::Message& m) {
+  for (Analysis* p : plugins_) p->onMessage(m);
 }
 
 void AnalysisBus::finish(const LatticeStats& stats) {

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -91,6 +92,14 @@ class Analysis {
   /// trace the paper's observer would see without prediction).  Called
   /// once with the initial state before any event.
   virtual void onObservedState(const GlobalState& state) { (void)state; }
+
+  /// One observer-bound message <e, i, V_i> as delivered.  Unlike
+  /// onRawEvent this hook also runs DAEMON-side (the daemon never sees raw
+  /// events, only messages) and carries the vector clock.  Delivery order
+  /// is NOT a linearization of ≺ — Theorem 3 holds for any channel
+  /// interleaving — so an implementation must not assume causal order;
+  /// buffer and sort by globalSeq (the total order M) before concluding.
+  virtual void onMessage(const trace::Message& m) { (void)m; }
 
   /// A violating monitor token first entered a node.  `componentState` is
   /// this plugin's slice of the token (MonitorBus::extract).  Return true
@@ -196,8 +205,21 @@ class AnalysisBus {
 
   /// Routes a violating token to the plugins whose components violate.
   /// True iff some plugin accepted (the engine then records `v`).
-  /// Orchestrator thread only.
-  bool acceptViolation(const Violation& v);
+  /// Orchestrator thread only.  The violation is mutable: when a state
+  /// lift is installed (see setStateLift) it is applied BEFORE any plugin
+  /// sees the violation, so plugin-recorded copies and the engine-recorded
+  /// copy agree.
+  bool acceptViolation(Violation& v);
+
+  /// Installs a violation-state rewrite applied once per candidate
+  /// violation.  Used by the engine's MHP prefilter: the lattice expands a
+  /// pruned suffix-free state space, and the lift re-extends each
+  /// violation's state to the full union space (sound because a
+  /// variable's value is cut-determined — writes to one variable are
+  /// totally ordered by ≺, so a consistent cut fixes every value).
+  void setStateLift(std::function<void(Violation&)> lift) {
+    lift_ = std::move(lift);
+  }
 
   /// True when some plugin wants per-node dispatch.
   [[nodiscard]] bool wantsNodes() const noexcept { return wantsNodes_; }
@@ -214,6 +236,8 @@ class AnalysisBus {
   void dispatchRawEvent(const trace::Event& event,
                         const std::vector<LockId>& locksHeld);
   void dispatchObservedState(const GlobalState& state);
+  /// Runs every plugin's message hook (delivery order — see onMessage).
+  void dispatchMessage(const trace::Message& m);
 
   void finish(const LatticeStats& stats);
   [[nodiscard]] std::vector<AnalysisReport> reports() const;
@@ -221,6 +245,7 @@ class AnalysisBus {
  private:
   std::vector<Analysis*> plugins_;
   MonitorBus bus_;
+  std::function<void(Violation&)> lift_;
   bool wantsNodes_ = false;
   /// Per-plugin "mpx_analysis_<kind>_violations_total" (telemetry ON only).
   std::unordered_map<Analysis*, telemetry::Counter*> kindCounters_;

@@ -365,9 +365,19 @@ Program randomProgram(std::uint64_t seed, const RandomProgramOptions& opts) {
   }
 
   std::uniform_int_distribution<unsigned> percent(0, 99);
+  std::size_t nextRegionId = 1;
   for (std::size_t i = 0; i < opts.threads; ++i) {
     auto t = b.thread("r" + std::to_string(i));
+    std::size_t regionOpsLeft = 0;  // > 0 while inside an open region
     for (std::size_t op = 0; op < opts.opsPerThread; ++op) {
+      // All region RNG draws are gated on regionPercent so the default
+      // (0) reproduces pre-region seeds byte-identically.
+      if (opts.regionPercent > 0) {
+        if (regionOpsLeft == 0 && percent(rng) < opts.regionPercent) {
+          t.regionBegin(nextRegionId++);
+          regionOpsLeft = 1 + rng() % 3;
+        }
+      }
       const VarId v = vars[rng() % vars.size()];
       const unsigned roll = percent(rng);
       const bool locked = !locks.empty() && percent(rng) < 30;
@@ -382,7 +392,80 @@ Program randomProgram(std::uint64_t seed, const RandomProgramOptions& opts) {
         t.internalOp();
       }
       if (locked) t.lockRelease(l);
+      if (regionOpsLeft > 0 && --regionOpsLeft == 0) {
+        // One in eight regions stays open to trace end (hostile input the
+        // analysis must still handle); the rest close here.
+        if (percent(rng) >= 12) {
+          t.regionEnd(nextRegionId - 1);
+        }
+      }
     }
+  }
+  return b.build();
+}
+
+Program atomicityDemo(std::size_t rounds) {
+  ProgramBuilder b;
+  const VarId acct = b.var("acct", 0);
+  const VarId audit = b.var("audit", 0);
+  // The checker intends each acct/audit update pair to be atomic; the
+  // bumper updates both without an annotation.  When the bumper's pair
+  // lands INSIDE a checker region (bumper sees the new acct but the old
+  // audit), the region's conflict cycle
+  //   region -> bumper(acct) -> bumper(audit) -> region
+  // witnesses the non-serializability.
+  auto checker = b.thread("checker");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Value v = static_cast<Value>(r) + 1;
+    checker.atomicRegion(r + 1, [&](ThreadBuilder& t) {
+      t.write(acct, lit(v));
+      t.write(audit, lit(v));
+    });
+  }
+  auto bumper = b.thread("bumper");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Value v = -(static_cast<Value>(r) + 1);
+    bumper.write(acct, lit(v));
+    bumper.write(audit, lit(v));
+  }
+  return b.build();
+}
+
+std::vector<ThreadId> atomicityDemoViolatingSchedule() {
+  // Checker: regionBegin, write acct, | write audit, regionEnd, halt.
+  // Bumper lands its whole pair at the `|`: its acct write follows the
+  // region's but its audit write precedes the region's, so the region
+  // cannot be serialized before or after the pair.
+  return {0, 0, 1, 1, 0, 0, 0, 1};
+}
+
+Program lockDisciplined(std::size_t threads, std::size_t opsEach,
+                        std::size_t auxVars) {
+  ProgramBuilder b;
+  const VarId data = b.var("data", 0);
+  std::vector<VarId> aux;
+  aux.reserve(auxVars);
+  for (std::size_t v = 0; v < auxVars; ++v) {
+    aux.push_back(b.var("aux" + std::to_string(v), 0));
+  }
+  const LockId l = b.lock("L");
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto t = b.thread("w" + std::to_string(i));
+    for (std::size_t op = 0; op < opsEach; ++op) {
+      t.lockAcquire(l);
+      t.read(data, 0);
+      t.write(data, reg(0) + lit(1));
+      t.lockRelease(l);
+    }
+    // Epilogue under the SAME lock: the aux accesses are causally ordered
+    // against every data access, so (data, aux_i) is never-concurrent and
+    // the engine's prefilter can prune the whole aux suffix.
+    t.lockAcquire(l);
+    for (const VarId v : aux) {
+      t.read(v, 1);
+      t.write(v, reg(1) + lit(1));
+    }
+    t.lockRelease(l);
   }
   return b.build();
 }

@@ -123,11 +123,40 @@ struct RandomProgramOptions {
   std::size_t locks = 0;        ///< when > 0, some accesses are lock-wrapped
   unsigned readPercent = 40;    ///< remaining ops split write/internal
   unsigned writePercent = 40;
+  /// When > 0, each op outside a region opens an annotated atomic region
+  /// (kRegionBegin/kRegionEnd) with this percent chance; an open region
+  /// closes after 1–3 further ops.  A region still open at thread end is
+  /// left open deliberately (the analysis checks it to trace end).  The
+  /// extra RNG draws happen only when > 0, so existing seeds reproduce
+  /// byte-identical programs at the default.
+  unsigned regionPercent = 0;
 };
 
 /// Seeded random program over `vars` shared variables — the workload for
 /// the Theorem-3 and requirement-property sweeps (Claim C2).
 [[nodiscard]] Program randomProgram(std::uint64_t seed,
                                     const RandomProgramOptions& opts = {});
+
+/// Atomicity demo: the checker wraps `rounds` paired `acct`/`audit`
+/// updates in annotated atomic regions; the bumper updates both without
+/// one.  Any schedule that lands a bumper pair between a region's two
+/// writes is a conflict-serializability witness — AtomicityAnalysis
+/// reports the region with its cycle (see atomicityDemoViolatingSchedule
+/// for one such interleaving).
+[[nodiscard]] Program atomicityDemo(std::size_t rounds = 1);
+/// A FixedScheduler script interleaving the bumper's first pair inside
+/// the checker's first region (requires rounds == 1).
+[[nodiscard]] std::vector<ThreadId> atomicityDemoViolatingSchedule();
+
+/// Lock-disciplined pipeline for the MHP-prefilter bench: `threads`
+/// workers each perform `opsEach` updates of the shared `data` under one
+/// global lock, then (under the same lock) bump `auxVars` epilogue
+/// variables.  Every access of every variable holds lock L, so all
+/// variable pairs are clock-certified never-concurrent — a spec over
+/// `data` alone lets the engine prune the whole aux suffix from the
+/// expanded union space.
+[[nodiscard]] Program lockDisciplined(std::size_t threads = 3,
+                                      std::size_t opsEach = 2,
+                                      std::size_t auxVars = 4);
 
 }  // namespace mpx::program::corpus

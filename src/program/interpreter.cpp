@@ -288,6 +288,20 @@ StepResult Interpreter::step(ThreadId t) {
       ++te.pc;
       break;
     }
+    case OpCode::kRegionBegin: {
+      result.events.push_back(makeEvent(trace::EventKind::kRegionBegin, t,
+                                        kNoVar,
+                                        static_cast<Value>(in.target)));
+      ++te.pc;
+      break;
+    }
+    case OpCode::kRegionEnd: {
+      result.events.push_back(makeEvent(trace::EventKind::kRegionEnd, t,
+                                        kNoVar,
+                                        static_cast<Value>(in.target)));
+      ++te.pc;
+      break;
+    }
     case OpCode::kHalt: {
       const VarId dummy = prog_->threadVars[t];
       result.events.push_back(

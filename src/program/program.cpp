@@ -20,6 +20,8 @@ const char* toString(OpCode op) noexcept {
     case OpCode::kJoin: return "join";
     case OpCode::kHalt: return "halt";
     case OpCode::kCas: return "cas";
+    case OpCode::kRegionBegin: return "region-begin";
+    case OpCode::kRegionEnd: return "region-end";
   }
   return "?";
 }
@@ -67,6 +69,10 @@ std::string Program::disassemble() const {
         case OpCode::kCas:
           os << " r" << in.dst << " <- " << vars.name(in.var) << " =="
              << in.expr.toString() << " ? " << in.expr2.toString();
+          break;
+        case OpCode::kRegionBegin:
+        case OpCode::kRegionEnd:
+          os << " r" << in.target;
           break;
         case OpCode::kHalt:
           break;
@@ -297,6 +303,30 @@ ThreadBuilder& ThreadBuilder::synchronized(
   lockAcquire(lock);
   body(*this);
   lockRelease(lock);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::regionBegin(std::size_t regionId) {
+  Instr in;
+  in.op = OpCode::kRegionBegin;
+  in.target = regionId;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::regionEnd(std::size_t regionId) {
+  Instr in;
+  in.op = OpCode::kRegionEnd;
+  in.target = regionId;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::atomicRegion(
+    std::size_t regionId, const std::function<void(ThreadBuilder&)>& body) {
+  regionBegin(regionId);
+  body(*this);
+  regionEnd(regionId);
   return *this;
 }
 

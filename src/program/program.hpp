@@ -41,6 +41,9 @@ enum class OpCode : std::uint8_t {
               ///< if regs[dst] == eval(expr) then shared[var] = eval(expr2).
               ///< One atomic event: kAtomicUpdate on success, kRead on
               ///< failure.
+  kRegionBegin,  ///< annotated atomic-region entry; region id in `target`
+                 ///< (region-begin event, ISSUE 10)
+  kRegionEnd,    ///< annotated atomic-region exit; region id in `target`
 };
 
 [[nodiscard]] const char* toString(OpCode op) noexcept;
@@ -55,7 +58,8 @@ struct Instr {
   Expr expr;                 ///< kWrite / kCompute / kBranchIfZero / kCas
                              ///< (expected value)
   Expr expr2;                ///< kCas only: the desired new value
-  std::size_t target = 0;    ///< kJump / kBranchIfZero
+  std::size_t target = 0;    ///< kJump / kBranchIfZero; region id for
+                             ///< kRegionBegin / kRegionEnd
   ThreadId spawnee = kNoThread;  ///< kSpawn / kJoin
   std::string note;          ///< optional debug annotation
 };
@@ -115,6 +119,14 @@ class ThreadBuilder {
   ThreadBuilder& lockRelease(LockId lock);
   /// Synchronized region helper: lock; body; unlock.
   ThreadBuilder& synchronized(LockId lock,
+                              const std::function<void(ThreadBuilder&)>& body);
+
+  /// Annotated atomic-region boundaries (the VM's MPX_ATOMIC_BEGIN/END):
+  /// emit kRegionBegin / kRegionEnd marker events carrying `regionId`.
+  ThreadBuilder& regionBegin(std::size_t regionId = 0);
+  ThreadBuilder& regionEnd(std::size_t regionId = 0);
+  /// Atomic-region helper: regionBegin; body; regionEnd.
+  ThreadBuilder& atomicRegion(std::size_t regionId,
                               const std::function<void(ThreadBuilder&)>& body);
 
   ThreadBuilder& wait(CondId cond, LockId lock);

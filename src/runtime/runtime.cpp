@@ -285,6 +285,53 @@ void Runtime::syncEvent(trace::EventKind kind, VarId v) {
   processEvent(kind, v, 0);
 }
 
+void Runtime::atomicBegin(Value regionId) {
+  regionMarker(trace::EventKind::kRegionBegin, regionId);
+}
+
+void Runtime::atomicEnd(Value regionId) {
+  regionMarker(trace::EventKind::kRegionEnd, regionId);
+}
+
+void Runtime::regionMarker(trace::EventKind kind, Value regionId) {
+  std::shared_lock lk(structMu_);
+  eventsProcessed_.fetch_add(1, std::memory_order_relaxed);
+  ThreadState& ts = registry_.current();
+
+  trace::Event e;
+  e.kind = kind;
+  e.thread = ts.id;
+  e.var = kNoVar;
+  e.value = regionId;
+  e.localSeq = ts.nextLocal++;
+  // No stripe to hold: a region marker's only causal predecessors are the
+  // same thread's earlier events, whose seqs were drawn before this call
+  // started — fetch_add monotonicity preserves the seq-order invariant.
+  e.globalSeq = nextSeq_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Region markers are unconditionally relevant: tick and emit, no joins
+  // (the event accesses no variable, so Algorithm A steps 2-3 are vacuous).
+  ts.vi.onEventStart();
+  ts.vi.increment(ts.id);
+
+  if (recording_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> rlk(recordMu_);
+    recorded_.push_back(RecordedEvent{e, ts.heldLocks});
+  }
+
+  messagesEmitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> slk(sinkMu_);
+    sink_->onMessage(trace::Message{e, ts.vi.flat()});
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    EventMetrics& tm = EventMetrics::get();
+    tm.relevant.add(1);
+    tm.messages.add(1);
+  }
+}
+
 void Runtime::enableRecording() {
   recording_.store(true, std::memory_order_release);
 }

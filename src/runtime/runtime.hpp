@@ -134,6 +134,17 @@ class Runtime {
   /// (JMPaX marks exactly the spec's variables).
   void markRelevant(const std::string& name);
 
+  /// Annotated atomic-region boundaries (ISSUE 10): emit a kRegionBegin /
+  /// kRegionEnd marker event on the calling thread.  Region markers access
+  /// no variable (Algorithm A steps 2-3 skip them) but are ALWAYS relevant:
+  /// the thread's own clock component ticks and a message is emitted, so
+  /// the observer can segment the thread's relevant events into
+  /// transactions for conflict-serializability checking.  `regionId` is a
+  /// programmer-chosen label carried in the event's value; nesting is
+  /// allowed (the analysis merges nested regions into the outermost one).
+  void atomicBegin(Value regionId = 0);
+  void atomicEnd(Value regionId = 0);
+
   [[nodiscard]] const trace::VarTable& vars() const noexcept { return vars_; }
   [[nodiscard]] std::uint64_t eventsProcessed() const;
   [[nodiscard]] std::uint64_t messagesEmitted() const;
@@ -185,6 +196,10 @@ class Runtime {
   /// Shared event path: called with structMu_ held shared.  Runs Algorithm
   /// A steps 1-4 for one event under the variable's stripe mutex.
   Value processEvent(trace::EventKind kind, VarId v, Value writeValue);
+
+  /// Event path for variable-less region markers: no stripe to lock and no
+  /// clock joins — tick, record, emit.
+  void regionMarker(trace::EventKind kind, Value regionId);
 
   VarId internVar(const std::string& name, Value initial, trace::VarRole role);
   [[nodiscard]] VarState& stateOf(VarId v);
@@ -298,3 +313,16 @@ class InstrumentedCondition {
 };
 
 }  // namespace mpx::runtime
+
+/// Annotation macros for atomic regions (ISSUE 10).  `rt` is a
+/// mpx::runtime::Runtime (or reference); `id` is an integer region label.
+/// Wrap the code the programmer intends to execute atomically:
+///
+///   MPX_ATOMIC_BEGIN(rt, 1);
+///   acct.write(acct.read() + amount);
+///   MPX_ATOMIC_END(rt, 1);
+///
+/// AtomicityAnalysis reports every observed cut under which the enclosed
+/// accesses are not conflict-serializable with the other threads' regions.
+#define MPX_ATOMIC_BEGIN(rt, id) (rt).atomicBegin(id)
+#define MPX_ATOMIC_END(rt, id) (rt).atomicEnd(id)

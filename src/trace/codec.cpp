@@ -65,7 +65,7 @@ bool readEventHeader(const std::uint8_t* data, std::size_t len,
   if (!fits(1)) return false;  // kNeedMore
   std::uint8_t kind;
   read(kind);
-  if (kind > static_cast<std::uint8_t>(EventKind::kAtomicUpdate)) {
+  if (kind > static_cast<std::uint8_t>(EventKind::kRegionEnd)) {
     r.status = DecodeStatus::kCorrupt;
     r.error = "corrupt event kind";
     return false;

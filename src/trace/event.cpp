@@ -26,6 +26,10 @@ const char* toString(EventKind k) noexcept {
       return "thread-exit";
     case EventKind::kAtomicUpdate:
       return "atomic-update";
+    case EventKind::kRegionBegin:
+      return "region-begin";
+    case EventKind::kRegionEnd:
+      return "region-end";
   }
   return "?";
 }
@@ -33,6 +37,7 @@ const char* toString(EventKind k) noexcept {
 std::ostream& operator<<(std::ostream& os, const Event& e) {
   os << toString(e.kind) << "[T" << e.thread;
   if (e.accessesVariable()) os << ", v" << e.var << "=" << e.value;
+  if (isRegionMarker(e.kind)) os << ", r" << e.value;
   os << ", k=" << e.localSeq << "]";
   return os;
 }

@@ -34,6 +34,10 @@ enum class EventKind : std::uint8_t {
   kAtomicUpdate, ///< successful atomic read-modify-write (e.g. CAS): a
                  ///< write for causality purposes, but two atomic updates
                  ///< of the same variable do not constitute a data race
+  kRegionBegin,  ///< annotated atomic-region entry (MPX_ATOMIC_BEGIN);
+                 ///< accesses no variable, `value` carries the region id
+  kRegionEnd,    ///< annotated atomic-region exit (MPX_ATOMIC_END);
+                 ///< accesses no variable, `value` carries the region id
 };
 
 /// True for kinds the instrumentor treats as a *write* of a shared variable
@@ -58,6 +62,15 @@ enum class EventKind : std::uint8_t {
 /// True for kinds that access a shared variable at all.
 [[nodiscard]] constexpr bool isSharedAccess(EventKind k) noexcept {
   return k == EventKind::kRead || isWriteLike(k);
+}
+
+/// True for the atomic-region boundary markers.  Region markers access no
+/// variable (steps 2-3 of Algorithm A skip them) but are always RELEVANT:
+/// they tick the thread's own clock component and are emitted, so the
+/// observer can segment each thread's relevant events into transactions
+/// with causally consistent clocks.
+[[nodiscard]] constexpr bool isRegionMarker(EventKind k) noexcept {
+  return k == EventKind::kRegionBegin || k == EventKind::kRegionEnd;
 }
 
 [[nodiscard]] const char* toString(EventKind k) noexcept;

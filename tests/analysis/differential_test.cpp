@@ -12,7 +12,9 @@
 #include <string>
 
 #include "../support/trace_gen.hpp"
+#include "analysis/atomicity_analysis.hpp"
 #include "analysis/engine.hpp"
+#include "analysis/mhp_prefilter.hpp"
 #include "analysis/session.hpp"
 #include "analysis/predictive_analyzer.hpp"
 #include "analysis/report.hpp"
@@ -549,6 +551,182 @@ TEST(OracleDifferential, OnlineMatchesBatchUnderBudget) {
     }
   }
   ASSERT_GE(accepted, 80u);
+}
+
+// ===================================================================
+// ISSUE 10 rungs: atomicity against the serialization-census oracle,
+// and the MHP prefilter against the exhaustive pair census.
+// ===================================================================
+
+/// Violating regions as a canonical (thread, ordinal) set.
+std::set<std::pair<ThreadId, std::size_t>> regionSet(
+    const AtomicityAnalysis& atom) {
+  std::set<std::pair<ThreadId, std::size_t>> out;
+  for (const auto& v : atom.violations()) out.emplace(v.thread, v.ordinal);
+  return out;
+}
+
+/// ≥500 accepted region-annotated seeds: AtomicityAnalysis's violation set
+/// must equal the brute-force oracle's (which itself cross-checks the
+/// conflict-graph verdict against serialization-existence backtracking on
+/// EVERY linearization), MhpPrefilter's never-concurrent pairs must be a
+/// subset of the exhaustive census, and both plugins' reports must be
+/// byte-identical across jobs {1,4} × fifo/shuffled delivery.
+TEST(OracleDifferential, AtomicityFiveHundredSeedSweep) {
+  std::size_t accepted = 0;
+  std::size_t violatingSeeds = 0;
+  std::size_t regionsSeen = 0;
+  for (std::uint64_t seed = 1; accepted < 500 && seed < 60000; ++seed) {
+    const auto c = mpx::testing::generateAtomicityCase(seed);
+
+    EngineConfig ec;
+    ec.specs = {c.spec};
+    ec.lattice.maxViolations = std::size_t{1} << 20;
+    ec.lattice.parallel.minFrontier = 1;
+    ec.deliverySeed = c.shuffleSeed;
+    const Engine engine(c.program, ec);
+    AtomicityAnalysis atom(&c.program.vars);
+    MhpPrefilter mhp(&c.program.vars);
+    const EngineResult base = engine.runWithSeed(c.scheduleSeed, {&mhp, &atom});
+
+    mpx::testing::OracleOptions oopts;
+    oopts.maxRuns = 4000;
+    const mpx::testing::AtomicityOracle oracle(base.causality, oopts);
+    if (!oracle.result().feasible) continue;
+    ++accepted;
+
+    // The oracle's own sanity invariants: every linearization of the
+    // partial order yields the same violation set, and the conflict-graph
+    // verdict always agreed with the serialization backtracking.
+    ASSERT_TRUE(oracle.result().pathInvariant) << "seed " << seed;
+    ASSERT_TRUE(oracle.result().crossCheckOk) << "seed " << seed;
+
+    ASSERT_EQ(regionSet(atom), oracle.result().violations) << "seed " << seed;
+    ASSERT_EQ(atom.regionCount(), oracle.result().regions) << "seed " << seed;
+    regionsSeen += atom.regionCount();
+    if (!atom.violations().empty()) ++violatingSeeds;
+
+    // MHP pair classification ⊆ the exhaustive Definition-level census.
+    const auto census =
+        mpx::testing::exhaustiveNeverConcurrentPairs(base.causality);
+    const std::set<std::pair<VarId, VarId>> censusSet(census.begin(),
+                                                      census.end());
+    for (const auto& p : mhp.neverConcurrentPairs()) {
+      ASSERT_TRUE(censusSet.count(p))
+          << "seed " << seed << " pair " << p.first << "," << p.second;
+    }
+
+    // Cross-config determinism: byte-identical plugin reports across
+    // jobs {1,4} × fifo/shuffled (fresh plugin instances each run — they
+    // accumulate message logs).
+    const std::string ref = renderAnalysisReports(base.reports);
+    const RunCfg variants[] = {
+        {4, trace::DeliveryPolicy::kFifo, 0, 0},
+        {1, trace::DeliveryPolicy::kShuffle, 0, 0},
+        {4, trace::DeliveryPolicy::kShuffle, 0, 0},
+    };
+    for (const RunCfg& v : variants) {
+      EngineConfig vc = ec;
+      vc.delivery = v.delivery;
+      vc.lattice.parallel.jobs = v.jobs;
+      const Engine vEngine(c.program, vc);
+      AtomicityAnalysis vAtom(&c.program.vars);
+      MhpPrefilter vMhp(&c.program.vars);
+      const EngineResult r =
+          vEngine.runWithSeed(c.scheduleSeed, {&vMhp, &vAtom});
+      ASSERT_EQ(renderAnalysisReports(r.reports), ref)
+          << "seed " << seed << " jobs " << v.jobs;
+      ASSERT_EQ(regionSet(vAtom), oracle.result().violations)
+          << "seed " << seed << " jobs " << v.jobs;
+    }
+  }
+  ASSERT_GE(accepted, 500u);
+  // The rung must exercise real regions and real violations, not pass
+  // vacuously on region-free traces.
+  ASSERT_GT(regionsSeen, 500u);
+  ASSERT_GE(violatingSeeds, 10u);
+}
+
+/// Prefilter on/off equivalence over the sweep: with the suffix variable
+/// g2 tracked beyond the spec (g0/g1), the prefilter-on engine must render
+/// byte-identical reports and identical violating cuts, while expanding at
+/// most as many union variables — and strictly fewer on at least a few
+/// seeds (the speed win the tentpole claims).
+TEST(OracleDifferential, MhpPrefilterByteIdenticalReports) {
+  std::size_t accepted = 0;
+  std::size_t prunedRuns = 0;
+  for (std::uint64_t seed = 1; accepted < 500 && seed < 20000; ++seed) {
+    auto c = mpx::testing::generateCase(seed);
+    c.options.vars = 3;  // g2: tracked below, never referenced by the spec
+    c.program = corpus::randomProgram(seed, c.options);
+
+    EngineConfig off;
+    off.specs = {c.spec};
+    off.extraTrackedVars = {"g2"};
+    off.lattice.maxViolations = std::size_t{1} << 20;
+    off.lattice.parallel.minFrontier = 1;
+    off.deliverySeed = c.shuffleSeed;
+    EngineConfig on = off;
+    on.mhpPrefilter = true;
+
+    const Engine offEngine(c.program, off);
+    const EngineResult offR = offEngine.runWithSeed(c.scheduleSeed);
+    const auto oracle = oracleFor(c, offR);
+    if (!oracle) continue;
+    ++accepted;
+
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      EngineConfig onJ = on;
+      onJ.lattice.parallel.jobs = jobs;
+      const Engine onEngine(c.program, onJ);
+      const EngineResult onR = onEngine.runWithSeed(c.scheduleSeed);
+
+      ASSERT_EQ(renderAnalysisReports(onR.reports),
+                renderAnalysisReports(offR.reports))
+          << "seed " << seed << " jobs " << jobs;
+      ASSERT_EQ(violatingCuts(onR), violatingCuts(offR))
+          << "seed " << seed << " jobs " << jobs;
+      ASSERT_EQ(violatingCuts(onR), oracle->violatingCuts) << "seed " << seed;
+      ASSERT_EQ(onR.latticeStats.totalNodes, offR.latticeStats.totalNodes)
+          << "seed " << seed;
+      ASSERT_LE(onR.unionVarsExpanded, onR.space.size()) << "seed " << seed;
+      if (jobs == 1 && onR.unionVarsExpanded < onR.space.size()) {
+        ++prunedRuns;
+      }
+    }
+  }
+  ASSERT_GE(accepted, 500u);
+  // The prefilter must actually prune somewhere, or the rung is vacuous.
+  ASSERT_GT(prunedRuns, 0u);
+}
+
+/// Deterministic pruning witness (the acceptance criterion's "strictly
+/// fewer expanded union variables on ≥1 corpus trace"): every access in
+/// lockDisciplined holds one global lock, so the whole aux suffix is
+/// never-concurrent with `data` and must be pruned — with the report still
+/// byte-identical to the unpruned pass.
+TEST(OracleDifferential, MhpPrefilterPrunesLockDisciplinedCorpus) {
+  const program::Program prog = corpus::lockDisciplined(3, 2, 4);
+  EngineConfig off;
+  off.specs = {"data >= 0"};
+  off.extraTrackedVars = {"aux0", "aux1", "aux2", "aux3"};
+  off.lattice.maxViolations = std::size_t{1} << 20;
+  EngineConfig on = off;
+  on.mhpPrefilter = true;
+
+  const Engine offEngine(prog, off);
+  const Engine onEngine(prog, on);
+  const EngineResult offR = offEngine.runWithSeed(1);
+  const EngineResult onR = onEngine.runWithSeed(1);
+
+  EXPECT_EQ(offR.unionVarsExpanded, offR.space.size());
+  ASSERT_EQ(onR.space.size(), 5u);
+  EXPECT_EQ(onR.unionVarsExpanded, 1u);  // data only; aux0..aux3 pruned
+  EXPECT_EQ(onR.prunedVars,
+            (std::vector<std::string>{"aux0", "aux1", "aux2", "aux3"}));
+  EXPECT_EQ(renderAnalysisReports(onR.reports),
+            renderAnalysisReports(offR.reports));
+  EXPECT_EQ(violatingCuts(onR), violatingCuts(offR));
 }
 
 }  // namespace

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "../support/fixtures.hpp"
+#include "analysis/engine.hpp"
+#include "program/scheduler.hpp"
 #include "logic/monitor.hpp"
 #include "logic/parser.hpp"
 #include "logic/spec_analysis.hpp"
@@ -468,7 +471,8 @@ TEST(NetDaemonE2E, AllWireVersionsMatchInProcess) {
 
   for (const std::uint16_t version :
        {kListSpecProtocolVersion, kTraceContextProtocolVersion,
-        kSparseClockProtocolVersion}) {
+        kSparseClockProtocolVersion, kMultiTenantProtocolVersion,
+        kRegionProtocolVersion}) {
     ObserverDaemon daemon(quietDaemon());
     ASSERT_TRUE(daemon.start());
     Handshake h = handshakeFor(c, spec, {"landing", "approved", "radio"});
@@ -613,6 +617,105 @@ TEST(NetDaemonE2E, IntrospectionEndpointsServeHealthMetricsAndReport) {
 
   const std::string missing = httpGet(daemon.port(), "/no-such-endpoint");
   EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  daemon.stop();
+}
+
+// ===================================================================
+// Wire v6: region events + daemon-side analyses (ISSUE 10).
+// ===================================================================
+
+/// The atomicity demo's messages (region markers included) under the
+/// canonical violating interleaving, in delivered order.
+std::vector<trace::Message> atomicityDemoMessages(
+    const program::Program& prog) {
+  program::FixedScheduler sched(
+      program::corpus::atomicityDemoViolatingSchedule());
+  program::Executor ex(prog, sched);
+  analysis::EngineConfig ec;
+  ec.extraTrackedVars = {"acct", "audit"};
+  const analysis::Engine engine(prog, ec);
+  return messagesInOrder(engine.run(ex.run()).causality);
+}
+
+TEST(NetDaemonE2E, WireV6RegionStreamFeedsDaemonSideAnalyses) {
+  const program::Program prog = program::corpus::atomicityDemo();
+  const auto msgs = atomicityDemoMessages(prog);
+  ASSERT_TRUE(std::any_of(msgs.begin(), msgs.end(), [](const auto& m) {
+    return trace::isRegionMarker(m.event.kind);
+  }));
+
+  DaemonOptions opts = quietDaemon();
+  opts.analyses = {"atomicity", "mhp"};
+  ObserverDaemon daemon(opts);
+  ASSERT_TRUE(daemon.start());
+
+  Handshake h = makeHandshake(
+      static_cast<std::uint32_t>(prog.threadCount()), "", {"acct", "audit"},
+      prog.vars);
+  {
+    SocketEmitter emitter(emitterTo(daemon.port(), h));
+    for (const auto& m : msgs) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+
+  // The daemon-side plugins analyzed the socket-fed regions: the demo's
+  // region is reported with its witness cycle.
+  const auto reports = daemon.analysisReports();
+  std::string atomText;
+  std::string mhpText;
+  for (const auto& r : reports) {
+    if (r.kind == "atomicity") atomText = r.text;
+    if (r.kind == "mhp") mhpText = r.text;
+  }
+  EXPECT_NE(atomText.find("violations=1"), std::string::npos) << atomText;
+  EXPECT_NE(atomText.find("region T1#1 r1: cycle"), std::string::npos)
+      << atomText;
+  EXPECT_NE(mhpText.find("never-concurrent-pairs="), std::string::npos)
+      << mhpText;
+  daemon.stop();
+}
+
+TEST(NetDaemonE2E, PreV6PeerSendingRegionEventsIsDropped) {
+  const program::Program prog = program::corpus::atomicityDemo();
+  const auto msgs = atomicityDemoMessages(prog);
+
+  DaemonOptions opts = quietDaemon();
+  opts.analyses = {"atomicity"};
+  ObserverDaemon daemon(opts);
+  ASSERT_TRUE(daemon.start());
+
+  Handshake h = makeHandshake(
+      static_cast<std::uint32_t>(prog.threadCount()), "", {"acct", "audit"},
+      prog.vars);
+
+  {
+    // A v5 peer has no business emitting region kinds: the codec decodes
+    // them (one shared grammar), but the daemon drops the connection at
+    // the capability gate instead of feeding the analyses.
+    Handshake old = h;
+    old.version = kMultiTenantProtocolVersion;
+    Socket s = rawClient(daemon.port());
+    sendFrame(s, FrameType::kHandshake, encodeHandshake(old));
+    sendFrame(s, FrameType::kEvents, eventsPayload(msgs));
+    s.shutdownWrite();
+  }
+  ASSERT_TRUE(eventually([&] { return daemon.connectionsAborted() >= 1; }));
+
+  // The daemon survived, and a v6 peer replaying the same stream (regions
+  // and all) completes the analysis.
+  {
+    SocketEmitter emitter(emitterTo(daemon.port(), h));
+    for (const auto& m : msgs) emitter.onMessage(m);
+    emitter.close();
+  }
+  ASSERT_TRUE(daemon.waitFinished(10000ms)) << daemon.streamError();
+  const auto reports = daemon.analysisReports();
+  std::string atomText;
+  for (const auto& r : reports) {
+    if (r.kind == "atomicity") atomText = r.text;
+  }
+  EXPECT_NE(atomText.find("violations=1"), std::string::npos) << atomText;
   daemon.stop();
 }
 

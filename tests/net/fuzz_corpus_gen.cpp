@@ -31,12 +31,13 @@ void writeFamily(const std::filesystem::path& root, const std::string& family,
   std::filesystem::create_directories(dir);
   std::size_t n = 0;
   for (const auto& s : seeds) {
-    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin", s);
+    writeSeed(dir, "seed-" + std::to_string(n) + ".bin", s);
     // Two deterministic mutations per seed widen initial coverage.
-    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin",
-              mpx::testing::fuzz::mutateSeed(s, 0x5eedu + n));
-    writeSeed(dir, "seed-" + std::to_string(n++) + ".bin",
-              mpx::testing::fuzz::mutateSeed(s, 0xf00du + n));
+    writeSeed(dir, "seed-" + std::to_string(n + 1) + ".bin",
+              mpx::testing::fuzz::mutateSeed(s, 0x5eedu + n + 1));
+    writeSeed(dir, "seed-" + std::to_string(n + 2) + ".bin",
+              mpx::testing::fuzz::mutateSeed(s, 0xf00du + n + 2));
+    n += 3;
   }
 }
 
@@ -50,7 +51,14 @@ int main(int argc, char** argv) {
   namespace fuzz = mpx::testing::fuzz;
   const std::filesystem::path root = argv[1];
   writeFamily(root, "frame_reader", {fuzz::seedFrameStream()});
-  writeFamily(root, "codec", {fuzz::seedEventsPayload()});
+  writeFamily(root, "codec",
+              {fuzz::seedEventsPayload(), fuzz::seedRegionEventsPayload()});
+  // Named regressions (exact bytes pinned forever): hostile region-marker
+  // shapes the wire v6 extension introduced.
+  writeSeed(root / "codec", "region-begin-without-end.bin",
+            fuzz::seedRegionBeginWithoutEnd());
+  writeSeed(root / "codec", "region-hostile-id.bin",
+            fuzz::seedRegionHostileId());
   writeFamily(root, "handshake",
               {fuzz::seedHandshakePayload(mpx::net::kProtocolVersion),
                fuzz::seedHandshakePayload(mpx::net::kLegacyProtocolVersion)});

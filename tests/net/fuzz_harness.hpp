@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -280,6 +281,51 @@ inline std::vector<std::uint8_t> seedEventsPayload() {
   for (std::uint64_t i = 0; i < 4; ++i) {
     trace::BinaryCodec::encode(seedMessage(i), out);
   }
+  return out;
+}
+
+/// An annotated-region marker message (wire v6 event kinds): no variable,
+/// the region id in the value field.
+inline trace::Message seedRegionMessage(std::uint64_t salt, bool begin,
+                                        Value regionId) {
+  trace::Message m = seedMessage(salt);
+  m.event.kind =
+      begin ? trace::EventKind::kRegionBegin : trace::EventKind::kRegionEnd;
+  m.event.var = kNoVar;
+  m.event.value = regionId;
+  return m;
+}
+
+/// Region-kind (wire v6) message stream: a matched begin/body/end run plus
+/// the two hostile shapes pinned as named corpus regressions below.
+inline std::vector<std::uint8_t> seedRegionEventsPayload() {
+  std::vector<std::uint8_t> out;
+  trace::BinaryCodec::encode(seedRegionMessage(1, true, 7), out);
+  trace::BinaryCodec::encode(seedMessage(2), out);
+  trace::BinaryCodec::encode(seedRegionMessage(3, false, 7), out);
+  return out;
+}
+
+/// Named regression: a region opened and never closed (the stream just
+/// ends).  The codec is segmentation-blind, so this must decode and
+/// round-trip like any message run; only the analysis layer interprets it.
+inline std::vector<std::uint8_t> seedRegionBeginWithoutEnd() {
+  std::vector<std::uint8_t> out;
+  trace::BinaryCodec::encode(seedRegionMessage(4, true, 11), out);
+  trace::BinaryCodec::encode(seedMessage(5), out);
+  return out;
+}
+
+/// Named regression: hostile region ids — extreme values, an end with no
+/// begin, and a marker carrying a (meaningless but representable) var id.
+inline std::vector<std::uint8_t> seedRegionHostileId() {
+  std::vector<std::uint8_t> out;
+  trace::BinaryCodec::encode(
+      seedRegionMessage(6, false, std::numeric_limits<Value>::min()), out);
+  trace::Message odd =
+      seedRegionMessage(7, true, std::numeric_limits<Value>::max());
+  odd.event.var = 3;  // markers access no variable; the codec passes it on
+  trace::BinaryCodec::encode(odd, out);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -45,6 +46,10 @@ TEST(FuzzSmoke, FrameReader) {
 }
 
 TEST(FuzzSmoke, Codec) { sweep(&driveCodec, seedEventsPayload(), 3000, 0xB0B); }
+
+TEST(FuzzSmoke, CodecRegionEvents) {
+  sweep(&driveCodec, seedRegionEventsPayload(), 3000, 0x4E6104);
+}
 
 TEST(FuzzSmoke, HandshakeV2) {
   sweep(&driveHandshake, seedHandshakePayload(net::kProtocolVersion), 3000,
@@ -137,6 +142,50 @@ TEST(FuzzSmoke, RegressionEmptyAndHeaderOnlyInputs) {
   driveSnapshot(nullptr, 0);
   const std::vector<std::uint8_t> stream = seedFrameStream();
   driveFrameReader(stream.data(), net::kFrameHeaderSize);
+}
+
+TEST(FuzzSmoke, RegressionRegionBeginWithoutEnd) {
+  // Pinned as tests/net/corpus/codec/region-begin-without-end.bin: a region
+  // opened and never closed.  The codec is segmentation-blind — the stream
+  // decodes message by message and round-trips; only the analysis layer
+  // interprets open regions.
+  const auto bytes = seedRegionBeginWithoutEnd();
+  const trace::DecodeResult r =
+      trace::BinaryCodec::tryDecode(bytes.data(), bytes.size());
+  ASSERT_EQ(r.status, trace::DecodeStatus::kOk);
+  EXPECT_EQ(r.message.event.kind, trace::EventKind::kRegionBegin);
+  EXPECT_EQ(r.message.event.var, kNoVar);
+  EXPECT_EQ(r.message.event.value, 11);
+  driveCodec(bytes.data(), bytes.size());
+  driveSparseClock(bytes.data(), bytes.size());
+}
+
+TEST(FuzzSmoke, RegressionRegionHostileId) {
+  // Pinned as tests/net/corpus/codec/region-hostile-id.bin: extreme region
+  // ids (INT64_MIN/MAX), an end with no begin, and a marker carrying a var
+  // id.  All must decode and survive the round-trip invariants.
+  const auto bytes = seedRegionHostileId();
+  const trace::DecodeResult r =
+      trace::BinaryCodec::tryDecode(bytes.data(), bytes.size());
+  ASSERT_EQ(r.status, trace::DecodeStatus::kOk);
+  EXPECT_EQ(r.message.event.kind, trace::EventKind::kRegionEnd);
+  EXPECT_EQ(r.message.event.value, std::numeric_limits<Value>::min());
+  driveCodec(bytes.data(), bytes.size());
+  driveSparseClock(bytes.data(), bytes.size());
+}
+
+TEST(FuzzSmoke, RegressionKindPastRegionEnd) {
+  // The kind-byte bound moved from kAtomicUpdate to kRegionEnd with wire
+  // v6; one past it must stay kCorrupt in both codecs.
+  std::vector<std::uint8_t> bytes;
+  trace::BinaryCodec::encode(seedMessage(1), bytes);
+  bytes[0] = static_cast<std::uint8_t>(trace::EventKind::kRegionEnd) + 1;
+  EXPECT_EQ(trace::BinaryCodec::tryDecode(bytes.data(), bytes.size()).status,
+            trace::DecodeStatus::kCorrupt);
+  driveCodec(bytes.data(), bytes.size());
+  bytes[0] = static_cast<std::uint8_t>(trace::EventKind::kRegionEnd);
+  EXPECT_EQ(trace::BinaryCodec::tryDecode(bytes.data(), bytes.size()).status,
+            trace::DecodeStatus::kOk);
 }
 
 /// A sparse-coded message header (all-zero event: kind kInternal, thread 0)

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "logic/ptltl.hpp"
@@ -56,6 +58,23 @@ inline const char* specForSeed(std::uint64_t seed) {
       "g1 <= 4 S g0 <= 4",
   };
   return kSpecs[seed % (sizeof kSpecs / sizeof kSpecs[0])];
+}
+
+/// Region-annotated variant for the atomicity differential rung: the same
+/// small shapes as generateCase plus a high region rate (open-at-end
+/// regions and unmatched ends included via the generator's own policy).
+inline GeneratedCase generateAtomicityCase(std::uint64_t seed) {
+  GeneratedCase c;
+  c.options.threads = 2 + seed % 2;        // 2..3
+  c.options.vars = 2;
+  c.options.opsPerThread = 3 + (seed / 5) % 2;
+  c.options.locks = (seed % 7 == 0) ? 1 : 0;
+  c.options.regionPercent = 45;
+  c.program = program::corpus::randomProgram(seed, c.options);
+  c.spec = specForSeed(seed);
+  c.scheduleSeed = seed * 37 + 11;
+  c.shuffleSeed = seed * 151 + 17;
+  return c;
 }
 
 /// Deterministic case for one seed: threads 2..4, vars 2..3, a few ops per
@@ -316,5 +335,284 @@ class BruteForceOracle {
   std::size_t n_ = 0;
   OracleResult result_;
 };
+
+// --- brute-force atomicity oracle ---------------------------------------
+
+struct AtomicityOracleResult {
+  /// False: the case blew an OracleOptions cap and must be skipped.
+  bool feasible = true;
+  /// (thread, 1-based ordinal) of every violating annotated region.
+  std::set<std::pair<ThreadId, std::size_t>> violations;
+  /// Annotated regions found (matched or open-at-end).
+  std::size_t regions = 0;
+  /// Linearizations (complete multithreaded runs) enumerated.
+  std::uint64_t paths = 0;
+  /// Every enumerated linearization produced the same violation set (the
+  /// linearization-independence claim the analysis relies on).
+  bool pathInvariant = true;
+  /// On every path, the conflict-graph verdict agreed with the independent
+  /// serialization-existence backtracking (serializable <=> no violation).
+  bool crossCheckOk = true;
+};
+
+/// Definition-level atomicity oracle, sharing NO code with
+/// analysis::AtomicityAnalysis: enumerates every linearization of the
+/// causal partial order (DFS over one-event extensions, as
+/// BruteForceOracle does for cuts), derives the transaction conflict graph
+/// of EACH linearization from pairwise event positions, takes violating
+/// regions from a Floyd-Warshall transitive closure, and cross-checks the
+/// verdict with a brute-force search for a conflict-preserving serial
+/// order of the transactions.
+class AtomicityOracle {
+ public:
+  explicit AtomicityOracle(const observer::CausalityGraph& graph,
+                           OracleOptions opts = {})
+      : graph_(&graph), opts_(opts) {
+    n_ = graph.threadCount();
+    std::size_t total = 0;
+    for (ThreadId j = 0; j < n_; ++j) total += graph.eventsOfThread(j);
+    if (total > opts_.maxEvents) {
+      result_.feasible = false;
+      return;
+    }
+    segment();
+    std::vector<LocalSeq> k(n_, 0);
+    std::vector<std::pair<ThreadId, LocalSeq>> lin;
+    lin.reserve(total);
+    dfs(k, lin, total);
+  }
+
+  [[nodiscard]] const AtomicityOracleResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Txn {
+    ThreadId thread = 0;
+    bool annotated = false;
+    std::size_t ordinal = 0;  ///< 1-based among the thread's regions
+  };
+
+  /// Per-thread transaction segmentation (linearization-independent: a
+  /// thread's events keep program order in every linearization).  Nested
+  /// regions merge into the outermost; an end without a begin is a no-op;
+  /// a region open at trace end runs to trace end.
+  void segment() {
+    txnOf_.assign(n_, {});
+    for (ThreadId j = 0; j < n_; ++j) {
+      txnOf_[j].assign(graph_->eventsOfThread(j) + 1, -1);
+      std::size_t depth = 0;
+      int current = -1;
+      std::size_t ordinals = 0;
+      for (LocalSeq k = 1; k <= graph_->eventsOfThread(j); ++k) {
+        const trace::Event& e = graph_->message(j, k).event;
+        if (e.kind == trace::EventKind::kRegionBegin) {
+          if (depth++ == 0) {
+            current = static_cast<int>(txns_.size());
+            txns_.push_back(Txn{j, true, ++ordinals});
+          }
+          txnOf_[j][k] = current;
+        } else if (e.kind == trace::EventKind::kRegionEnd) {
+          if (depth > 0) {
+            txnOf_[j][k] = current;
+            if (--depth == 0) current = -1;
+          } else {
+            txnOf_[j][k] = -1;  // hostile unmatched end: no-op
+          }
+        } else if (depth > 0) {
+          txnOf_[j][k] = current;
+        } else {
+          txnOf_[j][k] = static_cast<int>(txns_.size());
+          txns_.push_back(Txn{j, false, 0});
+        }
+      }
+      // Program-order edges between the thread's consecutive transactions:
+      // a serialization must respect each thread's own order (Velodrome's
+      // transactional happens-before), independent of conflicts.
+      int lastSeen = -1;
+      for (LocalSeq k = 1; k <= graph_->eventsOfThread(j); ++k) {
+        const int tx = txnOf_[j][k];
+        if (tx < 0 || tx == lastSeen) continue;
+        if (lastSeen >= 0) po_.emplace_back(lastSeen, tx);
+        lastSeen = tx;
+      }
+    }
+    for (const Txn& t : txns_) result_.regions += t.annotated ? 1 : 0;
+  }
+
+  [[nodiscard]] bool enabled(const std::vector<LocalSeq>& k,
+                             ThreadId j) const {
+    if (k[j] >= graph_->eventsOfThread(j)) return false;
+    const trace::Message& m = graph_->message(j, k[j] + 1);
+    for (ThreadId o = 0; o < n_; ++o) {
+      if (o != j && m.clock[o] > k[o]) return false;
+    }
+    return true;
+  }
+
+  void dfs(std::vector<LocalSeq>& k,
+           std::vector<std::pair<ThreadId, LocalSeq>>& lin,
+           std::size_t total) {
+    if (!result_.feasible) return;
+    if (lin.size() == total) {
+      if (++result_.paths > opts_.maxRuns) {
+        result_.feasible = false;
+        return;
+      }
+      checkLinearization(lin);
+      return;
+    }
+    for (ThreadId j = 0; j < n_; ++j) {
+      if (!enabled(k, j)) continue;
+      ++k[j];
+      lin.emplace_back(j, k[j]);
+      dfs(k, lin, total);
+      lin.pop_back();
+      --k[j];
+    }
+  }
+
+  void checkLinearization(
+      const std::vector<std::pair<ThreadId, LocalSeq>>& lin) {
+    // Conflict edges from pairwise linearization positions: same variable,
+    // at least one write-like access, different transactions.
+    const std::size_t t = txns_.size();
+    std::vector<std::vector<bool>> edge(t, std::vector<bool>(t, false));
+    for (std::size_t a = 0; a < lin.size(); ++a) {
+      const trace::Event& ea =
+          graph_->message(lin[a].first, lin[a].second).event;
+      if (!ea.accessesVariable()) continue;
+      for (std::size_t b = a + 1; b < lin.size(); ++b) {
+        const trace::Event& eb =
+            graph_->message(lin[b].first, lin[b].second).event;
+        if (!eb.accessesVariable() || ea.var != eb.var) continue;
+        if (!trace::isWriteLike(ea.kind) && !trace::isWriteLike(eb.kind)) {
+          continue;
+        }
+        const int ta = txnOf_[lin[a].first][lin[a].second];
+        const int tb = txnOf_[lin[b].first][lin[b].second];
+        if (ta >= 0 && tb >= 0 && ta != tb) {
+          edge[static_cast<std::size_t>(ta)][static_cast<std::size_t>(tb)] =
+              true;
+        }
+      }
+    }
+    // Same-thread transactions are ordered regardless of conflicts.
+    for (const auto& [a, b] : po_) {
+      edge[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+    }
+    // Violating regions: annotated transactions on some cycle
+    // (Floyd-Warshall transitive closure).
+    std::vector<std::vector<bool>> reach = edge;
+    for (std::size_t m = 0; m < t; ++m) {
+      for (std::size_t i = 0; i < t; ++i) {
+        if (!reach[i][m]) continue;
+        for (std::size_t j = 0; j < t; ++j) {
+          if (reach[m][j]) reach[i][j] = true;
+        }
+      }
+    }
+    std::set<std::pair<ThreadId, std::size_t>> violating;
+    bool anyCycle = false;
+    for (std::size_t i = 0; i < t; ++i) {
+      bool onCycle = reach[i][i];
+      for (std::size_t j = 0; !onCycle && j < t; ++j) {
+        onCycle = i != j && reach[i][j] && reach[j][i];
+      }
+      if (!onCycle) continue;
+      anyCycle = true;
+      if (txns_[i].annotated) {
+        violating.emplace(txns_[i].thread, txns_[i].ordinal);
+      }
+    }
+    // Independent serializability verdict: does ANY conflict-preserving
+    // serial order of the transactions exist?  Backtracking over "next
+    // transaction all of whose conflicting predecessors are done".
+    std::vector<bool> done(t, false);
+    const bool serializable = serialize(edge, done, 0);
+    if (serializable != !anyCycle) result_.crossCheckOk = false;
+    if (result_.paths == 1) {
+      result_.violations = std::move(violating);
+    } else if (violating != result_.violations) {
+      result_.pathInvariant = false;
+    }
+  }
+
+  bool serialize(const std::vector<std::vector<bool>>& edge,
+                 std::vector<bool>& done, std::size_t placed) {
+    const std::size_t t = txns_.size();
+    if (placed == t) return true;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      for (std::size_t j = 0; ready && j < t; ++j) {
+        if (!done[j] && j != i && edge[j][i]) ready = false;
+      }
+      if (!ready) continue;
+      done[i] = true;
+      if (serialize(edge, done, placed + 1)) return true;
+      done[i] = false;
+    }
+    return false;
+  }
+
+  const observer::CausalityGraph* graph_;
+  OracleOptions opts_;
+  std::size_t n_ = 0;
+  std::vector<Txn> txns_;
+  /// txnOf_[j][k] = transaction of thread j's k-th event (1-based); -1 for
+  /// hostile unmatched region ends.
+  std::vector<std::vector<int>> txnOf_;
+  /// Program-order edges (prev txn, next txn) per thread.
+  std::vector<std::pair<int, int>> po_;
+  AtomicityOracleResult result_;
+};
+
+// --- exhaustive MHP pair census -----------------------------------------
+
+/// Definition-level never-concurrent variable pairs: (x, y) qualifies iff
+/// EVERY relevant access of x is causally ordered against EVERY relevant
+/// access of y, with the ordering read off the clocks directly (same
+/// thread: local order; across threads: b after a iff b's clock already
+/// covers a's own-thread component).  Independent of
+/// analysis::MhpPrefilter::classifyNeverConcurrent.
+inline std::vector<std::pair<VarId, VarId>> exhaustiveNeverConcurrentPairs(
+    const observer::CausalityGraph& graph) {
+  struct Access {
+    ThreadId thread;
+    LocalSeq index;
+  };
+  std::map<VarId, std::vector<Access>> byVar;
+  for (ThreadId j = 0; j < graph.threadCount(); ++j) {
+    for (LocalSeq k = 1; k <= graph.eventsOfThread(j); ++k) {
+      const trace::Event& e = graph.message(j, k).event;
+      if (e.accessesVariable()) byVar[e.var].push_back(Access{j, k});
+    }
+  }
+  const auto ordered = [&](const Access& a, const Access& b) {
+    if (a.thread == b.thread) return true;  // program order
+    const trace::Message& ma = graph.message(a.thread, a.index);
+    const trace::Message& mb = graph.message(b.thread, b.index);
+    return mb.clock[a.thread] >= ma.clock[a.thread] ||
+           ma.clock[b.thread] >= mb.clock[b.thread];
+  };
+  std::vector<std::pair<VarId, VarId>> pairs;
+  for (auto x = byVar.begin(); x != byVar.end(); ++x) {
+    for (auto y = std::next(x); y != byVar.end(); ++y) {
+      bool allOrdered = true;
+      for (const Access& a : x->second) {
+        for (const Access& b : y->second) {
+          if (!ordered(a, b)) {
+            allOrdered = false;
+            break;
+          }
+        }
+        if (!allOrdered) break;
+      }
+      if (allOrdered) pairs.emplace_back(x->first, y->first);
+    }
+  }
+  return pairs;
+}
 
 }  // namespace mpx::testing
